@@ -1,0 +1,11 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.rapl.backends import RealClock, SimulatedBackend
+
+
+@pytest.fixture()
+def backend():
+    """Deterministic energy backend tracking the real process clocks."""
+    return SimulatedBackend(clock=RealClock())

@@ -1,0 +1,40 @@
+"""Table III bench: the MOA airlines schema and paper-scale generation."""
+
+from repro.bench.table3 import render_table3, run_table3
+from repro.datasets import generate_airlines
+
+
+def test_generation_10k_benchmark(benchmark):
+    """Paper scale: 10,000 instances (the heap-limited subsample)."""
+    data = benchmark(generate_airlines, 10_000, 7)
+    assert data.n == 10_000
+
+
+def test_table3_rows_match_paper_schema():
+    rows = run_table3(n=10_000)
+    by_name = {row.attribute: row for row in rows}
+    assert by_name["Airline"].declared_type == "Nominal"
+    assert by_name["Airline"].distinct_in_sample == 18
+    assert by_name["AirportFrom"].distinct_in_sample == 293
+    assert by_name["AirportTo"].distinct_in_sample == 293
+    assert by_name["Flight"].declared_type == "Numeric"
+    assert by_name["Time"].declared_type == "Numeric"
+    assert by_name["Length"].declared_type == "Numeric"
+    assert by_name["DayOfWeek"].declared_type == "Nominal"
+    assert by_name["Delay"].declared_type == "Binary"
+    assert len(rows) == 8  # paper: "The data has 8 attributes"
+
+
+def test_paper_scaling_claim_20k():
+    """Section VIII: results scale when instances go 10k → 20k."""
+    data = generate_airlines(n=20_000, seed=7)
+    assert data.n == 20_000
+    dist = data.class_distribution()
+    assert 0.3 < dist[0] < 0.7
+
+
+def test_render_layout():
+    text = render_table3(run_table3(n=2_000))
+    assert "Airline" in text and "Delay" in text
+    print()
+    print(render_table3(run_table3(n=10_000)))

@@ -1,0 +1,118 @@
+"""Table IV bench: the WEKA evaluation reproduction.
+
+Quick configuration (400 instances, 5 folds, 8 interleaved repeats) so
+the whole table regenerates in about a minute; the paper-scale run is
+``python -m repro.bench table4 --full``.
+
+Shape assertions are deliberately loose: on a shared host the noise
+floor is a few percent (the paper used a dedicated laptop).  What must
+hold: the near-zero group (Random Tree, Logistic, SMO) stays near zero,
+the ensemble/lazy group shows clear wins, Random Forest sits at or near
+the top, and accuracy drops stay bounded by the paper's 0.48 %.
+"""
+
+import pytest
+
+from repro.bench.table4 import Table4Config, render_table4, run_table4
+from repro.unopt import UNOPT_REGISTRY
+
+QUICK = Table4Config(n_instances=400, folds=5, repeats=8)
+
+
+@pytest.fixture(scope="module")
+def table4_rows(request):
+    return run_table4(QUICK)
+
+
+def test_all_ten_classifiers_evaluated(table4_rows):
+    assert [row.classifier for row in table4_rows] == list(UNOPT_REGISTRY)
+
+
+def test_changes_column_nearly_constant(table4_rows):
+    """Paper: 'the changes made are almost same due to the same number
+    of dependencies' (709–877)."""
+    changes = [row.changes for row in table4_rows]
+    assert max(changes) - min(changes) <= 5
+    assert min(changes) >= 10
+
+
+def test_near_zero_group(table4_rows):
+    """Random Tree 0.02 %, Logistic 0.10 %, SMO 0.05 % in the paper:
+    their runtime lives where suggestions cannot reach."""
+    by_name = {row.classifier: row for row in table4_rows}
+    for name in ("Random Tree", "Logistic", "SMO"):
+        assert abs(by_name[name].package_improvement) < 8.0, (
+            name, by_name[name].package_improvement,
+        )
+
+
+def test_clear_winners_group(table4_rows):
+    """Random Forest (14.46 %) and the mid group (J48, SGD, KStar, IBk,
+    Naive Bayes) show real wins; at least most must clear the noise."""
+    by_name = {row.classifier: row for row in table4_rows}
+    assert by_name["Random Forest"].package_improvement > 4.0
+    mid = ["J48", "SGD", "KStar", "IBk", "Naive Bayes", "REP Tree"]
+    positive = sum(1 for name in mid if by_name[name].package_improvement > 1.0)
+    assert positive >= 4, {
+        name: round(by_name[name].package_improvement, 2) for name in mid
+    }
+
+
+def test_forest_beats_near_zero_group(table4_rows):
+    by_name = {row.classifier: row for row in table4_rows}
+    floor = max(
+        by_name[name].package_improvement
+        for name in ("Random Tree", "Logistic", "SMO")
+    )
+    assert by_name["Random Forest"].package_improvement > floor
+
+
+def test_accuracy_drops_bounded_by_paper(table4_rows):
+    """Paper max drop: Random Tree 0.48 %.  Ours must not exceed ~1 %
+    anywhere (count-based split arithmetic is narrowing-immune, so we
+    expect ≈ 0 — see EXPERIMENTS.md)."""
+    for row in table4_rows:
+        assert row.accuracy_drop <= 1.0, (row.classifier, row.accuracy_drop)
+
+
+def test_metrics_move_together(table4_rows):
+    """Package, CPU and time improvements track each other (the paper's
+    three columns are within a few points of one another per row)."""
+    for row in table4_rows:
+        assert abs(row.package_improvement - row.cpu_improvement) < 8.0, row
+
+
+def test_render_layout(table4_rows):
+    text = render_table4(table4_rows)
+    for column in ("Classifiers", "Changes", "Package Improvement (%)",
+                   "CPU Improvement (%)", "Execution Time Improvement (%)",
+                   "Accuracy Drop (%)"):
+        assert column in text
+    print()
+    print(text)
+
+
+def test_table4_regeneration_benchmark(benchmark, table4_rows):
+    """Force the full Table IV protocol under --benchmark-only too (the
+    module fixture does the heavy lifting; the render is what's timed)
+    and print the regenerated table into the bench log."""
+    text = benchmark(render_table4, table4_rows)
+    print()
+    print(text)
+
+
+def test_single_pair_benchmark(benchmark):
+    """pytest-benchmark hook: one unopt/opt CV pair (Naive Bayes)."""
+    import numpy as np
+
+    from repro.datasets import generate_airlines
+    from repro.ml.evaluation import cross_validate
+    from repro.unopt.classifiers import UnoptNaiveBayes
+
+    data = generate_airlines(n=400, seed=7)
+
+    def pair():
+        cross_validate(UnoptNaiveBayes, data, k=5,
+                       rng=np.random.default_rng(7))
+
+    benchmark(pair)

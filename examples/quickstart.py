@@ -1,0 +1,73 @@
+"""Quickstart: suggest, optimize, and profile with PEPO.
+
+Run:  python examples/quickstart.py
+
+Walks the three things JEPO does, on a small buffer carrying several
+Table I anti-patterns: static suggestions (the optimizer view), the
+automatic rewrite with its diff, and a method-granularity energy
+profile of the code before and after.
+"""
+
+from repro import PEPO
+from repro.rapl.backends import RealClock, SimulatedBackend
+
+HOT_CODE = '''
+RATE = 0.125
+
+def settle(amounts):
+    """Settle a batch of amounts into a ledger line."""
+    ledger = ""
+    total = 0.0
+    for amount in amounts:
+        total += amount * RATE
+        ledger += str(round(amount, 2)) + ";"
+        if len(ledger) % 64 == 0:
+            pass
+    return ledger, total
+
+def copy_balances(balances):
+    snapshot = [0.0] * len(balances)
+    for i in range(len(balances)):
+        snapshot[i] = balances[i]
+    return snapshot
+'''
+
+
+def main() -> None:
+    pepo = PEPO(backend=SimulatedBackend(clock=RealClock()))
+
+    print("=== 1. Suggestions (the JEPO optimizer view) ===")
+    findings = pepo.suggest_source(HOT_CODE, filename="ledger.py")
+    for finding in findings:
+        print(f"  {finding.one_line()}")
+        print(f"      ↳ {finding.suggestion}")
+    print(f"  {len(findings)} suggestion(s)\n")
+
+    print("=== 2. Automatic rewrite ===")
+    result = pepo.optimize_source(HOT_CODE, filename="ledger.py")
+    for change in result.changes:
+        print(f"  line {change.line}: [{change.rule_id}] {change.description}")
+    print("\n--- diff ---")
+    print(result.diff())
+
+    print("=== 3. Energy profile, before vs after ===")
+    def run(source: str) -> float:
+        namespace: dict = {}
+        exec(compile(source, "ledger.py", "exec"), namespace)
+        amounts = [float(i % 97) for i in range(4000)]
+        profile = pepo.profile_callable(
+            lambda: (namespace["settle"](amounts),
+                     namespace["copy_balances"](amounts))
+        )
+        return profile.total_package_joules()
+
+    before = run(HOT_CODE)
+    after = run(result.optimized)
+    saved = (before - after) / before * 100 if before else 0.0
+    print(f"  package energy before: {before:.4f} J")
+    print(f"  package energy after:  {after:.4f} J")
+    print(f"  improvement:           {saved:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

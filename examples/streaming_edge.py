@@ -1,0 +1,80 @@
+"""Always-on edge learning under an energy budget (mini-MOA).
+
+Run:  python examples/streaming_edge.py
+
+The paper's motivating deployments — EdgeBox's continuous video
+analysis, CAV sensor feeds — never stop: the model must learn from a
+stream and survive concept drift, all within a battery budget.  This
+example runs the MOA-style prequential protocol on a drifting airlines
+stream, comparing a true stream learner (Hoeffding tree) against the
+periodic-retrain strategy, on both accuracy and joules per instance.
+"""
+
+from repro.ml.classifiers import NaiveBayes
+from repro.ml.stream import HoeffdingTree, airlines_stream, prequential_evaluate
+from repro.ml.stream.prequential import StreamAdapter
+from repro.rapl.backends import RealClock, SimulatedBackend
+from repro.views.tables import render_table
+
+N = 6_000
+DRIFT_AT = 0.5
+
+
+def main() -> None:
+    backend = SimulatedBackend(clock=RealClock())
+
+    contenders = {
+        "Hoeffding tree (MC leaves)": lambda: HoeffdingTree(grace_period=100),
+        "Hoeffding tree (NB leaves)": lambda: HoeffdingTree(
+            grace_period=100, leaf_prediction="nb"
+        ),
+        "Periodic NB retrain": lambda: StreamAdapter(
+            NaiveBayes, refit_every=500
+        ),
+    }
+
+    rows = []
+    curves = {}
+    for name, make in contenders.items():
+        stream = airlines_stream(n=N, seed=7, drift_at=DRIFT_AT)
+        result = prequential_evaluate(
+            make(), stream, window_size=500, backend=backend
+        )
+        rows.append(
+            (
+                name,
+                f"{result.accuracy:.3f}",
+                f"{result.final_window_accuracy():.3f}",
+                f"{result.min_window_accuracy():.3f}",
+                f"{result.joules_per_instance * 1000:.4f}",
+            )
+        )
+        curves[name] = result.window_accuracies
+
+    print(
+        render_table(
+            headers=(
+                "Learner",
+                "Accuracy",
+                "Final window",
+                "Worst window",
+                "mJ / instance",
+            ),
+            rows=rows,
+            title=(
+                f"Prequential evaluation — {N} flights, abrupt drift at "
+                f"{int(DRIFT_AT * 100)} %"
+            ),
+        )
+    )
+
+    print("\nWindowed accuracy around the drift (window = 500 instances):")
+    for name, windows in curves.items():
+        marks = " ".join(f"{w:.2f}" for w in windows)
+        print(f"  {name:28s} {marks}")
+    drift_window = int(N * DRIFT_AT) // 500
+    print(f"  (drift lands in window {drift_window + 1})")
+
+
+if __name__ == "__main__":
+    main()

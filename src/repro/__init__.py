@@ -1,0 +1,32 @@
+"""repro — reproduction of "Energy-Efficient Machine Learning on the
+Edges" (Kumar, Zhang, Liu, Wang, Shi — IPPS 2020).
+
+The paper's engineering contribution is **JEPO**, a Java energy
+profiler & optimizer; this package is the Python translation, **PEPO**,
+together with every substrate the paper's evaluation depends on:
+
+* :mod:`repro.core` — the :class:`~repro.core.PEPO` facade.
+* :mod:`repro.rapl` — RAPL/MSR energy measurement substrate.
+* :mod:`repro.profiler` — method-granularity energy profiling.
+* :mod:`repro.analyzer` — the Table I suggestion engine.
+* :mod:`repro.optimizer` — automatic energy refactoring.
+* :mod:`repro.ml` — the WEKA-equivalent ML library (ten classifiers).
+* :mod:`repro.datasets` — the synthetic MOA airlines data (Table III).
+* :mod:`repro.stats` — Tukey outlier protocol (Section VIII).
+* :mod:`repro.metrics` — code metrics (Table II).
+* :mod:`repro.unopt` — the unoptimized baselines (Table IV).
+* :mod:`repro.bench` — per-table/figure experiment drivers.
+
+Quickstart::
+
+    from repro import PEPO
+    pepo = PEPO()
+    for finding in pepo.suggest_file("model.py"):
+        print(finding.one_line())
+"""
+
+from repro.core import PEPO
+
+__version__ = "1.0.0"
+
+__all__ = ["PEPO", "__version__"]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the pepo CLI without a console-script install."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Analyzer engine: traversal, project sweeps, and the dynamic mode.
+
+JEPO works two ways: the *optimizer* button statically analyzes every
+class in a project (Fig. 5), and the editor view re-analyzes "in
+real-time … while writing code" (Fig. 2).  :class:`Analyzer` is the
+static sweep; :class:`DynamicAnalyzer` is the incremental re-analysis
+with per-edit finding deltas.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analyzer.findings import Finding
+from repro.analyzer.rules import ALL_RULES, EXTENSION_RULES, AnalysisContext, Rule
+from repro.analyzer.rules.base import collect_function_info
+from repro.analyzer.suppress import apply_suppressions
+
+
+class Analyzer:
+    """Runs a set of rules over sources, files and directory trees.
+
+    Parameters
+    ----------
+    rules:
+        Explicit rule classes; default is the Table I set.
+    extended:
+        Also run the extension rules (paper future work: R14, R15).
+    honor_suppressions:
+        Drop findings on lines carrying ``# pepo: ignore[...]`` comments
+        (default True; disable to audit suppressed code).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[type[Rule]] | None = None,
+        extended: bool = False,
+        honor_suppressions: bool = True,
+    ) -> None:
+        if rules is None:
+            rules = ALL_RULES + (EXTENSION_RULES if extended else ())
+        self._rules: list[Rule] = [rule_class() for rule_class in rules]
+        self._honor_suppressions = honor_suppressions
+
+    @property
+    def rule_ids(self) -> tuple[str, ...]:
+        return tuple(rule.rule_id for rule in self._rules)
+
+    # -- single-source analysis -----------------------------------------
+
+    def analyze_source(self, source: str, filename: str = "<string>") -> list[Finding]:
+        """All findings for one source string, sorted by location."""
+        tree = ast.parse(source, filename=filename)
+        ctx = AnalysisContext(filename=filename, source=source, tree=tree)
+        findings: list[Finding] = []
+        self._walk(tree, ctx, findings)
+        if self._honor_suppressions:
+            findings, _suppressed = apply_suppressions(findings, source)
+        findings.sort()
+        return findings
+
+    def analyze_file(self, path: str | Path) -> list[Finding]:
+        path = Path(path)
+        return self.analyze_source(path.read_text(), filename=str(path))
+
+    def analyze_project(self, project_dir: str | Path) -> dict[str, list[Finding]]:
+        """Findings per file for every ``.py`` under ``project_dir``.
+
+        Unparseable files map to an empty list (JEPO shows an empty view
+        rather than failing the sweep).
+        """
+        results: dict[str, list[Finding]] = {}
+        for path in sorted(Path(project_dir).rglob("*.py")):
+            try:
+                results[str(path)] = self.analyze_file(path)
+            except SyntaxError:
+                results[str(path)] = []
+        return results
+
+    # -- traversal -------------------------------------------------------
+
+    def _check(self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]) -> None:
+        for rule in self._rules:
+            out.extend(rule.check(node, ctx))
+
+    def _walk(self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check(child, ctx, out)
+                info = collect_function_info(child, ctx)
+                # A function body is a fresh execution context: loops
+                # enclosing the *definition* do not re-run its body.
+                saved_loops, ctx.loop_stack = ctx.loop_stack, []
+                ctx.function_stack.append(info)
+                try:
+                    self._walk(child, ctx, out)
+                finally:
+                    ctx.function_stack.pop()
+                    ctx.loop_stack = saved_loops
+            elif isinstance(child, (ast.For, ast.While)):
+                self._check(child, ctx, out)
+                ctx.loop_stack.append(child)
+                try:
+                    self._walk(child, ctx, out)
+                finally:
+                    ctx.loop_stack.pop()
+            else:
+                self._check(child, ctx, out)
+                self._walk(child, ctx, out)
+
+
+def analyze_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Module-level convenience using all rules."""
+    return Analyzer().analyze_source(source, filename=filename)
+
+
+@dataclass(frozen=True)
+class FindingDelta:
+    """What changed between two analyses of the same buffer."""
+
+    added: tuple[Finding, ...]
+    removed: tuple[Finding, ...]
+    unchanged: tuple[Finding, ...]
+
+
+class DynamicAnalyzer:
+    """Incremental re-analysis for editor integration (Fig. 2).
+
+    Feed successive buffer contents to :meth:`update`; each call
+    returns the full finding list plus the delta against the previous
+    state.  A buffer that currently fails to parse keeps the previous
+    findings (half-typed code should not blank the suggestions view).
+    """
+
+    def __init__(self, filename: str = "<buffer>", analyzer: Analyzer | None = None) -> None:
+        self.filename = filename
+        self._analyzer = analyzer or Analyzer()
+        self._findings: list[Finding] = []
+        self._last_good_source: str | None = None
+
+    @property
+    def findings(self) -> list[Finding]:
+        return list(self._findings)
+
+    def update(self, source: str) -> FindingDelta:
+        try:
+            new = self._analyzer.analyze_source(source, filename=self.filename)
+        except SyntaxError:
+            return FindingDelta(added=(), removed=(), unchanged=tuple(self._findings))
+        old_keys = {self._key(f): f for f in self._findings}
+        new_keys = {self._key(f): f for f in new}
+        added = tuple(f for k, f in new_keys.items() if k not in old_keys)
+        removed = tuple(f for k, f in old_keys.items() if k not in new_keys)
+        unchanged = tuple(f for k, f in new_keys.items() if k in old_keys)
+        self._findings = new
+        self._last_good_source = source
+        return FindingDelta(added=added, removed=removed, unchanged=unchanged)
+
+    @staticmethod
+    def _key(finding: Finding) -> tuple:
+        # Line numbers shift as code is edited; key on rule + snippet so
+        # an unchanged pattern that moved lines is not reported as new.
+        return (finding.rule_id, finding.snippet)

@@ -1,0 +1,57 @@
+"""Finding records produced by analyzer rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How confidently the rule predicts an energy win.
+
+    ``HIGH`` findings correspond to overheads the paper quantified
+    (e.g. modulus +1,620 %); ``ADVICE`` findings are heuristics whose
+    benefit depends on runtime frequencies the analyzer cannot see.
+    """
+
+    ADVICE = 1
+    MEDIUM = 2
+    HIGH = 3
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One suggestion anchored to a source location.
+
+    Ordering is (file, line, col, rule) so reports are deterministic.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    component: str = field(compare=False)
+    message: str = field(compare=False)
+    suggestion: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.MEDIUM)
+    overhead_percent: float | None = field(compare=False, default=None)
+    snippet: str = field(compare=False, default="")
+
+    def one_line(self) -> str:
+        """Compact ``file:line: [RULE] message`` rendering."""
+        return f"{self.file}:{self.line}:{self.col}: [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (CI / editor integrations)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "component": self.component,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "severity": self.severity.name,
+            "overhead_percent": self.overhead_percent,
+            "snippet": self.snippet,
+        }

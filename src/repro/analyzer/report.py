@@ -1,0 +1,107 @@
+"""Aggregated findings reporting: per-rule counts and hotspot files.
+
+The Fig. 5 view lists findings one by one; a project sweep over
+thousands of files needs the rollup first — which rules dominate,
+which files are worst — before diving in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.pool import SuggestionPool
+from repro.views.tables import render_table
+
+
+@dataclass(frozen=True)
+class RuleCount:
+    rule_id: str
+    component: str
+    count: int
+    max_severity: Severity
+    paper_overhead_percent: float
+
+
+class FindingsSummary:
+    """Rollup over findings from one or many files."""
+
+    def __init__(self, findings_by_file: dict[str, list[Finding]]) -> None:
+        self._by_file = {
+            filename: list(findings)
+            for filename, findings in findings_by_file.items()
+        }
+        self._pool = SuggestionPool()
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "FindingsSummary":
+        by_file: dict[str, list[Finding]] = {}
+        for finding in findings:
+            by_file.setdefault(finding.file, []).append(finding)
+        return cls(by_file)
+
+    @property
+    def total(self) -> int:
+        return sum(len(f) for f in self._by_file.values())
+
+    def rule_counts(self) -> list[RuleCount]:
+        """Per-rule totals, most frequent first."""
+        buckets: dict[str, list[Finding]] = {}
+        for findings in self._by_file.values():
+            for finding in findings:
+                buckets.setdefault(finding.rule_id, []).append(finding)
+        counts = [
+            RuleCount(
+                rule_id=rule_id,
+                component=self._pool.entry(rule_id).python_component,
+                count=len(findings),
+                max_severity=max(f.severity for f in findings),
+                paper_overhead_percent=self._pool.overhead_percent(rule_id),
+            )
+            for rule_id, findings in buckets.items()
+        ]
+        counts.sort(key=lambda c: (-c.count, c.rule_id))
+        return counts
+
+    def hotspot_files(self, n: int = 10) -> list[tuple[str, int]]:
+        """Files with the most findings, worst first."""
+        ranked = sorted(
+            ((filename, len(findings))
+             for filename, findings in self._by_file.items()
+             if findings),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:n]
+
+    def severity_histogram(self) -> dict[Severity, int]:
+        histogram = {severity: 0 for severity in Severity}
+        for findings in self._by_file.values():
+            for finding in findings:
+                histogram[finding.severity] += 1
+        return histogram
+
+    def render(self) -> str:
+        lines = [
+            render_table(
+                headers=("Rule", "Component", "Count", "Max severity",
+                         "Paper overhead (%)"),
+                rows=[
+                    (
+                        c.rule_id,
+                        c.component,
+                        str(c.count),
+                        c.max_severity.name,
+                        f"{c.paper_overhead_percent:,.0f}",
+                    )
+                    for c in self.rule_counts()
+                ],
+                title=f"Findings summary — {self.total} total",
+            )
+        ]
+        hotspots = self.hotspot_files(5)
+        if hotspots:
+            lines.append("")
+            lines.append("Hotspot files:")
+            for filename, count in hotspots:
+                lines.append(f"  {count:4d}  {filename}")
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Shared infrastructure for analyzer rules.
+
+Every rule sees every AST node together with an :class:`AnalysisContext`
+describing where that node sits: enclosing function, loop nesting,
+module-level names, and which locals look string-typed.  Rules yield
+:class:`~repro.analyzer.findings.Finding` objects; the engine owns the
+traversal so each rule stays a small, testable pattern matcher.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.pool import SuggestionPool
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass
+class FunctionInfo:
+    """Scope facts for one function, precomputed before rule checks."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    local_names: set[str] = field(default_factory=set)
+    string_locals: set[str] = field(default_factory=set)
+
+
+class AnalysisContext:
+    """Traversal state handed to every rule check."""
+
+    def __init__(self, filename: str, source: str, tree: ast.Module) -> None:
+        self.filename = filename
+        self.source_lines = source.splitlines()
+        self.tree = tree
+        self.pool = SuggestionPool()
+        self.module_names = collect_module_names(tree)
+        self.loop_stack: list[ast.For | ast.While] = []
+        self.function_stack: list[FunctionInfo] = []
+
+    # -- scope queries ---------------------------------------------------
+
+    @property
+    def in_loop(self) -> bool:
+        return bool(self.loop_stack)
+
+    @property
+    def loop_depth(self) -> int:
+        return len(self.loop_stack)
+
+    @property
+    def current_function(self) -> FunctionInfo | None:
+        return self.function_stack[-1] if self.function_stack else None
+
+    def is_local(self, name: str) -> bool:
+        fn = self.current_function
+        return fn is not None and name in fn.local_names
+
+    def is_module_global(self, name: str) -> bool:
+        """Name defined at module level and not shadowed locally."""
+        return (
+            name in self.module_names
+            and not self.is_local(name)
+            and name not in _BUILTIN_NAMES
+        )
+
+    def is_stringish(self, node: ast.expr) -> bool:
+        """Heuristic: does this expression evaluate to a str?"""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, str)
+        if isinstance(node, ast.JoinedStr):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+            return self.is_stringish(node.left) or self.is_stringish(node.right)
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in ("str", "repr", "format", "chr"):
+                return True
+            if isinstance(fn, ast.Attribute) and fn.attr in (
+                "join", "format", "upper", "lower", "strip", "lstrip", "rstrip",
+                "replace", "title", "capitalize", "decode",
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            fn = self.current_function
+            return fn is not None and node.id in fn.string_locals
+        return False
+
+    # -- finding construction ---------------------------------------------
+
+    def finding(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        severity: Severity = Severity.MEDIUM,
+    ) -> Finding:
+        """Build a finding anchored to ``node`` with pool metadata."""
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.source_lines):
+            snippet = self.source_lines[line - 1].strip()
+        entry = self.pool.entry(rule_id)
+        return Finding(
+            file=self.filename,
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            component=entry.python_component,
+            message=message,
+            suggestion=entry.python_suggestion,
+            severity=severity,
+            overhead_percent=self.pool.overhead_percent(rule_id),
+            snippet=snippet,
+        )
+
+
+class Rule(abc.ABC):
+    """One pattern matcher; stateless across files."""
+
+    rule_id: str
+
+    @abc.abstractmethod
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        """Yield findings for ``node`` (called for every node)."""
+
+
+# -- scope precomputation ----------------------------------------------
+
+
+def collect_module_names(tree: ast.Module) -> set[str]:
+    """Names bound at module level: imports, assignments, defs, classes."""
+    names: set[str] = set()
+    for node in tree.body:
+        names.update(_bound_names(node))
+    return names
+
+
+def _bound_names(node: ast.stmt) -> set[str]:
+    names: set[str] = set()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.add(node.name)
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            names.add((alias.asname or alias.name).split(".")[0])
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name != "*":
+                names.add(alias.asname or alias.name)
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            names.update(target_names(target))
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        names.update(target_names(node.target))
+    elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                names.update(_bound_names(child))
+        if isinstance(node, ast.For):
+            names.update(target_names(node.target))
+    return names
+
+
+def target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return target_names(target.value)
+    return set()
+
+
+def collect_function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: AnalysisContext
+) -> FunctionInfo:
+    """Precompute locals and string-typed locals for a function body."""
+    info = FunctionInfo(node=node)
+    args = node.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ):
+        info.local_names.add(arg.arg)
+    for child in ast.walk(node):
+        if child is node:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            info.local_names.add(child.name)
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                info.local_names.update(target_names(target))
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            info.local_names.update(target_names(child.target))
+        elif isinstance(child, ast.For):
+            info.local_names.update(target_names(child.target))
+        elif isinstance(child, ast.withitem) and child.optional_vars:
+            info.local_names.update(target_names(child.optional_vars))
+        elif isinstance(child, (ast.Import, ast.ImportFrom)):
+            info.local_names.update(_bound_names(child))
+        elif isinstance(child, ast.Global):
+            info.local_names.difference_update(child.names)
+    # String-typed locals: single-target assignments from string-ish RHS.
+    # Two passes so "a = 'x'; b = a" marks b as well.
+    for _ in range(2):
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+            ):
+                name = child.targets[0].id
+                value = child.value
+                if isinstance(value, ast.Name):
+                    if value.id in info.string_locals:
+                        info.string_locals.add(name)
+                else:
+                    # Temporarily view through ctx with this info active.
+                    ctx.function_stack.append(info)
+                    try:
+                        if ctx.is_stringish(value):
+                            info.string_locals.add(name)
+                    finally:
+                        ctx.function_stack.pop()
+    return info

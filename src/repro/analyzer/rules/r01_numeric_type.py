@@ -1,0 +1,76 @@
+"""R01 — numeric type choice (paper: "int is the most energy-efficient
+primitive data type").
+
+Python translation: built-in ``int`` arithmetic is the cheap path;
+``decimal.Decimal`` and ``fractions.Fraction`` are software-emulated and
+cost an order of magnitude more per operation, and float-typed counters
+(``x = 0.0; x += 1``) force float arithmetic where int would do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+_HEAVY_NUMERIC = {"Decimal", "Fraction"}
+
+
+class NumericTypeRule(Rule):
+    rule_id = "R01_NUMERIC_TYPE"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _HEAVY_NUMERIC and ctx.in_loop:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{name} constructed inside a loop: software-emulated "
+                    "arithmetic costs far more energy than built-in int/float.",
+                    severity=Severity.HIGH,
+                )
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            # Float-typed counter: x += 1 where x was initialised to 0.0.
+            if (
+                ctx.in_loop
+                and isinstance(node.target, ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and _initialised_to_float(node.target.id, ctx)
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"counter {node.target.id!r} is float-typed but incremented "
+                    "by an int; an int counter is cheaper.",
+                    severity=Severity.ADVICE,
+                )
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _initialised_to_float(name: str, ctx: AnalysisContext) -> bool:
+    fn = ctx.current_function
+    if fn is None:
+        return False
+    for child in ast.walk(fn.node):
+        if (
+            isinstance(child, ast.Assign)
+            and len(child.targets) == 1
+            and isinstance(child.targets[0], ast.Name)
+            and child.targets[0].id == name
+            and isinstance(child.value, ast.Constant)
+            and isinstance(child.value.value, float)
+            and child.value.value == int(child.value.value)
+        ):
+            return True
+    return False

@@ -1,0 +1,51 @@
+"""R02 — scientific notation for large decimal literals.
+
+The paper: "Decimal numbers when typed as scientific notation consumes
+lesser energy."  In Python, numeric literals are folded at compile time,
+so the win is in parse cost and (mainly) in not mistyping a zero; the
+rule flags float literals written with long runs of zeros.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+#: Flag literals whose source spelling carries at least this many zeros.
+_MIN_ZEROS = 5
+
+
+class SciNotationRule(Rule):
+    rule_id = "R02_SCI_NOTATION"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Constant) and isinstance(node.value, float)):
+            return
+        text = _source_text(node, ctx)
+        if text is None or "e" in text.lower():
+            return
+        digits = text.replace(".", "").replace("_", "")
+        if digits.endswith("0" * _MIN_ZEROS) or digits.startswith(
+            "0" * _MIN_ZEROS
+        ):
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"literal {text} spelled with long zero runs; "
+                f"scientific notation ({node.value:.6g}) is cheaper and safer.",
+                severity=Severity.ADVICE,
+            )
+
+
+def _source_text(node: ast.Constant, ctx: AnalysisContext) -> str | None:
+    line = node.lineno
+    if not 1 <= line <= len(ctx.source_lines):
+        return None
+    row = ctx.source_lines[line - 1]
+    end = getattr(node, "end_col_offset", None)
+    if end is None or node.end_lineno != line:
+        return None
+    return row[node.col_offset : end]

@@ -1,0 +1,70 @@
+"""R03 — boxed scalar wrappers (paper: Java wrapper classes).
+
+Java boxes primitives into Integer/Double objects; the Python analog is
+constructing numpy scalar objects one value at a time (``np.float64(x)``
+in a loop) or round-tripping scalars through 0-d arrays.  Both defeat
+the whole point of numpy — the guides' "vectorize, don't box" idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+_NUMPY_SCALARS = {
+    "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64",
+    "float16", "float32", "float64", "float128",
+    "complex64", "complex128", "bool_",
+}
+_NUMPY_MODULES = {"np", "numpy"}
+
+
+class BoxingRule(Rule):
+    rule_id = "R03_BOXING"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Call) and ctx.in_loop):
+            return
+        scalar = _numpy_scalar_name(node.func)
+        if scalar is not None:
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"numpy scalar {scalar} constructed per iteration: boxed "
+                "scalars are slower than plain numbers; vectorize or use int/float.",
+                severity=Severity.MEDIUM,
+            )
+        elif _is_item_roundtrip(node):
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "scalar extracted from an array element-by-element in a loop; "
+                "operate on the whole array instead.",
+                severity=Severity.ADVICE,
+            )
+
+
+def _numpy_scalar_name(func: ast.expr) -> str | None:
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_MODULES
+        and func.attr in _NUMPY_SCALARS
+    ):
+        return f"{func.value.id}.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in _NUMPY_SCALARS:
+        return func.id
+    return None
+
+
+def _is_item_roundtrip(node: ast.Call) -> bool:
+    """Matches ``something[...].item()`` calls."""
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "item"
+        and isinstance(node.func.value, ast.Subscript)
+    )

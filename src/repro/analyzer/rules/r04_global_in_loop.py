@@ -1,0 +1,46 @@
+"""R04 — module-global reads inside hot loops (paper: ``static`` keyword,
+up to +17,700 %).
+
+Java's energy hit for ``static`` variables comes from the extra
+indirection on every access.  Python's equivalent indirection is
+``LOAD_GLOBAL`` (a dict lookup) versus ``LOAD_FAST`` (an array index):
+reading a module-level name on every loop iteration pays the dict
+lookup each time, while binding it to a local before the loop pays once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class GlobalInLoopRule(Rule):
+    rule_id = "R04_GLOBAL_IN_LOOP"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        # Anchor on the loop so each (loop, name) pair is flagged once.
+        if not isinstance(node, (ast.For, ast.While)):
+            return
+        if ctx.current_function is None:
+            # Module-level loops read "globals" as their locals; no win.
+            return
+        seen: set[str] = set()
+        for child in ast.walk(node):
+            if not (isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)):
+                continue
+            name = child.id
+            if name in seen or not ctx.is_module_global(name):
+                continue
+            # Skip names that are call targets only once — a single call
+            # per loop body still repeats per iteration, so keep them.
+            seen.add(name)
+            yield ctx.finding(
+                self.rule_id,
+                child,
+                f"module-level global {name!r} read inside a loop; bind it "
+                f"to a local before the loop ({name}_local = {name}).",
+                severity=Severity.HIGH,
+            )

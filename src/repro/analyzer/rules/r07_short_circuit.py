@@ -1,0 +1,54 @@
+"""R07 — short-circuit operand ordering (paper: "put most common case
+first").
+
+Static analysis cannot see runtime frequencies, but it can see *cost*:
+a function call on the left of ``and``/``or`` runs every time, while a
+cheap name/constant/comparison placed first can skip it.  The rule flags
+boolean operations where an obviously expensive operand precedes an
+obviously cheap one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+def _is_expensive(node: ast.expr) -> bool:
+    """Contains a call (method or function) anywhere inside."""
+    return any(isinstance(child, ast.Call) for child in ast.walk(node))
+
+
+def _is_cheap(node: ast.expr) -> bool:
+    """A bare name, constant, attribute, or call-free comparison."""
+    if isinstance(node, (ast.Name, ast.Constant, ast.Attribute)):
+        return True
+    if isinstance(node, (ast.Compare, ast.UnaryOp)):
+        return not _is_expensive(node)
+    return False
+
+
+class ShortCircuitRule(Rule):
+    rule_id = "R07_SHORT_CIRCUIT"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.BoolOp):
+            return
+        values = node.values
+        for position, operand in enumerate(values[:-1]):
+            if _is_expensive(operand) and any(
+                _is_cheap(later) for later in values[position + 1 :]
+            ):
+                op = "and" if isinstance(node.op, ast.And) else "or"
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"expensive operand before a cheap one in `{op}` chain; "
+                    "putting the cheap, most-common test first lets the "
+                    "short circuit skip the call.",
+                    severity=Severity.ADVICE,
+                )
+                return  # one finding per BoolOp

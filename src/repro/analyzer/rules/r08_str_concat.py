@@ -1,0 +1,63 @@
+"""R08 — string concatenation in loops (paper: StringBuilder.append).
+
+``s += piece`` inside a loop re-copies the accumulated string every
+iteration — quadratic work, exactly Java's ``String +``.  The Python
+StringBuilder is a list of parts joined once: ``parts.append(piece)``
+then ``"".join(parts)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class StrConcatRule(Rule):
+    rule_id = "R08_STR_CONCAT"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not ctx.in_loop:
+            return
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            if isinstance(node.target, ast.Name) and self._string_accumulation(
+                node.target.id, node.value, ctx
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"string accumulated with += on {node.target.id!r} inside "
+                    "a loop (quadratic copying); append parts to a list and "
+                    "''.join once after the loop.",
+                    severity=Severity.HIGH,
+                )
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            # s = s + piece — same accumulation spelled longhand.
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.BinOp)
+                and isinstance(value.op, ast.Add)
+                and isinstance(value.left, ast.Name)
+                and value.left.id == target.id
+                and self._string_accumulation(target.id, value.right, ctx)
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"string accumulated with {target.id} = {target.id} + … "
+                    "inside a loop; append parts to a list and ''.join once.",
+                    severity=Severity.HIGH,
+                )
+
+    @staticmethod
+    def _string_accumulation(
+        name: str, value: ast.expr, ctx: AnalysisContext
+    ) -> bool:
+        """Accumulation counts when either side looks string-typed."""
+        fn = ctx.current_function
+        target_is_str = fn is not None and name in fn.string_locals
+        return target_is_str or ctx.is_stringish(value)

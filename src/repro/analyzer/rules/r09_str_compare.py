@@ -1,0 +1,78 @@
+"""R09 — string comparison (paper: ``compareTo`` +33 % vs ``equals``).
+
+Java's three-way ``compareTo`` costs more than ``equals`` when only
+equality is needed.  The Python analogs: ``locale.strcoll(a, b) == 0``
+(three-way collation for an equality test), and the C-ism
+``s.find(sub) != -1`` where ``sub in s`` is the direct — and cheaper —
+membership test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class StrCompareRule(Rule):
+    rule_id = "R09_STR_COMPARE"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
+            return
+        left, op, right = node.left, node.ops[0], node.comparators[0]
+
+        if self._is_find_call(left) and self._compares_minus_one_or_zero(op, right):
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "membership tested via .find() and a sentinel compare; "
+                "`sub in s` is the direct, cheaper test.",
+                severity=Severity.MEDIUM,
+            )
+        elif self._is_strcoll_call(left) and self._compares_zero_equality(op, right):
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "equality tested via three-way locale.strcoll(); plain == "
+                "is cheaper when only equality matters.",
+                severity=Severity.MEDIUM,
+            )
+
+    @staticmethod
+    def _is_find_call(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("find", "rfind")
+        )
+
+    @staticmethod
+    def _is_strcoll_call(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "strcoll":
+            return True
+        return isinstance(func, ast.Name) and func.id == "strcoll"
+
+    @staticmethod
+    def _compares_minus_one_or_zero(op: ast.cmpop, right: ast.expr) -> bool:
+        """Matches `!= -1`, `== -1`, `>= 0`, `> -1`, `< 0`."""
+        if isinstance(right, ast.UnaryOp) and isinstance(right.op, ast.USub):
+            value = right.operand
+            if isinstance(value, ast.Constant) and value.value == 1:
+                return isinstance(op, (ast.NotEq, ast.Eq, ast.Gt))
+        if isinstance(right, ast.Constant) and right.value == 0:
+            return isinstance(op, (ast.GtE, ast.Lt))
+        return False
+
+    @staticmethod
+    def _compares_zero_equality(op: ast.cmpop, right: ast.expr) -> bool:
+        return (
+            isinstance(right, ast.Constant)
+            and right.value == 0
+            and isinstance(op, (ast.Eq, ast.NotEq))
+        )

@@ -1,0 +1,100 @@
+"""R10 — array copies (paper: ``System.arraycopy()`` is best).
+
+An element-by-element Python copy loop pays interpreter dispatch per
+element; the bulk forms (``dst[:] = src``, ``list(src)``,
+``dst.extend(src)``, ``numpy.copyto``) move the work into C.  Two
+shapes are matched:
+
+* ``for i in range(len(src)): dst[i] = src[i]`` — indexed copy;
+* ``for x in src: dst.append(x)`` — append copy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class ArrayCopyRule(Rule):
+    rule_id = "R10_ARRAY_COPY"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.For):
+            return
+        finding = self._indexed_copy(node, ctx) or self._append_copy(node, ctx)
+        if finding is not None:
+            yield finding
+
+    def _indexed_copy(self, loop: ast.For, ctx: AnalysisContext):
+        """for i in range(…): dst[i] = src[i]"""
+        if not (
+            isinstance(loop.target, ast.Name)
+            and isinstance(loop.iter, ast.Call)
+            and isinstance(loop.iter.func, ast.Name)
+            and loop.iter.func.id == "range"
+            and len(loop.body) == 1
+            and isinstance(loop.body[0], ast.Assign)
+        ):
+            return None
+        assign = loop.body[0]
+        index = loop.target.id
+        if not (
+            len(assign.targets) == 1
+            and _is_name_subscript(assign.targets[0], index)
+            and _is_name_subscript(assign.value, index)
+        ):
+            return None
+        dst = assign.targets[0].value.id  # type: ignore[union-attr]
+        src = assign.value.value.id  # type: ignore[union-attr]
+        if dst == src:
+            return None
+        return ctx.finding(
+            self.rule_id,
+            loop,
+            f"element-by-element copy of {src!r} into {dst!r}; use "
+            f"{dst}[:] = {src} (or numpy.copyto for arrays).",
+            severity=Severity.HIGH,
+        )
+
+    def _append_copy(self, loop: ast.For, ctx: AnalysisContext):
+        """for x in src: dst.append(x)"""
+        if not (
+            isinstance(loop.target, ast.Name)
+            and len(loop.body) == 1
+            and isinstance(loop.body[0], ast.Expr)
+            and isinstance(loop.body[0].value, ast.Call)
+        ):
+            return None
+        call = loop.body[0].value
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "append"
+            and isinstance(call.func.value, ast.Name)
+            and len(call.args) == 1
+            and isinstance(call.args[0], ast.Name)
+            and call.args[0].id == loop.target.id
+            and not call.keywords
+        ):
+            return None
+        dst = call.func.value.id
+        src = ast.unparse(loop.iter)
+        return ctx.finding(
+            self.rule_id,
+            loop,
+            f"append-copy loop into {dst!r}; use {dst}.extend({src}) "
+            f"or {dst} = list({src}).",
+            severity=Severity.MEDIUM,
+        )
+
+
+def _is_name_subscript(node: ast.expr, index: str) -> bool:
+    """Matches ``name[index]`` with the given index variable."""
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and isinstance(node.slice, ast.Name)
+        and node.slice.id == index
+    )

@@ -1,0 +1,55 @@
+"""R12 — exceptions as ordinary control flow in hot loops.
+
+EAFP is idiomatic Python *when the exception is exceptional*.  A
+try/except inside a loop whose handler merely ``pass``es or
+``continue``s turns the exception machinery into a per-iteration branch
+— each raise costs hundreds of times a conditional test.  The rule
+flags that shape, plus explicit raises used to exit loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+_LOOKUP_ERRORS = {"KeyError", "IndexError", "AttributeError", "ValueError"}
+
+
+class ExceptionFlowRule(Rule):
+    rule_id = "R12_EXCEPTION_FLOW"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Try) and ctx.in_loop):
+            return
+        for handler in node.handlers:
+            names = _handler_type_names(handler)
+            if not names & _LOOKUP_ERRORS:
+                continue
+            if _is_trivial_body(handler.body):
+                yield ctx.finding(
+                    self.rule_id,
+                    handler,
+                    f"per-iteration try/except {'/'.join(sorted(names))} with a "
+                    "trivial handler; if misses are common, a conditional "
+                    "test (in / getattr default / dict.get) is far cheaper.",
+                    severity=Severity.ADVICE,
+                )
+                return
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    if node is None:
+        return set()
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Tuple):
+        return {e.id for e in node.elts if isinstance(e, ast.Name)}
+    return set()
+
+
+def _is_trivial_body(body: list[ast.stmt]) -> bool:
+    return len(body) == 1 and isinstance(body[0], (ast.Pass, ast.Continue))

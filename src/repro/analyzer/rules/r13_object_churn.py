@@ -1,0 +1,71 @@
+"""R13 — loop-invariant object construction.
+
+Constructing the same object every iteration (a user class with
+constant arguments, a compiled regex) churns the allocator and GC for
+no benefit; hoisting pays the cost once.  ``re.compile`` with a literal
+pattern inside a loop is the canonical case.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class ObjectChurnRule(Rule):
+    rule_id = "R13_OBJECT_CHURN"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Call) and ctx.in_loop):
+            return
+        if self._is_re_compile(node) and _all_constant_args(node):
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "re.compile with a literal pattern inside a loop; hoist the "
+                "compiled pattern out of the loop.",
+                severity=Severity.HIGH,
+            )
+        elif self._is_class_construction(node, ctx) and _all_constant_args(node):
+            name = ast.unparse(node.func)
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"{name}(…) constructed with constant arguments every "
+                "iteration; hoist the instance out of the loop.",
+                severity=Severity.MEDIUM,
+            )
+
+    @staticmethod
+    def _is_re_compile(node: ast.Call) -> bool:
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "compile"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "re"
+        )
+
+    @staticmethod
+    def _is_class_construction(node: ast.Call, ctx: AnalysisContext) -> bool:
+        """Heuristic: CapWords callee defined in this module."""
+        func = node.func
+        if not isinstance(func, ast.Name):
+            return False
+        name = func.id
+        return (
+            bool(name)
+            and name[0].isupper()
+            and name in ctx.module_names
+            and not ctx.is_local(name)
+        )
+
+
+def _all_constant_args(node: ast.Call) -> bool:
+    if not node.args and not node.keywords:
+        return True
+    operands = [*node.args, *(kw.value for kw in node.keywords)]
+    return all(isinstance(arg, ast.Constant) for arg in operands)

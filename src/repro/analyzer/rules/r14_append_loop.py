@@ -1,0 +1,59 @@
+"""R14 (extension) — transforming append loops → comprehensions.
+
+Paper future work: "we hope to improve JEPO by including more
+suggestions".  This extension rule flags::
+
+    out = []
+    for x in xs:
+        out.append(f(x))
+
+where a list comprehension runs the loop at C speed without the
+per-iteration ``append`` method lookup.  Pure copy loops are R10's
+territory and are skipped here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class AppendLoopRule(Rule):
+    rule_id = "R14_APPEND_LOOP"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.For):
+            return
+        if not (
+            isinstance(node.target, ast.Name)
+            and not node.orelse
+            and len(node.body) == 1
+            and isinstance(node.body[0], ast.Expr)
+            and isinstance(node.body[0].value, ast.Call)
+        ):
+            return
+        call = node.body[0].value
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "append"
+            and isinstance(call.func.value, ast.Name)
+            and len(call.args) == 1
+            and not call.keywords
+        ):
+            return
+        argument = call.args[0]
+        # A bare `append(x)` of the loop variable is a copy → R10.
+        if isinstance(argument, ast.Name) and argument.id == node.target.id:
+            return
+        dst = call.func.value.id
+        yield ctx.finding(
+            self.rule_id,
+            node,
+            f"transforming append loop into {dst!r}; a list comprehension "
+            f"({dst} = [… for {node.target.id} in …]) avoids the "
+            "per-iteration method call.",
+            severity=Severity.MEDIUM,
+        )

@@ -1,0 +1,91 @@
+"""R15 (extension) — ``for i in range(len(seq))`` indexing.
+
+Second future-work suggestion: when the index is only used to subscript
+the measured sequence, iterating the sequence (or ``enumerate``) drops
+a bound-check-and-index per element.  Pure copy loops stay R10's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+class RangeLenRule(Rule):
+    rule_id = "R15_RANGE_LEN"
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.For) or not isinstance(node.target, ast.Name):
+            return
+        sequence = self._range_len_target(node.iter)
+        if sequence is None:
+            return
+        index = node.target.id
+        uses = self._index_uses(node, index, sequence)
+        if uses is None:
+            return
+        reads_only, writes = uses
+        if not reads_only or writes:
+            # Writing seq[i] needs the index (that shape is R10/valid).
+            return
+        yield ctx.finding(
+            self.rule_id,
+            node,
+            f"index {index!r} only subscripts {sequence!r}; iterate the "
+            f"sequence directly (for value in {sequence}: …) or use "
+            "enumerate when the position is also needed.",
+            severity=Severity.ADVICE,
+        )
+
+    @staticmethod
+    def _range_len_target(iter_node: ast.expr) -> str | None:
+        if not (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+            and len(iter_node.args) == 1
+            and not iter_node.keywords
+        ):
+            return None
+        bound = iter_node.args[0]
+        if (
+            isinstance(bound, ast.Call)
+            and isinstance(bound.func, ast.Name)
+            and bound.func.id == "len"
+            and len(bound.args) == 1
+            and isinstance(bound.args[0], ast.Name)
+        ):
+            return bound.args[0].id
+        return None
+
+    @staticmethod
+    def _index_uses(loop: ast.For, index: str, sequence: str):
+        """(every index use is ``sequence[index]`` read, any writes?)."""
+        reads_only = True
+        writes = False
+        found_use = False
+        for node in ast.walk(loop):
+            if not (isinstance(node, ast.Name) and node.id == index):
+                continue
+            if node is loop.target:
+                continue
+            parent_ok = False
+            for candidate in ast.walk(loop):
+                if (
+                    isinstance(candidate, ast.Subscript)
+                    and isinstance(candidate.slice, ast.Name)
+                    and candidate.slice is node
+                    and isinstance(candidate.value, ast.Name)
+                    and candidate.value.id == sequence
+                ):
+                    found_use = True
+                    parent_ok = True
+                    if isinstance(candidate.ctx, (ast.Store, ast.Del)):
+                        writes = True
+                    break
+            if not parent_ok:
+                reads_only = False
+        return (reads_only and found_use, writes)

@@ -1,0 +1,59 @@
+"""Inline finding suppression: ``# pepo: ignore[...]`` comments.
+
+A developer who has reviewed a finding silences it at the source line::
+
+    total += x % k        # pepo: ignore[R05_MODULUS]
+    risky_line()          # pepo: ignore          (all rules)
+
+Suppressions are parsed per line; a finding is dropped when its line
+carries a blanket ignore or one naming the finding's rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.analyzer.findings import Finding
+
+_PATTERN = re.compile(
+    r"#\s*pepo:\s*ignore(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number → suppressed rule ids (None = every rule)."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        match = _PATTERN.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            names = frozenset(
+                token.strip().upper()
+                for token in rules.split(",")
+                if token.strip()
+            )
+            suppressions[lineno] = names or None
+    return suppressions
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], source: str
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (kept, suppressed) per the source's comments."""
+    suppressions = parse_suppressions(source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        rules = suppressions.get(finding.line, "missing")
+        if rules == "missing":
+            kept.append(finding)
+        elif rules is None or finding.rule_id in rules:
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per paper table/figure (DESIGN.md §5).
+
+Each driver returns structured rows and renders the same table layout
+the paper prints.  ``python -m repro.bench <table1|table2|table3|table4|figures>``
+runs one from the command line; ``benchmarks/`` wires them into
+pytest-benchmark.
+"""
+
+from repro.bench.table1 import Table1Row, run_table1, render_table1
+from repro.bench.table2 import Table2Row, run_table2, render_table2
+from repro.bench.table3 import Table3Row, run_table3, render_table3
+from repro.bench.table4 import Table4Config, Table4Row, run_table4, render_table4
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "Table4Config",
+    "Table4Row",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,70 @@
+"""Command-line experiment runner: ``python -m repro.bench <target>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import run_figures
+from repro.bench.table1 import render_table1, run_table1
+from repro.bench.table2 import render_table2, run_table2
+from repro.bench.table3 import render_table3, run_table3
+from repro.bench.table4 import Table4Config, render_table4, run_table4
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["table1", "table2", "table3", "table4", "figures", "all"],
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale Table IV (10k instances, 10 folds, 10 repeats) "
+        "— takes many minutes",
+    )
+    parser.add_argument("--instances", type=int, default=None)
+    parser.add_argument("--folds", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    targets = (
+        ["table1", "table2", "table3", "table4", "figures"]
+        if args.target == "all"
+        else [args.target]
+    )
+    for target in targets:
+        if target == "table1":
+            print(render_table1(run_table1()))
+        elif target == "table2":
+            print(render_table2(run_table2()))
+        elif target == "table3":
+            print(render_table3(run_table3()))
+        elif target == "table4":
+            if args.full:
+                config = Table4Config(
+                    n_instances=args.instances or 10_000,
+                    folds=args.folds or 10,
+                    repeats=args.repeats or 10,
+                )
+            else:
+                config = Table4Config(
+                    n_instances=args.instances or 400,
+                    folds=args.folds or 5,
+                    repeats=args.repeats or 8,
+                )
+            print(render_table4(run_table4(config)))
+        elif target == "figures":
+            for name, text in run_figures().items():
+                print(f"===== {name} =====")
+                print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

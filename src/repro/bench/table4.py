@@ -1,0 +1,230 @@
+"""Table IV reproduction: the WEKA evaluation.
+
+For each of the ten classifiers the paper reports: Changes applied,
+Package energy improvement, CPU energy improvement, execution-time
+improvement, and accuracy drop — under stratified 10-fold CV on the
+airlines data, 10 measured runs per variant, Tukey outlier elimination
+until clean, then means.
+
+Our reproduction runs the identical protocol over the
+``repro.unopt`` baselines vs the optimized library (float32-narrowed
+where the paper narrowed types — see :mod:`repro.unopt.narrow`).
+"Changes" counts the analyzer findings + applicable automatic rewrites
+over the unoptimized implementation, the analog of the paper's edit
+counts (absolute magnitude differs — WEKA is ~100 kLOC — the shape,
+near-constant across classifiers, is what carries over).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analyzer import Analyzer
+from repro.ml.evaluation import cross_validate
+from repro.ml.instances import Instances
+from repro.datasets import generate_airlines
+from repro.rapl.backends import RaplBackend, RealClock, SimulatedBackend
+from repro.rapl.perf import PerfStat
+from repro.stats.descriptive import percent_improvement
+from repro.stats.protocol import OutlierFreeProtocol
+from repro.unopt import UNOPT_REGISTRY, make_optimized
+from repro.views.tables import render_table
+
+#: Per-classifier constructor overrides keeping the bench tractable.
+_FAST_PARAMS: dict[str, dict] = {
+    "Random Forest": {"n_trees": 10},
+    "SGD": {"epochs": 10},
+    "SMO": {"max_passes": 10},
+    "Logistic": {"max_iter": 60},
+}
+
+
+@dataclass(frozen=True)
+class Table4Config:
+    """Workload knobs; paper values are n=10000, folds=10, repeats=10."""
+
+    n_instances: int = 400
+    folds: int = 5
+    repeats: int = 5
+    seed: int = 7
+    classifiers: tuple[str, ...] = tuple(UNOPT_REGISTRY)
+
+    def __post_init__(self) -> None:
+        if self.n_instances < self.folds * 2:
+            raise ValueError("n_instances too small for the fold count")
+        unknown = set(self.classifiers) - set(UNOPT_REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown classifiers: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    classifier: str
+    changes: int
+    package_improvement: float
+    cpu_improvement: float
+    time_improvement: float
+    accuracy_drop: float
+    unopt_accuracy: float
+    opt_accuracy: float
+    details: dict = field(default_factory=dict, compare=False)
+
+
+def _count_changes(unopt_class: type) -> int:
+    """Analyzer findings over the unoptimized implementation closure.
+
+    The closure is the unopt classifier module plus the slow-ops module
+    it routes through — the code a developer would refactor.
+    """
+    from repro.unopt import classifiers as unopt_mod
+    from repro.unopt import slow_ops
+
+    analyzer = Analyzer()
+    total = 0
+    for module in (unopt_mod, slow_ops):
+        source = inspect.getsource(module)
+        total += len(analyzer.analyze_source(source))
+    # Per-classifier: shared findings plus the subclass's own methods.
+    own_source = inspect.getsource(unopt_class)
+    own = len(analyzer.analyze_source(own_source))
+    return total + own
+
+
+def _measure_pair(
+    make_unopt,
+    make_opt,
+    data: Instances,
+    config: Table4Config,
+    perf: PerfStat,
+) -> tuple[dict[str, float], dict[str, float], float, float]:
+    """Measure both variants with interleaved runs.
+
+    The paper measures variants in separate sessions on dedicated
+    hardware; in a shared container, baseline drift between two
+    sequential batches would swamp single-digit effects, so we
+    interleave (unopt, opt, unopt, opt, …) — drift then hits both
+    batches equally.  Tukey scrubbing (replace outliers with fresh
+    runs until clean) is applied per variant per metric, exactly the
+    paper's loop.
+    """
+
+    def runner(make_model, accuracies: list):
+        def run_cv() -> None:
+            result = cross_validate(
+                make_model, data, k=config.folds,
+                rng=np.random.default_rng(config.seed),
+            )
+            accuracies.append(result.accuracy)
+
+        return run_cv
+
+    unopt_acc: list[float] = []
+    opt_acc: list[float] = []
+    run_unopt = runner(make_unopt, unopt_acc)
+    run_opt = runner(make_opt, opt_acc)
+    run_unopt()  # warmups: exclude first-execution effects
+    run_opt()
+    unopt_samples = []
+    opt_samples = []
+    for repeat in range(config.repeats):
+        # Alternate which variant runs first: the second slot of a pair
+        # systematically measures slower (frequency/cache/GC state), so
+        # a fixed order would bias every improvement by several percent.
+        if repeat % 2 == 0:
+            unopt_samples.append(perf.run_once(run_unopt))
+            opt_samples.append(perf.run_once(run_opt))
+        else:
+            opt_samples.append(perf.run_once(run_opt))
+            unopt_samples.append(perf.run_once(run_unopt))
+
+    def clean_means(samples, run_fn) -> dict[str, float]:
+        means: dict[str, float] = {}
+        for metric in ("package", "cpu", "time"):
+            queue = [sample.metric(metric) for sample in samples]
+
+            def source(metric: str = metric, queue: list = queue) -> float:
+                if queue:
+                    return queue.pop(0)
+                return perf.run_once(run_fn).metric(metric)
+
+            result = OutlierFreeProtocol(repeats=config.repeats).collect(source)
+            means[metric] = result.mean
+        return means
+
+    unopt_means = clean_means(unopt_samples, run_unopt)
+    opt_means = clean_means(opt_samples, run_opt)
+    return (
+        unopt_means,
+        opt_means,
+        float(np.mean(unopt_acc)),
+        float(np.mean(opt_acc)),
+    )
+
+
+def run_table4(
+    config: Table4Config | None = None,
+    backend: RaplBackend | None = None,
+) -> list[Table4Row]:
+    """Run the full Table IV protocol; rows in paper order."""
+    config = config or Table4Config()
+    perf = PerfStat(backend or SimulatedBackend(clock=RealClock()))
+    data = generate_airlines(n=config.n_instances, seed=config.seed)
+    rows: list[Table4Row] = []
+    for name in config.classifiers:
+        optimized_class, unopt_class = UNOPT_REGISTRY[name]
+        params = _FAST_PARAMS.get(name, {})
+        unopt_means, opt_means, unopt_accuracy, opt_accuracy = _measure_pair(
+            lambda: unopt_class(**params),
+            lambda: make_optimized(name, optimized_class, **params),
+            data,
+            config,
+            perf,
+        )
+        rows.append(
+            Table4Row(
+                classifier=name,
+                changes=_count_changes(unopt_class),
+                package_improvement=percent_improvement(
+                    unopt_means["package"], opt_means["package"]
+                ),
+                cpu_improvement=percent_improvement(
+                    unopt_means["cpu"], opt_means["cpu"]
+                ),
+                time_improvement=percent_improvement(
+                    unopt_means["time"], opt_means["time"]
+                ),
+                accuracy_drop=max(0.0, (unopt_accuracy - opt_accuracy) * 100.0),
+                unopt_accuracy=unopt_accuracy,
+                opt_accuracy=opt_accuracy,
+                details={"unopt": unopt_means, "opt": opt_means},
+            )
+        )
+    return rows
+
+
+def render_table4(rows: list[Table4Row]) -> str:
+    return render_table(
+        headers=(
+            "Classifiers",
+            "Changes",
+            "Package Improvement (%)",
+            "CPU Improvement (%)",
+            "Execution Time Improvement (%)",
+            "Accuracy Drop (%)",
+        ),
+        rows=[
+            (
+                row.classifier,
+                str(row.changes),
+                f"{row.package_improvement:.2f}",
+                f"{row.cpu_improvement:.2f}",
+                f"{row.time_improvement:.2f}",
+                f"{row.accuracy_drop:.2f}",
+            )
+            for row in rows
+        ],
+        title="Table IV — WEKA evaluation (reproduction)",
+    )

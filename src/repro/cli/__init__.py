@@ -1,0 +1,5 @@
+"""The ``pepo`` command-line interface (Figs. 1 & 3 as a CLI)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

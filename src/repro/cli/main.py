@@ -1,0 +1,260 @@
+"""``pepo`` — suggest / optimize / profile / bench from the shell.
+
+The CLI is the paper's Eclipse surface translated: the toolbar button
+(Fig. 1) is the program itself, the pop-up menu's two actions (Fig. 3)
+are the ``profile`` and ``suggest`` subcommands, the profiler view
+(Fig. 4) and optimizer view (Fig. 5) are their outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core import PEPO
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pepo",
+        description="Python Energy Profiler & Optimizer "
+        "(JEPO reproduction, IPPS 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    suggest = sub.add_parser(
+        "suggest", help="energy-efficiency suggestions for a file or project"
+    )
+    suggest.add_argument("path", type=Path)
+    suggest.add_argument(
+        "--watch",
+        action="store_true",
+        help="re-analyze when the file changes (Fig. 2 dynamic mode)",
+    )
+    suggest.add_argument(
+        "--interval", type=float, default=1.0, help="watch poll seconds"
+    )
+    suggest.add_argument(
+        "--once", action="store_true", help=argparse.SUPPRESS
+    )  # test hook: single watch iteration
+    suggest.add_argument(
+        "--json", action="store_true", help="emit findings as JSON lines"
+    )
+    suggest.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run the extension rules (R14, R15)",
+    )
+    suggest.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the per-rule rollup and hotspot files instead of "
+        "individual findings",
+    )
+
+    optimize = sub.add_parser(
+        "optimize", help="apply automatic energy rewrites"
+    )
+    optimize.add_argument("path", type=Path)
+    optimize.add_argument(
+        "--write", action="store_true", help="rewrite files in place"
+    )
+    optimize.add_argument(
+        "--diff", action="store_true", help="print unified diffs"
+    )
+
+    profile = sub.add_parser(
+        "profile", help="method-granularity energy profile of a project"
+    )
+    profile.add_argument("path", type=Path)
+    profile.add_argument(
+        "--main", type=Path, default=None, help="entry-point file"
+    )
+    profile.add_argument("--limit", type=int, default=20)
+    profile.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also sample power over time and print a sparkline",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two result.txt profiles (before vs after a refactor)",
+    )
+    compare.add_argument("before", type=Path)
+    compare.add_argument("after", type=Path)
+    compare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any method regressed by more than 5%%",
+    )
+
+    bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench.add_argument(
+        "target",
+        choices=["table1", "table2", "table3", "table4", "figures", "all"],
+    )
+    return parser
+
+
+def _cmd_suggest(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.analyzer import Analyzer
+
+    pepo = PEPO()
+    analyzer = Analyzer(extended=args.extended)
+    path: Path = args.path
+    if args.watch:
+        return _watch(pepo, path, args.interval, out, once=args.once)
+    if path.is_dir():
+        findings_by_file = analyzer.analyze_project(path)
+        if args.json:
+            for findings in findings_by_file.values():
+                for finding in findings:
+                    print(json.dumps(finding.to_dict()), file=out)
+            return 0
+        if args.summary:
+            from repro.analyzer.report import FindingsSummary
+
+            print(FindingsSummary(findings_by_file).render(), file=out)
+            return 0
+        print(pepo.optimizer_view(findings_by_file), file=out)
+        total = sum(len(v) for v in findings_by_file.values())
+    else:
+        findings = analyzer.analyze_file(path)
+        if args.json:
+            for finding in findings:
+                print(json.dumps(finding.to_dict()), file=out)
+            return 0
+        if args.summary:
+            from repro.analyzer.report import FindingsSummary
+
+            print(FindingsSummary.from_findings(findings).render(), file=out)
+            return 0
+        for finding in findings:
+            print(finding.one_line(), file=out)
+        total = len(findings)
+    print(f"{total} suggestion(s)", file=out)
+    return 0
+
+
+def _watch(pepo: PEPO, path: Path, interval: float, out, once: bool) -> int:
+    """Fig. 2: poll a file, print finding deltas on change."""
+    dyn = pepo.dynamic_analyzer(filename=str(path))
+    last_mtime = None
+    while True:
+        mtime = path.stat().st_mtime
+        if mtime != last_mtime:
+            last_mtime = mtime
+            delta = dyn.update(path.read_text())
+            for finding in delta.added:
+                print(f"+ {finding.one_line()}", file=out)
+            for finding in delta.removed:
+                print(f"- [{finding.rule_id}] resolved: {finding.snippet}",
+                      file=out)
+        if once:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_optimize(args: argparse.Namespace, out) -> int:
+    pepo = PEPO()
+    path: Path = args.path
+    if path.is_dir():
+        results = pepo.optimize_project(path, write=args.write)
+    else:
+        results = {str(path): pepo.optimize_file(path, write=args.write)}
+    total = 0
+    for filename, result in results.items():
+        if not result.changed:
+            continue
+        total += len(result.changes)
+        print(f"{filename}: {len(result.changes)} change(s)", file=out)
+        for change in result.changes:
+            print(f"  line {change.line}: [{change.rule_id}] "
+                  f"{change.description}", file=out)
+        if args.diff:
+            print(result.diff(), file=out)
+    mode = "applied" if args.write else "available (dry run; use --write)"
+    print(f"{total} change(s) {mode}", file=out)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, out) -> int:
+    pepo = PEPO()
+    if args.timeline:
+        from repro.rapl.domains import Domain
+        from repro.rapl.timeline import TimelineSampler
+
+        sampler = TimelineSampler(pepo.backend, sample_interval=0.02)
+        result, timeline = sampler.run(
+            lambda: pepo.profile_project(args.path, main=args.main)
+        )
+        print(pepo.profiler_view(result, limit=args.limit), file=out)
+        print(file=out)
+        print("package power over time:", file=out)
+        print(f"  {timeline.ascii_sparkline()}", file=out)
+        print(
+            f"  peak {timeline.peak_watts(Domain.PACKAGE):.2f} W, "
+            f"mean {timeline.mean_watts(Domain.PACKAGE):.2f} W, "
+            f"total {timeline.total_joules(Domain.PACKAGE):.3f} J",
+            file=out,
+        )
+    else:
+        result = pepo.profile_project(args.path, main=args.main)
+        print(pepo.profiler_view(result, limit=args.limit), file=out)
+    print(f"result.txt written to {Path(args.path) / 'result.txt'}", file=out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out) -> int:
+    from repro.profiler import ProfileComparison, ProfileResult
+
+    before = ProfileResult.read_result_txt(args.before)
+    after = ProfileResult.read_result_txt(args.after)
+    comparison = ProfileComparison(before, after)
+    print(comparison.render(), file=out)
+    regressions = comparison.regressions()
+    if regressions:
+        print(f"{len(regressions)} regression(s):", file=out)
+        for delta in regressions:
+            print(
+                f"  {delta.method}: {delta.improvement_percent:+.1f} %",
+                file=out,
+            )
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main([args.target])
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+    handlers = {
+        "suggest": _cmd_suggest,
+        "optimize": _cmd_optimize,
+        "profile": _cmd_profile,
+        "compare": _cmd_compare,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except FileNotFoundError as error:
+        print(f"pepo: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

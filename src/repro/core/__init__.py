@@ -1,0 +1,5 @@
+"""PEPO core: the one-stop facade over profiler, analyzer and optimizer."""
+
+from repro.core.pepo import PEPO
+
+__all__ = ["PEPO"]

@@ -1,0 +1,101 @@
+"""The PEPO facade — everything JEPO's plugin buttons do, as one object.
+
+::
+
+    pepo = PEPO()
+    findings = pepo.suggest_file("model.py")          # optimizer view
+    result = pepo.optimize_file("model.py")           # apply rewrites
+    profile = pepo.profile_project("my_project/")     # profiler view
+    print(pepo.profiler_view(profile))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.analyzer import Analyzer, DynamicAnalyzer, Finding
+from repro.optimizer import OptimizationResult, Optimizer
+from repro.profiler import ProfileResult, ProfilerReport, ProfilerSession
+from repro.rapl.backends import RaplBackend, default_backend
+from repro.views.tables import render_table
+
+
+class PEPO:
+    """Python Energy Profiler & Optimizer.
+
+    Parameters
+    ----------
+    backend:
+        Energy source for profiling; defaults to the live RAPL backend
+        when available, the calibrated simulation otherwise.
+    """
+
+    def __init__(self, backend: RaplBackend | None = None) -> None:
+        self.backend = backend or default_backend()
+        self._analyzer = Analyzer()
+        self._optimizer = Optimizer()
+        self._session = ProfilerSession(self.backend)
+
+    # -- suggestions (JEPO optimizer button / editor view) ----------------
+
+    def suggest_source(self, source: str, filename: str = "<buffer>") -> list[Finding]:
+        """Suggestions for one source buffer."""
+        return self._analyzer.analyze_source(source, filename=filename)
+
+    def suggest_file(self, path: str | Path) -> list[Finding]:
+        return self._analyzer.analyze_file(path)
+
+    def suggest_project(self, project_dir: str | Path) -> dict[str, list[Finding]]:
+        return self._analyzer.analyze_project(project_dir)
+
+    def dynamic_analyzer(self, filename: str = "<buffer>") -> DynamicAnalyzer:
+        """Editor-integration mode: incremental re-analysis (Fig. 2)."""
+        return DynamicAnalyzer(filename=filename, analyzer=self._analyzer)
+
+    # -- automatic refactoring --------------------------------------------
+
+    def optimize_source(
+        self, source: str, filename: str = "<buffer>"
+    ) -> OptimizationResult:
+        return self._optimizer.optimize_source(source, filename=filename)
+
+    def optimize_file(self, path: str | Path, write: bool = False) -> OptimizationResult:
+        return self._optimizer.optimize_file(path, write=write)
+
+    def optimize_project(
+        self, project_dir: str | Path, write: bool = False
+    ) -> dict[str, OptimizationResult]:
+        return self._optimizer.optimize_project(project_dir, write=write)
+
+    # -- profiling (JEPO profiler button) -----------------------------------
+
+    def profile_project(
+        self, project_dir: str | Path, main: str | Path | None = None
+    ) -> ProfileResult:
+        """Instrument, run, and write ``result.txt`` (Fig. 4 data)."""
+        return self._session.profile_project(project_dir, main=main)
+
+    def profile_callable(self, fn: Callable[[], object]) -> ProfileResult:
+        return self._session.profile_callable(fn)
+
+    # -- view renderings -------------------------------------------------------
+
+    @staticmethod
+    def profiler_view(result: ProfileResult, limit: int | None = 20) -> str:
+        """Fig. 4: method / execution time / energy consumed."""
+        return ProfilerReport(result).render(limit=limit)
+
+    @staticmethod
+    def optimizer_view(findings_by_file: dict[str, list[Finding]]) -> str:
+        """Fig. 5: class / line number / suggestion."""
+        rows = []
+        for filename in sorted(findings_by_file):
+            for finding in findings_by_file[filename]:
+                rows.append((filename, str(finding.line), finding.suggestion))
+        return render_table(
+            headers=("Class", "Line number", "Suggestion"),
+            rows=rows,
+            title="PEPO optimizer view",
+            max_col_width=76,
+        )

@@ -1,0 +1,15 @@
+"""Dataset substrates: the synthetic MOA airlines data (Table III)."""
+
+from repro.datasets.airlines import (
+    AIRLINE_COUNT,
+    AIRPORT_COUNT,
+    airlines_schema,
+    generate_airlines,
+)
+
+__all__ = [
+    "AIRLINE_COUNT",
+    "AIRPORT_COUNT",
+    "airlines_schema",
+    "generate_airlines",
+]

@@ -1,0 +1,136 @@
+"""Synthetic MOA airlines flight-delay data (paper Table III).
+
+The original MOA dataset (539,383 instances) predicts "whether a flight
+will be delayed or not" from 8 attributes; the paper subsamples to
+10,000 instances "due to limited heap memory".  The file is not
+redistributable here, so we generate a schema-exact synthetic twin:
+
+=============  ========  ==========================================
+Attribute      Type      Generation
+=============  ========  ==========================================
+Airline        Nominal   18 distinct carriers (paper's cardinality)
+Flight         Numeric   flight number 1–7500
+AirportFrom    Nominal   293 distinct airports (paper's cardinality)
+AirportTo      Nominal   293 distinct airports, ≠ origin
+DayOfWeek      Nominal   7 values
+Time           Numeric   departure minute of day, bimodal peaks
+Length         Numeric   flight minutes, log-normal-ish
+Delay          Binary    latent logistic process (below)
+=============  ========  ==========================================
+
+The delay label comes from a latent logistic model over carrier
+quality, airport congestion, rush-hour departure, weekday, and flight
+length, plus noise — so classifiers have real structure to learn
+(tree/instance methods reach ~65-75 % accuracy, matching the published
+difficulty of the real stream) and class balance is roughly the real
+data's 55/45 split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.instances import Instances
+
+#: Table III cardinalities: "the distinct values are 18 and 293".
+AIRLINE_COUNT = 18
+AIRPORT_COUNT = 293
+_DAYS = ("1", "2", "3", "4", "5", "6", "7")
+
+
+def airlines_schema() -> Schema:
+    """The 8-attribute schema of Table III (7 inputs + binary class)."""
+    airlines = tuple(f"CA{i:02d}" for i in range(AIRLINE_COUNT))
+    airports = tuple(f"AP{i:03d}" for i in range(AIRPORT_COUNT))
+    return Schema(
+        attributes=(
+            Attribute.nominal("Airline", airlines),
+            Attribute.numeric("Flight"),
+            Attribute.nominal("AirportFrom", airports),
+            Attribute.nominal("AirportTo", airports),
+            Attribute.nominal("DayOfWeek", _DAYS),
+            Attribute.numeric("Time"),
+            Attribute.numeric("Length"),
+        ),
+        class_attribute=Attribute.binary("Delay", ("0", "1")),
+    )
+
+
+def generate_airlines(
+    n: int = 10_000,
+    seed: int = 7,
+    noise: float = 1.0,
+) -> Instances:
+    """Generate ``n`` synthetic flights (paper: 10,000; scaling: 20,000).
+
+    Deterministic for a given ``(n, seed, noise)``.  ``noise`` scales
+    the logistic noise term; 0 gives an almost separable problem.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if noise < 0:
+        raise ValueError(f"noise must be non-negative: {noise}")
+    rng = np.random.default_rng(seed)
+    schema = airlines_schema()
+
+    # Carrier market shares and airport traffic follow Zipf-ish laws,
+    # like the real network.
+    airline_p = _zipf_weights(AIRLINE_COUNT, rng)
+    airport_p = _zipf_weights(AIRPORT_COUNT, rng)
+    airline = rng.choice(AIRLINE_COUNT, size=n, p=airline_p)
+    origin = rng.choice(AIRPORT_COUNT, size=n, p=airport_p)
+    dest = rng.choice(AIRPORT_COUNT, size=n, p=airport_p)
+    clash = dest == origin
+    dest[clash] = (origin[clash] + 1 + rng.integers(0, AIRPORT_COUNT - 1,
+                                                    size=clash.sum())) % AIRPORT_COUNT
+    flight = rng.integers(1, 7500, size=n).astype(np.float64)
+    day = rng.integers(0, 7, size=n)
+    # Bimodal departures: morning (~8:00) and evening (~17:30) banks.
+    bank = rng.random(n) < 0.55
+    time = np.where(
+        bank,
+        rng.normal(8 * 60, 90, size=n),
+        rng.normal(17.5 * 60, 100, size=n),
+    )
+    time = np.clip(time, 10, 24 * 60 - 10)
+    length = np.clip(rng.lognormal(mean=4.7, sigma=0.45, size=n), 25, 700)
+
+    # Latent delay propensity.
+    carrier_quality = rng.normal(0, 0.8, size=AIRLINE_COUNT)
+    airport_congestion = rng.normal(0, 0.6, size=AIRPORT_COUNT)
+    rush = np.exp(-((time - 17.5 * 60) ** 2) / (2 * 120.0**2)) + 0.6 * np.exp(
+        -((time - 8 * 60) ** 2) / (2 * 100.0**2)
+    )
+    weekday_factor = np.array([0.15, 0.05, 0.0, 0.1, 0.35, -0.25, -0.2])
+    logit = (
+        -0.35
+        + carrier_quality[airline]
+        + 0.8 * airport_congestion[origin]
+        + 0.5 * airport_congestion[dest]
+        + 1.2 * rush
+        + weekday_factor[day]
+        + 0.0015 * (length - float(np.mean(length)))
+        + noise * rng.logistic(0, 0.6, size=n)
+    )
+    delay = (logit > 0).astype(np.int64)
+
+    X = np.column_stack(
+        [
+            airline.astype(np.float64),
+            flight,
+            origin.astype(np.float64),
+            dest.astype(np.float64),
+            day.astype(np.float64),
+            time,
+            length,
+        ]
+    )
+    return Instances(schema, X, delay)
+
+
+def _zipf_weights(k: int, rng: np.random.Generator) -> np.ndarray:
+    """Normalized Zipf-like weights with a mild random perturbation."""
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    weights = ranks**-0.8 * np.exp(rng.normal(0, 0.15, size=k))
+    return weights / weights.sum()

@@ -1,0 +1,21 @@
+"""Code metrics (the paper's Table II substrate).
+
+Table II reports per-classifier Dependencies, Attributes, Methods,
+Packages and LOC for WEKA, computed with the Eclipse Metrics plugin and
+the Class Dependency Analyzer.  This package computes the same metrics
+for Python code: an import graph (networkx) for dependency closures and
+an AST pass for attribute/method/LOC counts.
+"""
+
+from repro.metrics.deps import DependencyGraph, build_dependency_graph
+from repro.metrics.loc import ModuleMetrics, count_module
+from repro.metrics.summary import ClosureMetrics, closure_metrics
+
+__all__ = [
+    "ClosureMetrics",
+    "DependencyGraph",
+    "ModuleMetrics",
+    "build_dependency_graph",
+    "closure_metrics",
+    "count_module",
+]

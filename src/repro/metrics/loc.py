@@ -1,0 +1,114 @@
+"""Per-module counting: LOC, methods, attributes, classes.
+
+Counting conventions (documented so Table II numbers are reproducible):
+
+* **LOC** — non-blank, non-comment-only source lines.
+* **Methods** — ``def``/``async def`` at any nesting (the Eclipse
+  Metrics plugin counts all methods, including nested classes').
+* **Attributes** — class-level assignments plus ``self.x = …`` targets
+  in methods, deduplicated per class; module-level assignments count as
+  module attributes (Java fields ≈ both).
+* **Classes** — ``class`` statements at any nesting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ModuleMetrics:
+    """Counts for one Python module."""
+
+    path: str
+    loc: int
+    methods: int
+    attributes: int
+    classes: int
+
+    def __add__(self, other: "ModuleMetrics") -> "ModuleMetrics":
+        return ModuleMetrics(
+            path="<aggregate>",
+            loc=self.loc + other.loc,
+            methods=self.methods + other.methods,
+            attributes=self.attributes + other.attributes,
+            classes=self.classes + other.classes,
+        )
+
+
+def count_loc(source: str) -> int:
+    """Non-blank, non-comment-only lines."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            count += 1
+    return count
+
+
+def count_module(path: str | Path) -> ModuleMetrics:
+    """Compute all metrics for one file; SyntaxError propagates."""
+    path = Path(path)
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    methods = 0
+    classes = 0
+    attributes = 0
+    # Module-level attributes.
+    attributes += len(_assigned_names(tree.body))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods += 1
+        elif isinstance(node, ast.ClassDef):
+            classes += 1
+            attributes += len(_class_attributes(node))
+    return ModuleMetrics(
+        path=str(path),
+        loc=count_loc(source),
+        methods=methods,
+        attributes=attributes,
+        classes=classes,
+    )
+
+
+def _assigned_names(body: list[ast.stmt]) -> set[str]:
+    names: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(_flat_names(target))
+        elif isinstance(stmt, ast.AnnAssign):
+            names.update(_flat_names(stmt.target))
+    return names
+
+
+def _class_attributes(node: ast.ClassDef) -> set[str]:
+    names = _assigned_names(node.body)
+    for child in ast.walk(node):
+        if (
+            isinstance(child, (ast.Assign, ast.AnnAssign))
+        ):
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    names.add(target.attr)
+    return names
+
+
+def _flat_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in target.elts:
+            out.update(_flat_names(element))
+        return out
+    return set()

@@ -1,0 +1,67 @@
+"""Closure metrics — the Table II row builder.
+
+For each classifier, Table II reports the metrics of everything the
+classifier pulls in (the counts are near-identical across classifiers
+because they share the WEKA core).  ``closure_metrics`` reproduces
+that: take a module's transitive import closure and aggregate the
+per-module counts over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.metrics.deps import DependencyGraph
+from repro.metrics.loc import ModuleMetrics, count_module
+
+
+@dataclass(frozen=True)
+class ClosureMetrics:
+    """One Table II row: metrics of a module's dependency closure."""
+
+    module: str
+    dependencies: int
+    attributes: int
+    methods: int
+    packages: int
+    loc: int
+
+
+def closure_metrics(
+    graph: DependencyGraph, module: str, package: str
+) -> ClosureMetrics:
+    """Aggregate metrics over ``module``'s internal dependency closure."""
+    closure = graph.closure(module)
+    total = ModuleMetrics(path="<aggregate>", loc=0, methods=0, attributes=0,
+                          classes=0)
+    for member in sorted(closure):
+        path = _module_path(graph.root, member, package)
+        if path is None:
+            continue
+        try:
+            total = total + count_module(path)
+        except SyntaxError:
+            continue
+    return ClosureMetrics(
+        module=module,
+        dependencies=graph.dependency_count(module),
+        attributes=total.attributes,
+        methods=total.methods,
+        packages=len(graph.packages_in(closure)),
+        loc=total.loc,
+    )
+
+
+def _module_path(root: Path, module: str, package: str) -> Path | None:
+    relative = module[len(package) :].lstrip(".")
+    if not relative:
+        candidate = root / "__init__.py"
+        return candidate if candidate.is_file() else None
+    as_module = root / (relative.replace(".", "/") + ".py")
+    if as_module.is_file():
+        return as_module
+    as_package = root / relative.replace(".", "/") / "__init__.py"
+    if as_package.is_file():
+        return as_package
+    return None

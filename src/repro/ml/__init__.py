@@ -1,0 +1,52 @@
+"""From-scratch ML library standing in for WEKA.
+
+The paper evaluates JEPO by refactoring WEKA and running ten classifiers
+(Table II/IV) on the MOA airlines data with stratified 10-fold
+cross-validation.  This package re-implements that substrate:
+
+* :mod:`repro.ml.attributes` / :mod:`repro.ml.instances` — the
+  Attribute/Instances data model (nominal + numeric, missing values).
+* :mod:`repro.ml.arff` — ARFF file round trip.
+* :mod:`repro.ml.filters` — one-hot encoding, standardization, imputation.
+* :mod:`repro.ml.evaluation` — stratified k-fold cross-validation and
+  accuracy/confusion metrics.
+* :mod:`repro.ml.classifiers` — the ten classifiers of Table II:
+  J48, RandomTree, RandomForest, REPTree, NaiveBayes, Logistic, SMO,
+  SGD, KStar, IBk.
+"""
+
+from repro.ml.arff import load_arff, loads_arff, dump_arff, dumps_arff
+from repro.ml.attributes import Attribute, AttributeKind, Schema
+from repro.ml.base import Classifier
+from repro.ml.evaluation import (
+    CrossValidationResult,
+    Evaluation,
+    cross_validate,
+    evaluate,
+    stratified_folds,
+    train_test_split,
+)
+from repro.ml.instances import Instances
+from repro.ml.persist import dumps_model, load_model, loads_model, save_model
+
+__all__ = [
+    "dumps_model",
+    "load_model",
+    "loads_model",
+    "save_model",
+    "Attribute",
+    "AttributeKind",
+    "Classifier",
+    "CrossValidationResult",
+    "Evaluation",
+    "Instances",
+    "Schema",
+    "cross_validate",
+    "dump_arff",
+    "dumps_arff",
+    "evaluate",
+    "load_arff",
+    "loads_arff",
+    "stratified_folds",
+    "train_test_split",
+]

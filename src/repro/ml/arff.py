@@ -1,0 +1,225 @@
+"""ARFF (Attribute-Relation File Format) round trip.
+
+WEKA's native format; MOA ships the airlines data as ARFF.  Supported
+subset: ``@relation``, ``@attribute`` (numeric/real/integer and nominal
+``{a,b,c}``), ``@data`` with comma-separated rows, ``?`` for missing,
+``%`` comments, and single-quoted tokens.  Sparse rows are out of scope.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.instances import Instances
+
+_NUMERIC_WORDS = {"numeric", "real", "integer"}
+
+
+class ArffError(ValueError):
+    """Malformed ARFF content."""
+
+
+def loads_arff(text: str, class_attribute: str | None = None) -> Instances:
+    """Parse ARFF text.
+
+    ``class_attribute`` names the class column; default is the last
+    attribute (WEKA's convention for classification datasets).
+    """
+    attributes: list[Attribute] = []
+    rows: list[list[object]] = []
+    in_data = False
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if lowered.startswith("@relation"):
+            continue
+        if lowered.startswith("@attribute"):
+            if in_data:
+                raise ArffError(f"line {line_number}: @attribute after @data")
+            attributes.append(_parse_attribute(line, line_number))
+        elif lowered.startswith("@data"):
+            in_data = True
+        elif in_data:
+            rows.append(_parse_row(line, attributes, line_number))
+        else:
+            raise ArffError(f"line {line_number}: unexpected content {line!r}")
+    if len(attributes) < 2:
+        raise ArffError("need at least one input attribute and a class")
+
+    class_index = len(attributes) - 1
+    if class_attribute is not None:
+        names = [a.name for a in attributes]
+        try:
+            class_index = names.index(class_attribute)
+        except ValueError:
+            raise ArffError(f"no attribute named {class_attribute!r}") from None
+    class_attr = attributes[class_index]
+    inputs = tuple(a for i, a in enumerate(attributes) if i != class_index)
+    schema = Schema(attributes=inputs, class_attribute=class_attr)
+    reordered = [
+        [*(cell for i, cell in enumerate(row) if i != class_index), row[class_index]]
+        for row in rows
+    ]
+    for row_number, row in enumerate(reordered):
+        if row[-1] is None:
+            raise ArffError(f"data row {row_number}: missing class value")
+    return Instances.from_rows(schema, reordered)
+
+
+def load_arff(path: str | Path, class_attribute: str | None = None) -> Instances:
+    return loads_arff(Path(path).read_text(), class_attribute=class_attribute)
+
+
+def dumps_arff(data: Instances, relation: str = "dataset") -> str:
+    """Serialize to ARFF with the class as the last attribute."""
+    out = io.StringIO()
+    out.write(f"@relation {_quote(relation)}\n\n")
+    all_attributes = [*data.schema.attributes, data.schema.class_attribute]
+    for attribute in all_attributes:
+        if attribute.is_nominal:
+            values = ",".join(_quote(v) for v in attribute.values)
+            out.write(f"@attribute {_quote(attribute.name)} {{{values}}}\n")
+        else:
+            out.write(f"@attribute {_quote(attribute.name)} numeric\n")
+    out.write("\n@data\n")
+    for row_index in range(data.n):
+        cells = []
+        for col, attribute in enumerate(data.schema.attributes):
+            value = data.X[row_index, col]
+            if value != value:  # NaN
+                cells.append("?")
+            elif attribute.is_nominal:
+                cells.append(_quote(attribute.value(int(value))))
+            else:
+                cells.append(repr(float(value)))
+        cells.append(
+            _quote(data.schema.class_attribute.value(int(data.y[row_index])))
+        )
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()
+
+
+def dump_arff(data: Instances, path: str | Path, relation: str = "dataset") -> Path:
+    path = Path(path)
+    path.write_text(dumps_arff(data, relation=relation))
+    return path
+
+
+# -- parsing helpers -----------------------------------------------------
+
+
+def _read_token(text: str, line_number: int) -> tuple[str, str]:
+    """Read one (possibly single-quoted) token; return (token, rest)."""
+    text = text.lstrip()
+    if not text:
+        raise ArffError(f"line {line_number}: expected a token")
+    if text[0] == "'":
+        buffer: list[str] = []
+        i = 1
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text) and text[i + 1] == "'":
+                buffer.append("'")
+                i += 2
+                continue
+            if ch == "'":
+                return "".join(buffer), text[i + 1 :]
+            buffer.append(ch)
+            i += 1
+        raise ArffError(f"line {line_number}: unterminated quoted token")
+    parts = text.split(None, 1)
+    return parts[0], parts[1] if len(parts) > 1 else ""
+
+
+def _quote(token: str) -> str:
+    if any(ch in token for ch in " ,{}%'\t"):
+        escaped = token.replace("'", "\\'")
+        return f"'{escaped}'"
+    return token
+
+
+def _parse_attribute(line: str, line_number: int) -> Attribute:
+    rest = line[len("@attribute") :].strip()
+    name, remainder = _read_token(rest, line_number)
+    remainder = remainder.strip()
+    if remainder.startswith("{"):
+        if not remainder.endswith("}"):
+            raise ArffError(f"line {line_number}: unterminated nominal spec")
+        body = remainder[1:-1]
+        values = [v for v in _split_csv(body, line_number)]
+        return Attribute.nominal(name, [v if v is not None else "?" for v in values])
+    if remainder.lower() in _NUMERIC_WORDS:
+        return Attribute.numeric(name)
+    if remainder.lower().startswith("date") or remainder.lower() == "string":
+        raise ArffError(
+            f"line {line_number}: attribute type {remainder!r} not supported"
+        )
+    raise ArffError(f"line {line_number}: cannot parse attribute type {remainder!r}")
+
+
+def _parse_row(
+    line: str, attributes: list[Attribute], line_number: int
+) -> list[object]:
+    if line.startswith("{"):
+        raise ArffError(f"line {line_number}: sparse ARFF rows not supported")
+    cells = _split_csv(line, line_number)
+    if len(cells) != len(attributes):
+        raise ArffError(
+            f"line {line_number}: {len(cells)} cells for "
+            f"{len(attributes)} attributes"
+        )
+    row: list[object] = []
+    for attribute, cell in zip(attributes, cells):
+        if cell is None:
+            row.append(None)
+        elif attribute.is_nominal:
+            row.append(cell)
+        else:
+            try:
+                row.append(float(cell))
+            except ValueError:
+                raise ArffError(
+                    f"line {line_number}: non-numeric value {cell!r} for "
+                    f"numeric attribute {attribute.name!r}"
+                ) from None
+    return row
+
+
+def _split_csv(text: str, line_number: int) -> list[str | None]:
+    """Split on commas honoring single quotes; '?' becomes None."""
+    cells: list[str | None] = []
+    buffer: list[str] = []
+    in_quote = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_quote:
+            if ch == "\\" and i + 1 < len(text) and text[i + 1] == "'":
+                buffer.append("'")
+                i += 2
+                continue
+            if ch == "'":
+                in_quote = False
+            else:
+                buffer.append(ch)
+        elif ch == "'":
+            in_quote = True
+        elif ch == ",":
+            cells.append(_finish_cell(buffer))
+            buffer = []
+        else:
+            buffer.append(ch)
+        i += 1
+    if in_quote:
+        raise ArffError(f"line {line_number}: unterminated quote")
+    cells.append(_finish_cell(buffer))
+    return cells
+
+
+def _finish_cell(buffer: list[str]) -> str | None:
+    token = "".join(buffer).strip()
+    return None if token == "?" else token

@@ -1,0 +1,139 @@
+"""Attribute and schema model (WEKA's ``Attribute``/header equivalent)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class AttributeKind(enum.Enum):
+    """WEKA distinguishes numeric and nominal attributes; a binary
+    attribute is nominal with two values (Table III's "Binary")."""
+
+    NUMERIC = "numeric"
+    NOMINAL = "nominal"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column: a name plus its kind and (for nominal) value set."""
+
+    name: str
+    kind: AttributeKind
+    values: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.kind is AttributeKind.NOMINAL:
+            if len(self.values) < 2:
+                raise ValueError(
+                    f"nominal attribute {self.name!r} needs >= 2 values"
+                )
+            if len(set(self.values)) != len(self.values):
+                raise ValueError(
+                    f"nominal attribute {self.name!r} has duplicate values"
+                )
+        elif self.values:
+            raise ValueError(
+                f"numeric attribute {self.name!r} must not list values"
+            )
+
+    @classmethod
+    def numeric(cls, name: str) -> "Attribute":
+        return cls(name=name, kind=AttributeKind.NUMERIC)
+
+    @classmethod
+    def nominal(cls, name: str, values: Sequence[str]) -> "Attribute":
+        return cls(name=name, kind=AttributeKind.NOMINAL, values=tuple(values))
+
+    @classmethod
+    def binary(cls, name: str, values: Sequence[str] = ("0", "1")) -> "Attribute":
+        """Nominal with exactly two values (Table III's Delay column)."""
+        values = tuple(values)
+        if len(values) != 2:
+            raise ValueError(f"binary attribute needs exactly 2 values: {values}")
+        return cls.nominal(name, values)
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.kind is AttributeKind.NOMINAL
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_binary(self) -> bool:
+        return self.is_nominal and len(self.values) == 2
+
+    @property
+    def num_values(self) -> int:
+        """Cardinality for nominal; 0 for numeric."""
+        return len(self.values)
+
+    def index_of(self, value: str) -> int:
+        """Category code of a nominal value; ValueError when unknown."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a value of nominal attribute {self.name!r}"
+            ) from None
+
+    def value(self, index: int) -> str:
+        """Nominal value string for a category code."""
+        if not self.is_nominal:
+            raise TypeError(f"attribute {self.name!r} is numeric")
+        return self.values[index]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered attribute list plus the class attribute.
+
+    WEKA keeps the class inside the attribute list with a class index;
+    we keep input attributes and the class attribute separate, which
+    removes a whole family of off-by-one bugs.
+    """
+
+    attributes: tuple[Attribute, ...]
+    class_attribute: Attribute
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("schema needs at least one input attribute")
+        if not self.class_attribute.is_nominal:
+            raise ValueError("classification requires a nominal class attribute")
+        names = [a.name for a in self.attributes] + [self.class_attribute.name]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def num_classes(self) -> int:
+        return self.class_attribute.num_values
+
+    def attribute(self, index: int) -> Attribute:
+        return self.attributes[index]
+
+    def index_of(self, name: str) -> int:
+        """Position of an input attribute by name."""
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return index
+        raise KeyError(f"no input attribute named {name!r}")
+
+    def nominal_indices(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, a in enumerate(self.attributes) if a.is_nominal
+        )
+
+    def numeric_indices(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, a in enumerate(self.attributes) if a.is_numeric
+        )

@@ -1,0 +1,77 @@
+"""Classifier base class (WEKA's ``Classifier``/``AbstractClassifier``)."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.ml.instances import Instances
+
+
+class NotFittedError(RuntimeError):
+    """Prediction requested before :meth:`Classifier.fit`."""
+
+
+class Classifier(abc.ABC):
+    """Common interface: ``fit`` on Instances, predict on raw matrices.
+
+    Subclasses set ``self._fitted = True`` at the end of ``fit`` and may
+    rely on :meth:`_check_fitted` / :meth:`_check_matrix` in predictors.
+    ``distributions`` has a default one-hot implementation for models
+    without calibrated probabilities.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._num_classes: int | None = None
+        self._num_attributes: int | None = None
+
+    @abc.abstractmethod
+    def fit(self, data: Instances) -> "Classifier":
+        """Train on a dataset; returns self for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class codes (int64) for each row of ``X``."""
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        """Per-class probabilities, shape (n, num_classes).
+
+        Default: a one-hot encoding of :meth:`predict`.
+        """
+        predictions = self.predict(X)
+        assert self._num_classes is not None
+        out = np.zeros((len(predictions), self._num_classes))
+        out[np.arange(len(predictions)), predictions] = 1.0
+        return out
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _begin_fit(self, data: Instances) -> None:
+        if data.n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._num_classes = data.num_classes
+        self._num_attributes = data.d
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fit before predicting"
+            )
+
+    def _check_matrix(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if self._num_attributes is not None and X.shape[1] != self._num_attributes:
+            raise ValueError(
+                f"X has {X.shape[1]} attributes, model was trained on "
+                f"{self._num_attributes}"
+            )
+        return X
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}({state})"

@@ -1,0 +1,40 @@
+"""The ten WEKA classifiers of the paper's Table II / Table IV."""
+
+from repro.ml.classifiers.ibk import IBk
+from repro.ml.classifiers.j48 import J48
+from repro.ml.classifiers.kstar import KStar
+from repro.ml.classifiers.logistic import Logistic
+from repro.ml.classifiers.naive_bayes import NaiveBayes
+from repro.ml.classifiers.random_forest import RandomForest
+from repro.ml.classifiers.random_tree import RandomTree
+from repro.ml.classifiers.rep_tree import REPTree
+from repro.ml.classifiers.sgd import SGD
+from repro.ml.classifiers.smo import SMO
+
+#: Paper (Table II/IV) classifier name → class, in paper row order.
+CLASSIFIER_REGISTRY = {
+    "J48": J48,
+    "Random Tree": RandomTree,
+    "Random Forest": RandomForest,
+    "REP Tree": REPTree,
+    "Naive Bayes": NaiveBayes,
+    "Logistic": Logistic,
+    "SMO": SMO,
+    "SGD": SGD,
+    "KStar": KStar,
+    "IBk": IBk,
+}
+
+__all__ = [
+    "CLASSIFIER_REGISTRY",
+    "IBk",
+    "J48",
+    "KStar",
+    "Logistic",
+    "NaiveBayes",
+    "RandomForest",
+    "RandomTree",
+    "REPTree",
+    "SGD",
+    "SMO",
+]

@@ -1,0 +1,424 @@
+"""Decision-tree machinery shared by J48, RandomTree, and REPTree.
+
+One engine, three configurations (see each classifier's module):
+
+* split criteria: information gain or C4.5 gain ratio;
+* per-node feature subsampling for random trees;
+* pruning: none, C4.5 pessimistic (confidence-bound) pruning, or
+  reduced-error pruning against a held-out set.
+
+Nominal attributes split multiway (one child per value), numeric
+attributes split binary at the best midpoint threshold.  Missing values
+are imputed before growing (a documented simplification of C4.5's
+fractional instances).  Prediction routes whole index arrays down the
+tree — one numpy mask per node instead of one Python call per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.attributes import Schema
+
+_LOG2 = np.log(2.0)
+#: z-score for C4.5's default confidence factor CF = 0.25 (one-sided).
+_Z_CF25 = 0.6744897501960817
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy in bits of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log(p)).sum() / _LOG2)
+
+
+def information_gain(
+    parent_counts: np.ndarray, child_counts: Sequence[np.ndarray]
+) -> float:
+    """Gain of splitting ``parent_counts`` into the given children."""
+    total = parent_counts.sum()
+    if total == 0:
+        return 0.0
+    weighted = sum(
+        counts.sum() / total * entropy(counts) for counts in child_counts
+    )
+    return entropy(parent_counts) - weighted
+
+
+def split_information(child_sizes: np.ndarray) -> float:
+    """C4.5's split info: entropy of the branch-size distribution."""
+    return entropy(child_sizes.astype(np.float64))
+
+
+@dataclass
+class TreeNode:
+    """One tree node; a leaf when ``attribute`` is None."""
+
+    counts: np.ndarray                       # class counts reaching the node
+    attribute: int | None = None             # split attribute index
+    threshold: float | None = None           # numeric split threshold
+    children: list["TreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.attribute is None
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.counts))
+
+    def distribution(self, laplace: bool = True) -> np.ndarray:
+        counts = self.counts.astype(np.float64)
+        if laplace:
+            counts = counts + 1.0
+        return counts / counts.sum()
+
+    def num_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return sum(child.num_leaves() for child in self.children)
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def make_leaf(self) -> None:
+        self.attribute = None
+        self.threshold = None
+        self.children = []
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Growth options shared by the three tree classifiers.
+
+    ``score_dtype`` sets the floating precision of split-score
+    comparisons.  ``np.float32`` reproduces a double→float refactor's
+    numeric effect: near-tie candidate splits resolve differently,
+    changing the tree — the source of the paper's Table IV accuracy
+    drop for Random Tree.
+    """
+
+    use_gain_ratio: bool = False
+    feature_sample: int | None = None   # features considered per node
+    min_leaf: int = 2
+    max_depth: int | None = None
+    score_dtype: type = np.float64
+
+    def __post_init__(self) -> None:
+        if self.min_leaf < 1:
+            raise ValueError(f"min_leaf must be >= 1: {self.min_leaf}")
+        if self.feature_sample is not None and self.feature_sample < 1:
+            raise ValueError("feature_sample must be >= 1 when set")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0 when set")
+
+
+class TreeGrower:
+    """Grows a tree over pre-imputed data."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: TreeConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.schema = schema
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def grow(self, X: np.ndarray, y: np.ndarray) -> TreeNode:
+        counts = np.bincount(y, minlength=self.schema.num_classes)
+        return self._grow(X, y, counts, depth=0)
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, counts: np.ndarray, depth: int
+    ) -> TreeNode:
+        node = TreeNode(counts=counts)
+        if (
+            len(y) < 2 * self.config.min_leaf
+            or entropy(counts) == 0.0
+            or (self.config.max_depth is not None and depth >= self.config.max_depth)
+        ):
+            return node
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return node
+        attribute, threshold, partitions = split
+        node.attribute = attribute
+        node.threshold = threshold
+        for indices in partitions:
+            child_counts = np.bincount(
+                y[indices], minlength=self.schema.num_classes
+            )
+            if len(indices) == 0:
+                # Empty branch: a leaf predicting the parent majority.
+                node.children.append(TreeNode(counts=counts.copy()))
+            else:
+                node.children.append(
+                    self._grow(X[indices], y[indices], child_counts, depth + 1)
+                )
+        return node
+
+    # -- split selection -----------------------------------------------------
+
+    def _candidate_attributes(self) -> np.ndarray:
+        d = self.schema.num_attributes
+        k = self.config.feature_sample
+        if k is None or k >= d:
+            return np.arange(d)
+        return self.rng.choice(d, size=k, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, counts: np.ndarray):
+        best_score = 1e-9  # require strictly positive gain
+        best = None
+        narrow = self.config.score_dtype
+        for attribute in self._candidate_attributes():
+            if self.schema.attribute(attribute).is_nominal:
+                candidate = self._nominal_split(X, y, attribute, counts)
+            else:
+                candidate = self._numeric_split(X, y, attribute, counts)
+            if candidate is None:
+                continue
+            score, threshold, partitions = candidate
+            score = float(narrow(score))
+            if score > best_score:
+                best_score = score
+                best = (int(attribute), threshold, partitions)
+        return best
+
+    def _nominal_split(self, X, y, attribute: int, counts):
+        num_values = self.schema.attribute(attribute).num_values
+        codes = X[:, attribute].astype(np.intp)
+        # counts matrix: value × class, built in one vectorized pass
+        matrix = np.zeros((num_values, self.schema.num_classes), dtype=np.int64)
+        np.add.at(matrix, (codes, y), 1)
+        sizes = matrix.sum(axis=1)
+        occupied = np.count_nonzero(sizes)
+        if occupied < 2:
+            return None
+        gain = information_gain(counts, list(matrix))
+        score = gain
+        if self.config.use_gain_ratio:
+            si = split_information(sizes)
+            if si <= 0:
+                return None
+            score = gain / si
+        order = np.argsort(codes, kind="stable")
+        boundaries = np.searchsorted(codes[order], np.arange(num_values + 1))
+        partitions = [
+            order[boundaries[v] : boundaries[v + 1]] for v in range(num_values)
+        ]
+        return score, None, partitions
+
+    def _numeric_split(self, X, y, attribute: int, counts):
+        column = X[:, attribute]
+        order = np.argsort(column, kind="stable")
+        sorted_vals = column[order]
+        sorted_y = y[order]
+        n = len(sorted_y)
+        k = self.schema.num_classes
+        # Prefix class counts: counts of each class among the first i rows.
+        one_hot = np.zeros((n, k), dtype=np.int64)
+        one_hot[np.arange(n), sorted_y] = 1
+        prefix = np.cumsum(one_hot, axis=0)
+        # Candidate cut after position i (1-based) where value changes.
+        change = np.flatnonzero(sorted_vals[1:] > sorted_vals[:-1]) + 1
+        min_leaf = self.config.min_leaf
+        change = change[(change >= min_leaf) & (change <= n - min_leaf)]
+        if change.size == 0:
+            return None
+        left = prefix[change - 1]
+        right = counts - left
+        left_sizes = change.astype(np.float64)
+        right_sizes = (n - change).astype(np.float64)
+        gains = entropy(counts) - (
+            left_sizes * _entropy_rows(left) + right_sizes * _entropy_rows(right)
+        ) / n
+        scores = gains
+        if self.config.use_gain_ratio:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_left = left_sizes / n
+                si = -(
+                    p_left * np.log(p_left) + (1 - p_left) * np.log(1 - p_left)
+                ) / _LOG2
+            valid = si > 0
+            scores = np.where(valid, gains / np.where(valid, si, 1.0), -np.inf)
+        scores = scores.astype(self.config.score_dtype)
+        best_index = int(np.argmax(scores))
+        if not np.isfinite(scores[best_index]) or scores[best_index] <= 0:
+            return None
+        cut = change[best_index]
+        threshold = float((sorted_vals[cut - 1] + sorted_vals[cut]) / 2.0)
+        partitions = [order[:cut], order[cut:]]
+        return float(scores[best_index]), threshold, partitions
+
+
+def _entropy_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise entropy (bits) of a counts matrix."""
+    totals = matrix.sum(axis=1, keepdims=True).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = matrix / np.where(totals == 0, 1.0, totals)
+        logp = np.where(p > 0, np.log(p), 0.0)
+    return -(p * logp).sum(axis=1) / _LOG2
+
+
+# -- prediction -----------------------------------------------------------
+
+
+def predict_tree(node: TreeNode, X: np.ndarray, laplace: bool = True) -> np.ndarray:
+    """Route all rows down the tree; returns (n, k) distributions."""
+    n = X.shape[0]
+    k = len(node.counts)
+    out = np.empty((n, k), dtype=np.float64)
+    _route(node, X, np.arange(n), out, laplace)
+    return out
+
+
+def _route(
+    node: TreeNode,
+    X: np.ndarray,
+    indices: np.ndarray,
+    out: np.ndarray,
+    laplace: bool,
+) -> None:
+    if indices.size == 0:
+        return
+    if node.is_leaf:
+        out[indices] = node.distribution(laplace=laplace)
+        return
+    column = X[indices, node.attribute]
+    if node.threshold is not None:
+        left = column <= node.threshold
+        _route(node.children[0], X, indices[left], out, laplace)
+        _route(node.children[1], X, indices[~left], out, laplace)
+    else:
+        codes = column.astype(np.intp)
+        num_children = len(node.children)
+        # Out-of-range or missing codes fall back to the first child of
+        # the majority branch via clipping.
+        codes = np.clip(codes, 0, num_children - 1)
+        for value in range(num_children):
+            _route(node.children[value], X, indices[codes == value], out, laplace)
+
+
+# -- pruning -----------------------------------------------------------------
+
+
+def render_tree(node: TreeNode, schema: Schema) -> str:
+    """WEKA-style text rendering of a grown tree.
+
+    Mirrors J48's output format: one line per branch, indented by
+    depth, leaves showing ``class (count/errors)``.
+    """
+    lines: list[str] = []
+    class_values = schema.class_attribute.values
+
+    def leaf_label(n: TreeNode) -> str:
+        total = n.counts.sum()
+        errors = total - n.counts.max()
+        label = class_values[n.prediction]
+        if errors:
+            return f"{label} ({total:.0f}/{errors:.0f})"
+        return f"{label} ({total:.0f})"
+
+    def walk(n: TreeNode, depth: int) -> None:
+        indent = "|   " * depth
+        if n.is_leaf:
+            # Root-is-leaf: single line.
+            lines.append(f"{indent}: {leaf_label(n)}")
+            return
+        attribute = schema.attribute(n.attribute)
+        if n.threshold is not None:
+            branches = [f"{attribute.name} <= {n.threshold:g}",
+                        f"{attribute.name} > {n.threshold:g}"]
+        else:
+            branches = [
+                f"{attribute.name} = {attribute.value(v)}"
+                for v in range(len(n.children))
+            ]
+        for branch, child in zip(branches, n.children):
+            if child.is_leaf:
+                lines.append(f"{indent}{branch}: {leaf_label(child)}")
+            else:
+                lines.append(f"{indent}{branch}")
+                walk(child, depth + 1)
+
+    walk(node, 0)
+    summary = (
+        f"\nNumber of Leaves  : {node.num_leaves()}\n"
+        f"Size of the tree : {node.num_leaves() + _internal_nodes(node)}"
+    )
+    return "\n".join(lines) + summary
+
+
+def _internal_nodes(node: TreeNode) -> int:
+    if node.is_leaf:
+        return 0
+    return 1 + sum(_internal_nodes(child) for child in node.children)
+
+
+def pessimistic_error(errors: float, n: float, z: float = _Z_CF25) -> float:
+    """C4.5 upper confidence bound on the error *rate* at a leaf."""
+    if n <= 0:
+        return 0.0
+    f = errors / n
+    z2 = z * z
+    numerator = (
+        f
+        + z2 / (2 * n)
+        + z * np.sqrt(f / n - f * f / n + z2 / (4 * n * n))
+    )
+    return float(numerator / (1 + z2 / n))
+
+
+def prune_pessimistic(node: TreeNode) -> float:
+    """C4.5 subtree-replacement pruning; returns estimated error count."""
+    n = float(node.counts.sum())
+    leaf_errors = n - node.counts.max() if n else 0.0
+    leaf_estimate = n * pessimistic_error(leaf_errors, n) if n else 0.0
+    if node.is_leaf:
+        return leaf_estimate
+    subtree_estimate = sum(prune_pessimistic(child) for child in node.children)
+    if leaf_estimate <= subtree_estimate + 0.1:
+        node.make_leaf()
+        return leaf_estimate
+    return subtree_estimate
+
+
+def prune_reduced_error(
+    node: TreeNode, X: np.ndarray, y: np.ndarray, indices: np.ndarray
+) -> int:
+    """Reduced-error pruning against held-out rows; returns error count.
+
+    Bottom-up: each subtree is replaced by a leaf when doing so does not
+    increase errors on the pruning set routed to it.
+    """
+    if indices.size == 0:
+        # No evidence: collapse to a leaf (REPTree behaviour).
+        node.make_leaf()
+        return 0
+    if node.is_leaf:
+        return int((y[indices] != node.prediction).sum())
+    column = X[indices, node.attribute]
+    if node.threshold is not None:
+        masks = [column <= node.threshold, column > node.threshold]
+        groups = [indices[m] for m in masks]
+    else:
+        codes = np.clip(column.astype(np.intp), 0, len(node.children) - 1)
+        groups = [indices[codes == v] for v in range(len(node.children))]
+    subtree_errors = sum(
+        prune_reduced_error(child, X, y, group)
+        for child, group in zip(node.children, groups)
+    )
+    leaf_errors = int((y[indices] != node.prediction).sum())
+    if leaf_errors <= subtree_errors:
+        node.make_leaf()
+        return leaf_errors
+    return subtree_errors

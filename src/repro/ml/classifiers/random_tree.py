@@ -1,0 +1,99 @@
+"""RandomTree — WEKA's random-feature decision tree.
+
+"RandomTree takes into account a given number of random features at
+each node without performing any pruning" (paper, Section VIII).
+Information-gain splits over ``k`` randomly sampled attributes per node;
+default ``k = floor(log2(d)) + 1``, WEKA's convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.classifiers._tree_utils import (
+    TreeConfig,
+    TreeGrower,
+    predict_tree,
+    render_tree,
+)
+from repro.ml.filters import ImputeMissing
+from repro.ml.instances import Instances
+
+
+class RandomTree(Classifier):
+    """Unpruned tree over random feature subsets.
+
+    Parameters
+    ----------
+    k:
+        Features considered per node; ``None`` → ``log2(d) + 1``.
+    min_leaf:
+        Minimum instances per leaf (WEKA default 1).
+    max_depth:
+        Optional depth cap (WEKA ``-depth``, 0/None = unlimited).
+    seed:
+        RNG seed for the per-node feature sampling.
+    score_dtype:
+        Precision of split-score comparisons; ``numpy.float32`` models
+        a double→float refactor of the scoring arithmetic (see
+        :class:`repro.ml.classifiers._tree_utils.TreeConfig`).
+    """
+
+    def __init__(
+        self,
+        k: int | None = None,
+        min_leaf: int = 1,
+        max_depth: int | None = None,
+        seed: int = 1,
+        score_dtype: type = np.float64,
+    ) -> None:
+        super().__init__()
+        self.k = k
+        self.min_leaf = min_leaf
+        self.max_depth = max_depth
+        self.seed = seed
+        self.score_dtype = score_dtype
+        self._root = None
+        self._imputer: ImputeMissing | None = None
+
+    def fit(self, data: Instances) -> "RandomTree":
+        self._begin_fit(data)
+        self._schema = data.schema
+        self._imputer = ImputeMissing().fit(data)
+        X = self._imputer.transform(data.X)
+        k = self.k if self.k is not None else int(math.log2(max(data.d, 2))) + 1
+        grower = TreeGrower(
+            data.schema,
+            TreeConfig(
+                use_gain_ratio=False,
+                feature_sample=min(k, data.d),
+                min_leaf=self.min_leaf,
+                max_depth=self.max_depth,
+                score_dtype=self.score_dtype,
+            ),
+            rng=np.random.default_rng(self.seed),
+        )
+        self._root = grower.grow(X, data.y)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.distributions(X), axis=1)
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_matrix(X)
+        assert self._root is not None and self._imputer is not None
+        return predict_tree(self._root, self._imputer.transform(X))
+
+    @property
+    def num_leaves(self) -> int:
+        self._check_fitted()
+        return self._root.num_leaves()
+
+    def to_text(self) -> str:
+        """WEKA-style text rendering of the fitted tree."""
+        self._check_fitted()
+        return render_tree(self._root, self._schema)

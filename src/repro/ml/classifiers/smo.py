@@ -1,0 +1,261 @@
+"""SMO — support vector machine trained by sequential minimal optimization.
+
+"SMO uses polynomial or Gaussian kernels to implement the sequential
+minimal optimization algorithm for training a support vector
+[classifier] (Platt 1998; Keerthi et al. 2001)" (paper, Section VIII).
+
+Binary solver: Platt-style pairwise coordinate ascent on the dual with
+an error cache and second-choice heuristic (maximal |E1 - E2|), KKT
+tolerance sweeps alternating between the full set and the non-bound
+subset.  Multiclass: one-vs-one voting (WEKA's approach).  Inputs are
+one-hot encoded and standardized (WEKA normalizes by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.filters import NominalToBinary, Standardize
+from repro.ml.instances import Instances
+
+KERNELS = ("linear", "poly", "rbf")
+
+
+def kernel_matrix(
+    A: np.ndarray, B: np.ndarray, kind: str, degree: float, gamma: float
+) -> np.ndarray:
+    """Gram matrix between row sets A and B."""
+    if kind == "linear":
+        return A @ B.T
+    if kind == "poly":
+        return (A @ B.T + 1.0) ** degree
+    if kind == "rbf":
+        sq = (
+            (A * A).sum(axis=1)[:, None]
+            - 2.0 * (A @ B.T)
+            + (B * B).sum(axis=1)[None, :]
+        )
+        return np.exp(-gamma * np.maximum(sq, 0.0))
+    raise ValueError(f"unknown kernel {kind!r}")
+
+
+@dataclass
+class _BinaryModel:
+    alphas: np.ndarray
+    bias: float
+    support: np.ndarray       # support-vector rows
+    support_targets: np.ndarray
+
+
+class _BinarySMO:
+    """Platt SMO for one ±1 problem over a precomputed kernel."""
+
+    def __init__(self, C: float, tol: float, eps: float, max_passes: int) -> None:
+        self.C = C
+        self.tol = tol
+        self.eps = eps
+        self.max_passes = max_passes
+
+    def solve(self, K: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, float]:
+        n = len(target)
+        alphas = np.zeros(n)
+        bias = [0.0]  # boxed so _step can update it in place
+        errors = -target.astype(np.float64)  # f(x)=0 initially
+        passes = 0
+        examine_all = True
+        while passes < self.max_passes:
+            changed = 0
+            candidates = (
+                range(n)
+                if examine_all
+                else np.flatnonzero((alphas > 0) & (alphas < self.C))
+            )
+            for i2 in candidates:
+                changed += self._examine(i2, K, target, alphas, errors, bias)
+            passes += 1
+            if examine_all:
+                if changed == 0:
+                    break
+                examine_all = False
+            elif changed == 0:
+                examine_all = True
+        return alphas, bias[0]
+
+    def _examine(self, i2, K, target, alphas, errors, bias) -> int:
+        y2 = target[i2]
+        alpha2 = alphas[i2]
+        e2 = errors[i2]
+        r2 = e2 * y2
+        if not ((r2 < -self.tol and alpha2 < self.C) or (r2 > self.tol and alpha2 > 0)):
+            return 0
+        non_bound = np.flatnonzero((alphas > 0) & (alphas < self.C))
+        # Second-choice heuristic: maximize |E1 - E2| over non-bound points.
+        if non_bound.size > 1:
+            i1 = int(non_bound[np.argmax(np.abs(errors[non_bound] - e2))])
+            if self._step(i1, i2, K, target, alphas, errors, bias):
+                return 1
+        for i1 in np.roll(non_bound, np.random.randint(max(non_bound.size, 1))):
+            if self._step(int(i1), i2, K, target, alphas, errors, bias):
+                return 1
+        for i1 in range(len(target)):
+            if self._step(i1, i2, K, target, alphas, errors, bias):
+                return 1
+        return 0
+
+    def _step(self, i1, i2, K, target, alphas, errors, bias) -> bool:
+        if i1 == i2:
+            return False
+        y1, y2 = target[i1], target[i2]
+        a1_old, a2_old = alphas[i1], alphas[i2]
+        e1, e2 = errors[i1], errors[i2]
+        s = y1 * y2
+        if s > 0:
+            low = max(0.0, a1_old + a2_old - self.C)
+            high = min(self.C, a1_old + a2_old)
+        else:
+            low = max(0.0, a2_old - a1_old)
+            high = min(self.C, self.C + a2_old - a1_old)
+        if low >= high:
+            return False
+        eta = K[i1, i1] + K[i2, i2] - 2.0 * K[i1, i2]
+        if eta <= 0:
+            return False  # non-positive curvature: skip (simplification)
+        a2 = a2_old + y2 * (e1 - e2) / eta
+        a2 = min(max(a2, low), high)
+        if abs(a2 - a2_old) < self.eps * (a2 + a2_old + self.eps):
+            return False
+        a1 = a1_old + s * (a2_old - a2)
+        b_old = bias[0]
+        b1 = (
+            b_old
+            - e1
+            - y1 * (a1 - a1_old) * K[i1, i1]
+            - y2 * (a2 - a2_old) * K[i1, i2]
+        )
+        b2 = (
+            b_old
+            - e2
+            - y1 * (a1 - a1_old) * K[i1, i2]
+            - y2 * (a2 - a2_old) * K[i2, i2]
+        )
+        if 0 < a1 < self.C:
+            bias[0] = b1
+        elif 0 < a2 < self.C:
+            bias[0] = b2
+        else:
+            bias[0] = (b1 + b2) / 2.0
+        alphas[i1], alphas[i2] = a1, a2
+        errors += (
+            y1 * (a1 - a1_old) * K[:, i1]
+            + y2 * (a2 - a2_old) * K[:, i2]
+            + (bias[0] - b_old)
+        )
+        return True
+
+
+class SMO(Classifier):
+    """One-vs-one SVM with Platt SMO binary solvers.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty (WEKA ``-C``, default 1.0).
+    kernel:
+        "linear", "poly" (WEKA's default PolyKernel), or "rbf".
+    degree / gamma:
+        Kernel parameters.
+    tol / eps:
+        KKT violation tolerance and minimal alpha step.
+    max_passes:
+        Outer sweep cap — bounds worst-case training time.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "poly",
+        degree: float = 1.0,
+        gamma: float = 0.5,
+        tol: float = 1e-3,
+        eps: float = 1e-8,
+        max_passes: int = 30,
+        seed: int = 1,
+    ) -> None:
+        super().__init__()
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if C <= 0:
+            raise ValueError(f"C must be positive: {C}")
+        self.C = C
+        self.kernel = kernel
+        self.degree = degree
+        self.gamma = gamma
+        self.tol = tol
+        self.eps = eps
+        self.max_passes = max_passes
+        self.seed = seed
+        self._encoder: NominalToBinary | None = None
+        self._scaler: Standardize | None = None
+        self._models: dict[tuple[int, int], _BinaryModel] = {}
+
+    def fit(self, data: Instances) -> "SMO":
+        self._begin_fit(data)
+        np.random.seed(self.seed)  # _examine's roll uses the legacy RNG
+        self._encoder = NominalToBinary().fit(data)
+        encoded = self._encoder.transform(data.X)
+        self._scaler = Standardize().fit(encoded)
+        Z = self._scaler.transform(encoded)
+        self._models = {}
+        k = data.num_classes
+        for a in range(k):
+            for b in range(a + 1, k):
+                mask = (data.y == a) | (data.y == b)
+                rows = Z[mask]
+                target = np.where(data.y[mask] == a, 1.0, -1.0)
+                if len(np.unique(target)) < 2:
+                    # Degenerate pair (a class absent): trivial model.
+                    self._models[(a, b)] = _BinaryModel(
+                        alphas=np.zeros(0),
+                        bias=float(target[0]) if target.size else 0.0,
+                        support=rows[:0],
+                        support_targets=target[:0],
+                    )
+                    continue
+                K = kernel_matrix(rows, rows, self.kernel, self.degree, self.gamma)
+                solver = _BinarySMO(self.C, self.tol, self.eps, self.max_passes)
+                alphas, bias = solver.solve(K, target)
+                sv = alphas > 1e-12
+                self._models[(a, b)] = _BinaryModel(
+                    alphas=alphas[sv] * target[sv],
+                    bias=bias,
+                    support=rows[sv],
+                    support_targets=target[sv],
+                )
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_matrix(X)
+        assert self._encoder is not None and self._scaler is not None
+        Z = self._scaler.transform(self._encoder.transform(X))
+        k = self._num_classes
+        votes = np.zeros((Z.shape[0], k))
+        for (a, b), model in self._models.items():
+            if model.support.shape[0] == 0:
+                scores = np.full(Z.shape[0], model.bias)
+            else:
+                K = kernel_matrix(
+                    Z, model.support, self.kernel, self.degree, self.gamma
+                )
+                scores = K @ model.alphas + model.bias
+            votes[:, a] += scores > 0
+            votes[:, b] += scores <= 0
+        return np.argmax(votes, axis=1)
+
+    @property
+    def num_support_vectors(self) -> int:
+        self._check_fitted()
+        return sum(m.support.shape[0] for m in self._models.values())

@@ -1,0 +1,236 @@
+"""Evaluation: stratified k-fold cross-validation, accuracy, confusion.
+
+The paper evaluates "using stratified 10-fold cross-validation"; the
+fold construction here matches WEKA's: instances of each class are
+dealt round-robin across folds after a seeded shuffle, so every fold's
+class distribution mirrors the whole set as closely as integer counts
+allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.instances import Instances
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Outcome of evaluating a fitted classifier on a test set."""
+
+    correct: int
+    total: int
+    confusion: np.ndarray  # confusion[true, predicted]
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return 1.0 - self.accuracy
+
+    def per_class_recall(self) -> np.ndarray:
+        """Recall per true class; nan for classes absent from the test set."""
+        totals = self.confusion.sum(axis=1).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.diagonal(self.confusion) / totals
+
+    def per_class_precision(self) -> np.ndarray:
+        """Precision per predicted class; nan when never predicted."""
+        totals = self.confusion.sum(axis=0).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.diagonal(self.confusion) / totals
+
+    def per_class_f1(self) -> np.ndarray:
+        """Harmonic mean of precision and recall per class; nan-safe."""
+        precision = self.per_class_precision()
+        recall = self.per_class_recall()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            f1 = 2.0 * precision * recall / (precision + recall)
+        return np.where(np.isnan(f1), 0.0, f1)
+
+    def weighted_f1(self) -> float:
+        """F1 averaged by true-class support (WEKA's weighted F-measure)."""
+        support = self.confusion.sum(axis=1).astype(np.float64)
+        total = support.sum()
+        if total == 0:
+            return 0.0
+        return float((self.per_class_f1() * support).sum() / total)
+
+    def kappa(self) -> float:
+        """Cohen's kappa: agreement beyond chance (WEKA's Kappa statistic).
+
+        1 = perfect, 0 = chance-level, negative = worse than chance.
+        Returns 0 when expected agreement is already 1 (degenerate
+        single-class confusion).
+        """
+        total = self.confusion.sum()
+        if total == 0:
+            return 0.0
+        observed = np.trace(self.confusion) / total
+        row = self.confusion.sum(axis=1) / total
+        col = self.confusion.sum(axis=0) / total
+        expected = float((row * col).sum())
+        if expected >= 1.0:
+            return 0.0
+        return float((observed - expected) / (1.0 - expected))
+
+
+def evaluate(classifier: Classifier, test: Instances) -> Evaluation:
+    """Evaluate a fitted classifier on held-out instances."""
+    if test.n == 0:
+        raise ValueError("cannot evaluate on an empty test set")
+    predictions = classifier.predict(test.X)
+    k = test.num_classes
+    confusion = np.zeros((k, k), dtype=np.int64)
+    np.add.at(confusion, (test.y, predictions), 1)
+    correct = int(np.trace(confusion))
+    return Evaluation(correct=correct, total=test.n, confusion=confusion)
+
+
+def stratified_folds(
+    y: np.ndarray, k: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Index arrays for k stratified folds.
+
+    Within each class, instances are shuffled then dealt round-robin, so
+    fold class counts differ by at most one.
+    """
+    y = np.asarray(y)
+    if k < 2:
+        raise ValueError(f"need at least 2 folds, got {k}")
+    if k > y.size:
+        raise ValueError(f"cannot make {k} folds from {y.size} instances")
+    folds: list[list[int]] = [[] for _ in range(k)]
+    cursor = 0
+    for cls in np.unique(y):
+        members = np.flatnonzero(y == cls)
+        rng.shuffle(members)
+        for index in members:
+            folds[cursor % k].append(int(index))
+            cursor += 1
+    return [np.array(sorted(fold), dtype=np.intp) for fold in folds]
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Aggregated k-fold outcome."""
+
+    fold_evaluations: tuple[Evaluation, ...]
+    confusion: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return len(self.fold_evaluations)
+
+    @property
+    def accuracy(self) -> float:
+        """Pooled accuracy over all folds (WEKA's summary accuracy)."""
+        correct = sum(e.correct for e in self.fold_evaluations)
+        total = sum(e.total for e in self.fold_evaluations)
+        return correct / total if total else 0.0
+
+    @property
+    def fold_accuracies(self) -> tuple[float, ...]:
+        return tuple(e.accuracy for e in self.fold_evaluations)
+
+    @property
+    def accuracy_std(self) -> float:
+        accs = np.array(self.fold_accuracies)
+        return float(accs.std(ddof=1)) if len(accs) > 1 else 0.0
+
+    def pooled(self) -> Evaluation:
+        """All folds pooled into one Evaluation (for kappa/F1 etc.)."""
+        correct = int(np.trace(self.confusion))
+        return Evaluation(
+            correct=correct,
+            total=int(self.confusion.sum()),
+            confusion=self.confusion.copy(),
+        )
+
+    def summary(self, class_names: tuple[str, ...] | None = None) -> str:
+        """WEKA-style text summary block.
+
+        Mirrors the classifier-output section WEKA prints after CV:
+        correctly/incorrectly classified counts, kappa, weighted
+        F-measure, and the confusion matrix.
+        """
+        pooled = self.pooled()
+        total = pooled.total
+        incorrect = total - pooled.correct
+        lines = [
+            f"=== Stratified {self.k}-fold cross-validation ===",
+            "",
+            f"Correctly Classified Instances   {pooled.correct:>8d}"
+            f"    {pooled.accuracy * 100:7.3f} %",
+            f"Incorrectly Classified Instances {incorrect:>8d}"
+            f"    {pooled.error_rate * 100:7.3f} %",
+            f"Kappa statistic                  {pooled.kappa():>12.4f}",
+            f"Weighted F-Measure               {pooled.weighted_f1():>12.4f}",
+            f"Total Number of Instances        {total:>8d}",
+            "",
+            "=== Confusion Matrix ===",
+        ]
+        k = self.confusion.shape[0]
+        names = class_names or tuple(chr(ord("a") + i) for i in range(k))
+        width = max(6, *(len(str(v)) for v in self.confusion.ravel()))
+        header = " ".join(f"{name:>{width}}" for name in names)
+        lines.append(f"{header}   <-- classified as")
+        for i in range(k):
+            row = " ".join(
+                f"{self.confusion[i, j]:>{width}d}" for j in range(k)
+            )
+            lines.append(f"{row} | {names[i]}")
+        return "\n".join(lines)
+
+
+def cross_validate(
+    make_classifier: Callable[[], Classifier],
+    data: Instances,
+    k: int = 10,
+    rng: np.random.Generator | None = None,
+) -> CrossValidationResult:
+    """Stratified k-fold CV; a fresh classifier is built per fold."""
+    rng = rng if rng is not None else np.random.default_rng(1)
+    folds = stratified_folds(data.y, k, rng)
+    evaluations: list[Evaluation] = []
+    num_classes = data.num_classes
+    confusion = np.zeros((num_classes, num_classes), dtype=np.int64)
+    all_indices = np.arange(data.n)
+    for fold in folds:
+        test_mask = np.zeros(data.n, dtype=bool)
+        test_mask[fold] = True
+        train = data.subset(all_indices[~test_mask])
+        test = data.subset(fold)
+        classifier = make_classifier()
+        classifier.fit(train)
+        evaluation = evaluate(classifier, test)
+        evaluations.append(evaluation)
+        confusion += evaluation.confusion
+    return CrossValidationResult(
+        fold_evaluations=tuple(evaluations), confusion=confusion
+    )
+
+
+def train_test_split(
+    data: Instances, test_fraction: float, rng: np.random.Generator | None = None
+) -> tuple[Instances, Instances]:
+    """Stratified (train, test) split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1): {test_fraction}")
+    rng = rng if rng is not None else np.random.default_rng(1)
+    test_indices: list[int] = []
+    for cls in np.unique(data.y):
+        members = np.flatnonzero(data.y == cls)
+        rng.shuffle(members)
+        take = int(round(len(members) * test_fraction))
+        test_indices.extend(members[:take].tolist())
+    mask = np.zeros(data.n, dtype=bool)
+    mask[test_indices] = True
+    test, train = data.split_by_mask(mask)
+    return train, test

@@ -1,0 +1,205 @@
+"""Preprocessing filters (WEKA's ``weka.filters`` equivalent).
+
+Linear models (Logistic, SMO, SGD) and distance models (IBk, KStar)
+need nominal attributes one-hot encoded and numeric attributes scaled;
+trees and NaiveBayes consume the raw encoding.  All filters follow the
+fit-on-train / apply-anywhere discipline so cross-validation never
+leaks test statistics into training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.instances import Instances
+
+
+class NominalToBinary:
+    """One-hot encode nominal columns; numeric columns pass through.
+
+    Binary nominal attributes become a single 0/1 column (matching
+    WEKA's NominalToBinary default) instead of two redundant ones.
+    Missing nominal values encode as all-zeros.
+    """
+
+    def __init__(self) -> None:
+        self._schema: Schema | None = None
+        self._width: int | None = None
+
+    def fit(self, data: Instances) -> "NominalToBinary":
+        self._schema = data.schema
+        width = 0
+        for attribute in data.schema.attributes:
+            width += self._columns_for(attribute)
+        self._width = width
+        return self
+
+    @staticmethod
+    def _columns_for(attribute: Attribute) -> int:
+        if not attribute.is_nominal:
+            return 1
+        return 1 if attribute.is_binary else attribute.num_values
+
+    @property
+    def width(self) -> int:
+        if self._width is None:
+            raise RuntimeError("filter not fitted")
+        return self._width
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._schema is None or self._width is None:
+            raise RuntimeError("filter not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        out = np.zeros((n, self._width), dtype=np.float64)
+        col = 0
+        for index, attribute in enumerate(self._schema.attributes):
+            source = X[:, index]
+            missing = np.isnan(source)
+            if not attribute.is_nominal:
+                out[:, col] = np.where(missing, 0.0, source)
+                col += 1
+            elif attribute.is_binary:
+                out[:, col] = np.where(missing, 0.0, source)
+                col += 1
+            else:
+                codes = np.where(missing, 0, source).astype(np.intp)
+                valid = ~missing
+                rows = np.flatnonzero(valid)
+                out[rows, col + codes[valid]] = 1.0
+                col += attribute.num_values
+        return out
+
+    def fit_transform(self, data: Instances) -> np.ndarray:
+        return self.fit(data).transform(data.X)
+
+
+class Standardize:
+    """Zero-mean unit-variance scaling fitted on training data.
+
+    Constant columns get scale 1 so they map to zero rather than NaN.
+    """
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "Standardize":
+        X = np.asarray(X, dtype=np.float64)
+        self._mean = np.nanmean(X, axis=0)
+        scale = np.nanstd(X, axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._scale is None:
+            raise RuntimeError("filter not fitted")
+        return (np.asarray(X, dtype=np.float64) - self._mean) / self._scale
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class Discretize:
+    """Equal-width binning of numeric attributes (WEKA's unsupervised
+    Discretize).  Nominal columns pass through; bin edges come from
+    training data, out-of-range test values clamp to the edge bins.
+    """
+
+    def __init__(self, bins: int = 10) -> None:
+        if bins < 2:
+            raise ValueError(f"bins must be >= 2, got {bins}")
+        self.bins = bins
+        self._schema: Schema | None = None
+        self._edges: dict[int, np.ndarray] = {}
+
+    def fit(self, data: Instances) -> "Discretize":
+        self._schema = data.schema
+        self._edges = {}
+        for index in data.schema.numeric_indices():
+            column = data.X[:, index]
+            valid = column[~np.isnan(column)]
+            if valid.size == 0:
+                lo, hi = 0.0, 1.0
+            else:
+                lo, hi = float(valid.min()), float(valid.max())
+                if lo == hi:
+                    hi = lo + 1.0
+            self._edges[index] = np.linspace(lo, hi, self.bins + 1)[1:-1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._schema is None:
+            raise RuntimeError("filter not fitted")
+        X = np.array(X, dtype=np.float64, copy=True)
+        for index, edges in self._edges.items():
+            column = X[:, index]
+            missing = np.isnan(column)
+            binned = np.searchsorted(edges, column, side="right").astype(
+                np.float64
+            )
+            X[:, index] = np.where(missing, np.nan, binned)
+        return X
+
+    def fit_transform(self, data: Instances) -> np.ndarray:
+        return self.fit(data).transform(data.X)
+
+    def discretized_schema(self) -> Schema:
+        """Schema where each numeric attribute became a nominal one
+        with one value per bin."""
+        if self._schema is None:
+            raise RuntimeError("filter not fitted")
+        attributes = []
+        for index, attribute in enumerate(self._schema.attributes):
+            if index in self._edges:
+                attributes.append(
+                    Attribute.nominal(
+                        attribute.name,
+                        tuple(f"bin{i}" for i in range(self.bins)),
+                    )
+                )
+            else:
+                attributes.append(attribute)
+        return Schema(
+            attributes=tuple(attributes),
+            class_attribute=self._schema.class_attribute,
+        )
+
+
+class ImputeMissing:
+    """Replace missing values: numeric → train mean, nominal → train mode."""
+
+    def __init__(self) -> None:
+        self._schema: Schema | None = None
+        self._fill: np.ndarray | None = None
+
+    def fit(self, data: Instances) -> "ImputeMissing":
+        self._schema = data.schema
+        fill = np.zeros(data.d)
+        for index, attribute in enumerate(data.schema.attributes):
+            column = data.X[:, index]
+            valid = column[~np.isnan(column)]
+            if valid.size == 0:
+                fill[index] = 0.0
+            elif attribute.is_nominal:
+                counts = np.bincount(
+                    valid.astype(np.intp), minlength=attribute.num_values
+                )
+                fill[index] = float(np.argmax(counts))
+            else:
+                fill[index] = float(valid.mean())
+        self._fill = fill
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._fill is None:
+            raise RuntimeError("filter not fitted")
+        X = np.array(X, dtype=np.float64, copy=True)
+        mask = np.isnan(X)
+        X[mask] = np.broadcast_to(self._fill, X.shape)[mask]
+        return X
+
+    def fit_transform(self, data: Instances) -> np.ndarray:
+        return self.fit(data).transform(data.X)

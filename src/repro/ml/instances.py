@@ -1,0 +1,168 @@
+"""The Instances dataset container (WEKA's ``Instances`` equivalent).
+
+Data lives in two C-ordered numpy arrays: ``X`` (float64, one row per
+instance; nominal attributes store their category code, ``nan`` marks a
+missing value) and ``y`` (int64 class codes).  Keeping the matrix dense
+and C-ordered is deliberate — every classifier hot path then traverses
+row-major (rule R11 practiced, not just preached).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.ml.attributes import Attribute, AttributeKind, Schema
+
+
+class Instances:
+    """An immutable-by-convention dataset: schema + (X, y)."""
+
+    def __init__(self, schema: Schema, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        if X.shape[1] != schema.num_attributes:
+            raise ValueError(
+                f"X has {X.shape[1]} columns but schema declares "
+                f"{schema.num_attributes} attributes"
+            )
+        if y.size and (y.min() < 0 or y.max() >= schema.num_classes):
+            raise ValueError(
+                f"class codes outside [0, {schema.num_classes}): "
+                f"[{y.min()}, {y.max()}]"
+            )
+        for index in schema.nominal_indices():
+            column = X[:, index]
+            valid = column[~np.isnan(column)]
+            if valid.size and (
+                (valid < 0).any()
+                or (valid >= schema.attribute(index).num_values).any()
+            ):
+                raise ValueError(
+                    f"nominal column {schema.attribute(index).name!r} has "
+                    "codes outside its value set"
+                )
+        self.schema = schema
+        self.X = X
+        self.y = y
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Iterable[Sequence[object]]
+    ) -> "Instances":
+        """Build from Python rows ``[v0, …, vd-1, class_value]``.
+
+        Nominal cells accept the value string (or ``None``/``"?"`` for
+        missing); numeric cells accept anything float() takes.
+        """
+        X_rows: list[list[float]] = []
+        y_rows: list[int] = []
+        width = schema.num_attributes + 1
+        for row_number, row in enumerate(rows):
+            if len(row) != width:
+                raise ValueError(
+                    f"row {row_number}: expected {width} cells, got {len(row)}"
+                )
+            encoded: list[float] = []
+            for attribute, cell in zip(schema.attributes, row[:-1]):
+                encoded.append(_encode_cell(attribute, cell))
+            X_rows.append(encoded)
+            label = row[-1]
+            if isinstance(label, str):
+                y_rows.append(schema.class_attribute.index_of(label))
+            else:
+                y_rows.append(int(label))  # already a code
+        X = (
+            np.array(X_rows, dtype=np.float64)
+            if X_rows
+            else np.empty((0, schema.num_attributes))
+        )
+        return cls(schema, X, np.array(y_rows, dtype=np.int64))
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of instances."""
+        return self.X.shape[0]
+
+    @property
+    def d(self) -> int:
+        """Number of input attributes."""
+        return self.X.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return self.schema.num_classes
+
+    def __len__(self) -> int:
+        return self.n
+
+    def attribute(self, index: int) -> Attribute:
+        return self.schema.attribute(index)
+
+    def class_counts(self) -> np.ndarray:
+        """Instances per class, length ``num_classes``."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    def class_distribution(self) -> np.ndarray:
+        """Empirical class prior; uniform for an empty dataset."""
+        counts = self.class_counts().astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return np.full(self.num_classes, 1.0 / self.num_classes)
+        return counts / total
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean matrix: True where a value is missing."""
+        return np.isnan(self.X)
+
+    # -- slicing -----------------------------------------------------------
+
+    def subset(self, indices: np.ndarray | Sequence[int]) -> "Instances":
+        """Row subset (copies, so folds never alias each other)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Instances(self.schema, self.X[indices].copy(), self.y[indices].copy())
+
+    def split_by_mask(self, mask: np.ndarray) -> tuple["Instances", "Instances"]:
+        """(rows where mask, rows where ~mask)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.n},)")
+        return self.subset(np.flatnonzero(mask)), self.subset(np.flatnonzero(~mask))
+
+    # -- display -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Instances(n={self.n}, d={self.d}, "
+            f"classes={self.schema.class_attribute.values})"
+        )
+
+
+def _encode_cell(attribute: Attribute, cell: object) -> float:
+    if cell is None or (isinstance(cell, str) and cell == "?"):
+        return float("nan")
+    if attribute.kind is AttributeKind.NOMINAL:
+        if isinstance(cell, str):
+            return float(attribute.index_of(cell))
+        code = int(cell)  # pre-encoded
+        if not 0 <= code < attribute.num_values:
+            raise ValueError(
+                f"code {code} out of range for nominal {attribute.name!r}"
+            )
+        return float(code)
+    if isinstance(cell, float) and np.isnan(cell):
+        return float("nan")
+    return float(cell)  # type: ignore[arg-type]

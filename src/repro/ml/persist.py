@@ -1,0 +1,452 @@
+"""Model persistence: portable JSON save/load for all ten classifiers.
+
+Edge deployment (the paper's target) means training off-device and
+shipping a model artifact; pickle is neither portable nor auditable, so
+every classifier serializes to a tagged JSON document::
+
+    from repro.ml.persist import save_model, load_model
+    save_model(fitted, "model.json")
+    clone = load_model("model.json")
+
+The document records the format version, the classifier type and
+constructor parameters, the training schema, and the fitted state
+(numpy arrays encoded with dtype/shape).  Loading reconstructs an
+equivalent predictor — ``load(save(m)).predict == m.predict`` is the
+round-trip contract the tests enforce.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ml.attributes import Attribute, AttributeKind, Schema
+from repro.ml.base import Classifier
+from repro.ml.classifiers import (
+    IBk,
+    J48,
+    KStar,
+    Logistic,
+    NaiveBayes,
+    RandomForest,
+    RandomTree,
+    REPTree,
+    SGD,
+    SMO,
+)
+from repro.ml.classifiers._tree_utils import TreeNode
+from repro.ml.classifiers.smo import _BinaryModel
+from repro.ml.filters import ImputeMissing, NominalToBinary, Standardize
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Malformed or unsupported model document."""
+
+
+# -- primitive encoders ------------------------------------------------------
+
+
+def _enc_array(array: np.ndarray) -> dict:
+    array = np.asarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def _dec_array(doc: dict) -> np.ndarray:
+    return np.array(doc["data"], dtype=doc["dtype"]).reshape(doc["shape"])
+
+
+def _enc_schema(schema: Schema) -> dict:
+    def enc_attr(attribute: Attribute) -> dict:
+        return {
+            "name": attribute.name,
+            "kind": attribute.kind.value,
+            "values": list(attribute.values),
+        }
+
+    return {
+        "attributes": [enc_attr(a) for a in schema.attributes],
+        "class_attribute": enc_attr(schema.class_attribute),
+    }
+
+
+def _dec_schema(doc: dict) -> Schema:
+    def dec_attr(attr_doc: dict) -> Attribute:
+        return Attribute(
+            name=attr_doc["name"],
+            kind=AttributeKind(attr_doc["kind"]),
+            values=tuple(attr_doc["values"]),
+        )
+
+    return Schema(
+        attributes=tuple(dec_attr(a) for a in doc["attributes"]),
+        class_attribute=dec_attr(doc["class_attribute"]),
+    )
+
+
+def _enc_tree(node: TreeNode) -> dict:
+    return {
+        "counts": _enc_array(node.counts),
+        "attribute": node.attribute,
+        "threshold": node.threshold,
+        "children": [_enc_tree(child) for child in node.children],
+    }
+
+
+def _dec_tree(doc: dict) -> TreeNode:
+    node = TreeNode(counts=_dec_array(doc["counts"]))
+    node.attribute = doc["attribute"]
+    node.threshold = doc["threshold"]
+    node.children = [_dec_tree(child) for child in doc["children"]]
+    return node
+
+
+def _enc_imputer(imputer: ImputeMissing) -> dict:
+    return {"fill": _enc_array(imputer._fill)}
+
+
+def _dec_imputer(doc: dict, schema: Schema) -> ImputeMissing:
+    imputer = ImputeMissing()
+    imputer._schema = schema
+    imputer._fill = _dec_array(doc["fill"])
+    return imputer
+
+
+def _enc_encoder_scaler(model) -> dict:
+    return {
+        "width": model._encoder.width,
+        "mean": _enc_array(model._scaler._mean),
+        "scale": _enc_array(model._scaler._scale),
+    }
+
+
+def _dec_encoder_scaler(model, doc: dict, schema: Schema) -> None:
+    encoder = NominalToBinary()
+    encoder._schema = schema
+    encoder._width = doc["width"]
+    scaler = Standardize()
+    scaler._mean = _dec_array(doc["mean"])
+    scaler._scale = _dec_array(doc["scale"])
+    model._encoder = encoder
+    model._scaler = scaler
+
+
+def _mark_fitted(model: Classifier, schema: Schema) -> None:
+    model._fitted = True
+    model._num_classes = schema.num_classes
+    model._num_attributes = schema.num_attributes
+
+
+# -- per-classifier codecs ------------------------------------------------------
+
+
+def _tree_params(model) -> dict:
+    names = {
+        J48: ("min_leaf", "pruned"),
+        RandomTree: ("k", "min_leaf", "max_depth", "seed"),
+        REPTree: ("n_folds", "min_leaf", "max_depth", "pruned", "seed"),
+    }[type(model)]
+    return {name: getattr(model, name) for name in names}
+
+
+def _enc_single_tree(model) -> dict:
+    return {
+        "params": _tree_params(model),
+        "root": _enc_tree(model._root),
+        "imputer": _enc_imputer(model._imputer),
+    }
+
+
+def _dec_single_tree(cls, state: dict, schema: Schema):
+    model = cls(**state["params"])
+    model._root = _dec_tree(state["root"])
+    model._imputer = _dec_imputer(state["imputer"], schema)
+    model._schema = schema
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_forest(model: RandomForest) -> dict:
+    return {
+        "params": {
+            "n_trees": model.n_trees,
+            "k": model.k,
+            "min_leaf": model.min_leaf,
+            "max_depth": model.max_depth,
+            "seed": model.seed,
+        },
+        "trees": [_enc_single_tree(tree) for tree in model.trees],
+    }
+
+
+def _dec_forest(state: dict, schema: Schema) -> RandomForest:
+    model = RandomForest(**state["params"])
+    model._trees = [
+        _dec_single_tree(RandomTree, tree_state, schema)
+        for tree_state in state["trees"]
+    ]
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_naive_bayes(model: NaiveBayes) -> dict:
+    return {
+        "params": {"laplace": model.laplace},
+        "log_prior": _enc_array(model._log_prior),
+        "nominal": {
+            str(index): _enc_array(table)
+            for index, table in model._nominal_log_prob.items()
+        },
+        "gauss_mean": None if model._gauss_mean is None
+        else _enc_array(model._gauss_mean),
+        "gauss_std": None if model._gauss_std is None
+        else _enc_array(model._gauss_std),
+        "nominal_idx": list(model._nominal_idx),
+        "numeric_idx": list(model._numeric_idx),
+    }
+
+
+def _dec_naive_bayes(state: dict, schema: Schema) -> NaiveBayes:
+    model = NaiveBayes(**state["params"])
+    model._log_prior = _dec_array(state["log_prior"])
+    model._nominal_log_prob = {
+        int(index): _dec_array(table)
+        for index, table in state["nominal"].items()
+    }
+    model._gauss_mean = (
+        None if state["gauss_mean"] is None else _dec_array(state["gauss_mean"])
+    )
+    model._gauss_std = (
+        None if state["gauss_std"] is None else _dec_array(state["gauss_std"])
+    )
+    model._nominal_idx = tuple(state["nominal_idx"])
+    model._numeric_idx = tuple(state["numeric_idx"])
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_logistic(model: Logistic) -> dict:
+    return {
+        "params": {"ridge": model.ridge, "max_iter": model.max_iter},
+        "weights": _enc_array(model._weights),
+        "pipeline": _enc_encoder_scaler(model),
+    }
+
+
+def _dec_logistic(state: dict, schema: Schema) -> Logistic:
+    model = Logistic(**state["params"])
+    model._weights = _dec_array(state["weights"])
+    _dec_encoder_scaler(model, state["pipeline"], schema)
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_sgd(model: SGD) -> dict:
+    return {
+        "params": {
+            "loss": model.loss,
+            "learning_rate": model.learning_rate,
+            "lambda_reg": model.lambda_reg,
+            "epochs": model.epochs,
+            "seed": model.seed,
+        },
+        "W": _enc_array(model._W),
+        "b": _enc_array(model._b),
+        "pipeline": _enc_encoder_scaler(model),
+    }
+
+
+def _dec_sgd(state: dict, schema: Schema) -> SGD:
+    model = SGD(**state["params"])
+    model._W = _dec_array(state["W"])
+    model._b = _dec_array(state["b"])
+    _dec_encoder_scaler(model, state["pipeline"], schema)
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_smo(model: SMO) -> dict:
+    return {
+        "params": {
+            "C": model.C,
+            "kernel": model.kernel,
+            "degree": model.degree,
+            "gamma": model.gamma,
+            "tol": model.tol,
+            "eps": model.eps,
+            "max_passes": model.max_passes,
+            "seed": model.seed,
+        },
+        "pipeline": _enc_encoder_scaler(model),
+        "models": [
+            {
+                "pair": list(pair),
+                "alphas": _enc_array(binary.alphas),
+                "bias": binary.bias,
+                "support": _enc_array(binary.support),
+                "support_targets": _enc_array(binary.support_targets),
+            }
+            for pair, binary in model._models.items()
+        ],
+    }
+
+
+def _dec_smo(state: dict, schema: Schema) -> SMO:
+    model = SMO(**state["params"])
+    _dec_encoder_scaler(model, state["pipeline"], schema)
+    model._models = {
+        tuple(doc["pair"]): _BinaryModel(
+            alphas=_dec_array(doc["alphas"]),
+            bias=doc["bias"],
+            support=_dec_array(doc["support"]),
+            support_targets=_dec_array(doc["support_targets"]),
+        )
+        for doc in state["models"]
+    }
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_ibk(model: IBk) -> dict:
+    return {
+        "params": {
+            "k": model.k,
+            "weight": model.weight,
+            "batch_size": model.batch_size,
+        },
+        "train_X": _enc_array(model._train_X),
+        "train_y": _enc_array(model._train_y),
+        "min": None if model._min is None else _enc_array(model._min),
+        "range": None if model._range is None else _enc_array(model._range),
+        "numeric_cols": _enc_array(model._numeric_cols),
+        "nominal_cols": _enc_array(model._nominal_cols),
+    }
+
+
+def _dec_ibk(state: dict, schema: Schema) -> IBk:
+    model = IBk(**state["params"])
+    model._train_X = _dec_array(state["train_X"])
+    model._train_y = _dec_array(state["train_y"])
+    model._min = None if state["min"] is None else _dec_array(state["min"])
+    model._range = (
+        None if state["range"] is None else _dec_array(state["range"])
+    )
+    model._numeric_cols = _dec_array(state["numeric_cols"]).astype(np.intp)
+    model._nominal_cols = _dec_array(state["nominal_cols"]).astype(np.intp)
+    _mark_fitted(model, schema)
+    return model
+
+
+def _enc_kstar(model: KStar) -> dict:
+    return {
+        "params": {"blend": model.blend, "batch_size": model.batch_size},
+        "train_X": _enc_array(model._train_X),
+        "train_y": _enc_array(model._train_y),
+        "scales": None if model._scales is None else _enc_array(model._scales),
+        "num_values": None if model._num_values is None
+        else _enc_array(model._num_values),
+        "numeric_cols": _enc_array(model._numeric_cols),
+        "nominal_cols": _enc_array(model._nominal_cols),
+    }
+
+
+def _dec_kstar(state: dict, schema: Schema) -> KStar:
+    model = KStar(**state["params"])
+    model._train_X = _dec_array(state["train_X"])
+    model._train_y = _dec_array(state["train_y"])
+    model._scales = (
+        None if state["scales"] is None else _dec_array(state["scales"])
+    )
+    model._num_values = (
+        None if state["num_values"] is None
+        else _dec_array(state["num_values"])
+    )
+    model._numeric_cols = _dec_array(state["numeric_cols"]).astype(np.intp)
+    model._nominal_cols = _dec_array(state["nominal_cols"]).astype(np.intp)
+    _mark_fitted(model, schema)
+    return model
+
+
+_CODECS: dict[type, tuple[Callable, Callable]] = {
+    J48: (_enc_single_tree, lambda s, sc: _dec_single_tree(J48, s, sc)),
+    RandomTree: (
+        _enc_single_tree,
+        lambda s, sc: _dec_single_tree(RandomTree, s, sc),
+    ),
+    REPTree: (
+        _enc_single_tree,
+        lambda s, sc: _dec_single_tree(REPTree, s, sc),
+    ),
+    RandomForest: (_enc_forest, _dec_forest),
+    NaiveBayes: (_enc_naive_bayes, _dec_naive_bayes),
+    Logistic: (_enc_logistic, _dec_logistic),
+    SGD: (_enc_sgd, _dec_sgd),
+    SMO: (_enc_smo, _dec_smo),
+    IBk: (_enc_ibk, _dec_ibk),
+    KStar: (_enc_kstar, _dec_kstar),
+}
+
+_BY_NAME = {cls.__name__: cls for cls in _CODECS}
+
+
+# -- public API --------------------------------------------------------------
+
+
+def dumps_model(model: Classifier, schema: Schema) -> str:
+    """Serialize a fitted classifier to a JSON string."""
+    codec = _CODECS.get(type(model))
+    if codec is None:
+        raise PersistenceError(
+            f"no JSON codec for {type(model).__name__}; use pickle"
+        )
+    if not model._fitted:
+        raise PersistenceError("cannot serialize an unfitted model")
+    encode, _ = codec
+    document = {
+        "format": "repro-model",
+        "version": FORMAT_VERSION,
+        "classifier": type(model).__name__,
+        "schema": _enc_schema(schema),
+        "state": encode(model),
+    }
+    return json.dumps(document)
+
+
+def loads_model(text: str) -> Classifier:
+    """Reconstruct a classifier from :func:`dumps_model` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PersistenceError(f"not JSON: {error}") from error
+    if document.get("format") != "repro-model":
+        raise PersistenceError("not a repro model document")
+    if document.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {document.get('version')!r}"
+        )
+    cls = _BY_NAME.get(document.get("classifier", ""))
+    if cls is None:
+        raise PersistenceError(
+            f"unknown classifier {document.get('classifier')!r}"
+        )
+    schema = _dec_schema(document["schema"])
+    _, decode = _CODECS[cls]
+    return decode(document["state"], schema)
+
+
+def save_model(model: Classifier, schema: Schema, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(dumps_model(model, schema))
+    return path
+
+
+def load_model(path: str | Path) -> Classifier:
+    return loads_model(Path(path).read_text())

@@ -1,0 +1,28 @@
+"""Streaming learning substrate — a miniature MOA.
+
+The paper's dataset is the *MOA airlines stream*: MOA (Massive Online
+Analysis) is the streaming counterpart of WEKA, and the edge scenarios
+motivating the paper (EdgeBox's continuous video analysis, CAV sensor
+feeds) are stream workloads.  This package rebuilds the MOA pieces the
+dataset implies:
+
+* :mod:`repro.ml.stream.hoeffding` — the Hoeffding tree (VFDT, Domingos
+  & Hulten 2000), MOA's default stream classifier.
+* :mod:`repro.ml.stream.prequential` — prequential (interleaved
+  test-then-train) evaluation with windowed accuracy and per-instance
+  energy accounting.
+* :mod:`repro.ml.stream.sources` — instance streams over the airlines
+  generator, with optional concept drift.
+"""
+
+from repro.ml.stream.hoeffding import HoeffdingTree
+from repro.ml.stream.prequential import PrequentialResult, prequential_evaluate
+from repro.ml.stream.sources import InstanceStream, airlines_stream
+
+__all__ = [
+    "HoeffdingTree",
+    "InstanceStream",
+    "PrequentialResult",
+    "airlines_stream",
+    "prequential_evaluate",
+]

@@ -1,0 +1,67 @@
+"""Instance streams — MOA-style data sources over the airlines twin."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets import generate_airlines
+from repro.ml.attributes import Schema
+from repro.ml.instances import Instances
+
+
+class InstanceStream:
+    """A finite stream of (x, y) pairs with a declared schema.
+
+    Wraps any :class:`~repro.ml.instances.Instances`; iteration yields
+    rows in order, once.
+    """
+
+    def __init__(self, schema: Schema, batches: list[Instances]) -> None:
+        for batch in batches:
+            if batch.schema != schema:
+                raise ValueError("all batches must share the stream schema")
+        self.schema = schema
+        self._batches = batches
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, int]]:
+        for batch in self._batches:
+            for row, label in zip(batch.X, batch.y):
+                yield row, int(label)
+
+    def __len__(self) -> int:
+        return sum(batch.n for batch in self._batches)
+
+    @classmethod
+    def from_instances(cls, data: Instances) -> "InstanceStream":
+        return cls(data.schema, [data])
+
+
+def airlines_stream(
+    n: int = 5_000,
+    seed: int = 7,
+    drift_at: float | None = None,
+    noise: float = 1.0,
+) -> InstanceStream:
+    """The airlines data as a stream, optionally with concept drift.
+
+    ``drift_at`` in (0, 1) switches the latent delay process (different
+    carrier-quality and congestion draws) at that fraction of the
+    stream — the abrupt-drift construction MOA's generators use.  A
+    stream learner must then re-adapt; batch learners trained on the
+    prefix degrade.
+    """
+    if drift_at is None:
+        return InstanceStream.from_instances(
+            generate_airlines(n=n, seed=seed, noise=noise)
+        )
+    if not 0.0 < drift_at < 1.0:
+        raise ValueError(f"drift_at must be in (0, 1): {drift_at}")
+    first = max(1, int(n * drift_at))
+    second = max(1, n - first)
+    before = generate_airlines(n=first, seed=seed, noise=noise)
+    # A different seed redraws the latent process — the concept changes
+    # while the feature distribution family stays the same.
+    after = generate_airlines(n=second, seed=seed + 1000, noise=noise)
+    return InstanceStream(before.schema, [before, after])

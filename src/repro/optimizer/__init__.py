@@ -1,0 +1,31 @@
+"""Automatic energy refactoring (the JEPO optimizer's "apply" side).
+
+The paper's workflow is: JEPO lists suggestions per class/line (Fig. 5)
+and the developer applies them; the evaluation counts applied "Changes"
+per classifier (Table IV).  This package automates the safe subset:
+
+* :mod:`repro.optimizer.transforms` — one AST transform per mechanical
+  rewrite (modulus→bitmask, ``+=`` string → join, copy-loop → slice,
+  loop swap, find()→in, global hoist, ternary→if/else, re.compile
+  hoist).
+* :mod:`repro.optimizer.rewriter` — orchestration: apply transforms to
+  sources/files/projects, count changes, emit diffs.
+
+Rewrites go through ``ast.unparse``; comments and exact formatting are
+not preserved (a deliberate trade-off documented in DESIGN.md — the
+measurement semantics are unchanged).
+"""
+
+from repro.optimizer.rewriter import (
+    AppliedChange,
+    OptimizationResult,
+    Optimizer,
+    optimize_source,
+)
+
+__all__ = [
+    "AppliedChange",
+    "OptimizationResult",
+    "Optimizer",
+    "optimize_source",
+]

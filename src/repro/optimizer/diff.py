@@ -1,0 +1,16 @@
+"""Unified diff rendering for optimizer results."""
+
+from __future__ import annotations
+
+import difflib
+
+
+def unified_diff(before: str, after: str, filename: str = "<source>") -> str:
+    """Classic unified diff between two source versions."""
+    lines = difflib.unified_diff(
+        before.splitlines(keepends=True),
+        after.splitlines(keepends=True),
+        fromfile=f"a/{filename}",
+        tofile=f"b/{filename}",
+    )
+    return "".join(lines)

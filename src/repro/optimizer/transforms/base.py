@@ -1,0 +1,63 @@
+"""Transform base class and the applied-change record."""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppliedChange:
+    """One mechanical rewrite performed on a tree."""
+
+    transform_id: str
+    rule_id: str
+    line: int
+    description: str
+
+
+class Transform(abc.ABC):
+    """A single-purpose AST rewrite tied to one analyzer rule.
+
+    Transforms must be *semantics-preserving under their stated
+    preconditions*; anything requiring judgment stays a suggestion.
+    Implementations mutate nothing shared: ``apply`` receives a tree the
+    caller owns and returns the (possibly same) tree plus change records.
+    """
+
+    transform_id: str
+    rule_id: str
+
+    @abc.abstractmethod
+    def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
+        """Rewrite ``tree`` in place; return it with the changes made."""
+
+    def _change(self, node: ast.AST, description: str) -> AppliedChange:
+        return AppliedChange(
+            transform_id=self.transform_id,
+            rule_id=self.rule_id,
+            line=getattr(node, "lineno", 0),
+            description=description,
+        )
+
+
+def in_loop_statements(tree: ast.Module):
+    """Yield (loop, parent_body, index) for every For/While statement.
+
+    Parent bodies are the actual lists, so callers can splice statements
+    around loops (needed for hoists and join-insertions).
+    """
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        for name in ("body", "orelse", "finalbody"):
+            body = getattr(node, name, None)
+            if not isinstance(body, list):
+                continue
+            for index, stmt in enumerate(body):
+                if isinstance(stmt, (ast.For, ast.While)):
+                    yield stmt, body, index
+                stack.append(stmt)
+        for handler in getattr(node, "handlers", []) or []:
+            stack.append(handler)

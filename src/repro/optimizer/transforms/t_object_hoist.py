@@ -1,0 +1,104 @@
+"""Loop-invariant ``re.compile`` assignments hoisted out of loops (rule R13).
+
+``name = re.compile(<constants>)`` inside a loop moves to just before
+the loop.  Preconditions: the target name is assigned nowhere else in
+the loop, and every argument is a literal constant (so the value cannot
+depend on the iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyzer.rules.base import target_names
+from repro.optimizer.transforms.base import AppliedChange, Transform, in_loop_statements
+
+
+class RecompileHoistTransform(Transform):
+    transform_id = "T_RECOMPILE_HOIST"
+    rule_id = "R13_OBJECT_CHURN"
+
+    def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
+        changes: list[AppliedChange] = []
+        # Process high indices first so inserts never invalidate the
+        # collected positions of other loops in the same body.
+        sites = sorted(
+            in_loop_statements(tree), key=lambda site: site[2], reverse=True
+        )
+        for loop, parent_body, loop_index in sites:
+            moved = self._extract(loop)
+            for stmt in reversed(moved):
+                parent_body.insert(loop_index, stmt)
+                changes.append(
+                    self._change(
+                        stmt,
+                        f"hoisted loop-invariant {ast.unparse(stmt)!r} "
+                        "out of the loop",
+                    )
+                )
+        ast.fix_missing_locations(tree)
+        return tree, changes
+
+    def _extract(self, loop) -> list[ast.stmt]:
+        assigned_in_loop: set[str] = set()
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    assigned_in_loop |= target_names(target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                assigned_in_loop |= target_names(node.target)
+            elif isinstance(node, ast.For):
+                assigned_in_loop |= target_names(node.target)
+
+        moved: list[ast.stmt] = []
+        for body in self._direct_bodies(loop):
+            index = 0
+            while index < len(body):
+                stmt = body[index]
+                if self._hoistable(stmt):
+                    name = stmt.targets[0].id  # type: ignore[union-attr]
+                    # The pattern assignment itself counts once; any other
+                    # assignment to the name blocks the hoist.
+                    others = sum(
+                        1
+                        for node in ast.walk(loop)
+                        if isinstance(node, ast.Assign)
+                        and any(name in target_names(t) for t in node.targets)
+                    )
+                    if others == 1:
+                        moved.append(body.pop(index))
+                        continue
+                index += 1
+            if not body:
+                body.append(ast.Pass())
+        return moved
+
+    @staticmethod
+    def _direct_bodies(loop):
+        yield loop.body
+        if loop.orelse:
+            yield loop.orelse
+
+    @staticmethod
+    def _hoistable(stmt: ast.stmt) -> bool:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            return False
+        call = stmt.value
+        func = call.func
+        is_re_compile = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "compile"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "re"
+        )
+        if not is_re_compile:
+            return False
+        operands = [*call.args, *(kw.value for kw in call.keywords)]
+        return bool(operands) and all(
+            isinstance(arg, ast.Constant) for arg in operands
+        )

@@ -1,0 +1,140 @@
+"""Runtime method instrumentation — the Javassist-injection analog.
+
+Where :mod:`repro.profiler.tracer` hooks the interpreter, this module
+wraps *specific* callables with a measuring decorator, which is the
+closest Python analog to JEPO's per-method bytecode injection: each
+wrapped method reads the energy counters on entry and exit and appends
+one record per execution.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import types
+from typing import Callable, TypeVar
+
+from repro.profiler.records import MethodRecord, ProfileResult
+from repro.rapl.backends import RaplBackend, default_backend
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute set on wrappers so double instrumentation is detectable.
+_MARKER = "__pepo_instrumented__"
+
+
+class Injector:
+    """Shared sink for records produced by injected wrappers."""
+
+    def __init__(self, backend: RaplBackend | None = None) -> None:
+        self.backend = backend or default_backend()
+        self.result = ProfileResult()
+        self._counts: dict[str, int] = {}
+
+    def _record(self, method, filename, lineno, start, end) -> None:
+        delta = end.delta(start)
+        index = self._counts.get(method, 0)
+        self._counts[method] = index + 1
+        self.result.add(
+            MethodRecord(
+                method=method,
+                filename=filename,
+                lineno=lineno,
+                call_index=index,
+                wall_seconds=delta.wall_seconds,
+                cpu_seconds=delta.cpu_seconds,
+                joules=dict(delta.joules),
+                # Wrappers cannot see callee boundaries; inclusive only.
+                exclusive_joules=dict(delta.joules),
+            )
+        )
+
+
+def instrument_callable(fn: F, injector: Injector, name: str | None = None) -> F:
+    """Wrap one callable with entry/exit energy reads.
+
+    Idempotent: instrumenting an already-instrumented callable returns
+    it unchanged, so project-wide sweeps cannot stack probes.
+    """
+    if getattr(fn, _MARKER, False):
+        return fn
+    method = name or f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}"
+    try:
+        filename = inspect.getsourcefile(fn) or ""
+        lineno = inspect.getsourcelines(fn)[1]
+    except (TypeError, OSError):
+        filename, lineno = "", 0
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        start = injector.backend.snapshot()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            injector._record(
+                method, filename, lineno, start, injector.backend.snapshot()
+            )
+
+    setattr(wrapper, _MARKER, True)
+    return wrapper  # type: ignore[return-value]
+
+
+def measured(injector: Injector, name: str | None = None) -> Callable[[F], F]:
+    """Decorator form: ``@measured(injector)`` on a def."""
+
+    def decorate(fn: F) -> F:
+        return instrument_callable(fn, injector, name=name)
+
+    return decorate
+
+
+def instrument_class(cls: type, injector: Injector) -> type:
+    """Inject probes into every plain method defined *on* ``cls``.
+
+    Static/class methods and dunders other than ``__init__``/``__call__``
+    are left alone (probing ``__getattribute__`` and friends would
+    measure the profiler itself).
+    """
+    for attr, value in list(vars(cls).items()):
+        if attr.startswith("__") and attr not in ("__init__", "__call__"):
+            continue
+        if isinstance(value, types.FunctionType):
+            setattr(
+                cls,
+                attr,
+                instrument_callable(
+                    value, injector, name=f"{cls.__module__}.{cls.__qualname__}.{attr}"
+                ),
+            )
+    return cls
+
+
+def instrument_module(module: types.ModuleType, injector: Injector) -> int:
+    """Inject probes into every function and class defined in ``module``.
+
+    Returns the number of callables instrumented — the analog of JEPO
+    walking "each method in the project".  Only objects *defined* in the
+    module (not imported into it) are touched.
+    """
+    count = 0
+    for attr, value in list(vars(module).items()):
+        if getattr(value, "__module__", None) != module.__name__:
+            continue
+        if isinstance(value, types.FunctionType):
+            if not getattr(value, _MARKER, False):
+                setattr(module, attr, instrument_callable(value, injector))
+                count += 1
+        elif isinstance(value, type):
+            before = [
+                v for v in vars(value).values()
+                if isinstance(v, types.FunctionType) and not getattr(v, _MARKER, False)
+            ]
+            instrument_class(value, injector)
+            count += len(
+                [
+                    v for v in before
+                    if not (v.__name__.startswith("__")
+                            and v.__name__ not in ("__init__", "__call__"))
+                ]
+            )
+    return count

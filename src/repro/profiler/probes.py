@@ -1,0 +1,79 @@
+"""Probe runtime targeted by instrumented sources.
+
+The AST instrumenter (:mod:`repro.profiler.source_instrumenter`) wraps
+every function body in ``with __pepo_probe__("<name>"):``.  The object
+bound to ``__pepo_probe__`` is a :class:`ProbeRuntime`: each activation
+snapshots the backend on entry and exit and appends one
+:class:`~repro.profiler.records.MethodRecord`, maintaining a call stack
+for exclusive-energy attribution exactly like the tracer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.profiler.records import MethodRecord, ProfileResult
+from repro.rapl.backends import EnergySnapshot, RaplBackend, default_backend
+from repro.rapl.domains import Domain
+
+
+@dataclass
+class _Activation:
+    method: str
+    start: EnergySnapshot
+    children_joules: dict[Domain, float] = field(default_factory=dict)
+
+
+class ProbeRuntime:
+    """Callable context-manager factory injected as ``__pepo_probe__``."""
+
+    def __init__(self, backend: RaplBackend | None = None) -> None:
+        self.backend = backend or default_backend()
+        self.result = ProfileResult()
+        self._stack: list[_Activation] = []
+        self._counts: dict[str, int] = {}
+
+    @contextlib.contextmanager
+    def __call__(
+        self, method: str, filename: str = "", lineno: int = 0
+    ) -> Iterator[None]:
+        activation = _Activation(method=method, start=self.backend.snapshot())
+        self._stack.append(activation)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            end = self.backend.snapshot()
+            delta = end.delta(activation.start)
+            exclusive = {
+                dom: delta.joules.get(dom, 0.0)
+                - activation.children_joules.get(dom, 0.0)
+                for dom in delta.joules
+            }
+            index = self._counts.get(method, 0)
+            self._counts[method] = index + 1
+            self.result.add(
+                MethodRecord(
+                    method=method,
+                    filename=filename,
+                    lineno=lineno,
+                    call_index=index,
+                    wall_seconds=delta.wall_seconds,
+                    cpu_seconds=delta.cpu_seconds,
+                    joules=dict(delta.joules),
+                    exclusive_joules=exclusive,
+                )
+            )
+            if self._stack:
+                parent = self._stack[-1]
+                for dom, joules in delta.joules.items():
+                    parent.children_joules[dom] = (
+                        parent.children_joules.get(dom, 0.0) + joules
+                    )
+
+    @property
+    def depth(self) -> int:
+        """Current activation depth (0 outside any probed function)."""
+        return len(self._stack)

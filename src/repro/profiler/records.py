@@ -1,0 +1,175 @@
+"""Per-execution measurement records and the ``result.txt`` round trip.
+
+The paper: *"When the execution end, the energy consumption and
+execution time for all the executed methods are stored in a result.txt
+file in Java project directory … If one method is executed more than
+once, then the measurements are stored for each execution."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.rapl.domains import Domain
+
+_RESULT_HEADER = "# method\twall_seconds\tcpu_seconds\tpackage_joules\tcore_joules"
+
+
+@dataclass(frozen=True)
+class MethodRecord:
+    """One execution of one method.
+
+    ``joules`` is *inclusive* energy (everything consumed between entry
+    and exit, callees included); ``exclusive_joules`` subtracts the
+    inclusive energy of direct callees, giving self-energy.
+    """
+
+    method: str
+    filename: str
+    lineno: int
+    call_index: int
+    wall_seconds: float
+    cpu_seconds: float
+    joules: Mapping[Domain, float]
+    exclusive_joules: Mapping[Domain, float]
+
+    @property
+    def package_joules(self) -> float:
+        return self.joules.get(Domain.PACKAGE, 0.0)
+
+    @property
+    def core_joules(self) -> float:
+        return self.joules.get(Domain.PP0, 0.0)
+
+
+@dataclass(frozen=True)
+class MethodAggregate:
+    """All executions of one method, aggregated for the Fig. 4 view."""
+
+    method: str
+    calls: int
+    wall_seconds: float
+    cpu_seconds: float
+    package_joules: float
+    core_joules: float
+    exclusive_package_joules: float
+
+    @property
+    def mean_package_joules(self) -> float:
+        return self.package_joules / self.calls if self.calls else 0.0
+
+
+class ProfileResult:
+    """An ordered collection of per-execution records.
+
+    Iteration order is execution-completion order, mirroring the
+    paper's per-execution storage.
+    """
+
+    def __init__(self, records: Iterable[MethodRecord] = ()) -> None:
+        self._records: list[MethodRecord] = list(records)
+
+    def add(self, record: MethodRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MethodRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> MethodRecord:
+        return self._records[index]
+
+    def methods(self) -> tuple[str, ...]:
+        """Distinct method names in first-completion order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.method, None)
+        return tuple(seen)
+
+    def executions_of(self, method: str) -> list[MethodRecord]:
+        """Every execution record for one method, in completion order."""
+        return [r for r in self._records if r.method == method]
+
+    def aggregate(self) -> list[MethodAggregate]:
+        """Per-method totals, sorted by package energy descending.
+
+        This is the data behind the profiler view: the energy-hungry
+        methods surface at the top.
+        """
+        buckets: dict[str, list[MethodRecord]] = {}
+        for record in self._records:
+            buckets.setdefault(record.method, []).append(record)
+        aggregates = [
+            MethodAggregate(
+                method=method,
+                calls=len(records),
+                wall_seconds=sum(r.wall_seconds for r in records),
+                cpu_seconds=sum(r.cpu_seconds for r in records),
+                package_joules=sum(r.package_joules for r in records),
+                core_joules=sum(r.core_joules for r in records),
+                exclusive_package_joules=sum(
+                    r.exclusive_joules.get(Domain.PACKAGE, 0.0) for r in records
+                ),
+            )
+            for method, records in buckets.items()
+        ]
+        aggregates.sort(key=lambda a: a.package_joules, reverse=True)
+        return aggregates
+
+    def total_package_joules(self) -> float:
+        """Sum of *exclusive* package energy — double-count-free total."""
+        return sum(
+            r.exclusive_joules.get(Domain.PACKAGE, 0.0) for r in self._records
+        )
+
+    # -- result.txt round trip ----------------------------------------
+
+    def write_result_txt(self, path: str | Path) -> Path:
+        """Write the paper's ``result.txt``: one line per execution."""
+        path = Path(path)
+        lines = [_RESULT_HEADER]
+        for r in self._records:
+            lines.append(
+                f"{r.method}\t{r.wall_seconds:.9f}\t{r.cpu_seconds:.9f}"
+                f"\t{r.package_joules:.9f}\t{r.core_joules:.9f}"
+            )
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def read_result_txt(cls, path: str | Path) -> "ProfileResult":
+        """Parse a ``result.txt`` back into records.
+
+        Parsed records carry only the persisted fields; location and
+        exclusive energy are not stored in the file (matching the
+        paper's three-column output) and read back as empty/zero.
+        """
+        result = cls()
+        for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 5:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 5 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            method, wall, cpu, pkg, core = parts
+            joules = {Domain.PACKAGE: float(pkg), Domain.PP0: float(core)}
+            result.add(
+                MethodRecord(
+                    method=method,
+                    filename="",
+                    lineno=0,
+                    call_index=len(result.executions_of(method)),
+                    wall_seconds=float(wall),
+                    cpu_seconds=float(cpu),
+                    joules=joules,
+                    exclusive_joules={},
+                )
+            )
+        return result

@@ -1,0 +1,83 @@
+"""Profiler report — the three-column view of the paper's Fig. 4.
+
+*"The first column shows the method name with package and class name,
+the second column shows the execution time, and the third column shows
+the energy consumed."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiler.records import ProfileResult
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One aggregated view row."""
+
+    method: str
+    execution_time_s: float
+    energy_joules: float
+    calls: int
+
+
+class ProfilerReport:
+    """Renders a :class:`ProfileResult` like the JEPO profiler view."""
+
+    def __init__(self, result: ProfileResult) -> None:
+        self._result = result
+
+    def rows(self, per_execution: bool = False) -> list[ReportRow]:
+        """View rows, energy-hungriest first.
+
+        ``per_execution=True`` lists every execution separately (the
+        paper stores per-execution measurements); the default aggregates
+        per method like the view screenshot.
+        """
+        if per_execution:
+            return [
+                ReportRow(
+                    method=f"{r.method}#{r.call_index}",
+                    execution_time_s=r.wall_seconds,
+                    energy_joules=r.package_joules,
+                    calls=1,
+                )
+                for r in self._result
+            ]
+        return [
+            ReportRow(
+                method=a.method,
+                execution_time_s=a.wall_seconds,
+                energy_joules=a.package_joules,
+                calls=a.calls,
+            )
+            for a in self._result.aggregate()
+        ]
+
+    def render(self, limit: int | None = None, per_execution: bool = False) -> str:
+        """Fixed-width text table (Fig. 4 layout)."""
+        rows = self.rows(per_execution=per_execution)
+        if limit is not None:
+            rows = rows[:limit]
+        from repro.views.tables import render_table
+
+        return render_table(
+            headers=("Method", "Execution Time (s)", "Energy Consumed (J)", "Calls"),
+            rows=[
+                (
+                    row.method,
+                    f"{row.execution_time_s:.6f}",
+                    f"{row.energy_joules:.6f}",
+                    str(row.calls),
+                )
+                for row in rows
+            ],
+            title="JEPO profiler view (Fig. 4)",
+        )
+
+    def hungriest(self, n: int = 1) -> list[ReportRow]:
+        """The top-n energy-hungry methods — JEPO's headline use case."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return self.rows()[:n]

@@ -1,0 +1,89 @@
+"""Profiler session orchestration — the "JEPO profiler" menu button.
+
+Ties the pieces together: choose an entry point, instrument, run,
+collect records, write ``result.txt`` into the project directory and
+render the profiler view.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.profiler.report import ProfilerReport
+from repro.profiler.records import ProfileResult
+from repro.profiler.source_instrumenter import SourceInstrumenter, find_main_classes
+from repro.profiler.tracer import EnergyTracer
+from repro.rapl.backends import RaplBackend, default_backend
+
+
+class AmbiguousMainError(RuntimeError):
+    """More than one entry point found and none selected.
+
+    JEPO "take[s] user input to determine the correct main class";
+    non-interactive callers must pass ``main`` explicitly.  The
+    candidates are attached for the caller to present.
+    """
+
+    def __init__(self, candidates: list[Path]) -> None:
+        names = ", ".join(str(c) for c in candidates)
+        super().__init__(f"multiple entry points found: {names}")
+        self.candidates = candidates
+
+
+class ProfilerSession:
+    """End-to-end profiling of a project directory or a callable."""
+
+    def __init__(self, backend: RaplBackend | None = None) -> None:
+        self.backend = backend or default_backend()
+
+    def profile_project(
+        self,
+        project_dir: str | Path,
+        main: str | Path | None = None,
+        write_result: bool = True,
+    ) -> ProfileResult:
+        """Instrument and run a project's entry point.
+
+        Mirrors the paper's flow: find main classes; if exactly one,
+        run it; if several and ``main`` is not given, raise
+        :class:`AmbiguousMainError` so the caller can ask the user.
+        ``result.txt`` is written into the project directory.
+        """
+        project_dir = Path(project_dir)
+        if main is None:
+            candidates = find_main_classes(project_dir)
+            if not candidates:
+                raise FileNotFoundError(
+                    f"no entry point (main guard or main()) under {project_dir}"
+                )
+            if len(candidates) > 1:
+                raise AmbiguousMainError(candidates)
+            main_path = candidates[0]
+        else:
+            main_path = Path(main)
+            if not main_path.is_absolute():
+                main_path = project_dir / main_path
+        instrumenter = SourceInstrumenter(self.backend)
+        result = instrumenter.run_path(main_path, module_name="__main__")
+        if write_result:
+            result.write_result_txt(project_dir / "result.txt")
+        return result
+
+    def profile_callable(self, fn: Callable[[], object]) -> ProfileResult:
+        """Trace one callable with the interpreter-level tracer."""
+        tracer = EnergyTracer(self.backend)
+        with tracer:
+            fn()
+        return tracer.result
+
+    @staticmethod
+    def report(result: ProfileResult) -> ProfilerReport:
+        return ProfilerReport(result)
+
+
+def profile_call(
+    fn: Callable[[], object], backend: RaplBackend | None = None
+) -> ProfileResult:
+    """One-shot convenience: profile ``fn()`` and return the records."""
+    return ProfilerSession(backend).profile_callable(fn)

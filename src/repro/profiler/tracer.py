@@ -1,0 +1,213 @@
+"""Interpreter-level energy tracer built on ``sys.setprofile``.
+
+This is the whole-program injection mode: every Python function call
+within the traced scope gets a start snapshot on entry and an end
+snapshot on exit, exactly the measurement discipline of the paper's
+injected Javassist code — without modifying any source.
+
+Attribution model
+-----------------
+* *Inclusive* energy of an invocation: everything consumed between its
+  entry and exit snapshots (callees included) — what the paper's
+  start/end MSR reads measure.
+* *Exclusive* (self) energy: inclusive minus the inclusive energy of
+  direct callees, computed on the fly via the call stack; summing
+  exclusive energy over all records never double-counts.
+
+Generators and coroutines surface one record per resume/suspend cycle,
+which matches the "one record per execution" storage rule.
+
+Observer effect
+---------------
+``sys.setprofile`` also delivers ``c_call``/``c_return`` events for
+every C-function call, and the hook's own Python-level cost is paid per
+event even though we record nothing for them.  Code whose hot loop
+makes per-iteration C calls (``dict.get``, ``str.join`` of a generator)
+is therefore taxed more than pure-bytecode loops — enough to invert a
+comparison between a bytecode-heavy "slow" variant and a C-call-heavy
+"fast" one.  For such comparisons use the decorator injector
+(:mod:`repro.profiler.injector`) or AST instrumentation, which only pay
+at instrumented function boundaries.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import FrameType
+from typing import Callable, Sequence
+
+from repro.profiler.records import MethodRecord, ProfileResult
+from repro.rapl.backends import EnergySnapshot, RaplBackend, default_backend
+from repro.rapl.domains import Domain
+
+_PROFILER_DIR = str(Path(__file__).resolve().parent)
+
+
+def _qualify(frame: FrameType) -> str:
+    """Paper-style name: module + qualified function name."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{qualname}"
+
+
+@dataclass
+class _OpenCall:
+    """A call that has entered but not yet returned."""
+
+    frame_id: int
+    method: str
+    filename: str
+    lineno: int
+    start: EnergySnapshot
+    children_joules: dict[Domain, float] = field(default_factory=dict)
+
+
+class EnergyTracer:
+    """Profile every call in scope, recording energy per execution.
+
+    Parameters
+    ----------
+    backend:
+        Energy source (defaults to :func:`repro.rapl.default_backend`).
+    include:
+        Filename prefixes to trace; empty means "trace everything except
+        the profiler itself and the interpreter internals".
+    exclude:
+        Additional filename prefixes to skip.
+    predicate:
+        Optional final veto: ``predicate(module_dot_qualname) -> bool``.
+    trace_comprehensions:
+        When False (default), comprehension/generator-expression frames
+        are not recorded individually — each would otherwise surface as
+        one record per element, swamping the profile and the run time;
+        their energy still lands in the enclosing function's record.
+
+    Use as a context manager::
+
+        tracer = EnergyTracer(backend, include=["/path/to/project"])
+        with tracer:
+            run_workload()
+        result = tracer.result
+    """
+
+    def __init__(
+        self,
+        backend: RaplBackend | None = None,
+        include: Sequence[str] = (),
+        exclude: Sequence[str] = (),
+        predicate: Callable[[str], bool] | None = None,
+        trace_comprehensions: bool = False,
+    ) -> None:
+        self.backend = backend or default_backend()
+        self._include = tuple(include)
+        self._exclude = (_PROFILER_DIR, "<frozen", *exclude)
+        self._predicate = predicate
+        self._trace_comprehensions = trace_comprehensions
+        self.result = ProfileResult()
+        self._stack: list[_OpenCall] = []
+        self._active = False
+        self._owner_thread: int | None = None
+        self._counts: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._active:
+            raise RuntimeError("tracer is already active")
+        self._active = True
+        self._owner_thread = threading.get_ident()
+        sys.setprofile(self._profile)
+
+    def stop(self) -> None:
+        sys.setprofile(None)
+        self._active = False
+        # Close any calls left open (e.g. the with-block frame) so their
+        # energy is not silently lost.
+        end = self.backend.snapshot()
+        while self._stack:
+            self._close(self._stack.pop(), end)
+
+    def __enter__(self) -> "EnergyTracer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- filtering -----------------------------------------------------
+
+    _COMPREHENSION_NAMES = frozenset(
+        {"<genexpr>", "<listcomp>", "<dictcomp>", "<setcomp>"}
+    )
+
+    def _should_trace(self, frame: FrameType) -> bool:
+        if (
+            not self._trace_comprehensions
+            and frame.f_code.co_name in self._COMPREHENSION_NAMES
+        ):
+            return False
+        filename = frame.f_code.co_filename
+        for prefix in self._exclude:
+            if filename.startswith(prefix):
+                return False
+        if self._include and not any(
+            filename.startswith(prefix) for prefix in self._include
+        ):
+            return False
+        if self._predicate is not None and not self._predicate(_qualify(frame)):
+            return False
+        return True
+
+    # -- the profile hook ------------------------------------------------
+
+    def _profile(self, frame: FrameType, event: str, arg: object) -> None:
+        # Only the thread that started the tracer records; other threads
+        # inherit the hook via sys.setprofile but we keep one coherent
+        # stack (documented single-thread scope).
+        if threading.get_ident() != self._owner_thread:
+            return
+        if event == "call":
+            if self._should_trace(frame):
+                self._stack.append(
+                    _OpenCall(
+                        frame_id=id(frame),
+                        method=_qualify(frame),
+                        filename=frame.f_code.co_filename,
+                        lineno=frame.f_code.co_firstlineno,
+                        start=self.backend.snapshot(),
+                    )
+                )
+        elif event == "return":
+            if self._stack and self._stack[-1].frame_id == id(frame):
+                self._close(self._stack.pop(), self.backend.snapshot())
+
+    def _close(self, call: _OpenCall, end: EnergySnapshot) -> None:
+        delta = end.delta(call.start)
+        exclusive = {
+            dom: delta.joules.get(dom, 0.0) - call.children_joules.get(dom, 0.0)
+            for dom in delta.joules
+        }
+        index = self._counts.get(call.method, 0)
+        self._counts[call.method] = index + 1
+        self.result.add(
+            MethodRecord(
+                method=call.method,
+                filename=call.filename,
+                lineno=call.lineno,
+                call_index=index,
+                wall_seconds=delta.wall_seconds,
+                cpu_seconds=delta.cpu_seconds,
+                joules=dict(delta.joules),
+                exclusive_joules=exclusive,
+            )
+        )
+        if self._stack:
+            parent = self._stack[-1]
+            for dom, joules in delta.joules.items():
+                parent.children_joules[dom] = (
+                    parent.children_joules.get(dom, 0.0) + joules
+                )

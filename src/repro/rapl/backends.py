@@ -1,0 +1,383 @@
+"""Measurement backends: where the joules come from.
+
+Two backends share one interface (:class:`RaplBackend`):
+
+* :class:`SimulatedBackend` — deterministic reproduction substrate.  A
+  clock (real or virtual) supplies elapsed wall/CPU time, the
+  :class:`~repro.rapl.model.EnergyModel` converts it to joules, and the
+  joules are deposited into a :class:`~repro.rapl.msr.MsrFile` so that
+  readers see genuine 32-bit wrapping counters.  Optional seeded noise
+  and outlier injection exercise the paper's Tukey protocol.
+* :class:`LiveBackend` — reads ``/sys/class/powercap`` (intel-rapl) when
+  the host exposes it, for users running on real hardware.
+
+:func:`default_backend` picks the live backend when powercap is
+readable and falls back to the simulated one on a real clock, so the
+same profiling code runs everywhere.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from repro.rapl.domains import Domain
+from repro.rapl.model import EnergyModel
+from repro.rapl.msr import MSR_ADDRESSES, MsrFile, RaplCounterReader
+from repro.rapl.units import RaplUnits
+
+_POWERCAP_ROOT = Path("/sys/class/powercap")
+
+
+class Clock(Protocol):
+    """Supplies (wall seconds, cpu seconds) timestamp pairs."""
+
+    def now(self) -> tuple[float, float]:
+        """Current (wall, cpu) time in seconds; both monotone."""
+        ...
+
+
+class RealClock:
+    """Wall time from ``perf_counter``, CPU time from ``process_time``."""
+
+    def now(self) -> tuple[float, float]:
+        return time.perf_counter(), time.process_time()
+
+
+class VirtualClock:
+    """Manually advanced clock for deterministic tests and benches."""
+
+    def __init__(self) -> None:
+        self._wall = 0.0
+        self._cpu = 0.0
+
+    def advance(self, wall_seconds: float, cpu_seconds: float | None = None) -> None:
+        """Advance time; ``cpu_seconds`` defaults to ``wall_seconds``.
+
+        CPU time can never exceed wall time on a single thread, but we
+        allow it (multi-core processes legitimately accumulate CPU time
+        faster than wall time).
+        """
+        if cpu_seconds is None:
+            cpu_seconds = wall_seconds
+        if wall_seconds < 0 or cpu_seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._wall += wall_seconds
+        self._cpu += cpu_seconds
+
+    def now(self) -> tuple[float, float]:
+        return self._wall, self._cpu
+
+
+@dataclass(frozen=True)
+class EnergySnapshot:
+    """A point-in-time cumulative reading: joules per domain + clocks."""
+
+    joules: dict[Domain, float]
+    wall_seconds: float
+    cpu_seconds: float
+
+    def delta(self, earlier: "EnergySnapshot") -> "EnergyDelta":
+        """Consumption between ``earlier`` and this snapshot."""
+        return EnergyDelta(
+            joules={
+                dom: self.joules[dom] - earlier.joules.get(dom, 0.0)
+                for dom in self.joules
+            },
+            wall_seconds=self.wall_seconds - earlier.wall_seconds,
+            cpu_seconds=self.cpu_seconds - earlier.cpu_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyDelta:
+    """Energy and time consumed over an interval."""
+
+    joules: dict[Domain, float]
+    wall_seconds: float
+    cpu_seconds: float
+
+    @property
+    def package_joules(self) -> float:
+        return self.joules.get(Domain.PACKAGE, 0.0)
+
+    @property
+    def core_joules(self) -> float:
+        return self.joules.get(Domain.PP0, 0.0)
+
+    @property
+    def dram_joules(self) -> float:
+        return self.joules.get(Domain.DRAM, 0.0)
+
+    def average_power_watts(self, domain: Domain) -> float:
+        """Mean power over the interval; 0 for a zero-length interval."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.joules.get(domain, 0.0) / self.wall_seconds
+
+
+class RaplBackend(Protocol):
+    """The reading interface shared by simulated and live backends."""
+
+    units: RaplUnits
+
+    def read_raw(self, domain: Domain) -> int:
+        """Raw 32-bit energy-status counter for ``domain``."""
+        ...
+
+    def snapshot(self) -> EnergySnapshot:
+        """Monotone cumulative joules per domain, plus wall/CPU clocks."""
+        ...
+
+
+class SimulatedBackend:
+    """Deterministic RAPL backend driven by an energy model.
+
+    Parameters
+    ----------
+    clock:
+        Time source; :class:`VirtualClock` for determinism,
+        :class:`RealClock` to track the live process.
+    model:
+        Static/dynamic power constants per domain.
+    units:
+        RAPL unit exponents for the simulated MSR file.
+    noise_sigma:
+        Relative standard deviation of multiplicative Gaussian noise
+        applied to every deposit (0 disables; keep small, e.g. 0.02).
+    outlier_rate / outlier_scale:
+        With probability ``outlier_rate`` a deposit is multiplied by
+        ``outlier_scale``, injecting the measurement outliers the
+        paper's Tukey protocol removes.
+    seed:
+        Seed for the noise/outlier RNG.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        model: EnergyModel | None = None,
+        units: RaplUnits | None = None,
+        noise_sigma: float = 0.0,
+        outlier_rate: float = 0.0,
+        outlier_scale: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative: {noise_sigma}")
+        if not 0.0 <= outlier_rate < 1.0:
+            raise ValueError(f"outlier_rate must be in [0, 1): {outlier_rate}")
+        self.clock: Clock = clock if clock is not None else RealClock()
+        self.model = model or EnergyModel()
+        self.units = units or RaplUnits.default()
+        self.msr = MsrFile(units=self.units)
+        self.noise_sigma = noise_sigma
+        self.outlier_rate = outlier_rate
+        self.outlier_scale = outlier_scale
+        self._rng = np.random.default_rng(seed)
+        self._intensity = 1.0
+        # Snapshots may arrive from a sampler thread (see
+        # repro.rapl.timeline); counter updates must be atomic.
+        self._lock = threading.Lock()
+        self._last_wall, self._last_cpu = self.clock.now()
+        self._readers = {
+            dom: RaplCounterReader(units=self.units) for dom in Domain
+        }
+        # Establish reader baselines so the first snapshot reads zero.
+        for dom in Domain:
+            self._readers[dom].update(self.msr.read_domain(dom))
+
+    # -- workload hints ------------------------------------------------
+
+    @contextlib.contextmanager
+    def intensity_scope(self, intensity: float) -> Iterator[None]:
+        """Scale dynamic power within the scope (op-mix modeling).
+
+        Micro-benchmarks use this to express that, e.g., a modulus-heavy
+        loop switches more transistors per CPU-second than an
+        addition-heavy one.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be non-negative: {intensity}")
+        self._sync()
+        previous = self._intensity
+        self._intensity = intensity
+        try:
+            yield
+        finally:
+            self._sync()
+            self._intensity = previous
+
+    def post_joules(self, domain: Domain, joules: float) -> None:
+        """Deposit an explicit energy event (e.g. a DMA transfer)."""
+        self.msr.deposit_joules(domain, joules)
+
+    # -- internal ------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Convert time elapsed since last sync into deposited energy."""
+        with self._lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        wall, cpu = self.clock.now()
+        dwall = wall - self._last_wall
+        dcpu = cpu - self._last_cpu
+        self._last_wall, self._last_cpu = wall, cpu
+        if dwall <= 0 and dcpu <= 0:
+            return
+        dwall = max(dwall, 0.0)
+        dcpu = max(dcpu, 0.0)
+        scale = 1.0
+        if self.noise_sigma:
+            scale *= max(0.0, 1.0 + self._rng.normal(0.0, self.noise_sigma))
+        if self.outlier_rate and self._rng.random() < self.outlier_rate:
+            scale *= self.outlier_scale
+        for dom in Domain:
+            joules = self.model.energy_joules(dom, dwall, dcpu, self._intensity)
+            self.msr.deposit_joules(dom, joules * scale)
+
+    # -- RaplBackend interface ------------------------------------------
+
+    def read_raw(self, domain: Domain) -> int:
+        self._sync()
+        return self.msr.read_domain(domain)
+
+    def read_msr(self, address: int) -> int:
+        """Address-level read, mirroring the injected reader's syscalls."""
+        self._sync()
+        return self.msr.read(address)
+
+    def snapshot(self) -> EnergySnapshot:
+        with self._lock:
+            self._sync_locked()
+            joules = {
+                dom: self._readers[dom].update(self.msr.read_domain(dom))
+                for dom in Domain
+            }
+            return EnergySnapshot(
+                joules=joules,
+                wall_seconds=self._last_wall,
+                cpu_seconds=self._last_cpu,
+            )
+
+
+class LiveBackend:
+    """Reads real RAPL counters from ``/sys/class/powercap``.
+
+    Raises :class:`RuntimeError` at construction when the host exposes
+    no readable intel-rapl zones — callers should then fall back to the
+    simulated backend (see :func:`default_backend`).
+    """
+
+    def __init__(self, root: Path = _POWERCAP_ROOT) -> None:
+        self.units = RaplUnits.default()
+        self._zones: dict[Domain, Path] = {}
+        name_to_domain = {
+            "package-0": Domain.PACKAGE,
+            "core": Domain.PP0,
+            "uncore": Domain.PP1,
+            "dram": Domain.DRAM,
+            "psys": Domain.PSYS,
+        }
+        if root.is_dir():
+            for zone in sorted(root.glob("intel-rapl:*")):
+                name_file = zone / "name"
+                energy_file = zone / "energy_uj"
+                if not (name_file.is_file() and energy_file.is_file()):
+                    continue
+                try:
+                    name = name_file.read_text().strip()
+                    energy_file.read_text()
+                except OSError:
+                    continue
+                domain = name_to_domain.get(name)
+                if domain is not None:
+                    self._zones[domain] = energy_file
+        if Domain.PACKAGE not in self._zones:
+            raise RuntimeError(
+                "no readable intel-rapl package zone under "
+                f"{os.fspath(root)}; use SimulatedBackend"
+            )
+        self._clock = RealClock()
+
+    def read_raw(self, domain: Domain) -> int:
+        """Microjoule counter folded to the 32-bit raw-unit space."""
+        joules = self._read_joules(domain)
+        return self.units.joules_to_raw(joules) & 0xFFFFFFFF
+
+    def _read_joules(self, domain: Domain) -> float:
+        path = self._zones.get(domain)
+        if path is None:
+            return 0.0
+        return int(path.read_text().strip()) / 1e6
+
+    def snapshot(self) -> EnergySnapshot:
+        wall, cpu = self._clock.now()
+        return EnergySnapshot(
+            joules={dom: self._read_joules(dom) for dom in Domain},
+            wall_seconds=wall,
+            cpu_seconds=cpu,
+        )
+
+
+def default_backend(prefer_live: bool = True) -> SimulatedBackend | LiveBackend:
+    """Live backend when powercap is readable, else simulated-on-real-clock."""
+    if prefer_live:
+        try:
+            return LiveBackend()
+        except RuntimeError:
+            pass
+    return SimulatedBackend(clock=RealClock())
+
+
+class EnergyMeter:
+    """Context manager measuring energy/time around a code region.
+
+    This is the Python face of the paper's injected start/end MSR
+    reads::
+
+        meter = EnergyMeter(backend)
+        with meter.measure() as reading:
+            run_workload()
+        print(reading.result.package_joules)
+    """
+
+    def __init__(self, backend: RaplBackend | None = None) -> None:
+        self.backend: RaplBackend = backend or default_backend()
+
+    @contextlib.contextmanager
+    def measure(self) -> Iterator["MeterReading"]:
+        reading = MeterReading()
+        start = self.backend.snapshot()
+        try:
+            yield reading
+        finally:
+            end = self.backend.snapshot()
+            reading._result = end.delta(start)
+
+    def measure_callable(self, fn, *args, **kwargs) -> tuple[object, EnergyDelta]:
+        """Run ``fn`` and return ``(fn_result, energy_delta)``."""
+        with self.measure() as reading:
+            value = fn(*args, **kwargs)
+        return value, reading.result
+
+
+class MeterReading:
+    """Holder populated when the :meth:`EnergyMeter.measure` scope exits."""
+
+    def __init__(self) -> None:
+        self._result: EnergyDelta | None = None
+
+    @property
+    def result(self) -> EnergyDelta:
+        if self._result is None:
+            raise RuntimeError("measurement scope has not exited yet")
+        return self._result

@@ -1,0 +1,127 @@
+"""DVFS (dynamic voltage & frequency scaling) energy model.
+
+The paper's Section II motivates energy work with edge thermals and
+battery life; the operating point that governs both is the CPU
+frequency.  The classic first-order model:
+
+* runtime of a CPU-bound region scales as ``1/f`` (relative to the
+  nominal frequency ``f0``);
+* dynamic power scales as ``f·V²`` and voltage scales roughly linearly
+  with frequency in the DVFS range, so ``P_dyn ∝ (f/f0)³``;
+* static power is paid for the whole (stretched) runtime.
+
+This yields the textbook race-to-idle trade-off: lowering frequency
+cuts dynamic energy (``∝ (f/f0)²`` per unit work) but pays static
+leakage longer.  :func:`optimal_frequency` finds the energy-minimal
+operating point — with zero idle power the optimum is the lowest
+frequency; with realistic leakage it moves up, and with high leakage
+racing to idle wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rapl.domains import Domain
+from repro.rapl.model import DEFAULT_DOMAIN_POWER, DomainPower
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """Predicted cost of running a region at one frequency setting."""
+
+    frequency_ratio: float      # f / f0
+    runtime_seconds: float
+    dynamic_joules: float
+    static_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.dynamic_joules + self.static_joules
+
+    @property
+    def average_watts(self) -> float:
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return self.total_joules / self.runtime_seconds
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """First-order DVFS energy model for one power domain.
+
+    Parameters
+    ----------
+    power:
+        Static/dynamic watts at the nominal frequency (f/f0 = 1).
+    exponent:
+        Dynamic-power frequency exponent; 3.0 is the classic f·V²
+        with V ∝ f, 2.0 models voltage-floor regions.
+    """
+
+    power: DomainPower = DEFAULT_DOMAIN_POWER[Domain.PACKAGE]
+    exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 1.0:
+            raise ValueError(f"exponent must be >= 1, got {self.exponent}")
+
+    def evaluate(
+        self, cpu_seconds_at_nominal: float, frequency_ratio: float
+    ) -> DvfsPoint:
+        """Cost of a region that takes ``cpu_seconds_at_nominal`` at f0."""
+        if cpu_seconds_at_nominal < 0:
+            raise ValueError("cpu_seconds_at_nominal must be non-negative")
+        if frequency_ratio <= 0:
+            raise ValueError(f"frequency_ratio must be positive: {frequency_ratio}")
+        runtime = cpu_seconds_at_nominal / frequency_ratio
+        dynamic_watts = self.power.dynamic_watts * frequency_ratio**self.exponent
+        return DvfsPoint(
+            frequency_ratio=frequency_ratio,
+            runtime_seconds=runtime,
+            dynamic_joules=dynamic_watts * runtime,
+            static_joules=self.power.static_watts * runtime,
+        )
+
+    def sweep(
+        self,
+        cpu_seconds_at_nominal: float,
+        ratios: np.ndarray | None = None,
+    ) -> list[DvfsPoint]:
+        """Evaluate a frequency grid (default 0.2…1.0 in 17 steps)."""
+        if ratios is None:
+            ratios = np.linspace(0.2, 1.0, 17)
+        return [
+            self.evaluate(cpu_seconds_at_nominal, float(r)) for r in ratios
+        ]
+
+    def optimal_frequency(
+        self, deadline_seconds: float | None = None,
+        cpu_seconds_at_nominal: float = 1.0,
+    ) -> DvfsPoint:
+        """Energy-minimal frequency, optionally under a deadline.
+
+        Closed form: minimizing ``E(r) = (P_s + P_d·r^a) · t0/r`` gives
+        ``r* = (P_s / (P_d·(a-1)))^(1/a)``, clamped to [r_min, 1] and to
+        the slowest frequency that still meets the deadline.
+        """
+        p_s = self.power.static_watts
+        p_d = self.power.dynamic_watts
+        a = self.exponent
+        if p_d <= 0 or a <= 1:
+            r_star = 0.2 if p_s == 0 else 1.0
+        else:
+            r_star = (p_s / (p_d * (a - 1.0))) ** (1.0 / a)
+        r_star = min(max(r_star, 0.2), 1.0)
+        if deadline_seconds is not None:
+            if deadline_seconds <= 0:
+                raise ValueError("deadline must be positive")
+            r_deadline = cpu_seconds_at_nominal / deadline_seconds
+            if r_deadline > 1.0:
+                raise ValueError(
+                    "deadline infeasible even at nominal frequency"
+                )
+            r_star = max(r_star, r_deadline)
+        return self.evaluate(cpu_seconds_at_nominal, r_star)

@@ -1,0 +1,80 @@
+"""A ``perf stat``-style energy harness.
+
+The paper measures each classifier run with the Linux ``perf`` tool
+(``power/energy-pkg/``, ``power/energy-cores/`` events).  `PerfStat`
+plays that role: run a callable under an :class:`EnergyMeter`, repeat it,
+and report per-run samples ready for the Tukey protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.rapl.backends import EnergyMeter, RaplBackend
+from repro.rapl.domains import Domain
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One measured run: the three metrics the paper's Table IV reports."""
+
+    package_joules: float
+    core_joules: float
+    wall_seconds: float
+    cpu_seconds: float
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by Table IV column name."""
+        try:
+            return {
+                "package": self.package_joules,
+                "cpu": self.core_joules,
+                "time": self.wall_seconds,
+            }[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; expected package/cpu/time"
+            ) from None
+
+
+#: Table IV metric column names, in paper order.
+METRICS: tuple[str, ...] = ("package", "cpu", "time")
+
+
+class PerfStat:
+    """Repeatedly measure a callable, like ``perf stat -r N``.
+
+    Parameters
+    ----------
+    backend:
+        Energy source; defaults to :func:`repro.rapl.default_backend`.
+    """
+
+    def __init__(self, backend: RaplBackend | None = None) -> None:
+        self._meter = EnergyMeter(backend)
+
+    @property
+    def backend(self) -> RaplBackend:
+        return self._meter.backend
+
+    def run_once(self, fn: Callable[[], object]) -> EnergySample:
+        """Measure a single execution of ``fn``."""
+        _, delta = self._meter.measure_callable(fn)
+        return EnergySample(
+            package_joules=delta.joules.get(Domain.PACKAGE, 0.0),
+            core_joules=delta.joules.get(Domain.PP0, 0.0),
+            wall_seconds=delta.wall_seconds,
+            cpu_seconds=delta.cpu_seconds,
+        )
+
+    def run(self, fn: Callable[[], object], repeats: int = 10) -> list[EnergySample]:
+        """Measure ``repeats`` executions (paper: 10 runs per classifier)."""
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        return [self.run_once(fn) for _ in range(repeats)]
+
+    @staticmethod
+    def column(samples: Sequence[EnergySample], metric: str) -> list[float]:
+        """Extract one metric column from a batch of samples."""
+        return [sample.metric(metric) for sample in samples]

@@ -1,0 +1,138 @@
+"""Energy timeline sampling: power draw over a run, not just totals.
+
+JEPO reports per-method totals; operators debugging thermal behaviour
+also want the *shape* of consumption over time (the paper's overheating
+motivation, Section II).  :class:`TimelineSampler` snapshots a backend
+at a fixed cadence while a workload runs and yields per-interval power,
+with a simple peak/mean summary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.rapl.backends import EnergySnapshot, RaplBackend
+from repro.rapl.domains import Domain
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sampled interval."""
+
+    t_seconds: float            # end of the interval, relative to start
+    interval_seconds: float
+    joules: dict[Domain, float]
+
+    def watts(self, domain: Domain) -> float:
+        if self.interval_seconds <= 0:
+            return 0.0
+        return self.joules.get(domain, 0.0) / self.interval_seconds
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """The full sampled series plus summary statistics."""
+
+    points: tuple[TimelinePoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def peak_watts(self, domain: Domain = Domain.PACKAGE) -> float:
+        return max((p.watts(domain) for p in self.points), default=0.0)
+
+    def mean_watts(self, domain: Domain = Domain.PACKAGE) -> float:
+        total_j = sum(p.joules.get(domain, 0.0) for p in self.points)
+        total_s = sum(p.interval_seconds for p in self.points)
+        return total_j / total_s if total_s > 0 else 0.0
+
+    def total_joules(self, domain: Domain = Domain.PACKAGE) -> float:
+        return sum(p.joules.get(domain, 0.0) for p in self.points)
+
+    def ascii_sparkline(
+        self, domain: Domain = Domain.PACKAGE, width: int = 60
+    ) -> str:
+        """Terminal rendering of the power curve (▁▂▃▄▅▆▇█)."""
+        if not self.points:
+            return ""
+        blocks = "▁▂▃▄▅▆▇█"
+        watts = [p.watts(domain) for p in self.points]
+        if len(watts) > width:
+            # Downsample by averaging buckets.
+            bucket = len(watts) / width
+            watts = [
+                sum(watts[int(i * bucket): max(int((i + 1) * bucket),
+                                               int(i * bucket) + 1)])
+                / max(1, len(watts[int(i * bucket): max(int((i + 1) * bucket),
+                                                        int(i * bucket) + 1)]))
+                for i in range(width)
+            ]
+        peak = max(watts) or 1.0
+        return "".join(
+            blocks[min(int(w / peak * (len(blocks) - 1) + 0.5),
+                       len(blocks) - 1)]
+            for w in watts
+        )
+
+
+class TimelineSampler:
+    """Samples a backend on a background thread while a workload runs.
+
+    ``sample_interval`` trades resolution for overhead; 10–50 ms is
+    plenty for second-scale workloads.
+    """
+
+    def __init__(
+        self, backend: RaplBackend, sample_interval: float = 0.02
+    ) -> None:
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.backend = backend
+        self.sample_interval = sample_interval
+
+    def run(self, workload: Callable[[], object]) -> tuple[object, Timeline]:
+        """Run ``workload`` while sampling; returns (result, timeline)."""
+        snapshots: list[tuple[float, EnergySnapshot]] = []
+        stop = threading.Event()
+        start_time = time.perf_counter()
+
+        def sampler() -> None:
+            while not stop.is_set():
+                snapshots.append(
+                    (time.perf_counter() - start_time, self.backend.snapshot())
+                )
+                stop.wait(self.sample_interval)
+
+        snapshots.append((0.0, self.backend.snapshot()))
+        thread = threading.Thread(target=sampler, daemon=True)
+        thread.start()
+        try:
+            result = workload()
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        snapshots.append(
+            (time.perf_counter() - start_time, self.backend.snapshot())
+        )
+        return result, self._build(snapshots)
+
+    @staticmethod
+    def _build(
+        snapshots: Sequence[tuple[float, EnergySnapshot]]
+    ) -> Timeline:
+        points: list[TimelinePoint] = []
+        for (t0, s0), (t1, s1) in zip(snapshots, snapshots[1:]):
+            if t1 <= t0:
+                continue
+            delta = s1.delta(s0)
+            points.append(
+                TimelinePoint(
+                    t_seconds=t1,
+                    interval_seconds=t1 - t0,
+                    joules=dict(delta.joules),
+                )
+            )
+        return Timeline(points=tuple(points))

@@ -1,0 +1,95 @@
+"""Decoding of the ``MSR_RAPL_POWER_UNIT`` register (address 0x606).
+
+The register encodes three unit exponents (Intel SDM Vol. 3B, 14.9.1):
+
+* bits 3:0   — power unit,  watts  = 1 / 2**PU
+* bits 12:8  — energy status unit, joules = 1 / 2**ESU
+* bits 19:16 — time unit,   seconds = 1 / 2**TU
+
+The canonical Sandy Bridge value is ``0xA0E03`` — power unit 1/8 W,
+energy unit 1/2**14 J ≈ 61.04 µJ, time unit 1/2**10 s.  Energy-status
+MSRs are 32-bit counters in *energy status units*; software converts a
+raw delta to joules by multiplying with :attr:`RaplUnits.energy_joules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Canonical raw value for MSR_RAPL_POWER_UNIT on Sandy/Ivy Bridge parts
+#: (the paper's testbed is an Ivy Bridge i5-3317U).
+DEFAULT_POWER_UNIT_RAW = 0xA0E03
+
+_POWER_MASK = 0xF
+_ENERGY_SHIFT = 8
+_ENERGY_MASK = 0x1F
+_TIME_SHIFT = 16
+_TIME_MASK = 0xF
+
+
+@dataclass(frozen=True)
+class RaplUnits:
+    """Decoded RAPL unit exponents.
+
+    Attributes are the raw exponents; the ``*_watts`` / ``*_joules`` /
+    ``*_seconds`` properties give the physical size of one unit.
+    """
+
+    power_exp: int
+    energy_exp: int
+    time_exp: int
+
+    def __post_init__(self) -> None:
+        for name in ("power_exp", "energy_exp", "time_exp"):
+            value = getattr(self, name)
+            if not 0 <= value <= 31:
+                raise ValueError(f"{name} out of range: {value!r}")
+
+    @property
+    def power_watts(self) -> float:
+        """Size of one power unit in watts."""
+        return 1.0 / (1 << self.power_exp)
+
+    @property
+    def energy_joules(self) -> float:
+        """Size of one energy status unit in joules."""
+        return 1.0 / (1 << self.energy_exp)
+
+    @property
+    def time_seconds(self) -> float:
+        """Size of one time unit in seconds."""
+        return 1.0 / (1 << self.time_exp)
+
+    @classmethod
+    def decode(cls, raw: int) -> "RaplUnits":
+        """Decode a raw ``MSR_RAPL_POWER_UNIT`` value."""
+        if raw < 0:
+            raise ValueError(f"raw MSR value must be non-negative, got {raw}")
+        return cls(
+            power_exp=raw & _POWER_MASK,
+            energy_exp=(raw >> _ENERGY_SHIFT) & _ENERGY_MASK,
+            time_exp=(raw >> _TIME_SHIFT) & _TIME_MASK,
+        )
+
+    def encode(self) -> int:
+        """Re-encode to the raw register layout (inverse of :meth:`decode`)."""
+        return (
+            (self.power_exp & _POWER_MASK)
+            | ((self.energy_exp & _ENERGY_MASK) << _ENERGY_SHIFT)
+            | ((self.time_exp & _TIME_MASK) << _TIME_SHIFT)
+        )
+
+    def joules_to_raw(self, joules: float) -> int:
+        """Convert joules to an integral number of energy status units."""
+        if joules < 0:
+            raise ValueError(f"joules must be non-negative, got {joules}")
+        return int(joules * (1 << self.energy_exp))
+
+    def raw_to_joules(self, raw: int) -> float:
+        """Convert a raw energy-status-unit count to joules."""
+        return raw * self.energy_joules
+
+    @classmethod
+    def default(cls) -> "RaplUnits":
+        """The Sandy/Ivy Bridge default units (energy unit ≈ 61 µJ)."""
+        return cls.decode(DEFAULT_POWER_UNIT_RAW)

@@ -1,0 +1,15 @@
+"""Measurement statistics: Tukey fences and the paper's outlier protocol."""
+
+from repro.stats.descriptive import describe, Summary
+from repro.stats.protocol import OutlierFreeProtocol, ProtocolResult
+from repro.stats.tukey import tukey_fences, tukey_outlier_mask, TukeyFences
+
+__all__ = [
+    "OutlierFreeProtocol",
+    "ProtocolResult",
+    "Summary",
+    "TukeyFences",
+    "describe",
+    "tukey_fences",
+    "tukey_outlier_mask",
+]

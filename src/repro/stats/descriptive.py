@@ -1,0 +1,52 @@
+"""Descriptive statistics helpers shared by benches and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a measurement batch."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def relative_std(self) -> float:
+        """Coefficient of variation; 0 when the mean is 0."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def describe(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty batch of finite measurements."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    if not np.isfinite(arr).all():
+        raise ValueError("sample contains non-finite values")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def percent_improvement(baseline: float, optimized: float) -> float:
+    """Paper-style improvement: ``(baseline - optimized) / baseline * 100``.
+
+    Positive means the optimized variant consumed less.  Raises for a
+    non-positive baseline, which would make the percentage meaningless.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (baseline - optimized) / baseline * 100.0

@@ -1,0 +1,124 @@
+"""The paper's iterated outlier-free measurement protocol.
+
+Section VIII: *"We first run each classifier 10 times to measure Package
+energy, CPU energy, and execution time … After that, we detect outliers
+using Tukey's method from each metric, replace the outliers measurements
+with new measurements and again check for outliers.  We repeat this
+process until no outlier is left.  When no outlier is left, we calculated
+the mean of values."*
+
+:class:`OutlierFreeProtocol` reproduces exactly that loop for an
+arbitrary measurement source, with a safety bound on iterations so a
+pathological source cannot loop forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.stats.tukey import DEFAULT_K, tukey_outlier_mask
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one protocol run for one metric."""
+
+    mean: float
+    values: tuple[float, ...]
+    replaced: int
+    iterations: int
+    converged: bool
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation of the final outlier-free batch."""
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+
+@dataclass
+class OutlierFreeProtocol:
+    """Run-measure-replace loop until a metric batch has no Tukey outliers.
+
+    Parameters
+    ----------
+    repeats:
+        Batch size (the paper uses 10).
+    k:
+        Tukey fence multiplier.
+    max_iterations:
+        Bound on replace-and-retest rounds; when exceeded the result is
+        returned with ``converged=False`` instead of looping forever.
+    """
+
+    repeats: int = 10
+    k: float = DEFAULT_K
+    max_iterations: int = 50
+
+    def __post_init__(self) -> None:
+        if self.repeats < 3:
+            raise ValueError(
+                f"need at least 3 repeats for meaningful quartiles, got {self.repeats}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+
+    def collect(self, measure: Callable[[], float]) -> ProtocolResult:
+        """Collect an outlier-free batch from the ``measure`` thunk."""
+        values = np.array([measure() for _ in range(self.repeats)], dtype=np.float64)
+        replaced = 0
+        for iteration in range(1, self.max_iterations + 1):
+            mask = tukey_outlier_mask(values, k=self.k)
+            if not mask.any():
+                return ProtocolResult(
+                    mean=float(values.mean()),
+                    values=tuple(values.tolist()),
+                    replaced=replaced,
+                    iterations=iteration,
+                    converged=True,
+                )
+            for index in np.flatnonzero(mask):
+                values[index] = measure()
+                replaced += 1
+        return ProtocolResult(
+            mean=float(values.mean()),
+            values=tuple(values.tolist()),
+            replaced=replaced,
+            iterations=self.max_iterations,
+            converged=False,
+        )
+
+    def clean(self, values: Sequence[float]) -> ProtocolResult:
+        """Offline variant: *drop* (not replace) outliers iteratively.
+
+        Useful when re-measurement is impossible (e.g. analysing a saved
+        result.txt).  Dropping preserves the paper's "until no outlier is
+        left" convergence property without new samples.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot clean an empty sample")
+        dropped = 0
+        for iteration in range(1, self.max_iterations + 1):
+            if arr.size < 3:
+                break
+            mask = tukey_outlier_mask(arr, k=self.k)
+            if not mask.any():
+                return ProtocolResult(
+                    mean=float(arr.mean()),
+                    values=tuple(arr.tolist()),
+                    replaced=dropped,
+                    iterations=iteration,
+                    converged=True,
+                )
+            arr = arr[~mask]
+            dropped += int(mask.sum())
+        return ProtocolResult(
+            mean=float(arr.mean()),
+            values=tuple(arr.tolist()),
+            replaced=dropped,
+            iterations=self.max_iterations,
+            converged=arr.size < 3,
+        )

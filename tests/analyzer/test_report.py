@@ -1,0 +1,75 @@
+"""Tests for the findings summary rollup."""
+
+from repro.analyzer import Analyzer
+from repro.analyzer.findings import Severity
+from repro.analyzer.report import FindingsSummary
+
+DIRTY_A = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "        r = len(n) % 7\n"
+)
+DIRTY_B = (
+    "def g(xs):\n"
+    "    acc = ''\n"
+    "    for x in xs:\n"
+    "        acc += str(x)\n"
+)
+
+
+def sweep(files: dict[str, str]) -> FindingsSummary:
+    analyzer = Analyzer()
+    return FindingsSummary(
+        {name: analyzer.analyze_source(src, filename=name)
+         for name, src in files.items()}
+    )
+
+
+class TestFindingsSummary:
+    def test_total_and_rule_counts(self):
+        summary = sweep({"a.py": DIRTY_A, "b.py": DIRTY_B})
+        assert summary.total == 3
+        counts = {c.rule_id: c.count for c in summary.rule_counts()}
+        assert counts == {"R08_STR_CONCAT": 2, "R05_MODULUS": 1}
+
+    def test_most_frequent_rule_first(self):
+        summary = sweep({"a.py": DIRTY_A, "b.py": DIRTY_B})
+        assert summary.rule_counts()[0].rule_id == "R08_STR_CONCAT"
+
+    def test_hotspot_files(self):
+        summary = sweep({"a.py": DIRTY_A, "b.py": DIRTY_B, "clean.py": "x = 1\n"})
+        hotspots = summary.hotspot_files()
+        assert hotspots[0] == ("a.py", 2)
+        assert all(name != "clean.py" for name, _ in hotspots)
+
+    def test_severity_histogram(self):
+        summary = sweep({"a.py": DIRTY_A})
+        histogram = summary.severity_histogram()
+        assert histogram[Severity.HIGH] >= 1      # string concat
+        assert histogram[Severity.MEDIUM] >= 1    # generic modulus
+        assert sum(histogram.values()) == summary.total
+
+    def test_from_findings_flat_list(self):
+        analyzer = Analyzer()
+        findings = analyzer.analyze_source(DIRTY_A, filename="a.py")
+        findings += analyzer.analyze_source(DIRTY_B, filename="b.py")
+        summary = FindingsSummary.from_findings(findings)
+        assert summary.total == 3
+        assert summary.hotspot_files()[0][0] == "a.py"
+
+    def test_render_contains_counts_and_hotspots(self):
+        summary = sweep({"a.py": DIRTY_A, "b.py": DIRTY_B})
+        text = summary.render()
+        assert "Findings summary — 3 total" in text
+        assert "R08_STR_CONCAT" in text
+        assert "Hotspot files:" in text
+        assert "a.py" in text
+
+    def test_empty_summary(self):
+        summary = sweep({"clean.py": "x = 1\n"})
+        assert summary.total == 0
+        assert summary.rule_counts() == []
+        assert summary.hotspot_files() == []
+        assert "0 total" in summary.render()

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro.bench`` runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestBenchMain:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Dependencies" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "AirportFrom" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("fig1", "fig2", "fig3", "fig4", "fig5"):
+            assert f"===== {marker} =====" in out
+
+    def test_table4_custom_size(self, capsys):
+        assert main(
+            ["table4", "--instances", "120", "--folds", "3", "--repeats", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Random Forest" in out
+        assert "Accuracy Drop" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

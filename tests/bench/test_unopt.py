@@ -1,0 +1,136 @@
+"""Tests for the unoptimized baselines and precision narrowing."""
+
+import numpy as np
+import pytest
+
+from repro.analyzer import analyze_source
+from repro.datasets import generate_airlines
+from repro.ml.evaluation import evaluate, train_test_split
+from repro.unopt import UNOPT_REGISTRY, Float32Narrowed, make_optimized
+from repro.unopt import slow_ops
+
+
+@pytest.fixture(scope="module")
+def airlines():
+    data = generate_airlines(n=400, seed=11)
+    return train_test_split(data, 0.3, np.random.default_rng(0))
+
+FAST = {"Random Forest": {"n_trees": 5}, "SGD": {"epochs": 5},
+        "SMO": {"max_passes": 5}, "Logistic": {"max_iter": 40}}
+
+
+class TestSlowOpsAreGenuinelyBad:
+    """The anti-pattern module must trip our own analyzer — the unopt
+    baseline is real Table I code, not a mock."""
+
+    def test_analyzer_flags_the_module(self):
+        import inspect
+
+        source = inspect.getsource(slow_ops)
+        rule_ids = {finding.rule_id for finding in analyze_source(source)}
+        expected = {
+            "R01_NUMERIC_TYPE",
+            "R03_BOXING",
+            "R04_GLOBAL_IN_LOOP",
+            "R05_MODULUS",
+            "R06_TERNARY",
+            "R08_STR_CONCAT",
+            "R09_STR_COMPARE",
+            "R10_ARRAY_COPY",
+            "R11_TRAVERSAL",
+        }
+        assert expected <= rule_ids, sorted(expected - rule_ids)
+
+    def test_slow_copy_matrix_copies(self):
+        src = [[1.0, 2.0], [3.0, 4.0]]
+        assert slow_ops.slow_copy_matrix(src) == src
+
+    def test_slow_vote_tally_counts(self):
+        winner, log = slow_ops.slow_vote_tally([0, 1, 1, 1, 0], 2)
+        assert winner == 1
+        assert log.count(";") == 5
+
+    def test_slow_normalize_rows_sums_to_one(self):
+        out = slow_ops.slow_normalize_rows([[1.0, 3.0], [2.0, 2.0]])
+        for row in out:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_slow_bootstrap_indices_in_range(self):
+        rng = np.random.default_rng(0)
+        indices, progress = slow_ops.slow_bootstrap_indices(50, rng)
+        assert len(indices) == 50
+        assert all(0 <= i < 50 for i in indices)
+        assert progress > 0
+
+    def test_slow_membership_check(self):
+        assert slow_ops.slow_membership_check(["a", "q"], "cab") == 1
+
+    def test_slow_column_stats_means(self):
+        means, audit = slow_ops.slow_column_stats([[1.0, 10.0], [3.0, 30.0]])
+        assert means == [2.0, 20.0]
+        assert "0=2.0" in audit
+
+
+@pytest.mark.parametrize("name", list(UNOPT_REGISTRY))
+class TestUnoptVariants:
+    def test_predictions_match_optimized(self, name, airlines):
+        """The anti-patterns waste energy, never change answers."""
+        train, test = airlines
+        optimized_class, unopt_class = UNOPT_REGISTRY[name]
+        params = FAST.get(name, {})
+        fast = optimized_class(**params).fit(train)
+        slow = unopt_class(**params).fit(train)
+        np.testing.assert_array_equal(
+            fast.predict(test.X), slow.predict(test.X)
+        )
+
+    def test_unopt_is_subclass(self, name):
+        optimized_class, unopt_class = UNOPT_REGISTRY[name]
+        assert issubclass(unopt_class, optimized_class)
+
+
+class TestNarrowing:
+    def test_narrowed_wrapper_learns(self, airlines):
+        from repro.ml.classifiers import NaiveBayes
+
+        train, test = airlines
+        model = Float32Narrowed(NaiveBayes()).fit(train)
+        assert evaluate(model, test).accuracy > 0.5
+
+    def test_narrow_matrix_round_trips_through_float32(self):
+        X = np.array([[1.0 + 1e-12]])
+        narrowed = Float32Narrowed._narrow_matrix(X)
+        assert narrowed.dtype == np.float64
+        assert narrowed[0, 0] == np.float32(1.0 + 1e-12)
+
+    def test_predict_only_mode_trains_on_full_precision(self, airlines):
+        from repro.ml.classifiers import RandomTree
+
+        train, test = airlines
+        plain = RandomTree(seed=1).fit(train)
+        wrapped = Float32Narrowed(RandomTree(seed=1), narrow_fit=False).fit(train)
+        # Identical trees: fit saw identical data.
+        assert plain.num_leaves == wrapped.inner.num_leaves
+
+    def test_make_optimized_policies(self):
+        from repro.ml.classifiers import (
+            Logistic,
+            RandomTree,
+            SGD,
+            SMO,
+        )
+
+        assert isinstance(make_optimized("Logistic", Logistic), Logistic)
+        sgd = make_optimized("SGD", SGD)
+        assert isinstance(sgd, Float32Narrowed) and sgd.narrow_fit
+        smo = make_optimized("SMO", SMO)
+        assert isinstance(smo, Float32Narrowed) and not smo.narrow_fit
+        tree = make_optimized("Random Tree", RandomTree)
+        assert isinstance(tree, Float32Narrowed) and not tree.narrow_fit
+
+    def test_unfitted_narrowed_rejected(self):
+        from repro.ml.base import NotFittedError
+        from repro.ml.classifiers import NaiveBayes
+
+        with pytest.raises(NotFittedError):
+            Float32Narrowed(NaiveBayes()).predict(np.zeros((1, 7)))

@@ -1,0 +1,115 @@
+"""Tests for the synthetic MOA airlines generator (paper Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    AIRLINE_COUNT,
+    AIRPORT_COUNT,
+    airlines_schema,
+    generate_airlines,
+)
+from repro.ml.attributes import AttributeKind
+
+
+class TestSchema:
+    def test_table_iii_attribute_names_and_types(self):
+        schema = airlines_schema()
+        expected = [
+            ("Airline", AttributeKind.NOMINAL),
+            ("Flight", AttributeKind.NUMERIC),
+            ("AirportFrom", AttributeKind.NOMINAL),
+            ("AirportTo", AttributeKind.NOMINAL),
+            ("DayOfWeek", AttributeKind.NOMINAL),
+            ("Time", AttributeKind.NUMERIC),
+            ("Length", AttributeKind.NUMERIC),
+        ]
+        actual = [(a.name, a.kind) for a in schema.attributes]
+        assert actual == expected
+        assert schema.class_attribute.name == "Delay"
+        assert schema.class_attribute.is_binary
+
+    def test_table_iii_counts(self):
+        """Paper: 8 attributes — 4 nominal, 3 numeric, 1 binary."""
+        schema = airlines_schema()
+        assert schema.num_attributes + 1 == 8
+        assert len(schema.nominal_indices()) == 4
+        assert len(schema.numeric_indices()) == 3
+
+    def test_paper_cardinalities(self):
+        """Paper: 'the distinct values are 18 and 293'."""
+        schema = airlines_schema()
+        assert schema.attribute(0).num_values == AIRLINE_COUNT == 18
+        assert schema.attribute(2).num_values == AIRPORT_COUNT == 293
+        assert schema.attribute(3).num_values == 293
+        assert schema.attribute(4).num_values == 7
+
+
+class TestGeneration:
+    def test_requested_size(self):
+        assert generate_airlines(n=123).n == 123
+
+    def test_deterministic_for_seed(self):
+        a = generate_airlines(n=200, seed=5)
+        b = generate_airlines(n=200, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = generate_airlines(n=200, seed=5)
+        b = generate_airlines(n=200, seed=6)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_no_self_loops(self):
+        data = generate_airlines(n=2000, seed=1)
+        assert (data.X[:, 2] != data.X[:, 3]).all()
+
+    def test_value_ranges(self):
+        data = generate_airlines(n=2000, seed=1)
+        assert data.X[:, 0].max() < AIRLINE_COUNT
+        assert data.X[:, 2].max() < AIRPORT_COUNT
+        assert 0 < data.X[:, 5].min() and data.X[:, 5].max() < 24 * 60
+        assert 25 <= data.X[:, 6].min() and data.X[:, 6].max() <= 700
+
+    def test_class_balance_plausible(self):
+        """Roughly the real stream's 55/45 split, not degenerate."""
+        dist = generate_airlines(n=5000, seed=2).class_distribution()
+        assert 0.3 < dist[0] < 0.7
+
+    def test_signal_is_learnable(self):
+        """A classifier must beat the majority baseline comfortably —
+        otherwise Table IV's accuracy-drop column is meaningless."""
+        from repro.ml import evaluate, train_test_split
+        from repro.ml.classifiers import NaiveBayes
+
+        data = generate_airlines(n=1500, seed=11)
+        train, test = train_test_split(data, 0.3, np.random.default_rng(0))
+        accuracy = evaluate(NaiveBayes().fit(train), test).accuracy
+        majority = test.class_distribution().max()
+        assert accuracy > majority + 0.03
+
+    def test_noise_zero_more_learnable_than_noisy(self):
+        from repro.ml import evaluate, train_test_split
+        from repro.ml.classifiers import NaiveBayes
+
+        rng = np.random.default_rng(0)
+        clean = generate_airlines(n=1200, seed=4, noise=0.0)
+        noisy = generate_airlines(n=1200, seed=4, noise=2.0)
+        tr_c, te_c = train_test_split(clean, 0.3, np.random.default_rng(0))
+        tr_n, te_n = train_test_split(noisy, 0.3, np.random.default_rng(0))
+        acc_clean = evaluate(NaiveBayes().fit(tr_c), te_c).accuracy
+        acc_noisy = evaluate(NaiveBayes().fit(tr_n), te_n).accuracy
+        assert acc_clean > acc_noisy
+        del rng
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            generate_airlines(n=0)
+        with pytest.raises(ValueError):
+            generate_airlines(n=10, noise=-1.0)
+
+    def test_zipf_market_shares(self):
+        """Carrier shares are skewed (Zipf-ish), like the real network."""
+        data = generate_airlines(n=10_000, seed=3)
+        counts = np.bincount(data.X[:, 0].astype(int), minlength=18)
+        assert counts.max() > 3 * max(counts.min(), 1)

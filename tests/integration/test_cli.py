@@ -1,0 +1,188 @@
+"""CLI integration tests for the ``pepo`` command."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+DIRTY = (
+    "def build(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+PROJECT_MAIN = (
+    "def work():\n"
+    "    return sum(range(2000))\n"
+    "if __name__ == '__main__':\n"
+    "    work()\n"
+)
+
+
+class TestSuggest:
+    def test_file(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        assert main(["suggest", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "R08_STR_CONCAT" in out
+        assert "1 suggestion(s)" in out
+
+    def test_project_directory(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text(DIRTY)
+        (tmp_path / "b.py").write_text("x = 1\n")
+        assert main(["suggest", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Suggestion" in out  # Fig. 5 layout
+        assert "a.py" in out
+
+    def test_watch_once(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        assert main(["suggest", str(path), "--watch", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "+ " in out and "R08_STR_CONCAT" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        assert main(["suggest", str(path), "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert any(r["rule"] == "R08_STR_CONCAT" for r in records)
+        assert all({"file", "line", "suggestion"} <= set(r) for r in records)
+
+    def test_extended_flag_adds_extension_findings(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(x * 2)\n"
+            "    return out\n"
+        )
+        main(["suggest", str(path)])
+        base = capsys.readouterr().out
+        assert "R14_APPEND_LOOP" not in base
+        main(["suggest", str(path), "--extended"])
+        extended = capsys.readouterr().out
+        assert "R14_APPEND_LOOP" in extended
+
+    def test_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["suggest", str(tmp_path / "nope.py")]) == 2
+        assert "pepo:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_dry_run_leaves_file(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        assert main(["optimize", str(path)]) == 0
+        assert path.read_text() == DIRTY
+        out = capsys.readouterr().out
+        assert "dry run" in out
+
+    def test_write_applies(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        assert main(["optimize", str(path), "--write"]) == 0
+        # The fixpoint pipeline turns += into append, then the copy-loop
+        # transform may collapse the append loop into extend.
+        rewritten = path.read_text()
+        assert "append" in rewritten or "extend" in rewritten
+        assert "join" in rewritten
+        out = capsys.readouterr().out
+        assert "change(s) applied" in out
+
+    def test_diff_flag(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        main(["optimize", str(path), "--diff"])
+        out = capsys.readouterr().out
+        assert "--- a/" in out and "+++ b/" in out
+
+
+class TestProfile:
+    def test_profiles_project(self, tmp_path, capsys):
+        (tmp_path / "app.py").write_text(PROJECT_MAIN)
+        assert main(["profile", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Energy Consumed (J)" in out
+        assert (tmp_path / "result.txt").exists()
+
+    def test_explicit_main(self, tmp_path, capsys):
+        (tmp_path / "one.py").write_text(PROJECT_MAIN)
+        (tmp_path / "two.py").write_text(PROJECT_MAIN)
+        assert main(["profile", str(tmp_path), "--main", "one.py"]) == 0
+
+    def test_timeline_flag(self, tmp_path, capsys):
+        (tmp_path / "app.py").write_text(PROJECT_MAIN)
+        assert main(["profile", str(tmp_path), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "package power over time" in out
+        assert "peak" in out and "mean" in out
+
+
+class TestCompare:
+    def _write_profiles(self, tmp_path):
+        before = tmp_path / "before.txt"
+        after = tmp_path / "after.txt"
+        header = "# method\twall\tcpu\tpkg\tcore\n"
+        before.write_text(
+            header
+            + "m.hot\t1.0\t1.0\t10.0\t7.0\n"
+            + "m.cold\t0.1\t0.1\t1.0\t0.7\n"
+        )
+        after.write_text(
+            header
+            + "m.hot\t0.6\t0.6\t6.0\t4.0\n"
+            + "m.cold\t0.2\t0.2\t2.0\t1.4\n"
+        )
+        return before, after
+
+    def test_compare_renders_and_lists_regressions(self, tmp_path, capsys):
+        before, after = self._write_profiles(tmp_path)
+        assert main(["compare", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "improved" in out
+        assert "regression(s):" in out
+        assert "m.cold" in out
+
+    def test_fail_on_regression(self, tmp_path, capsys):
+        before, after = self._write_profiles(tmp_path)
+        assert main(
+            ["compare", str(before), str(after), "--fail-on-regression"]
+        ) == 1
+
+    def test_no_regression_passes_gate(self, tmp_path, capsys):
+        before, _ = self._write_profiles(tmp_path)
+        clean_after = tmp_path / "clean.txt"
+        clean_after.write_text(
+            "# h\nm.hot\t0.5\t0.5\t5.0\t3.5\nm.cold\t0.05\t0.05\t0.5\t0.35\n"
+        )
+        assert main(
+            ["compare", str(before), str(clean_after), "--fail-on-regression"]
+        ) == 0
+
+
+class TestBench:
+    def test_bench_table3(self, capsys):
+        assert main(["bench", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Airline" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for args in (["suggest", "x.py"], ["optimize", "x.py", "--write"],
+                     ["profile", "proj"], ["bench", "table1"]):
+            parsed = parser.parse_args(args)
+            assert parsed.command == args[0]

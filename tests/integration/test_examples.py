@@ -1,0 +1,60 @@
+"""The shipped examples must actually run (subprocess, clean exit)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Suggestions" in result.stdout
+        assert "improvement" in result.stdout
+
+    def test_profile_classifier(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "profile_classifier.py"),
+             "Naive Bayes"],
+            capture_output=True, text=True, timeout=240, cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Energy-hungry method" in result.stdout
+        assert (tmp_path / "result.txt").exists()
+
+    def test_profile_classifier_rejects_unknown(self):
+        result = run_example("profile_classifier.py", "Quantum Tree")
+        assert result.returncode != 0
+        assert "unknown classifier" in result.stderr
+
+    def test_optimize_codebase(self):
+        result = run_example("optimize_codebase.py")
+        assert result.returncode == 0, result.stderr
+        assert "Behaviour verified identical" in result.stdout
+        assert "change(s) applied" in result.stdout
+
+    def test_streaming_edge(self):
+        result = run_example("streaming_edge.py", timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "Prequential evaluation" in result.stdout
+        assert "mJ / instance" in result.stdout
+
+    @pytest.mark.slow
+    def test_edge_model_selection(self):
+        result = run_example("edge_model_selection.py", timeout=480)
+        assert result.returncode == 0, result.stderr
+        assert "Recommended for the edge" in result.stdout

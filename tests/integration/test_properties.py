@@ -1,0 +1,214 @@
+"""Cross-module property-based tests (hypothesis).
+
+These target whole-system invariants that unit tests cannot cover:
+optimizer semantic preservation over generated programs, classifier
+probability laws over generated datasets, and the ARFF round trip over
+generated schemas.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ml.arff import dumps_arff, loads_arff
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.instances import Instances
+from repro.optimizer import optimize_source
+
+# ---------------------------------------------------------------------------
+# Optimizer: generated anti-pattern programs keep their semantics.
+# ---------------------------------------------------------------------------
+
+_SNIPPETS = {
+    "concat": (
+        "    acc_s = ''\n"
+        "    for i in range(n):\n"
+        "        acc_s += str(i % 5)\n"
+    ),
+    "modulus": (
+        "    hits = 0\n"
+        "    for i in range(n):\n"
+        "        if i % {pow2} == 0:\n"
+        "            hits += 1\n"
+    ),
+    "ternary": (
+        "    flips = 0\n"
+        "    for i in range(n):\n"
+        "        step = 1 if i % 3 else 2\n"
+        "        flips += step\n"
+    ),
+    "copy": (
+        "    data = list(range(n))\n"
+        "    copy_out = [0] * len(data)\n"
+        "    for i in range(len(data)):\n"
+        "        copy_out[i] = data[i]\n"
+    ),
+    "global": (
+        "    g_total = 0\n"
+        "    for i in range(n):\n"
+        "        g_total += i * KFACT\n"
+    ),
+}
+
+
+@st.composite
+def anti_pattern_program(draw):
+    chosen = draw(
+        st.lists(
+            st.sampled_from(sorted(_SNIPPETS)), min_size=1, max_size=5,
+            unique=True,
+        )
+    )
+    pow2 = draw(st.sampled_from([2, 4, 8, 16, 32]))
+    body = "".join(_SNIPPETS[name].format(pow2=pow2) for name in chosen)
+    collected = []
+    for name in chosen:
+        collected.append(
+            {"concat": "acc_s", "modulus": "hits", "ternary": "flips",
+             "copy": "copy_out", "global": "g_total"}[name]
+        )
+    program = (
+        "KFACT = 3\n"
+        "def run(n):\n"
+        + body
+        + f"    return ({', '.join(collected)},)\n"
+    )
+    return program
+
+
+class TestOptimizerProperty:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(program=anti_pattern_program(), n=st.integers(0, 60))
+    def test_semantics_preserved(self, program, n):
+        result = optimize_source(program)
+        ns_before, ns_after = {}, {}
+        exec(compile(program, "<b>", "exec"), ns_before)
+        exec(compile(result.optimized, "<a>", "exec"), ns_after)
+        assert ns_before["run"](n) == ns_after["run"](n)
+
+    @settings(max_examples=20, deadline=None)
+    @given(program=anti_pattern_program())
+    def test_optimization_is_idempotent_at_fixpoint(self, program):
+        first = optimize_source(program)
+        second = optimize_source(first.optimized)
+        assert not second.changed, second.changes
+
+
+# ---------------------------------------------------------------------------
+# Classifiers: probability laws on generated data.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_dataset(draw):
+    n = draw(st.integers(20, 60))
+    num_classes = draw(st.integers(2, 3))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    schema = Schema(
+        attributes=(
+            Attribute.numeric("a"),
+            Attribute.nominal("b", ("u", "v", "w")),
+        ),
+        class_attribute=Attribute.nominal(
+            "c", tuple(f"k{i}" for i in range(num_classes))
+        ),
+    )
+    y = rng.integers(0, num_classes, n)
+    X = np.column_stack(
+        [rng.normal(y, 1.0), rng.integers(0, 3, n).astype(float)]
+    )
+    # Guarantee every class appears.
+    for cls in range(num_classes):
+        y[cls] = cls
+    return Instances(schema, X, y)
+
+
+class TestClassifierProperties:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=small_dataset())
+    def test_distributions_are_simplex_points(self, data):
+        from repro.ml.classifiers import J48, IBk, NaiveBayes
+
+        for cls in (NaiveBayes, J48, IBk):
+            model = cls().fit(data)
+            dist = model.distributions(data.X)
+            assert (dist >= -1e-12).all()
+            np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=small_dataset())
+    def test_predictions_in_label_range(self, data):
+        from repro.ml.classifiers import REPTree
+
+        model = REPTree().fit(data)
+        predictions = model.predict(data.X)
+        assert predictions.min() >= 0
+        assert predictions.max() < data.num_classes
+
+
+# ---------------------------------------------------------------------------
+# ARFF: round trip over generated schemas/rows.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def arff_dataset(draw):
+    n_numeric = draw(st.integers(0, 2))
+    n_nominal = draw(st.integers(0, 2))
+    if n_numeric + n_nominal == 0:
+        n_numeric = 1
+    attributes = []
+    for i in range(n_numeric):
+        attributes.append(Attribute.numeric(f"num{i}"))
+    for i in range(n_nominal):
+        attributes.append(Attribute.nominal(f"cat{i}", ("red", "green blue")))
+    schema = Schema(
+        attributes=tuple(attributes),
+        class_attribute=Attribute.binary("cls", ("no", "yes")),
+    )
+    n = draw(st.integers(1, 15))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    rows = []
+    for _ in range(n):
+        row: list = []
+        for attribute in attributes:
+            if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+                row.append(None)  # occasional missing value
+            elif attribute.is_nominal:
+                row.append(attribute.values[rng.integers(0, 2)])
+            else:
+                row.append(float(rng.integers(-1000, 1000)) / 4.0)
+        row.append("yes" if rng.random() < 0.5 else "no")
+        rows.append(row)
+    return Instances.from_rows(schema, rows)
+
+
+class TestArffProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=arff_dataset())
+    def test_round_trip_exact(self, data):
+        reloaded = loads_arff(dumps_arff(data))
+        assert reloaded.schema == data.schema
+        np.testing.assert_array_equal(reloaded.y, data.y)
+        np.testing.assert_array_equal(
+            np.isnan(reloaded.X), np.isnan(data.X)
+        )
+        mask = ~np.isnan(data.X)
+        np.testing.assert_allclose(reloaded.X[mask], data.X[mask])

@@ -1,0 +1,109 @@
+"""Tests for the ARFF round trip."""
+
+import numpy as np
+import pytest
+
+from repro.ml.arff import ArffError, dump_arff, dumps_arff, load_arff, loads_arff
+
+SAMPLE = """\
+% airlines sample
+@relation flights
+
+@attribute Airline {AA,BB,CC}
+@attribute Time numeric
+@attribute 'Day Of Week' {mon,tue}
+@attribute Delay {0,1}
+
+@data
+AA,480.5,mon,0
+BB,?,tue,1
+?,1000,mon,1
+"""
+
+
+class TestLoads:
+    def test_parses_attributes_and_rows(self):
+        data = loads_arff(SAMPLE)
+        assert data.n == 3
+        assert data.d == 3
+        assert data.schema.class_attribute.name == "Delay"
+        assert data.attribute(0).values == ("AA", "BB", "CC")
+        assert data.attribute(2).name == "Day Of Week"
+
+    def test_missing_values_parse_as_nan(self):
+        data = loads_arff(SAMPLE)
+        assert np.isnan(data.X[1, 1])
+        assert np.isnan(data.X[2, 0])
+
+    def test_class_labels_decoded(self):
+        data = loads_arff(SAMPLE)
+        assert data.y.tolist() == [0, 1, 1]
+
+    def test_explicit_class_attribute(self):
+        data = loads_arff(SAMPLE, class_attribute="Day Of Week")
+        assert data.schema.class_attribute.name == "Day Of Week"
+        assert data.d == 3
+        assert data.y.tolist() == [0, 1, 0]
+
+    def test_missing_class_value_rejected(self):
+        with pytest.raises(ArffError, match="missing class"):
+            loads_arff(SAMPLE, class_attribute="Airline")
+
+    def test_unknown_class_attribute_rejected(self):
+        with pytest.raises(ArffError, match="no attribute named"):
+            loads_arff(SAMPLE, class_attribute="Bogus")
+
+    def test_cell_count_mismatch_rejected(self):
+        bad = SAMPLE + "AA,1\n"
+        with pytest.raises(ArffError, match="cells"):
+            loads_arff(bad)
+
+    def test_non_numeric_in_numeric_column_rejected(self):
+        bad = SAMPLE.replace("AA,480.5,mon,0", "AA,oops,mon,0")
+        with pytest.raises(ArffError, match="non-numeric"):
+            loads_arff(bad)
+
+    def test_sparse_rows_rejected(self):
+        bad = SAMPLE + "{0 AA}\n"
+        with pytest.raises(ArffError, match="sparse"):
+            loads_arff(bad)
+
+    def test_string_attribute_rejected(self):
+        bad = "@relation r\n@attribute s string\n@attribute c {a,b}\n@data\n"
+        with pytest.raises(ArffError, match="not supported"):
+            loads_arff(bad)
+
+    def test_unterminated_quote_rejected(self):
+        bad = SAMPLE.replace("'Day Of Week'", "'Day Of Week")
+        with pytest.raises(ArffError):
+            loads_arff(bad)
+
+
+class TestRoundTrip:
+    def test_dump_load_preserves_data(self, tmp_path):
+        original = loads_arff(SAMPLE)
+        path = dump_arff(original, tmp_path / "out.arff", relation="flights")
+        reloaded = load_arff(path)
+        assert reloaded.n == original.n
+        assert reloaded.schema == original.schema
+        np.testing.assert_array_equal(reloaded.y, original.y)
+        # NaN-aware matrix comparison
+        np.testing.assert_array_equal(
+            np.isnan(reloaded.X), np.isnan(original.X)
+        )
+        mask = ~np.isnan(original.X)
+        np.testing.assert_allclose(reloaded.X[mask], original.X[mask])
+
+    def test_dumps_quotes_tricky_tokens(self):
+        text = dumps_arff(loads_arff(SAMPLE))
+        assert "'Day Of Week'" in text
+
+    def test_airlines_dataset_round_trips(self, tmp_path):
+        from repro.datasets import generate_airlines
+
+        data = generate_airlines(n=50, seed=3)
+        path = dump_arff(data, tmp_path / "airlines.arff")
+        reloaded = load_arff(path)
+        assert reloaded.n == 50
+        np.testing.assert_array_equal(reloaded.y, data.y)
+        np.testing.assert_allclose(reloaded.X, data.X, rtol=1e-12)

@@ -1,0 +1,98 @@
+"""Tests for the Attribute/Schema data model."""
+
+import pytest
+
+from repro.ml.attributes import Attribute, AttributeKind, Schema
+
+
+class TestAttribute:
+    def test_numeric_factory(self):
+        attr = Attribute.numeric("Time")
+        assert attr.is_numeric and not attr.is_nominal
+        assert attr.num_values == 0
+
+    def test_nominal_factory(self):
+        attr = Attribute.nominal("Day", ["mon", "tue", "wed"])
+        assert attr.is_nominal
+        assert attr.num_values == 3
+        assert attr.index_of("tue") == 1
+        assert attr.value(2) == "wed"
+
+    def test_binary_factory(self):
+        attr = Attribute.binary("Delay")
+        assert attr.is_binary
+        assert attr.values == ("0", "1")
+
+    def test_binary_requires_two_values(self):
+        with pytest.raises(ValueError):
+            Attribute.binary("x", ("a", "b", "c"))
+
+    def test_unknown_nominal_value_rejected(self):
+        attr = Attribute.nominal("Day", ["mon", "tue"])
+        with pytest.raises(ValueError, match="not a value"):
+            attr.index_of("fri")
+
+    def test_value_on_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            Attribute.numeric("x").value(0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute.numeric("")
+
+    def test_single_value_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute.nominal("x", ["only"])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute.nominal("x", ["a", "a"])
+
+    def test_numeric_with_values_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute(name="x", kind=AttributeKind.NUMERIC, values=("a", "b"))
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            attributes=(
+                Attribute.numeric("f1"),
+                Attribute.nominal("f2", ["a", "b"]),
+                Attribute.numeric("f3"),
+            ),
+            class_attribute=Attribute.binary("cls"),
+        )
+
+    def test_counts(self):
+        schema = self._schema()
+        assert schema.num_attributes == 3
+        assert schema.num_classes == 2
+
+    def test_kind_indices(self):
+        schema = self._schema()
+        assert schema.numeric_indices() == (0, 2)
+        assert schema.nominal_indices() == (1,)
+
+    def test_index_of(self):
+        assert self._schema().index_of("f2") == 1
+        with pytest.raises(KeyError):
+            self._schema().index_of("nope")
+
+    def test_numeric_class_rejected(self):
+        with pytest.raises(ValueError, match="nominal class"):
+            Schema(
+                attributes=(Attribute.numeric("f1"),),
+                class_attribute=Attribute.numeric("target"),
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(
+                attributes=(Attribute.numeric("x"), Attribute.numeric("x")),
+                class_attribute=Attribute.binary("cls"),
+            )
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(attributes=(), class_attribute=Attribute.binary("cls"))

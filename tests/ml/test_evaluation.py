@@ -1,0 +1,169 @@
+"""Tests for stratified folds, evaluation metrics and CV."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import generate_airlines
+from repro.ml import (
+    Instances,
+    cross_validate,
+    evaluate,
+    stratified_folds,
+    train_test_split,
+)
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.base import Classifier
+from repro.ml.classifiers import NaiveBayes
+
+
+class _Constant(Classifier):
+    """Predicts a fixed class — for metric arithmetic tests."""
+
+    def __init__(self, cls: int = 0) -> None:
+        super().__init__()
+        self._cls = cls
+
+    def fit(self, data):
+        self._begin_fit(data)
+        self._fitted = True
+        return self
+
+    def predict(self, X):
+        self._check_fitted()
+        return np.full(len(X), self._cls, dtype=np.int64)
+
+
+def tiny_data(y):
+    y = np.asarray(y)
+    schema = Schema(
+        attributes=(Attribute.numeric("f"),),
+        class_attribute=Attribute.nominal("c", ("a", "b", "c")),
+    )
+    return Instances(schema, np.arange(len(y), dtype=float)[:, None], y)
+
+
+class TestStratifiedFolds:
+    def test_folds_partition_everything(self):
+        y = np.array([0] * 10 + [1] * 20)
+        folds = stratified_folds(y, 5, np.random.default_rng(0))
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(30))
+
+    def test_class_balance_within_one(self):
+        y = np.array([0] * 10 + [1] * 21)
+        folds = stratified_folds(y, 5, np.random.default_rng(0))
+        for fold in folds:
+            ones = (y[fold] == 1).sum()
+            zeros = (y[fold] == 0).sum()
+            assert abs(ones - 21 / 5) <= 1
+            assert abs(zeros - 10 / 5) <= 1
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_folds(np.array([0, 1]), 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            stratified_folds(np.array([0, 1]), 5, np.random.default_rng(0))
+
+    def test_seeded_determinism(self):
+        y = np.array([0, 1] * 25)
+        a = stratified_folds(y, 5, np.random.default_rng(42))
+        b = stratified_folds(y, 5, np.random.default_rng(42))
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=10, max_size=60),
+        st.integers(2, 5),
+    )
+    def test_partition_property(self, labels, k):
+        y = np.asarray(labels)
+        folds = stratified_folds(y, k, np.random.default_rng(0))
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(len(labels)))
+
+
+class TestEvaluate:
+    def test_constant_classifier_accuracy(self):
+        data = tiny_data([0, 0, 1, 2])
+        model = _Constant(0).fit(data)
+        result = evaluate(model, data)
+        assert result.correct == 2
+        assert result.accuracy == 0.5
+        assert result.error_rate == 0.5
+
+    def test_confusion_layout_true_by_predicted(self):
+        data = tiny_data([0, 1, 1])
+        model = _Constant(1).fit(data)
+        result = evaluate(model, data)
+        assert result.confusion[0, 1] == 1  # true 0 predicted 1
+        assert result.confusion[1, 1] == 2
+
+    def test_per_class_recall(self):
+        data = tiny_data([0, 0, 1])
+        model = _Constant(0).fit(data)
+        recall = evaluate(model, data).per_class_recall()
+        assert recall[0] == 1.0
+        assert recall[1] == 0.0
+        assert np.isnan(recall[2])  # class absent from test set
+
+    def test_empty_test_rejected(self):
+        data = tiny_data([0, 1])
+        model = _Constant().fit(data)
+        empty = data.subset([])
+        with pytest.raises(ValueError):
+            evaluate(model, empty)
+
+
+class TestCrossValidate:
+    def test_pooled_accuracy_and_confusion(self):
+        data = generate_airlines(n=300, seed=1)
+        result = cross_validate(NaiveBayes, data, k=5)
+        assert result.k == 5
+        assert 0.5 < result.accuracy < 1.0
+        assert result.confusion.sum() == 300
+
+    def test_fresh_classifier_per_fold(self):
+        builds = []
+
+        def factory():
+            model = _Constant(0)
+            builds.append(model)
+            return model
+
+        data = tiny_data([0, 1] * 10)
+        cross_validate(factory, data, k=4)
+        assert len(builds) == 4
+
+    def test_deterministic_given_rng(self):
+        data = generate_airlines(n=200, seed=2)
+        a = cross_validate(NaiveBayes, data, k=4, rng=np.random.default_rng(5))
+        b = cross_validate(NaiveBayes, data, k=4, rng=np.random.default_rng(5))
+        assert a.accuracy == b.accuracy
+
+    def test_accuracy_std(self):
+        data = generate_airlines(n=200, seed=2)
+        result = cross_validate(NaiveBayes, data, k=4)
+        assert result.accuracy_std >= 0.0
+        assert len(result.fold_accuracies) == 4
+
+
+class TestTrainTestSplit:
+    def test_stratified_fractions(self):
+        data = generate_airlines(n=400, seed=3)
+        train, test = train_test_split(data, 0.25, np.random.default_rng(0))
+        assert train.n + test.n == 400
+        assert abs(test.n - 100) <= 2
+        # Class balance preserved within a few instances.
+        full_rate = data.class_distribution()[1]
+        test_rate = test.class_distribution()[1]
+        assert abs(full_rate - test_rate) < 0.05
+
+    def test_bad_fraction_rejected(self):
+        data = generate_airlines(n=50, seed=3)
+        with pytest.raises(ValueError):
+            train_test_split(data, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(data, 1.0)

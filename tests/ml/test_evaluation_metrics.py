@@ -1,0 +1,95 @@
+"""Tests for the extended evaluation metrics (WEKA's summary block)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.evaluation import Evaluation
+
+
+def make_eval(confusion) -> Evaluation:
+    confusion = np.asarray(confusion, dtype=np.int64)
+    return Evaluation(
+        correct=int(np.trace(confusion)),
+        total=int(confusion.sum()),
+        confusion=confusion,
+    )
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_classifier(self):
+        ev = make_eval([[10, 0], [0, 20]])
+        np.testing.assert_allclose(ev.per_class_precision(), [1.0, 1.0])
+        np.testing.assert_allclose(ev.per_class_recall(), [1.0, 1.0])
+        np.testing.assert_allclose(ev.per_class_f1(), [1.0, 1.0])
+        assert ev.weighted_f1() == pytest.approx(1.0)
+
+    def test_textbook_values(self):
+        # class 0: TP=8 FN=2 FP=4 → precision 8/12, recall 8/10
+        ev = make_eval([[8, 2], [4, 16]])
+        precision = ev.per_class_precision()
+        recall = ev.per_class_recall()
+        assert precision[0] == pytest.approx(8 / 12)
+        assert recall[0] == pytest.approx(0.8)
+        expected_f1 = 2 * (8 / 12) * 0.8 / ((8 / 12) + 0.8)
+        assert ev.per_class_f1()[0] == pytest.approx(expected_f1)
+
+    def test_never_predicted_class_precision_nan_f1_zero(self):
+        ev = make_eval([[10, 0], [5, 0]])
+        assert np.isnan(ev.per_class_precision()[1])
+        assert ev.per_class_f1()[1] == 0.0
+
+    def test_weighted_f1_uses_support(self):
+        # class 0 (support 1) perfect, class 1 (support 99) never found.
+        ev = make_eval([[1, 0], [99, 0]])
+        assert ev.weighted_f1() < 0.05
+
+
+class TestKappa:
+    def test_perfect_agreement(self):
+        assert make_eval([[5, 0], [0, 5]]).kappa() == pytest.approx(1.0)
+
+    def test_chance_level_is_zero(self):
+        # Predictions independent of truth with matching marginals.
+        ev = make_eval([[25, 25], [25, 25]])
+        assert ev.kappa() == pytest.approx(0.0)
+
+    def test_worse_than_chance_negative(self):
+        ev = make_eval([[0, 10], [10, 0]])
+        assert ev.kappa() < 0
+
+    def test_known_value(self):
+        # Classic example: po = 0.7, pe = 0.5 → kappa = 0.4
+        ev = make_eval([[35, 15], [15, 35]])
+        assert ev.kappa() == pytest.approx(0.4)
+
+    def test_degenerate_single_class(self):
+        ev = make_eval([[10, 0], [0, 0]])
+        assert ev.kappa() == 0.0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 50), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_kappa_bounded(self, rows):
+        confusion = np.array(rows)
+        if confusion.sum() == 0:
+            return
+        kappa = make_eval(confusion).kappa()
+        assert -1.0 - 1e-9 <= kappa <= 1.0 + 1e-9
+
+    def test_kappa_on_real_classifier(self):
+        from repro.datasets import generate_airlines
+        from repro.ml import cross_validate
+        from repro.ml.classifiers import NaiveBayes
+
+        data = generate_airlines(n=500, seed=11)
+        result = cross_validate(NaiveBayes, data, k=5)
+        pooled = make_eval(result.confusion)
+        # Learns real signal → kappa clearly above chance.
+        assert pooled.kappa() > 0.1
+        assert 0.0 < pooled.weighted_f1() <= 1.0

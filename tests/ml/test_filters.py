@@ -1,0 +1,113 @@
+"""Tests for the preprocessing filters."""
+
+import numpy as np
+import pytest
+
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.filters import ImputeMissing, NominalToBinary, Standardize
+from repro.ml.instances import Instances
+
+
+def mixed_data():
+    schema = Schema(
+        attributes=(
+            Attribute.numeric("num"),
+            Attribute.nominal("tri", ["a", "b", "c"]),
+            Attribute.binary("bin"),
+        ),
+        class_attribute=Attribute.binary("cls"),
+    )
+    return Instances.from_rows(
+        schema,
+        [
+            [1.0, "a", "0", "0"],
+            [3.0, "c", "1", "1"],
+            [None, "b", "?", "1"],
+            [5.0, "?", "1", "0"],
+        ],
+    )
+
+
+class TestNominalToBinary:
+    def test_width_accounts_for_binary_compression(self):
+        encoder = NominalToBinary().fit(mixed_data())
+        # numeric(1) + tri one-hot(3) + binary passthrough(1)
+        assert encoder.width == 5
+
+    def test_one_hot_encoding(self):
+        data = mixed_data()
+        Z = NominalToBinary().fit_transform(data)
+        assert Z.shape == (4, 5)
+        # row 0: tri = "a" → [1, 0, 0]
+        assert Z[0, 1:4].tolist() == [1.0, 0.0, 0.0]
+        # row 1: tri = "c" → [0, 0, 1], bin = 1
+        assert Z[1, 1:4].tolist() == [0.0, 0.0, 1.0]
+        assert Z[1, 4] == 1.0
+
+    def test_missing_nominal_encodes_all_zero(self):
+        Z = NominalToBinary().fit_transform(mixed_data())
+        assert Z[3, 1:4].tolist() == [0.0, 0.0, 0.0]
+
+    def test_missing_numeric_encodes_zero(self):
+        Z = NominalToBinary().fit_transform(mixed_data())
+        assert Z[2, 0] == 0.0
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            NominalToBinary().transform(np.zeros((1, 3)))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        Z = Standardize().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.array([[7.0], [7.0], [7.0]])
+        Z = Standardize().fit_transform(X)
+        np.testing.assert_array_equal(Z, 0.0)
+
+    def test_train_statistics_applied_to_test(self):
+        scaler = Standardize().fit(np.array([[0.0], [10.0]]))
+        Z = scaler.transform(np.array([[5.0], [15.0]]))
+        np.testing.assert_allclose(Z[:, 0], [0.0, 2.0])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            Standardize().transform(np.zeros((1, 1)))
+
+
+class TestImputeMissing:
+    def test_numeric_mean_fill(self):
+        data = mixed_data()
+        X = ImputeMissing().fit_transform(data)
+        assert X[2, 0] == pytest.approx(3.0)  # mean of 1, 3, 5
+
+    def test_nominal_mode_fill(self):
+        data = mixed_data()
+        X = ImputeMissing().fit_transform(data)
+        assert X[2, 2] == 1.0  # mode of bin column (1 appears twice)
+
+    def test_no_nans_remain(self):
+        X = ImputeMissing().fit_transform(mixed_data())
+        assert not np.isnan(X).any()
+
+    def test_original_untouched(self):
+        data = mixed_data()
+        ImputeMissing().fit(data).transform(data.X)
+        assert np.isnan(data.X).sum() == 3
+
+    def test_all_missing_column_fills_zero(self):
+        schema = Schema(
+            attributes=(Attribute.numeric("n"),),
+            class_attribute=Attribute.binary("c"),
+        )
+        data = Instances.from_rows(schema, [[None, "0"], [None, "1"]])
+        X = ImputeMissing().fit_transform(data)
+        np.testing.assert_array_equal(X[:, 0], 0.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            ImputeMissing().transform(np.zeros((1, 1)))

@@ -1,0 +1,103 @@
+"""Tests for Discretize and the WEKA-style CV summary."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_airlines
+from repro.ml import cross_validate
+from repro.ml.attributes import Attribute, AttributeKind, Schema
+from repro.ml.classifiers import NaiveBayes
+from repro.ml.filters import Discretize
+from repro.ml.instances import Instances
+
+
+def numeric_data(values):
+    schema = Schema(
+        attributes=(Attribute.numeric("v"), Attribute.nominal("g", ["a", "b"])),
+        class_attribute=Attribute.binary("c"),
+    )
+    rows = [[v, "a", "0"] for v in values]
+    return Instances.from_rows(schema, rows)
+
+
+class TestDiscretize:
+    def test_equal_width_bins(self):
+        data = numeric_data([0.0, 2.5, 5.0, 7.5, 10.0])
+        out = Discretize(bins=4).fit_transform(data)
+        assert out[:, 0].tolist() == [0.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_nominal_column_untouched(self):
+        data = numeric_data([1.0, 2.0])
+        out = Discretize(bins=2).fit_transform(data)
+        np.testing.assert_array_equal(out[:, 1], data.X[:, 1])
+
+    def test_out_of_range_test_values_clamp(self):
+        data = numeric_data([0.0, 10.0])
+        filt = Discretize(bins=5).fit(data)
+        out = filt.transform(np.array([[-100.0, 0.0], [100.0, 0.0]]))
+        assert out[0, 0] == 0.0
+        assert out[1, 0] == 4.0
+
+    def test_missing_stays_missing(self):
+        data = numeric_data([0.0, 10.0])
+        filt = Discretize(bins=3).fit(data)
+        out = filt.transform(np.array([[np.nan, 0.0]]))
+        assert np.isnan(out[0, 0])
+
+    def test_constant_column(self):
+        data = numeric_data([7.0, 7.0, 7.0])
+        out = Discretize(bins=4).fit_transform(data)
+        assert (out[:, 0] == 0.0).all()
+
+    def test_discretized_schema(self):
+        data = numeric_data([0.0, 1.0])
+        filt = Discretize(bins=3).fit(data)
+        schema = filt.discretized_schema()
+        assert schema.attribute(0).kind is AttributeKind.NOMINAL
+        assert schema.attribute(0).num_values == 3
+        assert schema.attribute(1).is_nominal  # untouched
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            Discretize(bins=1)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            Discretize().transform(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            Discretize().discretized_schema()
+
+    def test_bins_preserve_learnability(self):
+        """Discretized features still carry the airlines signal."""
+        data = generate_airlines(n=500, seed=11)
+        filt = Discretize(bins=8).fit(data)
+        binned = Instances(filt.discretized_schema(), filt.transform(data.X),
+                           data.y)
+        accuracy = cross_validate(NaiveBayes, binned, k=4).accuracy
+        assert accuracy > 0.55
+
+
+class TestCvSummary:
+    def test_summary_block(self):
+        data = generate_airlines(n=300, seed=11)
+        result = cross_validate(NaiveBayes, data, k=5)
+        text = result.summary(class_names=("ontime", "delayed"))
+        assert "Correctly Classified Instances" in text
+        assert "Kappa statistic" in text
+        assert "Weighted F-Measure" in text
+        assert "Confusion Matrix" in text
+        assert "ontime" in text and "delayed" in text
+        assert "<-- classified as" in text
+
+    def test_pooled_matches_confusion(self):
+        data = generate_airlines(n=300, seed=11)
+        result = cross_validate(NaiveBayes, data, k=5)
+        pooled = result.pooled()
+        assert pooled.total == 300
+        assert pooled.accuracy == pytest.approx(result.accuracy)
+
+    def test_default_class_letters(self):
+        data = generate_airlines(n=200, seed=11)
+        result = cross_validate(NaiveBayes, data, k=4)
+        text = result.summary()
+        assert "| a" in text and "| b" in text

@@ -1,0 +1,115 @@
+"""Tests for the Instances container."""
+
+import numpy as np
+import pytest
+
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.instances import Instances
+
+
+def schema():
+    return Schema(
+        attributes=(
+            Attribute.numeric("num"),
+            Attribute.nominal("cat", ["x", "y", "z"]),
+        ),
+        class_attribute=Attribute.binary("cls", ("no", "yes")),
+    )
+
+
+class TestConstruction:
+    def test_from_rows_with_strings_and_numbers(self):
+        data = Instances.from_rows(
+            schema(),
+            [
+                [1.5, "y", "no"],
+                [2.0, "x", "yes"],
+            ],
+        )
+        assert data.n == 2 and data.d == 2
+        assert data.X[0, 1] == 1.0  # code for "y"
+        assert data.y.tolist() == [0, 1]
+
+    def test_missing_values_encode_as_nan(self):
+        data = Instances.from_rows(schema(), [[None, "?", "yes"]])
+        assert np.isnan(data.X[0, 0])
+        assert np.isnan(data.X[0, 1])
+        assert data.missing_mask().sum() == 2
+
+    def test_precoded_nominal_cells(self):
+        data = Instances.from_rows(schema(), [[1.0, 2, "no"]])
+        assert data.X[0, 1] == 2.0
+
+    def test_wrong_row_width_rejected(self):
+        with pytest.raises(ValueError, match="expected 3 cells"):
+            Instances.from_rows(schema(), [[1.0, "x"]])
+
+    def test_unknown_nominal_value_rejected(self):
+        with pytest.raises(ValueError):
+            Instances.from_rows(schema(), [[1.0, "q", "no"]])
+
+    def test_out_of_range_class_code_rejected(self):
+        with pytest.raises(ValueError, match="class codes"):
+            Instances(schema(), np.zeros((1, 2)), np.array([5]))
+
+    def test_out_of_range_nominal_code_rejected(self):
+        X = np.array([[0.0, 9.0]])
+        with pytest.raises(ValueError, match="codes outside"):
+            Instances(schema(), X, np.array([0]))
+
+    def test_shape_mismatches_rejected(self):
+        with pytest.raises(ValueError):
+            Instances(schema(), np.zeros((2, 2)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            Instances(schema(), np.zeros((2, 5)), np.zeros(2, dtype=int))
+
+    def test_matrix_is_c_contiguous(self):
+        # Rule R11 practiced: the container guarantees row-major layout.
+        f_ordered = np.asfortranarray(np.zeros((4, 2)))
+        data = Instances(schema(), f_ordered, np.zeros(4, dtype=int))
+        assert data.X.flags["C_CONTIGUOUS"]
+
+
+class TestQueries:
+    def _data(self):
+        return Instances.from_rows(
+            schema(),
+            [
+                [1.0, "x", "no"],
+                [2.0, "y", "yes"],
+                [3.0, "z", "yes"],
+                [4.0, "x", "yes"],
+            ],
+        )
+
+    def test_class_counts_and_distribution(self):
+        data = self._data()
+        assert data.class_counts().tolist() == [1, 3]
+        assert data.class_distribution().tolist() == [0.25, 0.75]
+
+    def test_empty_distribution_uniform(self):
+        empty = Instances(schema(), np.empty((0, 2)), np.empty(0, dtype=int))
+        assert empty.class_distribution().tolist() == [0.5, 0.5]
+
+    def test_subset_copies(self):
+        data = self._data()
+        sub = data.subset([0, 2])
+        sub.X[0, 0] = 99.0
+        assert data.X[0, 0] == 1.0
+        assert sub.n == 2
+        assert sub.y.tolist() == [0, 1]
+
+    def test_split_by_mask(self):
+        data = self._data()
+        hit, miss = data.split_by_mask(np.array([True, False, True, False]))
+        assert hit.n == 2 and miss.n == 2
+        assert hit.X[:, 0].tolist() == [1.0, 3.0]
+
+    def test_split_by_bad_mask_rejected(self):
+        with pytest.raises(ValueError):
+            self._data().split_by_mask(np.array([True]))
+
+    def test_len_and_repr(self):
+        data = self._data()
+        assert len(data) == 4
+        assert "n=4" in repr(data)

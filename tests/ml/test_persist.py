@@ -1,0 +1,148 @@
+"""Round-trip tests for JSON model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_airlines
+from repro.ml import train_test_split
+from repro.ml.classifiers import CLASSIFIER_REGISTRY
+from repro.ml.persist import (
+    PersistenceError,
+    dumps_model,
+    load_model,
+    loads_model,
+    save_model,
+)
+
+FAST = {"Random Forest": {"n_trees": 4}, "SGD": {"epochs": 5},
+        "SMO": {"max_passes": 5}, "Logistic": {"max_iter": 40}}
+
+
+@pytest.fixture(scope="module")
+def airlines():
+    data = generate_airlines(n=300, seed=11)
+    return train_test_split(data, 0.3, np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("name", list(CLASSIFIER_REGISTRY))
+class TestRoundTrip:
+    def test_predictions_identical_after_reload(self, name, airlines, tmp_path):
+        train, test = airlines
+        model = CLASSIFIER_REGISTRY[name](**FAST.get(name, {})).fit(train)
+        path = save_model(model, train.schema, tmp_path / "model.json")
+        clone = load_model(path)
+        np.testing.assert_array_equal(
+            model.predict(test.X), clone.predict(test.X)
+        )
+
+    def test_distributions_close_after_reload(self, name, airlines):
+        train, test = airlines
+        model = CLASSIFIER_REGISTRY[name](**FAST.get(name, {})).fit(train)
+        clone = loads_model(dumps_model(model, train.schema))
+        np.testing.assert_allclose(
+            model.distributions(test.X[:20]),
+            clone.distributions(test.X[:20]),
+            rtol=1e-10,
+        )
+
+    def test_document_is_valid_json_with_header(self, name, airlines):
+        train, _ = airlines
+        model = CLASSIFIER_REGISTRY[name](**FAST.get(name, {})).fit(train)
+        document = json.loads(dumps_model(model, train.schema))
+        assert document["format"] == "repro-model"
+        assert document["classifier"] == type(model).__name__
+        assert "schema" in document and "state" in document
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, airlines):
+        train, _ = airlines
+        from repro.ml.classifiers import NaiveBayes
+
+        with pytest.raises(PersistenceError, match="unfitted"):
+            dumps_model(NaiveBayes(), train.schema)
+
+    def test_not_json(self):
+        with pytest.raises(PersistenceError, match="not JSON"):
+            loads_model("this is not json {")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(PersistenceError, match="not a repro model"):
+            loads_model(json.dumps({"format": "pickle"}))
+
+    def test_wrong_version(self, airlines):
+        train, _ = airlines
+        from repro.ml.classifiers import NaiveBayes
+
+        document = json.loads(
+            dumps_model(NaiveBayes().fit(train), train.schema)
+        )
+        document["version"] = 99
+        with pytest.raises(PersistenceError, match="version"):
+            loads_model(json.dumps(document))
+
+    def test_unknown_classifier(self, airlines):
+        train, _ = airlines
+        from repro.ml.classifiers import NaiveBayes
+
+        document = json.loads(
+            dumps_model(NaiveBayes().fit(train), train.schema)
+        )
+        document["classifier"] = "QuantumTree"
+        with pytest.raises(PersistenceError, match="unknown classifier"):
+            loads_model(json.dumps(document))
+
+    def test_unsupported_model_type(self, airlines):
+        train, _ = airlines
+        from repro.unopt import Float32Narrowed
+        from repro.ml.classifiers import NaiveBayes
+
+        wrapped = Float32Narrowed(NaiveBayes()).fit(train)
+        with pytest.raises(PersistenceError, match="no JSON codec"):
+            dumps_model(wrapped, train.schema)
+
+
+class TestTreeRendering:
+    def test_j48_text_layout(self, airlines):
+        from repro.ml.classifiers import J48
+
+        train, _ = airlines
+        model = J48(pruned=False).fit(train)
+        text = model.to_text()
+        assert "Number of Leaves" in text
+        assert "Size of the tree" in text
+        # Branch lines reference real attribute names.
+        assert any(
+            name in text
+            for name in ("Airline", "Time", "Length", "AirportFrom")
+        )
+
+    def test_leaf_only_tree_renders(self):
+        from repro.ml.attributes import Attribute, Schema
+        from repro.ml.classifiers import J48
+        from repro.ml.instances import Instances
+
+        schema = Schema(
+            attributes=(Attribute.numeric("x"),),
+            class_attribute=Attribute.binary("c"),
+        )
+        data = Instances(schema, np.zeros((5, 1)), np.zeros(5, dtype=int))
+        text = J48().fit(data).to_text()
+        assert "Number of Leaves  : 1" in text
+
+    def test_unfitted_render_rejected(self):
+        from repro.ml.base import NotFittedError
+        from repro.ml.classifiers import RandomTree
+
+        with pytest.raises(NotFittedError):
+            RandomTree().to_text()
+
+    def test_rendered_counts_match_num_leaves(self, airlines):
+        from repro.ml.classifiers import REPTree
+
+        train, _ = airlines
+        model = REPTree().fit(train)
+        text = model.to_text()
+        assert f"Number of Leaves  : {model.num_leaves}" in text

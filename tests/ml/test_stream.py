@@ -1,0 +1,222 @@
+"""Tests for the streaming substrate (mini-MOA)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_airlines
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.instances import Instances
+from repro.ml.stream import (
+    HoeffdingTree,
+    InstanceStream,
+    airlines_stream,
+    prequential_evaluate,
+)
+from repro.ml.stream.hoeffding import _GaussianEstimator, hoeffding_bound
+from repro.ml.stream.prequential import StreamAdapter
+
+
+class TestHoeffdingBound:
+    def test_shrinks_with_n(self):
+        assert hoeffding_bound(1.0, 1e-7, 1000) < hoeffding_bound(1.0, 1e-7, 100)
+
+    def test_known_value(self):
+        # R=1, delta=e^-2, n=2 → sqrt(2/4) = sqrt(0.5)
+        assert hoeffding_bound(1.0, math.exp(-2.0), 2) == pytest.approx(
+            math.sqrt(0.5)
+        )
+
+    def test_zero_n_infinite(self):
+        assert hoeffding_bound(1.0, 0.5, 0) == float("inf")
+
+
+class TestGaussianEstimator:
+    def test_welford_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 2.0, 500)
+        est = _GaussianEstimator()
+        for v in values:
+            est.add(float(v))
+        assert est.mean == pytest.approx(values.mean())
+        assert est.std == pytest.approx(values.std(ddof=1), rel=1e-9)
+        assert est.lo == values.min() and est.hi == values.max()
+
+    def test_cdf_monotone_and_bounded(self):
+        est = _GaussianEstimator()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            est.add(v)
+        assert est.cdf(0.0) < est.cdf(2.5) < est.cdf(5.0)
+        assert 0.0 <= est.cdf(-100) <= est.cdf(100) <= 1.0
+
+    def test_degenerate_single_point(self):
+        est = _GaussianEstimator()
+        est.add(3.0)
+        assert est.cdf(4.0) == 1.0
+        assert est.cdf(2.0) == 0.0
+        assert est.pdf(3.0) > 0
+
+
+def two_blob_stream(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = np.column_stack(
+        [rng.normal(3.0 * y, 0.5), rng.integers(0, 2, n).astype(float)]
+    )
+    schema = Schema(
+        attributes=(Attribute.numeric("v"), Attribute.nominal("g", ("a", "b"))),
+        class_attribute=Attribute.binary("c"),
+    )
+    return InstanceStream.from_instances(Instances(schema, X, y))
+
+
+class TestHoeffdingTree:
+    def test_learns_separable_stream(self):
+        stream = two_blob_stream()
+        model = HoeffdingTree(grace_period=50)
+        result = prequential_evaluate(model, stream, window_size=250)
+        assert result.final_window_accuracy() > 0.9
+        assert model.n_leaves > 1  # it actually split
+
+    def test_nb_leaves_at_least_match_majority(self):
+        nb = prequential_evaluate(
+            HoeffdingTree(grace_period=50, leaf_prediction="nb"),
+            two_blob_stream(),
+            window_size=500,
+        )
+        mc = prequential_evaluate(
+            HoeffdingTree(grace_period=50, leaf_prediction="majority"),
+            two_blob_stream(),
+            window_size=500,
+        )
+        assert nb.accuracy >= mc.accuracy - 0.05
+
+    def test_beats_majority_on_airlines(self):
+        stream = airlines_stream(n=3000, seed=11)
+        model = HoeffdingTree(grace_period=100, leaf_prediction="nb")
+        result = prequential_evaluate(model, stream, window_size=500)
+        assert result.accuracy > 0.55
+
+    def test_batch_facade_cross_validates(self):
+        from repro.ml.evaluation import cross_validate
+
+        data = generate_airlines(n=800, seed=11)
+        result = cross_validate(
+            lambda: HoeffdingTree(grace_period=50, leaf_prediction="nb"),
+            data,
+            k=4,
+        )
+        assert result.accuracy > 0.5
+
+    def test_distributions_are_probabilities(self):
+        data = generate_airlines(n=400, seed=3)
+        model = HoeffdingTree(grace_period=50).fit(data)
+        dist = model.distributions(data.X[:20])
+        assert (dist >= 0).all()
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_max_leaves_caps_growth(self):
+        stream = two_blob_stream(n=3000)
+        model = HoeffdingTree(grace_period=20, max_leaves=3)
+        prequential_evaluate(model, stream, window_size=1000)
+        assert model.n_leaves <= 3
+
+    def test_learn_before_begin_rejected(self):
+        model = HoeffdingTree()
+        with pytest.raises(RuntimeError):
+            model.learn_one(np.zeros(2), 0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            HoeffdingTree(grace_period=0)
+        with pytest.raises(ValueError):
+            HoeffdingTree(delta=0.0)
+        with pytest.raises(ValueError):
+            HoeffdingTree(leaf_prediction="knn")
+        with pytest.raises(ValueError):
+            HoeffdingTree(max_leaves=0)
+
+    def test_instances_seen_counter(self):
+        stream = two_blob_stream(n=500)
+        model = HoeffdingTree()
+        prequential_evaluate(model, stream)
+        assert model.instances_seen == 500
+
+
+class TestStreams:
+    def test_length_and_iteration(self):
+        stream = airlines_stream(n=300, seed=1)
+        assert len(stream) == 300
+        rows = list(stream)
+        assert len(rows) == 300
+        x, y = rows[0]
+        assert x.shape == (7,)
+        assert y in (0, 1)
+
+    def test_drift_changes_the_concept(self):
+        """A model frozen on the prefix degrades after the drift point
+        more than on a driftless stream."""
+        def frozen_accuracy(drift_at):
+            stream = airlines_stream(n=3000, seed=5, drift_at=drift_at)
+            rows = list(stream)
+            train, test = rows[:1500], rows[1500:]
+            model = HoeffdingTree(grace_period=50, leaf_prediction="nb")
+            model.begin(stream.schema)
+            for x, y in train:
+                model.learn_one(x, y)
+            hits = sum(model.predict_one(x) == y for x, y in test)
+            return hits / len(test)
+
+        assert frozen_accuracy(None) > frozen_accuracy(0.5) + 0.02
+
+    def test_invalid_drift_rejected(self):
+        with pytest.raises(ValueError):
+            airlines_stream(n=100, drift_at=1.5)
+
+    def test_mismatched_batch_schema_rejected(self):
+        a = generate_airlines(n=10, seed=1)
+        schema = Schema(
+            attributes=(Attribute.numeric("x"),),
+            class_attribute=Attribute.binary("c"),
+        )
+        with pytest.raises(ValueError):
+            InstanceStream(schema, [a])
+
+
+class TestPrequential:
+    def test_energy_accounting(self):
+        from repro.rapl.backends import RealClock, SimulatedBackend
+
+        stream = airlines_stream(n=500, seed=2)
+        result = prequential_evaluate(
+            HoeffdingTree(grace_period=100),
+            stream,
+            backend=SimulatedBackend(clock=RealClock()),
+        )
+        assert result.package_joules > 0
+        assert result.joules_per_instance > 0
+        assert result.n_instances == 500
+
+    def test_windows_cover_stream(self):
+        stream = two_blob_stream(n=1050)
+        result = prequential_evaluate(
+            HoeffdingTree(), stream, window_size=500
+        )
+        assert len(result.window_accuracies) == 3  # 500+500+50
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            prequential_evaluate(HoeffdingTree(), two_blob_stream(50), 0)
+
+    def test_stream_adapter_baseline(self):
+        from repro.ml.classifiers import NaiveBayes
+
+        stream = two_blob_stream(n=1500)
+        adapter = StreamAdapter(NaiveBayes, refit_every=250)
+        result = prequential_evaluate(adapter, stream, window_size=500)
+        assert result.final_window_accuracy() > 0.85
+
+    def test_adapter_invalid_refit_rejected(self):
+        with pytest.raises(ValueError):
+            StreamAdapter(lambda: None, refit_every=0)

@@ -1,0 +1,211 @@
+"""Tests for the shared decision-tree machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.attributes import Attribute, Schema
+from repro.ml.classifiers._tree_utils import (
+    TreeConfig,
+    TreeGrower,
+    entropy,
+    information_gain,
+    pessimistic_error,
+    predict_tree,
+    prune_pessimistic,
+    prune_reduced_error,
+    split_information,
+)
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.array([10, 0])) == 0.0
+
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(np.array([5, 5])) == pytest.approx(1.0)
+
+    def test_uniform_four_way_is_two_bits(self):
+        assert entropy(np.array([3, 3, 3, 3])) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([0, 0])) == 0.0
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=6))
+    def test_bounds(self, counts):
+        h = entropy(np.array(counts))
+        assert 0.0 <= h <= np.log2(len(counts)) + 1e-9
+
+
+class TestInformationGain:
+    def test_perfect_split_recovers_full_entropy(self):
+        parent = np.array([5, 5])
+        children = [np.array([5, 0]), np.array([0, 5])]
+        assert information_gain(parent, children) == pytest.approx(1.0)
+
+    def test_useless_split_zero_gain(self):
+        parent = np.array([6, 6])
+        children = [np.array([3, 3]), np.array([3, 3])]
+        assert information_gain(parent, children) == pytest.approx(0.0)
+
+    def test_split_information(self):
+        assert split_information(np.array([5, 5])) == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_gain_never_negative(self, child_pairs):
+        children = [np.array(pair) for pair in child_pairs]
+        parent = sum(children)
+        assert information_gain(parent, children) >= -1e-9
+
+
+class TestPessimisticError:
+    def test_zero_observed_errors_still_positive(self):
+        # C4.5's whole point: a zero-error leaf has nonzero estimated error.
+        assert pessimistic_error(0, 10) > 0.0
+
+    def test_more_data_lowers_the_bound(self):
+        assert pessimistic_error(0, 100) < pessimistic_error(0, 5)
+
+    def test_bound_above_observed_rate(self):
+        assert pessimistic_error(2, 10) > 0.2
+
+    def test_empty_leaf(self):
+        assert pessimistic_error(0, 0) == 0.0
+
+
+def simple_schema(num_classes: int = 2):
+    return Schema(
+        attributes=(
+            Attribute.numeric("x"),
+            Attribute.nominal("g", ["p", "q", "r"]),
+        ),
+        class_attribute=Attribute.nominal(
+            "c", tuple(str(i) for i in range(num_classes))
+        ),
+    )
+
+
+class TestTreeGrower:
+    def test_learns_numeric_threshold(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.uniform(0, 10, 200), rng.integers(0, 3, 200)])
+        y = (X[:, 0] > 5.0).astype(np.int64)
+        grower = TreeGrower(simple_schema(), TreeConfig())
+        root = grower.grow(X, y)
+        dist = predict_tree(root, np.array([[2.0, 0.0], [8.0, 0.0]]))
+        assert dist[0].argmax() == 0
+        assert dist[1].argmax() == 1
+
+    def test_learns_nominal_partition(self):
+        rng = np.random.default_rng(1)
+        g = rng.integers(0, 3, 300)
+        X = np.column_stack([rng.normal(0, 1, 300), g.astype(float)])
+        y = (g == 2).astype(np.int64)
+        root = TreeGrower(simple_schema(), TreeConfig()).grow(X, y)
+        dist = predict_tree(root, np.array([[0.0, 2.0], [0.0, 1.0]]))
+        assert dist[0].argmax() == 1
+        assert dist[1].argmax() == 0
+
+    def test_pure_node_stays_leaf(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10, dtype=np.int64)
+        root = TreeGrower(simple_schema(), TreeConfig()).grow(X, y)
+        assert root.is_leaf
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([rng.uniform(0, 1, 500), rng.integers(0, 3, 500)])
+        y = rng.integers(0, 2, 500)
+        root = TreeGrower(
+            simple_schema(), TreeConfig(max_depth=2, min_leaf=1)
+        ).grow(X, y)
+        assert root.depth() <= 2
+
+    def test_min_leaf_respected_for_numeric_splits(self):
+        rng = np.random.default_rng(3)
+        X = np.column_stack([rng.uniform(0, 1, 50), np.zeros(50)])
+        y = (X[:, 0] > 0.5).astype(np.int64)
+        root = TreeGrower(
+            simple_schema(), TreeConfig(min_leaf=10)
+        ).grow(X, y)
+        for node in _walk(root):
+            if node.is_leaf:
+                # interior leaf sizes never fall below min_leaf unless
+                # inherited from an empty nominal branch (parent counts)
+                assert node.counts.sum() >= 10 or node.counts.sum() == 0
+
+    def test_feature_sampling_uses_subset(self):
+        # With feature_sample=1 and a seeded rng, the grower still works.
+        rng = np.random.default_rng(4)
+        X = np.column_stack([rng.uniform(0, 1, 100), rng.integers(0, 3, 100)])
+        y = (X[:, 0] > 0.5).astype(np.int64)
+        root = TreeGrower(
+            simple_schema(),
+            TreeConfig(feature_sample=1),
+            rng=np.random.default_rng(0),
+        ).grow(X, y)
+        assert root is not None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TreeConfig(min_leaf=0)
+        with pytest.raises(ValueError):
+            TreeConfig(feature_sample=0)
+        with pytest.raises(ValueError):
+            TreeConfig(max_depth=-1)
+
+
+class TestPruning:
+    def _overfit_tree(self):
+        rng = np.random.default_rng(5)
+        X = np.column_stack(
+            [rng.uniform(0, 1, 300), rng.integers(0, 3, 300).astype(float)]
+        )
+        y = ((X[:, 0] > 0.5) ^ (rng.random(300) < 0.25)).astype(np.int64)
+        root = TreeGrower(
+            simple_schema(), TreeConfig(min_leaf=1)
+        ).grow(X, y)
+        return root, X, y
+
+    def test_pessimistic_pruning_shrinks_tree(self):
+        root, _, _ = self._overfit_tree()
+        before = root.num_leaves()
+        prune_pessimistic(root)
+        assert root.num_leaves() <= before
+
+    def test_reduced_error_pruning_shrinks_tree(self):
+        root, X, y = self._overfit_tree()
+        before = root.num_leaves()
+        rng = np.random.default_rng(0)
+        holdout = rng.choice(300, size=100, replace=False)
+        prune_reduced_error(root, X, y, holdout)
+        assert root.num_leaves() <= before
+
+    def test_reduced_error_never_hurts_holdout(self):
+        root, X, y = self._overfit_tree()
+        rng = np.random.default_rng(0)
+        holdout = rng.choice(300, size=100, replace=False)
+        before_preds = predict_tree(root, X[holdout]).argmax(axis=1)
+        before_errors = (before_preds != y[holdout]).sum()
+        prune_reduced_error(root, X, y, holdout)
+        after_preds = predict_tree(root, X[holdout]).argmax(axis=1)
+        after_errors = (after_preds != y[holdout]).sum()
+        assert after_errors <= before_errors
+
+    def test_empty_holdout_collapses_to_leaf(self):
+        root, X, y = self._overfit_tree()
+        prune_reduced_error(root, X, y, np.array([], dtype=np.intp))
+        assert root.is_leaf
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)

@@ -1,0 +1,114 @@
+"""Tests for optimizer orchestration: passes, files, projects, diffs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer import Optimizer, optimize_source
+
+DIRTY = (
+    "RATE = 2\n"
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+CLEAN = "def f(xs):\n    return sum(xs)\n"
+
+
+class TestOptimizeSource:
+    def test_clean_source_returned_verbatim(self):
+        result = optimize_source(CLEAN)
+        assert not result.changed
+        assert result.optimized == CLEAN
+
+    def test_changes_counted_by_rule(self):
+        result = optimize_source(DIRTY)
+        counts = result.count_by_rule()
+        assert counts.get("R08_STR_CONCAT") == 1
+
+    def test_optimized_source_parses(self):
+        result = optimize_source(DIRTY)
+        compile(result.optimized, "<t>", "exec")
+
+    def test_diff_nonempty_when_changed(self):
+        result = optimize_source(DIRTY, filename="x.py")
+        diff = result.diff()
+        assert "a/x.py" in diff and "b/x.py" in diff
+        assert "+" in diff
+
+    def test_diff_empty_when_unchanged(self):
+        assert optimize_source(CLEAN).diff() == ""
+
+    def test_fixpoint_enables_chained_rewrites(self):
+        # Hoisting re.compile leaves a single-statement outer body that
+        # the loop swap can then handle in a later pass.
+        src = (
+            "import re\n"
+            "def f(a, n, m):\n"
+            "    s = 0\n"
+            "    for j in range(m):\n"
+            "        pat = re.compile('x')\n"
+            "        for i in range(n):\n"
+            "            s += a[i][j]\n"
+            "    return s\n"
+        )
+        result = Optimizer().optimize_source(src)
+        ids = {c.transform_id for c in result.changes}
+        assert "T_RECOMPILE_HOIST" in ids
+        assert "T_TRAVERSAL_SWAP" in ids
+
+    def test_invalid_max_passes_rejected(self):
+        with pytest.raises(ValueError):
+            Optimizer(max_passes=0)
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            optimize_source("def broken(:\n")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 30), st.integers(2, 12))
+    def test_optimized_semantics_match_for_generated_workloads(self, n, base):
+        """Property: optimizing a parametric anti-pattern module never
+        changes its observable result."""
+        src = (
+            f"LIMIT = {base}\n"
+            "def run(k):\n"
+            "    out = ''\n"
+            "    total = 0\n"
+            "    for i in range(k):\n"
+            "        out += str(i % 4)\n"
+            "        total += i * LIMIT\n"
+            "    return out, total\n"
+        )
+        result = optimize_source(src)
+        ns_before, ns_after = {}, {}
+        exec(compile(src, "<b>", "exec"), ns_before)
+        exec(compile(result.optimized, "<a>", "exec"), ns_after)
+        assert ns_before["run"](n) == ns_after["run"](n)
+
+
+class TestFilesAndProjects:
+    def test_optimize_file_write(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        result = Optimizer().optimize_file(path, write=True)
+        assert result.changed
+        assert path.read_text() == result.optimized
+
+    def test_optimize_file_dry_run(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(DIRTY)
+        Optimizer().optimize_file(path, write=False)
+        assert path.read_text() == DIRTY
+
+    def test_optimize_project(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        (tmp_path / "clean.py").write_text(CLEAN)
+        (tmp_path / "broken.py").write_text("def (:\n")
+        optimizer = Optimizer()
+        results = optimizer.optimize_project(tmp_path)
+        assert len(results) == 2  # broken skipped
+        assert optimizer.total_changes(results) >= 1

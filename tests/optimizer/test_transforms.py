@@ -1,0 +1,434 @@
+"""Per-transform tests: each rewrite applies under its preconditions,
+refuses outside them, and preserves semantics (checked by executing
+both versions)."""
+
+import ast
+
+import pytest
+
+from repro.optimizer import Optimizer, optimize_source
+from repro.optimizer.transforms import (
+    ArrayCopyTransform,
+    FindToInTransform,
+    GlobalHoistTransform,
+    LoopSwapTransform,
+    ModulusToBitmask,
+    RecompileHoistTransform,
+    StringBuilderTransform,
+    TernaryToIfTransform,
+)
+
+
+def run_transform(transform_class, source: str):
+    return Optimizer(transforms=[transform_class], max_passes=1).optimize_source(
+        source
+    )
+
+
+def run_both(source: str, optimized: str, call: str):
+    ns_before, ns_after = {}, {}
+    exec(compile(source, "<before>", "exec"), ns_before)
+    exec(compile(optimized, "<after>", "exec"), ns_after)
+    return eval(call, ns_before), eval(call, ns_after)
+
+
+class TestModulusToBitmask:
+    SOURCE = (
+        "def f(n):\n"
+        "    hits = 0\n"
+        "    for i in range(n):\n"
+        "        if i % 8 == 0:\n"
+        "            hits += 1\n"
+        "    return hits\n"
+    )
+
+    def test_rewrites_and_preserves_semantics(self):
+        result = run_transform(ModulusToBitmask, self.SOURCE)
+        assert len(result.changes) == 1
+        assert "i & 7" in result.optimized
+        before, after = run_both(self.SOURCE, result.optimized, "f(100)")
+        assert before == after == 13
+
+    def test_non_power_of_two_untouched(self):
+        src = self.SOURCE.replace("% 8", "% 7")
+        assert not run_transform(ModulusToBitmask, src).changed
+
+    def test_non_range_variable_untouched(self):
+        # x may be a float; masking it would raise.
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(x % 8)\n"
+            "    return out\n"
+        )
+        assert not run_transform(ModulusToBitmask, src).changed
+
+    def test_outside_loop_untouched(self):
+        assert not run_transform(
+            ModulusToBitmask, "def f(i):\n    return i % 8\n"
+        ).changed
+
+
+class TestStringBuilder:
+    SOURCE = (
+        "def f(names):\n"
+        "    out = ''\n"
+        "    for n in names:\n"
+        "        out += n + ';'\n"
+        "    return out\n"
+    )
+
+    def test_rewrites_and_preserves_semantics(self):
+        result = run_transform(StringBuilderTransform, self.SOURCE)
+        assert len(result.changes) == 1
+        assert ".append(" in result.optimized
+        assert "''.join(" in result.optimized
+        before, after = run_both(
+            self.SOURCE, result.optimized, "f(['a', 'b', 'c'])"
+        )
+        assert before == after == "a;b;c;"
+
+    def test_nonempty_init_seeds_parts(self):
+        src = self.SOURCE.replace("out = ''", "out = 'head:'")
+        result = run_transform(StringBuilderTransform, src)
+        assert result.changed
+        before, after = run_both(src, result.optimized, "f(['x'])")
+        assert before == after == "head:x;"
+
+    def test_read_inside_loop_blocks_rewrite(self):
+        src = (
+            "def f(names):\n"
+            "    out = ''\n"
+            "    for n in names:\n"
+            "        out += n\n"
+            "        if len(out) > 5:\n"
+            "            break\n"
+            "    return out\n"
+        )
+        assert not run_transform(StringBuilderTransform, src).changed
+
+    def test_init_not_adjacent_blocks_rewrite(self):
+        src = (
+            "def f(names):\n"
+            "    out = ''\n"
+            "    k = 0\n"
+            "    for n in names:\n"
+            "        out += n\n"
+            "    return out\n"
+        )
+        assert not run_transform(StringBuilderTransform, src).changed
+
+    def test_non_add_augassign_blocks_rewrite(self):
+        src = (
+            "def f(n):\n"
+            "    out = ''\n"
+            "    for i in range(n):\n"
+            "        out *= 2\n"
+            "    return out\n"
+        )
+        assert not run_transform(StringBuilderTransform, src).changed
+
+
+class TestFindToIn:
+    def test_positive_forms(self):
+        for compare in ("!= -1", ">= 0", "> -1"):
+            src = f"def f(s, t):\n    return s.find(t) {compare}\n"
+            result = run_transform(FindToInTransform, src)
+            assert result.changed, compare
+            before, after = run_both(src, result.optimized, "f('hello', 'ell')")
+            assert before == after is True
+            before, after = run_both(src, result.optimized, "f('hello', 'zz')")
+            assert before == after is False
+
+    def test_negative_forms(self):
+        for compare in ("== -1", "< 0"):
+            src = f"def f(s, t):\n    return s.find(t) {compare}\n"
+            result = run_transform(FindToInTransform, src)
+            assert "not in" in result.optimized, compare
+            before, after = run_both(src, result.optimized, "f('hello', 'zz')")
+            assert before == after is True
+
+    def test_strcoll_equality(self):
+        src = (
+            "import locale\n"
+            "def f(a, b):\n"
+            "    return locale.strcoll(a, b) == 0\n"
+        )
+        result = run_transform(FindToInTransform, src)
+        assert result.changed
+        before, after = run_both(src, result.optimized, "f('x', 'x')")
+        assert before == after is True
+
+    def test_find_with_start_arg_untouched(self):
+        src = "def f(s, t):\n    return s.find(t, 3) != -1\n"
+        assert not run_transform(FindToInTransform, src).changed
+
+    def test_find_as_index_untouched(self):
+        src = "def f(s, t):\n    return s.find(t)\n"
+        assert not run_transform(FindToInTransform, src).changed
+
+
+class TestArrayCopy:
+    def test_indexed_copy(self):
+        src = (
+            "def f(src_list):\n"
+            "    dst = [None] * len(src_list)\n"
+            "    for i in range(len(src_list)):\n"
+            "        dst[i] = src_list[i]\n"
+            "    return dst\n"
+        )
+        result = run_transform(ArrayCopyTransform, src)
+        assert "dst[:] = src_list" in result.optimized
+        before, after = run_both(src, result.optimized, "f([1, 2, 3])")
+        assert before == after == [1, 2, 3]
+
+    def test_append_copy(self):
+        src = (
+            "def f(src_list):\n"
+            "    dst = []\n"
+            "    for x in src_list:\n"
+            "        dst.append(x)\n"
+            "    return dst\n"
+        )
+        result = run_transform(ArrayCopyTransform, src)
+        assert "dst.extend(src_list)" in result.optimized
+        before, after = run_both(src, result.optimized, "f([4, 5])")
+        assert before == after == [4, 5]
+
+    def test_range_bound_must_match_source(self):
+        # Copying a prefix of a different length is not a plain slice copy.
+        src = (
+            "def f(a, b, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = b[i]\n"
+            "    return a\n"
+        )
+        assert not run_transform(ArrayCopyTransform, src).changed
+
+    def test_transforming_body_untouched(self):
+        src = (
+            "def f(src_list):\n"
+            "    dst = []\n"
+            "    for x in src_list:\n"
+            "        dst.append(x * 2)\n"
+            "    return dst\n"
+        )
+        assert not run_transform(ArrayCopyTransform, src).changed
+
+
+class TestLoopSwap:
+    SOURCE = (
+        "def f(a, n, m):\n"
+        "    s = 0\n"
+        "    for j in range(m):\n"
+        "        for i in range(n):\n"
+        "            s += a[i][j]\n"
+        "    return s\n"
+    )
+
+    def test_swaps_and_preserves_sum(self):
+        result = run_transform(LoopSwapTransform, self.SOURCE)
+        assert len(result.changes) == 1
+        tree = ast.parse(result.optimized)
+        outer = next(n for n in ast.walk(tree) if isinstance(n, ast.For))
+        assert outer.target.id == "i"
+        call = "f([[1, 2], [3, 4], [5, 6]], 3, 2)"
+        before, after = run_both(self.SOURCE, result.optimized, call)
+        assert before == after == 21
+
+    def test_row_major_untouched(self):
+        src = self.SOURCE.replace("a[i][j]", "a[j][i]")
+        assert not run_transform(LoopSwapTransform, src).changed
+
+    def test_statement_between_loops_blocks_swap(self):
+        src = (
+            "def f(a, n, m):\n"
+            "    s = 0\n"
+            "    for j in range(m):\n"
+            "        s += 1\n"
+            "        for i in range(n):\n"
+            "            s += a[i][j]\n"
+            "    return s\n"
+        )
+        assert not run_transform(LoopSwapTransform, src).changed
+
+    def test_dependent_inner_bound_blocks_swap(self):
+        # Triangular iteration space: swapping changes the set visited.
+        src = (
+            "def f(a, m):\n"
+            "    s = 0\n"
+            "    for j in range(m):\n"
+            "        for i in range(j):\n"
+            "            s += a[i][j]\n"
+            "    return s\n"
+        )
+        assert not run_transform(LoopSwapTransform, src).changed
+
+    def test_tuple_subscript_form(self):
+        src = self.SOURCE.replace("a[i][j]", "a[i, j]")
+        result = run_transform(LoopSwapTransform, src)
+        assert result.changed
+
+
+class TestTernaryToIf:
+    SOURCE = (
+        "def f(xs):\n"
+        "    out = []\n"
+        "    for x in xs:\n"
+        "        y = 1 if x > 0 else -1\n"
+        "        out.append(y)\n"
+        "    return out\n"
+    )
+
+    def test_rewrites_in_loop(self):
+        result = run_transform(TernaryToIfTransform, self.SOURCE)
+        assert len(result.changes) == 1
+        assert "if x > 0:" in result.optimized
+        before, after = run_both(self.SOURCE, result.optimized, "f([3, -2, 0])")
+        assert before == after == [1, -1, -1]
+
+    def test_outside_loop_untouched(self):
+        src = "def f(x):\n    y = 1 if x else 0\n    return y\n"
+        assert not run_transform(TernaryToIfTransform, src).changed
+
+    def test_nested_in_expression_untouched(self):
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(1 if x else 0)\n"
+            "    return out\n"
+        )
+        assert not run_transform(TernaryToIfTransform, src).changed
+
+    def test_def_inside_loop_body_not_rewritten(self):
+        src = (
+            "def f(xs):\n"
+            "    fns = []\n"
+            "    for x in xs:\n"
+            "        def g(v):\n"
+            "            y = 1 if v else 0\n"
+            "            return y\n"
+            "        fns.append(g)\n"
+            "    return fns\n"
+        )
+        assert not run_transform(TernaryToIfTransform, src).changed
+
+
+class TestGlobalHoist:
+    SOURCE = (
+        "RATE = 0.25\n"
+        "def f(xs):\n"
+        "    t = 0.0\n"
+        "    for x in xs:\n"
+        "        t += x * RATE\n"
+        "    return t\n"
+    )
+
+    def test_hoists_and_preserves_semantics(self):
+        result = run_transform(GlobalHoistTransform, self.SOURCE)
+        assert len(result.changes) == 1
+        assert "_local_RATE = RATE" in result.optimized
+        before, after = run_both(self.SOURCE, result.optimized, "f([4.0, 8.0])")
+        assert before == after == 3.0
+
+    def test_assigned_global_not_hoisted(self):
+        src = (
+            "STATE = 0\n"
+            "def f(xs):\n"
+            "    global STATE\n"
+            "    for x in xs:\n"
+            "        STATE += x\n"
+            "    return STATE\n"
+        )
+        assert not run_transform(GlobalHoistTransform, src).changed
+
+    def test_name_used_in_nested_def_not_hoisted(self):
+        src = (
+            "K = 2\n"
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        def g():\n"
+            "            return K\n"
+            "        out.append(g)\n"
+            "    return out\n"
+        )
+        assert not run_transform(GlobalHoistTransform, src).changed
+
+    def test_builtin_not_hoisted(self):
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(len(x))\n"
+            "    return out\n"
+        )
+        assert not run_transform(GlobalHoistTransform, src).changed
+
+    def test_function_reference_hoisted(self):
+        src = (
+            "def helper(x):\n"
+            "    return x + 1\n"
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(helper(x))\n"
+            "    return out\n"
+        )
+        result = run_transform(GlobalHoistTransform, src)
+        assert result.changed
+        before, after = run_both(src, result.optimized, "f([1, 2])")
+        assert before == after == [2, 3]
+
+
+class TestRecompileHoist:
+    SOURCE = (
+        "import re\n"
+        "def f(lines):\n"
+        "    hits = 0\n"
+        "    for line in lines:\n"
+        "        pat = re.compile('a+')\n"
+        "        if pat.match(line):\n"
+        "            hits += 1\n"
+        "    return hits\n"
+    )
+
+    def test_hoists_and_preserves_semantics(self):
+        result = run_transform(RecompileHoistTransform, self.SOURCE)
+        assert len(result.changes) == 1
+        tree = ast.parse(result.optimized)
+        func = tree.body[1]
+        # The compile must now precede the loop.
+        kinds = [type(stmt).__name__ for stmt in func.body]
+        assert kinds.index("Assign") < kinds.index("For") or kinds[1] == "Assign"
+        before, after = run_both(self.SOURCE, result.optimized, "f(['aa', 'b'])")
+        assert before == after == 1
+
+    def test_dynamic_pattern_not_hoisted(self):
+        src = self.SOURCE.replace("'a+'", "line")
+        assert not run_transform(RecompileHoistTransform, src).changed
+
+    def test_reassigned_name_not_hoisted(self):
+        src = (
+            "import re\n"
+            "def f(lines):\n"
+            "    for line in lines:\n"
+            "        pat = re.compile('a+')\n"
+            "        pat = None\n"
+            "    return pat\n"
+        )
+        assert not run_transform(RecompileHoistTransform, src).changed
+
+    def test_loop_body_left_nonempty(self):
+        src = (
+            "import re\n"
+            "def f(n):\n"
+            "    for i in range(n):\n"
+            "        pat = re.compile('x')\n"
+            "    return pat\n"
+        )
+        result = run_transform(RecompileHoistTransform, src)
+        assert result.changed
+        ast.parse(result.optimized)  # empty body would be a SyntaxError

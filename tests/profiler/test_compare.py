@@ -1,0 +1,126 @@
+"""Tests for before/after profile comparison."""
+
+import pytest
+
+from repro.profiler.compare import MethodDelta, ProfileComparison
+from repro.profiler.records import MethodRecord, ProfileResult
+from repro.rapl.domains import Domain
+
+
+def record(method, pkg, calls=1):
+    records = []
+    for index in range(calls):
+        joules = {Domain.PACKAGE: pkg / calls, Domain.PP0: pkg / calls * 0.7}
+        records.append(
+            MethodRecord(
+                method=method, filename="f.py", lineno=1, call_index=index,
+                wall_seconds=0.1, cpu_seconds=0.1, joules=joules,
+                exclusive_joules=dict(joules),
+            )
+        )
+    return records
+
+
+def make_profile(spec: dict) -> ProfileResult:
+    result = ProfileResult()
+    for method, (pkg, calls) in spec.items():
+        for r in record(method, pkg, calls):
+            result.add(r)
+    return result
+
+
+class TestMethodDelta:
+    def test_improvement_percent(self):
+        delta = MethodDelta("m", before_joules=10.0, after_joules=6.0,
+                            before_calls=1, after_calls=1)
+        assert delta.improvement_percent == pytest.approx(40.0)
+        assert delta.status == "improved"
+
+    def test_regression(self):
+        delta = MethodDelta("m", 10.0, 15.0, 1, 1)
+        assert delta.improvement_percent == pytest.approx(-50.0)
+        assert delta.status == "regressed"
+
+    def test_unchanged_within_one_percent(self):
+        delta = MethodDelta("m", 100.0, 100.5, 1, 1)
+        assert delta.status == "unchanged"
+
+    def test_added_and_removed(self):
+        assert MethodDelta("m", 0.0, 5.0, 0, 1).status == "added"
+        assert MethodDelta("m", 5.0, 0.0, 1, 0).status == "removed"
+
+    def test_zero_before_improvement_is_zero(self):
+        assert MethodDelta("m", 0.0, 5.0, 0, 1).improvement_percent == 0.0
+
+
+class TestProfileComparison:
+    def test_deltas_sorted_by_magnitude(self):
+        before = make_profile({"m.big": (100.0, 2), "m.small": (1.0, 1)})
+        after = make_profile({"m.big": (50.0, 2), "m.small": (0.9, 1)})
+        comparison = ProfileComparison(before, after)
+        assert comparison.deltas[0].method == "m.big"
+
+    def test_total_improvement(self):
+        before = make_profile({"m.a": (80.0, 1), "m.b": (20.0, 1)})
+        after = make_profile({"m.a": (60.0, 1), "m.b": (20.0, 1)})
+        comparison = ProfileComparison(before, after)
+        assert comparison.total_improvement_percent() == pytest.approx(20.0)
+
+    def test_regressions_gate(self):
+        before = make_profile({"m.ok": (10.0, 1), "m.worse": (10.0, 1)})
+        after = make_profile({"m.ok": (9.0, 1), "m.worse": (13.0, 1)})
+        regressions = ProfileComparison(before, after).regressions()
+        assert [d.method for d in regressions] == ["m.worse"]
+
+    def test_added_removed_not_in_regressions(self):
+        before = make_profile({"m.gone": (10.0, 1)})
+        after = make_profile({"m.new": (10.0, 1)})
+        comparison = ProfileComparison(before, after)
+        assert comparison.regressions() == []
+        statuses = {d.method: d.status for d in comparison.deltas}
+        assert statuses == {"m.gone": "removed", "m.new": "added"}
+
+    def test_render(self):
+        before = make_profile({"m.x": (10.0, 1)})
+        after = make_profile({"m.x": (8.0, 1)})
+        text = ProfileComparison(before, after).render()
+        assert "Before (J)" in text
+        assert "improved" in text
+        assert "+20.0" in text
+
+    def test_end_to_end_with_real_profiles(self):
+        """Profile slow and fast variants of the same workload; the
+        comparison must credit the hot method."""
+        from repro.profiler import profile_call
+        from repro.rapl.backends import RealClock, SimulatedBackend
+
+        backend = SimulatedBackend(clock=RealClock())
+
+        # The R10 pair: element-wise copy loop vs slice copy.  Chosen
+        # because neither form makes per-iteration C calls — under
+        # sys.setprofile every C call fires a c_call event through the
+        # hook, which would tax the *fast* form and invert the result
+        # (a genuine observer effect of tracer-based profiling; the
+        # decorator injector does not suffer from it).
+        src_list = list(range(20_000))
+
+        def hot_slow():
+            dst = [0] * len(src_list)
+            for i in range(len(src_list)):
+                dst[i] = src_list[i]
+            return dst
+
+        def hot_fast():
+            dst = [0] * len(src_list)
+            dst[:] = src_list
+            return dst
+
+        assert hot_slow() == hot_fast()
+
+        def run(fn):
+            return profile_call(lambda: [fn() for _ in range(5)], backend)
+
+        before = run(hot_slow)
+        after = run(hot_fast)
+        comparison = ProfileComparison(before, after)
+        assert comparison.total_improvement_percent() > 0

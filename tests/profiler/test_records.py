@@ -1,0 +1,98 @@
+"""Tests for MethodRecord/ProfileResult and the result.txt round trip."""
+
+import pytest
+
+from repro.profiler.records import MethodAggregate, MethodRecord, ProfileResult
+from repro.rapl.domains import Domain
+
+
+def record(method="m.f", idx=0, wall=1.0, cpu=0.8, pkg=10.0, core=7.0, excl=None):
+    joules = {Domain.PACKAGE: pkg, Domain.PP0: core}
+    return MethodRecord(
+        method=method,
+        filename="m.py",
+        lineno=1,
+        call_index=idx,
+        wall_seconds=wall,
+        cpu_seconds=cpu,
+        joules=joules,
+        exclusive_joules=excl if excl is not None else dict(joules),
+    )
+
+
+class TestProfileResult:
+    def test_records_stored_per_execution(self):
+        result = ProfileResult()
+        result.add(record(idx=0))
+        result.add(record(idx=1))
+        assert len(result) == 2
+        assert [r.call_index for r in result.executions_of("m.f")] == [0, 1]
+
+    def test_methods_in_first_completion_order(self):
+        result = ProfileResult([record("m.b"), record("m.a"), record("m.b", idx=1)])
+        assert result.methods() == ("m.b", "m.a")
+
+    def test_indexing(self):
+        result = ProfileResult([record("m.x")])
+        assert result[0].method == "m.x"
+
+    def test_aggregate_sums_and_sorts_by_package_energy(self):
+        result = ProfileResult(
+            [
+                record("m.cheap", pkg=1.0),
+                record("m.hungry", pkg=50.0),
+                record("m.hungry", idx=1, pkg=30.0),
+            ]
+        )
+        aggs = result.aggregate()
+        assert [a.method for a in aggs] == ["m.hungry", "m.cheap"]
+        hungry = aggs[0]
+        assert hungry.calls == 2
+        assert hungry.package_joules == pytest.approx(80.0)
+        assert hungry.mean_package_joules == pytest.approx(40.0)
+
+    def test_aggregate_of_empty_result(self):
+        assert ProfileResult().aggregate() == []
+
+    def test_total_package_joules_uses_exclusive(self):
+        # parent inclusive 10 (5 self), child inclusive 5: total must be 10.
+        parent = record("m.p", pkg=10.0, excl={Domain.PACKAGE: 5.0})
+        child = record("m.c", pkg=5.0, excl={Domain.PACKAGE: 5.0})
+        result = ProfileResult([parent, child])
+        assert result.total_package_joules() == pytest.approx(10.0)
+
+    def test_mean_of_zero_calls(self):
+        agg = MethodAggregate("m", 0, 0, 0, 0, 0, 0)
+        assert agg.mean_package_joules == 0.0
+
+
+class TestResultTxt:
+    def test_round_trip(self, tmp_path):
+        result = ProfileResult([record("pkg.Class.method", wall=0.5, pkg=3.25)])
+        path = result.write_result_txt(tmp_path / "result.txt")
+        loaded = ProfileResult.read_result_txt(path)
+        assert len(loaded) == 1
+        row = loaded[0]
+        assert row.method == "pkg.Class.method"
+        assert row.wall_seconds == pytest.approx(0.5)
+        assert row.package_joules == pytest.approx(3.25)
+        assert row.core_joules == pytest.approx(7.0)
+
+    def test_per_execution_lines(self, tmp_path):
+        result = ProfileResult([record(idx=0), record(idx=1), record(idx=2)])
+        path = result.write_result_txt(tmp_path / "result.txt")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 executions
+        assert lines[0].startswith("#")
+
+    def test_reload_assigns_call_indices(self, tmp_path):
+        result = ProfileResult([record(idx=0), record(idx=1)])
+        path = result.write_result_txt(tmp_path / "result.txt")
+        loaded = ProfileResult.read_result_txt(path)
+        assert [r.call_index for r in loaded] == [0, 1]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "result.txt"
+        path.write_text("only\ttwo\n")
+        with pytest.raises(ValueError, match="expected 5"):
+            ProfileResult.read_result_txt(path)

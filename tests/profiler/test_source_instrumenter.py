@@ -1,0 +1,144 @@
+"""Tests for AST instrumentation and entry-point discovery."""
+
+import pytest
+
+from repro.profiler.source_instrumenter import (
+    SourceInstrumenter,
+    find_main_classes,
+)
+from repro.rapl.backends import RealClock, SimulatedBackend
+
+
+def make_instrumenter():
+    return SourceInstrumenter(SimulatedBackend(clock=RealClock()))
+
+
+class TestFindMainClasses:
+    def test_detects_main_guard(self, tmp_path):
+        (tmp_path / "app.py").write_text(
+            "if __name__ == '__main__':\n    print('hi')\n"
+        )
+        (tmp_path / "lib.py").write_text("def helper():\n    return 1\n")
+        assert find_main_classes(tmp_path) == [tmp_path / "app.py"]
+
+    def test_detects_reversed_guard(self, tmp_path):
+        (tmp_path / "app.py").write_text(
+            "if '__main__' == __name__:\n    pass\n"
+        )
+        assert find_main_classes(tmp_path) == [tmp_path / "app.py"]
+
+    def test_detects_top_level_main_function(self, tmp_path):
+        (tmp_path / "runner.py").write_text("def main():\n    return 0\n")
+        assert find_main_classes(tmp_path) == [tmp_path / "runner.py"]
+
+    def test_multiple_candidates_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("def main():\n    pass\n")
+        (tmp_path / "a.py").write_text("if __name__ == '__main__':\n    pass\n")
+        assert find_main_classes(tmp_path) == [tmp_path / "a.py", tmp_path / "b.py"]
+
+    def test_broken_files_skipped(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        (tmp_path / "ok.py").write_text("def main():\n    pass\n")
+        assert find_main_classes(tmp_path) == [tmp_path / "ok.py"]
+
+    def test_nested_directories_searched(self, tmp_path):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "deep.py").write_text("def main():\n    pass\n")
+        assert find_main_classes(tmp_path) == [sub / "deep.py"]
+
+
+class TestInstrumentSource:
+    def test_every_function_wrapped(self):
+        source = (
+            "def a():\n    return 1\n"
+            "def b():\n    return 2\n"
+            "class C:\n"
+            "    def m(self):\n        return 3\n"
+        )
+        instrumented, count = make_instrumenter().instrument_source(source, "mod")
+        assert count == 3
+        assert instrumented.count("__pepo_probe__") == 3
+        assert "'mod.a'" in instrumented
+        assert "'mod.C.m'" in instrumented
+
+    def test_docstring_survives_outside_probe(self):
+        source = 'def f():\n    """Doc."""\n    return 1\n'
+        instrumented, _ = make_instrumenter().instrument_source(source, "mod")
+        namespace = {"__pepo_probe__": _NullProbe()}
+        exec(compile(instrumented, "<t>", "exec"), namespace)
+        assert namespace["f"].__doc__ == "Doc."
+        assert namespace["f"]() == 1
+
+    def test_docstring_only_function_gets_pass(self):
+        source = 'def f():\n    """Doc only."""\n'
+        instrumented, _ = make_instrumenter().instrument_source(source, "mod")
+        namespace = {"__pepo_probe__": _NullProbe()}
+        exec(compile(instrumented, "<t>", "exec"), namespace)
+        assert namespace["f"]() is None
+
+    def test_nested_functions_get_nested_names(self):
+        source = "def outer():\n    def inner():\n        return 1\n    return inner()\n"
+        instrumented, count = make_instrumenter().instrument_source(source, "mod")
+        assert count == 2
+        assert "'mod.outer.inner'" in instrumented
+
+
+class TestRunSource:
+    def test_executes_main_guard_and_records(self):
+        source = (
+            "def work(n):\n"
+            "    return sum(range(n))\n"
+            "if __name__ == '__main__':\n"
+            "    for _ in range(3):\n"
+            "        work(10000)\n"
+        )
+        result = make_instrumenter().run_source(source, module_name="__main__")
+        records = result.executions_of("__main__.work")
+        assert len(records) == 3
+        assert all(r.package_joules >= 0 for r in records)
+
+    def test_module_name_other_than_main_skips_guard(self):
+        source = (
+            "def work():\n    return 1\n"
+            "if __name__ == '__main__':\n    work()\n"
+        )
+        result = make_instrumenter().run_source(source, module_name="lib")
+        assert len(result) == 0
+
+    def test_exceptions_propagate_with_record(self):
+        source = (
+            "def fails():\n    raise RuntimeError('boom')\n"
+            "fails()\n"
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            make_instrumenter().run_source(source, module_name="lib")
+
+    def test_nested_call_attribution(self):
+        source = (
+            "def leaf():\n    return sum(i*i for i in range(100000))\n"
+            "def root():\n    return leaf()\n"
+            "root()\n"
+        )
+        result = make_instrumenter().run_source(source, module_name="lib")
+        root = result.executions_of("lib.root")[0]
+        leaf = result.executions_of("lib.leaf")[0]
+        assert root.package_joules >= leaf.package_joules
+
+    def test_run_path(self, tmp_path):
+        script = tmp_path / "script.py"
+        script.write_text(
+            "def main():\n    return sum(range(1000))\n"
+            "if __name__ == '__main__':\n    main()\n"
+        )
+        result = make_instrumenter().run_path(script)
+        assert len(result.executions_of("__main__.main")) == 1
+
+
+class _NullProbe:
+    """Probe stub recording nothing — for pure-transform tests."""
+
+    def __call__(self, *args):
+        import contextlib
+
+        return contextlib.nullcontext()

@@ -1,0 +1,227 @@
+"""Tests for simulated/live backends, the meter, and the perf harness."""
+
+import pytest
+
+from repro.rapl.backends import (
+    EnergyMeter,
+    LiveBackend,
+    RealClock,
+    SimulatedBackend,
+    VirtualClock,
+    default_backend,
+)
+from repro.rapl.domains import Domain
+from repro.rapl.msr import MSR_PKG_ENERGY_STATUS
+from repro.rapl.perf import METRICS, EnergySample, PerfStat
+
+
+def make_backend(**kwargs) -> SimulatedBackend:
+    return SimulatedBackend(clock=VirtualClock(), **kwargs)
+
+
+class TestVirtualClock:
+    def test_advances_wall_and_cpu(self):
+        clock = VirtualClock()
+        clock.advance(2.0, 1.5)
+        assert clock.now() == (2.0, 1.5)
+
+    def test_cpu_defaults_to_wall(self):
+        clock = VirtualClock()
+        clock.advance(3.0)
+        assert clock.now() == (3.0, 3.0)
+
+    def test_cannot_move_backwards(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestSimulatedBackend:
+    def test_initial_snapshot_is_zero(self):
+        backend = make_backend()
+        snap = backend.snapshot()
+        assert all(j == 0.0 for j in snap.joules.values())
+
+    def test_one_busy_second_yields_model_energy(self):
+        backend = make_backend()
+        backend.clock.advance(1.0, 1.0)
+        snap = backend.snapshot()
+        assert snap.joules[Domain.PACKAGE] == pytest.approx(15.0, rel=1e-3)
+        assert snap.joules[Domain.PP0] == pytest.approx(11.0, rel=1e-3)
+
+    def test_idle_time_costs_static_power_only(self):
+        backend = make_backend()
+        backend.clock.advance(1.0, 0.0)
+        snap = backend.snapshot()
+        assert snap.joules[Domain.PACKAGE] == pytest.approx(3.0, rel=1e-3)
+
+    def test_snapshots_are_monotone(self):
+        backend = make_backend()
+        previous = backend.snapshot().joules[Domain.PACKAGE]
+        for _ in range(5):
+            backend.clock.advance(0.5, 0.3)
+            current = backend.snapshot().joules[Domain.PACKAGE]
+            assert current >= previous
+            previous = current
+
+    def test_intensity_scope_scales_dynamic_energy(self):
+        backend = make_backend()
+        with backend.intensity_scope(2.0):
+            backend.clock.advance(1.0, 1.0)
+        snap = backend.snapshot()
+        # package: 3*1 static + 12*2*1 dynamic
+        assert snap.joules[Domain.PACKAGE] == pytest.approx(27.0, rel=1e-3)
+
+    def test_intensity_scope_restores_previous(self):
+        backend = make_backend()
+        with backend.intensity_scope(3.0):
+            pass
+        backend.clock.advance(1.0, 1.0)
+        assert backend.snapshot().joules[Domain.PACKAGE] == pytest.approx(
+            15.0, rel=1e-3
+        )
+
+    def test_negative_intensity_rejected(self):
+        backend = make_backend()
+        with pytest.raises(ValueError):
+            with backend.intensity_scope(-1.0):
+                pass
+
+    def test_post_joules_adds_explicit_event(self):
+        backend = make_backend()
+        backend.post_joules(Domain.DRAM, 5.0)
+        snap = backend.snapshot()
+        assert snap.joules[Domain.DRAM] == pytest.approx(5.0, rel=1e-3)
+
+    def test_read_msr_by_address(self):
+        backend = make_backend()
+        backend.clock.advance(1.0, 1.0)
+        raw = backend.read_msr(MSR_PKG_ENERGY_STATUS)
+        assert raw == backend.units.joules_to_raw(15.0)
+
+    def test_noise_is_deterministic_given_seed(self):
+        def run(seed):
+            backend = make_backend(noise_sigma=0.05, seed=seed)
+            backend.clock.advance(1.0, 1.0)
+            return backend.snapshot().joules[Domain.PACKAGE]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_outlier_injection_produces_occasional_spikes(self):
+        backend = make_backend(outlier_rate=0.3, outlier_scale=10.0, seed=1)
+        values = []
+        for _ in range(30):
+            before = backend.snapshot().joules[Domain.PACKAGE]
+            backend.clock.advance(1.0, 1.0)
+            values.append(backend.snapshot().joules[Domain.PACKAGE] - before)
+        spikes = [v for v in values if v > 50.0]
+        normal = [v for v in values if v <= 50.0]
+        assert spikes and normal
+
+    def test_invalid_noise_and_outlier_params_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            make_backend(outlier_rate=1.0)
+
+
+class TestEnergyMeter:
+    def test_measures_delta_inside_scope_only(self):
+        backend = make_backend()
+        backend.clock.advance(5.0, 5.0)  # pre-existing consumption
+        meter = EnergyMeter(backend)
+        with meter.measure() as reading:
+            backend.clock.advance(1.0, 1.0)
+        assert reading.result.package_joules == pytest.approx(15.0, rel=1e-3)
+        assert reading.result.wall_seconds == pytest.approx(1.0)
+        assert reading.result.cpu_seconds == pytest.approx(1.0)
+
+    def test_reading_before_exit_raises(self):
+        meter = EnergyMeter(make_backend())
+        with meter.measure() as reading:
+            with pytest.raises(RuntimeError):
+                _ = reading.result
+
+    def test_measure_callable_returns_value_and_delta(self):
+        backend = make_backend()
+        meter = EnergyMeter(backend)
+
+        def work():
+            backend.clock.advance(2.0, 1.0)
+            return "done"
+
+        value, delta = meter.measure_callable(work)
+        assert value == "done"
+        assert delta.package_joules == pytest.approx(3 * 2 + 12 * 1, rel=1e-3)
+
+    def test_average_power(self):
+        backend = make_backend()
+        meter = EnergyMeter(backend)
+        with meter.measure() as reading:
+            backend.clock.advance(2.0, 2.0)
+        assert reading.result.average_power_watts(Domain.PACKAGE) == pytest.approx(
+            15.0, rel=1e-3
+        )
+
+    def test_real_clock_measures_actual_work(self):
+        """End-to-end on the real clock: busy work consumes > idle epsilon."""
+        meter = EnergyMeter(SimulatedBackend(clock=RealClock()))
+        with meter.measure() as reading:
+            total = sum(i * i for i in range(200_000))
+        assert total > 0
+        assert reading.result.package_joules > 0.0
+        assert reading.result.cpu_seconds > 0.0
+
+
+class TestPerfStat:
+    def test_run_collects_requested_repeats(self):
+        backend = make_backend()
+        perf = PerfStat(backend)
+
+        def work():
+            backend.clock.advance(1.0, 1.0)
+
+        samples = perf.run(work, repeats=5)
+        assert len(samples) == 5
+        for sample in samples:
+            assert sample.package_joules == pytest.approx(15.0, rel=1e-3)
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            PerfStat(make_backend()).run(lambda: None, repeats=0)
+
+    def test_metric_lookup(self):
+        sample = EnergySample(10.0, 7.0, 2.0, 1.5)
+        assert sample.metric("package") == 10.0
+        assert sample.metric("cpu") == 7.0
+        assert sample.metric("time") == 2.0
+        with pytest.raises(KeyError):
+            sample.metric("dram")
+
+    def test_column_extraction(self):
+        samples = [EnergySample(1.0, 2.0, 3.0, 4.0), EnergySample(5.0, 6.0, 7.0, 8.0)]
+        assert PerfStat.column(samples, "package") == [1.0, 5.0]
+        assert PerfStat.column(samples, "time") == [3.0, 7.0]
+
+    def test_metrics_tuple_matches_table_iv_columns(self):
+        assert METRICS == ("package", "cpu", "time")
+
+
+class TestDefaultBackend:
+    def test_default_backend_returns_working_backend(self):
+        backend = default_backend()
+        snap = backend.snapshot()
+        assert Domain.PACKAGE in snap.joules
+
+    def test_simulated_fallback_when_live_unavailable(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            LiveBackend(root=tmp_path)
+
+    def test_live_backend_reads_powercap_layout(self, tmp_path):
+        zone = tmp_path / "intel-rapl:0"
+        zone.mkdir()
+        (zone / "name").write_text("package-0\n")
+        (zone / "energy_uj").write_text("2000000\n")
+        backend = LiveBackend(root=tmp_path)
+        snap = backend.snapshot()
+        assert snap.joules[Domain.PACKAGE] == pytest.approx(2.0)

@@ -1,0 +1,101 @@
+"""Tests for the DVFS energy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rapl.dvfs import DvfsModel, DvfsPoint
+from repro.rapl.model import DomainPower
+
+
+class TestEvaluate:
+    def test_nominal_point(self):
+        model = DvfsModel(power=DomainPower(3.0, 12.0))
+        point = model.evaluate(2.0, 1.0)
+        assert point.runtime_seconds == 2.0
+        assert point.dynamic_joules == pytest.approx(24.0)
+        assert point.static_joules == pytest.approx(6.0)
+        assert point.total_joules == pytest.approx(30.0)
+        assert point.average_watts == pytest.approx(15.0)
+
+    def test_half_frequency_doubles_runtime(self):
+        model = DvfsModel(power=DomainPower(3.0, 12.0))
+        point = model.evaluate(1.0, 0.5)
+        assert point.runtime_seconds == 2.0
+        # dynamic watts scale by 0.5^3 = 1/8, over doubled runtime → 1/4
+        assert point.dynamic_joules == pytest.approx(12.0 / 4.0)
+        assert point.static_joules == pytest.approx(6.0)
+
+    def test_invalid_inputs(self):
+        model = DvfsModel()
+        with pytest.raises(ValueError):
+            model.evaluate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.evaluate(1.0, 0.0)
+        with pytest.raises(ValueError):
+            DvfsModel(exponent=0.5)
+
+
+class TestOptimalFrequency:
+    def test_zero_leakage_prefers_slowest(self):
+        model = DvfsModel(power=DomainPower(0.0, 10.0))
+        assert model.optimal_frequency().frequency_ratio == pytest.approx(0.2)
+
+    def test_high_leakage_races_to_idle(self):
+        model = DvfsModel(power=DomainPower(100.0, 1.0))
+        assert model.optimal_frequency().frequency_ratio == pytest.approx(1.0)
+
+    def test_closed_form_matches_sweep(self):
+        model = DvfsModel(power=DomainPower(3.0, 12.0))
+        best = model.optimal_frequency(cpu_seconds_at_nominal=1.0)
+        sweep = model.sweep(1.0, np.linspace(0.2, 1.0, 400))
+        sweep_best = min(sweep, key=lambda p: p.total_joules)
+        assert best.total_joules <= sweep_best.total_joules + 1e-6
+
+    def test_deadline_forces_higher_frequency(self):
+        model = DvfsModel(power=DomainPower(0.5, 12.0))
+        free = model.optimal_frequency(cpu_seconds_at_nominal=1.0)
+        tight = model.optimal_frequency(
+            deadline_seconds=1.2, cpu_seconds_at_nominal=1.0
+        )
+        assert tight.frequency_ratio >= free.frequency_ratio
+        assert tight.runtime_seconds <= 1.2 + 1e-9
+
+    def test_infeasible_deadline_rejected(self):
+        model = DvfsModel()
+        with pytest.raises(ValueError, match="infeasible"):
+            model.optimal_frequency(deadline_seconds=0.5,
+                                    cpu_seconds_at_nominal=1.0)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsModel().optimal_frequency(deadline_seconds=0.0)
+
+    @given(
+        static=st.floats(0.0, 50.0),
+        dynamic=st.floats(0.1, 50.0),
+        exponent=st.floats(1.5, 3.5),
+    )
+    def test_optimum_never_beaten_by_grid(self, static, dynamic, exponent):
+        model = DvfsModel(
+            power=DomainPower(static, dynamic), exponent=exponent
+        )
+        best = model.optimal_frequency(cpu_seconds_at_nominal=1.0)
+        for ratio in np.linspace(0.2, 1.0, 50):
+            assert best.total_joules <= model.evaluate(
+                1.0, float(ratio)
+            ).total_joules + 1e-6
+
+
+class TestSweep:
+    def test_default_grid(self):
+        points = DvfsModel().sweep(1.0)
+        assert len(points) == 17
+        assert points[0].frequency_ratio == pytest.approx(0.2)
+        assert points[-1].frequency_ratio == pytest.approx(1.0)
+
+    def test_runtime_monotone_decreasing_in_frequency(self):
+        points = DvfsModel().sweep(1.0)
+        runtimes = [p.runtime_seconds for p in points]
+        assert runtimes == sorted(runtimes, reverse=True)

@@ -1,0 +1,123 @@
+"""Tests for the simulated MSR file and the wrap-aware counter reader."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rapl.domains import Domain
+from repro.rapl.msr import (
+    MSR_ADDRESSES,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_RAPL_POWER_UNIT,
+    MsrError,
+    MsrFile,
+    RaplCounterReader,
+)
+from repro.rapl.units import RaplUnits
+
+
+class TestMsrFile:
+    def test_counters_start_at_zero(self):
+        msr = MsrFile()
+        for dom in Domain:
+            assert msr.read_domain(dom) == 0
+
+    def test_deposit_one_joule_ticks_energy_units(self):
+        msr = MsrFile()
+        msr.deposit_joules(Domain.PACKAGE, 1.0)
+        # 1 J at 2**-14 J/unit = 16384 units
+        assert msr.read_domain(Domain.PACKAGE) == 16384
+
+    def test_sub_unit_deposits_accumulate_without_loss(self):
+        msr = MsrFile()
+        # unit/4 is an exact power of two (2**-16 J), so four deposits
+        # accumulate to exactly one energy status unit.
+        unit = msr.units.energy_joules
+        for _ in range(4):
+            msr.deposit_joules(Domain.PP0, unit / 4)
+        assert msr.read_domain(Domain.PP0) == 1
+
+    def test_deposits_are_per_domain(self):
+        msr = MsrFile()
+        msr.deposit_joules(Domain.DRAM, 2.0)
+        assert msr.read_domain(Domain.DRAM) > 0
+        assert msr.read_domain(Domain.PACKAGE) == 0
+
+    def test_counter_wraps_at_32_bits(self):
+        msr = MsrFile(initial_raw={Domain.PACKAGE: 2**32 - 10})
+        msr.deposit_joules(Domain.PACKAGE, 20 * msr.units.energy_joules)
+        assert msr.read_domain(Domain.PACKAGE) == 10
+
+    def test_read_by_address_matches_domain_read(self):
+        msr = MsrFile()
+        msr.deposit_joules(Domain.PACKAGE, 0.5)
+        assert msr.read(MSR_PKG_ENERGY_STATUS) == msr.read_domain(Domain.PACKAGE)
+
+    def test_power_unit_register_readable(self):
+        msr = MsrFile()
+        raw = msr.read(MSR_RAPL_POWER_UNIT)
+        assert RaplUnits.decode(raw) == msr.units
+
+    def test_unknown_address_raises_oserror(self):
+        with pytest.raises(MsrError):
+            MsrFile().read(0x1234)
+
+    def test_negative_deposit_rejected(self):
+        with pytest.raises(ValueError):
+            MsrFile().deposit_joules(Domain.PACKAGE, -1.0)
+
+    def test_initial_raw_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MsrFile(initial_raw={Domain.PP0: 2**32})
+
+    def test_every_domain_has_an_address(self):
+        assert set(MSR_ADDRESSES) == set(Domain)
+
+
+class TestRaplCounterReader:
+    def test_first_reading_is_baseline(self):
+        reader = RaplCounterReader(units=RaplUnits.default())
+        assert reader.update(12345) == 0.0
+
+    def test_accumulates_deltas(self):
+        units = RaplUnits.default()
+        reader = RaplCounterReader(units=units)
+        reader.update(0)
+        total = reader.update(16384)  # 1 J
+        assert total == pytest.approx(1.0)
+        total = reader.update(32768)
+        assert total == pytest.approx(2.0)
+
+    def test_handles_wraparound(self):
+        units = RaplUnits.default()
+        reader = RaplCounterReader(units=units)
+        reader.update(2**32 - 5)
+        total = reader.update(11)  # wrapped: delta 16 units
+        assert total == pytest.approx(16 * units.energy_joules)
+
+    def test_reset_forgets_baseline(self):
+        reader = RaplCounterReader(units=RaplUnits.default())
+        reader.update(0)
+        reader.update(100)
+        reader.reset()
+        assert reader.update(500) == 0.0
+        assert reader.joules == 0.0
+
+    def test_out_of_range_raw_rejected(self):
+        reader = RaplCounterReader(units=RaplUnits.default())
+        with pytest.raises(ValueError):
+            reader.update(2**32)
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=50))
+    def test_reader_tracks_msr_deposits_exactly(self, unit_deposits):
+        """Property: reader total equals total deposited, any wrap pattern."""
+        units = RaplUnits.default()
+        msr = MsrFile(units=units, initial_raw={Domain.PACKAGE: 2**32 - 1000})
+        reader = RaplCounterReader(units=units)
+        reader.update(msr.read_domain(Domain.PACKAGE))
+        total_units = 0
+        for units_to_add in unit_deposits:
+            msr.deposit_joules(Domain.PACKAGE, units_to_add * units.energy_joules)
+            total_units += units_to_add
+            reader.update(msr.read_domain(Domain.PACKAGE))
+        assert reader.joules == pytest.approx(total_units * units.energy_joules)

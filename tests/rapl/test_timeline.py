@@ -1,0 +1,103 @@
+"""Tests for the energy timeline sampler."""
+
+import time
+
+import pytest
+
+from repro.rapl.backends import RealClock, SimulatedBackend, VirtualClock
+from repro.rapl.domains import Domain
+from repro.rapl.timeline import Timeline, TimelinePoint, TimelineSampler
+
+
+def make_point(t, dt, watts):
+    return TimelinePoint(
+        t_seconds=t,
+        interval_seconds=dt,
+        joules={Domain.PACKAGE: watts * dt},
+    )
+
+
+class TestTimeline:
+    def test_watts_per_point(self):
+        point = make_point(1.0, 0.5, watts=10.0)
+        assert point.watts(Domain.PACKAGE) == pytest.approx(10.0)
+
+    def test_zero_interval_is_zero_watts(self):
+        point = TimelinePoint(1.0, 0.0, {Domain.PACKAGE: 1.0})
+        assert point.watts(Domain.PACKAGE) == 0.0
+
+    def test_summary_statistics(self):
+        timeline = Timeline(points=(
+            make_point(0.5, 0.5, 4.0),
+            make_point(1.0, 0.5, 12.0),
+        ))
+        assert timeline.peak_watts() == pytest.approx(12.0)
+        assert timeline.mean_watts() == pytest.approx(8.0)
+        assert timeline.total_joules() == pytest.approx(8.0 * 1.0)
+        assert len(timeline) == 2
+
+    def test_empty_timeline(self):
+        timeline = Timeline(points=())
+        assert timeline.peak_watts() == 0.0
+        assert timeline.mean_watts() == 0.0
+        assert timeline.ascii_sparkline() == ""
+
+    def test_sparkline_shape(self):
+        timeline = Timeline(points=tuple(
+            make_point(i * 0.1, 0.1, watts)
+            for i, watts in enumerate([1, 1, 10, 10, 1])
+        ))
+        art = timeline.ascii_sparkline()
+        assert len(art) == 5
+        assert art[2] > art[0]  # block characters sort by height
+
+    def test_sparkline_downsamples(self):
+        timeline = Timeline(points=tuple(
+            make_point(i * 0.1, 0.1, float(i % 7)) for i in range(200)
+        ))
+        assert len(timeline.ascii_sparkline(width=40)) == 40
+
+
+class TestTimelineSampler:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(SimulatedBackend(clock=VirtualClock()), 0.0)
+
+    def test_samples_while_workload_runs(self):
+        backend = SimulatedBackend(clock=RealClock())
+        sampler = TimelineSampler(backend, sample_interval=0.005)
+
+        def workload():
+            deadline = time.perf_counter() + 0.1
+            total = 0
+            while time.perf_counter() < deadline:
+                total += sum(range(1000))
+            return total
+
+        result, timeline = sampler.run(workload)
+        assert result > 0
+        assert len(timeline) >= 3
+        assert timeline.total_joules() > 0
+        assert timeline.peak_watts() >= timeline.mean_watts() > 0
+
+    def test_workload_exception_still_stops_sampler(self):
+        backend = SimulatedBackend(clock=RealClock())
+        sampler = TimelineSampler(backend, sample_interval=0.005)
+        with pytest.raises(RuntimeError, match="boom"):
+            sampler.run(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    def test_timeline_energy_matches_meter(self):
+        """Total timeline energy ≈ a meter around the same workload."""
+        from repro.rapl.backends import EnergyMeter
+
+        backend = SimulatedBackend(clock=RealClock())
+        sampler = TimelineSampler(backend, sample_interval=0.005)
+        meter = EnergyMeter(backend)
+
+        def workload():
+            return sum(i * i for i in range(400_000))
+
+        with meter.measure() as reading:
+            _, timeline = sampler.run(workload)
+        # The meter wraps the sampler run, so it sees at least as much.
+        assert reading.result.package_joules >= timeline.total_joules() * 0.7

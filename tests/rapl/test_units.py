@@ -1,0 +1,58 @@
+"""Tests for MSR_RAPL_POWER_UNIT decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rapl.units import DEFAULT_POWER_UNIT_RAW, RaplUnits
+
+
+class TestDecode:
+    def test_default_raw_value_decodes_to_sandy_bridge_units(self):
+        units = RaplUnits.decode(DEFAULT_POWER_UNIT_RAW)
+        assert units.power_exp == 3
+        assert units.energy_exp == 14
+        assert units.time_exp == 10
+
+    def test_default_constructor_matches_decode(self):
+        assert RaplUnits.default() == RaplUnits.decode(DEFAULT_POWER_UNIT_RAW)
+
+    def test_energy_unit_is_61_microjoules(self):
+        units = RaplUnits.default()
+        assert units.energy_joules == pytest.approx(6.103515625e-05)
+
+    def test_power_unit_is_eighth_watt(self):
+        assert RaplUnits.default().power_watts == pytest.approx(0.125)
+
+    def test_time_unit_is_about_one_millisecond(self):
+        assert RaplUnits.default().time_seconds == pytest.approx(1 / 1024)
+
+    def test_negative_raw_rejected(self):
+        with pytest.raises(ValueError):
+            RaplUnits.decode(-1)
+
+    def test_out_of_range_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            RaplUnits(power_exp=32, energy_exp=14, time_exp=10)
+
+
+class TestRoundTrip:
+    @given(
+        power=st.integers(0, 15),
+        energy=st.integers(0, 31),
+        time=st.integers(0, 15),
+    )
+    def test_encode_decode_roundtrip(self, power, energy, time):
+        units = RaplUnits(power_exp=power, energy_exp=energy, time_exp=time)
+        assert RaplUnits.decode(units.encode()) == units
+
+    @given(joules=st.floats(0, 1e6, allow_nan=False))
+    def test_joules_raw_roundtrip_within_one_unit(self, joules):
+        units = RaplUnits.default()
+        raw = units.joules_to_raw(joules)
+        back = units.raw_to_joules(raw)
+        assert 0 <= joules - back < units.energy_joules
+
+    def test_negative_joules_rejected(self):
+        with pytest.raises(ValueError):
+            RaplUnits.default().joules_to_raw(-0.1)

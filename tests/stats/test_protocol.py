@@ -1,0 +1,137 @@
+"""Tests for the paper's outlier-free measurement protocol."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import describe, percent_improvement
+from repro.stats.protocol import OutlierFreeProtocol
+
+
+class TestCollect:
+    def test_clean_source_converges_in_one_iteration(self):
+        source = itertools.count(10.0, 0.001)
+        protocol = OutlierFreeProtocol(repeats=10)
+        result = protocol.collect(lambda: next(source))
+        assert result.converged
+        assert result.iterations == 1
+        assert result.replaced == 0
+        assert result.mean == pytest.approx(10.0045, abs=1e-6)
+
+    def test_outliers_are_replaced_until_clean(self):
+        # First batch contains two spikes; replacements are clean.
+        values = iter([10, 10.1, 9.9, 10.2, 500.0, 9.8, 10.0, 300.0, 10.1, 9.9]
+                      + [10.05] * 20)
+        protocol = OutlierFreeProtocol(repeats=10)
+        result = protocol.collect(lambda: float(next(values)))
+        assert result.converged
+        assert result.replaced >= 2
+        assert 9.0 < result.mean < 11.0
+
+    def test_replacement_can_itself_be_an_outlier(self):
+        values = iter([10, 10, 10, 10, 10, 10, 10, 10, 10, 999,  # batch
+                       999,                                      # bad replacement
+                       10])                                      # good replacement
+        protocol = OutlierFreeProtocol(repeats=10)
+        result = protocol.collect(lambda: float(next(values)))
+        assert result.converged
+        assert result.replaced == 2
+        assert result.mean == pytest.approx(10.0)
+
+    def test_pathological_source_hits_iteration_bound(self):
+        # Escalating geometric source: every replacement is a bigger
+        # outlier than the one it replaces, so the loop can never clean.
+        source = (10.0**i for i in itertools.count())
+        protocol = OutlierFreeProtocol(repeats=10, max_iterations=5)
+        result = protocol.collect(lambda: next(source))
+        assert not result.converged
+        assert result.iterations == 5
+
+    def test_too_few_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            OutlierFreeProtocol(repeats=2)
+
+    def test_nonpositive_max_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            OutlierFreeProtocol(max_iterations=0)
+
+    def test_works_with_simulated_backend_outlier_injection(self):
+        """End-to-end: protocol scrubs the backend's injected outliers."""
+        from repro.rapl.backends import SimulatedBackend, VirtualClock
+        from repro.rapl.perf import PerfStat
+
+        backend = SimulatedBackend(
+            clock=VirtualClock(), noise_sigma=0.02,
+            outlier_rate=0.15, outlier_scale=8.0, seed=42,
+        )
+        perf = PerfStat(backend)
+
+        def measure() -> float:
+            sample = perf.run_once(lambda: backend.clock.advance(1.0, 1.0))
+            return sample.package_joules
+
+        result = OutlierFreeProtocol(repeats=10).collect(measure)
+        assert result.converged
+        # Mean must sit near the noise-free 15 J, not be dragged by spikes.
+        assert result.mean == pytest.approx(15.0, rel=0.1)
+
+    def test_result_std(self):
+        protocol = OutlierFreeProtocol(repeats=4)
+        values = iter([1.0, 2.0, 3.0, 4.0])
+        result = protocol.collect(lambda: next(values))
+        assert result.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+
+class TestClean:
+    def test_drops_outliers_offline(self):
+        result = OutlierFreeProtocol(repeats=10).clean(
+            [10, 10.2, 9.8, 10.1, 9.9, 10.0, 10.1, 9.95, 10.05, 400.0]
+        )
+        assert result.converged
+        assert result.replaced == 1
+        assert len(result.values) == 9
+        assert result.mean == pytest.approx(10.01, abs=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OutlierFreeProtocol().clean([])
+
+    def test_clean_sample_untouched(self):
+        result = OutlierFreeProtocol().clean([1.0, 1.1, 0.9, 1.05])
+        assert result.replaced == 0
+        assert len(result.values) == 4
+
+
+class TestDescriptive:
+    def test_describe_basic(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_describe_single_value_zero_std(self):
+        assert describe([5.0]).std == 0.0
+
+    def test_describe_rejects_empty_and_nan(self):
+        with pytest.raises(ValueError):
+            describe([])
+        with pytest.raises(ValueError):
+            describe([1.0, float("inf")])
+
+    def test_relative_std(self):
+        summary = describe([9.0, 11.0])
+        assert summary.relative_std() == pytest.approx(summary.std / 10.0)
+
+    def test_percent_improvement_matches_paper_convention(self):
+        # 14.46% improvement means optimized = baseline * (1 - 0.1446)
+        assert percent_improvement(100.0, 85.54) == pytest.approx(14.46)
+
+    def test_percent_improvement_negative_when_regressed(self):
+        assert percent_improvement(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_percent_improvement_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)

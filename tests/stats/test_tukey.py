@@ -1,0 +1,77 @@
+"""Tests for Tukey fences."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.tukey import TukeyFences, tukey_fences, tukey_outlier_mask
+
+
+class TestFences:
+    def test_textbook_example(self):
+        # Q1=2.5, Q3=7.5 per linear interpolation on 1..9 plus outlier
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 100]
+        fences = tukey_fences(values)
+        mask = tukey_outlier_mask(values)
+        assert mask.tolist() == [False] * 9 + [True]
+        assert fences.lower < 1
+        assert fences.upper < 100
+
+    def test_constant_sample_has_no_outliers(self):
+        assert not tukey_outlier_mask([5.0] * 10).any()
+
+    def test_iqr_and_bounds(self):
+        fences = TukeyFences(q1=10.0, q3=20.0, k=1.5)
+        assert fences.iqr == 10.0
+        assert fences.lower == -5.0
+        assert fences.upper == 35.0
+        assert fences.is_outlier(-5.1)
+        assert not fences.is_outlier(-5.0)
+        assert fences.is_outlier(35.1)
+        assert not fences.is_outlier(35.0)
+
+    def test_low_outlier_detected(self):
+        values = [-100, 10, 11, 12, 13, 14, 15, 16]
+        assert tukey_outlier_mask(values)[0]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            tukey_fences([])
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(ValueError):
+            tukey_fences([1, 2, 3], k=0.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            tukey_fences([1.0, float("nan"), 2.0])
+
+    def test_larger_k_flags_fewer_outliers(self):
+        values = list(range(20)) + [40]
+        strict = tukey_outlier_mask(values, k=1.0).sum()
+        loose = tukey_outlier_mask(values, k=3.0).sum()
+        assert strict >= loose
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=4, max_size=100))
+    def test_quartiles_are_never_outliers(self, values):
+        """Property: the central half of the data is always inside fences."""
+        fences = tukey_fences(values)
+        arr = np.asarray(values)
+        central = arr[(arr >= fences.q1) & (arr <= fences.q3)]
+        assert not any(fences.is_outlier(v) for v in central)
+
+    @given(
+        # Integer-valued floats keep the shifted arithmetic exact; with
+        # arbitrary floats a tiny value is absorbed by a large shift and
+        # the property genuinely (and correctly) fails.
+        st.lists(
+            st.integers(-1000, 1000).map(float), min_size=4, max_size=50
+        ),
+        st.integers(1, 10_000).map(float),
+    )
+    def test_shift_invariance(self, values, shift):
+        """Property: outlier membership is translation-invariant."""
+        base = tukey_outlier_mask(values)
+        shifted = tukey_outlier_mask([v + shift for v in values])
+        assert base.tolist() == shifted.tolist()

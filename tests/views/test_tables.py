@@ -1,0 +1,52 @@
+"""Tests for the fixed-width table renderer."""
+
+import pytest
+
+from repro.views.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            headers=("A", "Bee"),
+            rows=[("x", "1"), ("longer", "22")],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "Bee" in lines[0]
+        # Every row's second column starts at the same offset.
+        offset = lines[0].index("Bee")
+        assert lines[2][offset] == "1"
+        assert lines[3][offset] == "2"
+
+    def test_title_line(self):
+        text = render_table(("H",), [("v",)], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_rule_under_header(self):
+        text = render_table(("Head",), [("x",)])
+        assert "────" in text.splitlines()[1]
+
+    def test_long_cells_clipped_with_ellipsis(self):
+        text = render_table(
+            ("H",), [("y" * 100,)], max_col_width=10
+        )
+        row = text.splitlines()[-1]
+        assert len(row) <= 10
+        assert row.endswith("…")
+
+    def test_empty_rows_renders_header_only(self):
+        text = render_table(("One", "Two"), [])
+        assert len(text.splitlines()) == 2
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("A", "B"), [("only",)])
+
+    def test_tiny_max_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("A",), [], max_col_width=3)
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(("N",), [(42,)])
+        assert "42" in text
