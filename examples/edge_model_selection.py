@@ -10,6 +10,13 @@ using the paper's measurement discipline (10 runs, Tukey scrubbing),
 then prints a deployment ranking.
 """
 
+# Runnable from a clean checkout: put the repo's src/ on sys.path so
+# ``repro`` imports without installation, regardless of the working dir.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import numpy as np
 
 from repro.datasets import generate_airlines

@@ -9,9 +9,14 @@ the mechanical rewrites, count the changes, and check the refactored
 project still behaves identically.
 """
 
+# Runnable from a clean checkout: put the repo's src/ on sys.path so
+# ``repro`` imports without installation, regardless of the working dir.
 import sys
-import tempfile
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import tempfile
 
 from repro import PEPO
 

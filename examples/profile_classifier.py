@@ -9,7 +9,12 @@ per-execution records to ``result.txt`` in the working directory,
 exactly like the paper's injected measurement code.
 """
 
+# Runnable from a clean checkout: put the repo's src/ on sys.path so
+# ``repro`` imports without installation, regardless of the working dir.
 import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 

@@ -8,6 +8,13 @@ automatic rewrite with its diff, and a method-granularity energy
 profile of the code before and after.
 """
 
+# Runnable from a clean checkout: put the repo's src/ on sys.path so
+# ``repro`` imports without installation, regardless of the working dir.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import PEPO
 from repro.rapl.backends import RealClock, SimulatedBackend
 

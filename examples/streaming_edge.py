@@ -10,6 +10,13 @@ stream, comparing a true stream learner (Hoeffding tree) against the
 periodic-retrain strategy, on both accuracy and joules per instance.
 """
 
+# Runnable from a clean checkout: put the repo's src/ on sys.path so
+# ``repro`` imports without installation, regardless of the working dir.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.ml.classifiers import NaiveBayes
 from repro.ml.stream import HoeffdingTree, airlines_stream, prequential_evaluate
 from repro.ml.stream.prequential import StreamAdapter

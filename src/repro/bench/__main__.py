@@ -30,6 +30,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--instances", type=int, default=None)
     parser.add_argument("--folds", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file for table4; a killed run resumes from the "
+        "last completed classifier",
+    )
     args = parser.parse_args(argv)
 
     targets = (
@@ -57,7 +63,7 @@ def main(argv: list[str] | None = None) -> int:
                     folds=args.folds or 5,
                     repeats=args.repeats or 8,
                 )
-            print(render_table4(run_table4(config)))
+            print(render_table4(run_table4(config, checkpoint=args.checkpoint)))
         elif target == "figures":
             for name, text in run_figures().items():
                 print(f"===== {name} =====")

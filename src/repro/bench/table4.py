@@ -17,8 +17,12 @@ near-constant across classifiers, is what carries over).
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -30,6 +34,7 @@ from repro.rapl.backends import RaplBackend, RealClock, SimulatedBackend
 from repro.rapl.perf import PerfStat
 from repro.stats.descriptive import percent_improvement
 from repro.stats.protocol import OutlierFreeProtocol
+from repro.resilience.checkpoint import CheckpointStore
 from repro.unopt import UNOPT_REGISTRY, make_optimized
 from repro.views.tables import render_table
 
@@ -164,16 +169,46 @@ def _measure_pair(
     )
 
 
+def _open_checkpoint(
+    checkpoint: CheckpointStore | str | Path | None, config: Table4Config
+) -> CheckpointStore | None:
+    """Open (or pass through) a checkpoint store fingerprinted by config.
+
+    The fingerprint round-trips through JSON so it compares equal to
+    what a previous run persisted (tuples become lists on disk).
+    """
+    if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    meta = json.loads(json.dumps({"table4": dataclasses.asdict(config)}))
+    return CheckpointStore(checkpoint, meta=meta)
+
+
 def run_table4(
     config: Table4Config | None = None,
     backend: RaplBackend | None = None,
+    checkpoint: CheckpointStore | str | Path | None = None,
+    on_row: Callable[[Table4Row], None] | None = None,
 ) -> list[Table4Row]:
-    """Run the full Table IV protocol; rows in paper order."""
+    """Run the full Table IV protocol; rows in paper order.
+
+    With ``checkpoint`` (a path or an open
+    :class:`~repro.resilience.checkpoint.CheckpointStore`), each
+    classifier's finished row is persisted as it completes, and a
+    killed run restarts from the last completed classifier.  The store
+    is fingerprinted by the config, so a checkpoint from a different
+    workload is discarded rather than spliced in.  ``on_row`` is called
+    after every freshly computed row (progress reporting, tests).
+    """
     config = config or Table4Config()
+    store = _open_checkpoint(checkpoint, config)
     perf = PerfStat(backend or SimulatedBackend(clock=RealClock()))
     data = generate_airlines(n=config.n_instances, seed=config.seed)
     rows: list[Table4Row] = []
     for name in config.classifiers:
+        key = f"row/{name}"
+        if store is not None and key in store:
+            rows.append(Table4Row(**store.get(key)))
+            continue
         optimized_class, unopt_class = UNOPT_REGISTRY[name]
         params = _FAST_PARAMS.get(name, {})
         unopt_means, opt_means, unopt_accuracy, opt_accuracy = _measure_pair(
@@ -183,25 +218,28 @@ def run_table4(
             config,
             perf,
         )
-        rows.append(
-            Table4Row(
-                classifier=name,
-                changes=_count_changes(unopt_class),
-                package_improvement=percent_improvement(
-                    unopt_means["package"], opt_means["package"]
-                ),
-                cpu_improvement=percent_improvement(
-                    unopt_means["cpu"], opt_means["cpu"]
-                ),
-                time_improvement=percent_improvement(
-                    unopt_means["time"], opt_means["time"]
-                ),
-                accuracy_drop=max(0.0, (unopt_accuracy - opt_accuracy) * 100.0),
-                unopt_accuracy=unopt_accuracy,
-                opt_accuracy=opt_accuracy,
-                details={"unopt": unopt_means, "opt": opt_means},
-            )
+        row = Table4Row(
+            classifier=name,
+            changes=_count_changes(unopt_class),
+            package_improvement=percent_improvement(
+                unopt_means["package"], opt_means["package"]
+            ),
+            cpu_improvement=percent_improvement(
+                unopt_means["cpu"], opt_means["cpu"]
+            ),
+            time_improvement=percent_improvement(
+                unopt_means["time"], opt_means["time"]
+            ),
+            accuracy_drop=max(0.0, (unopt_accuracy - opt_accuracy) * 100.0),
+            unopt_accuracy=unopt_accuracy,
+            opt_accuracy=opt_accuracy,
+            details={"unopt": unopt_means, "opt": opt_means},
         )
+        if store is not None:
+            store.put(key, dataclasses.asdict(row))
+        rows.append(row)
+        if on_row is not None:
+            on_row(row)
     return rows
 
 

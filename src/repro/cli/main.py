@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also sample power over time and print a sparkline",
     )
+    profile.add_argument(
+        "--resilience",
+        action="store_true",
+        help="survive backend read faults: retry with backoff, trip a "
+        "circuit breaker, degrade to the simulated backend (flagged)",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -95,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "all"],
+    )
+    bench.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="checkpoint file for table4: a killed run resumes from the "
+        "last completed classifier instead of starting over",
     )
     return parser
 
@@ -187,7 +200,12 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace, out) -> int:
-    pepo = PEPO()
+    resilience = None
+    if args.resilience:
+        from repro.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy()
+    pepo = PEPO(resilience=resilience)
     if args.timeline:
         from repro.rapl.domains import Domain
         from repro.rapl.timeline import TimelineSampler
@@ -209,6 +227,18 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
     else:
         result = pepo.profile_project(args.path, main=args.main)
         print(pepo.profiler_view(result, limit=args.limit), file=out)
+    if result.degraded:
+        print(
+            "warning: degraded run — some readings came from the fallback "
+            "backend",
+            file=out,
+        )
+    if result.suspect_count():
+        print(
+            f"warning: {result.suspect_count()} suspect measurement(s) "
+            "(backend fault or counter wrap)",
+            file=out,
+        )
     print(f"result.txt written to {Path(args.path) / 'result.txt'}", file=out)
     return 0
 
@@ -236,7 +266,10 @@ def _cmd_compare(args: argparse.Namespace, out) -> int:
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     from repro.bench.__main__ import main as bench_main
 
-    return bench_main([args.target])
+    argv = [args.target]
+    if args.checkpoint is not None:
+        argv += ["--checkpoint", str(args.checkpoint)]
+    return bench_main(argv)
 
 
 def main(argv: list[str] | None = None) -> int:

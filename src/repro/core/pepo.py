@@ -12,13 +12,16 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.analyzer import Analyzer, DynamicAnalyzer, Finding
 from repro.optimizer import OptimizationResult, Optimizer
 from repro.profiler import ProfileResult, ProfilerReport, ProfilerSession
 from repro.rapl.backends import RaplBackend, default_backend
 from repro.views.tables import render_table
+
+if TYPE_CHECKING:
+    from repro.resilience.policy import ResiliencePolicy
 
 
 class PEPO:
@@ -29,10 +32,27 @@ class PEPO:
     backend:
         Energy source for profiling; defaults to the live RAPL backend
         when available, the calibrated simulation otherwise.
+    resilience:
+        Optional :class:`~repro.resilience.policy.ResiliencePolicy`.
+        When given, the backend is wrapped in a
+        :class:`~repro.resilience.resilient.ResilientBackend`: reads
+        are retried with backoff, a circuit breaker trips on persistent
+        failure, and profiling degrades to the simulated backend (with
+        ``degraded=True`` provenance on the results) instead of
+        crashing mid-run.
     """
 
-    def __init__(self, backend: RaplBackend | None = None) -> None:
-        self.backend = backend or default_backend()
+    def __init__(
+        self,
+        backend: RaplBackend | None = None,
+        resilience: "ResiliencePolicy | None" = None,
+    ) -> None:
+        backend = backend or default_backend()
+        if resilience is not None:
+            from repro.resilience.resilient import ResilientBackend
+
+            backend = ResilientBackend(backend, resilience)
+        self.backend = backend
         self._analyzer = Analyzer()
         self._optimizer = Optimizer()
         self._session = ProfilerSession(self.backend)

@@ -17,6 +17,12 @@ import numpy as np
 from repro.ml.base import Classifier
 from repro.ml.instances import Instances
 
+# ``cross_validate`` accepts any mapping-like store with get/put —
+# typically a repro.resilience.CheckpointStore.  Deliberately not
+# imported (even under TYPE_CHECKING): repro.ml is the shared core
+# every classifier closure depends on, and an edge into
+# repro.resilience here would skew the Table II closure metrics.
+
 
 @dataclass(frozen=True)
 class Evaluation:
@@ -194,22 +200,49 @@ def cross_validate(
     data: Instances,
     k: int = 10,
     rng: np.random.Generator | None = None,
+    checkpoint=None,
+    checkpoint_key: str = "cv",
 ) -> CrossValidationResult:
-    """Stratified k-fold CV; a fresh classifier is built per fold."""
+    """Stratified k-fold CV; a fresh classifier is built per fold.
+
+    With a ``checkpoint`` store, each fold's evaluation is persisted as
+    it completes and already-completed folds are restored instead of
+    re-run — a killed k-fold run resumes from the last completed fold.
+    Fold membership is a pure function of ``(y, k, rng seed)``, so a
+    resumed run evaluates the identical folds.
+    """
     rng = rng if rng is not None else np.random.default_rng(1)
     folds = stratified_folds(data.y, k, rng)
     evaluations: list[Evaluation] = []
     num_classes = data.num_classes
     confusion = np.zeros((num_classes, num_classes), dtype=np.int64)
     all_indices = np.arange(data.n)
-    for fold in folds:
-        test_mask = np.zeros(data.n, dtype=bool)
-        test_mask[fold] = True
-        train = data.subset(all_indices[~test_mask])
-        test = data.subset(fold)
-        classifier = make_classifier()
-        classifier.fit(train)
-        evaluation = evaluate(classifier, test)
+    for index, fold in enumerate(folds):
+        key = f"{checkpoint_key}/fold{index}"
+        stored = checkpoint.get(key) if checkpoint is not None else None
+        if stored is not None:
+            evaluation = Evaluation(
+                correct=int(stored["correct"]),
+                total=int(stored["total"]),
+                confusion=np.asarray(stored["confusion"], dtype=np.int64),
+            )
+        else:
+            test_mask = np.zeros(data.n, dtype=bool)
+            test_mask[fold] = True
+            train = data.subset(all_indices[~test_mask])
+            test = data.subset(fold)
+            classifier = make_classifier()
+            classifier.fit(train)
+            evaluation = evaluate(classifier, test)
+            if checkpoint is not None:
+                checkpoint.put(
+                    key,
+                    {
+                        "correct": evaluation.correct,
+                        "total": evaluation.total,
+                        "confusion": evaluation.confusion.tolist(),
+                    },
+                )
         evaluations.append(evaluation)
         confusion += evaluation.confusion
     return CrossValidationResult(

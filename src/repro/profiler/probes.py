@@ -24,6 +24,7 @@ class _Activation:
     method: str
     start: EnergySnapshot
     children_joules: dict[Domain, float] = field(default_factory=dict)
+    suspect: bool = False
 
 
 class ProbeRuntime:
@@ -34,18 +35,37 @@ class ProbeRuntime:
         self.result = ProfileResult()
         self._stack: list[_Activation] = []
         self._counts: dict[str, int] = {}
+        self._last_snapshot: EnergySnapshot | None = None
+
+    def _safe_snapshot(self) -> tuple[EnergySnapshot, bool]:
+        """Snapshot without letting a backend fault abort the workload.
+
+        Probes run *inside* user code; a measurement failure degrades
+        that one record to suspect instead of raising through the
+        instrumented function.
+        """
+        try:
+            snap = self.backend.snapshot()
+        except OSError:
+            fallback = self._last_snapshot or EnergySnapshot(
+                joules={}, wall_seconds=0.0, cpu_seconds=0.0
+            )
+            return fallback, False
+        self._last_snapshot = snap
+        return snap, True
 
     @contextlib.contextmanager
     def __call__(
         self, method: str, filename: str = "", lineno: int = 0
     ) -> Iterator[None]:
-        activation = _Activation(method=method, start=self.backend.snapshot())
+        start, start_ok = self._safe_snapshot()
+        activation = _Activation(method=method, start=start, suspect=not start_ok)
         self._stack.append(activation)
         try:
             yield
         finally:
             self._stack.pop()
-            end = self.backend.snapshot()
+            end, end_ok = self._safe_snapshot()
             delta = end.delta(activation.start)
             exclusive = {
                 dom: delta.joules.get(dom, 0.0)
@@ -64,8 +84,11 @@ class ProbeRuntime:
                     cpu_seconds=delta.cpu_seconds,
                     joules=dict(delta.joules),
                     exclusive_joules=exclusive,
+                    suspect=activation.suspect or not end_ok or delta.suspect,
                 )
             )
+            if getattr(self.backend, "degraded", False):
+                self.result.degraded = True
             if self._stack:
                 parent = self._stack[-1]
                 for dom, joules in delta.joules.items():

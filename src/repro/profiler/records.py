@@ -24,6 +24,11 @@ class MethodRecord:
     ``joules`` is *inclusive* energy (everything consumed between entry
     and exit, callees included); ``exclusive_joules`` subtracts the
     inclusive energy of direct callees, giving self-energy.
+
+    ``suspect`` marks executions whose measurement was impaired — a
+    backend fault mid-call, a clamped negative delta — so downstream
+    views and statistics can flag or drop them instead of silently
+    averaging corrupt readings in.
     """
 
     method: str
@@ -34,6 +39,7 @@ class MethodRecord:
     cpu_seconds: float
     joules: Mapping[Domain, float]
     exclusive_joules: Mapping[Domain, float]
+    suspect: bool = False
 
     @property
     def package_joules(self) -> float:
@@ -55,6 +61,7 @@ class MethodAggregate:
     package_joules: float
     core_joules: float
     exclusive_package_joules: float
+    suspect_calls: int = 0
 
     @property
     def mean_package_joules(self) -> float:
@@ -68,8 +75,13 @@ class ProfileResult:
     paper's per-execution storage.
     """
 
-    def __init__(self, records: Iterable[MethodRecord] = ()) -> None:
+    def __init__(
+        self, records: Iterable[MethodRecord] = (), degraded: bool = False
+    ) -> None:
         self._records: list[MethodRecord] = list(records)
+        #: True when any part of the run was served by a degraded
+        #: (fallback) backend — provenance for the whole profile.
+        self.degraded = degraded
 
     def add(self, record: MethodRecord) -> None:
         self._records.append(record)
@@ -94,6 +106,13 @@ class ProfileResult:
         """Every execution record for one method, in completion order."""
         return [r for r in self._records if r.method == method]
 
+    def suspect_records(self) -> list[MethodRecord]:
+        """Records whose measurement was impaired (see ``MethodRecord``)."""
+        return [r for r in self._records if r.suspect]
+
+    def suspect_count(self) -> int:
+        return sum(1 for r in self._records if r.suspect)
+
     def aggregate(self) -> list[MethodAggregate]:
         """Per-method totals, sorted by package energy descending.
 
@@ -114,6 +133,7 @@ class ProfileResult:
                 exclusive_package_joules=sum(
                     r.exclusive_joules.get(Domain.PACKAGE, 0.0) for r in records
                 ),
+                suspect_calls=sum(1 for r in records if r.suspect),
             )
             for method, records in buckets.items()
         ]
@@ -129,14 +149,24 @@ class ProfileResult:
     # -- result.txt round trip ----------------------------------------
 
     def write_result_txt(self, path: str | Path) -> Path:
-        """Write the paper's ``result.txt``: one line per execution."""
+        """Write the paper's ``result.txt``: one line per execution.
+
+        Degraded runs are flagged with a ``# degraded=true`` header
+        comment; suspect executions carry a sixth ``suspect`` field.
+        Clean runs write the original five-column format unchanged.
+        """
         path = Path(path)
         lines = [_RESULT_HEADER]
+        if self.degraded:
+            lines.append("# degraded=true")
         for r in self._records:
-            lines.append(
+            line = (
                 f"{r.method}\t{r.wall_seconds:.9f}\t{r.cpu_seconds:.9f}"
                 f"\t{r.package_joules:.9f}\t{r.core_joules:.9f}"
             )
+            if r.suspect:
+                line += "\tsuspect"
+            lines.append(line)
         path.write_text("\n".join(lines) + "\n")
         return path
 
@@ -147,18 +177,23 @@ class ProfileResult:
         Parsed records carry only the persisted fields; location and
         exclusive energy are not stored in the file (matching the
         paper's three-column output) and read back as empty/zero.
+        The ``degraded`` header flag and per-line ``suspect`` markers
+        written by degraded/faulty runs are restored.
         """
         result = cls()
         for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
             if not line or line.startswith("#"):
+                if line.strip().lower() == "# degraded=true":
+                    result.degraded = True
                 continue
             parts = line.split("\t")
-            if len(parts) != 5:
+            if len(parts) not in (5, 6):
                 raise ValueError(
-                    f"{path}:{lineno}: expected 5 tab-separated fields, "
+                    f"{path}:{lineno}: expected 5 or 6 tab-separated fields, "
                     f"got {len(parts)}"
                 )
-            method, wall, cpu, pkg, core = parts
+            method, wall, cpu, pkg, core = parts[:5]
+            suspect = len(parts) == 6 and parts[5] == "suspect"
             joules = {Domain.PACKAGE: float(pkg), Domain.PP0: float(core)}
             result.add(
                 MethodRecord(
@@ -170,6 +205,7 @@ class ProfileResult:
                     cpu_seconds=float(cpu),
                     joules=joules,
                     exclusive_joules={},
+                    suspect=suspect,
                 )
             )
         return result

@@ -20,6 +20,7 @@ class ReportRow:
     execution_time_s: float
     energy_joules: float
     calls: int
+    suspect_calls: int = 0
 
 
 class ProfilerReport:
@@ -42,6 +43,7 @@ class ProfilerReport:
                     execution_time_s=r.wall_seconds,
                     energy_joules=r.package_joules,
                     calls=1,
+                    suspect_calls=1 if r.suspect else 0,
                 )
                 for r in self._result
             ]
@@ -51,22 +53,29 @@ class ProfilerReport:
                 execution_time_s=a.wall_seconds,
                 energy_joules=a.package_joules,
                 calls=a.calls,
+                suspect_calls=a.suspect_calls,
             )
             for a in self._result.aggregate()
         ]
 
     def render(self, limit: int | None = None, per_execution: bool = False) -> str:
-        """Fixed-width text table (Fig. 4 layout)."""
+        """Fixed-width text table (Fig. 4 layout).
+
+        Methods with impaired measurements are starred, and runs served
+        by a degraded backend carry a banner line, so a human reading
+        the view knows which numbers to trust.
+        """
         rows = self.rows(per_execution=per_execution)
         if limit is not None:
             rows = rows[:limit]
         from repro.views.tables import render_table
 
-        return render_table(
+        any_suspect = any(row.suspect_calls for row in rows)
+        table = render_table(
             headers=("Method", "Execution Time (s)", "Energy Consumed (J)", "Calls"),
             rows=[
                 (
-                    row.method,
+                    row.method + (" *" if row.suspect_calls else ""),
                     f"{row.execution_time_s:.6f}",
                     f"{row.energy_joules:.6f}",
                     str(row.calls),
@@ -75,6 +84,19 @@ class ProfilerReport:
             ],
             title="JEPO profiler view (Fig. 4)",
         )
+        notes = []
+        if self._result.degraded:
+            notes.append(
+                "DEGRADED RUN: some readings came from the fallback backend."
+            )
+        if any_suspect:
+            notes.append(
+                "* method had suspect executions (backend fault or counter "
+                "wrap during measurement)."
+            )
+        if notes:
+            table += "\n" + "\n".join(notes)
+        return table
 
     def hungriest(self, n: int = 1) -> list[ReportRow]:
         """The top-n energy-hungry methods — JEPO's headline use case."""

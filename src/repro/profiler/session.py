@@ -8,13 +8,16 @@ render the profiler view.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.profiler.report import ProfilerReport
 from repro.profiler.records import ProfileResult
 from repro.profiler.source_instrumenter import SourceInstrumenter, find_main_classes
 from repro.profiler.tracer import EnergyTracer
 from repro.rapl.backends import RaplBackend, default_backend
+
+if TYPE_CHECKING:
+    from repro.resilience.policy import ResiliencePolicy
 
 
 class AmbiguousMainError(RuntimeError):
@@ -32,10 +35,37 @@ class AmbiguousMainError(RuntimeError):
 
 
 class ProfilerSession:
-    """End-to-end profiling of a project directory or a callable."""
+    """End-to-end profiling of a project directory or a callable.
 
-    def __init__(self, backend: RaplBackend | None = None) -> None:
-        self.backend = backend or default_backend()
+    Parameters
+    ----------
+    backend:
+        Energy source; defaults to :func:`repro.rapl.default_backend`.
+    resilience:
+        Optional :class:`~repro.resilience.policy.ResiliencePolicy`;
+        when given, the backend is wrapped in a
+        :class:`~repro.resilience.resilient.ResilientBackend` so the
+        session survives backend faults mid-profile and degraded runs
+        are flagged in the resulting :class:`ProfileResult`.
+    """
+
+    def __init__(
+        self,
+        backend: RaplBackend | None = None,
+        resilience: "ResiliencePolicy | None" = None,
+    ) -> None:
+        backend = backend or default_backend()
+        if resilience is not None:
+            from repro.resilience.resilient import ResilientBackend
+
+            backend = ResilientBackend(backend, resilience)
+        self.backend = backend
+
+    def _stamp_provenance(self, result: ProfileResult) -> ProfileResult:
+        """Propagate the backend's degraded flag onto the result."""
+        if getattr(self.backend, "degraded", False):
+            result.degraded = True
+        return result
 
     def profile_project(
         self,
@@ -65,7 +95,9 @@ class ProfilerSession:
             if not main_path.is_absolute():
                 main_path = project_dir / main_path
         instrumenter = SourceInstrumenter(self.backend)
-        result = instrumenter.run_path(main_path, module_name="__main__")
+        result = self._stamp_provenance(
+            instrumenter.run_path(main_path, module_name="__main__")
+        )
         if write_result:
             result.write_result_txt(project_dir / "result.txt")
         return result
@@ -75,7 +107,7 @@ class ProfilerSession:
         tracer = EnergyTracer(self.backend)
         with tracer:
             fn()
-        return tracer.result
+        return self._stamp_provenance(tracer.result)
 
     @staticmethod
     def report(result: ProfileResult) -> ProfilerReport:

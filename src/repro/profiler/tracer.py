@@ -64,6 +64,7 @@ class _OpenCall:
     lineno: int
     start: EnergySnapshot
     children_joules: dict[Domain, float] = field(default_factory=dict)
+    suspect: bool = False
 
 
 class EnergyTracer:
@@ -112,6 +113,25 @@ class EnergyTracer:
         self._active = False
         self._owner_thread: int | None = None
         self._counts: dict[str, int] = {}
+        self._last_snapshot: EnergySnapshot | None = None
+
+    def _safe_snapshot(self) -> tuple[EnergySnapshot, bool]:
+        """Snapshot the backend without letting a fault kill the trace.
+
+        A failed read must not raise *inside the profile hook* — that
+        would abort the traced workload — so the last good snapshot
+        (or a zero snapshot) stands in and the affected records are
+        marked suspect.
+        """
+        try:
+            snap = self.backend.snapshot()
+        except OSError:
+            fallback = self._last_snapshot or EnergySnapshot(
+                joules={}, wall_seconds=0.0, cpu_seconds=0.0
+            )
+            return fallback, False
+        self._last_snapshot = snap
+        return snap, True
 
     # -- lifecycle -----------------------------------------------------
 
@@ -127,9 +147,11 @@ class EnergyTracer:
         self._active = False
         # Close any calls left open (e.g. the with-block frame) so their
         # energy is not silently lost.
-        end = self.backend.snapshot()
+        end, end_ok = self._safe_snapshot()
         while self._stack:
-            self._close(self._stack.pop(), end)
+            self._close(self._stack.pop(), end, end_ok=end_ok)
+        if getattr(self.backend, "degraded", False):
+            self.result.degraded = True
 
     def __enter__(self) -> "EnergyTracer":
         self.start()
@@ -172,20 +194,25 @@ class EnergyTracer:
             return
         if event == "call":
             if self._should_trace(frame):
+                start, start_ok = self._safe_snapshot()
                 self._stack.append(
                     _OpenCall(
                         frame_id=id(frame),
                         method=_qualify(frame),
                         filename=frame.f_code.co_filename,
                         lineno=frame.f_code.co_firstlineno,
-                        start=self.backend.snapshot(),
+                        start=start,
+                        suspect=not start_ok,
                     )
                 )
         elif event == "return":
             if self._stack and self._stack[-1].frame_id == id(frame):
-                self._close(self._stack.pop(), self.backend.snapshot())
+                end, end_ok = self._safe_snapshot()
+                self._close(self._stack.pop(), end, end_ok=end_ok)
 
-    def _close(self, call: _OpenCall, end: EnergySnapshot) -> None:
+    def _close(
+        self, call: _OpenCall, end: EnergySnapshot, end_ok: bool = True
+    ) -> None:
         delta = end.delta(call.start)
         exclusive = {
             dom: delta.joules.get(dom, 0.0) - call.children_joules.get(dom, 0.0)
@@ -203,6 +230,7 @@ class EnergyTracer:
                 cpu_seconds=delta.cpu_seconds,
                 joules=dict(delta.joules),
                 exclusive_joules=exclusive,
+                suspect=call.suspect or not end_ok or delta.suspect,
             )
         )
         if self._stack:

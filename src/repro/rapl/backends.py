@@ -19,12 +19,14 @@ same profiling code runs everywhere.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import os
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Protocol
+from typing import TYPE_CHECKING, Iterator, Protocol
 
 import numpy as np
 
@@ -32,6 +34,9 @@ from repro.rapl.domains import Domain
 from repro.rapl.model import EnergyModel
 from repro.rapl.msr import MSR_ADDRESSES, MsrFile, RaplCounterReader
 from repro.rapl.units import RaplUnits
+
+if TYPE_CHECKING:
+    from repro.resilience.policy import ResiliencePolicy
 
 _POWERCAP_ROOT = Path("/sys/class/powercap")
 
@@ -78,31 +83,66 @@ class VirtualClock:
 
 @dataclass(frozen=True)
 class EnergySnapshot:
-    """A point-in-time cumulative reading: joules per domain + clocks."""
+    """A point-in-time cumulative reading: joules per domain + clocks.
+
+    ``degraded`` is the provenance flag set by the resilience layer
+    when the reading came from the fallback backend rather than the
+    primary one (see :mod:`repro.resilience.resilient`).
+    """
 
     joules: dict[Domain, float]
     wall_seconds: float
     cpu_seconds: float
+    degraded: bool = False
 
     def delta(self, earlier: "EnergySnapshot") -> "EnergyDelta":
-        """Consumption between ``earlier`` and this snapshot."""
+        """Consumption between ``earlier`` and this snapshot.
+
+        A negative per-domain delta is physically impossible (the
+        accumulated counters are monotone): it means an undetected
+        counter wrap or a fault slipped through, so the value is
+        clamped to zero, a :class:`RuntimeWarning` is emitted, and the
+        returned delta is marked ``suspect`` for downstream filtering.
+        """
+        joules: dict[Domain, float] = {}
+        suspect = False
+        for dom in self.joules:
+            value = self.joules[dom] - earlier.joules.get(dom, 0.0)
+            if value < 0.0:
+                warnings.warn(
+                    f"negative energy delta for {dom.value} domain "
+                    f"({value:.6f} J) — undetected counter wrap or faulty "
+                    "read; clamping to 0 and marking the interval suspect",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                value = 0.0
+                suspect = True
+            joules[dom] = value
         return EnergyDelta(
-            joules={
-                dom: self.joules[dom] - earlier.joules.get(dom, 0.0)
-                for dom in self.joules
-            },
+            joules=joules,
             wall_seconds=self.wall_seconds - earlier.wall_seconds,
             cpu_seconds=self.cpu_seconds - earlier.cpu_seconds,
+            suspect=suspect,
+            degraded=self.degraded or earlier.degraded,
         )
 
 
 @dataclass(frozen=True)
 class EnergyDelta:
-    """Energy and time consumed over an interval."""
+    """Energy and time consumed over an interval.
+
+    ``suspect`` marks intervals where a measurement anomaly (negative
+    delta, failed snapshot) was detected and papered over; ``degraded``
+    marks intervals where at least one endpoint came from the fallback
+    backend.  Both flags propagate into profiler records.
+    """
 
     joules: dict[Domain, float]
     wall_seconds: float
     cpu_seconds: float
+    suspect: bool = False
+    degraded: bool = False
 
     @property
     def package_joules(self) -> float:
@@ -328,14 +368,30 @@ class LiveBackend:
         )
 
 
-def default_backend(prefer_live: bool = True) -> SimulatedBackend | LiveBackend:
-    """Live backend when powercap is readable, else simulated-on-real-clock."""
+def default_backend(
+    prefer_live: bool = True, resilience: "ResiliencePolicy | None" = None
+) -> RaplBackend:
+    """Live backend when powercap is readable, else simulated-on-real-clock.
+
+    Passing a :class:`~repro.resilience.policy.ResiliencePolicy` wraps
+    the chosen backend in a
+    :class:`~repro.resilience.resilient.ResilientBackend` (retry,
+    timeout, circuit breaker, graceful degradation).
+    """
+    backend: RaplBackend
     if prefer_live:
         try:
-            return LiveBackend()
+            backend = LiveBackend()
         except RuntimeError:
-            pass
-    return SimulatedBackend(clock=RealClock())
+            backend = SimulatedBackend(clock=RealClock())
+    else:
+        backend = SimulatedBackend(clock=RealClock())
+    if resilience is not None:
+        # Imported lazily: repro.resilience depends on this module.
+        from repro.resilience.resilient import ResilientBackend
+
+        backend = ResilientBackend(backend, resilience)
+    return backend
 
 
 class EnergyMeter:
@@ -352,16 +408,43 @@ class EnergyMeter:
 
     def __init__(self, backend: RaplBackend | None = None) -> None:
         self.backend: RaplBackend = backend or default_backend()
+        self._last_snapshot: EnergySnapshot | None = None
+
+    def _safe_snapshot(self) -> tuple[EnergySnapshot, bool]:
+        """Snapshot, surviving backend faults.
+
+        On failure the last good snapshot (or a zero snapshot) stands
+        in and the reading is marked suspect — a lost measurement must
+        not abort the workload it brackets.
+        """
+        try:
+            snap = self.backend.snapshot()
+        except OSError as error:
+            warnings.warn(
+                f"backend snapshot failed ({error}); measurement marked "
+                "suspect",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            fallback = self._last_snapshot or EnergySnapshot(
+                joules={}, wall_seconds=0.0, cpu_seconds=0.0
+            )
+            return fallback, False
+        self._last_snapshot = snap
+        return snap, True
 
     @contextlib.contextmanager
     def measure(self) -> Iterator["MeterReading"]:
         reading = MeterReading()
-        start = self.backend.snapshot()
+        start, start_ok = self._safe_snapshot()
         try:
             yield reading
         finally:
-            end = self.backend.snapshot()
-            reading._result = end.delta(start)
+            end, end_ok = self._safe_snapshot()
+            delta = end.delta(start)
+            if not (start_ok and end_ok) and not delta.suspect:
+                delta = dataclasses.replace(delta, suspect=True)
+            reading._result = delta
 
     def measure_callable(self, fn, *args, **kwargs) -> tuple[object, EnergyDelta]:
         """Run ``fn`` and return ``(fn_result, energy_delta)``."""

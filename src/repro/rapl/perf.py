@@ -17,12 +17,19 @@ from repro.rapl.domains import Domain
 
 @dataclass(frozen=True)
 class EnergySample:
-    """One measured run: the three metrics the paper's Table IV reports."""
+    """One measured run: the three metrics the paper's Table IV reports.
+
+    ``suspect`` carries the measurement-anomaly flag up from
+    :class:`~repro.rapl.backends.EnergyDelta` (failed snapshot,
+    clamped counter wrap) so evaluation harnesses can weigh or drop
+    the sample.
+    """
 
     package_joules: float
     core_joules: float
     wall_seconds: float
     cpu_seconds: float
+    suspect: bool = False
 
     def metric(self, name: str) -> float:
         """Look up a metric by Table IV column name."""
@@ -66,6 +73,7 @@ class PerfStat:
             core_joules=delta.joules.get(Domain.PP0, 0.0),
             wall_seconds=delta.wall_seconds,
             cpu_seconds=delta.cpu_seconds,
+            suspect=delta.suspect,
         )
 
     def run(self, fn: Callable[[], object], repeats: int = 10) -> list[EnergySample]:

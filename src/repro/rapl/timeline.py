@@ -99,14 +99,20 @@ class TimelineSampler:
         stop = threading.Event()
         start_time = time.perf_counter()
 
+        def sample_once(at: float) -> None:
+            # A failed read drops one sample, never the sampler thread.
+            try:
+                snap = self.backend.snapshot()
+            except OSError:
+                return
+            snapshots.append((at, snap))
+
         def sampler() -> None:
             while not stop.is_set():
-                snapshots.append(
-                    (time.perf_counter() - start_time, self.backend.snapshot())
-                )
+                sample_once(time.perf_counter() - start_time)
                 stop.wait(self.sample_interval)
 
-        snapshots.append((0.0, self.backend.snapshot()))
+        sample_once(0.0)
         thread = threading.Thread(target=sampler, daemon=True)
         thread.start()
         try:
@@ -114,9 +120,7 @@ class TimelineSampler:
         finally:
             stop.set()
             thread.join(timeout=5.0)
-        snapshots.append(
-            (time.perf_counter() - start_time, self.backend.snapshot())
-        )
+        sample_once(time.perf_counter() - start_time)
         return result, self._build(snapshots)
 
     @staticmethod

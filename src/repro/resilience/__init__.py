@@ -1,0 +1,44 @@
+"""Resilient measurement layer: faults, retries, degradation, checkpoints.
+
+The paper's evaluation rests on trustworthy per-method energy readings,
+but real RAPL sources fail constantly: powercap files disappear or
+return ``EPERM`` mid-run, 32-bit counters wrap, domains vanish across
+package variants, and long runs get killed partway.  This package makes
+every one of those failure modes *injectable* (so it is testable) and
+*survivable* (so a production profiling run degrades instead of
+crashing or silently corrupting results):
+
+* :mod:`repro.resilience.faults` — :class:`FaultInjectingBackend`, a
+  seeded, deterministic wrapper injecting read errors, stale reads,
+  counter wraps, missing domains, and latency spikes into any backend.
+* :mod:`repro.resilience.policy` — :class:`ResiliencePolicy`, the knobs.
+* :mod:`repro.resilience.resilient` — :class:`ResilientBackend`:
+  bounded retry with exponential backoff + jitter, per-read timeouts, a
+  circuit breaker, and graceful degradation to the simulated backend
+  with a ``degraded=True`` provenance flag on every snapshot it serves.
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointStore`,
+  atomic JSON checkpointing so killed evaluation runs resume from the
+  last completed unit of work.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import FaultInjectingBackend, FaultPlan, InjectedReadError
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.resilient import (
+    BackendHealth,
+    BackendUnavailableError,
+    CircuitBreaker,
+    ResilientBackend,
+)
+
+__all__ = [
+    "BackendHealth",
+    "BackendUnavailableError",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "InjectedReadError",
+    "ResiliencePolicy",
+    "ResilientBackend",
+]

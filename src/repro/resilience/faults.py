@@ -1,0 +1,201 @@
+"""Deterministic fault injection for RAPL backends.
+
+Real powercap/MSR sources fail in well-known ways: reads return
+``EPERM`` or ``ENOENT`` mid-run when a zone is unbound, counters wrap
+(or a buggy client misses a wrap and reports a huge backwards jump),
+domains vanish across package variants, and reads occasionally stall
+for milliseconds behind an SMM interrupt.  :class:`FaultInjectingBackend`
+wraps any :class:`~repro.rapl.backends.RaplBackend` and injects exactly
+those failure modes from a seeded RNG, so every recovery path in
+:mod:`repro.resilience.resilient` and every consumer hardening
+(tracer, probes, meter) is testable without flaky hardware.
+
+The injector is deterministic: the same seed and the same sequence of
+calls produce the same faults.  Fault kinds are drawn from one uniform
+roll per call via cumulative thresholds, so individual rates compose
+predictably (their sum must stay <= 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rapl.backends import EnergySnapshot, RaplBackend
+from repro.rapl.domains import Domain
+
+_COUNTER_MASK = (1 << 32) - 1
+
+
+class InjectedReadError(OSError):
+    """The injected analog of a failed ``pread``/``read_text`` on a zone."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities (per read) of each injected failure mode.
+
+    Parameters
+    ----------
+    read_error_rate:
+        Probability a read raises :class:`InjectedReadError` (the
+        ``EPERM``/``ENOENT`` case).
+    stale_rate:
+        Probability a read returns the previous value again (a cached
+        or stuck counter).
+    wrap_rate:
+        Probability a read jumps *backwards* (a quarter period at raw
+        level, a full period in snapshot joules) — what a client
+        observes when it misses a counter wrap.
+    drop_domain_rate:
+        Probability a snapshot silently loses one non-package domain
+        (zones vanish across package variants).
+    latency_rate:
+        Probability a read stalls for ``latency_seconds`` before
+        answering (SMM/thermal interrupt stalls); pair with a
+        per-read timeout in :class:`~repro.resilience.policy.ResiliencePolicy`.
+    latency_seconds:
+        Stall duration for latency faults.
+    seed:
+        RNG seed; same seed + same call sequence = same faults.
+    """
+
+    read_error_rate: float = 0.0
+    stale_rate: float = 0.0
+    wrap_rate: float = 0.0
+    drop_domain_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.read_error_rate,
+            self.stale_rate,
+            self.wrap_rate,
+            self.drop_domain_rate,
+            self.latency_rate,
+        )
+        if any(rate < 0.0 for rate in rates):
+            raise ValueError(f"fault rates must be non-negative: {rates}")
+        if sum(rates) > 1.0:
+            raise ValueError(f"fault rates must sum to <= 1: {sum(rates)}")
+        if self.latency_seconds < 0.0:
+            raise ValueError(
+                f"latency_seconds must be non-negative: {self.latency_seconds}"
+            )
+
+    @property
+    def total_rate(self) -> float:
+        return (
+            self.read_error_rate
+            + self.stale_rate
+            + self.wrap_rate
+            + self.drop_domain_rate
+            + self.latency_rate
+        )
+
+
+class FaultInjectingBackend:
+    """Wrap a backend and inject :class:`FaultPlan` failures into reads.
+
+    Satisfies the :class:`~repro.rapl.backends.RaplBackend` protocol, so
+    it can stand anywhere a real backend does — including *inside* a
+    :class:`~repro.resilience.resilient.ResilientBackend`, which is how
+    the recovery machinery is exercised end to end.
+
+    ``faults_injected`` counts injected faults by kind, for assertions.
+    """
+
+    def __init__(
+        self,
+        inner: RaplBackend,
+        plan: FaultPlan | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self.units = inner.units
+        self.faults_injected: Counter[str] = Counter()
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._sleep = sleep
+        self._last_raw: dict[Domain, int] = {}
+        self._last_snapshot: EnergySnapshot | None = None
+
+    # -- fault selection ----------------------------------------------
+
+    def _roll(self) -> str | None:
+        """Pick at most one fault kind for this read."""
+        plan = self.plan
+        if plan.total_rate == 0.0:
+            return None
+        roll = float(self._rng.random())
+        for kind, rate in (
+            ("read_error", plan.read_error_rate),
+            ("stale", plan.stale_rate),
+            ("wrap", plan.wrap_rate),
+            ("drop_domain", plan.drop_domain_rate),
+            ("latency", plan.latency_rate),
+        ):
+            if roll < rate:
+                self.faults_injected[kind] += 1
+                return kind
+            roll -= rate
+        return None
+
+    # -- RaplBackend interface ----------------------------------------
+
+    def read_raw(self, domain: Domain) -> int:
+        fault = self._roll()
+        if fault == "read_error":
+            raise InjectedReadError(
+                f"injected read failure for {domain.value} energy counter"
+            )
+        if fault == "latency":
+            self._sleep(self.plan.latency_seconds)
+        true_raw = self.inner.read_raw(domain)
+        if fault == "stale" and domain in self._last_raw:
+            return self._last_raw[domain]
+        if fault == "wrap":
+            # A missed wrap surfaces as the counter jumping backwards:
+            # the wrap-aware reader then credits most of a full period,
+            # the naive one goes negative.  Jump back a quarter period
+            # from the last value the client observed.
+            reference = self._last_raw.get(domain, true_raw)
+            true_raw = (reference - (1 << 30)) & _COUNTER_MASK
+        self._last_raw[domain] = true_raw
+        return true_raw
+
+    def snapshot(self) -> EnergySnapshot:
+        fault = self._roll()
+        if fault == "read_error":
+            raise InjectedReadError("injected snapshot failure")
+        if fault == "latency":
+            self._sleep(self.plan.latency_seconds)
+        if fault == "stale" and self._last_snapshot is not None:
+            return self._last_snapshot
+        snap = self.inner.snapshot()
+        if fault == "drop_domain":
+            victims = [d for d in snap.joules if d is not Domain.PACKAGE]
+            if victims:
+                victim = victims[int(self._rng.integers(len(victims)))]
+                joules = dict(snap.joules)
+                del joules[victim]
+                snap = dataclasses.replace(snap, joules=joules)
+        elif fault == "wrap":
+            victim = (
+                Domain.PACKAGE
+                if Domain.PACKAGE in snap.joules
+                else next(iter(snap.joules), None)
+            )
+            if victim is not None:
+                wrap_joules = self.units.raw_to_joules(1 << 32)
+                joules = dict(snap.joules)
+                joules[victim] = joules[victim] - wrap_joules
+                snap = dataclasses.replace(snap, joules=joules)
+        self._last_snapshot = snap
+        return snap

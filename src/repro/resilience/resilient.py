@@ -1,0 +1,219 @@
+"""The resilient backend: retry, timeout, circuit breaker, degradation.
+
+:class:`ResilientBackend` wraps any primary
+:class:`~repro.rapl.backends.RaplBackend` (typically the live powercap
+reader) and serves every read through a small reliability pipeline:
+
+1. **Retry with exponential backoff + jitter** — transient ``EPERM`` /
+   ``ENOENT`` / stall failures are retried up to
+   :attr:`~repro.resilience.policy.ResiliencePolicy.max_retries` times.
+2. **Per-read timeout** — a read that answers slower than the budget is
+   discarded and counted as a failure (a stalled MSR read is as useless
+   as a failed one for method-granularity attribution).
+3. **Circuit breaker** — after ``breaker_threshold`` *consecutive*
+   failed reads the primary is declared sick and skipped entirely for
+   ``breaker_cooldown_seconds``; afterwards one half-open probe decides
+   whether to close the circuit again.
+4. **Graceful degradation** — reads the primary cannot serve fall back
+   to a :class:`~repro.rapl.backends.SimulatedBackend` on a real clock,
+   and every snapshot served that way carries ``degraded=True`` so the
+   flag propagates into :class:`~repro.profiler.records.ProfileResult`
+   provenance (and from there into ``result.txt``).
+
+The clock and sleep functions are injectable so tests run in virtual
+time; the jitter RNG is seeded through the policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rapl.backends import (
+    EnergySnapshot,
+    RaplBackend,
+    RealClock,
+    SimulatedBackend,
+)
+from repro.rapl.domains import Domain
+from repro.resilience.policy import ResiliencePolicy
+
+
+class BackendUnavailableError(RuntimeError):
+    """Primary failed, and the policy forbids degradation."""
+
+
+@dataclass
+class BackendHealth:
+    """Running tallies of what the reliability pipeline has seen."""
+
+    reads: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    degraded_reads: int = 0
+    breaker_trips: int = 0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.reads if self.reads else 0.0
+
+
+@dataclass
+class CircuitBreaker:
+    """Classic CLOSED -> OPEN -> HALF_OPEN breaker over consecutive failures."""
+
+    threshold: int
+    cooldown_seconds: float
+    monotonic: "callable" = time.monotonic
+    _consecutive_failures: int = field(default=0, repr=False)
+    _opened_at: float | None = field(default=None, repr=False)
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self.monotonic() - self._opened_at >= self.cooldown_seconds:
+            return "half_open"
+        return "open"
+
+    def allows_attempt(self) -> bool:
+        """May the primary be tried right now?"""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> bool:
+        """Count a failure; return True when this one trips the breaker."""
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.threshold:
+            tripped = self._opened_at is None
+            self._opened_at = self.monotonic()
+            return tripped
+        return False
+
+
+class ResilientBackend:
+    """Serve RAPL reads through retry/timeout/breaker/degradation.
+
+    Parameters
+    ----------
+    primary:
+        The backend being protected (live powercap, or a
+        :class:`~repro.resilience.faults.FaultInjectingBackend` in tests).
+    policy:
+        Reliability knobs; defaults to :class:`ResiliencePolicy()`.
+    fallback:
+        Degradation target; defaults to a lazily constructed
+        :class:`~repro.rapl.backends.SimulatedBackend` on a real clock.
+    sleep / monotonic:
+        Injectable time functions for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        primary: RaplBackend,
+        policy: ResiliencePolicy | None = None,
+        fallback: RaplBackend | None = None,
+        sleep=time.sleep,
+        monotonic=time.monotonic,
+    ) -> None:
+        self.primary = primary
+        self.policy = policy or ResiliencePolicy()
+        self.units = primary.units
+        self.health = BackendHealth()
+        self.breaker = CircuitBreaker(
+            threshold=self.policy.breaker_threshold,
+            cooldown_seconds=self.policy.breaker_cooldown_seconds,
+            monotonic=monotonic,
+        )
+        self._fallback = fallback
+        self._sleep = sleep
+        self._monotonic = monotonic
+        self._rng = np.random.default_rng(self.policy.seed)
+        self._degraded = False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once any read has been served by the fallback."""
+        return self._degraded
+
+    @property
+    def fallback(self) -> RaplBackend:
+        if self._fallback is None:
+            self._fallback = SimulatedBackend(clock=RealClock())
+        return self._fallback
+
+    # -- the reliability pipeline --------------------------------------
+
+    def _jittered(self, delay: float) -> float:
+        if delay <= 0 or self.policy.jitter == 0:
+            return max(delay, 0.0)
+        spread = delay * self.policy.jitter
+        return max(0.0, delay + float(self._rng.uniform(-spread, spread)))
+
+    def _attempt(self, read):
+        """One primary read under the per-read timeout; raises on failure."""
+        started = self._monotonic()
+        value = read()
+        elapsed = self._monotonic() - started
+        timeout = self.policy.read_timeout_seconds
+        if timeout is not None and elapsed > timeout:
+            self.health.timeouts += 1
+            raise TimeoutError(
+                f"backend read took {elapsed:.4f}s (budget {timeout:.4f}s)"
+            )
+        return value
+
+    def _call(self, read, fallback_read):
+        """Serve one read: retry the primary, then degrade or raise."""
+        self.health.reads += 1
+        last_error: Exception | None = None
+        if self.breaker.allows_attempt():
+            for attempt in range(self.policy.max_retries + 1):
+                try:
+                    value = self._attempt(read)
+                except (OSError, TimeoutError) as error:
+                    last_error = error
+                    self.health.failures += 1
+                    if attempt < self.policy.max_retries:
+                        self.health.retries += 1
+                        self._sleep(
+                            self._jittered(self.policy.backoff_delay(attempt))
+                        )
+                    continue
+                self.breaker.record_success()
+                return value, False
+            if self.breaker.record_failure():
+                self.health.breaker_trips += 1
+        if not self.policy.degrade:
+            raise BackendUnavailableError(
+                "primary backend unavailable and degradation disabled"
+            ) from last_error
+        self.health.degraded_reads += 1
+        self._degraded = True
+        return fallback_read(), True
+
+    # -- RaplBackend interface -----------------------------------------
+
+    def read_raw(self, domain: Domain) -> int:
+        value, _ = self._call(
+            lambda: self.primary.read_raw(domain),
+            lambda: self.fallback.read_raw(domain),
+        )
+        return value
+
+    def snapshot(self) -> EnergySnapshot:
+        snap, from_fallback = self._call(
+            self.primary.snapshot, self.fallback.snapshot
+        )
+        if from_fallback and not snap.degraded:
+            snap = dataclasses.replace(snap, degraded=True)
+        return snap

@@ -1,0 +1,83 @@
+"""CheckpointStore: atomicity, resume, fingerprinting, corruption."""
+
+import json
+
+import pytest
+
+from repro.resilience import CheckpointStore
+
+
+class TestRoundTrip:
+    def test_put_get_across_instances(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path, meta={"cfg": 1})
+        store.put("fold0", {"acc": 0.9})
+        reopened = CheckpointStore(path, meta={"cfg": 1})
+        assert reopened.get("fold0") == {"acc": 0.9}
+        assert "fold0" in reopened
+        assert len(reopened) == 1
+
+    def test_missing_key_returns_default(self, tmp_path):
+        store = CheckpointStore(tmp_path / "x.ckpt")
+        assert store.get("nope") is None
+        assert store.get("nope", 42) == 42
+
+    def test_every_put_is_durable(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.put("a", 1)
+        store.put("b", 2)
+        # Simulate a kill: read the file directly, no close/flush path.
+        payload = json.loads(path.read_text())
+        assert payload["entries"] == {"a": 1, "b": 2}
+
+    def test_no_tmp_droppings(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        for i in range(5):
+            store.put(f"k{i}", i)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "run.ckpt"]
+        assert leftovers == []
+
+
+class TestFingerprint:
+    def test_meta_mismatch_discards_entries(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path, meta={"folds": 10}).put("fold0", 1)
+        with pytest.warns(RuntimeWarning, match="different"):
+            fresh = CheckpointStore(path, meta={"folds": 5})
+        assert "fold0" not in fresh
+
+    def test_meta_match_keeps_entries(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path, meta={"folds": 10}).put("fold0", 1)
+        assert "fold0" in CheckpointStore(path, meta={"folds": 10})
+
+
+class TestCorruption:
+    def test_corrupt_json_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text("{truncated")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            store = CheckpointStore(path)
+        assert len(store) == 0
+        store.put("a", 1)  # and the store is usable afterwards
+        assert CheckpointStore(path).get("a") == 1
+
+    def test_wrong_root_type_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.warns(RuntimeWarning):
+            store = CheckpointStore(path)
+        assert len(store) == 0
+
+
+class TestClear:
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.put("a", 1)
+        store.clear()
+        assert not path.exists()
+        assert len(store) == 0
+        store.clear()  # idempotent

@@ -1,0 +1,128 @@
+"""The fault injector: deterministic, and each failure mode observable."""
+
+import pytest
+
+from repro.rapl.backends import SimulatedBackend, VirtualClock
+from repro.rapl.domains import Domain
+from repro.resilience import FaultInjectingBackend, FaultPlan, InjectedReadError
+
+
+def make_injected(plan: FaultPlan, **backend_kwargs) -> FaultInjectingBackend:
+    inner = SimulatedBackend(clock=VirtualClock(), **backend_kwargs)
+    return FaultInjectingBackend(inner, plan, sleep=lambda s: None)
+
+
+class TestFaultPlan:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=-0.1)
+
+    def test_rejects_rates_summing_over_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=0.6, stale_rate=0.6)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            FaultPlan(latency_seconds=-1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        def run(seed: int):
+            backend = make_injected(
+                FaultPlan(read_error_rate=0.3, stale_rate=0.2, seed=seed)
+            )
+            outcomes = []
+            for _ in range(50):
+                backend.inner.clock.advance(0.1)
+                try:
+                    backend.snapshot()
+                    outcomes.append("ok")
+                except InjectedReadError:
+                    outcomes.append("err")
+            return outcomes, dict(backend.faults_injected)
+
+        assert run(7) == run(7)
+
+    def test_different_seed_different_faults(self):
+        a, _ = [], []
+        first = make_injected(FaultPlan(read_error_rate=0.5, seed=1))
+        second = make_injected(FaultPlan(read_error_rate=0.5, seed=2))
+        for backend, log in ((first, a), (second, _)):
+            for _ in range(40):
+                try:
+                    backend.snapshot()
+                    log.append("ok")
+                except InjectedReadError:
+                    log.append("err")
+        assert a != _
+
+
+class TestFailureModes:
+    def test_read_error_raises_oserror(self):
+        backend = make_injected(FaultPlan(read_error_rate=1.0))
+        with pytest.raises(InjectedReadError):
+            backend.snapshot()
+        with pytest.raises(InjectedReadError):
+            backend.read_raw(Domain.PACKAGE)
+        assert backend.faults_injected["read_error"] == 2
+
+    def test_stale_snapshot_repeats_previous(self):
+        backend = make_injected(FaultPlan())
+        backend.inner.clock.advance(1.0)
+        first = backend.snapshot()
+        # Re-arm with certain staleness and advance the clock: the
+        # reading must not move.
+        backend.plan = FaultPlan(stale_rate=1.0)
+        backend.inner.clock.advance(5.0)
+        second = backend.snapshot()
+        assert second is first
+
+    def test_wrap_fault_jumps_snapshot_backwards(self):
+        backend = make_injected(FaultPlan())
+        backend.inner.clock.advance(1.0)
+        before = backend.snapshot()
+        backend.plan = FaultPlan(wrap_rate=1.0)
+        backend.inner.clock.advance(0.1)
+        after = backend.snapshot()
+        assert after.joules[Domain.PACKAGE] < before.joules[Domain.PACKAGE]
+        # The downstream delta detects the anomaly: clamped + suspect.
+        with pytest.warns(RuntimeWarning):
+            delta = after.delta(before)
+        assert delta.suspect
+        assert delta.joules[Domain.PACKAGE] == 0.0
+
+    def test_drop_domain_removes_a_non_package_domain(self):
+        backend = make_injected(FaultPlan(drop_domain_rate=1.0))
+        backend.inner.clock.advance(1.0)
+        snap = backend.snapshot()
+        assert Domain.PACKAGE in snap.joules
+        assert len(snap.joules) == len(Domain) - 1
+        assert backend.faults_injected["drop_domain"] == 1
+
+    def test_latency_fault_calls_sleep(self):
+        stalls = []
+        inner = SimulatedBackend(clock=VirtualClock())
+        backend = FaultInjectingBackend(
+            inner,
+            FaultPlan(latency_rate=1.0, latency_seconds=0.25),
+            sleep=stalls.append,
+        )
+        backend.snapshot()
+        assert stalls == [0.25]
+
+    def test_wrap_fault_on_raw_reads_goes_backwards(self):
+        backend = make_injected(FaultPlan())
+        backend.inner.clock.advance(10.0)
+        clean = backend.read_raw(Domain.PACKAGE)
+        backend.plan = FaultPlan(wrap_rate=1.0)
+        faulty = backend.read_raw(Domain.PACKAGE)
+        assert faulty != clean
+        assert faulty == (clean - 2**30) % 2**32
+
+    def test_no_faults_is_transparent(self):
+        backend = make_injected(FaultPlan())
+        backend.inner.clock.advance(2.0)
+        snap = backend.snapshot()
+        assert snap.joules == backend.inner.snapshot().joules
+        assert not backend.faults_injected

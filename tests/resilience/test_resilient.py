@@ -1,0 +1,212 @@
+"""Retry, backoff, timeout, circuit breaker, and degradation behavior."""
+
+import pytest
+
+from repro.rapl.backends import SimulatedBackend, VirtualClock
+from repro.rapl.domains import Domain
+from repro.resilience import (
+    BackendUnavailableError,
+    CircuitBreaker,
+    FaultInjectingBackend,
+    FaultPlan,
+    ResiliencePolicy,
+    ResilientBackend,
+)
+
+
+class FlakyBackend:
+    """Fails the first ``failures`` reads, then succeeds forever."""
+
+    def __init__(self, failures: int) -> None:
+        self.inner = SimulatedBackend(clock=VirtualClock())
+        self.units = self.inner.units
+        self.remaining_failures = failures
+        self.calls = 0
+
+    def _maybe_fail(self):
+        self.calls += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise OSError("transient zone read failure")
+
+    def read_raw(self, domain):
+        self._maybe_fail()
+        return self.inner.read_raw(domain)
+
+    def snapshot(self):
+        self._maybe_fail()
+        return self.inner.snapshot()
+
+
+def make_resilient(primary, policy=None, **kwargs):
+    kwargs.setdefault("sleep", lambda s: None)
+    return ResilientBackend(primary, policy or ResiliencePolicy(), **kwargs)
+
+
+class TestPolicy:
+    def test_backoff_schedule_is_capped(self):
+        policy = ResiliencePolicy(
+            backoff_base_seconds=0.01,
+            backoff_multiplier=10.0,
+            backoff_max_seconds=0.5,
+        )
+        assert policy.backoff_delay(0) == pytest.approx(0.01)
+        assert policy.backoff_delay(1) == pytest.approx(0.1)
+        assert policy.backoff_delay(2) == pytest.approx(0.5)
+        assert policy.backoff_delay(9) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(read_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(breaker_threshold=0)
+
+
+class TestRetry:
+    def test_transient_failures_are_retried_away(self):
+        primary = FlakyBackend(failures=2)
+        backend = make_resilient(primary, ResiliencePolicy(max_retries=3))
+        snap = backend.snapshot()
+        assert not snap.degraded
+        assert primary.calls == 3
+        assert backend.health.retries == 2
+        assert not backend.degraded
+
+    def test_backoff_sleeps_follow_the_schedule(self):
+        sleeps = []
+        primary = FlakyBackend(failures=2)
+        policy = ResiliencePolicy(
+            max_retries=3,
+            backoff_base_seconds=0.01,
+            backoff_multiplier=2.0,
+            jitter=0.0,
+        )
+        ResilientBackend(primary, policy, sleep=sleeps.append).snapshot()
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_jitter_perturbs_but_never_negates_delay(self):
+        policy = ResiliencePolicy(jitter=0.5, backoff_base_seconds=0.1)
+        backend = make_resilient(FlakyBackend(0), policy)
+        for attempt in range(20):
+            delay = backend._jittered(policy.backoff_delay(attempt))
+            assert delay >= 0.0
+
+    def test_exhausted_retries_degrade_with_flag(self):
+        primary = FlakyBackend(failures=100)
+        backend = make_resilient(primary, ResiliencePolicy(max_retries=1))
+        snap = backend.snapshot()
+        assert snap.degraded
+        assert backend.degraded
+        assert backend.health.degraded_reads == 1
+
+    def test_degrade_disabled_raises(self):
+        primary = FlakyBackend(failures=100)
+        backend = make_resilient(
+            primary, ResiliencePolicy(max_retries=0, degrade=False)
+        )
+        with pytest.raises(BackendUnavailableError):
+            backend.snapshot()
+
+
+class TestTimeout:
+    def test_slow_read_counts_as_failure(self):
+        ticks = iter(range(1000))
+
+        def monotonic():
+            # Each call advances 1 "second": every read takes 1s.
+            return float(next(ticks))
+
+        primary = FlakyBackend(failures=0)
+        policy = ResiliencePolicy(
+            max_retries=1, read_timeout_seconds=0.5, breaker_threshold=100
+        )
+        backend = make_resilient(primary, policy, monotonic=monotonic)
+        snap = backend.snapshot()
+        assert snap.degraded  # both attempts timed out -> fallback
+        assert backend.health.timeouts == 2
+
+
+class TestCircuitBreaker:
+    def test_unit_state_machine(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=2, cooldown_seconds=10.0, monotonic=lambda: clock[0]
+        )
+        assert breaker.state == "closed"
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # trips now
+        assert breaker.state == "open"
+        assert not breaker.allows_attempt()
+        clock[0] = 11.0
+        assert breaker.state == "half_open"
+        assert breaker.allows_attempt()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_reopens_after_failed_half_open_probe(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_seconds=5.0, monotonic=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_tripped_breaker_skips_primary_entirely(self):
+        primary = FlakyBackend(failures=10**9)
+        clock = [0.0]
+        policy = ResiliencePolicy(
+            max_retries=0, breaker_threshold=2, breaker_cooldown_seconds=60.0
+        )
+        backend = make_resilient(primary, policy, monotonic=lambda: clock[0])
+        backend.snapshot()
+        backend.snapshot()  # second consecutive failure trips the breaker
+        assert backend.health.breaker_trips == 1
+        calls_before = primary.calls
+        backend.snapshot()  # breaker open: primary must not be touched
+        assert primary.calls == calls_before
+        assert backend.degraded
+
+    def test_half_open_probe_recovers(self):
+        primary = FlakyBackend(failures=2)
+        clock = [0.0]
+        policy = ResiliencePolicy(
+            max_retries=0, breaker_threshold=2, breaker_cooldown_seconds=30.0
+        )
+        backend = make_resilient(primary, policy, monotonic=lambda: clock[0])
+        backend.snapshot()
+        backend.snapshot()  # breaker now open; primary healthy again
+        clock[0] = 31.0  # cooldown elapsed -> half-open probe allowed
+        snap = backend.snapshot()
+        assert not snap.degraded
+        assert backend.breaker.state == "closed"
+
+
+class TestUnderFaultInjection:
+    def test_survives_twenty_percent_error_rate(self):
+        inner = SimulatedBackend(clock=VirtualClock())
+        injected = FaultInjectingBackend(
+            inner, FaultPlan(read_error_rate=0.2, seed=3), sleep=lambda s: None
+        )
+        backend = make_resilient(injected, ResiliencePolicy(max_retries=4))
+        for _ in range(200):
+            inner.clock.advance(0.01)
+            backend.snapshot()  # must never raise
+        assert injected.faults_injected["read_error"] > 0
+        assert backend.health.failures > 0
+
+    def test_read_raw_path_also_protected(self):
+        inner = SimulatedBackend(clock=VirtualClock())
+        injected = FaultInjectingBackend(
+            inner, FaultPlan(read_error_rate=0.5, seed=5), sleep=lambda s: None
+        )
+        backend = make_resilient(injected, ResiliencePolicy(max_retries=5))
+        inner.clock.advance(1.0)
+        value = backend.read_raw(Domain.PACKAGE)
+        assert isinstance(value, int)
