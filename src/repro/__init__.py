@@ -6,6 +6,7 @@ profiler & optimizer; this package is the Python translation, **PEPO**,
 together with every substrate the paper's evaluation depends on:
 
 * :mod:`repro.core` — the :class:`~repro.core.PEPO` facade.
+* :mod:`repro.rules` — the unified rule registry (one spec per rule).
 * :mod:`repro.rapl` — RAPL/MSR energy measurement substrate.
 * :mod:`repro.profiler` — method-granularity energy profiling.
 * :mod:`repro.analyzer` — the Table I suggestion engine.

@@ -15,7 +15,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analyzer.findings import Finding
-from repro.analyzer.rules import ALL_RULES, EXTENSION_RULES, AnalysisContext, Rule
+from repro.analyzer.rules import AnalysisContext, Rule
 from repro.analyzer.rules.base import collect_function_info
 from repro.analyzer.suppress import apply_suppressions
 
@@ -26,12 +26,16 @@ class Analyzer:
     Parameters
     ----------
     rules:
-        Explicit rule classes; default is the Table I set.
+        Explicit rule classes; default is every detector in the rule
+        registry (runtime-registered rules included).
     extended:
         Also run the extension rules (paper future work: R14, R15).
     honor_suppressions:
         Drop findings on lines carrying ``# pepo: ignore[...]`` comments
         (default True; disable to audit suppressed code).
+    registry:
+        Registry supplying the default rule set; the process-wide
+        :data:`repro.rules.REGISTRY` when omitted.
     """
 
     def __init__(
@@ -39,9 +43,12 @@ class Analyzer:
         rules: Sequence[type[Rule]] | None = None,
         extended: bool = False,
         honor_suppressions: bool = True,
+        registry=None,
     ) -> None:
         if rules is None:
-            rules = ALL_RULES + (EXTENSION_RULES if extended else ())
+            if registry is None:
+                from repro.rules import REGISTRY as registry
+            rules = registry.detector_classes(extended=extended)
         self._rules: list[Rule] = [rule_class() for rule_class in rules]
         self._honor_suppressions = honor_suppressions
 

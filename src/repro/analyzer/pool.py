@@ -1,16 +1,16 @@
-"""The hardcoded suggestion pool — Table I translated to Python.
+"""Compatibility shim over the rule registry's suggestion text.
 
 JEPO's suggestions "are hardcoded in the tool and displayed whenever the
-tool detect[s] specific Java components".  Each entry pairs the paper's
-Java component and suggestion text with the Python rule that replaces
-it; the Table I bench prints this pool as the reproduction of Table I.
+tool detect[s] specific Java components".  That catalog now lives in
+:mod:`repro.rules.builtin` as one :class:`~repro.rules.spec.RuleSpec`
+per rule; this module keeps the historical ``SuggestionPool`` /
+``PoolEntry`` API as a thin view over :data:`repro.rules.REGISTRY` so
+existing callers (and rules registered at runtime) keep working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-from repro.rapl.model import OperationCostTable
 
 
 @dataclass(frozen=True)
@@ -24,170 +24,52 @@ class PoolEntry:
     python_suggestion: str
 
 
-_ENTRIES: tuple[PoolEntry, ...] = (
-    PoolEntry(
-        "R01_NUMERIC_TYPE",
-        "Primitive data types",
-        "int is the most energy-efficient primitive data type. Replace if possible.",
-        "Numeric types",
-        "Built-in int is the most energy-efficient numeric type; avoid "
-        "Decimal/Fraction and float-typed counters where int semantics suffice.",
-    ),
-    PoolEntry(
-        "R02_SCI_NOTATION",
-        "Scientific notation",
-        "Scientific notation results in lower energy consumption of decimal numbers.",
-        "Numeric literals",
-        "Write large decimal literals in scientific notation (1e6, 2.5e9): "
-        "cheaper to read, parse, and review than strings of zeros.",
-    ),
-    PoolEntry(
-        "R03_BOXING",
-        "Wrapper classes",
-        "Integer Wrapper class object is the most energy-efficient. Replace if possible.",
-        "Boxed scalars",
-        "Avoid constructing numpy scalar objects (np.float64(x), np.int64(x)) "
-        "one at a time in hot code; use plain Python numbers or vectorize.",
-    ),
-    PoolEntry(
-        "R04_GLOBAL_IN_LOOP",
-        "Static keyword",
-        "static keyword consumes up to 17,700% more energy. Avoid if possible.",
-        "Module-global access in loops",
-        "Reading a module-level global (LOAD_GLOBAL) inside a hot loop is far "
-        "costlier than a local (LOAD_FAST); bind it to a local before the loop.",
-    ),
-    PoolEntry(
-        "R05_MODULUS",
-        "Arithmetic operators",
-        "Modulus arithmetic operator consumes up to 1,620% more energy than "
-        "other arithmetic operators.",
-        "Modulus operator",
-        "Modulus is the most expensive arithmetic operator; for power-of-two "
-        "divisors use a bitmask (x & (n-1)), otherwise hoist or restructure.",
-    ),
-    PoolEntry(
-        "R06_TERNARY",
-        "Ternary operator",
-        "Ternary operator consumes up to 37% more energy than if-then-else statement.",
-        "Conditional expression",
-        "A conditional expression (x if c else y) in a hot loop costs more "
-        "than an if/else statement; prefer the statement form in hot paths.",
-    ),
-    PoolEntry(
-        "R07_SHORT_CIRCUIT",
-        "Short circuit operator",
-        "Put most common case first for lower energy consumption.",
-        "and/or operand order",
-        "Order short-circuit operands so the cheap, most-common test runs "
-        "first; expensive calls belong after cheap guards.",
-    ),
-    PoolEntry(
-        "R08_STR_CONCAT",
-        "String concatenation operator",
-        "StringBuilder append method consumes much lower energy than String "
-        "concatenation operator.",
-        "String building in loops",
-        "Accumulating with s += piece in a loop re-copies the string each "
-        "iteration; append parts to a list and ''.join once.",
-    ),
-    PoolEntry(
-        "R09_STR_COMPARE",
-        "String comparison",
-        "String compareTo method consumes up to 33% more energy than the "
-        "String equals method.",
-        "String comparison",
-        "Use == / in for string equality and membership; three-way compares "
-        "(locale.strcoll, find() != -1) cost more than the direct test.",
-    ),
-    PoolEntry(
-        "R10_ARRAY_COPY",
-        "Arrays copy",
-        "System.arraycopy() is the most energy-efficient way to copy Arrays.",
-        "Array/list copy",
-        "Copy sequences in bulk (dst[:] = src, list(src), numpy.copyto) "
-        "instead of an element-by-element Python loop.",
-    ),
-    PoolEntry(
-        "R11_TRAVERSAL",
-        "Array traversal",
-        "Two-dimensional Array column traversal result in up to 793% more energy.",
-        "2-D traversal order",
-        "Traverse 2-D data row-major (outer loop over the first index); "
-        "column-major order defeats the cache on C-ordered arrays.",
-    ),
-    PoolEntry(
-        "R12_EXCEPTION_FLOW",
-        "Exceptions",
-        "Avoid using exceptions for ordinary control flow.",
-        "Exceptions in hot loops",
-        "An exception raised per iteration is far costlier than a conditional "
-        "test; keep try/except for exceptional cases, not expected ones.",
-    ),
-    PoolEntry(
-        "R13_OBJECT_CHURN",
-        "Objects",
-        "Avoid creating unnecessary objects.",
-        "Object construction in loops",
-        "Hoist loop-invariant constructions (objects, re.compile) out of the "
-        "loop; per-iteration allocation churns the allocator and the GC.",
-    ),
-)
-
-
-#: Extension entries — the paper's future work ("more suggestions").
-_EXTENSION_ENTRIES: tuple[PoolEntry, ...] = (
-    PoolEntry(
-        "R14_APPEND_LOOP",
-        "(extension)",
-        "—",
-        "Append loops",
-        "Replace a transforming append loop with a list comprehension; "
-        "the loop body then runs without a per-iteration method call.",
-    ),
-    PoolEntry(
-        "R15_RANGE_LEN",
-        "(extension)",
-        "—",
-        "range(len()) indexing",
-        "Iterate the sequence directly (or enumerate) instead of "
-        "indexing through range(len(seq)).",
-    ),
-)
+def _entry(spec) -> PoolEntry:
+    return PoolEntry(
+        rule_id=spec.rule_id,
+        java_component=spec.java_component,
+        java_suggestion=spec.java_suggestion,
+        python_component=spec.python_component,
+        python_suggestion=spec.python_suggestion,
+    )
 
 
 class SuggestionPool:
-    """Lookup and iteration over the hardcoded suggestion pool."""
+    """Lookup and iteration over the suggestion pool (registry-backed).
 
-    def __init__(self) -> None:
-        self._by_rule = {
-            entry.rule_id: entry
-            for entry in (*_ENTRIES, *_EXTENSION_ENTRIES)
-        }
-        self._costs = OperationCostTable()
+    ``entries()`` / ``extension_entries()`` / ``len()`` cover exactly
+    the *built-in* catalog — the paper's Table I stays the paper's
+    Table I — while ``entry()`` and ``suggestion()`` resolve any
+    registered rule, including third-party ones.
+    """
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            from repro.rules import REGISTRY as registry
+        self._registry = registry
 
     def entry(self, rule_id: str) -> PoolEntry:
         """Pool entry for a rule id; KeyError when unknown."""
-        return self._by_rule[rule_id]
+        return _entry(self._registry.get(rule_id))
 
     def suggestion(self, rule_id: str) -> str:
         """The Python suggestion text shown to the developer."""
-        return self._by_rule[rule_id].python_suggestion
+        return self._registry.get(rule_id).python_suggestion
 
     def overhead_percent(self, rule_id: str) -> float:
         """The paper-derived energy overhead of the flagged pattern."""
-        return self._costs.cost(rule_id).overhead_percent
+        return self._registry.get(rule_id).overhead_percent
 
     def entries(self) -> tuple[PoolEntry, ...]:
         """Table I pool entries, in paper order (extensions excluded)."""
-        return _ENTRIES
+        return tuple(_entry(s) for s in self._registry.table1_specs())
 
     def extension_entries(self) -> tuple[PoolEntry, ...]:
         """Future-work entries beyond Table I."""
-        return _EXTENSION_ENTRIES
+        return tuple(_entry(s) for s in self._registry.extension_specs())
 
     def __len__(self) -> int:
-        return len(_ENTRIES)
+        return len(self._registry.table1_specs())
 
     def __contains__(self, rule_id: object) -> bool:
-        return rule_id in self._by_rule
+        return rule_id in self._registry

@@ -1,4 +1,10 @@
-"""Rule registry: one AST pattern matcher per Table I row (DESIGN.md §4)."""
+"""Rule detectors: one AST pattern matcher per Table I row (DESIGN.md §4).
+
+``ALL_RULES`` and ``EXTENSION_RULES`` are derived from
+:data:`repro.rules.REGISTRY` lazily (module ``__getattr__``), so rules
+registered at runtime appear in them and this package stays importable
+while the registry itself is being assembled.
+"""
 
 from repro.analyzer.rules.base import AnalysisContext, Rule
 from repro.analyzer.rules.r01_numeric_type import NumericTypeRule
@@ -17,27 +23,42 @@ from repro.analyzer.rules.r13_object_churn import ObjectChurnRule
 from repro.analyzer.rules.r14_append_loop import AppendLoopRule
 from repro.analyzer.rules.r15_range_len import RangeLenRule
 
-#: Every Table I rule, in paper order.
-ALL_RULES: tuple[type[Rule], ...] = (
-    NumericTypeRule,
-    SciNotationRule,
-    BoxingRule,
-    GlobalInLoopRule,
-    ModulusRule,
-    TernaryRule,
-    ShortCircuitRule,
-    StrConcatRule,
-    StrCompareRule,
-    ArrayCopyRule,
-    TraversalRule,
-    ExceptionFlowRule,
-    ObjectChurnRule,
-)
 
-#: Extension rules — paper future work, enabled via Analyzer(extended=True).
-EXTENSION_RULES: tuple[type[Rule], ...] = (
-    AppendLoopRule,
-    RangeLenRule,
-)
+def __getattr__(name: str):
+    # Derived from the registry so runtime-registered rules join the
+    # analyzer's default set; lazy so importing this package never
+    # requires repro.rules to be fully initialised.
+    if name in ("ALL_RULES", "EXTENSION_RULES"):
+        from repro.rules import REGISTRY
 
-__all__ = ["ALL_RULES", "EXTENSION_RULES", "AnalysisContext", "Rule"]
+        if name == "ALL_RULES":
+            return REGISTRY.detector_classes(extended=False)
+        return tuple(
+            spec.detector
+            for spec in REGISTRY
+            if spec.extension and spec.detector is not None
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ALL_RULES",
+    "EXTENSION_RULES",
+    "AnalysisContext",
+    "AppendLoopRule",
+    "ArrayCopyRule",
+    "BoxingRule",
+    "ExceptionFlowRule",
+    "GlobalInLoopRule",
+    "ModulusRule",
+    "NumericTypeRule",
+    "ObjectChurnRule",
+    "RangeLenRule",
+    "Rule",
+    "SciNotationRule",
+    "ShortCircuitRule",
+    "StrCompareRule",
+    "StrConcatRule",
+    "TernaryRule",
+    "TraversalRule",
+]

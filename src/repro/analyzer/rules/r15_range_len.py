@@ -14,6 +14,32 @@ from repro.analyzer.findings import Finding, Severity
 from repro.analyzer.rules.base import AnalysisContext, Rule
 
 
+def range_len_sequence(iter_node: ast.expr) -> str | None:
+    """Sequence name when ``iter_node`` is ``range(len(name))``, else None.
+
+    Shared with the R15 transform so detection and rewrite agree on
+    what the pattern is.
+    """
+    if not (
+        isinstance(iter_node, ast.Call)
+        and isinstance(iter_node.func, ast.Name)
+        and iter_node.func.id == "range"
+        and len(iter_node.args) == 1
+        and not iter_node.keywords
+    ):
+        return None
+    bound = iter_node.args[0]
+    if (
+        isinstance(bound, ast.Call)
+        and isinstance(bound.func, ast.Name)
+        and bound.func.id == "len"
+        and len(bound.args) == 1
+        and isinstance(bound.args[0], ast.Name)
+    ):
+        return bound.args[0].id
+    return None
+
+
 class RangeLenRule(Rule):
     rule_id = "R15_RANGE_LEN"
 
@@ -42,24 +68,7 @@ class RangeLenRule(Rule):
 
     @staticmethod
     def _range_len_target(iter_node: ast.expr) -> str | None:
-        if not (
-            isinstance(iter_node, ast.Call)
-            and isinstance(iter_node.func, ast.Name)
-            and iter_node.func.id == "range"
-            and len(iter_node.args) == 1
-            and not iter_node.keywords
-        ):
-            return None
-        bound = iter_node.args[0]
-        if (
-            isinstance(bound, ast.Call)
-            and isinstance(bound.func, ast.Name)
-            and bound.func.id == "len"
-            and len(bound.args) == 1
-            and isinstance(bound.args[0], ast.Name)
-        ):
-            return bound.args[0].id
-        return None
+        return range_len_sequence(iter_node)
 
     @staticmethod
     def _index_uses(loop: ast.For, index: str, sequence: str):

@@ -4,25 +4,37 @@ Each driver returns structured rows and renders the same table layout
 the paper prints.  ``python -m repro.bench <table1|table2|table3|table4|figures>``
 runs one from the command line; ``benchmarks/`` wires them into
 pytest-benchmark.
+
+Re-exports are lazy (module ``__getattr__``): the rule registry's
+built-in catalog imports :mod:`repro.bench.micro`, and that import must
+not drag in the ML stack the other drivers need.
 """
 
-from repro.bench.table1 import Table1Row, run_table1, render_table1
-from repro.bench.table2 import Table2Row, run_table2, render_table2
-from repro.bench.table3 import Table3Row, run_table3, render_table3
-from repro.bench.table4 import Table4Config, Table4Row, run_table4, render_table4
+from __future__ import annotations
 
-__all__ = [
-    "Table1Row",
-    "Table2Row",
-    "Table3Row",
-    "Table4Config",
-    "Table4Row",
-    "render_table1",
-    "render_table2",
-    "render_table3",
-    "render_table4",
-    "run_table1",
-    "run_table2",
-    "run_table3",
-    "run_table4",
-]
+_EXPORTS = {
+    "Table1Row": "repro.bench.table1",
+    "run_table1": "repro.bench.table1",
+    "render_table1": "repro.bench.table1",
+    "Table2Row": "repro.bench.table2",
+    "run_table2": "repro.bench.table2",
+    "render_table2": "repro.bench.table2",
+    "Table3Row": "repro.bench.table3",
+    "run_table3": "repro.bench.table3",
+    "render_table3": "repro.bench.table3",
+    "Table4Config": "repro.bench.table4",
+    "Table4Row": "repro.bench.table4",
+    "run_table4": "repro.bench.table4",
+    "render_table4": "repro.bench.table4",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

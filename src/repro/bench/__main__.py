@@ -36,6 +36,12 @@ def main(argv: list[str] | None = None) -> int:
         help="checkpoint file for table4; a killed run resumes from the "
         "last completed classifier",
     )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="table1: verify every micro-pair and print the table layout "
+        "without running the energy harness (CI smoke-check)",
+    )
     args = parser.parse_args(argv)
 
     targets = (
@@ -45,7 +51,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     for target in targets:
         if target == "table1":
-            print(render_table1(run_table1()))
+            print(render_table1(run_table1(measure=not args.dry_run)))
         elif target == "table2":
             print(render_table2(run_table2()))
         elif target == "table3":

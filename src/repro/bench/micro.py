@@ -4,29 +4,44 @@ Each pair does the *same observable work* two ways; the Table I bench
 measures both under the energy harness and reports the overhead of the
 inefficient form.  Workload sizes are tuned for ~5-30 ms per call so a
 10-repeat protocol stays under a second per rule.
+
+Pairs are **self-contained**: every constant a workload needs (rates,
+precompiled patterns, haystacks, matrices) is bound inside the pair's
+factory and recorded in :attr:`MicroPair.params`, never read from this
+module's globals — so a pair survives being relocated, pickled by id,
+or registered from a third-party module.  The single deliberate
+exception is R04, whose *point* is a per-iteration module-global read:
+its workload is compiled into a dedicated namespace so the global it
+reads belongs to the pair, not to this file.
+
+``MICRO_PAIRS`` is derived from :data:`repro.rules.REGISTRY` — this
+module defines the built-in pairs, the registry enumerates them.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from decimal import Decimal
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
-
-RATE = 1.0000001  # module-level global for the R04 pair
-_PRECOMPILED = re.compile("ab+c")
 
 
 @dataclass(frozen=True)
 class MicroPair:
-    """One Table I row's workload: inefficient vs efficient form."""
+    """One Table I row's workload: inefficient vs efficient form.
+
+    ``bad`` and ``good`` are zero-argument callables; ``params``
+    records the constants they were built with (for display and for
+    rebuilding a pair at a different size).
+    """
 
     rule_id: str
     label: str
     bad: Callable[[], object]
     good: Callable[[], object]
+    params: Mapping[str, object] = field(default_factory=dict)
 
     def verify(self) -> None:
         """Both forms must produce the same answer or the pair is void."""
@@ -45,272 +60,346 @@ def assert_equalish(a: object, b: object) -> None:
         raise AssertionError(f"pair results diverge: {a!r} vs {b!r}")
 
 
-# -- R01: Decimal vs int arithmetic ---------------------------------------
-
-def _r01_bad(n: int = 4000) -> float:
-    total = Decimal(0)
-    for i in range(n):
-        total += Decimal(i)
-    return float(total)
+# -- pair factories ---------------------------------------------------------
+#
+# One factory per rule; each closes over (or exec-binds) its own
+# constants and returns a finished MicroPair.
 
 
-def _r01_good(n: int = 4000) -> float:
-    total = 0
-    for i in range(n):
-        total += i
-    return float(total)
+def _pair_r01(n: int = 4000) -> MicroPair:
+    """R01: Decimal vs int arithmetic."""
+
+    def bad() -> float:
+        total = Decimal(0)
+        for i in range(n):
+            total += Decimal(i)
+        return float(total)
+
+    def good() -> float:
+        total = 0
+        for i in range(n):
+            total += i
+        return float(total)
+
+    return MicroPair(
+        "R01_NUMERIC_TYPE", "int vs Decimal accumulation", bad, good,
+        params={"n": n},
+    )
 
 
-# -- R03: boxed numpy scalars vs plain floats -------------------------------
+def _pair_r02(width: int = 300, compiles: int = 20) -> MicroPair:
+    """R02: literal parsing (interpreter-time effect via repeated parse)."""
+    expanded = "x = [" + ",".join(["1000000.0"] * width) + "]"
+    scientific = "x = [" + ",".join(["1e6"] * width) + "]"
 
-def _r03_bad(n: int = 4000) -> float:
-    total = np.float64(0.0)
-    for i in range(n):
-        total = total + np.float64(i) * np.float64(0.5)
-    return float(total)
+    def run(text: str) -> int:
+        for _ in range(compiles):
+            code = compile(text, "<lit>", "exec")
+        namespace: dict = {}
+        exec(code, namespace)
+        return len(namespace["x"])
+
+    return MicroPair(
+        "R02_SCI_NOTATION", "expanded vs scientific literals",
+        lambda: run(expanded), lambda: run(scientific),
+        params={"width": width, "compiles": compiles},
+    )
 
 
-def _r03_good(n: int = 4000) -> float:
-    total = 0.0
-    for i in range(n):
-        total += i * 0.5
-    return total
+def _pair_r03(n: int = 4000) -> MicroPair:
+    """R03: boxed numpy scalars vs plain floats."""
+
+    def bad() -> float:
+        total = np.float64(0.0)
+        for i in range(n):
+            total = total + np.float64(i) * np.float64(0.5)
+        return float(total)
+
+    def good() -> float:
+        total = 0.0
+        for i in range(n):
+            total += i * 0.5
+        return total
+
+    return MicroPair(
+        "R03_BOXING", "boxed numpy scalars vs floats", bad, good,
+        params={"n": n},
+    )
 
 
-# -- R04: global read in loop vs local binding -------------------------------
-
-def _r04_bad(n: int = 30000) -> float:
+#: R04's workloads live in their own namespace so the module-global the
+#: bad form reads each iteration travels *with the pair*.
+_R04_SOURCE = """\
+def bad(n={n}):
     total = 0.0
     for _ in range(n):
         total += RATE
     return total
 
-
-def _r04_good(n: int = 30000) -> float:
+def good(n={n}):
     rate = RATE
     total = 0.0
     for _ in range(n):
         total += rate
     return total
-
-
-# -- R05: modulus vs bitmask --------------------------------------------------
-
-def _r05_bad(n: int = 30000) -> int:
-    hits = 0
-    for i in range(n):
-        if i % 8 == 0:
-            hits += 1
-    return hits
-
-
-def _r05_good(n: int = 30000) -> int:
-    hits = 0
-    for i in range(n):
-        if i & 7 == 0:
-            hits += 1
-    return hits
-
-
-# -- R06: ternary vs if/else ---------------------------------------------------
-
-def _r06_bad(n: int = 30000) -> int:
-    total = 0
-    for i in range(n):
-        total += 1 if i & 1 else 2
-    return total
-
-
-def _r06_good(n: int = 30000) -> int:
-    total = 0
-    for i in range(n):
-        if i & 1:
-            total += 1
-        else:
-            total += 2
-    return total
-
-
-# -- R07: expensive-first vs cheap-first short circuit --------------------------
-
-
-def _expensive_check(i: int) -> bool:
-    return sum(divmod(i, 7)) > 3
-
-
-def _r07_bad(n: int = 8000) -> int:
-    hits = 0
-    for i in range(n):
-        # The call runs every iteration even though the flag usually decides.
-        if _expensive_check(i) and i & 1:
-            hits += 1
-    return hits
-
-
-def _r07_good(n: int = 8000) -> int:
-    hits = 0
-    for i in range(n):
-        if i & 1 and _expensive_check(i):
-            hits += 1
-    return hits
-
-
-# -- R08: string += vs join ------------------------------------------------------
-
-def _r08_bad(n: int = 4000) -> int:
-    out = ""
-    for i in range(n):
-        out += str(i & 15)
-    return len(out)
-
-
-def _r08_good(n: int = 4000) -> int:
-    parts = []
-    for i in range(n):
-        parts.append(str(i & 15))
-    return len("".join(parts))
-
-
-# -- R09: find() sentinel vs in ----------------------------------------------------
-
-_HAYSTACK = ",".join(str(i) for i in range(500))
-
-
-def _r09_bad(n: int = 2000) -> int:
-    hits = 0
-    for i in range(n):
-        if _HAYSTACK.find(str(i & 255)) != -1:
-            hits += 1
-    return hits
-
-
-def _r09_good(n: int = 2000) -> int:
-    hits = 0
-    for i in range(n):
-        if str(i & 255) in _HAYSTACK:
-            hits += 1
-    return hits
-
-
-# -- R10: element copy loop vs slice copy --------------------------------------------
-
-_SRC_LIST = list(range(20000))
-
-
-def _r10_bad() -> int:
-    dst = [0] * len(_SRC_LIST)
-    for i in range(len(_SRC_LIST)):
-        dst[i] = _SRC_LIST[i]
-    return len(dst)
-
-
-def _r10_good() -> int:
-    dst = [0] * len(_SRC_LIST)
-    dst[:] = _SRC_LIST
-    return len(dst)
-
-
-# -- R11: column-major vs row-major traversal -------------------------------------------
-
-_MATRIX = np.arange(400 * 400, dtype=np.float64).reshape(400, 400)
-
-
-def _r11_bad() -> float:
-    total = 0.0
-    for j in range(_MATRIX.shape[1]):
-        total += float(_MATRIX[:, j].sum())
-    return total
-
-
-def _r11_good() -> float:
-    total = 0.0
-    for i in range(_MATRIX.shape[0]):
-        total += float(_MATRIX[i, :].sum())
-    return total
-
-
-# -- R02: literal parsing (interpreter-time effect, measured via repeated parse) -----
-
-_EXPANDED_LITERALS = "x = [" + ",".join(["1000000.0"] * 300) + "]"
-_SCI_LITERALS = "x = [" + ",".join(["1e6"] * 300) + "]"
-
-
-def _r02_bad() -> int:
-    for _ in range(20):
-        code = compile(_EXPANDED_LITERALS, "<lit>", "exec")
-    namespace: dict = {}
-    exec(code, namespace)
-    return len(namespace["x"])
-
-
-def _r02_good() -> int:
-    for _ in range(20):
-        code = compile(_SCI_LITERALS, "<lit>", "exec")
-    namespace: dict = {}
-    exec(code, namespace)
-    return len(namespace["x"])
-
-
-# -- R12: exception control flow vs conditional ---------------------------------------
-
-_SPARSE = {i: i for i in range(0, 20000, 4)}
-
-
-def _r12_bad() -> int:
-    total = 0
-    for i in range(8000):
-        try:
-            total += _SPARSE[i]
-        except KeyError:
-            pass
-    return total
-
-
-def _r12_good() -> int:
-    total = 0
-    for i in range(8000):
-        value = _SPARSE.get(i)
-        if value is not None:
-            total += value
-    return total
-
-
-# -- R13: re.compile in loop vs hoisted -------------------------------------------------
-
-_LINES = ["xxabbbcyy", "no match here", "abc"] * 200
-
-
-def _r13_bad() -> int:
-    hits = 0
-    for line in _LINES:
-        pattern = re.compile("ab+c")
-        if pattern.search(line):
-            hits += 1
-    return hits
-
-
-def _r13_good() -> int:
-    hits = 0
-    pattern = _PRECOMPILED
-    for line in _LINES:
-        if pattern.search(line):
-            hits += 1
-    return hits
-
-
-#: All pairs in Table I rule order.
-MICRO_PAIRS: tuple[MicroPair, ...] = (
-    MicroPair("R01_NUMERIC_TYPE", "int vs Decimal accumulation", _r01_bad, _r01_good),
-    MicroPair("R02_SCI_NOTATION", "expanded vs scientific literals", _r02_bad, _r02_good),
-    MicroPair("R03_BOXING", "boxed numpy scalars vs floats", _r03_bad, _r03_good),
-    MicroPair("R04_GLOBAL_IN_LOOP", "global vs local read in loop", _r04_bad, _r04_good),
-    MicroPair("R05_MODULUS", "modulus vs bitmask", _r05_bad, _r05_good),
-    MicroPair("R06_TERNARY", "ternary vs if/else in loop", _r06_bad, _r06_good),
-    MicroPair("R07_SHORT_CIRCUIT", "expensive-first vs cheap-first", _r07_bad, _r07_good),
-    MicroPair("R08_STR_CONCAT", "string += vs list+join", _r08_bad, _r08_good),
-    MicroPair("R09_STR_COMPARE", "find() sentinel vs in", _r09_bad, _r09_good),
-    MicroPair("R10_ARRAY_COPY", "element copy vs slice copy", _r10_bad, _r10_good),
-    MicroPair("R11_TRAVERSAL", "column vs row traversal", _r11_bad, _r11_good),
-    MicroPair("R12_EXCEPTION_FLOW", "exception vs conditional", _r12_bad, _r12_good),
-    MicroPair("R13_OBJECT_CHURN", "re.compile in loop vs hoisted", _r13_bad, _r13_good),
+"""
+
+
+def _pair_r04(n: int = 30000, rate: float = 1.0000001) -> MicroPair:
+    """R04: global read in loop vs local binding."""
+    namespace: dict = {"RATE": rate}
+    exec(compile(_R04_SOURCE.format(n=n), "<r04>", "exec"), namespace)
+    return MicroPair(
+        "R04_GLOBAL_IN_LOOP", "global vs local read in loop",
+        namespace["bad"], namespace["good"],
+        params={"n": n, "rate": rate},
+    )
+
+
+def _pair_r05(n: int = 30000) -> MicroPair:
+    """R05: modulus vs bitmask."""
+
+    def bad() -> int:
+        hits = 0
+        for i in range(n):
+            if i % 8 == 0:
+                hits += 1
+        return hits
+
+    def good() -> int:
+        hits = 0
+        for i in range(n):
+            if i & 7 == 0:
+                hits += 1
+        return hits
+
+    return MicroPair(
+        "R05_MODULUS", "modulus vs bitmask", bad, good, params={"n": n}
+    )
+
+
+def _pair_r06(n: int = 30000) -> MicroPair:
+    """R06: ternary vs if/else."""
+
+    def bad() -> int:
+        total = 0
+        for i in range(n):
+            total += 1 if i & 1 else 2
+        return total
+
+    def good() -> int:
+        total = 0
+        for i in range(n):
+            if i & 1:
+                total += 1
+            else:
+                total += 2
+        return total
+
+    return MicroPair(
+        "R06_TERNARY", "ternary vs if/else in loop", bad, good,
+        params={"n": n},
+    )
+
+
+def _pair_r07(n: int = 8000) -> MicroPair:
+    """R07: expensive-first vs cheap-first short circuit."""
+
+    def expensive_check(i: int) -> bool:
+        return sum(divmod(i, 7)) > 3
+
+    def bad() -> int:
+        hits = 0
+        for i in range(n):
+            # The call runs every iteration though the flag usually decides.
+            if expensive_check(i) and i & 1:
+                hits += 1
+        return hits
+
+    def good() -> int:
+        hits = 0
+        for i in range(n):
+            if i & 1 and expensive_check(i):
+                hits += 1
+        return hits
+
+    return MicroPair(
+        "R07_SHORT_CIRCUIT", "expensive-first vs cheap-first", bad, good,
+        params={"n": n},
+    )
+
+
+def _pair_r08(n: int = 4000) -> MicroPair:
+    """R08: string += vs join."""
+
+    def bad() -> int:
+        out = ""
+        for i in range(n):
+            out += str(i & 15)
+        return len(out)
+
+    def good() -> int:
+        parts = []
+        for i in range(n):
+            parts.append(str(i & 15))
+        return len("".join(parts))
+
+    return MicroPair(
+        "R08_STR_CONCAT", "string += vs list+join", bad, good,
+        params={"n": n},
+    )
+
+
+def _pair_r09(n: int = 2000, haystack_size: int = 500) -> MicroPair:
+    """R09: find() sentinel vs in."""
+    haystack = ",".join(str(i) for i in range(haystack_size))
+
+    def bad() -> int:
+        hits = 0
+        for i in range(n):
+            if haystack.find(str(i & 255)) != -1:
+                hits += 1
+        return hits
+
+    def good() -> int:
+        hits = 0
+        for i in range(n):
+            if str(i & 255) in haystack:
+                hits += 1
+        return hits
+
+    return MicroPair(
+        "R09_STR_COMPARE", "find() sentinel vs in", bad, good,
+        params={"n": n, "haystack_size": haystack_size},
+    )
+
+
+def _pair_r10(size: int = 20000) -> MicroPair:
+    """R10: element copy loop vs slice copy."""
+    src = list(range(size))
+
+    def bad() -> int:
+        dst = [0] * len(src)
+        for i in range(len(src)):
+            dst[i] = src[i]
+        return len(dst)
+
+    def good() -> int:
+        dst = [0] * len(src)
+        dst[:] = src
+        return len(dst)
+
+    return MicroPair(
+        "R10_ARRAY_COPY", "element copy vs slice copy", bad, good,
+        params={"size": size},
+    )
+
+
+def _pair_r11(side: int = 400) -> MicroPair:
+    """R11: column-major vs row-major traversal."""
+    matrix = np.arange(side * side, dtype=np.float64).reshape(side, side)
+
+    def bad() -> float:
+        total = 0.0
+        for j in range(matrix.shape[1]):
+            total += float(matrix[:, j].sum())
+        return total
+
+    def good() -> float:
+        total = 0.0
+        for i in range(matrix.shape[0]):
+            total += float(matrix[i, :].sum())
+        return total
+
+    return MicroPair(
+        "R11_TRAVERSAL", "column vs row traversal", bad, good,
+        params={"side": side},
+    )
+
+
+def _pair_r12(n: int = 8000, stride: int = 4) -> MicroPair:
+    """R12: exception control flow vs conditional."""
+    sparse = {i: i for i in range(0, 20000, stride)}
+
+    def bad() -> int:
+        total = 0
+        for i in range(n):
+            try:
+                total += sparse[i]
+            except KeyError:
+                pass
+        return total
+
+    def good() -> int:
+        total = 0
+        for i in range(n):
+            value = sparse.get(i)
+            if value is not None:
+                total += value
+        return total
+
+    return MicroPair(
+        "R12_EXCEPTION_FLOW", "exception vs conditional", bad, good,
+        params={"n": n, "stride": stride},
+    )
+
+
+def _pair_r13(repeat: int = 200) -> MicroPair:
+    """R13: re.compile in loop vs hoisted."""
+    lines = ["xxabbbcyy", "no match here", "abc"] * repeat
+    precompiled = re.compile("ab+c")
+
+    def bad() -> int:
+        hits = 0
+        for line in lines:
+            pattern = re.compile("ab+c")
+            if pattern.search(line):
+                hits += 1
+        return hits
+
+    def good() -> int:
+        hits = 0
+        pattern = precompiled
+        for line in lines:
+            if pattern.search(line):
+                hits += 1
+        return hits
+
+    return MicroPair(
+        "R13_OBJECT_CHURN", "re.compile in loop vs hoisted", bad, good,
+        params={"repeat": repeat, "pattern": "ab+c"},
+    )
+
+
+#: The built-in pairs, consumed by ``repro.rules.builtin`` when the
+#: default registry is assembled.  In Table I rule order.
+_BUILTIN_PAIRS: tuple[MicroPair, ...] = (
+    _pair_r01(),
+    _pair_r02(),
+    _pair_r03(),
+    _pair_r04(),
+    _pair_r05(),
+    _pair_r06(),
+    _pair_r07(),
+    _pair_r08(),
+    _pair_r09(),
+    _pair_r10(),
+    _pair_r11(),
+    _pair_r12(),
+    _pair_r13(),
 )
+
+
+def builtin_micro_pairs() -> tuple[MicroPair, ...]:
+    """The shipped pairs (registry assembly; prefer ``MICRO_PAIRS``)."""
+    return _BUILTIN_PAIRS
+
+
+def __getattr__(name: str):
+    # MICRO_PAIRS enumerates the registry, so third-party pairs
+    # registered at runtime are measured alongside the built-ins.
+    if name == "MICRO_PAIRS":
+        from repro.rules import REGISTRY
+
+        return REGISTRY.micro_pairs()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,20 +3,24 @@ Python overheads.
 
 The paper's Table I lists each Java component with its suggestion and
 (for five rows) a measured energy overhead.  The reproduction measures
-the same overheads in Python: for each rule's micro-pair the harness
-runs both forms under the outlier-free protocol and reports
+the same overheads in Python: for each registered rule carrying a
+micro-pair (:data:`repro.rules.REGISTRY` — so runtime-registered rules
+are measured too) the harness runs both forms under the outlier-free
+protocol and reports
 
     overhead% = (E_bad - E_good) / E_good * 100
 
-next to the paper's number and the suggestion text.
+next to the paper's number and the suggestion text.  ``measure=False``
+is the dry-run mode: rows come back with NaN measurements (rendered as
+"—") after each pair is verified, which is what CI smoke-checks.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.analyzer.pool import SuggestionPool
-from repro.bench.micro import MICRO_PAIRS, MicroPair
+from repro.bench.micro import MicroPair
 from repro.rapl.backends import RaplBackend, RealClock, SimulatedBackend
 from repro.rapl.perf import PerfStat
 from repro.stats.protocol import OutlierFreeProtocol
@@ -47,30 +51,39 @@ def _measure_pair(
 def run_table1(
     backend: RaplBackend | None = None,
     repeats: int = 5,
+    measure: bool = True,
 ) -> list[Table1Row]:
-    """Measure every Table I micro-pair; returns rows in paper order."""
+    """Measure every registered micro-pair; returns rows in rule order.
+
+    ``measure=False`` still verifies each pair's two forms agree but
+    skips the energy harness, leaving NaN in the measured columns — a
+    fast structural smoke-check for CI.
+    """
+    from repro.rules import REGISTRY
+
     perf = PerfStat(backend or SimulatedBackend(clock=RealClock()))
     protocol = OutlierFreeProtocol(repeats=repeats)
-    pool = SuggestionPool()
-    from repro.rapl.model import OperationCostTable
-
-    costs = OperationCostTable()
     rows: list[Table1Row] = []
-    for pair in MICRO_PAIRS:
-        bad_joules, good_joules = _measure_pair(pair, perf, protocol)
-        overhead = (
-            (bad_joules - good_joules) / good_joules * 100.0
-            if good_joules > 0
-            else 0.0
-        )
-        entry = pool.entry(pair.rule_id)
+    for spec in REGISTRY:
+        if spec.micro is None or spec.extension:
+            continue
+        if measure:
+            bad_joules, good_joules = _measure_pair(spec.micro, perf, protocol)
+            overhead = (
+                (bad_joules - good_joules) / good_joules * 100.0
+                if good_joules > 0
+                else 0.0
+            )
+        else:
+            spec.micro.verify()
+            bad_joules = good_joules = overhead = math.nan
         rows.append(
             Table1Row(
-                rule_id=pair.rule_id,
-                component=entry.python_component,
-                suggestion=entry.python_suggestion,
-                paper_overhead_percent=costs.cost(pair.rule_id).overhead_percent,
-                paper_exact=not costs.is_estimated(pair.rule_id),
+                rule_id=spec.rule_id,
+                component=spec.python_component,
+                suggestion=spec.python_suggestion,
+                paper_overhead_percent=spec.overhead_percent,
+                paper_exact=not spec.overhead_is_estimate,
                 measured_overhead_percent=overhead,
                 bad_joules=bad_joules,
                 good_joules=good_joules,
@@ -93,7 +106,11 @@ def render_table1(rows: list[Table1Row]) -> str:
                 row.component,
                 f"{row.paper_overhead_percent:,.0f}"
                 + ("" if row.paper_exact else " (est.)"),
-                f"{row.measured_overhead_percent:+.1f}",
+                (
+                    "—"
+                    if math.isnan(row.measured_overhead_percent)
+                    else f"{row.measured_overhead_percent:+.1f}"
+                ),
                 row.suggestion,
             )
             for row in rows

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any method regressed by more than 5%%",
     )
 
+    sub.add_parser(
+        "rules",
+        help="rule catalog coverage matrix: detector / transform / "
+        "micro-benchmark per rule",
+    )
+
     bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument(
         "target",
@@ -108,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="checkpoint file for table4: a killed run resumes from the "
         "last completed classifier instead of starting over",
+    )
+    bench.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="table1: verify micro-pairs and print the layout without "
+        "running the energy harness",
     )
     return parser
 
@@ -196,6 +208,23 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
             print(result.diff(), file=out)
     mode = "applied" if args.write else "available (dry run; use --write)"
     print(f"{total} change(s) {mode}", file=out)
+    unfixable = [
+        (filename, finding)
+        for filename, result in results.items()
+        for finding in result.unfixable
+    ]
+    if unfixable:
+        print(
+            f"{len(unfixable)} finding(s) detected but not auto-fixable:",
+            file=out,
+        )
+        for filename, finding in unfixable:
+            print(f"  {finding.one_line()}", file=out)
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace, out) -> int:
+    print(PEPO.rules_view(), file=out)
     return 0
 
 
@@ -269,6 +298,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     argv = [args.target]
     if args.checkpoint is not None:
         argv += ["--checkpoint", str(args.checkpoint)]
+    if args.dry_run:
+        argv += ["--dry-run"]
     return bench_main(argv)
 
 
@@ -280,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimize": _cmd_optimize,
         "profile": _cmd_profile,
         "compare": _cmd_compare,
+        "rules": _cmd_rules,
         "bench": _cmd_bench,
     }
     try:

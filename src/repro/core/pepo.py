@@ -108,14 +108,47 @@ class PEPO:
 
     @staticmethod
     def optimizer_view(findings_by_file: dict[str, list[Finding]]) -> str:
-        """Fig. 5: class / line number / suggestion."""
-        rows = []
-        for filename in sorted(findings_by_file):
-            for finding in findings_by_file[filename]:
-                rows.append((filename, str(finding.line), finding.suggestion))
+        """Fig. 5: class / line number / suggestion, ranked by impact.
+
+        Rows are ordered by the rule's paper overhead (descending), so
+        the suggestion promising the largest energy win tops the view;
+        location breaks ties for determinism.
+        """
+        findings = [
+            (filename, finding)
+            for filename in sorted(findings_by_file)
+            for finding in findings_by_file[filename]
+        ]
+        findings.sort(
+            key=lambda item: (
+                -(item[1].overhead_percent or 0.0),
+                item[0],
+                item[1].line,
+                item[1].col,
+            )
+        )
+        rows = [
+            (
+                filename,
+                str(finding.line),
+                f"{finding.overhead_percent:,.0f}"
+                if finding.overhead_percent is not None
+                else "—",
+                finding.suggestion,
+            )
+            for filename, finding in findings
+        ]
         return render_table(
-            headers=("Class", "Line number", "Suggestion"),
+            headers=("Class", "Line number", "Est. overhead (%)", "Suggestion"),
             rows=rows,
             title="PEPO optimizer view",
             max_col_width=76,
+            right_align=(2,),
         )
+
+    @staticmethod
+    def rules_view() -> str:
+        """The rule catalog's coverage matrix (``pepo rules``)."""
+        from repro.rules import render_rules_matrix
+
+        return render_rules_matrix()

@@ -7,9 +7,11 @@ per classifier (Table IV).  This package automates the safe subset:
 * :mod:`repro.optimizer.transforms` — one AST transform per mechanical
   rewrite (modulus→bitmask, ``+=`` string → join, copy-loop → slice,
   loop swap, find()→in, global hoist, ternary→if/else, re.compile
-  hoist).
-* :mod:`repro.optimizer.rewriter` — orchestration: apply transforms to
-  sources/files/projects, count changes, emit diffs.
+  hoist, sci-notation literals, range(len())→enumerate).
+* :mod:`repro.optimizer.rewriter` — orchestration: apply the
+  registry's transform pipeline to sources/files/projects, count
+  changes, emit diffs, and report findings that are detected but not
+  auto-fixable.
 
 Rewrites go through ``ast.unparse``; comments and exact formatting are
 not preserved (a deliberate trade-off documented in DESIGN.md — the

@@ -1,7 +1,10 @@
 """Optimizer orchestration: apply transforms, count changes, emit diffs.
 
 The per-file change counts feed the "Changes" column of the Table IV
-reproduction, exactly as the paper counts the edits made to WEKA.
+reproduction, exactly as the paper counts the edits made to WEKA.  The
+transform pipeline comes from :data:`repro.rules.REGISTRY`, and rules
+that have a detector but no transform surface their residual findings
+as "detected but not auto-fixable" on the result.
 """
 
 from __future__ import annotations
@@ -11,18 +14,25 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from repro.analyzer.findings import Finding
 from repro.optimizer.diff import unified_diff
-from repro.optimizer.transforms import ALL_TRANSFORMS, AppliedChange, Transform
+from repro.optimizer.transforms.base import AppliedChange, Transform
 
 
 @dataclass(frozen=True)
 class OptimizationResult:
-    """Outcome of optimizing one source unit."""
+    """Outcome of optimizing one source unit.
+
+    ``unfixable`` lists findings still present in the *optimized*
+    source whose rule ships no transform — the paper's gap between
+    "suggested" and "automatically applied".
+    """
 
     filename: str
     original: str
     optimized: str
     changes: tuple[AppliedChange, ...]
+    unfixable: tuple[Finding, ...] = ()
 
     @property
     def changed(self) -> bool:
@@ -45,19 +55,39 @@ class Optimizer:
     others (hoisting a statement can leave a single-statement loop body
     that the loop swap needs), so the transform pipeline re-runs until
     quiescent or the bound is hit.
+
+    Parameters
+    ----------
+    transforms:
+        Explicit transform classes; default is the registry's pipeline
+        in ``application_order`` (runtime-registered transforms
+        included).
+    registry:
+        Registry supplying the default pipeline and the transform
+        coverage used for ``unfixable``; the process-wide
+        :data:`repro.rules.REGISTRY` when omitted.
+    report_unfixable:
+        Re-analyze the optimized source and attach findings whose rule
+        has no transform (default True; disable for raw rewrite speed).
     """
 
     def __init__(
         self,
         transforms: Sequence[type[Transform]] | None = None,
         max_passes: int = 4,
+        registry=None,
+        report_unfixable: bool = True,
     ) -> None:
         if max_passes < 1:
             raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        if registry is None:
+            from repro.rules import REGISTRY as registry
+        self._registry = registry
         self._transform_classes = tuple(
-            transforms if transforms is not None else ALL_TRANSFORMS
+            transforms if transforms is not None else registry.transform_classes()
         )
         self._max_passes = max_passes
+        self._report_unfixable = report_unfixable
 
     def optimize_source(
         self, source: str, filename: str = "<source>"
@@ -82,6 +112,20 @@ class Optimizer:
             original=source,
             optimized=optimized,
             changes=tuple(all_changes),
+            unfixable=self._find_unfixable(optimized, filename),
+        )
+
+    def _find_unfixable(self, optimized: str, filename: str) -> tuple[Finding, ...]:
+        """Residual findings whose rule ships no transform."""
+        if not self._report_unfixable:
+            return ()
+        from repro.analyzer.engine import Analyzer
+
+        findings = Analyzer(registry=self._registry).analyze_source(
+            optimized, filename=filename
+        )
+        return tuple(
+            f for f in findings if not self._registry.has_transform(f.rule_id)
         )
 
     def optimize_file(self, path: str | Path, write: bool = False) -> OptimizationResult:

@@ -1,9 +1,11 @@
-"""Transform registry, in application order.
+"""Mechanical AST transforms, one per auto-fixable rule.
 
-Order matters: statement-level splices (string builder, hoists) run
-before expression-level rewrites so line anchors stay meaningful, and
-the loop swap runs last because other transforms may simplify bodies
-into the single-statement shape it requires.
+``ALL_TRANSFORMS`` is derived from :data:`repro.rules.REGISTRY` lazily
+(module ``__getattr__``), ordered by each transform's
+``application_order``: statement-level splices (string builder, hoists)
+run before expression-level rewrites so line anchors stay meaningful,
+and the loop swap runs last because other transforms may simplify
+bodies into the single-statement shape it requires.
 """
 
 from repro.optimizer.transforms.base import AppliedChange, Transform
@@ -11,21 +13,24 @@ from repro.optimizer.transforms.t_array_copy import ArrayCopyTransform
 from repro.optimizer.transforms.t_global_hoist import GlobalHoistTransform
 from repro.optimizer.transforms.t_modulus import ModulusToBitmask
 from repro.optimizer.transforms.t_object_hoist import RecompileHoistTransform
+from repro.optimizer.transforms.t_range_len import RangeLenToEnumerate
+from repro.optimizer.transforms.t_sci_notation import SciNotationTransform
 from repro.optimizer.transforms.t_str_compare import FindToInTransform
 from repro.optimizer.transforms.t_str_concat import StringBuilderTransform
 from repro.optimizer.transforms.t_ternary import TernaryToIfTransform
 from repro.optimizer.transforms.t_traversal import LoopSwapTransform
 
-ALL_TRANSFORMS: tuple[type[Transform], ...] = (
-    StringBuilderTransform,
-    RecompileHoistTransform,
-    ArrayCopyTransform,
-    FindToInTransform,
-    ModulusToBitmask,
-    TernaryToIfTransform,
-    GlobalHoistTransform,
-    LoopSwapTransform,
-)
+
+def __getattr__(name: str):
+    # Derived from the registry so runtime-registered transforms join
+    # the pipeline; lazy so importing this package never requires
+    # repro.rules to be fully initialised.
+    if name == "ALL_TRANSFORMS":
+        from repro.rules import REGISTRY
+
+        return REGISTRY.transform_classes()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ALL_TRANSFORMS",
@@ -35,7 +40,9 @@ __all__ = [
     "GlobalHoistTransform",
     "LoopSwapTransform",
     "ModulusToBitmask",
+    "RangeLenToEnumerate",
     "RecompileHoistTransform",
+    "SciNotationTransform",
     "StringBuilderTransform",
     "TernaryToIfTransform",
     "Transform",

@@ -28,6 +28,14 @@ class Transform(abc.ABC):
 
     transform_id: str
     rule_id: str
+    #: Pipeline position (lower runs earlier).  Statement-level splices
+    #: take the 10s, expression rewrites the 20s, hoists the 30s, loop
+    #: restructurings the 40s, and the loop swap runs last (90) because
+    #: other transforms may simplify bodies into the single-statement
+    #: shape it requires.  ``RuleRegistry.transform_classes`` sorts on
+    #: this, so application order is a property of the transform, not
+    #: of a hand-maintained list.
+    application_order: int = 50
 
     @abc.abstractmethod
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:

@@ -17,6 +17,7 @@ from repro.optimizer.transforms.base import AppliedChange, Transform, in_loop_st
 class ArrayCopyTransform(Transform):
     transform_id = "T_ARRAY_COPY"
     rule_id = "R10_ARRAY_COPY"
+    application_order = 12
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

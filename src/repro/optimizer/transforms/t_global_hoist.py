@@ -29,6 +29,7 @@ _BUILTINS = frozenset(dir(builtins))
 class GlobalHoistTransform(Transform):
     transform_id = "T_GLOBAL_HOIST"
     rule_id = "R04_GLOBAL_IN_LOOP"
+    application_order = 30
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

@@ -26,6 +26,7 @@ def _is_power_of_two(value: object) -> bool:
 class ModulusToBitmask(Transform):
     transform_id = "T_MODULUS_POW2"
     rule_id = "R05_MODULUS"
+    application_order = 21
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

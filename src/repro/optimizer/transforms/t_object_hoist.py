@@ -17,6 +17,7 @@ from repro.optimizer.transforms.base import AppliedChange, Transform, in_loop_st
 class RecompileHoistTransform(Transform):
     transform_id = "T_RECOMPILE_HOIST"
     rule_id = "R13_OBJECT_CHURN"
+    application_order = 11
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

@@ -19,6 +19,7 @@ from repro.optimizer.transforms.base import AppliedChange, Transform
 class FindToInTransform(Transform):
     transform_id = "T_STR_COMPARE"
     rule_id = "R09_STR_COMPARE"
+    application_order = 20
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

@@ -27,6 +27,7 @@ from repro.optimizer.transforms.base import AppliedChange, Transform, in_loop_st
 class StringBuilderTransform(Transform):
     transform_id = "T_STR_CONCAT"
     rule_id = "R08_STR_CONCAT"
+    application_order = 10
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

@@ -22,6 +22,7 @@ from repro.optimizer.transforms.base import AppliedChange, Transform
 class TernaryToIfTransform(Transform):
     transform_id = "T_TERNARY"
     rule_id = "R06_TERNARY"
+    application_order = 22
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

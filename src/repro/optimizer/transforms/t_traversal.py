@@ -27,6 +27,7 @@ from repro.optimizer.transforms.base import AppliedChange, Transform
 class LoopSwapTransform(Transform):
     transform_id = "T_TRAVERSAL_SWAP"
     rule_id = "R11_TRAVERSAL"
+    application_order = 90
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []

@@ -1,0 +1,94 @@
+"""``repro.rules`` — the unified rule registry.
+
+One :class:`~repro.rules.spec.RuleSpec` per Table I rule is the single
+source of truth for the analyzer's rule set, the optimizer's transform
+pipeline, the Table I micro-benchmarks, the suggestion pool, and the
+``pepo rules`` coverage matrix.  Register a spec at runtime and the
+rule flows through all of them with no edits to ``repro`` internals::
+
+    from repro.rules import REGISTRY
+    from repro.rules.spec import RuleSpec
+
+    REGISTRY.register(RuleSpec(rule_id="X01_MY_RULE", ..., detector=MyRule))
+
+The default registry is validated at import, so a spec whose detector,
+transform, or micro-pair disagrees about the rule id fails loudly here
+instead of silently drifting across four modules.
+"""
+
+from __future__ import annotations
+
+from repro.rules.builtin import build_default_registry
+from repro.rules.registry import RegistryError, RuleRegistry
+from repro.rules.spec import RuleSpec
+
+#: The process-wide registry every PEPO component enumerates.
+REGISTRY: RuleRegistry = build_default_registry()
+REGISTRY.validate()
+
+
+def register(spec: RuleSpec, *, replace: bool = False) -> RuleSpec:
+    """Register a spec with the global registry (convenience wrapper)."""
+    return REGISTRY.register(spec, replace=replace)
+
+
+def render_rules_matrix(registry: RuleRegistry | None = None) -> str:
+    """The ``pepo rules`` coverage matrix: one row per registered rule."""
+    from repro.views.tables import render_table
+
+    registry = REGISTRY if registry is None else registry
+
+    def mark(flag: bool) -> str:
+        return "✓" if flag else "—"
+
+    rows = []
+    for spec in registry:
+        overhead = f"{spec.overhead_percent:,.0f}"
+        if spec.overhead_is_estimate:
+            overhead = f"~{overhead}"
+        kind = "extension" if spec.extension else (
+            "table-i" if spec.builtin else "external"
+        )
+        rows.append(
+            (
+                spec.rule_id,
+                spec.python_component,
+                kind,
+                overhead,
+                mark(spec.has_detector),
+                mark(spec.has_transform),
+                mark(spec.has_micro),
+            )
+        )
+    counts = registry.coverage_counts()
+    table = render_table(
+        (
+            "Rule",
+            "Component",
+            "Kind",
+            "Overhead (%)",
+            "Detector",
+            "Transform",
+            "Micro",
+        ),
+        rows,
+        title="PEPO rule coverage",
+        right_align=(3,),
+    )
+    footer = (
+        f"{counts['rules']} rules: {counts['detectors']} detectors, "
+        f"{counts['transforms']} transforms, {counts['micros']} micro-pairs "
+        "(~ marks estimated overheads)"
+    )
+    return f"{table}\n{footer}"
+
+
+__all__ = [
+    "REGISTRY",
+    "RegistryError",
+    "RuleRegistry",
+    "RuleSpec",
+    "build_default_registry",
+    "register",
+    "render_rules_matrix",
+]

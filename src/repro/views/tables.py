@@ -14,11 +14,14 @@ def render_table(
     rows: Sequence[Sequence[str]],
     title: str | None = None,
     max_col_width: int = 60,
+    right_align: Sequence[int] = (),
 ) -> str:
     """Render an aligned text table.
 
     Cells longer than ``max_col_width`` are truncated with an ellipsis
-    so one long method name cannot blow up the whole layout.
+    so one long method name cannot blow up the whole layout.  Columns
+    whose index appears in ``right_align`` are right-justified (numeric
+    columns read better aligned on the decimal point).
     """
     if max_col_width < 4:
         raise ValueError("max_col_width must be at least 4")
@@ -37,13 +40,20 @@ def render_table(
         else len(headers[i])
         for i in range(len(headers))
     ]
+    aligned = set(right_align)
+
+    def pad(text: str, index: int) -> str:
+        if index in aligned:
+            return text.rjust(widths[index])
+        return text.ljust(widths[index])
+
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join(pad(h, i) for i, h in enumerate(headers)).rstrip())
     lines.append("  ".join("─" * w for w in widths))
     for row in clipped:
         lines.append(
-            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            "  ".join(pad(cell, i) for i, cell in enumerate(row)).rstrip()
         )
     return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""The R02 (sci-notation) and R15 (range(len) → enumerate) transforms."""
+
+import ast
+
+from repro.optimizer.rewriter import Optimizer
+from repro.optimizer.transforms.t_range_len import RangeLenToEnumerate
+from repro.optimizer.transforms.t_sci_notation import (
+    SciNotationTransform,
+    sci_spelling,
+)
+
+
+def rewrite(transform_class, source: str) -> str:
+    result = Optimizer(
+        transforms=[transform_class], max_passes=1, report_unfixable=False
+    ).optimize_source(source)
+    return result.optimized
+
+
+def run_both(source: str, optimized: str, probe: str):
+    """Exec both versions, return the probe expression's two values."""
+    values = []
+    for text in (source, optimized):
+        namespace: dict = {}
+        exec(compile(text, "<pair>", "exec"), namespace)
+        values.append(eval(probe, namespace))
+    return values
+
+
+class TestSciNotation:
+    def test_rewrites_long_zero_run(self):
+        out = rewrite(SciNotationTransform, "x = 1000000.0\n")
+        assert out == "x = 1e6\n"
+
+    def test_value_is_preserved_exactly(self):
+        source = "x = 12300000.0\ny = -2500000.0\n"
+        out = rewrite(SciNotationTransform, source)
+        assert "1.23e7" in out and "-2.5e6" in out
+        before, after = run_both(source, out, "(x, y)")
+        assert before == after
+
+    def test_short_literals_untouched(self):
+        for source in ("x = 100.0\n", "x = 1234.5\n", "x = 0.0\n"):
+            assert rewrite(SciNotationTransform, source) == source
+
+    def test_int_literals_untouched(self):
+        # The detector reports big ints too, but int→float changes type:
+        # the transform must leave them alone.
+        source = "x = 1000000\n"
+        assert rewrite(SciNotationTransform, source) == source
+
+    def test_idempotent(self):
+        once = rewrite(SciNotationTransform, "x = 1000000.0\n")
+        assert rewrite(SciNotationTransform, once) == once
+
+    def test_spelling_helper_rejects_non_qualifying(self):
+        assert sci_spelling(123.456) is None
+        assert sci_spelling(float("inf")) is None
+        assert sci_spelling(float("nan")) is None
+        assert sci_spelling(0.0) is None
+        assert sci_spelling(1000000) is None  # int, not float
+        # Tiny floats already repr in scientific form; nothing to do.
+        assert sci_spelling(0.0000045) is None
+
+    def test_spelling_round_trips(self):
+        for value in (1000000.0, 12300000.0, -2500000.0):
+            spelling = sci_spelling(value)
+            assert spelling is not None
+            assert float(spelling) == value
+
+
+LOOP = (
+    "def total(seq):\n"
+    "    out = 0\n"
+    "    for i in range(len(seq)):\n"
+    "        out += seq[i]\n"
+    "    return out\n"
+    "result = total([3, 1, 4, 1, 5])\n"
+)
+
+
+class TestRangeLenToEnumerate:
+    def test_rewrites_read_only_loop(self):
+        out = rewrite(RangeLenToEnumerate, LOOP)
+        assert "for i, seq_item in enumerate(seq):" in out
+        assert "out += seq_item" in out
+        before, after = run_both(LOOP, out, "result")
+        assert before == after == 14
+
+    def test_index_used_elsewhere_is_skipped(self):
+        source = (
+            "def f(seq):\n"
+            "    out = 0\n"
+            "    for i in range(len(seq)):\n"
+            "        out += seq[i] * i\n"
+            "    return out\n"
+        )
+        assert rewrite(RangeLenToEnumerate, source) == source
+
+    def test_write_through_index_is_skipped(self):
+        source = (
+            "def f(seq):\n"
+            "    for i in range(len(seq)):\n"
+            "        seq[i] = seq[i] + 1\n"
+            "    return seq\n"
+        )
+        assert rewrite(RangeLenToEnumerate, source) == source
+
+    def test_sequence_used_otherwise_is_skipped(self):
+        source = (
+            "def f(seq):\n"
+            "    out = 0\n"
+            "    for i in range(len(seq)):\n"
+            "        out += seq[i]\n"
+            "        seq.append(0)\n"
+            "    return out\n"
+        )
+        assert rewrite(RangeLenToEnumerate, source) == source
+
+    def test_shadowed_enumerate_is_skipped(self):
+        source = (
+            "enumerate = None\n"
+            "def f(seq):\n"
+            "    out = 0\n"
+            "    for i in range(len(seq)):\n"
+            "        out += seq[i]\n"
+            "    return out\n"
+        )
+        assert rewrite(RangeLenToEnumerate, source) == source
+
+    def test_fresh_item_name_avoids_collisions(self):
+        source = (
+            "def f(seq):\n"
+            "    seq_item = 99\n"
+            "    out = 0\n"
+            "    for i in range(len(seq)):\n"
+            "        out += seq[i]\n"
+            "    return out + seq_item\n"
+        )
+        out = rewrite(RangeLenToEnumerate, source)
+        assert "for i, seq_item_ in enumerate(seq):" in out
+
+    def test_index_still_bound_after_loop(self):
+        source = (
+            "def f(seq):\n"
+            "    out = 0\n"
+            "    for i in range(len(seq)):\n"
+            "        out += seq[i]\n"
+            "    return out + i\n"
+            "result = f([10, 20])\n"
+        )
+        out = rewrite(RangeLenToEnumerate, source)
+        assert "enumerate(seq)" in out
+        before, after = run_both(source, out, "result")
+        assert before == after == 31
+
+    def test_output_still_parses_and_detector_is_silenced(self):
+        from repro.analyzer.engine import Analyzer
+
+        out = rewrite(RangeLenToEnumerate, LOOP)
+        ast.parse(out)
+        findings = Analyzer(extended=True).analyze_source(out)
+        assert not [f for f in findings if f.rule_id == "R15_RANGE_LEN"]
