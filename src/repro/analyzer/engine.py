@@ -10,6 +10,7 @@ with per-edit finding deltas.
 from __future__ import annotations
 
 import ast
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -45,12 +46,19 @@ class Analyzer:
         honor_suppressions: bool = True,
         registry=None,
     ) -> None:
+        registry_fingerprint = ""
         if rules is None:
             if registry is None:
                 from repro.rules import REGISTRY as registry
             rules = registry.detector_classes(extended=extended)
+            registry_fingerprint = registry.fingerprint()
+        self._rule_classes: tuple[type[Rule], ...] = tuple(rules)
         self._rules: list[Rule] = [rule_class() for rule_class in rules]
         self._honor_suppressions = honor_suppressions
+        self._registry_fingerprint = registry_fingerprint
+        # Node-type dispatch index, filled lazily per concrete AST class
+        # from each rule's declared ``interested_types``.
+        self._dispatch: dict[type, tuple[Rule, ...]] = {}
 
     @property
     def rule_ids(self) -> tuple[str, ...]:
@@ -71,26 +79,65 @@ class Analyzer:
 
     def analyze_file(self, path: str | Path) -> list[Finding]:
         path = Path(path)
-        return self.analyze_source(path.read_text(), filename=str(path))
+        return self.analyze_source(
+            path.read_text(encoding="utf-8"), filename=str(path)
+        )
 
-    def analyze_project(self, project_dir: str | Path) -> dict[str, list[Finding]]:
+    def analyze_project(
+        self,
+        project_dir: str | Path,
+        *,
+        jobs: int | None = None,
+        cache: bool = False,
+        cache_dir: str | Path | None = None,
+    ) -> dict[str, list[Finding]]:
         """Findings per file for every ``.py`` under ``project_dir``.
 
-        Unparseable files map to an empty list (JEPO shows an empty view
-        rather than failing the sweep).
+        Unparseable, unreadable, or non-UTF-8 files map to an empty
+        list (JEPO shows an empty view rather than failing the sweep).
+        The sweep runs through :class:`repro.sweep.SweepEngine`:
+        ``jobs`` fans files out over worker processes (output stays
+        byte-identical to serial), ``cache`` reuses on-disk results for
+        files whose content and rule set are unchanged.
         """
-        results: dict[str, list[Finding]] = {}
-        for path in sorted(Path(project_dir).rglob("*.py")):
-            try:
-                results[str(path)] = self.analyze_file(path)
-            except SyntaxError:
-                results[str(path)] = []
-        return results
+        from repro.sweep import SweepEngine
+
+        engine = SweepEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        return engine.run(project_dir, self._sweep_job())
+
+    def _sweep_job(self):
+        """The picklable per-file work unit for project sweeps."""
+        from repro.sweep import AnalyzeJob
+
+        return AnalyzeJob(
+            rule_classes=self._rule_classes,
+            honor_suppressions=self._honor_suppressions,
+            registry_fingerprint=self._registry_fingerprint,
+        )
 
     # -- traversal -------------------------------------------------------
 
+    def _rules_for(self, node_type: type) -> tuple[Rule, ...]:
+        """Rules whose ``interested_types`` cover this AST class.
+
+        Memoized per concrete node class: after the first few nodes of
+        a sweep every ``_check`` is one dict hit instead of dispatching
+        all rules against all ~30 node types a module actually uses.
+        """
+        try:
+            return self._dispatch[node_type]
+        except KeyError:
+            matched = tuple(
+                rule
+                for rule in self._rules
+                if rule.interested_types is None
+                or issubclass(node_type, rule.interested_types)
+            )
+            self._dispatch[node_type] = matched
+            return matched
+
     def _check(self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]) -> None:
-        for rule in self._rules:
+        for rule in self._rules_for(type(node)):
             out.extend(rule.check(node, ctx))
 
     def _walk(self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]) -> None:
@@ -147,12 +194,25 @@ class DynamicAnalyzer:
         self._analyzer = analyzer or Analyzer()
         self._findings: list[Finding] = []
         self._last_good_source: str | None = None
+        self._last_digest: str | None = None
 
     @property
     def findings(self) -> list[Finding]:
         return list(self._findings)
 
     def update(self, source: str) -> FindingDelta:
+        # Editors call this per keystroke, including keystrokes that do
+        # not change the buffer (cursor saves, repeated autosaves).  A
+        # source-hash match means the previous answer still holds —
+        # skip the re-parse and return an all-unchanged delta.
+        digest = hashlib.sha256(
+            source.encode("utf-8", "surrogatepass")
+        ).hexdigest()
+        if digest == self._last_digest:
+            return FindingDelta(
+                added=(), removed=(), unchanged=tuple(self._findings)
+            )
+        self._last_digest = digest
         try:
             new = self._analyzer.analyze_source(source, filename=self.filename)
         except SyntaxError:

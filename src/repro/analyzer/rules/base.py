@@ -126,9 +126,23 @@ class Rule(abc.ABC):
 
     rule_id: str
 
+    #: AST node types this rule can possibly fire on.  The engine builds
+    #: a dispatch index from these, so a rule that only matches
+    #: ``ast.BinOp`` is never called for the other ~90 node types.
+    #: ``None`` (the default) means "call me for every node" — correct
+    #: but slow, kept as the fallback for third-party rules that do not
+    #: declare their interests.
+    interested_types: tuple[type[ast.AST], ...] | None = None
+
+    #: Bump when the rule's detection logic changes.  The registry
+    #: fingerprint folds this in, so cached sweep results produced by
+    #: an older implementation are invalidated exactly when the rule
+    #: itself changes.
+    version: int = 1
+
     @abc.abstractmethod
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
-        """Yield findings for ``node`` (called for every node)."""
+        """Yield findings for ``node`` (called for every interested node)."""
 
 
 # -- scope precomputation ----------------------------------------------

@@ -19,6 +19,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 
 class GlobalInLoopRule(Rule):
     rule_id = "R04_GLOBAL_IN_LOOP"
+    interested_types = (ast.For, ast.While)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         # Anchor on the loop so each (loop, name) pair is flagged once.

@@ -22,6 +22,7 @@ def _is_power_of_two(value: object) -> bool:
 
 class ModulusRule(Rule):
     rule_id = "R05_MODULUS"
+    interested_types = (ast.BinOp,)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)):

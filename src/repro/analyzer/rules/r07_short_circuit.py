@@ -33,6 +33,7 @@ def _is_cheap(node: ast.expr) -> bool:
 
 class ShortCircuitRule(Rule):
     rule_id = "R07_SHORT_CIRCUIT"
+    interested_types = (ast.BoolOp,)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.BoolOp):

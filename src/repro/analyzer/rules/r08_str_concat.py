@@ -17,6 +17,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 
 class StrConcatRule(Rule):
     rule_id = "R08_STR_CONCAT"
+    interested_types = (ast.AugAssign, ast.Assign)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not ctx.in_loop:

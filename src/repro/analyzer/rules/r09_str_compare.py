@@ -18,6 +18,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 
 class StrCompareRule(Rule):
     rule_id = "R09_STR_COMPARE"
+    interested_types = (ast.Compare,)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Compare) and len(node.ops) == 1):

@@ -20,6 +20,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 
 class ArrayCopyRule(Rule):
     rule_id = "R10_ARRAY_COPY"
+    interested_types = (ast.For,)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.For):

@@ -17,6 +17,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 
 class ObjectChurnRule(Rule):
     rule_id = "R13_OBJECT_CHURN"
+    interested_types = (ast.Call,)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Call) and ctx.in_loop):

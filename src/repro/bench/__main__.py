@@ -19,7 +19,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table2", "table3", "table4", "figures", "all"],
+        choices=["table1", "table2", "table3", "table4", "figures", "sweep",
+                 "all"],
     )
     parser.add_argument(
         "--full",
@@ -41,6 +42,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="table1: verify every micro-pair and print the table layout "
         "without running the energy harness (CI smoke-check)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="sweep: worker processes for the parallel configuration",
+    )
+    parser.add_argument(
+        "--project",
+        default=None,
+        help="sweep: project directory to sweep (default: repro's own "
+        "source tree)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="sweep: where to write BENCH_sweep.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="sweep: exit 1 unless parallel/cached output is identical "
+        "to serial (CI smoke assertion)",
     )
     args = parser.parse_args(argv)
 
@@ -74,6 +98,20 @@ def main(argv: list[str] | None = None) -> int:
             for name, text in run_figures().items():
                 print(f"===== {name} =====")
                 print(text)
+        elif target == "sweep":
+            from repro.bench.sweep import (
+                DEFAULT_OUTPUT,
+                render_sweep_bench,
+                run_sweep_bench,
+                write_sweep_bench,
+            )
+
+            result = run_sweep_bench(project_dir=args.project, jobs=args.jobs)
+            print(render_sweep_bench(result))
+            output = write_sweep_bench(result, args.output or DEFAULT_OUTPUT)
+            print(f"wrote {output}")
+            if args.check and not result.deterministic:
+                return 1
         print()
     return 0
 

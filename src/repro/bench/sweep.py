@@ -1,0 +1,159 @@
+"""``pepo bench sweep`` — measure the project-sweep engine on this repo.
+
+Four configurations of the analyzer sweep over ``src/repro`` (or any
+project directory):
+
+* ``serial_cold``    — one process, no cache (the pre-engine baseline);
+* ``parallel_cold``  — ``--jobs N`` worker processes, no cache;
+* ``cache_cold``     — serial with a fresh cache (analysis + hashing +
+  cache writes: the first sweep of an edit loop);
+* ``cache_warm``     — serial against the populated cache (the steady
+  state: every file a content-hash hit).
+
+Results go to ``BENCH_sweep.json`` so the perf trajectory is measured,
+not asserted.  The parallel run is also checked for byte-identical
+findings against serial — a determinism regression fails the bench
+before any timing is reported.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.views.tables import render_table
+
+#: Default output path, relative to the working directory.
+DEFAULT_OUTPUT = Path("BENCH_sweep.json")
+
+
+def default_project_dir() -> Path:
+    """This repo's own source tree: the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@dataclass(frozen=True)
+class SweepBenchResult:
+    """Timings (seconds) and bookkeeping for one bench run."""
+
+    project: str
+    files: int
+    findings: int
+    jobs: int
+    timings: dict[str, float]
+    deterministic: bool
+
+    def speedups(self) -> dict[str, float]:
+        """Each configuration's speedup over the cold serial sweep."""
+        base = self.timings["serial_cold"]
+        return {
+            name: (base / seconds if seconds > 0 else float("inf"))
+            for name, seconds in self.timings.items()
+            if name != "serial_cold"
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": "sweep",
+            "project": self.project,
+            "files": self.files,
+            "findings": self.findings,
+            "jobs": self.jobs,
+            "timings_s": {k: round(v, 6) for k, v in self.timings.items()},
+            "speedups_vs_serial_cold": {
+                k: round(v, 2) for k, v in self.speedups().items()
+            },
+            "deterministic": self.deterministic,
+        }
+
+
+def _timed_analyze(project: Path, **kwargs) -> tuple[float, dict]:
+    from repro.analyzer import Analyzer
+
+    start = time.perf_counter()
+    results = Analyzer().analyze_project(project, **kwargs)
+    return time.perf_counter() - start, results
+
+
+def run_sweep_bench(
+    project_dir: str | Path | None = None,
+    jobs: int = 2,
+    repeats: int = 3,
+) -> SweepBenchResult:
+    """Run all four sweep configurations; best-of-``repeats`` timings."""
+    project = Path(project_dir) if project_dir else default_project_dir()
+
+    timings: dict[str, float] = {}
+
+    def best(name: str, run) -> dict:
+        results = {}
+        timings[name] = min_elapsed = float("inf")
+        for _ in range(max(1, repeats)):
+            elapsed, results = run()
+            min_elapsed = min(min_elapsed, elapsed)
+        timings[name] = min_elapsed
+        return results
+
+    serial = best("serial_cold", lambda: _timed_analyze(project))
+    parallel = best(
+        "parallel_cold", lambda: _timed_analyze(project, jobs=jobs)
+    )
+    deterministic = serial == parallel
+
+    with tempfile.TemporaryDirectory(prefix="pepo-bench-cache-") as cache_dir:
+        cold_elapsed, cached = _timed_analyze(
+            project, cache=True, cache_dir=cache_dir
+        )
+        timings["cache_cold"] = cold_elapsed
+        deterministic = deterministic and cached == serial
+        warm = best(
+            "cache_warm",
+            lambda: _timed_analyze(project, cache=True, cache_dir=cache_dir),
+        )
+        deterministic = deterministic and warm == serial
+
+    return SweepBenchResult(
+        project=str(project),
+        files=len(serial),
+        findings=sum(len(v) for v in serial.values()),
+        jobs=jobs,
+        timings=timings,
+        deterministic=deterministic,
+    )
+
+
+def render_sweep_bench(result: SweepBenchResult) -> str:
+    speedups = result.speedups()
+    rows = [("serial_cold", f"{result.timings['serial_cold'] * 1000:.1f}", "1.00x")]
+    for name in ("parallel_cold", "cache_cold", "cache_warm"):
+        rows.append(
+            (name, f"{result.timings[name] * 1000:.1f}", f"{speedups[name]:.2f}x")
+        )
+    table = render_table(
+        ("Configuration", "Time (ms)", "Speedup"),
+        rows,
+        title=f"Sweep bench — {result.files} files, "
+        f"{result.findings} findings ({result.project})",
+        right_align=(1, 2),
+    )
+    determinism = (
+        "parallel + cached output identical to serial"
+        if result.deterministic
+        else "DETERMINISM VIOLATION: parallel/cached output differs from serial"
+    )
+    return f"{table}\n{determinism}"
+
+
+def write_sweep_bench(
+    result: SweepBenchResult, output: str | Path = DEFAULT_OUTPUT
+) -> Path:
+    output = Path(output)
+    output.write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+    return output

@@ -53,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-rule rollup and hotspot files instead of "
         "individual findings",
     )
+    _add_sweep_options(suggest)
 
     optimize = sub.add_parser(
         "optimize", help="apply automatic energy rewrites"
@@ -63,6 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.add_argument(
         "--diff", action="store_true", help="print unified diffs"
+    )
+    _add_sweep_options(optimize)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the .pepo_cache sweep-result cache",
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "path",
+        type=Path,
+        nargs="?",
+        default=Path("."),
+        help="project directory holding the cache (default: .)",
     )
 
     profile = sub.add_parser(
@@ -103,10 +118,24 @@ def build_parser() -> argparse.ArgumentParser:
         "micro-benchmark per rule",
     )
 
-    bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench = sub.add_parser(
+        "bench", help="regenerate a paper table/figure or a perf bench"
+    )
     bench.add_argument(
         "target",
-        choices=["table1", "table2", "table3", "table4", "figures", "all"],
+        choices=["table1", "table2", "table3", "table4", "figures", "sweep",
+                 "all"],
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep: worker processes for the parallel configuration",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="sweep: exit 1 unless parallel/cached output matches serial",
     )
     bench.add_argument(
         "--checkpoint",
@@ -124,6 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Shared --jobs/--cache flags for directory sweeps."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sweep a directory with N worker processes (output is "
+        "byte-identical to serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse per-file results from .pepo_cache/ when file content "
+        "and the rule set are unchanged (--no-cache disables)",
+    )
+
+
 def _cmd_suggest(args: argparse.Namespace, out) -> int:
     import json
 
@@ -135,7 +183,9 @@ def _cmd_suggest(args: argparse.Namespace, out) -> int:
     if args.watch:
         return _watch(pepo, path, args.interval, out, once=args.once)
     if path.is_dir():
-        findings_by_file = analyzer.analyze_project(path)
+        findings_by_file = analyzer.analyze_project(
+            path, jobs=args.jobs, cache=args.cache
+        )
         if args.json:
             for findings in findings_by_file.values():
                 for finding in findings:
@@ -192,7 +242,9 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
     pepo = PEPO()
     path: Path = args.path
     if path.is_dir():
-        results = pepo.optimize_project(path, write=args.write)
+        results = pepo.optimize_project(
+            path, write=args.write, jobs=args.jobs, cache=args.cache
+        )
     else:
         results = {str(path): pepo.optimize_file(path, write=args.write)}
     total = 0
@@ -225,6 +277,20 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
 
 def _cmd_rules(args: argparse.Namespace, out) -> int:
     print(PEPO.rules_view(), file=out)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, out) -> int:
+    from repro.sweep import SweepCache
+
+    cache = SweepCache.for_project(args.path)
+    if args.action == "stats":
+        print(cache.stats().render(), file=out)
+    else:
+        removed = cache.clear()
+        print(
+            f"cleared {removed} cached result(s) from {cache.root}", file=out
+        )
     return 0
 
 
@@ -300,6 +366,10 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         argv += ["--checkpoint", str(args.checkpoint)]
     if args.dry_run:
         argv += ["--dry-run"]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.check:
+        argv += ["--check"]
     return bench_main(argv)
 
 
@@ -312,6 +382,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "compare": _cmd_compare,
         "rules": _cmd_rules,
+        "cache": _cmd_cache,
         "bench": _cmd_bench,
     }
     try:

@@ -66,8 +66,14 @@ class PEPO:
     def suggest_file(self, path: str | Path) -> list[Finding]:
         return self._analyzer.analyze_file(path)
 
-    def suggest_project(self, project_dir: str | Path) -> dict[str, list[Finding]]:
-        return self._analyzer.analyze_project(project_dir)
+    def suggest_project(
+        self,
+        project_dir: str | Path,
+        *,
+        jobs: int | None = None,
+        cache: bool = False,
+    ) -> dict[str, list[Finding]]:
+        return self._analyzer.analyze_project(project_dir, jobs=jobs, cache=cache)
 
     def dynamic_analyzer(self, filename: str = "<buffer>") -> DynamicAnalyzer:
         """Editor-integration mode: incremental re-analysis (Fig. 2)."""
@@ -84,9 +90,16 @@ class PEPO:
         return self._optimizer.optimize_file(path, write=write)
 
     def optimize_project(
-        self, project_dir: str | Path, write: bool = False
+        self,
+        project_dir: str | Path,
+        write: bool = False,
+        *,
+        jobs: int | None = None,
+        cache: bool = False,
     ) -> dict[str, OptimizationResult]:
-        return self._optimizer.optimize_project(project_dir, write=write)
+        return self._optimizer.optimize_project(
+            project_dir, write=write, jobs=jobs, cache=cache
+        )
 
     # -- profiling (JEPO profiler button) -----------------------------------
 

@@ -131,26 +131,58 @@ class Optimizer:
     def optimize_file(self, path: str | Path, write: bool = False) -> OptimizationResult:
         """Optimize a file; ``write=True`` rewrites it in place."""
         path = Path(path)
-        result = self.optimize_source(path.read_text(), filename=str(path))
+        result = self.optimize_source(
+            path.read_text(encoding="utf-8"), filename=str(path)
+        )
         if write and result.changed:
-            path.write_text(result.optimized)
+            path.write_text(result.optimized, encoding="utf-8")
         return result
 
     def optimize_project(
-        self, project_dir: str | Path, write: bool = False
+        self,
+        project_dir: str | Path,
+        write: bool = False,
+        *,
+        jobs: int | None = None,
+        cache: bool = False,
+        cache_dir: str | Path | None = None,
     ) -> dict[str, OptimizationResult]:
         """Optimize every ``.py`` under a directory tree.
 
-        Unparseable files are skipped silently (consistent with the
-        analyzer's project sweep).
+        Unparseable, unreadable, and non-UTF-8 files are skipped
+        silently (consistent with the analyzer's project sweep).  The
+        sweep runs through :class:`repro.sweep.SweepEngine`: ``jobs``
+        fans files out over worker processes, ``cache`` reuses on-disk
+        results keyed by content hash + registry fingerprint.  Writes
+        happen in the parent process after the sweep, so cached and
+        freshly-computed results rewrite files identically.
         """
-        results: dict[str, OptimizationResult] = {}
-        for path in sorted(Path(project_dir).rglob("*.py")):
-            try:
-                results[str(path)] = self.optimize_file(path, write=write)
-            except SyntaxError:
-                continue
+        from repro.sweep import SweepEngine
+
+        engine = SweepEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        results = engine.run(project_dir, self._sweep_job())
+        if write:
+            for filename, result in results.items():
+                if result.changed:
+                    Path(filename).write_text(result.optimized, encoding="utf-8")
         return results
+
+    def _sweep_job(self):
+        """The picklable per-file work unit for project sweeps."""
+        from repro.sweep import OptimizeJob
+
+        return OptimizeJob(
+            transform_classes=self._transform_classes,
+            detector_classes=self._registry.detector_classes(),
+            fixable_rule_ids=frozenset(
+                spec.rule_id
+                for spec in self._registry
+                if spec.transform is not None
+            ),
+            max_passes=self._max_passes,
+            report_unfixable=self._report_unfixable,
+            registry_fingerprint=self._registry.fingerprint(),
+        )
 
     def total_changes(self, results: dict[str, OptimizationResult]) -> int:
         """Project-wide applied-change count (Table IV "Changes")."""

@@ -28,6 +28,10 @@ class Transform(abc.ABC):
 
     transform_id: str
     rule_id: str
+    #: Bump when the rewrite logic changes; the registry fingerprint
+    #: folds this in so cached optimizer sweep results are invalidated
+    #: when the transform itself changes.
+    version: int = 1
     #: Pipeline position (lower runs earlier).  Statement-level splices
     #: take the 10s, expression rewrites the 20s, hoists the 30s, loop
     #: restructurings the 40s, and the loop swap runs last (90) because

@@ -8,6 +8,7 @@ makes the rule flow through ``Analyzer`` (detector), ``Optimizer``
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.rules.spec import RuleSpec
@@ -117,6 +118,33 @@ class RuleRegistry:
             spec.micro for spec in self._specs.values() if spec.micro is not None
         )
 
+    # -- cache identity ---------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable digest of the registered rule set.
+
+        Folds in every rule id plus the identity and declared
+        ``version`` of its detector and transform classes, so
+        registering, unregistering, or editing (version-bumping) a rule
+        changes the fingerprint — and therefore invalidates exactly the
+        sweep-cache entries that depended on it.  Sorted by rule id so
+        registration order does not matter.
+        """
+        digest = hashlib.sha256()
+        for spec in sorted(self._specs.values(), key=lambda s: s.rule_id):
+            digest.update(
+                repr(
+                    (
+                        spec.rule_id,
+                        _class_token(spec.detector),
+                        _class_token(spec.transform),
+                        spec.extension,
+                        spec.overhead_percent,
+                    )
+                ).encode("utf-8")
+            )
+        return digest.hexdigest()
+
     # -- coverage queries -------------------------------------------------
 
     def has_transform(self, rule_id: str) -> bool:
@@ -149,6 +177,13 @@ class RuleRegistry:
         """
         for spec in self._specs.values():
             _check_spec(spec)
+
+
+def _class_token(cls: type | None) -> tuple | None:
+    """Identity of a detector/transform class for fingerprinting."""
+    if cls is None:
+        return None
+    return (cls.__module__, cls.__qualname__, getattr(cls, "version", 1))
 
 
 def _check_spec(spec: RuleSpec) -> None:

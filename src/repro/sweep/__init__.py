@@ -1,0 +1,29 @@
+"""``repro.sweep`` — parallel, incremental project sweeps.
+
+The shared engine behind ``Analyzer.analyze_project`` and
+``Optimizer.optimize_project`` (and therefore ``pepo suggest`` /
+``pepo optimize`` on directories):
+
+* :mod:`repro.sweep.engine` — process-pool fan-out with a
+  deterministic merge (parallel output is byte-identical to serial);
+* :mod:`repro.sweep.cache` — the ``.pepo_cache/`` content-hash result
+  cache, keyed by (file content, rule-registry fingerprint, options);
+* :mod:`repro.sweep.jobs` — picklable per-file work units for the
+  analyzer and optimizer.
+"""
+
+from repro.sweep.cache import CACHE_DIR_NAME, CacheStats, SweepCache, content_key
+from repro.sweep.engine import SweepEngine, SweepStats
+from repro.sweep.jobs import AnalyzeJob, OptimizeJob, SweepJob
+
+__all__ = [
+    "AnalyzeJob",
+    "CACHE_DIR_NAME",
+    "CacheStats",
+    "OptimizeJob",
+    "SweepCache",
+    "SweepEngine",
+    "SweepJob",
+    "SweepStats",
+    "content_key",
+]

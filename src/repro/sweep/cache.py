@@ -1,0 +1,149 @@
+"""On-disk result cache for project sweeps.
+
+Entries live under ``<project>/.pepo_cache/<kind>/<k0k1>/<key>.json``
+where ``key = sha256(fingerprint || NUL || file content)``.  The
+fingerprint half comes from the sweep job (rule-registry fingerprint
+plus analyzer/optimizer options), so a cache entry is valid exactly
+while *both* the file content and the rule set that produced it are
+unchanged.  Nothing is keyed on paths or mtimes: touching a file
+without editing it stays a hit, and the same content in two files
+shares one entry.
+
+Writes are atomic (tempfile + ``os.replace``) so concurrent sweeps of
+the same project cannot observe half-written entries, and every read
+failure — missing file, corrupt JSON, permission error — degrades to a
+cache miss, never an exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Default cache directory name, created inside the swept project.
+CACHE_DIR_NAME = ".pepo_cache"
+
+#: Bump to orphan every existing entry when the payload schema changes.
+CACHE_FORMAT = 1
+
+
+def content_key(fingerprint: str, content: bytes) -> str:
+    """Cache key for one file: job fingerprint + exact file bytes."""
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(content)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``pepo cache stats`` reports."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    by_kind: dict[str, int]
+
+    def render(self) -> str:
+        lines = [f"cache root: {self.root}"]
+        if not self.entries:
+            lines.append("empty (no cached sweep results)")
+            return "\n".join(lines)
+        for kind in sorted(self.by_kind):
+            lines.append(f"  {kind}: {self.by_kind[kind]} entr"
+                         f"{'y' if self.by_kind[kind] == 1 else 'ies'}")
+        lines.append(
+            f"{self.entries} entr{'y' if self.entries == 1 else 'ies'}, "
+            f"{self.total_bytes / 1024:.1f} KiB"
+        )
+        return "\n".join(lines)
+
+
+class SweepCache:
+    """Content-addressed JSON store under one cache root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def for_project(
+        cls, project_dir: str | Path, cache_dir: str | Path | None = None
+    ) -> "SweepCache":
+        """Cache co-located with the swept project unless overridden."""
+        if cache_dir is not None:
+            return cls(cache_dir)
+        project_dir = Path(project_dir)
+        base = project_dir if project_dir.is_dir() else project_dir.parent
+        return cls(base / CACHE_DIR_NAME)
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    def get(self, kind: str, key: str) -> dict | None:
+        """Stored payload, or None on any miss/corruption."""
+        try:
+            raw = self._entry_path(kind, key).read_text(encoding="utf-8")
+            payload = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+            return None
+        return payload.get("result")
+
+    def put(self, kind: str, key: str, result: dict) -> None:
+        """Store a payload atomically; IO errors are swallowed (a cache
+        that cannot write behaves like a cache that always misses)."""
+        entry = self._entry_path(kind, key)
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=entry.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"format": CACHE_FORMAT, "result": result}, handle)
+                os.replace(tmp, entry)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    # -- maintenance (``pepo cache``) -------------------------------------
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        by_kind: dict[str, int] = {}
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+                total_bytes += size
+                kind = path.relative_to(self.root).parts[0]
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total_bytes,
+            by_kind=by_kind,
+        )
+
+    def clear(self) -> int:
+        """Delete the cache tree; returns the number of entries removed."""
+        removed = self.stats().entries
+        if self.root.is_dir():
+            shutil.rmtree(self.root, ignore_errors=True)
+        return removed

@@ -1,0 +1,186 @@
+"""The shared project-sweep engine.
+
+One engine serves both ``Analyzer.analyze_project`` and
+``Optimizer.optimize_project``: it walks every ``.py`` under a project,
+consults the content-hash cache, fans the remaining files out over a
+``ProcessPoolExecutor`` (or runs them in-process for serial sweeps),
+and merges everything back **deterministically** — results are keyed
+and ordered exactly as the old serial loops ordered them, so parallel
+output is byte-identical to serial output.
+
+Division of labor per file:
+
+* parent process — reads bytes once, decodes UTF-8, computes the cache
+  key, serves hits, writes back misses;
+* worker process — rebuilds the analyzer/optimizer from the picklable
+  :class:`~repro.sweep.jobs.SweepJob` in its initializer (rule classes
+  travel by reference), then turns ``(path, source)`` work items into
+  JSON payloads.
+
+Unreadable (``OSError``), undecodable (``UnicodeDecodeError``) and
+unparseable (``SyntaxError``) files degrade per the job's policy —
+empty findings for the analyzer, a skipped entry for the optimizer —
+never a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sweep.cache import SweepCache, content_key
+from repro.sweep.jobs import SweepJob
+
+# Worker-process state, set once per worker by the pool initializer so
+# rules and registry are reconstructed per process rather than pickled
+# per task.
+_WORKER_JOB: SweepJob | None = None
+_WORKER_PROCESSOR: object | None = None
+
+
+def _worker_init(job: SweepJob) -> None:
+    global _WORKER_JOB, _WORKER_PROCESSOR
+    _WORKER_JOB = job
+    _WORKER_PROCESSOR = job.build()
+
+
+def _worker_run(item: tuple[str, str]) -> dict:
+    path, source = item
+    assert _WORKER_JOB is not None
+    return _WORKER_JOB.run(_WORKER_PROCESSOR, path, source)
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Accounting for one sweep (exposed for benches and tests)."""
+
+    files: int
+    cache_hits: int
+    cache_misses: int
+    io_errors: int
+    jobs: int
+
+
+class SweepEngine:
+    """Parallel, incremental sweep over a project tree.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None``/``0``/``1`` sweeps serially in this
+        process.  Parallel merge order is identical to serial order.
+    cache:
+        Reuse/store per-file results under ``.pepo_cache/`` keyed by
+        (file content hash, rule-registry fingerprint, options).
+    cache_dir:
+        Cache root override; default is ``<project>/.pepo_cache``.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: bool = False,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if jobs is not None and jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self._jobs = jobs
+        self._cache_enabled = cache
+        self._cache_dir = cache_dir
+        self.last_stats: SweepStats | None = None
+
+    def run(self, project_dir: str | Path, job: SweepJob) -> dict[str, object]:
+        """Sweep every ``.py`` under ``project_dir`` through ``job``."""
+        paths = sorted(Path(project_dir).rglob("*.py"))
+        cache = (
+            SweepCache.for_project(project_dir, self._cache_dir)
+            if self._cache_enabled
+            else None
+        )
+        fingerprint = job.fingerprint() if cache is not None else ""
+
+        results: dict[str, object] = {}
+        pending: list[tuple[str, str, str | None]] = []  # path, source, key
+        hits = 0
+        io_errors = 0
+        for path in paths:
+            name = str(path)
+            try:
+                content = path.read_bytes()
+                source = content.decode("utf-8")
+            except (OSError, UnicodeDecodeError):
+                io_errors += 1
+                results[name] = job.decode(name, {"error": "io"})
+                continue
+            key = None
+            if cache is not None:
+                key = content_key(fingerprint, content)
+                payload = cache.get(job.kind, key)
+                if payload is not None:
+                    hits += 1
+                    results[name] = job.decode(name, payload)
+                    continue
+            pending.append((name, source, key))
+
+        payloads = self._process(job, [(name, source) for name, source, _ in pending])
+        for (name, _source, key), payload in zip(pending, payloads):
+            if cache is not None and key is not None:
+                cache.put(job.kind, key, payload)
+            results[name] = job.decode(name, payload)
+
+        self.last_stats = SweepStats(
+            files=len(paths),
+            cache_hits=hits,
+            cache_misses=len(pending),
+            io_errors=io_errors,
+            jobs=self._effective_jobs(len(pending), job),
+        )
+        # Merge in the exact order the serial loops used (sorted Path
+        # order), dropping entries the job declined (decode -> None).
+        return {
+            str(path): results[str(path)]
+            for path in paths
+            if results.get(str(path)) is not None
+        }
+
+    # -- execution strategies ---------------------------------------------
+
+    def _effective_jobs(self, pending_count: int, job: SweepJob) -> int:
+        # ``jobs`` is taken at face value (no cpu_count clamp): on a
+        # 1-core box ``--jobs 2`` must still exercise the pool so
+        # parallel behavior is testable everywhere; oversubscription
+        # is the caller's call.  Never more workers than files, though.
+        jobs = self._jobs or 1
+        if jobs > 1:
+            jobs = min(jobs, max(pending_count, 1))
+        if jobs > 1 and not _is_picklable(job):
+            # Rule classes defined in closures cannot cross the process
+            # boundary; degrade to a serial sweep instead of crashing.
+            jobs = 1
+        return jobs
+
+    def _process(
+        self, job: SweepJob, items: list[tuple[str, str]]
+    ) -> list[dict]:
+        if not items:
+            return []
+        jobs = self._effective_jobs(len(items), job)
+        if jobs <= 1:
+            processor = job.build()
+            return [job.run(processor, name, source) for name, source in items]
+        chunksize = max(1, len(items) // (jobs * 4))
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init, initargs=(job,)
+        ) as pool:
+            # ``map`` preserves submission order, which the merge relies on.
+            return list(pool.map(_worker_run, items, chunksize=chunksize))
+
+
+def _is_picklable(job: SweepJob) -> bool:
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False

@@ -100,6 +100,77 @@ class TestAnalyzer:
         analyze_source(text)
 
 
+class TestDispatchIndex:
+    """The node-type index only calls rules on nodes they declared."""
+
+    def _counting_rule(self, interested):
+        import ast as ast_mod
+
+        from repro.analyzer.rules.base import Rule
+
+        seen = []
+
+        class CountingRule(Rule):
+            rule_id = "X00_COUNTING"
+            interested_types = interested
+
+            def check(self, node, ctx):
+                seen.append(type(node).__name__)
+                return iter(())
+
+        return CountingRule, seen
+
+    def test_declared_rule_sees_only_its_node_types(self):
+        import ast as ast_mod
+
+        cls, seen = self._counting_rule((ast_mod.BinOp,))
+        Analyzer(rules=[cls]).analyze_source(
+            "def f(x):\n    y = x % 2\n    return y\n"
+        )
+        assert seen and set(seen) == {"BinOp"}
+
+    def test_undeclared_rule_falls_back_to_all_nodes(self):
+        cls, seen = self._counting_rule(None)
+        Analyzer(rules=[cls]).analyze_source(
+            "def f(x):\n    y = x % 2\n    return y\n"
+        )
+        # Saw far more than just the BinOp: the all-nodes fallback.
+        assert "BinOp" in seen
+        assert "FunctionDef" in seen
+        assert "Return" in seen
+
+    def test_every_builtin_rule_declares_interests(self):
+        # Keeps the fast path honest: a shipped rule that forgets to
+        # declare interested_types silently reverts to all-nodes cost.
+        from repro.rules import REGISTRY
+
+        for spec in REGISTRY:
+            if spec.builtin:
+                assert spec.detector.interested_types, spec.rule_id
+
+    def test_indexed_findings_match_unindexed(self):
+        # The index is an optimization, not a behavior change: force
+        # the all-nodes path and compare findings field by field.
+        src = (
+            "G = re\n"
+            "def f(xs):\n"
+            "    s = ''\n"
+            "    for i in range(len(xs)):\n"
+            "        s += str(xs[i] % 10)\n"
+            "        t = 1 if s else 2\n"
+            "    return s\n"
+        )
+        indexed = Analyzer(extended=True).analyze_source(src)
+        plain = Analyzer(extended=True)
+        for rule in plain._rules:
+            rule.interested_types = None
+        plain._dispatch.clear()
+        unindexed = plain.analyze_source(src)
+        assert [f.to_dict() for f in indexed] == [
+            f.to_dict() for f in unindexed
+        ]
+
+
 class TestSuggestionPool:
     def test_thirteen_entries(self):
         pool = SuggestionPool()
@@ -165,6 +236,70 @@ class TestDynamicAnalyzer:
         dyn = DynamicAnalyzer(filename="editor.py")
         dyn.update(DIRTY_SOURCE)
         assert dyn.findings[0].file == "editor.py"
+
+    def test_unchanged_buffer_short_circuits_reanalysis(self):
+        # Editors call update per keystroke; an identical buffer must
+        # not pay for a re-parse (source-hash short-circuit).
+        analyzer = Analyzer()
+        calls = []
+        real = analyzer.analyze_source
+
+        def counting(source, filename="<string>"):
+            calls.append(filename)
+            return real(source, filename=filename)
+
+        analyzer.analyze_source = counting
+        dyn = DynamicAnalyzer(analyzer=analyzer)
+        first = dyn.update(DIRTY_SOURCE)
+        analyzed = len(calls)
+        second = dyn.update(DIRTY_SOURCE)
+        assert len(calls) == analyzed  # no re-analysis
+        assert second.added == () and second.removed == ()
+        assert len(second.unchanged) == len(first.added) + len(first.unchanged)
+        assert dyn.findings  # state intact
+
+    def test_short_circuit_then_edit_still_reanalyzes(self):
+        dyn = DynamicAnalyzer()
+        dyn.update(DIRTY_SOURCE)
+        dyn.update(DIRTY_SOURCE)  # short-circuited
+        delta = dyn.update(CLEAN_SOURCE)
+        assert any(f.rule_id == "R08_STR_CONCAT" for f in delta.removed)
+        assert dyn.findings == []
+
+
+class TestSourceReading:
+    def test_analyze_file_reads_utf8(self, tmp_path):
+        path = tmp_path / "uni.py"
+        path.write_text(
+            "def f(xs):\n    s = ''\n    for x in xs:\n        s += 'é'\n",
+            encoding="utf-8",
+        )
+        findings = Analyzer().analyze_file(path)
+        assert any(f.rule_id == "R08_STR_CONCAT" for f in findings)
+
+    def test_analyze_file_non_utf8_raises(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes(b"s = '\xe9\xff'\n")
+        with pytest.raises(UnicodeDecodeError):
+            Analyzer().analyze_file(path)
+
+    def test_project_sweep_treats_decode_errors_like_syntax_errors(
+        self, tmp_path
+    ):
+        (tmp_path / "good.py").write_text(DIRTY_SOURCE, encoding="utf-8")
+        (tmp_path / "latin.py").write_bytes(b"s = '\xe9\xff'\n")
+        results = Analyzer().analyze_project(tmp_path)
+        assert results[str(tmp_path / "latin.py")] == []
+        assert results[str(tmp_path / "good.py")]
+
+    def test_project_sweep_treats_read_errors_like_syntax_errors(
+        self, tmp_path
+    ):
+        (tmp_path / "good.py").write_text(DIRTY_SOURCE, encoding="utf-8")
+        (tmp_path / "dir.py").mkdir()  # rglob matches; read raises OSError
+        results = Analyzer().analyze_project(tmp_path)
+        assert results[str(tmp_path / "dir.py")] == []
+        assert results[str(tmp_path / "good.py")]
 
 
 class TestSeverities:

@@ -1,0 +1,195 @@
+"""Cache correctness: hits only when nothing relevant changed.
+
+The cache key is (file content hash, rule-registry fingerprint,
+analyzer options).  These tests pin the invalidation matrix: a no-op
+touch stays a hit; a file edit, a rule registration, a rule version
+bump, and an option change are all misses.
+"""
+
+import ast
+import json
+import os
+
+import pytest
+
+from repro.analyzer import Analyzer
+from repro.analyzer.rules.base import Rule
+from repro.rules import REGISTRY, RuleSpec
+from repro.rules.registry import RuleRegistry
+from repro.sweep import SweepCache, SweepEngine
+
+DIRTY = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+
+class RegisteredAtRuntimeRule(Rule):
+    """Module-level so it is picklable and registry-registrable."""
+
+    rule_id = "X01_RUNTIME_TEST"
+    interested_types = (ast.For,)
+
+    def check(self, node, ctx):
+        return iter(())
+
+
+@pytest.fixture()
+def project(tmp_path):
+    (tmp_path / "mod.py").write_text(DIRTY, encoding="utf-8")
+    (tmp_path / "other.py").write_text("x = 1\n", encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "cachedir"
+
+
+def _sweep(project, cache_dir, analyzer=None):
+    """One cached sweep; returns (results, stats)."""
+    engine = SweepEngine(cache=True, cache_dir=cache_dir)
+    results = engine.run(project, (analyzer or Analyzer())._sweep_job())
+    return results, engine.last_stats
+
+
+class TestCacheHits:
+    def test_second_sweep_is_all_hits(self, project, cache_dir):
+        _, cold = _sweep(project, cache_dir)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        _, warm = _sweep(project, cache_dir)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+
+    def test_noop_touch_stays_a_hit(self, project, cache_dir):
+        _sweep(project, cache_dir)
+        # Bump mtime without changing content: mtime is not in the key.
+        os.utime(project / "mod.py", (1, 1))
+        _, stats = _sweep(project, cache_dir)
+        assert (stats.cache_hits, stats.cache_misses) == (2, 0)
+
+    def test_identical_content_shares_one_entry(self, project, cache_dir):
+        (project / "copy.py").write_text("x = 1\n", encoding="utf-8")
+        results, stats = _sweep(project, cache_dir)
+        assert len(results) == 3
+        # other.py and copy.py have identical bytes -> one cache entry.
+        cache = SweepCache(cache_dir)
+        assert cache.stats().entries == 2
+
+
+class TestCacheMisses:
+    def test_file_edit_is_a_miss(self, project, cache_dir):
+        _sweep(project, cache_dir)
+        (project / "mod.py").write_text(DIRTY + "\nY = 2\n", encoding="utf-8")
+        _, stats = _sweep(project, cache_dir)
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == 1
+
+    def test_option_change_is_a_miss(self, project, cache_dir):
+        _sweep(project, cache_dir, Analyzer(honor_suppressions=True))
+        _, stats = _sweep(project, cache_dir, Analyzer(honor_suppressions=False))
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 2
+
+    def test_extended_rule_set_is_a_miss(self, project, cache_dir):
+        _sweep(project, cache_dir, Analyzer())
+        _, stats = _sweep(project, cache_dir, Analyzer(extended=True))
+        assert stats.cache_hits == 0
+
+    def test_runtime_rule_registration_invalidates(self, project, cache_dir):
+        """Acceptance: registering via repro.rules.REGISTRY misses the cache."""
+        _, cold = _sweep(project, cache_dir)
+        assert cold.cache_misses == 2
+        spec = RuleSpec(
+            rule_id="X01_RUNTIME_TEST",
+            python_component="test component",
+            python_suggestion="test suggestion",
+            detector=RegisteredAtRuntimeRule,
+        )
+        REGISTRY.register(spec)
+        try:
+            _, stats = _sweep(project, cache_dir)
+            assert stats.cache_hits == 0
+            assert stats.cache_misses == 2
+        finally:
+            REGISTRY.unregister("X01_RUNTIME_TEST")
+        # Unregistering restores the original fingerprint: hits again.
+        _, stats = _sweep(project, cache_dir)
+        assert (stats.cache_hits, stats.cache_misses) == (2, 0)
+
+
+class TestRegistryFingerprint:
+    def test_stable_across_instances(self):
+        from repro.rules.builtin import build_default_registry
+
+        assert build_default_registry().fingerprint() == (
+            build_default_registry().fingerprint()
+        )
+
+    def test_registration_order_irrelevant(self):
+        class RuleA(Rule):
+            rule_id = "A01"
+            def check(self, node, ctx):
+                return iter(())
+
+        class RuleB(Rule):
+            rule_id = "B01"
+            def check(self, node, ctx):
+                return iter(())
+
+        spec_a = RuleSpec(rule_id="A01", python_component="a",
+                          python_suggestion="a", detector=RuleA)
+        spec_b = RuleSpec(rule_id="B01", python_component="b",
+                          python_suggestion="b", detector=RuleB)
+        ab = RuleRegistry((spec_a, spec_b)).fingerprint()
+        ba = RuleRegistry((spec_b, spec_a)).fingerprint()
+        assert ab == ba
+
+    def test_version_bump_changes_fingerprint(self):
+        class VersionedRule(Rule):
+            rule_id = "V01"
+            version = 1
+            def check(self, node, ctx):
+                return iter(())
+
+        spec = RuleSpec(rule_id="V01", python_component="v",
+                        python_suggestion="v", detector=VersionedRule)
+        before = RuleRegistry((spec,)).fingerprint()
+        VersionedRule.version = 2
+        try:
+            after = RuleRegistry((spec,)).fingerprint()
+        finally:
+            VersionedRule.version = 1
+        assert before != after
+
+
+class TestCacheRobustness:
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, project, cache_dir):
+        _sweep(project, cache_dir)
+        for entry in SweepCache(cache_dir).root.rglob("*.json"):
+            entry.write_text("{not json", encoding="utf-8")
+        results, stats = _sweep(project, cache_dir)
+        assert stats.cache_hits == 0
+        assert results[str(project / "mod.py")]
+
+    def test_payloads_round_trip_every_finding_field(self, project, cache_dir):
+        fresh = Analyzer().analyze_project(project)
+        _sweep(project, cache_dir)
+        cached, stats = _sweep(project, cache_dir)
+        assert stats.cache_hits == 2
+        fresh_dicts = {k: [f.to_dict() for f in v] for k, v in fresh.items()}
+        cached_dicts = {k: [f.to_dict() for f in v] for k, v in cached.items()}
+        assert json.dumps(fresh_dicts) == json.dumps(cached_dicts)
+
+    def test_stats_and_clear(self, project, cache_dir):
+        _sweep(project, cache_dir)
+        cache = SweepCache(cache_dir)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.by_kind == {"analyze": 2}
+        assert stats.total_bytes > 0
+        assert "2 entries" in stats.render()
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0

@@ -1,0 +1,176 @@
+"""Sweep engine determinism: parallel output must equal serial, byte for byte."""
+
+import ast
+import json
+
+import pytest
+
+from repro.analyzer import Analyzer
+from repro.analyzer.rules.base import Rule
+from repro.core import PEPO
+from repro.optimizer import Optimizer
+from repro.sweep import SweepEngine
+
+DIRTY = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "        r = len(n) % 8\n"
+    "    return out\n"
+)
+CLEAN = "def mean(xs):\n    return sum(xs) / len(xs)\n"
+BROKEN = "def broken(:\n"
+
+
+@pytest.fixture()
+def project(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "a_dirty.py").write_text(DIRTY, encoding="utf-8")
+    (tmp_path / "b_clean.py").write_text(CLEAN, encoding="utf-8")
+    (tmp_path / "c_broken.py").write_text(BROKEN, encoding="utf-8")
+    (tmp_path / "pkg" / "nested.py").write_text(DIRTY, encoding="utf-8")
+    return tmp_path
+
+
+def _as_bytes(findings_by_file) -> bytes:
+    """Full byte-level representation (Finding.__eq__ ignores text fields)."""
+    return json.dumps(
+        {k: [f.to_dict() for f in v] for k, v in findings_by_file.items()}
+    ).encode()
+
+
+class TestAnalyzerSweepDeterminism:
+    def test_parallel_equals_serial_byte_for_byte(self, project):
+        serial = Analyzer().analyze_project(project)
+        parallel = Analyzer().analyze_project(project, jobs=2)
+        assert list(serial) == list(parallel)  # same files, same order
+        assert _as_bytes(serial) == _as_bytes(parallel)
+
+    def test_rendered_view_identical(self, project):
+        serial = Analyzer().analyze_project(project)
+        parallel = Analyzer().analyze_project(project, jobs=2)
+        assert PEPO.optimizer_view(serial) == PEPO.optimizer_view(parallel)
+
+    def test_cached_equals_fresh_byte_for_byte(self, project, tmp_path):
+        cache_dir = tmp_path / "cachedir"
+        fresh = Analyzer().analyze_project(project)
+        Analyzer().analyze_project(project, cache=True, cache_dir=cache_dir)
+        warmed = Analyzer().analyze_project(
+            project, cache=True, cache_dir=cache_dir
+        )
+        assert _as_bytes(fresh) == _as_bytes(warmed)
+
+    def test_broken_file_maps_to_empty_findings(self, project):
+        results = Analyzer().analyze_project(project, jobs=2)
+        assert results[str(project / "c_broken.py")] == []
+
+    def test_non_utf8_file_maps_to_empty_findings(self, project):
+        (project / "latin.py").write_bytes(b"x = '\xe9\xff'\n")
+        for jobs in (None, 2):
+            results = Analyzer().analyze_project(project, jobs=jobs)
+            assert results[str(project / "latin.py")] == []
+
+    def test_unpicklable_rules_degrade_to_serial(self, project):
+        class LocalRule(Rule):  # defined in a closure: not picklable
+            rule_id = "X99_LOCAL"
+            interested_types = (ast.Mod,)
+
+            def check(self, node, ctx):
+                return iter(())
+
+        results = Analyzer(rules=[LocalRule]).analyze_project(project, jobs=2)
+        assert len(results) == 4
+
+    def test_jobs_zero_and_one_behave_serially(self, project):
+        base = _as_bytes(Analyzer().analyze_project(project))
+        for jobs in (0, 1):
+            assert _as_bytes(Analyzer().analyze_project(project, jobs=jobs)) == base
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=-1)
+
+
+def _opt_as_bytes(results) -> bytes:
+    return json.dumps(
+        {
+            name: {
+                "original": r.original,
+                "optimized": r.optimized,
+                "changes": [
+                    (c.transform_id, c.rule_id, c.line, c.description)
+                    for c in r.changes
+                ],
+                "unfixable": [f.to_dict() for f in r.unfixable],
+            }
+            for name, r in results.items()
+        }
+    ).encode()
+
+
+class TestOptimizerSweepDeterminism:
+    def test_parallel_equals_serial_byte_for_byte(self, project):
+        serial = Optimizer().optimize_project(project)
+        parallel = Optimizer().optimize_project(project, jobs=2)
+        assert list(serial) == list(parallel)
+        assert _opt_as_bytes(serial) == _opt_as_bytes(parallel)
+
+    def test_broken_and_non_utf8_files_skipped(self, project):
+        (project / "latin.py").write_bytes(b"x = '\xe9\xff'\n")
+        results = Optimizer().optimize_project(project, jobs=2)
+        assert str(project / "c_broken.py") not in results
+        assert str(project / "latin.py") not in results
+        assert str(project / "a_dirty.py") in results
+
+    def test_write_applies_optimized_sources(self, project):
+        results = Optimizer().optimize_project(project, write=True, jobs=2)
+        dirty = str(project / "a_dirty.py")
+        assert results[dirty].changed
+        on_disk = (project / "a_dirty.py").read_text(encoding="utf-8")
+        assert on_disk == results[dirty].optimized
+        # The written tree is quiescent: a second sweep changes nothing.
+        again = Optimizer().optimize_project(project)
+        assert not again[dirty].changed
+
+    def test_cached_write_still_rewrites_files(self, project, tmp_path):
+        cache_dir = tmp_path / "cachedir"
+        # Populate the cache without writing...
+        Optimizer().optimize_project(project, cache=True, cache_dir=cache_dir)
+        original = (project / "a_dirty.py").read_text(encoding="utf-8")
+        # ...then a cached sweep with write=True must still rewrite.
+        results = Optimizer().optimize_project(
+            project, write=True, cache=True, cache_dir=cache_dir
+        )
+        dirty = str(project / "a_dirty.py")
+        assert results[dirty].changed
+        assert (project / "a_dirty.py").read_text(encoding="utf-8") != original
+
+    def test_unfixable_findings_survive_the_sweep(self, project):
+        # R12 has a detector but no transform; it must surface as
+        # unfixable from parallel sweeps exactly as from serial ones.
+        (project / "exc.py").write_text(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            int(x)\n"
+            "        except ValueError:\n"
+            "            pass\n",
+            encoding="utf-8",
+        )
+        serial = Optimizer().optimize_project(project)
+        parallel = Optimizer().optimize_project(project, jobs=2)
+        exc = str(project / "exc.py")
+        assert any(f.rule_id == "R12_EXCEPTION_FLOW" for f in serial[exc].unfixable)
+        assert _opt_as_bytes(serial) == _opt_as_bytes(parallel)
+
+
+class TestSweepStats:
+    def test_stats_account_for_every_file(self, project):
+        engine = SweepEngine(jobs=2)
+        engine.run(project, Analyzer()._sweep_job())
+        stats = engine.last_stats
+        assert stats.files == 4
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 4
+        assert stats.io_errors == 0
