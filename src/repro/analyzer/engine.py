@@ -19,6 +19,7 @@ from repro.analyzer.findings import Finding
 from repro.analyzer.rules import AnalysisContext, Rule
 from repro.analyzer.rules.base import collect_function_info
 from repro.analyzer.suppress import apply_suppressions
+from repro.semantics import build_semantic_model
 
 
 class Analyzer:
@@ -68,14 +69,34 @@ class Analyzer:
 
     def analyze_source(self, source: str, filename: str = "<string>") -> list[Finding]:
         """All findings for one source string, sorted by location."""
+        kept, _suppressed = self.analyze_source_full(source, filename=filename)
+        return kept
+
+    def analyze_source_full(
+        self, source: str, filename: str = "<string>"
+    ) -> tuple[list[Finding], list[Finding]]:
+        """``(kept, suppressed)`` findings for one source string.
+
+        The suppressed list carries provenance: which findings were
+        silenced by ``# pepo: ignore[...]`` comments (empty when the
+        analyzer was built with ``honor_suppressions=False`` — then
+        everything is kept).
+        """
         tree = ast.parse(source, filename=filename)
-        ctx = AnalysisContext(filename=filename, source=source, tree=tree)
+        semantics = build_semantic_model(tree, filename=filename)
+        ctx = AnalysisContext(
+            filename=filename, source=source, tree=tree, semantics=semantics
+        )
         findings: list[Finding] = []
         self._walk(tree, ctx, findings)
+        suppressed: list[Finding] = []
         if self._honor_suppressions:
-            findings, _suppressed = apply_suppressions(findings, source)
+            findings, suppressed = apply_suppressions(
+                findings, source, tree=tree
+            )
         findings.sort()
-        return findings
+        suppressed.sort()
+        return findings, suppressed
 
     def analyze_file(self, path: str | Path) -> list[Finding]:
         path = Path(path)
@@ -90,6 +111,7 @@ class Analyzer:
         jobs: int | None = None,
         cache: bool = False,
         cache_dir: str | Path | None = None,
+        exclude: Sequence[str] = (),
     ) -> dict[str, list[Finding]]:
         """Findings per file for every ``.py`` under ``project_dir``.
 
@@ -98,11 +120,15 @@ class Analyzer:
         The sweep runs through :class:`repro.sweep.SweepEngine`:
         ``jobs`` fans files out over worker processes (output stays
         byte-identical to serial), ``cache`` reuses on-disk results for
-        files whose content and rule set are unchanged.
+        files whose content and rule set are unchanged, and ``exclude``
+        adds glob patterns on top of the default exclude set
+        (``__pycache__/``, ``.pepo_cache/``, VCS and venv directories).
         """
         from repro.sweep import SweepEngine
 
-        engine = SweepEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        engine = SweepEngine(
+            jobs=jobs, cache=cache, cache_dir=cache_dir, exclude=exclude
+        )
         return engine.run(project_dir, self._sweep_job())
 
     def _sweep_job(self):
@@ -154,7 +180,7 @@ class Analyzer:
                 finally:
                     ctx.function_stack.pop()
                     ctx.loop_stack = saved_loops
-            elif isinstance(child, (ast.For, ast.While)):
+            elif isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
                 self._check(child, ctx, out)
                 ctx.loop_stack.append(child)
                 try:

@@ -19,6 +19,44 @@ class Severity(enum.IntEnum):
     HIGH = 3
 
 
+#: Severity's contribution to confidence before hotness weighting.
+_SEVERITY_BASE = {
+    Severity.ADVICE: 0.35,
+    Severity.MEDIUM: 0.55,
+    Severity.HIGH: 0.75,
+}
+
+#: Paper overheads saturate here (R04's +17,700 % is the catalog max).
+_OVERHEAD_SATURATION = 20000.0
+
+
+def compute_confidence(
+    severity: Severity,
+    loop_depth: int,
+    overhead_percent: float | None,
+) -> float:
+    """Fold severity, static hotness, and paper overhead into [0, 1].
+
+    The shape (per "Static Metrics Are Insufficient"): severity sets
+    the base, loop-nesting depth scales it — findings outside any loop
+    are discounted, each extra nesting level raises the weight — and
+    the rule's measured paper overhead adds a small bonus so the
+    catalog's quantified rules outrank estimated ones at equal depth.
+    Deterministic and rounded so sweep output stays byte-identical
+    across serial, parallel, and cached runs.
+    """
+    base = _SEVERITY_BASE[severity]
+    if loop_depth <= 0:
+        hot = 0.8
+    else:
+        hot = min(1.0 + 0.15 * (loop_depth - 1), 1.3)
+    bonus = 0.0
+    if overhead_percent:
+        bonus = min(overhead_percent, _OVERHEAD_SATURATION) \
+            / _OVERHEAD_SATURATION * 0.1
+    return round(min(0.99, max(0.05, base * hot + bonus)), 4)
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
     """One suggestion anchored to a source location.
@@ -36,6 +74,10 @@ class Finding:
     severity: Severity = field(compare=False, default=Severity.MEDIUM)
     overhead_percent: float | None = field(compare=False, default=None)
     snippet: str = field(compare=False, default="")
+    #: Combined severity × static-hotness × overhead score in [0, 1];
+    #: see :func:`compute_confidence`.  0.5 is the neutral default for
+    #: findings built without a semantic model.
+    confidence: float = field(compare=False, default=0.5)
 
     def one_line(self) -> str:
         """Compact ``file:line: [RULE] message`` rendering."""
@@ -54,4 +96,5 @@ class Finding:
             "severity": self.severity.name,
             "overhead_percent": self.overhead_percent,
             "snippet": self.snippet,
+            "confidence": self.confidence,
         }

@@ -26,10 +26,18 @@ class RuleCount:
 class FindingsSummary:
     """Rollup over findings from one or many files."""
 
-    def __init__(self, findings_by_file: dict[str, list[Finding]]) -> None:
+    def __init__(
+        self,
+        findings_by_file: dict[str, list[Finding]],
+        suppressed_by_file: dict[str, list[Finding]] | None = None,
+    ) -> None:
         self._by_file = {
             filename: list(findings)
             for filename, findings in findings_by_file.items()
+        }
+        self._suppressed = {
+            filename: list(findings)
+            for filename, findings in (suppressed_by_file or {}).items()
         }
         self._pool = SuggestionPool()
 
@@ -43,6 +51,19 @@ class FindingsSummary:
     @property
     def total(self) -> int:
         return sum(len(f) for f in self._by_file.values())
+
+    @property
+    def suppressed_total(self) -> int:
+        return sum(len(f) for f in self._suppressed.values())
+
+    def suppressed_counts(self) -> dict[str, int]:
+        """Per-rule counts of ``# pepo: ignore`` suppressions — the
+        provenance trail showing which rules developers silence most."""
+        counts: dict[str, int] = {}
+        for findings in self._suppressed.values():
+            for finding in findings:
+                counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
 
     def rule_counts(self) -> list[RuleCount]:
         """Per-rule totals, most frequent first."""
@@ -104,4 +125,14 @@ class FindingsSummary:
             lines.append("Hotspot files:")
             for filename, count in hotspots:
                 lines.append(f"  {count:4d}  {filename}")
+        if self.suppressed_total:
+            breakdown = ", ".join(
+                f"{rule_id}: {count}"
+                for rule_id, count in self.suppressed_counts().items()
+            )
+            lines.append("")
+            lines.append(
+                f"{self.suppressed_total} finding(s) suppressed by "
+                f"# pepo: ignore comments ({breakdown})"
+            )
         return "\n".join(lines)

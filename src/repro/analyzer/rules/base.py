@@ -13,12 +13,18 @@ import abc
 import ast
 import builtins
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.findings import Finding, Severity, compute_confidence
 from repro.analyzer.pool import SuggestionPool
 
+if TYPE_CHECKING:
+    from repro.semantics import Binding, SemanticModel
+
 _BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: The fact families a rule may declare in ``semantic_facts``.
+SEMANTIC_FACTS = frozenset({"scopes", "types", "hotness"})
 
 
 @dataclass
@@ -31,9 +37,23 @@ class FunctionInfo:
 
 
 class AnalysisContext:
-    """Traversal state handed to every rule check."""
+    """Traversal state handed to every rule check.
 
-    def __init__(self, filename: str, source: str, tree: ast.Module) -> None:
+    Besides the traversal stacks, the context carries the per-module
+    :class:`~repro.semantics.SemanticModel` — scope/binding
+    resolution, lightweight type inference, and loop-nesting hotness —
+    computed once per file and shared by every rule.
+    """
+
+    def __init__(
+        self,
+        filename: str,
+        source: str,
+        tree: ast.Module,
+        semantics: "SemanticModel | None" = None,
+    ) -> None:
+        from repro.semantics import build_semantic_model
+
         self.filename = filename
         self.source_lines = source.splitlines()
         self.tree = tree
@@ -41,6 +61,9 @@ class AnalysisContext:
         self.module_names = collect_module_names(tree)
         self.loop_stack: list[ast.For | ast.While] = []
         self.function_stack: list[FunctionInfo] = []
+        self.semantics = semantics or build_semantic_model(
+            tree, filename=filename
+        )
 
     # -- scope queries ---------------------------------------------------
 
@@ -88,8 +111,25 @@ class AnalysisContext:
             return False
         if isinstance(node, ast.Name):
             fn = self.current_function
-            return fn is not None and node.id in fn.string_locals
-        return False
+            if fn is not None and node.id in fn.string_locals:
+                return True
+        # Fall back to the semantic type table: annotations and
+        # cross-statement propagation the syntactic walk cannot see.
+        return self.semantics.type_of(node) == "str"
+
+    # -- semantic fact queries ---------------------------------------------
+
+    def resolve(self, node: ast.Name) -> "Binding":
+        """Scope/binding resolution for a name at its use site."""
+        return self.semantics.resolve(node)
+
+    def type_of(self, node: ast.expr) -> str:
+        """Inferred static type (``str | int | … | unknown``)."""
+        return self.semantics.type_of(node)
+
+    def excludes_type(self, node: ast.expr, *candidates: str) -> bool:
+        """Inferred type is known and contradicts every candidate."""
+        return self.semantics.excludes_type(node, *candidates)
 
     # -- finding construction ---------------------------------------------
 
@@ -100,13 +140,19 @@ class AnalysisContext:
         message: str,
         severity: Severity = Severity.MEDIUM,
     ) -> Finding:
-        """Build a finding anchored to ``node`` with pool metadata."""
+        """Build a finding anchored to ``node`` with pool metadata.
+
+        Confidence folds the severity together with the node's static
+        loop-nesting depth (hotness) and the rule's paper overhead —
+        the same pattern two loops deep outranks its module-level twin.
+        """
         line = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
         snippet = ""
         if 1 <= line <= len(self.source_lines):
             snippet = self.source_lines[line - 1].strip()
         entry = self.pool.entry(rule_id)
+        overhead = self.pool.overhead_percent(rule_id)
         return Finding(
             file=self.filename,
             line=line,
@@ -116,8 +162,11 @@ class AnalysisContext:
             message=message,
             suggestion=entry.python_suggestion,
             severity=severity,
-            overhead_percent=self.pool.overhead_percent(rule_id),
+            overhead_percent=overhead,
             snippet=snippet,
+            confidence=compute_confidence(
+                severity, self.semantics.hot_depth(node), overhead
+            ),
         )
 
 
@@ -133,6 +182,14 @@ class Rule(abc.ABC):
     #: but slow, kept as the fallback for third-party rules that do not
     #: declare their interests.
     interested_types: tuple[type[ast.AST], ...] | None = None
+
+    #: Which semantic-model fact families this rule consumes — any of
+    #: ``"scopes"`` (binding resolution), ``"types"`` (inference), and
+    #: ``"hotness"`` (loop depth).  Purely declarative today (the model
+    #: is built once per file regardless), but it documents each rule's
+    #: evidence base and lets tooling audit which rules are still
+    #: syntax-only.  Must be a subset of :data:`SEMANTIC_FACTS`.
+    semantic_facts: tuple[str, ...] = ()
 
     #: Bump when the rule's detection logic changes.  The registry
     #: fingerprint folds this in, so cached sweep results produced by

@@ -21,6 +21,7 @@ _HEAVY_NUMERIC = {"Decimal", "Fraction"}
 class NumericTypeRule(Rule):
     rule_id = "R01_NUMERIC_TYPE"
     interested_types = (ast.Call, ast.AugAssign)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if isinstance(node, ast.Call):

@@ -21,6 +21,7 @@ _MIN_ZEROS = 5
 class SciNotationRule(Rule):
     rule_id = "R02_SCI_NOTATION"
     interested_types = (ast.Constant,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Constant) and isinstance(node.value, float)):

@@ -26,6 +26,7 @@ _NUMPY_MODULES = {"np", "numpy"}
 class BoxingRule(Rule):
     rule_id = "R03_BOXING"
     interested_types = (ast.Call,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Call) and ctx.in_loop):

@@ -19,11 +19,13 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 
 class GlobalInLoopRule(Rule):
     rule_id = "R04_GLOBAL_IN_LOOP"
-    interested_types = (ast.For, ast.While)
+    interested_types = (ast.For, ast.AsyncFor, ast.While)
+    semantic_facts = ("scopes", "hotness")
+    version = 2
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         # Anchor on the loop so each (loop, name) pair is flagged once.
-        if not isinstance(node, (ast.For, ast.While)):
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
             return
         if ctx.current_function is None:
             # Module-level loops read "globals" as their locals; no win.
@@ -33,7 +35,13 @@ class GlobalInLoopRule(Rule):
             if not (isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)):
                 continue
             name = child.id
-            if name in seen or not ctx.is_module_global(name):
+            if name in seen:
+                continue
+            # Full scope resolution (not a name-set heuristic): only
+            # loads that actually hit the module namespace — LOAD_GLOBAL
+            # — are flagged.  Walrus targets, comprehension variables,
+            # and nonlocals resolve to function scopes and stay silent.
+            if not ctx.resolve(child).is_module_level:
                 continue
             # Skip names that are call targets only once — a single call
             # per loop body still repeats per iteration, so keep them.

@@ -19,6 +19,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class TernaryRule(Rule):
     rule_id = "R06_TERNARY"
     interested_types = (ast.IfExp,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.IfExp):

@@ -34,6 +34,7 @@ def _is_cheap(node: ast.expr) -> bool:
 class ShortCircuitRule(Rule):
     rule_id = "R07_SHORT_CIRCUIT"
     interested_types = (ast.BoolOp,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.BoolOp):

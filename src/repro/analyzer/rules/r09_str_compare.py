@@ -19,13 +19,22 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class StrCompareRule(Rule):
     rule_id = "R09_STR_COMPARE"
     interested_types = (ast.Compare,)
+    semantic_facts = ("types",)
+    version = 2
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
             return
         left, op, right = node.left, node.ops[0], node.comparators[0]
 
-        if self._is_find_call(left) and self._compares_minus_one_or_zero(op, right):
+        # `.find()` is only the str/bytes membership idiom when the
+        # receiver can actually be a string — an ElementTree node's or
+        # custom object's .find() returning -1 sentinels is its own API.
+        if (
+            self._is_find_call(left)
+            and not ctx.excludes_type(left.func.value, "str", "bytes")
+            and self._compares_minus_one_or_zero(op, right)
+        ):
             yield ctx.finding(
                 self.rule_id,
                 node,

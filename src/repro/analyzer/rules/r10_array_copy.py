@@ -21,6 +21,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class ArrayCopyRule(Rule):
     rule_id = "R10_ARRAY_COPY"
     interested_types = (ast.For,)
+    semantic_facts = ("types", "hotness")
+    version = 2
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.For):
@@ -48,9 +50,14 @@ class ArrayCopyRule(Rule):
             and _is_name_subscript(assign.value, index)
         ):
             return None
-        dst = assign.targets[0].value.id  # type: ignore[union-attr]
+        dst_name = assign.targets[0].value  # type: ignore[union-attr]
+        dst = dst_name.id
         src = assign.value.value.id  # type: ignore[union-attr]
         if dst == src:
+            return None
+        # `dst[:] = src` only rewrites sequence copies; a dict keyed by
+        # ints (or any known non-sequence dst) is not this pattern.
+        if ctx.excludes_type(dst_name, "list"):
             return None
         return ctx.finding(
             self.rule_id,
@@ -81,6 +88,8 @@ class ArrayCopyRule(Rule):
         ):
             return None
         dst = call.func.value.id
+        if ctx.excludes_type(call.func.value, "list"):
+            return None
         src = ast.unparse(loop.iter)
         return ctx.finding(
             self.rule_id,

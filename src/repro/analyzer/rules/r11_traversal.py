@@ -20,6 +20,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class TraversalRule(Rule):
     rule_id = "R11_TRAVERSAL"
     interested_types = (ast.For,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.For) or not isinstance(node.target, ast.Name):

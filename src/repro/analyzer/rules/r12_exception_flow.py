@@ -21,6 +21,7 @@ _LOOKUP_ERRORS = {"KeyError", "IndexError", "AttributeError", "ValueError"}
 class ExceptionFlowRule(Rule):
     rule_id = "R12_EXCEPTION_FLOW"
     interested_types = (ast.Try,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Try) and ctx.in_loop):

@@ -13,16 +13,19 @@ from typing import Iterator
 
 from repro.analyzer.findings import Finding, Severity
 from repro.analyzer.rules.base import AnalysisContext, Rule
+from repro.semantics import BindingKind
 
 
 class ObjectChurnRule(Rule):
     rule_id = "R13_OBJECT_CHURN"
     interested_types = (ast.Call,)
+    semantic_facts = ("scopes", "hotness")
+    version = 2
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Call) and ctx.in_loop):
             return
-        if self._is_re_compile(node) and _all_constant_args(node):
+        if self._is_re_compile(node, ctx) and _all_constant_args(node):
             yield ctx.finding(
                 self.rule_id,
                 node,
@@ -41,18 +44,22 @@ class ObjectChurnRule(Rule):
             )
 
     @staticmethod
-    def _is_re_compile(node: ast.Call) -> bool:
+    def _is_re_compile(node: ast.Call, ctx: AnalysisContext) -> bool:
+        """``re.compile`` where ``re`` really is the imported module
+        (a local named ``re`` shadowing it does not count)."""
         func = node.func
         return (
             isinstance(func, ast.Attribute)
             and func.attr == "compile"
             and isinstance(func.value, ast.Name)
             and func.value.id == "re"
+            and ctx.resolve(func.value).kind
+            in (BindingKind.IMPORT, BindingKind.UNRESOLVED)
         )
 
     @staticmethod
     def _is_class_construction(node: ast.Call, ctx: AnalysisContext) -> bool:
-        """Heuristic: CapWords callee defined in this module."""
+        """CapWords callee resolving to a module-level binding."""
         func = node.func
         if not isinstance(func, ast.Name):
             return False
@@ -60,8 +67,7 @@ class ObjectChurnRule(Rule):
         return (
             bool(name)
             and name[0].isupper()
-            and name in ctx.module_names
-            and not ctx.is_local(name)
+            and ctx.resolve(func).is_module_level
         )
 
 

@@ -24,6 +24,7 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class AppendLoopRule(Rule):
     rule_id = "R14_APPEND_LOOP"
     interested_types = (ast.For,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.For):

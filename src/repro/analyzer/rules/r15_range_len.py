@@ -43,6 +43,7 @@ def range_len_sequence(iter_node: ast.expr) -> str | None:
 class RangeLenRule(Rule):
     rule_id = "R15_RANGE_LEN"
     interested_types = (ast.For,)
+    semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.For) or not isinstance(node.target, ast.Name):

@@ -1,0 +1,30 @@
+"""``pepo check`` — the CI gate over analyzer findings.
+
+``suggest`` talks to a developer at an editor; ``check`` talks to a CI
+job: deterministic fingerprints per finding, a baseline file for
+incremental adoption on existing codebases, severity-threshold exit
+codes, and SARIF 2.1.0 export for code-scanning UIs.
+"""
+
+from repro.check.formats import format_findings, iter_json_lines
+from repro.check.gate import (
+    Baseline,
+    CheckResult,
+    evaluate,
+    finding_fingerprint,
+    normalize_snippet,
+)
+from repro.check.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, to_sarif
+
+__all__ = [
+    "Baseline",
+    "CheckResult",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "evaluate",
+    "finding_fingerprint",
+    "format_findings",
+    "iter_json_lines",
+    "normalize_snippet",
+    "to_sarif",
+]

@@ -1,0 +1,44 @@
+"""Output formatters shared by ``pepo suggest`` and ``pepo check``.
+
+Both commands emit the same JSON-lines records (``Finding.to_dict()``
+per line), so a pipeline built on one keeps working when it graduates
+to the other; text rendering differs only in what each command appends
+(suggestion totals vs gate verdicts).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, Mapping
+
+from repro.analyzer.findings import Finding
+
+
+def iter_json_lines(
+    findings_by_file: Mapping[str, Iterable[Finding]]
+) -> Iterator[str]:
+    """One ``Finding.to_dict()`` JSON object per line, in file order."""
+    for findings in findings_by_file.values():
+        for finding in findings:
+            yield json.dumps(finding.to_dict())
+
+
+def format_findings(
+    findings_by_file: Mapping[str, Iterable[Finding]],
+    fmt: str,
+    root=None,
+) -> str:
+    """Render findings as ``text``, ``json`` (lines), or ``sarif``."""
+    if fmt == "json":
+        return "\n".join(iter_json_lines(findings_by_file))
+    if fmt == "sarif":
+        from repro.check.sarif import to_sarif
+
+        return json.dumps(to_sarif(findings_by_file, root=root), indent=2)
+    if fmt == "text":
+        return "\n".join(
+            finding.one_line()
+            for findings in findings_by_file.values()
+            for finding in findings
+        )
+    raise ValueError(f"unknown format: {fmt!r}")

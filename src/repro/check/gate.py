@@ -1,0 +1,176 @@
+"""Fingerprints, baselines, and the pass/fail decision for ``pepo check``.
+
+Fingerprints must survive the two edits CI sees constantly — lines
+shifting as unrelated code is added, and checkouts living at different
+absolute paths — so they hash the *rule*, the *scan-root-relative
+path*, and the *whitespace-normalized snippet* rather than line
+numbers.  Two identical snippets in one file share a fingerprint; that
+is deliberate (fixing one of two duplicated patterns should not
+surface the survivor as "new") and documented in the README.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Iterable, Mapping
+
+from repro.analyzer.findings import Finding, Severity
+
+#: Baseline file schema version.
+BASELINE_FORMAT = 1
+
+
+def normalize_snippet(snippet: str) -> str:
+    """Collapse all whitespace runs so re-indentation keeps the print."""
+    return " ".join(snippet.split())
+
+
+def _relative_file(file: str, root: str | Path | None) -> str:
+    path = PurePath(file)
+    if root is not None:
+        try:
+            path = PurePath(file).relative_to(Path(root).resolve())
+        except ValueError:
+            try:
+                path = PurePath(file).relative_to(root)
+            except ValueError:
+                pass
+    return path.as_posix()
+
+
+def finding_fingerprint(
+    finding: Finding, root: str | Path | None = None
+) -> str:
+    """Stable 16-hex-digit id for one finding.
+
+    ``root`` relativizes the path so baselines recorded in one checkout
+    match findings from another.
+    """
+    payload = "\x1f".join(
+        (
+            finding.rule_id,
+            _relative_file(finding.file, root),
+            normalize_snippet(finding.snippet),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """A recorded set of accepted finding fingerprints.
+
+    The file format is line-diffable JSON so baseline updates review
+    well: a sorted fingerprint array plus bookkeeping counts.
+    """
+
+    fingerprints: frozenset[str] = frozenset()
+    generated_from: str = ""
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "fingerprints" not in data:
+            raise ValueError(f"not a pepo baseline file: {path}")
+        return cls(
+            fingerprints=frozenset(data["fingerprints"]),
+            generated_from=data.get("generated_from", ""),
+        )
+
+    def save(self, path: str | Path) -> None:
+        document = {
+            "format": BASELINE_FORMAT,
+            "tool": "pepo",
+            "generated_from": self.generated_from,
+            "count": len(self.fingerprints),
+            "fingerprints": sorted(self.fingerprints),
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings_by_file: Mapping[str, Iterable[Finding]],
+        root: str | Path | None = None,
+    ) -> "Baseline":
+        return cls(
+            fingerprints=frozenset(
+                finding_fingerprint(finding, root)
+                for findings in findings_by_file.values()
+                for finding in findings
+            ),
+            generated_from=str(root or ""),
+        )
+
+
+#: ``--fail-on`` spellings → minimum failing severity.
+FAIL_ON_LEVELS = {
+    "advice": Severity.ADVICE,
+    "medium": Severity.MEDIUM,
+    "high": Severity.HIGH,
+}
+
+
+@dataclass
+class CheckResult:
+    """Everything ``pepo check`` decided, ready for rendering.
+
+    ``new`` are findings whose fingerprint is absent from the baseline
+    (all findings when no baseline was given); only new findings at or
+    above the threshold gate the build.
+    """
+
+    findings_by_file: dict[str, list[Finding]]
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    fail_on: Severity = Severity.MEDIUM
+
+    @property
+    def total(self) -> int:
+        return sum(len(f) for f in self.findings_by_file.values())
+
+    @property
+    def gating(self) -> list[Finding]:
+        """New findings severe enough to fail the build."""
+        return [f for f in self.new if f.severity >= self.fail_on]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.gating else 0
+
+
+def evaluate(
+    findings_by_file: Mapping[str, Iterable[Finding]],
+    *,
+    fail_on: Severity = Severity.MEDIUM,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+) -> CheckResult:
+    """Split findings into new vs baselined and decide pass/fail."""
+    ordered = {
+        file: sorted(findings) for file, findings in findings_by_file.items()
+    }
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for findings in ordered.values():
+        for finding in findings:
+            if baseline is not None and finding_fingerprint(
+                finding, root
+            ) in baseline:
+                baselined.append(finding)
+            else:
+                new.append(finding)
+    return CheckResult(
+        findings_by_file=ordered,
+        new=new,
+        baselined=baselined,
+        fail_on=fail_on,
+    )

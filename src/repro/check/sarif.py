@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 export: findings as code-scanning results.
+
+One run, one driver (``pepo``), one rule entry per distinct rule that
+fired, one result per finding.  Severities map onto SARIF levels —
+ADVICE → ``note``, MEDIUM → ``warning``, HIGH → ``error`` — and each
+result carries the baseline fingerprint under ``partialFingerprints``
+so scanning UIs track findings across commits the same way
+``--baseline`` does.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analyzer.findings import Finding, Severity
+from repro.check.gate import _relative_file, finding_fingerprint
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ADVICE: "note",
+    Severity.MEDIUM: "warning",
+    Severity.HIGH: "error",
+}
+
+#: partialFingerprints key; the suffix versions the hashing scheme.
+FINGERPRINT_KEY = "pepoFingerprint/v1"
+
+
+def _rule_entries(findings: Iterable[Finding]) -> list[dict]:
+    by_id: dict[str, Finding] = {}
+    for finding in findings:
+        by_id.setdefault(finding.rule_id, finding)
+    entries = []
+    for rule_id in sorted(by_id):
+        example = by_id[rule_id]
+        properties: dict[str, object] = {}
+        if example.overhead_percent is not None:
+            properties["overheadPercent"] = example.overhead_percent
+        entries.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": example.component},
+                "fullDescription": {"text": example.suggestion},
+                "defaultConfiguration": {"level": _LEVELS[example.severity]},
+                "properties": properties,
+            }
+        )
+    return entries
+
+
+def to_sarif(
+    findings_by_file: Mapping[str, Iterable[Finding]],
+    root: str | Path | None = None,
+    tool_version: str | None = None,
+) -> dict:
+    """The complete SARIF 2.1.0 document as a JSON-ready dict."""
+    if tool_version is None:
+        from repro import __version__ as tool_version
+
+    ordered = {
+        file: sorted(findings_by_file[file])
+        for file in sorted(findings_by_file)
+    }
+    all_findings = [f for findings in ordered.values() for f in findings]
+    rule_ids = [entry["id"] for entry in _rule_entries(all_findings)]
+    results = []
+    for file, findings in ordered.items():
+        uri = _relative_file(file, root)
+        for finding in findings:
+            results.append(
+                {
+                    "ruleId": finding.rule_id,
+                    "ruleIndex": rule_ids.index(finding.rule_id),
+                    "level": _LEVELS[finding.severity],
+                    "message": {
+                        "text": f"{finding.message} "
+                        f"Suggestion: {finding.suggestion}"
+                    },
+                    "locations": [
+                        {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": uri},
+                                "region": {
+                                    "startLine": max(finding.line, 1),
+                                    "startColumn": finding.col + 1,
+                                    "snippet": {"text": finding.snippet},
+                                },
+                            }
+                        }
+                    ],
+                    "partialFingerprints": {
+                        FINGERPRINT_KEY: finding_fingerprint(finding, root)
+                    },
+                    "properties": {
+                        "confidence": finding.confidence,
+                        "severity": finding.severity.name,
+                        "component": finding.component,
+                    },
+                }
+            )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pepo",
+                        "version": tool_version,
+                        "rules": _rule_entries(all_findings),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

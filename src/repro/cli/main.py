@@ -9,6 +9,7 @@ are the ``profile`` and ``suggest`` subcommands, the profiler view
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -40,7 +41,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true", help=argparse.SUPPRESS
     )  # test hook: single watch iteration
     suggest.add_argument(
-        "--json", action="store_true", help="emit findings as JSON lines"
+        "--json",
+        action="store_true",
+        help="emit findings as JSON lines (alias for --format json)",
+    )
+    suggest.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format; json emits one Finding record per line "
+        "(same records as `pepo check --format json`)",
     )
     suggest.add_argument(
         "--extended",
@@ -66,6 +76,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--diff", action="store_true", help="print unified diffs"
     )
     _add_sweep_options(optimize)
+
+    check = sub.add_parser(
+        "check",
+        help="CI gate: analyze and fail when new findings reach a "
+        "severity threshold",
+    )
+    check.add_argument("path", type=Path)
+    check.add_argument(
+        "--fail-on",
+        choices=["advice", "medium", "high"],
+        default="medium",
+        help="minimum severity that fails the build (default: medium)",
+    )
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of accepted fingerprints; only findings "
+        "NOT in it gate the build (incremental adoption)",
+    )
+    check.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record every current finding's fingerprint to FILE and "
+        "exit 0 (then commit the file and gate on --baseline)",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="text verdict, JSON lines, or a SARIF 2.1.0 document",
+    )
+    check.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the formatted report to FILE instead of stdout "
+        "(the CI-artifact path for SARIF uploads)",
+    )
+    check.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run the extension rules (R14, R15)",
+    )
+    _add_sweep_options(check)
 
     cache = sub.add_parser(
         "cache",
@@ -170,26 +229,35 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         help="reuse per-file results from .pepo_cache/ when file content "
         "and the rule set are unchanged (--no-cache disables)",
     )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="skip files matching GLOB (relative path or any path "
+        "component); repeatable; __pycache__/, .pepo_cache/, VCS and "
+        "venv directories are always skipped",
+    )
 
 
 def _cmd_suggest(args: argparse.Namespace, out) -> int:
-    import json
-
     from repro.analyzer import Analyzer
 
     pepo = PEPO()
     analyzer = Analyzer(extended=args.extended)
     path: Path = args.path
+    fmt = "json" if args.json else args.format
     if args.watch:
         return _watch(pepo, path, args.interval, out, once=args.once)
     if path.is_dir():
         findings_by_file = analyzer.analyze_project(
-            path, jobs=args.jobs, cache=args.cache
+            path, jobs=args.jobs, cache=args.cache, exclude=args.exclude
         )
-        if args.json:
-            for findings in findings_by_file.values():
-                for finding in findings:
-                    print(json.dumps(finding.to_dict()), file=out)
+        if fmt == "json":
+            from repro.check import iter_json_lines
+
+            for line in iter_json_lines(findings_by_file):
+                print(line, file=out)
             return 0
         if args.summary:
             from repro.analyzer.report import FindingsSummary
@@ -200,9 +268,11 @@ def _cmd_suggest(args: argparse.Namespace, out) -> int:
         total = sum(len(v) for v in findings_by_file.values())
     else:
         findings = analyzer.analyze_file(path)
-        if args.json:
-            for finding in findings:
-                print(json.dumps(finding.to_dict()), file=out)
+        if fmt == "json":
+            from repro.check import iter_json_lines
+
+            for line in iter_json_lines({str(path): findings}):
+                print(line, file=out)
             return 0
         if args.summary:
             from repro.analyzer.report import FindingsSummary
@@ -214,6 +284,76 @@ def _cmd_suggest(args: argparse.Namespace, out) -> int:
         total = len(findings)
     print(f"{total} suggestion(s)", file=out)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace, out) -> int:
+    from repro.analyzer import Analyzer
+    from repro.check import (
+        Baseline,
+        evaluate,
+        format_findings,
+    )
+    from repro.check.gate import FAIL_ON_LEVELS
+
+    analyzer = Analyzer(extended=args.extended)
+    path: Path = args.path
+    if path.is_dir():
+        root = path
+        findings_by_file = analyzer.analyze_project(
+            path, jobs=args.jobs, cache=args.cache, exclude=args.exclude
+        )
+    else:
+        root = path.parent
+        findings_by_file = {str(path): analyzer.analyze_file(path)}
+
+    if args.write_baseline is not None:
+        baseline = Baseline.from_findings(findings_by_file, root=root)
+        baseline.save(args.write_baseline)
+        print(
+            f"baseline written: {len(baseline.fingerprints)} fingerprint(s) "
+            f"to {args.write_baseline}",
+            file=out,
+        )
+        return 0
+
+    baseline = (
+        Baseline.load(args.baseline) if args.baseline is not None else None
+    )
+    result = evaluate(
+        findings_by_file,
+        fail_on=FAIL_ON_LEVELS[args.fail_on],
+        baseline=baseline,
+        root=root,
+    )
+
+    if args.output is not None:
+        report = format_findings(findings_by_file, args.format, root=root)
+        args.output.write_text(report + "\n", encoding="utf-8")
+        print(f"report written to {args.output}", file=out)
+    elif args.format != "text":
+        print(format_findings(findings_by_file, args.format, root=root),
+              file=out)
+
+    if args.format == "text" and args.output is None:
+        for finding in result.new:
+            print(finding.one_line(), file=out)
+    # The verdict would corrupt a JSON/SARIF stream on stdout; emit it
+    # only when stdout is the human channel (text, or report in a file).
+    if args.format == "text" or args.output is not None:
+        if result.baselined:
+            print(
+                f"{len(result.baselined)} baselined finding(s) suppressed",
+                file=out,
+            )
+        gate = result.gating
+        verdict = (
+            f"FAIL: {len(gate)} new finding(s) at or above {args.fail_on}"
+            if gate
+            else f"OK: no new findings at or above {args.fail_on} "
+            f"({result.total} total, {len(result.new)} new)"
+        )
+        print(verdict, file=out)
+    return result.exit_code
 
 
 def _watch(pepo: PEPO, path: Path, interval: float, out, once: bool) -> int:
@@ -243,7 +383,11 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
     path: Path = args.path
     if path.is_dir():
         results = pepo.optimize_project(
-            path, write=args.write, jobs=args.jobs, cache=args.cache
+            path,
+            write=args.write,
+            jobs=args.jobs,
+            cache=args.cache,
+            exclude=args.exclude,
         )
     else:
         results = {str(path): pepo.optimize_file(path, write=args.write)}
@@ -378,6 +522,7 @@ def main(argv: list[str] | None = None) -> int:
     out = sys.stdout
     handlers = {
         "suggest": _cmd_suggest,
+        "check": _cmd_check,
         "optimize": _cmd_optimize,
         "profile": _cmd_profile,
         "compare": _cmd_compare,
@@ -390,6 +535,14 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"pepo: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``pepo ... --format json | head``)
+        # closed the pipe; suppress the late stdout flush and exit the
+        # conventional 128+SIGPIPE so shells see a signal death, not a
+        # traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

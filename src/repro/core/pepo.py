@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.analyzer import Analyzer, DynamicAnalyzer, Finding
 from repro.optimizer import OptimizationResult, Optimizer
@@ -72,8 +72,11 @@ class PEPO:
         *,
         jobs: int | None = None,
         cache: bool = False,
+        exclude: Sequence[str] = (),
     ) -> dict[str, list[Finding]]:
-        return self._analyzer.analyze_project(project_dir, jobs=jobs, cache=cache)
+        return self._analyzer.analyze_project(
+            project_dir, jobs=jobs, cache=cache, exclude=exclude
+        )
 
     def dynamic_analyzer(self, filename: str = "<buffer>") -> DynamicAnalyzer:
         """Editor-integration mode: incremental re-analysis (Fig. 2)."""
@@ -96,9 +99,10 @@ class PEPO:
         *,
         jobs: int | None = None,
         cache: bool = False,
+        exclude: Sequence[str] = (),
     ) -> dict[str, OptimizationResult]:
         return self._optimizer.optimize_project(
-            project_dir, write=write, jobs=jobs, cache=cache
+            project_dir, write=write, jobs=jobs, cache=cache, exclude=exclude
         )
 
     # -- profiling (JEPO profiler button) -----------------------------------
@@ -123,9 +127,10 @@ class PEPO:
     def optimizer_view(findings_by_file: dict[str, list[Finding]]) -> str:
         """Fig. 5: class / line number / suggestion, ranked by impact.
 
-        Rows are ordered by the rule's paper overhead (descending), so
-        the suggestion promising the largest energy win tops the view;
-        location breaks ties for determinism.
+        Rows are ordered by the semantic confidence score (severity ×
+        loop-nesting hotness × paper overhead, descending), so the
+        suggestion promising the largest energy win tops the view;
+        overhead and location break ties for determinism.
         """
         findings = [
             (filename, finding)
@@ -134,6 +139,7 @@ class PEPO:
         ]
         findings.sort(
             key=lambda item: (
+                -item[1].confidence,
                 -(item[1].overhead_percent or 0.0),
                 item[0],
                 item[1].line,
@@ -144,6 +150,7 @@ class PEPO:
             (
                 filename,
                 str(finding.line),
+                f"{finding.confidence:.2f}",
                 f"{finding.overhead_percent:,.0f}"
                 if finding.overhead_percent is not None
                 else "—",
@@ -152,11 +159,12 @@ class PEPO:
             for filename, finding in findings
         ]
         return render_table(
-            headers=("Class", "Line number", "Est. overhead (%)", "Suggestion"),
+            headers=("Class", "Line number", "Confidence",
+                     "Est. overhead (%)", "Suggestion"),
             rows=rows,
             title="PEPO optimizer view",
             max_col_width=76,
-            right_align=(2,),
+            right_align=(2, 3),
         )
 
     @staticmethod

@@ -146,6 +146,7 @@ class Optimizer:
         jobs: int | None = None,
         cache: bool = False,
         cache_dir: str | Path | None = None,
+        exclude: Sequence[str] = (),
     ) -> dict[str, OptimizationResult]:
         """Optimize every ``.py`` under a directory tree.
 
@@ -159,7 +160,9 @@ class Optimizer:
         """
         from repro.sweep import SweepEngine
 
-        engine = SweepEngine(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        engine = SweepEngine(
+            jobs=jobs, cache=cache, cache_dir=cache_dir, exclude=exclude
+        )
         results = engine.run(project_dir, self._sweep_job())
         if write:
             for filename, result in results.items():

@@ -22,6 +22,7 @@ import builtins
 
 from repro.analyzer.rules.base import collect_module_names, target_names
 from repro.optimizer.transforms.base import AppliedChange, Transform
+from repro.semantics import SemanticModel, build_semantic_model
 
 _BUILTINS = frozenset(dir(builtins))
 
@@ -34,21 +35,31 @@ class GlobalHoistTransform(Transform):
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []
         module_names = collect_module_names(tree)
+        # Full scope resolution backs the name-set heuristics: a
+        # candidate is only hoisted when every one of its loads in the
+        # loop actually resolves to the module namespace.  This catches
+        # bindings the syntactic local scan cannot see — walrus targets
+        # earlier in the function, comprehension leaks, nonlocals.
+        semantics = build_semantic_model(tree)
         for func in ast.walk(tree):
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            self._hoist_in_function(func, module_names, changes)
+            self._hoist_in_function(func, module_names, changes, semantics)
         ast.fix_missing_locations(tree)
         return tree, changes
 
-    def _hoist_in_function(self, func, module_names: set[str], changes) -> None:
+    def _hoist_in_function(
+        self, func, module_names: set[str], changes, semantics: SemanticModel
+    ) -> None:
         locals_ = _function_locals(func)
         body = func.body
         index = 0
         while index < len(body):
             stmt = body[index]
             if isinstance(stmt, (ast.For, ast.While)):
-                hoisted = self._hoist_loop(stmt, module_names, locals_)
+                hoisted = self._hoist_loop(
+                    stmt, module_names, locals_, semantics
+                )
                 for name, alias in hoisted:
                     body.insert(
                         index,
@@ -66,13 +77,13 @@ class GlobalHoistTransform(Transform):
                     )
             index += 1
 
-    def _hoist_loop(self, loop, module_names, locals_):
-        reads: dict[str, None] = {}
+    def _hoist_loop(self, loop, module_names, locals_, semantics):
+        reads: dict[str, list[ast.Name]] = {}
         blocked: set[str] = set()
         for node in ast.walk(loop):
             if isinstance(node, ast.Name):
                 if isinstance(node.ctx, ast.Load):
-                    reads.setdefault(node.id, None)
+                    reads.setdefault(node.id, []).append(node)
                 else:
                     blocked.add(node.id)
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
@@ -82,11 +93,15 @@ class GlobalHoistTransform(Transform):
                         blocked.add(sub.id)
         candidates = [
             name
-            for name in reads
+            for name, load_nodes in reads.items()
             if name in module_names
             and name not in locals_
             and name not in blocked
             and name not in _BUILTINS
+            and all(
+                semantics.resolve(node).is_module_level
+                for node in load_nodes
+            )
         ]
         hoisted = []
         for name in candidates:

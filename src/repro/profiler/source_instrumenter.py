@@ -24,6 +24,7 @@ from pathlib import Path
 from repro.profiler.probes import ProbeRuntime
 from repro.profiler.records import ProfileResult
 from repro.rapl.backends import RaplBackend
+from repro.sweep.engine import DEFAULT_EXCLUDE_DIRS
 
 PROBE_NAME = "__pepo_probe__"
 
@@ -59,8 +60,14 @@ def find_main_classes(project_dir: str | Path) -> list[Path]:
     Returns paths sorted for determinism.  Unparseable files are
     skipped (a project may contain templates or broken scratch files).
     """
+    root = Path(project_dir)
     roots = []
-    for path in sorted(Path(project_dir).rglob("*.py")):
+    for path in sorted(root.rglob("*.py")):
+        # A stale ``__pycache__`` copy or a vendored environment must
+        # never be offered as the project's entry point.
+        relative = path.relative_to(root)
+        if any(part in DEFAULT_EXCLUDE_DIRS for part in relative.parts[:-1]):
+            continue
         try:
             tree = ast.parse(path.read_text())
         except (SyntaxError, UnicodeDecodeError):

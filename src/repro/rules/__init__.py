@@ -49,6 +49,11 @@ def render_rules_matrix(registry: RuleRegistry | None = None) -> str:
         kind = "extension" if spec.extension else (
             "table-i" if spec.builtin else "external"
         )
+        facts = "—"
+        if spec.detector is not None:
+            declared = getattr(spec.detector, "semantic_facts", ())
+            if declared:
+                facts = ",".join(declared)
         rows.append(
             (
                 spec.rule_id,
@@ -58,6 +63,7 @@ def render_rules_matrix(registry: RuleRegistry | None = None) -> str:
                 mark(spec.has_detector),
                 mark(spec.has_transform),
                 mark(spec.has_micro),
+                facts,
             )
         )
     counts = registry.coverage_counts()
@@ -70,6 +76,7 @@ def render_rules_matrix(registry: RuleRegistry | None = None) -> str:
             "Detector",
             "Transform",
             "Micro",
+            "Semantic facts",
         ),
         rows,
         title="PEPO rule coverage",

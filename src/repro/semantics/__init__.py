@@ -1,0 +1,44 @@
+"""Per-module semantic model shared by every analyzer rule.
+
+The paper's Table I suggestions are purely syntactic; ours were too
+until this layer.  ``build_semantic_model`` computes three fact tables
+once per file and hands them to every rule through the analysis
+context:
+
+* **scopes** — symbol tables for module/class/function/comprehension
+  scopes; every ``ast.Name`` resolves to local / nonlocal / global /
+  builtin / import, so rules stop guessing binding kinds from
+  hand-rolled walks (:mod:`repro.semantics.scopes`);
+* **types** — lightweight inference over literals, annotations and
+  intra-scope assignment propagation yielding ``str | int | float |
+  list | … | unknown``, so string/array rules only fire when operand
+  types support the claim (:mod:`repro.semantics.types`);
+* **hotness** — static loop-nesting depth per node, multiplied into
+  each finding's ``confidence`` score
+  (:mod:`repro.semantics.hotness`).
+
+``SEMANTICS_VERSION`` is folded into the sweep-cache fingerprint so
+cached results produced without (or by an older) semantic layer are
+invalidated exactly when the layer changes.
+"""
+
+from repro.semantics.hotness import compute_hotness
+from repro.semantics.model import SemanticModel, build_semantic_model
+from repro.semantics.scopes import Binding, BindingKind, ScopeKind, ScopeTable
+from repro.semantics.types import TYPE_UNKNOWN
+
+#: Bump whenever scope/type/hotness semantics change observable rule
+#: behavior; invalidates stale sweep-cache entries.
+SEMANTICS_VERSION = 1
+
+__all__ = [
+    "Binding",
+    "BindingKind",
+    "ScopeKind",
+    "ScopeTable",
+    "SemanticModel",
+    "SEMANTICS_VERSION",
+    "TYPE_UNKNOWN",
+    "build_semantic_model",
+    "compute_hotness",
+]

@@ -1,0 +1,90 @@
+"""The per-module :class:`SemanticModel` handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.semantics.hotness import compute_hotness
+from repro.semantics.scopes import (
+    Binding,
+    BindingKind,
+    Scope,
+    ScopeTable,
+    build_scope_table,
+)
+from repro.semantics.types import TYPE_UNKNOWN, TypeTable
+
+
+class SemanticModel:
+    """Scope, type, and hotness facts for one parsed module.
+
+    Built once per file by the analyzer engine (and by the optimizer's
+    safety checks); rules consume it through
+    :class:`~repro.analyzer.rules.base.AnalysisContext`.  The model is
+    keyed on node identity, so it is only valid for the exact tree it
+    was built from — it is never pickled or cached; per-worker sweep
+    processes rebuild it per file, and only the resulting findings
+    cross the process boundary.
+    """
+
+    def __init__(self, tree: ast.Module, filename: str = "<string>") -> None:
+        self.tree = tree
+        self.filename = filename
+        self.scopes: ScopeTable = build_scope_table(tree)
+        self.types: TypeTable = TypeTable(self.scopes)
+        self._hotness = compute_hotness(tree)
+
+    # -- scope facts ------------------------------------------------------
+
+    def resolve(self, node: ast.Name) -> Binding:
+        """Binding classification for a ``Name`` node at its use site."""
+        return self.scopes.resolve(node)
+
+    def binding_kind(self, node: ast.Name) -> BindingKind:
+        return self.resolve(node).kind
+
+    def scope_of(self, node: ast.AST) -> Scope:
+        return self.scopes.scope_of(node)
+
+    def reads_module_binding(self, node: ast.Name) -> bool:
+        """True when the name load hits the module's global namespace
+        (a ``LOAD_GLOBAL`` dict lookup, the R04 cost model)."""
+        return self.resolve(node).is_module_level
+
+    # -- type facts -------------------------------------------------------
+
+    def type_of(self, node: ast.expr) -> str:
+        """``str | int | float | list | … | unknown`` for an expression."""
+        return self.types.type_of(node)
+
+    def excludes_type(self, node: ast.expr, *candidates: str) -> bool:
+        """True when the inferred type is known and NOT any candidate.
+
+        The negative form rules actually need: "decline to fire when
+        the operand certainly isn't a str/list/…"; ``unknown`` keeps
+        the syntactic behavior.
+        """
+        inferred = self.type_of(node)
+        return inferred != TYPE_UNKNOWN and inferred not in candidates
+
+    # -- hotness facts ----------------------------------------------------
+
+    def loop_depth(self, node: ast.AST) -> int:
+        """Static loop-nesting depth at a node (0 = never in a loop)."""
+        return self._hotness.get(id(node), 0)
+
+    def hot_depth(self, node: ast.AST) -> int:
+        """Loop depth *including* the node itself when it is a loop —
+        the right hotness for findings anchored on the loop statement
+        (the loop's own body is what repeats)."""
+        depth = self.loop_depth(node)
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            depth += 1
+        return depth
+
+
+def build_semantic_model(
+    tree: ast.Module, filename: str = "<string>"
+) -> SemanticModel:
+    """Compute the full semantic model for one parsed module."""
+    return SemanticModel(tree, filename=filename)

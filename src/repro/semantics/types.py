@@ -1,0 +1,363 @@
+"""Lightweight, flow-insensitive type inference per scope.
+
+Three signal sources, in increasing authority:
+
+1. **literals and displays** — constants, f-strings, list/dict/set/
+   tuple displays and comprehensions;
+2. **intra-scope assignment propagation** — ``a = 'x'; b = a`` marks
+   ``b`` a ``str``; conflicting assignments degrade to ``unknown``
+   (except the pythonic ``int``/``float`` pair, which unifies to
+   ``float``);
+3. **annotations** — parameter and ``x: int = …`` annotations, which
+   override whatever propagation concluded (the user said so).
+
+The lattice is deliberately small — ``str int float bool bytes list
+dict set tuple none module unknown`` — and the analysis is
+flow-insensitive: one type per name per scope.  That is exactly enough
+for rules to *decline* to fire when operand types contradict the claim
+(an int ``==`` is not a string comparison; a dict target cannot take
+``dst[:] = src``), which is the false-positive cut this layer exists
+for.  ``unknown`` always means "stay with the syntactic behavior".
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.semantics.scopes import (
+    BindingKind,
+    Scope,
+    ScopeKind,
+    ScopeTable,
+)
+
+TYPE_UNKNOWN = "unknown"
+
+#: Builtin constructors / converters whose return type is their name.
+_CONSTRUCTOR_RETURNS = {
+    "str": "str", "int": "int", "float": "float", "bool": "bool",
+    "bytes": "bytes", "list": "list", "dict": "dict", "set": "set",
+    "tuple": "tuple", "frozenset": "set",
+    "repr": "str", "format": "str", "chr": "str", "hex": "str",
+    "oct": "str", "bin": "str", "ascii": "str",
+    "len": "int", "ord": "int", "id": "int", "hash": "int",
+    "round": "int", "sorted": "list",
+}
+
+#: Method names whose return type is known regardless of receiver.
+_METHOD_RETURNS = {
+    "join": "str", "format": "str", "upper": "str", "lower": "str",
+    "strip": "str", "lstrip": "str", "rstrip": "str", "replace": "str",
+    "title": "str", "capitalize": "str", "casefold": "str",
+    "decode": "str", "zfill": "str",
+    "split": "list", "rsplit": "list", "splitlines": "list",
+    "find": "int", "rfind": "int", "index": "int", "rindex": "int",
+    "count": "int", "encode": "bytes",
+    "keys": "unknown", "items": "unknown", "values": "unknown",
+}
+
+_NUMERIC = ("int", "float")
+
+
+def unify(left: str | None, right: str) -> str:
+    """Join two observations about one name."""
+    if left is None or left == right:
+        return right
+    if left in _NUMERIC and right in _NUMERIC:
+        # int/float mixing is pythonic promotion, not a contradiction.
+        return "float"
+    return TYPE_UNKNOWN
+
+
+def annotation_type(node: ast.expr | None) -> str:
+    """Type named by an annotation expression, ``unknown`` otherwise."""
+    if isinstance(node, ast.Name) and node.id in _CONSTRUCTOR_RETURNS:
+        return _CONSTRUCTOR_RETURNS[node.id]
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: "int", "list[str]", …
+        head = node.value.split("[", 1)[0].strip()
+        return _CONSTRUCTOR_RETURNS.get(head, TYPE_UNKNOWN)
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        # list[int] → list; Optional[...] and friends stay unknown.
+        return _CONSTRUCTOR_RETURNS.get(node.value.id, TYPE_UNKNOWN)
+    return TYPE_UNKNOWN
+
+
+class TypeTable:
+    """Per-scope name→type environments plus expression evaluation."""
+
+    #: Fixed-point iterations for assignment propagation; 3 covers
+    #: chains like a = 'x'; b = a; c = b without chasing cycles.
+    PASSES = 3
+
+    def __init__(self, scopes: ScopeTable) -> None:
+        self._scopes = scopes
+        self._env: dict[int, dict[str, str]] = {}
+        self._infer_all()
+
+    # -- public API -------------------------------------------------------
+
+    def type_of(self, node: ast.expr) -> str:
+        """Best-effort static type of an expression at its use site."""
+        scope = self._scopes.scope_of(node)
+        return self._eval(node, scope)
+
+    def name_type(self, name: str, scope: Scope) -> str:
+        """Resolved type of a bare name as seen from ``scope``."""
+        binding = self._scopes.resolve_name(name, scope)
+        if binding.kind is BindingKind.BUILTIN:
+            return TYPE_UNKNOWN
+        if binding.kind is BindingKind.IMPORT:
+            return "module"
+        if binding.scope is None:
+            return TYPE_UNKNOWN
+        return self._env.get(id(binding.scope), {}).get(name, TYPE_UNKNOWN)
+
+    # -- environment construction ----------------------------------------
+
+    def _infer_all(self) -> None:
+        order: list[Scope] = []
+
+        def collect(scope: Scope) -> None:
+            order.append(scope)
+            for child in scope.children:
+                collect(child)
+
+        collect(self._scopes.module_scope)
+        for scope in order:
+            self._env[id(scope)] = {}
+        facts = {id(scope): _scope_facts(scope, self._scopes) for scope in order}
+        for _ in range(self.PASSES):
+            for scope in order:
+                env = self._env[id(scope)]
+                for name, value, weak in facts[id(scope)]:
+                    observed = (
+                        value if isinstance(value, str)
+                        else self._eval(value, scope)
+                    )
+                    if weak and observed == TYPE_UNKNOWN:
+                        # An augmented assignment with an opaque RHS
+                        # cannot change the target's type at runtime
+                        # without raising; keep what we know.
+                        continue
+                    env[name] = unify(env.get(name), observed)
+        # Annotations have the last word.
+        for scope in order:
+            env = self._env[id(scope)]
+            for name, annotated in _scope_annotations(scope, self._scopes):
+                if annotated != TYPE_UNKNOWN:
+                    env[name] = annotated
+
+    # -- expression evaluation --------------------------------------------
+
+    def _eval(self, node: ast.expr, scope: Scope) -> str:
+        if isinstance(node, ast.Constant):
+            return _constant_type(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return "str"
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return "list"
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(node, ast.Tuple):
+            return "tuple"
+        if isinstance(node, ast.Name):
+            return self.name_type(node.id, scope)
+        if isinstance(node, ast.NamedExpr):
+            return self._eval(node.value, scope)
+        if isinstance(node, ast.BinOp):
+            return _binop_type(
+                self._eval(node.left, scope),
+                node.op,
+                self._eval(node.right, scope),
+            )
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return "bool"
+            operand = self._eval(node.operand, scope)
+            return operand if operand in _NUMERIC else TYPE_UNKNOWN
+        if isinstance(node, ast.Compare):
+            return "bool"
+        if isinstance(node, ast.BoolOp):
+            kinds = {self._eval(value, scope) for value in node.values}
+            return kinds.pop() if len(kinds) == 1 else TYPE_UNKNOWN
+        if isinstance(node, ast.IfExp):
+            body = self._eval(node.body, scope)
+            orelse = self._eval(node.orelse, scope)
+            return body if body == orelse else TYPE_UNKNOWN
+        if isinstance(node, ast.Call):
+            return _call_type(node)
+        return TYPE_UNKNOWN
+
+
+def _constant_type(value: object) -> str:
+    if value is None:
+        return "none"
+    if isinstance(value, bool):  # bool before int: bool IS an int
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, bytes):
+        return "bytes"
+    return TYPE_UNKNOWN
+
+
+def _binop_type(left: str, op: ast.operator, right: str) -> str:
+    if isinstance(op, ast.Add):
+        if left == right and left in ("str", "list", "tuple", "bytes",
+                                      "int", "float"):
+            return left
+        if left in _NUMERIC and right in _NUMERIC:
+            return "float"
+        return TYPE_UNKNOWN
+    if isinstance(op, ast.Mod):
+        if left == "str":
+            return "str"  # % formatting
+        if left in _NUMERIC and right in _NUMERIC:
+            return "float" if "float" in (left, right) else "int"
+        return TYPE_UNKNOWN
+    if isinstance(op, ast.Mult):
+        if (left, right) in (("str", "int"), ("int", "str")):
+            return "str"
+        if (left, right) in (("list", "int"), ("int", "list")):
+            return "list"
+        if left in _NUMERIC and right in _NUMERIC:
+            return "float" if "float" in (left, right) else "int"
+        return TYPE_UNKNOWN
+    if isinstance(op, ast.Div):
+        if left in _NUMERIC and right in _NUMERIC:
+            return "float"
+        return TYPE_UNKNOWN
+    if isinstance(op, (ast.Sub, ast.FloorDiv, ast.Pow)):
+        if left in _NUMERIC and right in _NUMERIC:
+            return "float" if "float" in (left, right) else "int"
+        return TYPE_UNKNOWN
+    if isinstance(op, (ast.LShift, ast.RShift, ast.BitOr, ast.BitAnd,
+                       ast.BitXor)):
+        if left == "int" and right == "int":
+            return "int"
+        return TYPE_UNKNOWN
+    return TYPE_UNKNOWN
+
+
+def _call_type(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return _CONSTRUCTOR_RETURNS.get(func.id, TYPE_UNKNOWN)
+    if isinstance(func, ast.Attribute):
+        return _METHOD_RETURNS.get(func.attr, TYPE_UNKNOWN)
+    return TYPE_UNKNOWN
+
+
+# -- per-scope fact extraction ---------------------------------------------
+
+
+def _scope_facts(scope: Scope, table: ScopeTable) -> list:
+    """(name, value-expr-or-type, weak) observations bound in ``scope``.
+
+    Only statements whose owning scope is ``scope`` contribute — nested
+    function/class/comprehension bodies carry their own facts.
+    """
+    facts: list = []
+    root = scope.node
+    body = getattr(root, "body", [])
+    if isinstance(body, ast.expr):  # lambda body is a single expression
+        body = [body]
+    for stmt in body if isinstance(body, list) else []:
+        for node in ast.walk(stmt):
+            if table.scope_of(node) is not scope:
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    facts.append((target.id, node.value, False))
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            facts.append((element.id, TYPE_UNKNOWN, False))
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    # x += v: v's type joins x's (int counters stay
+                    # int, int += float degrades to float); an opaque
+                    # RHS is weak — it cannot silently retype x.
+                    facts.append((node.target.id, node.value, True))
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    facts.append((node.target.id, node.value, False))
+            elif isinstance(node, ast.For):
+                facts.extend(_loop_target_facts(node))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound = alias.asname or alias.name.split(".")[0]
+                        facts.append((bound, "module", False))
+    # Comprehension targets: `for x in range(n)` inside the
+    # comprehension's own generators.
+    if scope.kind is ScopeKind.COMPREHENSION:
+        for generator in scope.node.generators:
+            facts.extend(_target_facts(generator.target, generator.iter))
+    if scope.kind in (ScopeKind.FUNCTION, ScopeKind.LAMBDA):
+        # Un-annotated parameters: unknown (annotated ones are applied
+        # as overrides afterwards).
+        for arg in _all_args(scope.node.args):
+            facts.append((arg.arg, TYPE_UNKNOWN, False))
+    return facts
+
+
+def _loop_target_facts(node: ast.For) -> list:
+    return _target_facts(node.target, node.iter)
+
+
+def _target_facts(target: ast.expr, iterable: ast.expr) -> list:
+    if not isinstance(target, ast.Name):
+        names = [
+            element.id
+            for element in getattr(target, "elts", [])
+            if isinstance(element, ast.Name)
+        ]
+        return [(name, TYPE_UNKNOWN, False) for name in names]
+    if (
+        isinstance(iterable, ast.Call)
+        and isinstance(iterable.func, ast.Name)
+        and iterable.func.id == "range"
+    ):
+        return [(target.id, "int", False)]
+    if isinstance(iterable, ast.Constant) and isinstance(iterable.value, str):
+        return [(target.id, "str", False)]  # iterating a str yields strs
+    return [(target.id, TYPE_UNKNOWN, False)]
+
+
+def _scope_annotations(
+    scope: Scope, table: ScopeTable
+) -> list[tuple[str, str]]:
+    annotations: list[tuple[str, str]] = []
+    if scope.kind is ScopeKind.FUNCTION:
+        for arg in _all_args(scope.node.args):
+            if arg.annotation is not None:
+                annotations.append((arg.arg, annotation_type(arg.annotation)))
+    body = getattr(scope.node, "body", [])
+    for stmt in body if isinstance(body, list) else []:
+        for node in ast.walk(stmt):
+            if table.scope_of(node) is not scope:
+                continue
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                annotations.append(
+                    (node.target.id, annotation_type(node.annotation))
+                )
+    return annotations
+
+
+def _all_args(args: ast.arguments) -> list[ast.arg]:
+    return [
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ]

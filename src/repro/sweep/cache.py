@@ -29,7 +29,8 @@ from pathlib import Path
 CACHE_DIR_NAME = ".pepo_cache"
 
 #: Bump to orphan every existing entry when the payload schema changes.
-CACHE_FORMAT = 1
+#: 2: finding payloads carry the semantic-model ``confidence`` score.
+CACHE_FORMAT = 2
 
 
 def content_key(fingerprint: str, content: bytes) -> str:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analyzer.findings import Finding, Severity
+from repro.semantics import SEMANTICS_VERSION
 from repro.sweep.cache import CACHE_FORMAT
 
 if TYPE_CHECKING:
@@ -42,6 +43,7 @@ def encode_finding(finding: Finding) -> dict:
         "severity": finding.severity.name,
         "overhead_percent": finding.overhead_percent,
         "snippet": finding.snippet,
+        "confidence": finding.confidence,
     }
 
 
@@ -57,6 +59,7 @@ def decode_finding(payload: dict, file: str) -> Finding:
         severity=Severity[payload["severity"]],
         overhead_percent=payload["overhead_percent"],
         snippet=payload["snippet"],
+        confidence=payload["confidence"],
     )
 
 
@@ -112,6 +115,7 @@ class AnalyzeJob(SweepJob):
             (
                 self.kind,
                 CACHE_FORMAT,
+                SEMANTICS_VERSION,
                 self.registry_fingerprint,
                 tuple(_class_token(cls) for cls in self.rule_classes),
                 self.honor_suppressions,
@@ -164,6 +168,7 @@ class OptimizeJob(SweepJob):
             (
                 self.kind,
                 CACHE_FORMAT,
+                SEMANTICS_VERSION,
                 self.registry_fingerprint,
                 tuple(_class_token(cls) for cls in self.transform_classes),
                 tuple(_class_token(cls) for cls in self.detector_classes),

@@ -1,0 +1,302 @@
+"""Semantic gating: false positives die, true positives survive.
+
+Each case pairs a fixture the syntactic rules used to misjudge with
+its true-positive twin, proving the semantic model narrows the rule
+without blinding it.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analyzer.engine import Analyzer
+from repro.analyzer.rules.base import SEMANTIC_FACTS
+
+
+def rule_hits(source: str, rule_id: str, extended: bool = False):
+    findings = Analyzer(extended=extended).analyze_source(
+        textwrap.dedent(source)
+    )
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+class TestR04ScopeResolution:
+    def test_walrus_local_not_flagged(self):
+        source = """
+            y = 10
+            def f(xs):
+                out = 0
+                for x in xs:
+                    if (y := x * 2) > 3:
+                        out += y
+                return out
+        """
+        assert not rule_hits(source, "R04_GLOBAL_IN_LOOP")
+
+    def test_comprehension_target_not_flagged(self):
+        source = """
+            G = 1
+            def f(rows):
+                acc = []
+                for row in rows:
+                    acc.extend([G * 2 for G in row])
+                return acc
+        """
+        assert not rule_hits(source, "R04_GLOBAL_IN_LOOP")
+
+    def test_true_global_still_flagged(self):
+        source = """
+            RATE = 0.07
+            def f(xs):
+                total = 0.0
+                for x in xs:
+                    total += x * RATE
+                return total
+        """
+        hits = rule_hits(source, "R04_GLOBAL_IN_LOOP")
+        assert len(hits) == 1
+        assert "RATE" in hits[0].message
+
+    def test_import_read_still_flagged(self):
+        source = """
+            import math
+            def f(xs):
+                out = []
+                for x in xs:
+                    out.append(math.sqrt(x))
+                return out
+        """
+        assert rule_hits(source, "R04_GLOBAL_IN_LOOP")
+
+    def test_nonlocal_not_flagged(self):
+        source = """
+            scale = 3
+            def outer():
+                scale = 5
+                def inner(xs):
+                    t = 0
+                    for x in xs:
+                        t += x * scale
+                    return t
+                return inner
+        """
+        assert not rule_hits(source, "R04_GLOBAL_IN_LOOP")
+
+
+class TestR05TypeGate:
+    def test_str_typed_percent_not_flagged(self):
+        source = """
+            def f(rows):
+                fmt = "%d rows"
+                out = []
+                for row in rows:
+                    out.append(fmt % row)
+                return out
+        """
+        assert not rule_hits(source, "R05_MODULUS")
+
+    def test_numeric_modulus_still_flagged(self):
+        source = """
+            def f(xs):
+                out = []
+                for i in xs:
+                    out.append(i % 8)
+                return out
+        """
+        assert rule_hits(source, "R05_MODULUS")
+
+
+class TestR08TypeGate:
+    def test_int_accumulator_not_flagged(self):
+        source = """
+            def f(xs):
+                total = 0
+                for x in xs:
+                    total += x
+                return total
+        """
+        assert not rule_hits(source, "R08_STR_CONCAT")
+
+    def test_list_accumulator_not_flagged(self):
+        source = """
+            def f(chunks):
+                merged = []
+                for chunk in chunks:
+                    merged += chunk.parts()
+                return merged
+        """
+        assert not rule_hits(source, "R08_STR_CONCAT")
+
+    def test_str_accumulator_still_flagged(self):
+        source = """
+            def f(xs):
+                out = ""
+                for x in xs:
+                    out += str(x)
+                return out
+        """
+        assert rule_hits(source, "R08_STR_CONCAT")
+
+    def test_annotated_str_param_flagged(self):
+        # The syntactic walk could not see annotation types; the
+        # semantic table can.
+        source = """
+            def f(xs, sep: str):
+                for x in xs:
+                    sep += ","
+                return sep
+        """
+        assert rule_hits(source, "R08_STR_CONCAT")
+
+
+class TestR09TypeGate:
+    def test_int_equality_not_flagged(self):
+        source = """
+            def f(x):
+                x = 3
+                return x == 3
+        """
+        assert not rule_hits(source, "R09_STR_COMPARE")
+
+    def test_find_on_known_non_string_not_flagged(self):
+        source = """
+            def f(tree):
+                node = [1, 2, 3]
+                return node.find("key") != -1
+        """
+        assert not rule_hits(source, "R09_STR_COMPARE")
+
+    def test_find_on_str_still_flagged(self):
+        source = """
+            def f(s: str):
+                return s.find("x") != -1
+        """
+        assert rule_hits(source, "R09_STR_COMPARE")
+
+    def test_find_on_unknown_still_flagged(self):
+        source = """
+            def f(s):
+                return s.find("x") != -1
+        """
+        assert rule_hits(source, "R09_STR_COMPARE")
+
+
+class TestR10TypeGate:
+    def test_dict_destination_not_flagged(self):
+        source = """
+            def f(src):
+                dst = {}
+                for i in range(len(src)):
+                    dst[i] = src[i]
+        """
+        assert not rule_hits(source, "R10_ARRAY_COPY")
+
+    def test_list_destination_still_flagged(self):
+        source = """
+            def f(src):
+                dst = [0] * len(src)
+                for i in range(len(src)):
+                    dst[i] = src[i]
+        """
+        assert rule_hits(source, "R10_ARRAY_COPY")
+
+
+class TestR13ScopeResolution:
+    def test_local_class_shadow_not_flagged(self):
+        source = """
+            class Codec:
+                pass
+            def f(xs):
+                out = []
+                Codec = make_local_factory()
+                for x in xs:
+                    out.append(Codec())
+                return out
+        """
+        assert not rule_hits(source, "R13_OBJECT_CHURN")
+
+    def test_module_class_still_flagged(self):
+        source = """
+            class Codec:
+                pass
+            def f(xs):
+                out = []
+                for x in xs:
+                    out.append(Codec())
+                return out
+        """
+        assert rule_hits(source, "R13_OBJECT_CHURN")
+
+    def test_shadowed_re_not_flagged(self):
+        source = """
+            def f(xs, re):
+                for x in xs:
+                    re.compile("a+")
+        """
+        assert not rule_hits(source, "R13_OBJECT_CHURN")
+
+
+class TestConfidence:
+    def test_deeper_nesting_scores_higher(self):
+        shallow = """
+            RATE = 2
+            def f(xs):
+                t = 0
+                for x in xs:
+                    t += x % 7
+                return t
+        """
+        deep = """
+            RATE = 2
+            def f(grid):
+                t = 0
+                for row in grid:
+                    for x in row:
+                        t += x % 7
+                return t
+        """
+        (one,) = rule_hits(shallow, "R05_MODULUS")
+        (two,) = rule_hits(deep, "R05_MODULUS")
+        assert two.confidence > one.confidence
+
+    def test_confidence_bounded(self):
+        source = """
+            RATE = 2
+            def f(g):
+                for a in g:
+                    for b in a:
+                        for c in b:
+                            for d in c:
+                                use(RATE)
+        """
+        for finding in Analyzer().analyze_source(textwrap.dedent(source)):
+            assert 0.05 <= finding.confidence <= 0.99
+
+    def test_confidence_in_to_dict(self):
+        source = """
+            def f(xs):
+                out = ""
+                for x in xs:
+                    out += str(x)
+                return out
+        """
+        (hit,) = rule_hits(source, "R08_STR_CONCAT")
+        assert hit.to_dict()["confidence"] == hit.confidence
+
+
+class TestSemanticFactsDeclarations:
+    def test_every_rule_declares_valid_facts(self):
+        from repro.rules import REGISTRY
+
+        for spec in REGISTRY:
+            detector = spec.detector
+            if detector is None:
+                continue
+            declared = set(getattr(detector, "semantic_facts", ()))
+            assert declared <= SEMANTIC_FACTS, spec.rule_id
+
+    def test_builtin_rules_are_semantics_aware(self):
+        from repro.rules import REGISTRY
+
+        for spec in REGISTRY.specs():
+            assert getattr(spec.detector, "semantic_facts", ()), spec.rule_id

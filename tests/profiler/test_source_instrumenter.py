@@ -47,6 +47,14 @@ class TestFindMainClasses:
         (sub / "deep.py").write_text("def main():\n    pass\n")
         assert find_main_classes(tmp_path) == [sub / "deep.py"]
 
+    @pytest.mark.parametrize("dirname", ["__pycache__", ".venv", ".git"])
+    def test_tool_directories_never_entry_points(self, tmp_path, dirname):
+        (tmp_path / "app.py").write_text("def main():\n    pass\n")
+        hidden = tmp_path / dirname
+        hidden.mkdir()
+        (hidden / "stale.py").write_text("def main():\n    pass\n")
+        assert find_main_classes(tmp_path) == [tmp_path / "app.py"]
+
 
 class TestInstrumentSource:
     def test_every_function_wrapped(self):

@@ -1,0 +1,89 @@
+"""Static hotness: loop-nesting depth mirrors engine traversal."""
+
+import ast
+
+from repro.semantics import build_semantic_model, compute_hotness
+
+
+def depth_of_call(source: str, func_name: str) -> int:
+    tree = ast.parse(source)
+    model = build_semantic_model(tree)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == func_name
+        ):
+            return model.loop_depth(node)
+    raise AssertionError(f"no call to {func_name}")
+
+
+class TestLoopDepth:
+    def test_module_level_is_zero(self):
+        assert depth_of_call("work()", "work") == 0
+
+    def test_single_loop(self):
+        assert depth_of_call("for x in xs:\n    work()", "work") == 1
+
+    def test_nested_loops(self):
+        source = (
+            "for a in xs:\n"
+            "    for b in ys:\n"
+            "        while True:\n"
+            "            work()\n"
+        )
+        assert depth_of_call(source, "work") == 3
+
+    def test_loop_header_at_enclosing_depth(self):
+        tree = ast.parse("for x in make():\n    pass")
+        model = build_semantic_model(tree)
+        call = next(n for n in ast.walk(tree) if isinstance(n, ast.Call))
+        # The iterable is evaluated once, outside the loop body.
+        assert model.loop_depth(call) == 0
+
+    def test_function_body_resets_depth(self):
+        source = (
+            "for x in xs:\n"
+            "    def handler():\n"
+            "        work()\n"
+        )
+        assert depth_of_call(source, "work") == 0
+
+    def test_async_for_counts(self):
+        source = (
+            "async def f(xs):\n"
+            "    async for x in xs:\n"
+            "        work()\n"
+        )
+        assert depth_of_call(source, "work") == 1
+
+    def test_loop_else_inside_loop(self):
+        source = "for x in xs:\n    pass\nelse:\n    work()"
+        assert depth_of_call(source, "work") == 1
+
+
+class TestHotDepth:
+    def test_loop_statement_counts_itself(self):
+        tree = ast.parse("for x in xs:\n    pass")
+        model = build_semantic_model(tree)
+        loop = tree.body[0]
+        assert model.loop_depth(loop) == 0
+        assert model.hot_depth(loop) == 1
+
+    def test_plain_node_unchanged(self):
+        tree = ast.parse("x = 1")
+        model = build_semantic_model(tree)
+        assert model.hot_depth(tree.body[0]) == 0
+
+
+class TestComputeHotness:
+    def test_covers_every_node(self):
+        tree = ast.parse(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            y = x + 1\n"
+        )
+        depths = compute_hotness(tree)
+        for node in ast.walk(tree):
+            assert id(node) in depths

@@ -1,0 +1,148 @@
+"""Scope/binding resolution: the LEGB corners rules rely on."""
+
+import ast
+
+import pytest
+
+from repro.semantics import BindingKind, build_semantic_model
+
+
+def model_for(source: str):
+    return build_semantic_model(ast.parse(source))
+
+
+def loads(tree: ast.AST, name: str) -> list[ast.Name]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name)
+        and node.id == name
+        and isinstance(node.ctx, ast.Load)
+    ]
+
+
+def kind_of(source: str, name: str) -> BindingKind:
+    model = model_for(source)
+    (node,) = loads(model.tree, name)
+    return model.resolve(node).kind
+
+
+class TestBasicResolution:
+    def test_local_assignment(self):
+        assert kind_of("def f():\n    x = 1\n    return x", "x") is BindingKind.LOCAL
+
+    def test_parameter_is_local(self):
+        assert kind_of("def f(x):\n    return x", "x") is BindingKind.LOCAL
+
+    def test_module_global(self):
+        source = "RATE = 2\ndef f():\n    return RATE"
+        assert kind_of(source, "RATE") is BindingKind.GLOBAL
+
+    def test_import_binding(self):
+        source = "import re\ndef f():\n    return re"
+        assert kind_of(source, "re") is BindingKind.IMPORT
+
+    def test_builtin(self):
+        assert kind_of("def f(xs):\n    return len(xs)", "len") is BindingKind.BUILTIN
+
+    def test_unresolved(self):
+        assert kind_of("def f():\n    return mystery", "mystery") is BindingKind.UNRESOLVED
+
+    def test_global_declaration_forces_module(self):
+        source = "count = 0\ndef f():\n    global count\n    count = 1\n    return count"
+        assert kind_of(source, "count") is BindingKind.GLOBAL
+
+    def test_nonlocal(self):
+        source = (
+            "def outer():\n"
+            "    x = 1\n"
+            "    def inner():\n"
+            "        nonlocal x\n"
+            "        return x\n"
+            "    return inner\n"
+        )
+        assert kind_of(source, "x") is BindingKind.NONLOCAL
+
+    def test_closure_read_is_nonlocal(self):
+        source = (
+            "def outer():\n"
+            "    x = 1\n"
+            "    def inner():\n"
+            "        return x\n"
+            "    return inner\n"
+        )
+        assert kind_of(source, "x") is BindingKind.NONLOCAL
+
+
+class TestPep572AndComprehensions:
+    def test_walrus_binds_local_despite_module_name(self):
+        # `y` exists at module level, but the walrus in f() makes it a
+        # function local for the whole function — the R04 FP fixture.
+        source = (
+            "y = 10\n"
+            "def f(xs):\n"
+            "    out = 0\n"
+            "    for x in xs:\n"
+            "        if (y := x * 2) > 3:\n"
+            "            out += y\n"
+            "    return out\n"
+        )
+        model = model_for(source)
+        load = loads(model.tree, "y")[-1]
+        assert model.resolve(load).kind is BindingKind.LOCAL
+        assert not model.resolve(load).is_module_level
+
+    def test_comprehension_target_is_comprehension_local(self):
+        source = "G = 1\ndef f(xs):\n    return [G * 2 for G in xs]"
+        model = model_for(source)
+        load = [n for n in loads(model.tree, "G")][0]
+        assert model.resolve(load).kind is BindingKind.LOCAL
+
+    def test_comprehension_reads_enclosing_scope(self):
+        source = "SCALE = 3\ndef f(xs):\n    return [x * SCALE for x in xs]"
+        model = model_for(source)
+        (load,) = loads(model.tree, "SCALE")
+        assert model.resolve(load).is_module_level
+
+    def test_walrus_in_comprehension_leaks_to_function(self):
+        # PEP 572: a walrus inside a comprehension binds in the
+        # containing (non-comprehension) scope.
+        source = (
+            "def f(xs):\n"
+            "    vals = [(last := x) for x in xs]\n"
+            "    return last\n"
+        )
+        model = model_for(source)
+        last_load = loads(model.tree, "last")[-1]
+        assert model.resolve(last_load).kind is BindingKind.LOCAL
+
+
+class TestClassScopes:
+    def test_class_body_names_invisible_to_methods(self):
+        source = (
+            "LIMIT = 9\n"
+            "class C:\n"
+            "    LIMIT = 5\n"
+            "    def method(self):\n"
+            "        return LIMIT\n"
+        )
+        model = model_for(source)
+        load = loads(model.tree, "LIMIT")[-1]
+        # Class scope is skipped: the method sees the module binding.
+        assert model.resolve(load).kind is BindingKind.GLOBAL
+
+
+class TestIsModuleLevel:
+    @pytest.mark.parametrize(
+        "source, name, expected",
+        [
+            ("import os\ndef f():\n    return os", "os", True),
+            ("K = 1\ndef f():\n    return K", "K", True),
+            ("def f():\n    k = 1\n    return k", "k", False),
+            ("def f(xs):\n    return sum(xs)", "sum", False),
+        ],
+    )
+    def test_matrix(self, source, name, expected):
+        model = model_for(source)
+        (load,) = loads(model.tree, name)
+        assert model.resolve(load).is_module_level is expected

@@ -1,0 +1,130 @@
+"""Lightweight type inference: literals, annotations, propagation."""
+
+import ast
+
+import pytest
+
+from repro.semantics import TYPE_UNKNOWN, build_semantic_model
+
+
+def type_at_return(source: str) -> str:
+    """Inferred type of the first `return <expr>` in the source."""
+    tree = ast.parse(source)
+    model = build_semantic_model(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Return) and node.value is not None:
+            return model.type_of(node.value)
+    raise AssertionError("no return statement")
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("1", "int"),
+            ("1.5", "float"),
+            ("'a'", "str"),
+            ("b'a'", "bytes"),
+            ("True", "bool"),
+            ("None", "none"),
+            ("[1]", "list"),
+            ("{}", "dict"),
+            ("{1, 2}", "set"),
+            ("(1, 2)", "tuple"),
+            ("f'{1}'", "str"),
+        ],
+    )
+    def test_literal(self, expr, expected):
+        assert type_at_return(f"def f():\n    return {expr}") == expected
+
+
+class TestPropagation:
+    def test_assignment_chain(self):
+        source = (
+            "def f():\n"
+            "    a = 'x'\n"
+            "    b = a\n"
+            "    c = b\n"
+            "    return c\n"
+        )
+        assert type_at_return(source) == "str"
+
+    def test_module_global_propagates_into_function(self):
+        source = "RATE = 0.07\ndef f():\n    return RATE"
+        assert type_at_return(source) == "float"
+
+    def test_annotation_wins(self):
+        source = "def f(n: int):\n    return n"
+        assert type_at_return(source) == "int"
+
+    def test_annotated_assignment(self):
+        source = "def f():\n    total: float = 0\n    return total"
+        assert type_at_return(source) == "float"
+
+    def test_conflicting_assignments_unknown(self):
+        source = "def f(flag):\n    x = 1\n    if flag:\n        x = 'a'\n    return x"
+        assert type_at_return(source) == TYPE_UNKNOWN
+
+    def test_int_float_unify_to_float(self):
+        source = "def f(flag):\n    x = 1\n    if flag:\n        x = 2.5\n    return x"
+        assert type_at_return(source) == "float"
+
+    def test_augassign_keeps_str(self):
+        source = (
+            "def f(xs):\n"
+            "    out = ''\n"
+            "    for x in xs:\n"
+            "        out += str(x)\n"
+            "    return out\n"
+        )
+        assert type_at_return(source) == "str"
+
+    def test_for_target_over_range_is_int(self):
+        source = "def f(n):\n    for i in range(n):\n        pass\n    return i"
+        assert type_at_return(source) == "int"
+
+    def test_unannotated_param_unknown(self):
+        assert type_at_return("def f(x):\n    return x") == TYPE_UNKNOWN
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("1 + 2", "int"),
+            ("1 + 2.5", "float"),
+            ("'a' + 'b'", "str"),
+            ("'%d' % 3", "str"),
+            ("'ab' * 3", "str"),
+            ("3 / 2", "float"),
+            ("7 // 2", "int"),
+            ("1 < 2", "bool"),
+            ("not 1", "bool"),
+            ("str(5)", "str"),
+            ("len([1])", "int"),
+            ("'a'.upper()", "str"),
+            ("'a,b'.split(',')", "list"),
+        ],
+    )
+    def test_expression(self, expr, expected):
+        assert type_at_return(f"def f():\n    return {expr}") == expected
+
+    def test_unknown_call_unknown(self):
+        assert (
+            type_at_return("def f(g):\n    return g()") == TYPE_UNKNOWN
+        )
+
+
+class TestExcludesType:
+    def test_known_non_candidate_excluded(self):
+        tree = ast.parse("def f():\n    x = 3\n    return x")
+        model = build_semantic_model(tree)
+        ret = next(n for n in ast.walk(tree) if isinstance(n, ast.Return))
+        assert model.excludes_type(ret.value, "str")
+        assert not model.excludes_type(ret.value, "int")
+
+    def test_unknown_never_excluded(self):
+        tree = ast.parse("def f(x):\n    return x")
+        model = build_semantic_model(tree)
+        ret = next(n for n in ast.walk(tree) if isinstance(n, ast.Return))
+        assert not model.excludes_type(ret.value, "str")

@@ -193,3 +193,77 @@ class TestCacheRobustness:
         assert "2 entries" in stats.render()
         assert cache.clear() == 2
         assert cache.stats().entries == 0
+
+
+class TestSemanticsVersionInvalidation:
+    """A semantic-model revision must orphan every cached payload.
+
+    Cached findings embed confidence scores computed by the semantic
+    layer; replaying them after the model changes would resurrect
+    pre-revision judgments.  ``SEMANTICS_VERSION`` is folded into every
+    job fingerprint for exactly this reason.
+    """
+
+    def test_version_bump_misses_analyze_cache(
+        self, project, cache_dir, monkeypatch
+    ):
+        _, cold = _sweep(project, cache_dir)
+        assert cold.cache_misses == 2
+        _, warm = _sweep(project, cache_dir)
+        assert warm.cache_hits == 2
+        monkeypatch.setattr(
+            "repro.sweep.jobs.SEMANTICS_VERSION", "test-bump"
+        )
+        _, stats = _sweep(project, cache_dir)
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 2
+
+    def test_version_bump_misses_optimize_cache(
+        self, project, cache_dir, monkeypatch
+    ):
+        from repro.optimizer import Optimizer
+
+        def opt_sweep():
+            engine = SweepEngine(cache=True, cache_dir=cache_dir)
+            engine.run(project, Optimizer()._sweep_job())
+            return engine.last_stats
+
+        opt_sweep()
+        assert opt_sweep().cache_hits == 2
+        monkeypatch.setattr(
+            "repro.sweep.jobs.SEMANTICS_VERSION", "test-bump"
+        )
+        stats = opt_sweep()
+        assert stats.cache_hits == 0
+
+    def test_fingerprint_depends_on_version(self, monkeypatch):
+        job = Analyzer()._sweep_job()
+        before = job.fingerprint()
+        monkeypatch.setattr(
+            "repro.sweep.jobs.SEMANTICS_VERSION", "test-bump"
+        )
+        assert job.fingerprint() != before
+
+
+class TestConfidenceParity:
+    """Confidence must survive every transport: pickle, JSON, cache."""
+
+    def test_confidence_identical_serial_parallel_cached(
+        self, project, cache_dir
+    ):
+        def scores(results):
+            return {
+                path: [(f.rule_id, f.line, f.confidence) for f in findings]
+                for path, findings in results.items()
+            }
+
+        serial = Analyzer().analyze_project(project)
+        parallel = Analyzer().analyze_project(project, jobs=2)
+        Analyzer().analyze_project(project, cache=True, cache_dir=cache_dir)
+        cached = Analyzer().analyze_project(
+            project, cache=True, cache_dir=cache_dir
+        )
+        assert scores(serial) == scores(parallel) == scores(cached)
+        assert any(
+            f.confidence != 0.5 for v in serial.values() for f in v
+        )

@@ -1,0 +1,125 @@
+"""Sweep file selection: default excludes and ``--exclude`` globs."""
+
+import pytest
+
+from repro.analyzer import Analyzer
+from repro.sweep import SweepEngine
+from repro.sweep.engine import DEFAULT_EXCLUDE_DIRS
+
+DIRTY = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+
+def swept_files(root, exclude=()):
+    engine = SweepEngine(exclude=exclude)
+    results = engine.run(root, Analyzer()._sweep_job())
+    return {p.replace(str(root), "").lstrip("/") for p in results}
+
+
+class TestDefaultExcludes:
+    @pytest.mark.parametrize(
+        "dirname", ["__pycache__", ".pepo_cache", ".git", ".venv"]
+    )
+    def test_tool_directories_skipped(self, tmp_path, dirname):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        skipped = tmp_path / dirname
+        skipped.mkdir()
+        (skipped / "inner.py").write_text(DIRTY)
+        assert swept_files(tmp_path) == {"mod.py"}
+
+    def test_nested_default_excludes_skipped(self, tmp_path):
+        deep = tmp_path / "pkg" / "__pycache__"
+        deep.mkdir(parents=True)
+        (deep / "mod.cpython.py").write_text(DIRTY)
+        (tmp_path / "pkg" / "real.py").write_text(DIRTY)
+        assert swept_files(tmp_path) == {"pkg/real.py"}
+
+    def test_file_named_like_excluded_dir_is_kept(self, tmp_path):
+        # Only *directories* named .venv etc. are pruned; a file that
+        # merely shares the name is still user code.
+        (tmp_path / "venv.py").write_text(DIRTY)
+        assert swept_files(tmp_path) == {"venv.py"}
+
+    def test_every_default_is_a_bare_directory_name(self):
+        for name in DEFAULT_EXCLUDE_DIRS:
+            assert "/" not in name and "*" not in name
+
+
+class TestExcludePatterns:
+    def test_directory_component_match(self, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        vendor = tmp_path / "vendor"
+        vendor.mkdir()
+        (vendor / "dep.py").write_text(DIRTY)
+        assert swept_files(tmp_path, exclude=["vendor"]) == {"mod.py"}
+
+    def test_glob_against_relative_path(self, tmp_path):
+        gen = tmp_path / "gen"
+        gen.mkdir()
+        (gen / "a_pb2.py").write_text(DIRTY)
+        (gen / "real.py").write_text(DIRTY)
+        files = swept_files(tmp_path, exclude=["*_pb2.py"])
+        assert files == {"gen/real.py"}
+
+    def test_nested_glob(self, tmp_path):
+        deep = tmp_path / "a" / "b"
+        deep.mkdir(parents=True)
+        (deep / "skip_me.py").write_text(DIRTY)
+        (deep / "keep.py").write_text(DIRTY)
+        files = swept_files(tmp_path, exclude=["a/b/skip_*.py"])
+        assert files == {"a/b/keep.py"}
+
+    def test_multiple_patterns_union(self, tmp_path):
+        for name in ("one.py", "two.py", "three.py"):
+            (tmp_path / name).write_text(DIRTY)
+        files = swept_files(tmp_path, exclude=["one.py", "two.py"])
+        assert files == {"three.py"}
+
+    def test_no_patterns_keeps_everything(self, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "x.py").write_text(DIRTY)
+        assert swept_files(tmp_path) == {"mod.py", "sub/x.py"}
+
+
+class TestAnalyzerPassThrough:
+    def test_analyze_project_exclude(self, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        vendor = tmp_path / "vendor"
+        vendor.mkdir()
+        (vendor / "dep.py").write_text(DIRTY)
+        results = Analyzer().analyze_project(tmp_path, exclude=["vendor"])
+        assert list(results) == [str(tmp_path / "mod.py")]
+
+    def test_optimize_project_exclude(self, tmp_path):
+        from repro.optimizer import Optimizer
+
+        (tmp_path / "mod.py").write_text(DIRTY)
+        vendor = tmp_path / "vendor"
+        vendor.mkdir()
+        (vendor / "dep.py").write_text(DIRTY)
+        results = Optimizer().optimize_project(tmp_path, exclude=["vendor"])
+        assert list(results) == [str(tmp_path / "mod.py")]
+
+
+class TestDirectoryPrefixPatterns:
+    def test_multi_component_pattern_prunes_subtree(self, tmp_path):
+        deep = tmp_path / "pkg" / "fixtures"
+        deep.mkdir(parents=True)
+        (deep / "bad.py").write_text(DIRTY)
+        (tmp_path / "pkg" / "good.py").write_text(DIRTY)
+        files = swept_files(tmp_path, exclude=["pkg/fixtures"])
+        assert files == {"pkg/good.py"}
+
+    def test_trailing_slash_tolerated(self, tmp_path):
+        sub = tmp_path / "gen"
+        sub.mkdir()
+        (sub / "x.py").write_text(DIRTY)
+        (tmp_path / "keep.py").write_text(DIRTY)
+        assert swept_files(tmp_path, exclude=["gen/"]) == {"keep.py"}
