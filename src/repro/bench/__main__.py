@@ -5,11 +5,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.figures import run_figures
-from repro.bench.table1 import render_table1, run_table1
-from repro.bench.table2 import render_table2, run_table2
-from repro.bench.table3 import render_table3, run_table3
-from repro.bench.table4 import Table4Config, render_table4, run_table4
+# The table/figure modules pull in numpy via the datasets package;
+# import them per-target inside main() so numpy-free targets (sweep,
+# overhead) work on a bare interpreter.
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -20,7 +18,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "all"],
+                 "overhead", "all"],
     )
     parser.add_argument(
         "--full",
@@ -58,13 +56,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="sweep: where to write BENCH_sweep.json",
+        help="sweep/overhead: where to write the BENCH_*.json result",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="sweep: exit 1 unless parallel/cached output is identical "
-        "to serial (CI smoke assertion)",
+        "to serial; overhead: exit 1 unless the new runtime's per-call "
+        "overhead is within the legacy tracer's (CI smoke assertion)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="overhead: small call count / few repeats (CI smoke run)",
     )
     args = parser.parse_args(argv)
 
@@ -75,12 +79,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     for target in targets:
         if target == "table1":
+            from repro.bench.table1 import render_table1, run_table1
+
             print(render_table1(run_table1(measure=not args.dry_run)))
         elif target == "table2":
+            from repro.bench.table2 import render_table2, run_table2
+
             print(render_table2(run_table2()))
         elif target == "table3":
+            from repro.bench.table3 import render_table3, run_table3
+
             print(render_table3(run_table3()))
         elif target == "table4":
+            from repro.bench.table4 import (
+                Table4Config,
+                render_table4,
+                run_table4,
+            )
+
             if args.full:
                 config = Table4Config(
                     n_instances=args.instances or 10_000,
@@ -95,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
                 )
             print(render_table4(run_table4(config, checkpoint=args.checkpoint)))
         elif target == "figures":
+            from repro.bench.figures import run_figures
+
             for name, text in run_figures().items():
                 print(f"===== {name} =====")
                 print(text)
@@ -111,6 +129,22 @@ def main(argv: list[str] | None = None) -> int:
             output = write_sweep_bench(result, args.output or DEFAULT_OUTPUT)
             print(f"wrote {output}")
             if args.check and not result.deterministic:
+                return 1
+        elif target == "overhead":
+            from repro.bench.overhead import (
+                DEFAULT_OUTPUT as OVERHEAD_OUTPUT,
+                render_overhead_bench,
+                run_overhead_bench,
+                write_overhead_bench,
+            )
+
+            result = run_overhead_bench(quick=args.quick)
+            print(render_overhead_bench(result))
+            output = write_overhead_bench(
+                result, args.output or OVERHEAD_OUTPUT
+            )
+            print(f"wrote {output}")
+            if args.check and not result.meets_target():
                 return 1
         print()
     return 0

@@ -1,0 +1,257 @@
+"""``pepo bench overhead`` — measure the tracer's own per-call cost.
+
+Two micro workloads, chosen to stress the two places a profiling hook
+hurts:
+
+* ``bytecode`` — a traced entry function whose loop calls a tiny pure
+  Python helper; every helper call/return fires a hook event that the
+  tracer must *filter out*.  This is the common case in real profiles:
+  the handful of methods you trace sit on top of thousands of calls
+  you don't.
+* ``c_call`` — a traced entry function whose loop hammers C builtins
+  (``len``/``abs``/``min``).  ``sys.setprofile`` fires ``c_call``/
+  ``c_return`` for every one of them; ``sys.monitoring`` fires nothing
+  (no ``CALL`` events are registered), so the loop runs unobserved.
+
+Each workload is timed untraced (baseline) and under three tracer
+configurations — the legacy ``sys.setprofile`` tracer, the new
+``settrace`` runtime (memoized filter + deferred materialization) and
+the ``sys.monitoring`` runtime (Python ≥ 3.12) — with ``start()`` and
+``stop()`` *inside* the timed region, so deferred materialization is
+charged for, not hidden.  Per-call overhead is ``(traced − baseline) /
+calls``, best-of-repeats.  Results go to ``BENCH_overhead.json`` so
+the perf claim is measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.views.tables import render_table
+
+#: Default output path, relative to the working directory.
+DEFAULT_OUTPUT = Path("BENCH_overhead.json")
+
+#: Tracer configurations, measurement order.  ``legacy`` is the
+#: reference every speedup is computed against.
+CONFIGS = ("legacy", "settrace", "monitoring")
+
+
+# -- workloads ---------------------------------------------------------
+#
+# Module-level so every configuration sees the same code objects (the
+# new runtimes memoize per code object).  The entry functions end in
+# ``_workload`` and are the only thing the tracers are asked to record.
+
+
+def _hot(i: int) -> int:
+    return (i * i + 3) % 7
+
+
+def bytecode_workload(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += _hot(i)
+    return total
+
+
+_DATA = tuple(range(32))
+
+
+def c_call_workload(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += len(_DATA) + abs(-i) + min(i, 5)
+    return total
+
+
+WORKLOADS = {
+    "bytecode": bytecode_workload,
+    "c_call": c_call_workload,
+}
+
+
+@dataclass(frozen=True)
+class OverheadBenchResult:
+    """Per-call overhead (seconds) per workload and configuration."""
+
+    python: str
+    calls: int
+    repeats: int
+    baseline_s: dict[str, float]
+    #: workload -> config -> per-call overhead in seconds (>= 0).
+    overhead_per_call: dict[str, dict[str, float]]
+    #: The runtime ``EnergyTracer(runtime="auto")`` would pick here.
+    new_runtime: str
+
+    def speedups(self) -> dict[str, dict[str, float]]:
+        """Each configuration's overhead reduction vs. ``legacy``.
+
+        ``inf`` when a configuration's overhead is indistinguishable
+        from measurement noise (clamped to zero).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for workload, configs in self.overhead_per_call.items():
+            legacy = configs["legacy"]
+            out[workload] = {
+                name: (legacy / cost if cost > 0 else float("inf"))
+                for name, cost in configs.items()
+                if name != "legacy"
+            }
+        return out
+
+    def meets_target(self) -> bool:
+        """New (auto-preferred) runtime no slower than legacy, everywhere."""
+        for configs in self.overhead_per_call.values():
+            if configs[self.new_runtime] > configs["legacy"]:
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        def finite(x: float) -> float | None:
+            return round(x, 2) if x != float("inf") else None
+
+        return {
+            "bench": "overhead",
+            "python": self.python,
+            "calls": self.calls,
+            "repeats": self.repeats,
+            "new_runtime": self.new_runtime,
+            "baseline_s": {k: round(v, 6) for k, v in self.baseline_s.items()},
+            "overhead_per_call_us": {
+                workload: {k: round(v * 1e6, 4) for k, v in configs.items()}
+                for workload, configs in self.overhead_per_call.items()
+            },
+            "speedups_vs_legacy": {
+                workload: {k: finite(v) for k, v in sp.items()}
+                for workload, sp in self.speedups().items()
+            },
+            "meets_target": self.meets_target(),
+        }
+
+
+def _predicate(name: str) -> bool:
+    return name.endswith("_workload")
+
+
+def _tracer_factories() -> dict[str, object]:
+    """Config name -> zero-arg factory producing a started-able tracer."""
+    from repro.profiler.runtime import MonitoringRuntime
+    from repro.profiler.tracer import EnergyTracer, LegacyEnergyTracer
+    from repro.rapl.backends import SimulatedBackend
+
+    backend = SimulatedBackend()
+    factories: dict[str, object] = {
+        "legacy": lambda: LegacyEnergyTracer(backend, predicate=_predicate),
+        "settrace": lambda: EnergyTracer(
+            backend,
+            predicate=_predicate,
+            runtime="settrace",
+            estimate_overhead=False,
+        ),
+    }
+    if MonitoringRuntime.available():
+        factories["monitoring"] = lambda: EnergyTracer(
+            backend,
+            predicate=_predicate,
+            runtime="monitoring",
+            estimate_overhead=False,
+        )
+    return factories
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_overhead_bench(
+    quick: bool = False, calls: int | None = None, repeats: int | None = None
+) -> OverheadBenchResult:
+    """Time every workload × configuration; best-of-``repeats``."""
+    n = calls if calls is not None else (2_000 if quick else 20_000)
+    reps = repeats if repeats is not None else (3 if quick else 5)
+    factories = _tracer_factories()
+
+    baseline_s: dict[str, float] = {}
+    overhead: dict[str, dict[str, float]] = {}
+    for name, workload in WORKLOADS.items():
+        workload(n)  # warm the code paths once
+        baseline = _best_of(reps, lambda: workload(n))
+        baseline_s[name] = baseline
+        overhead[name] = {}
+        for config, make_tracer in factories.items():
+
+            def traced() -> None:
+                tracer = make_tracer()
+                tracer.start()
+                try:
+                    workload(n)
+                finally:
+                    tracer.stop()
+
+            total = _best_of(reps, traced)
+            overhead[name][config] = max(0.0, (total - baseline) / n)
+
+    return OverheadBenchResult(
+        python=platform.python_version(),
+        calls=n,
+        repeats=reps,
+        baseline_s=baseline_s,
+        overhead_per_call=overhead,
+        new_runtime="monitoring" if "monitoring" in factories else "settrace",
+    )
+
+
+def render_overhead_bench(result: OverheadBenchResult) -> str:
+    speedups = result.speedups()
+    rows = []
+    for workload, configs in result.overhead_per_call.items():
+        for config in CONFIGS:
+            if config not in configs:
+                continue
+            speedup = (
+                "1.00x"
+                if config == "legacy"
+                else (
+                    f"{speedups[workload][config]:.2f}x"
+                    if speedups[workload][config] != float("inf")
+                    else "inf"
+                )
+            )
+            rows.append(
+                (workload, config, f"{configs[config] * 1e6:.3f}", speedup)
+            )
+    table = render_table(
+        ("Workload", "Tracer", "Overhead/call (µs)", "vs legacy"),
+        rows,
+        title=f"Tracer overhead bench — Python {result.python}, "
+        f"{result.calls} calls, best of {result.repeats}",
+        right_align=(2, 3),
+    )
+    verdict = (
+        f"new runtime ({result.new_runtime}) within legacy overhead "
+        "on every workload"
+        if result.meets_target()
+        else f"OVERHEAD REGRESSION: {result.new_runtime} runtime costs "
+        "more per call than the legacy tracer"
+    )
+    return f"{table}\n{verdict}"
+
+
+def write_overhead_bench(
+    result: OverheadBenchResult, output: str | Path = DEFAULT_OUTPUT
+) -> Path:
+    output = Path(output)
+    output.write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+    return output

@@ -183,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "all"],
+                 "overhead", "all"],
     )
     bench.add_argument(
         "--jobs",
@@ -194,7 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--check",
         action="store_true",
-        help="sweep: exit 1 unless parallel/cached output matches serial",
+        help="sweep: exit 1 unless parallel/cached output matches serial; "
+        "overhead: exit 1 unless the new runtime beats the legacy tracer",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="overhead: small call count / few repeats (CI smoke run)",
     )
     bench.add_argument(
         "--checkpoint",
@@ -514,6 +520,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         argv += ["--jobs", str(args.jobs)]
     if args.check:
         argv += ["--check"]
+    if args.quick:
+        argv += ["--quick"]
     return bench_main(argv)
 
 

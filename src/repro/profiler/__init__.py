@@ -6,8 +6,10 @@ writes a ``result.txt`` into the project directory.  Python offers three
 natural injection points, all implemented here:
 
 * :mod:`repro.profiler.tracer` — interpreter-level instrumentation via
-  ``sys.setprofile``; profiles *everything* that runs without touching
-  source (closest to the "measure the whole project" workflow).
+  ``sys.monitoring`` (PEP 669, Python ≥ 3.12) or ``sys.setprofile``;
+  profiles *everything* that runs without touching source (closest to
+  the "measure the whole project" workflow).  The low-overhead hook
+  machinery lives in :mod:`repro.profiler.runtime`.
 * :mod:`repro.profiler.injector` — runtime wrapping of selected
   callables/classes/modules with measuring decorators (closest to
   Javassist's per-method bytecode injection).
@@ -32,14 +34,25 @@ from repro.profiler.compare import MethodDelta, ProfileComparison
 from repro.profiler.probes import ProbeRuntime
 from repro.profiler.records import MethodAggregate, MethodRecord, ProfileResult
 from repro.profiler.report import ProfilerReport
+from repro.profiler.runtime import (
+    CodeFilter,
+    MonitoringRuntime,
+    OverheadEstimate,
+    SetprofileRuntime,
+)
 from repro.profiler.session import AmbiguousMainError, ProfilerSession, profile_call
 from repro.profiler.source_instrumenter import SourceInstrumenter, find_main_classes
-from repro.profiler.tracer import EnergyTracer
+from repro.profiler.tracer import EnergyTracer, LegacyEnergyTracer
 
 __all__ = [
     "AmbiguousMainError",
+    "CodeFilter",
     "EnergyTracer",
     "Injector",
+    "LegacyEnergyTracer",
+    "MonitoringRuntime",
+    "OverheadEstimate",
+    "SetprofileRuntime",
     "MethodDelta",
     "ProbeRuntime",
     "ProfileComparison",

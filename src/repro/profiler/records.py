@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.rapl.domains import Domain
+
+if TYPE_CHECKING:
+    from repro.profiler.runtime import OverheadEstimate
 
 _RESULT_HEADER = "# method\twall_seconds\tcpu_seconds\tpackage_joules\tcore_joules"
 
@@ -82,9 +85,17 @@ class ProfileResult:
         #: True when any part of the run was served by a degraded
         #: (fallback) backend — provenance for the whole profile.
         self.degraded = degraded
+        #: Estimated self-overhead of the profiling runtime that
+        #: produced this result (None when not measured) — see
+        #: :class:`repro.profiler.runtime.OverheadEstimate`.
+        self.overhead: "OverheadEstimate | None" = None
 
     def add(self, record: MethodRecord) -> None:
         self._records.append(record)
+
+    def extend(self, records: Iterable[MethodRecord]) -> None:
+        """Append many records at once (bulk path for deferred stop())."""
+        self._records.extend(records)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -117,25 +128,36 @@ class ProfileResult:
         """Per-method totals, sorted by package energy descending.
 
         This is the data behind the profiler view: the energy-hungry
-        methods surface at the top.
+        methods surface at the top.  Single pass: running sums are
+        accumulated per method instead of bucketing the records and
+        re-walking every bucket.
         """
-        buckets: dict[str, list[MethodRecord]] = {}
-        for record in self._records:
-            buckets.setdefault(record.method, []).append(record)
+        # calls, wall, cpu, package, core, exclusive package, suspects
+        buckets: dict[str, list] = {}
+        for r in self._records:
+            acc = buckets.get(r.method)
+            if acc is None:
+                acc = buckets[r.method] = [0, 0.0, 0.0, 0.0, 0.0, 0.0, 0]
+            acc[0] += 1
+            acc[1] += r.wall_seconds
+            acc[2] += r.cpu_seconds
+            acc[3] += r.package_joules
+            acc[4] += r.core_joules
+            acc[5] += r.exclusive_joules.get(Domain.PACKAGE, 0.0)
+            if r.suspect:
+                acc[6] += 1
         aggregates = [
             MethodAggregate(
                 method=method,
-                calls=len(records),
-                wall_seconds=sum(r.wall_seconds for r in records),
-                cpu_seconds=sum(r.cpu_seconds for r in records),
-                package_joules=sum(r.package_joules for r in records),
-                core_joules=sum(r.core_joules for r in records),
-                exclusive_package_joules=sum(
-                    r.exclusive_joules.get(Domain.PACKAGE, 0.0) for r in records
-                ),
-                suspect_calls=sum(1 for r in records if r.suspect),
+                calls=acc[0],
+                wall_seconds=acc[1],
+                cpu_seconds=acc[2],
+                package_joules=acc[3],
+                core_joules=acc[4],
+                exclusive_package_joules=acc[5],
+                suspect_calls=acc[6],
             )
-            for method, records in buckets.items()
+            for method, acc in buckets.items()
         ]
         aggregates.sort(key=lambda a: a.package_joules, reverse=True)
         return aggregates
@@ -159,6 +181,14 @@ class ProfileResult:
         lines = [_RESULT_HEADER]
         if self.degraded:
             lines.append("# degraded=true")
+        if self.overhead is not None:
+            o = self.overhead
+            lines.append(
+                "# overhead "
+                f"runtime={o.runtime} events={o.events} "
+                f"per_event_seconds={o.per_event_seconds!r} "
+                f"seconds={o.seconds!r} joules={o.joules!r}"
+            )
         for r in self._records:
             line = (
                 f"{r.method}\t{r.wall_seconds:.9f}\t{r.cpu_seconds:.9f}"
@@ -177,14 +207,22 @@ class ProfileResult:
         Parsed records carry only the persisted fields; location and
         exclusive energy are not stored in the file (matching the
         paper's three-column output) and read back as empty/zero.
-        The ``degraded`` header flag and per-line ``suspect`` markers
-        written by degraded/faulty runs are restored.
+        The ``degraded`` header flag, the ``# overhead`` estimate and
+        per-line ``suspect`` markers written by degraded/faulty runs
+        are restored.
         """
         result = cls()
+        # Running per-method execution counter: computing call_index
+        # with a scan over the records parsed so far is quadratic and
+        # makes big result.txt files (one line per execution) crawl.
+        counts: dict[str, int] = {}
         for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
             if not line or line.startswith("#"):
-                if line.strip().lower() == "# degraded=true":
+                stripped = line.strip().lower()
+                if stripped == "# degraded=true":
                     result.degraded = True
+                elif stripped.startswith("# overhead "):
+                    result.overhead = _parse_overhead_comment(line)
                 continue
             parts = line.split("\t")
             if len(parts) not in (5, 6):
@@ -195,12 +233,14 @@ class ProfileResult:
             method, wall, cpu, pkg, core = parts[:5]
             suspect = len(parts) == 6 and parts[5] == "suspect"
             joules = {Domain.PACKAGE: float(pkg), Domain.PP0: float(core)}
+            call_index = counts.get(method, 0)
+            counts[method] = call_index + 1
             result.add(
                 MethodRecord(
                     method=method,
                     filename="",
                     lineno=0,
-                    call_index=len(result.executions_of(method)),
+                    call_index=call_index,
                     wall_seconds=float(wall),
                     cpu_seconds=float(cpu),
                     joules=joules,
@@ -209,3 +249,23 @@ class ProfileResult:
                 )
             )
         return result
+
+
+def _parse_overhead_comment(line: str) -> "OverheadEstimate | None":
+    """Parse a ``# overhead k=v ...`` header back into an estimate."""
+    from repro.profiler.runtime import OverheadEstimate
+
+    fields = dict(
+        part.split("=", 1) for part in line[1:].split()[1:] if "=" in part
+    )
+    try:
+        return OverheadEstimate(
+            runtime=fields["runtime"],
+            events=int(fields["events"]),
+            per_event_seconds=float(fields["per_event_seconds"]),
+            seconds=float(fields["seconds"]),
+            joules=float(fields["joules"]),
+        )
+    except (KeyError, ValueError):
+        # A hand-edited or truncated comment must not break parsing.
+        return None

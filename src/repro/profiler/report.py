@@ -85,6 +85,8 @@ class ProfilerReport:
             title="JEPO profiler view (Fig. 4)",
         )
         notes = []
+        if self._result.overhead is not None:
+            notes.append(self._result.overhead.one_line())
         if self._result.degraded:
             notes.append(
                 "DEGRADED RUN: some readings came from the fallback backend."

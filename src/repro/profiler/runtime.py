@@ -1,0 +1,537 @@
+"""Low-overhead profiling runtimes for the energy tracer.
+
+Three cooperating pieces keep the per-event cost of whole-program
+profiling as small as the interpreter allows:
+
+* :class:`CodeFilter` — the include/exclude/predicate/comprehension
+  decision is computed **once per code object** and memoized, replacing
+  the per-event filename-prefix scans of the original tracer.  The
+  verdict is interned as an index into a metadata table so the hot path
+  handles small ints, not strings.
+* :class:`SetprofileRuntime` — an optimized ``sys.setprofile`` hook
+  that, per event, does only: a memo lookup, one backend reading, and
+  one tuple append.  All record construction is deferred.
+* :class:`MonitoringRuntime` — a ``sys.monitoring`` (PEP 669) backend
+  for Python ≥ 3.12.  It registers only function-boundary events
+  (``PY_START``/``PY_RESUME``/``PY_THROW``/``PY_RETURN``/``PY_YIELD``/
+  ``PY_UNWIND``) and returns :data:`sys.monitoring.DISABLE` from the
+  first event of every non-traced code object, so the interpreter
+  permanently stops delivering events for code outside the profiled
+  scope — including the ``c_call``/``c_return`` storm that taxes
+  C-call-heavy loops under ``sys.setprofile``.
+
+Both runtimes record **deferred events**: flat tuples of raw counter
+reads pushed onto an append-only buffer.  No :class:`MethodRecord`, no
+dict of joules, no unit conversion happens inside the measured region;
+:func:`materialize` replays the buffer in a single pass at ``stop()``
+(see :class:`repro.profiler.tracer.EnergyTracer`).
+
+Event buffer format: ``(op, meta_index, ok, payload)`` where ``op`` is
+:data:`OP_OPEN` or :data:`OP_CLOSE`, ``meta_index`` indexes the
+filter's metadata table (-1 for close events, which pair LIFO),
+``ok`` is False when the backend read failed, and ``payload`` is either
+a raw counter tuple (backends with ``snapshot_raw``) or a full
+:class:`~repro.rapl.backends.EnergySnapshot`.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from types import CodeType
+from typing import Callable, Iterable, Sequence
+
+from repro.profiler.records import MethodRecord
+from repro.rapl.backends import EnergySnapshot
+
+#: Event opcodes: a call/resume entered the measured scope…
+OP_OPEN = 0
+#: …or a return/yield/unwind left it.
+OP_CLOSE = 1
+
+_COMPREHENSION_NAMES = frozenset(
+    {"<genexpr>", "<listcomp>", "<dictcomp>", "<setcomp>"}
+)
+
+#: Snapshot used when an event has no usable reading at all (the very
+#: first backend read failed).  Zero-valued, so the resulting delta is
+#: the end snapshot's cumulative value — same fallback as the legacy
+#: tracer — and the record is marked suspect via its ``ok`` flag.
+_ZERO_SNAPSHOT = EnergySnapshot(joules={}, wall_seconds=0.0, cpu_seconds=0.0)
+
+
+class CodeFilter:
+    """Memoized per-code-object trace decision.
+
+    The decision (and the paper-style ``module.qualname`` label) for a
+    code object cannot change within a profiling session, so it is
+    computed on first encounter and cached under ``id(code)``.  A strong
+    reference to every classified code object is kept for the filter's
+    lifetime so the id can never be recycled.
+
+    The memo maps ``id(code)`` to an index into :attr:`metadata`
+    (``(method, filename, lineno)`` tuples) or to -1 for code that must
+    not be traced.
+
+    One deliberate approximation: the module name is taken from the
+    globals of the *first* frame seen for a code object.  Executing the
+    same code object under a second module namespace (``exec`` tricks)
+    would reuse the first label — irrelevant in practice and a fair
+    trade for removing per-event string work.
+    """
+
+    __slots__ = (
+        "_include",
+        "_exclude",
+        "_predicate",
+        "_trace_comprehensions",
+        "memo",
+        "metadata",
+        "_pinned",
+    )
+
+    def __init__(
+        self,
+        include: Sequence[str] = (),
+        exclude: Sequence[str] = (),
+        predicate: Callable[[str], bool] | None = None,
+        trace_comprehensions: bool = False,
+    ) -> None:
+        self._include = tuple(include)
+        self._exclude = tuple(exclude)
+        self._predicate = predicate
+        self._trace_comprehensions = trace_comprehensions
+        self.memo: dict[int, int] = {}
+        self.metadata: list[tuple[str, str, int]] = []
+        self._pinned: list[CodeType] = []
+
+    def classify(self, code: CodeType, globals_: dict) -> int:
+        """Memoize and return the verdict for one code object."""
+        index = self._decide(code, globals_)
+        self.memo[id(code)] = index
+        self._pinned.append(code)
+        return index
+
+    def _decide(self, code: CodeType, globals_: dict) -> int:
+        if (
+            not self._trace_comprehensions
+            and code.co_name in _COMPREHENSION_NAMES
+        ):
+            return -1
+        filename = code.co_filename
+        for prefix in self._exclude:
+            if filename.startswith(prefix):
+                return -1
+        if self._include and not any(
+            filename.startswith(prefix) for prefix in self._include
+        ):
+            return -1
+        qualname = getattr(code, "co_qualname", code.co_name)
+        method = f"{globals_.get('__name__', '?')}.{qualname}"
+        if self._predicate is not None and not self._predicate(method):
+            return -1
+        self.metadata.append((method, filename, code.co_firstlineno))
+        return len(self.metadata) - 1
+
+
+class _RuntimeBase:
+    """State shared by both hook implementations.
+
+    ``snap`` is the backend reading callable (``snapshot_raw`` when the
+    backend supports deferred conversion, ``snapshot`` otherwise); it is
+    bound once so the hook pays no attribute lookup per event.
+    """
+
+    name = "?"
+
+    def __init__(
+        self, code_filter: CodeFilter, snap: Callable[[], object], owner: int
+    ) -> None:
+        self._filter = code_filter
+        self._snap = snap
+        self._owner = owner
+        self.buffer: list[tuple] = []
+        self.events = 0
+        self._last_payload: object | None = None
+
+    def install(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def uninstall(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SetprofileRuntime(_RuntimeBase):
+    """``sys.setprofile`` hook with memoized filtering + deferred records.
+
+    Works on every supported interpreter; the fallback when
+    ``sys.monitoring`` is unavailable.  The previously installed profile
+    hook (coverage, debugger) is saved on install and restored on
+    uninstall — it does not run while tracing, but it survives the
+    session.
+    """
+
+    name = "settrace"
+
+    @staticmethod
+    def available() -> bool:
+        return True
+
+    def install(self) -> None:
+        self._frames: list[int] = []
+        self._prior = sys.getprofile()
+        sys.setprofile(self._profile)
+
+    def uninstall(self) -> None:
+        sys.setprofile(self._prior)
+        self._prior = None
+
+    def _profile(self, frame, event: str, arg) -> None:
+        # Branch on the event *first*: ``c_call``/``c_return`` fire for
+        # every C builtin the workload touches and must cost nothing
+        # beyond the two failed string compares — no thread check, no
+        # counter bump.  ``events`` therefore counts Python call events
+        # only, matching what the monitoring runtime can see.
+        if event == "call":
+            if threading.get_ident() != self._owner:
+                return
+            self.events += 1
+            code = frame.f_code
+            code_filter = self._filter
+            index = code_filter.memo.get(id(code))
+            if index is None:
+                index = code_filter.classify(code, frame.f_globals)
+            if index >= 0:
+                try:
+                    payload = self._snap()
+                except OSError:
+                    self.buffer.append(
+                        (OP_OPEN, index, False, self._last_payload)
+                    )
+                else:
+                    self._last_payload = payload
+                    self.buffer.append((OP_OPEN, index, True, payload))
+                self._frames.append(id(frame))
+        elif event == "return":
+            if threading.get_ident() != self._owner:
+                return
+            self.events += 1
+            # Only frames we opened are on the id stack, so a plain
+            # tail check pairs returns with calls — unmatched returns
+            # (frames entered before start) fall through.
+            frames = self._frames
+            if frames and frames[-1] == id(frame):
+                frames.pop()
+                try:
+                    payload = self._snap()
+                except OSError:
+                    self.buffer.append(
+                        (OP_CLOSE, -1, False, self._last_payload)
+                    )
+                else:
+                    self._last_payload = payload
+                    self.buffer.append((OP_CLOSE, -1, True, payload))
+
+
+class MonitoringRuntime(_RuntimeBase):
+    """PEP 669 ``sys.monitoring`` backend (Python ≥ 3.12).
+
+    Registers only function-boundary events and permanently mutes
+    non-traced code objects by returning ``DISABLE`` from their first
+    event, so steady-state cost for code outside the profiled scope —
+    and for *all* C calls, which have no registered event — is zero.
+
+    Tool-id etiquette: tries ``PROFILER_ID`` first, then the unassigned
+    ids, so it can coexist with a debugger or coverage tool; all
+    callbacks are unregistered, the id freed and ``restart_events()``
+    called on uninstall, so muted code objects are observable again by
+    later sessions.
+    """
+
+    name = "monitoring"
+
+    #: Candidate tool ids, best-practice slot first (3 and 4 carry no
+    #: conventional assignment in PEP 669).
+    _TOOL_IDS = (2, 3, 4)
+
+    @staticmethod
+    def available() -> bool:
+        return hasattr(sys, "monitoring")
+
+    def install(self) -> None:
+        monitoring = sys.monitoring
+        for tool_id in self._TOOL_IDS:
+            try:
+                monitoring.use_tool_id(tool_id, "pepo-energy-tracer")
+            except ValueError:
+                continue
+            self._tool_id = tool_id
+            break
+        else:
+            raise RuntimeError(
+                "no free sys.monitoring tool id (slots "
+                f"{self._TOOL_IDS} all in use)"
+            )
+        self._disable = monitoring.DISABLE
+        self._opens: list[int] = []
+        events = monitoring.events
+        self._registered = (
+            (events.PY_START, self._on_start),
+            (events.PY_RESUME, self._on_start),
+            (events.PY_THROW, self._on_throw),
+            (events.PY_RETURN, self._on_return),
+            (events.PY_YIELD, self._on_return),
+            (events.PY_UNWIND, self._on_unwind),
+        )
+        event_set = 0
+        for event, callback in self._registered:
+            monitoring.register_callback(self._tool_id, event, callback)
+            event_set |= event
+        monitoring.set_events(self._tool_id, event_set)
+
+    def uninstall(self) -> None:
+        monitoring = sys.monitoring
+        monitoring.set_events(self._tool_id, 0)
+        for event, _ in self._registered:
+            monitoring.register_callback(self._tool_id, event, None)
+        monitoring.free_tool_id(self._tool_id)
+        # Re-arm every location muted with DISABLE so a later session
+        # (or another tool) sees a clean slate.
+        monitoring.restart_events()
+
+    # -- callbacks -----------------------------------------------------
+
+    def _classify(self, code: CodeType) -> int:
+        index = self._filter.memo.get(id(code))
+        if index is None:
+            # First sight of this code object: the monitored frame is
+            # the caller of this callback.
+            index = self._filter.classify(code, sys._getframe(2).f_globals)
+        return index
+
+    def _record(self, op: int, index: int) -> None:
+        try:
+            payload = self._snap()
+        except OSError:
+            self.buffer.append((op, index, False, self._last_payload))
+        else:
+            self._last_payload = payload
+            self.buffer.append((op, index, True, payload))
+
+    def _on_start(self, code: CodeType, offset: int):
+        """PY_START / PY_RESUME: open a call (or mute the location)."""
+        if threading.get_ident() != self._owner:
+            return None
+        self.events += 1
+        index = self._filter.memo.get(id(code))
+        if index is None:
+            index = self._filter.classify(code, sys._getframe(1).f_globals)
+        if index < 0:
+            return self._disable
+        self._record(OP_OPEN, index)
+        self._opens.append(index)
+        return None
+
+    def _on_throw(self, code: CodeType, offset: int, exc):
+        """PY_THROW: a generator resumed via ``throw()`` — open a call.
+
+        Not a local event, so never returns ``DISABLE``.
+        """
+        if threading.get_ident() != self._owner:
+            return None
+        self.events += 1
+        index = self._classify(code)
+        if index >= 0:
+            self._record(OP_OPEN, index)
+            self._opens.append(index)
+        return None
+
+    def _on_return(self, code: CodeType, offset: int, retval):
+        """PY_RETURN / PY_YIELD: close the matching open call."""
+        if threading.get_ident() != self._owner:
+            return None
+        self.events += 1
+        index = self._classify(code)
+        if index < 0:
+            return self._disable
+        opens = self._opens
+        if opens and opens[-1] == index:
+            # Calls/returns nest per thread and non-traced code never
+            # lands on the open stack, so a tail match is exact; a
+            # mismatch means the frame entered before start() and is
+            # skipped (never DISABLEd — the location stays live for
+            # later legitimate returns).
+            opens.pop()
+            self._record(OP_CLOSE, -1)
+        return None
+
+    def _on_unwind(self, code: CodeType, offset: int, exc):
+        """PY_UNWIND: frame exited via exception — close the call.
+
+        Not a local event, so never returns ``DISABLE``.
+        """
+        if threading.get_ident() != self._owner:
+            return None
+        self.events += 1
+        index = self._classify(code)
+        if index >= 0:
+            opens = self._opens
+            if opens and opens[-1] == index:
+                opens.pop()
+                self._record(OP_CLOSE, -1)
+        return None
+
+
+#: Runtime registry, in the order ``runtime="auto"`` tries them.
+RUNTIMES: dict[str, type[_RuntimeBase]] = {
+    MonitoringRuntime.name: MonitoringRuntime,
+    SetprofileRuntime.name: SetprofileRuntime,
+}
+
+
+def resolve_runtime(name: str) -> list[type[_RuntimeBase]]:
+    """Runtime classes to try for a ``runtime=`` knob value.
+
+    ``auto`` returns every available implementation best-first (the
+    caller falls through on install failure, e.g. no free tool id);
+    an explicit name returns exactly that implementation.
+    """
+    if name == "auto":
+        return [cls for cls in RUNTIMES.values() if cls.available()]
+    try:
+        cls = RUNTIMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profiling runtime {name!r}; "
+            f"expected 'auto', {', '.join(map(repr, RUNTIMES))}"
+        ) from None
+    if not cls.available():
+        raise RuntimeError(
+            f"profiling runtime {name!r} requires sys.monitoring "
+            f"(Python >= 3.12); this is {sys.version.split()[0]}"
+        )
+    return [cls]
+
+
+# -- deferred materialization -----------------------------------------
+
+
+def materialize(
+    buffer: Iterable[tuple],
+    final_payload: object | None,
+    final_ok: bool,
+    metadata: Sequence[tuple[str, str, int]],
+    to_snapshots: Callable[[list], list[EnergySnapshot]],
+    counts: dict[str, int],
+) -> list[MethodRecord]:
+    """Replay a deferred event buffer into :class:`MethodRecord` objects.
+
+    This is the single pass that performs everything the hooks deferred:
+    unit conversion (via ``to_snapshots``), delta computation, exclusive
+    (self) energy attribution through the reconstructed call stack, and
+    record construction.  Calls left open when tracing stopped are
+    closed against the final reading, exactly like the legacy tracer.
+    """
+    events = list(buffer)
+    snapshots = to_snapshots(
+        [event[3] for event in events] + [final_payload]
+    )
+    final_snapshot = snapshots.pop()
+    records: list[MethodRecord] = []
+    # Open-call stack entries: [meta_index, snapshot, ok, children_joules].
+    stack: list[list] = []
+
+    def close(entry: list, end: EnergySnapshot, end_ok: bool) -> None:
+        index, start, start_ok, children = entry
+        delta = end.delta(start)
+        exclusive = {
+            dom: delta.joules.get(dom, 0.0) - children.get(dom, 0.0)
+            for dom in delta.joules
+        }
+        method, filename, lineno = metadata[index]
+        call_index = counts.get(method, 0)
+        counts[method] = call_index + 1
+        records.append(
+            MethodRecord(
+                method=method,
+                filename=filename,
+                lineno=lineno,
+                call_index=call_index,
+                wall_seconds=delta.wall_seconds,
+                cpu_seconds=delta.cpu_seconds,
+                joules=dict(delta.joules),
+                exclusive_joules=exclusive,
+                suspect=not start_ok or not end_ok or delta.suspect,
+            )
+        )
+        if stack:
+            parent_children = stack[-1][3]
+            for dom, joules in delta.joules.items():
+                parent_children[dom] = (
+                    parent_children.get(dom, 0.0) + joules
+                )
+
+    for event, snapshot in zip(events, snapshots):
+        op, index, ok = event[0], event[1], event[2]
+        if op == OP_OPEN:
+            stack.append([index, snapshot, ok, {}])
+        elif stack:
+            close(stack.pop(), snapshot, ok)
+    while stack:
+        close(stack.pop(), final_snapshot, final_ok)
+    return records
+
+
+def snapshot_converter(
+    backend, raw_mode: bool
+) -> Callable[[list], list[EnergySnapshot]]:
+    """Build the payload→snapshot conversion for :func:`materialize`.
+
+    Raw mode hands the chronological reading list to the backend's
+    ``materialize_raw`` (wrap handling is order-sensitive); full-snapshot
+    mode is the identity.  ``None`` payloads (a read failed before any
+    succeeded) become a zero snapshot in both modes.
+    """
+
+    def convert(payloads: list) -> list[EnergySnapshot]:
+        if raw_mode:
+            present = [p for p in payloads if p is not None]
+            converted = iter(backend.materialize_raw(present))
+            return [
+                next(converted) if p is not None else _ZERO_SNAPSHOT
+                for p in payloads
+            ]
+        return [p if p is not None else _ZERO_SNAPSHOT for p in payloads]
+
+    return convert
+
+
+# -- self-overhead accounting -----------------------------------------
+
+
+@dataclass(frozen=True)
+class OverheadEstimate:
+    """Estimated cost the profiler itself added to a measured run.
+
+    ``per_event_seconds`` comes from a calibration loop (see
+    :meth:`repro.profiler.tracer.EnergyTracer`); ``seconds`` is that
+    cost times the number of hook events the run actually delivered,
+    and ``joules`` converts it at the run's mean package power.  An
+    estimate, not a measurement: it tells you when the observer effect
+    is big enough to distrust a comparison.
+    """
+
+    runtime: str
+    events: int
+    per_event_seconds: float
+    seconds: float
+    joules: float
+
+    def one_line(self) -> str:
+        return (
+            f"estimated profiling overhead: {self.seconds:.6f} s, "
+            f"{self.joules:.6f} J over {self.events} events "
+            f"(runtime={self.runtime}, "
+            f"{self.per_event_seconds * 1e6:.3f} µs/event)"
+        )

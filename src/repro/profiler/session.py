@@ -102,9 +102,16 @@ class ProfilerSession:
             result.write_result_txt(project_dir / "result.txt")
         return result
 
-    def profile_callable(self, fn: Callable[[], object]) -> ProfileResult:
-        """Trace one callable with the interpreter-level tracer."""
-        tracer = EnergyTracer(self.backend)
+    def profile_callable(
+        self, fn: Callable[[], object], runtime: str = "auto"
+    ) -> ProfileResult:
+        """Trace one callable with the interpreter-level tracer.
+
+        ``runtime`` selects the hook implementation: ``"auto"``
+        (default) prefers ``sys.monitoring`` on Python ≥ 3.12,
+        ``"monitoring"``/``"settrace"`` force one.
+        """
+        tracer = EnergyTracer(self.backend, runtime=runtime)
         with tracer:
             fn()
         return self._stamp_provenance(tracer.result)
@@ -115,7 +122,9 @@ class ProfilerSession:
 
 
 def profile_call(
-    fn: Callable[[], object], backend: RaplBackend | None = None
+    fn: Callable[[], object],
+    backend: RaplBackend | None = None,
+    runtime: str = "auto",
 ) -> ProfileResult:
     """One-shot convenience: profile ``fn()`` and return the records."""
-    return ProfilerSession(backend).profile_callable(fn)
+    return ProfilerSession(backend).profile_callable(fn, runtime=runtime)

@@ -1,17 +1,32 @@
-"""Interpreter-level energy tracer built on ``sys.setprofile``.
+"""Interpreter-level energy tracer.
 
 This is the whole-program injection mode: every Python function call
-within the traced scope gets a start snapshot on entry and an end
-snapshot on exit, exactly the measurement discipline of the paper's
+within the traced scope gets a start reading on entry and an end
+reading on exit, exactly the measurement discipline of the paper's
 injected Javassist code — without modifying any source.
+
+Two hook implementations sit behind one :class:`EnergyTracer` API (see
+:mod:`repro.profiler.runtime`):
+
+* ``sys.monitoring`` (PEP 669, Python ≥ 3.12) — registers only
+  function-boundary events and permanently mutes non-traced code
+  objects with ``DISABLE``, so untraced code and all C calls cost
+  nothing at steady state;
+* ``sys.setprofile`` — the portable fallback, with per-code-object
+  filter memoization and deferred record materialization so the hook
+  does minimal work per event.
+
+``runtime="auto"`` (default) picks the best available one.  The
+original, unoptimized hook survives as :class:`LegacyEnergyTracer` —
+the baseline that ``pepo bench overhead`` measures against.
 
 Attribution model
 -----------------
 * *Inclusive* energy of an invocation: everything consumed between its
-  entry and exit snapshots (callees included) — what the paper's
+  entry and exit readings (callees included) — what the paper's
   start/end MSR reads measure.
 * *Exclusive* (self) energy: inclusive minus the inclusive energy of
-  direct callees, computed on the fly via the call stack; summing
+  direct callees, computed via the reconstructed call stack; summing
   exclusive energy over all records never double-counts.
 
 Generators and coroutines surface one record per resume/suspend cycle,
@@ -19,31 +34,97 @@ which matches the "one record per execution" storage rule.
 
 Observer effect
 ---------------
-``sys.setprofile`` also delivers ``c_call``/``c_return`` events for
-every C-function call, and the hook's own Python-level cost is paid per
-event even though we record nothing for them.  Code whose hot loop
-makes per-iteration C calls (``dict.get``, ``str.join`` of a generator)
-is therefore taxed more than pure-bytecode loops — enough to invert a
-comparison between a bytecode-heavy "slow" variant and a C-call-heavy
-"fast" one.  For such comparisons use the decorator injector
-(:mod:`repro.profiler.injector`) or AST instrumentation, which only pay
-at instrumented function boundaries.
+Profiling is not free, and an overhead that differs by code shape can
+invert a fast-vs-slow comparison.  The remaining costs, by runtime:
+
+* ``settrace`` — the hook is invoked for every ``call``/``return``
+  *and* every ``c_call``/``c_return``; filtering is memoized and
+  records are deferred, but C-call-heavy loops still pay one Python
+  hook invocation per C call.
+* ``monitoring`` — C calls deliver no events at all and non-traced
+  code objects are muted after their first event; the remaining cost
+  is one backend reading per traced function boundary.
+
+Every profile carries a self-overhead estimate
+(:class:`~repro.profiler.runtime.OverheadEstimate`, surfaced in the
+Fig. 4 view) so the residual observer effect is reported, not guessed.
+For comparisons where even that is too much, the decorator injector
+(:mod:`repro.profiler.injector`) pays only at explicitly instrumented
+boundaries.
 """
 
 from __future__ import annotations
 
 import sys
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from types import FrameType
 from typing import Callable, Sequence
 
 from repro.profiler.records import MethodRecord, ProfileResult
+from repro.profiler.runtime import (
+    CodeFilter,
+    OverheadEstimate,
+    materialize,
+    resolve_runtime,
+    snapshot_converter,
+)
 from repro.rapl.backends import EnergySnapshot, RaplBackend, default_backend
 from repro.rapl.domains import Domain
 
 _PROFILER_DIR = str(Path(__file__).resolve().parent)
+
+#: Per-process calibration cache: (runtime name, backend type) →
+#: (seconds per recorded event, seconds per passed-through event).
+#: Calibration costs a few ms; pay it once.
+_CALIBRATION_CACHE: dict[tuple[str, type], tuple[float, float]] = {}
+
+#: Calls in the calibration loop (two hook events each).
+_CALIBRATION_CALLS = 400
+
+
+def _calibrate(
+    make_tracer: Callable[[Callable[[str], bool] | None], "EnergyTracer"],
+) -> tuple[float, float]:
+    """Measure the wall cost of one hook event with an empty-hook loop.
+
+    Returns ``(recorded, passthrough)`` seconds per event: the cost of
+    an event that takes a backend reading and buffers it, and the cost
+    of an event the filter rejects.  Both come from timing a small
+    empty-function loop bare vs. under a fresh tracer; runs *after* the
+    real session has stopped, so calibration never taxes the measured
+    region.
+    """
+
+    def calibration_target() -> None:
+        pass
+
+    def loop() -> float:
+        start = time.perf_counter()
+        for _ in range(_CALIBRATION_CALLS):
+            calibration_target()
+        return time.perf_counter() - start
+
+    loop()  # warm bytecode/allocator caches once
+    plain = min(loop() for _ in range(3))
+
+    def cost(predicate: Callable[[str], bool] | None) -> float:
+        best = float("inf")
+        for _ in range(3):
+            tracer = make_tracer(predicate)
+            tracer.start()
+            elapsed = loop()
+            events = tracer._impl.events
+            tracer.stop()
+            if events:
+                best = min(best, (elapsed - plain) / events)
+        return max(0.0, best if best != float("inf") else 0.0)
+
+    recorded = cost(lambda name: name.endswith("calibration_target"))
+    passthrough = cost(lambda name: False)
+    return recorded, passthrough
 
 
 def _qualify(frame: FrameType) -> str:
@@ -54,19 +135,6 @@ def _qualify(frame: FrameType) -> str:
     return f"{module}.{qualname}"
 
 
-@dataclass
-class _OpenCall:
-    """A call that has entered but not yet returned."""
-
-    frame_id: int
-    method: str
-    filename: str
-    lineno: int
-    start: EnergySnapshot
-    children_joules: dict[Domain, float] = field(default_factory=dict)
-    suspect: bool = False
-
-
 class EnergyTracer:
     """Profile every call in scope, recording energy per execution.
 
@@ -74,6 +142,10 @@ class EnergyTracer:
     ----------
     backend:
         Energy source (defaults to :func:`repro.rapl.default_backend`).
+        Backends exposing ``snapshot_raw``/``materialize_raw`` get the
+        deferred-conversion fast path: the hook records flat tuples of
+        raw counter reads and all µJ→J conversion happens at
+        :meth:`stop`.
     include:
         Filename prefixes to trace; empty means "trace everything except
         the profiler itself and the interpreter internals".
@@ -86,6 +158,17 @@ class EnergyTracer:
         are not recorded individually — each would otherwise surface as
         one record per element, swamping the profile and the run time;
         their energy still lands in the enclosing function's record.
+    runtime:
+        ``"auto"`` (default) uses ``sys.monitoring`` when the
+        interpreter provides it (Python ≥ 3.12) and falls back to
+        ``sys.setprofile``; ``"monitoring"`` and ``"settrace"`` force
+        one implementation.
+    estimate_overhead:
+        When True (default), :meth:`stop` attaches an
+        :class:`~repro.profiler.runtime.OverheadEstimate` to the result:
+        per-event cost from a calibrated empty-workload loop times the
+        events this run delivered, converted to joules at the run's
+        mean package power.
 
     Use as a context manager::
 
@@ -102,6 +185,169 @@ class EnergyTracer:
         exclude: Sequence[str] = (),
         predicate: Callable[[str], bool] | None = None,
         trace_comprehensions: bool = False,
+        runtime: str = "auto",
+        estimate_overhead: bool = True,
+    ) -> None:
+        self.backend = backend or default_backend()
+        self._filter = CodeFilter(
+            include=tuple(include),
+            exclude=(_PROFILER_DIR, "<frozen", *exclude),
+            predicate=predicate,
+            trace_comprehensions=trace_comprehensions,
+        )
+        self._runtime_classes = resolve_runtime(runtime)
+        self._estimate_overhead = estimate_overhead
+        snap_raw = getattr(self.backend, "snapshot_raw", None)
+        self._raw_mode = callable(snap_raw)
+        self._snap = snap_raw if self._raw_mode else self.backend.snapshot
+        self.result = ProfileResult()
+        self._counts: dict[str, int] = {}
+        self._impl = None
+        self._active = False
+        #: Name of the hook implementation actually installed
+        #: (``"monitoring"`` or ``"settrace"``); None before start().
+        self.runtime_used: str | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._active:
+            raise RuntimeError("tracer is already active")
+        owner = threading.get_ident()
+        errors = []
+        for runtime_class in self._runtime_classes:
+            impl = runtime_class(self._filter, self._snap, owner)
+            try:
+                impl.install()
+            except RuntimeError as error:
+                # e.g. every sys.monitoring tool id is taken; fall
+                # through to the next implementation under "auto".
+                errors.append(error)
+                continue
+            self._impl = impl
+            break
+        else:
+            raise RuntimeError(
+                "no profiling runtime could be installed: "
+                + "; ".join(str(e) for e in errors)
+            )
+        self.runtime_used = self._impl.name
+        self._active = True
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        impl = self._impl
+        impl.uninstall()
+        self._active = False
+        # One final reading closes any calls left open (e.g. the
+        # function stop() was called from) so their energy is not lost.
+        try:
+            final_payload: object | None = self._snap()
+            final_ok = True
+        except OSError:
+            final_payload = impl._last_payload
+            final_ok = False
+        records = materialize(
+            impl.buffer,
+            final_payload,
+            final_ok,
+            self._filter.metadata,
+            snapshot_converter(self.backend, self._raw_mode),
+            self._counts,
+        )
+        self.result.extend(records)
+        if self._estimate_overhead:
+            self.result.overhead = self._overhead_estimate(
+                impl.events, len(impl.buffer), records
+            )
+        impl.buffer = []
+        if getattr(self.backend, "degraded", False):
+            self.result.degraded = True
+
+    def __enter__(self) -> "EnergyTracer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- self-overhead accounting --------------------------------------
+
+    def _event_costs(self) -> tuple[float, float]:
+        """Calibrated (recorded, passthrough) event costs, cached."""
+        key = (self.runtime_used or "?", type(self.backend))
+        cached = _CALIBRATION_CACHE.get(key)
+        if cached is None:
+            cached = _calibrate(
+                lambda predicate: EnergyTracer(
+                    self.backend,
+                    predicate=predicate,
+                    runtime=self.runtime_used or "auto",
+                    estimate_overhead=False,
+                )
+            )
+            _CALIBRATION_CACHE[key] = cached
+        return cached
+
+    def _overhead_estimate(
+        self, events: int, recorded: int, records: list[MethodRecord]
+    ) -> OverheadEstimate:
+        """Estimated cost this session's hooks added to the workload.
+
+        ``events × per-event cost`` in wall seconds, converted to joules
+        at the run's mean package power (total inclusive package energy
+        of top-level records over their wall time).
+        """
+        recorded_cost, passthrough_cost = self._event_costs()
+        seconds = (
+            recorded * recorded_cost
+            + max(0, events - recorded) * passthrough_cost
+        )
+        total_wall = 0.0
+        total_package = 0.0
+        for record in records:
+            total_wall += record.wall_seconds
+            total_package += record.joules.get(Domain.PACKAGE, 0.0)
+        mean_power = total_package / total_wall if total_wall > 0 else 0.0
+        return OverheadEstimate(
+            runtime=self.runtime_used or "?",
+            events=events,
+            per_event_seconds=recorded_cost,
+            seconds=seconds,
+            joules=seconds * mean_power,
+        )
+
+
+class LegacyEnergyTracer:
+    """The original per-event tracer, kept as the overhead baseline.
+
+    Pays the full cost inside the hook on every event: prefix-scan
+    filtering, a converted :class:`EnergySnapshot`, and eager
+    :class:`MethodRecord` construction.  ``pepo bench overhead``
+    measures :class:`EnergyTracer` against this.  Do not use it for new
+    measurements.
+    """
+
+    @dataclass
+    class _OpenCall:
+        """A call that has entered but not yet returned."""
+
+        frame_id: int
+        method: str
+        filename: str
+        lineno: int
+        start: EnergySnapshot
+        children_joules: dict[Domain, float] = field(default_factory=dict)
+        suspect: bool = False
+
+    def __init__(
+        self,
+        backend: RaplBackend | None = None,
+        include: Sequence[str] = (),
+        exclude: Sequence[str] = (),
+        predicate: Callable[[str], bool] | None = None,
+        trace_comprehensions: bool = False,
     ) -> None:
         self.backend = backend or default_backend()
         self._include = tuple(include)
@@ -109,11 +355,12 @@ class EnergyTracer:
         self._predicate = predicate
         self._trace_comprehensions = trace_comprehensions
         self.result = ProfileResult()
-        self._stack: list[_OpenCall] = []
+        self._stack: list[LegacyEnergyTracer._OpenCall] = []
         self._active = False
         self._owner_thread: int | None = None
         self._counts: dict[str, int] = {}
         self._last_snapshot: EnergySnapshot | None = None
+        self._prior_profile: object | None = None
 
     def _safe_snapshot(self) -> tuple[EnergySnapshot, bool]:
         """Snapshot the backend without letting a fault kill the trace.
@@ -140,10 +387,14 @@ class EnergyTracer:
             raise RuntimeError("tracer is already active")
         self._active = True
         self._owner_thread = threading.get_ident()
+        self._prior_profile = sys.getprofile()
         sys.setprofile(self._profile)
 
     def stop(self) -> None:
-        sys.setprofile(None)
+        # Restore whatever hook was installed before start() (coverage,
+        # a debugger) instead of clobbering it with None.
+        sys.setprofile(self._prior_profile)
+        self._prior_profile = None
         self._active = False
         # Close any calls left open (e.g. the with-block frame) so their
         # energy is not silently lost.
@@ -153,7 +404,7 @@ class EnergyTracer:
         if getattr(self.backend, "degraded", False):
             self.result.degraded = True
 
-    def __enter__(self) -> "EnergyTracer":
+    def __enter__(self) -> "LegacyEnergyTracer":
         self.start()
         return self
 
@@ -187,16 +438,15 @@ class EnergyTracer:
     # -- the profile hook ------------------------------------------------
 
     def _profile(self, frame: FrameType, event: str, arg: object) -> None:
-        # Only the thread that started the tracer records; other threads
-        # inherit the hook via sys.setprofile but we keep one coherent
-        # stack (documented single-thread scope).
+        # Only the thread that started the tracer records; we keep one
+        # coherent stack (documented single-thread scope).
         if threading.get_ident() != self._owner_thread:
             return
         if event == "call":
             if self._should_trace(frame):
                 start, start_ok = self._safe_snapshot()
                 self._stack.append(
-                    _OpenCall(
+                    self._OpenCall(
                         frame_id=id(frame),
                         method=_qualify(frame),
                         filename=frame.f_code.co_filename,
@@ -211,7 +461,7 @@ class EnergyTracer:
                 self._close(self._stack.pop(), end, end_ok=end_ok)
 
     def _close(
-        self, call: _OpenCall, end: EnergySnapshot, end_ok: bool = True
+        self, call: "_OpenCall", end: EnergySnapshot, end_ok: bool = True
     ) -> None:
         delta = end.delta(call.start)
         exclusive = {

@@ -26,9 +26,7 @@ import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Protocol
-
-import numpy as np
+from typing import TYPE_CHECKING, Iterator, Protocol, Sequence
 
 from repro.rapl.domains import Domain
 from repro.rapl.model import EnergyModel
@@ -177,6 +175,13 @@ class RaplBackend(Protocol):
         ...
 
 
+#: A raw reading: ``(wall_seconds, cpu_seconds, counter, counter, ...)``
+#: with one counter per entry of the backend's ``raw_domains`` tuple.
+#: Flat tuples keep the in-hook cost of the profiler's deferred path to
+#: one allocation; all interpretation happens in ``materialize_raw``.
+RawReading = tuple
+
+
 class SimulatedBackend:
     """Deterministic RAPL backend driven by an energy model.
 
@@ -221,7 +226,10 @@ class SimulatedBackend:
         self.noise_sigma = noise_sigma
         self.outlier_rate = outlier_rate
         self.outlier_scale = outlier_scale
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._rng = None
+        if noise_sigma or outlier_rate:
+            self._require_rng()
         self._intensity = 1.0
         # Snapshots may arrive from a sampler thread (see
         # repro.rapl.timeline); counter updates must be atomic.
@@ -233,6 +241,20 @@ class SimulatedBackend:
         # Establish reader baselines so the first snapshot reads zero.
         for dom in Domain:
             self._readers[dom].update(self.msr.read_domain(dom))
+
+    def _require_rng(self):
+        """Noise/outlier RNG, created on first use.
+
+        numpy is imported lazily so the deterministic (noise-free)
+        profiling path stays usable on interpreters without numpy —
+        e.g. a bare 3.12 used to exercise the ``sys.monitoring``
+        profiler runtime.
+        """
+        if self._rng is None:
+            import numpy as np
+
+            self._rng = np.random.default_rng(self._seed)
+        return self._rng
 
     # -- workload hints ------------------------------------------------
 
@@ -277,8 +299,10 @@ class SimulatedBackend:
         dcpu = max(dcpu, 0.0)
         scale = 1.0
         if self.noise_sigma:
-            scale *= max(0.0, 1.0 + self._rng.normal(0.0, self.noise_sigma))
-        if self.outlier_rate and self._rng.random() < self.outlier_rate:
+            scale *= max(
+                0.0, 1.0 + self._require_rng().normal(0.0, self.noise_sigma)
+            )
+        if self.outlier_rate and self._require_rng().random() < self.outlier_rate:
             scale *= self.outlier_scale
         for dom in Domain:
             joules = self.model.energy_joules(dom, dwall, dcpu, self._intensity)
@@ -307,6 +331,61 @@ class SimulatedBackend:
                 wall_seconds=self._last_wall,
                 cpu_seconds=self._last_cpu,
             )
+
+    # -- deferred-conversion fast path ---------------------------------
+
+    #: Domain order of the counters in a raw reading tuple.
+    raw_domains: tuple[Domain, ...] = tuple(Domain)
+
+    def snapshot_raw(self) -> RawReading:
+        """One flat ``(wall, cpu, counter...)`` tuple, no unit conversion.
+
+        The profiler's measured region calls this instead of
+        :meth:`snapshot`: the 32-bit counters are recorded verbatim and
+        the µJ→J accumulation, dict building and dataclass construction
+        all happen once, after tracing stops, in :meth:`materialize_raw`.
+        """
+        with self._lock:
+            self._sync_locked()
+            read = self.msr.read_domain
+            return (
+                self._last_wall,
+                self._last_cpu,
+                read(Domain.PACKAGE),
+                read(Domain.PP0),
+                read(Domain.PP1),
+                read(Domain.DRAM),
+                read(Domain.PSYS),
+            )
+
+    def materialize_raw(
+        self, readings: Sequence[RawReading]
+    ) -> list[EnergySnapshot]:
+        """Convert chronological raw readings into cumulative snapshots.
+
+        Wrap handling is order-sensitive, so readings must be passed in
+        the order they were taken.  The accumulated joule values start
+        from a fresh baseline (the first reading reads as zero); only
+        deltas between the returned snapshots are meaningful, which is
+        all the profiler computes.
+        """
+        readers = {
+            dom: RaplCounterReader(units=self.units) for dom in self.raw_domains
+        }
+        snapshots = []
+        for reading in readings:
+            joules = {
+                dom: readers[dom].update(raw)
+                for dom, raw in zip(self.raw_domains, reading[2:])
+            }
+            snapshots.append(
+                EnergySnapshot(
+                    joules=joules,
+                    wall_seconds=reading[0],
+                    cpu_seconds=reading[1],
+                )
+            )
+        return snapshots
 
 
 class LiveBackend:
@@ -366,6 +445,46 @@ class LiveBackend:
             wall_seconds=wall,
             cpu_seconds=cpu,
         )
+
+    # -- deferred-conversion fast path ---------------------------------
+
+    @property
+    def raw_domains(self) -> tuple[Domain, ...]:
+        """Domain order of the counters in a raw reading tuple."""
+        return tuple(self._zones)
+
+    def snapshot_raw(self) -> RawReading:
+        """Raw powercap µJ counters, one int per readable zone.
+
+        Skips the float division and dict construction of
+        :meth:`snapshot`; both happen in :meth:`materialize_raw` after
+        tracing stops.
+        """
+        wall, cpu = self._clock.now()
+        return (
+            wall,
+            cpu,
+            *(int(path.read_text()) for path in self._zones.values()),
+        )
+
+    def materialize_raw(
+        self, readings: Sequence[RawReading]
+    ) -> list[EnergySnapshot]:
+        """Convert buffered µJ readings into cumulative snapshots."""
+        domains = self.raw_domains
+        snapshots = []
+        for reading in readings:
+            joules = dict.fromkeys(Domain, 0.0)
+            for dom, microjoules in zip(domains, reading[2:]):
+                joules[dom] = microjoules / 1e6
+            snapshots.append(
+                EnergySnapshot(
+                    joules=joules,
+                    wall_seconds=reading[0],
+                    cpu_seconds=reading[1],
+                )
+            )
+        return snapshots
 
 
 def default_backend(

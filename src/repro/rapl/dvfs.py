@@ -21,8 +21,10 @@ racing to idle wins.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
-import numpy as np
+if TYPE_CHECKING:
+    import numpy as np
 
 from repro.rapl.domains import Domain
 from repro.rapl.model import DEFAULT_DOMAIN_POWER, DomainPower
@@ -88,11 +90,11 @@ class DvfsModel:
     def sweep(
         self,
         cpu_seconds_at_nominal: float,
-        ratios: np.ndarray | None = None,
+        ratios: "np.ndarray | Sequence[float] | None" = None,
     ) -> list[DvfsPoint]:
         """Evaluate a frequency grid (default 0.2…1.0 in 17 steps)."""
         if ratios is None:
-            ratios = np.linspace(0.2, 1.0, 17)
+            ratios = [0.2 + (0.8 * i) / 16 for i in range(17)]
         return [
             self.evaluate(cpu_seconds_at_nominal, float(r)) for r in ratios
         ]

@@ -1,5 +1,7 @@
 """Tests for MethodRecord/ProfileResult and the result.txt round trip."""
 
+import time
+
 import pytest
 
 from repro.profiler.records import MethodAggregate, MethodRecord, ProfileResult
@@ -65,6 +67,54 @@ class TestProfileResult:
         agg = MethodAggregate("m", 0, 0, 0, 0, 0, 0)
         assert agg.mean_package_joules == 0.0
 
+    def test_extend_appends_in_order(self):
+        result = ProfileResult([record(idx=0)])
+        result.extend([record(idx=1), record("m.g")])
+        assert len(result) == 3
+        assert [r.call_index for r in result.executions_of("m.f")] == [0, 1]
+        assert result.methods() == ("m.f", "m.g")
+
+    def test_aggregate_matches_bucketing_reference(self):
+        """Single-pass aggregate == the old bucket-then-sum approach."""
+        records = [
+            record(
+                method=f"m.fn{i % 7}",
+                idx=i // 7,
+                wall=0.1 * i,
+                cpu=0.07 * i,
+                pkg=1.0 + 0.3 * i,
+                core=0.5 + 0.2 * i,
+                excl={Domain.PACKAGE: 0.25 * i},
+            )
+            for i in range(50)
+        ]
+        result = ProfileResult(records)
+
+        buckets: dict[str, list[MethodRecord]] = {}
+        for r in records:
+            buckets.setdefault(r.method, []).append(r)
+        reference = sorted(
+            (
+                MethodAggregate(
+                    method=method,
+                    calls=len(rs),
+                    wall_seconds=sum(r.wall_seconds for r in rs),
+                    cpu_seconds=sum(r.cpu_seconds for r in rs),
+                    package_joules=sum(r.package_joules for r in rs),
+                    core_joules=sum(r.core_joules for r in rs),
+                    exclusive_package_joules=sum(
+                        r.exclusive_joules.get(Domain.PACKAGE, 0.0)
+                        for r in rs
+                    ),
+                    suspect_calls=sum(1 for r in rs if r.suspect),
+                )
+                for method, rs in buckets.items()
+            ),
+            key=lambda a: a.package_joules,
+            reverse=True,
+        )
+        assert result.aggregate() == reference
+
 
 class TestResultTxt:
     def test_round_trip(self, tmp_path):
@@ -96,3 +146,52 @@ class TestResultTxt:
         path.write_text("only\ttwo\n")
         with pytest.raises(ValueError, match="expected 5"):
             ProfileResult.read_result_txt(path)
+
+    def test_benchmark_sized_file_parses_linearly(self, tmp_path):
+        """Regression: call_index used to be recomputed by scanning all
+        previously parsed records, making big files quadratic."""
+        executions_per_method = 5_000
+        methods = ["m.a", "m.b", "m.c", "m.d"]
+        result = ProfileResult(
+            record(method, idx=i)
+            for i in range(executions_per_method)
+            for method in methods
+        )
+        path = result.write_result_txt(tmp_path / "result.txt")
+        start = time.perf_counter()
+        loaded = ProfileResult.read_result_txt(path)
+        elapsed = time.perf_counter() - start
+        assert len(loaded) == executions_per_method * len(methods)
+        for method in methods:
+            indices = [r.call_index for r in loaded.executions_of(method)]
+            assert indices == list(range(executions_per_method))
+        # Generous bound: linear parsing takes well under a second even
+        # on slow CI; the old quadratic scan took tens of seconds.
+        assert elapsed < 2.0
+
+    def test_overhead_comment_round_trip(self, tmp_path):
+        from repro.profiler.runtime import OverheadEstimate
+
+        result = ProfileResult([record()])
+        result.overhead = OverheadEstimate(
+            runtime="monitoring",
+            events=1234,
+            per_event_seconds=4.3e-7,
+            seconds=5.3e-4,
+            joules=0.0125,
+        )
+        path = result.write_result_txt(tmp_path / "result.txt")
+        loaded = ProfileResult.read_result_txt(path)
+        assert loaded.overhead == result.overhead
+        assert len(loaded) == 1
+
+    def test_malformed_overhead_comment_ignored(self, tmp_path):
+        path = tmp_path / "result.txt"
+        path.write_text(
+            "# method\twall\tcpu\tpkg\tcore\n"
+            "# overhead runtime=x events=notanint\n"
+            "m.f\t1.0\t0.8\t10.0\t7.0\n"
+        )
+        loaded = ProfileResult.read_result_txt(path)
+        assert loaded.overhead is None
+        assert len(loaded) == 1

@@ -225,3 +225,86 @@ class TestDefaultBackend:
         backend = LiveBackend(root=tmp_path)
         snap = backend.snapshot()
         assert snap.joules[Domain.PACKAGE] == pytest.approx(2.0)
+
+
+class TestRawSnapshotPath:
+    """The profiler's deferred fast path must match full snapshots."""
+
+    def _advance_pattern(self, clock):
+        for seconds in (0.5, 1.25, 0.1, 3.0):
+            clock.advance(seconds)
+            yield
+
+    def test_simulated_raw_deltas_match_snapshot_deltas(self):
+        # Two identical backends driven through the same clock pattern:
+        # one via snapshot(), one via snapshot_raw()+materialize_raw().
+        full = make_backend()
+        raw = make_backend()
+        snaps = [full.snapshot()]
+        readings = [raw.snapshot_raw()]
+        for _ in self._advance_pattern(full.clock):
+            snaps.append(full.snapshot())
+        for _ in self._advance_pattern(raw.clock):
+            readings.append(raw.snapshot_raw())
+        materialized = raw.materialize_raw(readings)
+        assert len(materialized) == len(snaps)
+        for i in range(1, len(snaps)):
+            want = snaps[i].delta(snaps[i - 1])
+            got = materialized[i].delta(materialized[i - 1])
+            assert got.wall_seconds == want.wall_seconds
+            assert got.cpu_seconds == want.cpu_seconds
+            for dom in Domain:
+                assert got.joules.get(dom, 0.0) == pytest.approx(
+                    want.joules.get(dom, 0.0), abs=1e-9
+                ), dom
+
+    def test_simulated_raw_handles_counter_wrap(self):
+        # ~50 kJ of virtual work wraps the 32-bit energy register at
+        # least once; materialized deltas must stay positive and match
+        # the wrap-aware snapshot() path.
+        full = make_backend()
+        raw = make_backend()
+        readings = [raw.snapshot_raw()]
+        snaps = [full.snapshot()]
+        for _ in range(4):
+            raw.clock.advance(5_000.0)
+            full.clock.advance(5_000.0)
+            readings.append(raw.snapshot_raw())
+            snaps.append(full.snapshot())
+        materialized = raw.materialize_raw(readings)
+        for i in range(1, len(snaps)):
+            got = materialized[i].delta(materialized[i - 1])
+            want = snaps[i].delta(snaps[i - 1])
+            assert got.joules[Domain.PACKAGE] > 0
+            assert got.joules[Domain.PACKAGE] == pytest.approx(
+                want.joules[Domain.PACKAGE], rel=1e-9
+            )
+
+    def test_simulated_raw_reading_shape(self):
+        backend = make_backend()
+        reading = backend.snapshot_raw()
+        assert len(reading) == 2 + len(backend.raw_domains)
+        assert all(isinstance(c, int) for c in reading[2:])
+
+    def test_live_raw_matches_snapshot(self, tmp_path):
+        zone = tmp_path / "intel-rapl:0"
+        zone.mkdir()
+        (zone / "name").write_text("package-0\n")
+        (zone / "energy_uj").write_text("2000000\n")
+        backend = LiveBackend(root=tmp_path)
+        reading = backend.snapshot_raw()
+        (zone / "energy_uj").write_text("4500000\n")
+        later = backend.snapshot_raw()
+        first, second = backend.materialize_raw([reading, later])
+        assert first.joules[Domain.PACKAGE] == pytest.approx(2.0)
+        assert second.joules[Domain.PACKAGE] == pytest.approx(4.5)
+        assert second.delta(first).joules[Domain.PACKAGE] == pytest.approx(2.5)
+
+    def test_resilient_backend_has_no_raw_path(self):
+        # ResilientBackend must keep using full snapshots so retries
+        # and degradation provenance stay on the measurement path.
+        from repro.resilience.policy import ResiliencePolicy
+        from repro.resilience.resilient import ResilientBackend
+
+        wrapped = ResilientBackend(make_backend(), ResiliencePolicy())
+        assert not hasattr(wrapped, "snapshot_raw")
