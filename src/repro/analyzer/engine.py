@@ -60,6 +60,9 @@ class Analyzer:
         # Node-type dispatch index, filled lazily per concrete AST class
         # from each rule's declared ``interested_types``.
         self._dispatch: dict[type, tuple[Rule, ...]] = {}
+        # Accounting from the most recent analyze_project sweep.
+        self.last_sweep_stats: "SweepStats | None" = None
+        self.last_quarantine: "QuarantineReport | None" = None
 
     @property
     def rule_ids(self) -> tuple[str, ...]:
@@ -112,6 +115,7 @@ class Analyzer:
         cache: bool = False,
         cache_dir: str | Path | None = None,
         exclude: Sequence[str] = (),
+        options: "SweepOptions | None" = None,
     ) -> dict[str, list[Finding]]:
         """Findings per file for every ``.py`` under ``project_dir``.
 
@@ -120,16 +124,28 @@ class Analyzer:
         The sweep runs through :class:`repro.sweep.SweepEngine`:
         ``jobs`` fans files out over worker processes (output stays
         byte-identical to serial), ``cache`` reuses on-disk results for
-        files whose content and rule set are unchanged, and ``exclude``
+        files whose content and rule set are unchanged, ``exclude``
         adds glob patterns on top of the default exclude set
-        (``__pycache__/``, ``.pepo_cache/``, VCS and venv directories).
+        (``__pycache__/``, ``.pepo_cache/``, VCS and venv directories),
+        and ``options`` tunes supervision (per-file timeout, retry
+        budget, resume; see :class:`repro.sweep.SweepOptions`).  Files
+        quarantined after repeated crashes/hangs map to an empty list
+        and are listed in :attr:`last_quarantine`; sweep accounting is
+        in :attr:`last_sweep_stats`.
         """
         from repro.sweep import SweepEngine
 
         engine = SweepEngine(
-            jobs=jobs, cache=cache, cache_dir=cache_dir, exclude=exclude
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            exclude=exclude,
+            options=options,
         )
-        return engine.run(project_dir, self._sweep_job())
+        results = engine.run(project_dir, self._sweep_job())
+        self.last_sweep_stats = engine.last_stats
+        self.last_quarantine = engine.last_quarantine
+        return results
 
     def _sweep_job(self):
         """The picklable per-file work unit for project sweeps."""

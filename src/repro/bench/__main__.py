@@ -18,7 +18,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "overhead", "all"],
+                 "overhead", "chaos", "all"],
     )
     parser.add_argument(
         "--full",
@@ -145,6 +145,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"wrote {output}")
             if args.check and not result.meets_target():
+                return 1
+        elif target == "chaos":
+            from repro.bench.chaos import (
+                DEFAULT_OUTPUT as CHAOS_OUTPUT,
+                render_chaos_bench,
+                run_chaos_bench,
+                write_chaos_bench,
+            )
+
+            result = run_chaos_bench(jobs=args.jobs)
+            print(render_chaos_bench(result))
+            output = write_chaos_bench(result, args.output or CHAOS_OUTPUT)
+            print(f"wrote {output}")
+            if args.check and not result.passed():
                 return 1
         print()
     return 0

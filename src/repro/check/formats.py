@@ -27,14 +27,23 @@ def format_findings(
     findings_by_file: Mapping[str, Iterable[Finding]],
     fmt: str,
     root=None,
+    quarantine=None,
 ) -> str:
-    """Render findings as ``text``, ``json`` (lines), or ``sarif``."""
+    """Render findings as ``text``, ``json`` (lines), or ``sarif``.
+
+    ``quarantine`` (optional sweep quarantine report) is threaded into
+    the SARIF invocation as execution notifications; the other formats
+    ignore it (the CLI reports it out-of-band on stderr).
+    """
     if fmt == "json":
         return "\n".join(iter_json_lines(findings_by_file))
     if fmt == "sarif":
         from repro.check.sarif import to_sarif
 
-        return json.dumps(to_sarif(findings_by_file, root=root), indent=2)
+        return json.dumps(
+            to_sarif(findings_by_file, root=root, quarantine=quarantine),
+            indent=2,
+        )
     if fmt == "text":
         return "\n".join(
             finding.one_line()

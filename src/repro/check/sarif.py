@@ -58,8 +58,16 @@ def to_sarif(
     findings_by_file: Mapping[str, Iterable[Finding]],
     root: str | Path | None = None,
     tool_version: str | None = None,
+    quarantine=None,
 ) -> dict:
-    """The complete SARIF 2.1.0 document as a JSON-ready dict."""
+    """The complete SARIF 2.1.0 document as a JSON-ready dict.
+
+    ``quarantine`` (a :class:`repro.sweep.QuarantineReport`, optional)
+    records files the sweep gave up on — crashed, hung, or exhausted a
+    worker repeatedly — as ``toolExecutionNotifications`` in the run's
+    invocation, so a scanning UI shows *why* those files carry no
+    results instead of silently presenting them as clean.
+    """
     if tool_version is None:
         from repro import __version__ as tool_version
 
@@ -104,19 +112,47 @@ def to_sarif(
                     },
                 }
             )
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "pepo",
+                "version": tool_version,
+                "rules": _rule_entries(all_findings),
+            }
+        },
+        "results": results,
+    }
+    if quarantine:
+        run["invocations"] = [
+            {
+                "executionSuccessful": True,
+                "toolExecutionNotifications": [
+                    {
+                        "level": "warning",
+                        "message": {
+                            "text": f"file quarantined after "
+                            f"{entry.failures} failure(s) "
+                            f"({entry.reason}); no results for it"
+                            + (f": {entry.detail}" if entry.detail else "")
+                        },
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": _relative_file(
+                                            entry.path, root
+                                        )
+                                    }
+                                }
+                            }
+                        ],
+                    }
+                    for entry in quarantine.entries
+                ],
+            }
+        ]
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "pepo",
-                        "version": tool_version,
-                        "rules": _rule_entries(all_findings),
-                    }
-                },
-                "results": results,
-            }
-        ],
+        "runs": [run],
     }

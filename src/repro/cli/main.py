@@ -183,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "overhead", "all"],
+                 "overhead", "chaos", "all"],
     )
     bench.add_argument(
         "--jobs",
@@ -195,7 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="sweep: exit 1 unless parallel/cached output matches serial; "
-        "overhead: exit 1 unless the new runtime beats the legacy tracer",
+        "overhead: exit 1 unless the new runtime beats the legacy tracer; "
+        "chaos: exit 1 unless every fault-tolerance criterion holds",
     )
     bench.add_argument(
         "--quick",
@@ -244,6 +245,66 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         "component); repeatable; __pycache__/, .pepo_cache/, VCS and "
         "venv directories are always skipped",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-file wall-clock budget; a file that exceeds it is "
+        "retried and then quarantined (default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries before a crashing/hanging file is quarantined "
+        "(default: 2, i.e. 3 strikes)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its journal; the merged "
+        "output is byte-identical to an uninterrupted run",
+    )
+
+
+def _sweep_options(args: argparse.Namespace):
+    """Build SweepOptions from the shared sweep flags."""
+    from repro.sweep import SweepOptions
+
+    return SweepOptions(
+        timeout_seconds=args.timeout,
+        max_retries=args.max_retries,
+        resume=args.resume,
+    )
+
+
+def _report_sweep(stats, quarantine, *, err=None) -> None:
+    """One-time stderr warnings after a directory sweep: a silent
+    serial fallback and the quarantine roster both deserve eyeballs,
+    but neither may corrupt a JSON/SARIF stream on stdout."""
+    err = err if err is not None else sys.stderr
+    if stats is not None and stats.serial_fallback:
+        print(f"pepo: warning: {stats.serial_fallback}", file=err)
+    if quarantine:
+        print(
+            f"pepo: warning: {len(quarantine)} file(s) quarantined "
+            "after repeated failures (analyzed as empty):",
+            file=err,
+        )
+        for entry in quarantine.entries:
+            detail = f" - {entry.detail}" if entry.detail else ""
+            print(
+                f"  {entry.path}  [{entry.reason}, {entry.failures} "
+                f"strike{'' if entry.failures == 1 else 's'}]{detail}",
+                file=err,
+            )
+        print(
+            "  (details in .pepo_cache/quarantine.json; quarantined "
+            "files are retried on the next sweep)",
+            file=err,
+        )
 
 
 def _cmd_suggest(args: argparse.Namespace, out) -> int:
@@ -257,8 +318,13 @@ def _cmd_suggest(args: argparse.Namespace, out) -> int:
         return _watch(pepo, path, args.interval, out, once=args.once)
     if path.is_dir():
         findings_by_file = analyzer.analyze_project(
-            path, jobs=args.jobs, cache=args.cache, exclude=args.exclude
+            path,
+            jobs=args.jobs,
+            cache=args.cache,
+            exclude=args.exclude,
+            options=_sweep_options(args),
         )
+        _report_sweep(analyzer.last_sweep_stats, analyzer.last_quarantine)
         if fmt == "json":
             from repro.check import iter_json_lines
 
@@ -306,11 +372,17 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
     if path.is_dir():
         root = path
         findings_by_file = analyzer.analyze_project(
-            path, jobs=args.jobs, cache=args.cache, exclude=args.exclude
+            path,
+            jobs=args.jobs,
+            cache=args.cache,
+            exclude=args.exclude,
+            options=_sweep_options(args),
         )
+        _report_sweep(analyzer.last_sweep_stats, analyzer.last_quarantine)
     else:
         root = path.parent
         findings_by_file = {str(path): analyzer.analyze_file(path)}
+    quarantine = analyzer.last_quarantine
 
     if args.write_baseline is not None:
         baseline = Baseline.from_findings(findings_by_file, root=root)
@@ -333,12 +405,21 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
     )
 
     if args.output is not None:
-        report = format_findings(findings_by_file, args.format, root=root)
+        report = format_findings(
+            findings_by_file, args.format, root=root, quarantine=quarantine
+        )
         args.output.write_text(report + "\n", encoding="utf-8")
         print(f"report written to {args.output}", file=out)
     elif args.format != "text":
-        print(format_findings(findings_by_file, args.format, root=root),
-              file=out)
+        print(
+            format_findings(
+                findings_by_file,
+                args.format,
+                root=root,
+                quarantine=quarantine,
+            ),
+            file=out,
+        )
 
     if args.format == "text" and args.output is None:
         for finding in result.new:
@@ -358,6 +439,11 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
             else f"OK: no new findings at or above {args.fail_on} "
             f"({result.total} total, {len(result.new)} new)"
         )
+        if quarantine:
+            # The gate cannot vouch for files it never analyzed.
+            verdict += (
+                f" [{len(quarantine)} file(s) quarantined, not analyzed]"
+            )
         print(verdict, file=out)
     return result.exit_code
 
@@ -394,7 +480,9 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
             jobs=args.jobs,
             cache=args.cache,
             exclude=args.exclude,
+            options=_sweep_options(args),
         )
+        _report_sweep(pepo.last_sweep_stats, pepo.last_quarantine)
     else:
         results = {str(path): pepo.optimize_file(path, write=args.write)}
     total = 0
@@ -543,6 +631,20 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"pepo: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt as interrupt:
+        # A SweepInterrupted carries a flushed journal: tell the user
+        # the sweep is resumable, then exit 128+SIGINT like any
+        # interrupted process.
+        from repro.sweep import SweepInterrupted
+
+        if isinstance(interrupt, SweepInterrupted):
+            print(f"pepo: {interrupt}", file=sys.stderr)
+            print(
+                "pepo: re-run the same command with --resume to finish "
+                "the sweep (output will match an uninterrupted run)",
+                file=sys.stderr,
+            )
+        return 130
     except BrokenPipeError:
         # Downstream consumer (e.g. ``pepo ... --format json | head``)
         # closed the pipe; suppress the late stdout flush and exit the

@@ -100,10 +100,26 @@ class PEPO:
         jobs: int | None = None,
         cache: bool = False,
         exclude: Sequence[str] = (),
+        options=None,
     ) -> dict[str, OptimizationResult]:
         return self._optimizer.optimize_project(
-            project_dir, write=write, jobs=jobs, cache=cache, exclude=exclude
+            project_dir,
+            write=write,
+            jobs=jobs,
+            cache=cache,
+            exclude=exclude,
+            options=options,
         )
+
+    @property
+    def last_sweep_stats(self):
+        """Accounting from the most recent optimize_project sweep."""
+        return self._optimizer.last_sweep_stats
+
+    @property
+    def last_quarantine(self):
+        """Quarantine report from the most recent optimize_project sweep."""
+        return self._optimizer.last_quarantine
 
     # -- profiling (JEPO profiler button) -----------------------------------
 

@@ -88,6 +88,9 @@ class Optimizer:
         )
         self._max_passes = max_passes
         self._report_unfixable = report_unfixable
+        # Accounting from the most recent optimize_project sweep.
+        self.last_sweep_stats: "SweepStats | None" = None
+        self.last_quarantine: "QuarantineReport | None" = None
 
     def optimize_source(
         self, source: str, filename: str = "<source>"
@@ -147,6 +150,7 @@ class Optimizer:
         cache: bool = False,
         cache_dir: str | Path | None = None,
         exclude: Sequence[str] = (),
+        options: "SweepOptions | None" = None,
     ) -> dict[str, OptimizationResult]:
         """Optimize every ``.py`` under a directory tree.
 
@@ -154,16 +158,26 @@ class Optimizer:
         silently (consistent with the analyzer's project sweep).  The
         sweep runs through :class:`repro.sweep.SweepEngine`: ``jobs``
         fans files out over worker processes, ``cache`` reuses on-disk
-        results keyed by content hash + registry fingerprint.  Writes
-        happen in the parent process after the sweep, so cached and
+        results keyed by content hash + registry fingerprint, and
+        ``options`` tunes supervision (per-file timeout, retry budget,
+        resume; see :class:`repro.sweep.SweepOptions`).  Files
+        quarantined after repeated crashes/hangs are skipped (no
+        rewrite) and listed in :attr:`last_quarantine`.  Writes happen
+        in the parent process after the sweep, so cached and
         freshly-computed results rewrite files identically.
         """
         from repro.sweep import SweepEngine
 
         engine = SweepEngine(
-            jobs=jobs, cache=cache, cache_dir=cache_dir, exclude=exclude
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            exclude=exclude,
+            options=options,
         )
         results = engine.run(project_dir, self._sweep_job())
+        self.last_sweep_stats = engine.last_stats
+        self.last_quarantine = engine.last_quarantine
         if write:
             for filename, result in results.items():
                 if result.changed:

@@ -22,7 +22,15 @@ crashing or silently corrupting results):
 """
 
 from repro.resilience.checkpoint import CheckpointStore
-from repro.resilience.faults import FaultInjectingBackend, FaultPlan, InjectedReadError
+from repro.resilience.faults import (
+    FaultInjectingBackend,
+    FaultPlan,
+    InjectedReadError,
+    InjectedWorkerCrash,
+    SweepFaultPlan,
+    apply_worker_fault,
+    corrupt_cache_entry,
+)
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.resilient import (
     BackendHealth,
@@ -39,6 +47,10 @@ __all__ = [
     "FaultInjectingBackend",
     "FaultPlan",
     "InjectedReadError",
+    "InjectedWorkerCrash",
     "ResiliencePolicy",
     "ResilientBackend",
+    "SweepFaultPlan",
+    "apply_worker_fault",
+    "corrupt_cache_entry",
 ]

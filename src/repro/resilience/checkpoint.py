@@ -110,6 +110,21 @@ class CheckpointStore:
         self._entries[key] = value
         self._flush()
 
+    def put_many(self, entries: Mapping[str, Any]) -> None:
+        """Store many values with a single atomic flush.
+
+        The sweep journal uses this: an interrupted sweep persists every
+        completed file's payload in one ``os.replace`` instead of one
+        rewrite per file.
+        """
+        if not entries:
+            return
+        self._entries.update(entries)
+        self._flush()
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._entries.items())
+
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 

@@ -19,14 +19,24 @@ predictably (their sum must stay <= 1).
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass
-
-import numpy as np
+from fnmatch import fnmatch
+from pathlib import Path, PurePath
 
 from repro.rapl.backends import EnergySnapshot, RaplBackend
 from repro.rapl.domains import Domain
+
+
+def _default_rng(seed: int):
+    # numpy is imported lazily so that the sweep/chaos layers (which
+    # only need the pattern-based injectors below) keep working on a
+    # bare interpreter without numpy installed.
+    import numpy as np
+
+    return np.random.default_rng(seed)
 
 _COUNTER_MASK = (1 << 32) - 1
 
@@ -121,7 +131,7 @@ class FaultInjectingBackend:
         self.plan = plan or FaultPlan()
         self.units = inner.units
         self.faults_injected: Counter[str] = Counter()
-        self._rng = np.random.default_rng(self.plan.seed)
+        self._rng = _default_rng(self.plan.seed)
         self._sleep = sleep
         self._last_raw: dict[Domain, int] = {}
         self._last_snapshot: EnergySnapshot | None = None
@@ -199,3 +209,149 @@ class FaultInjectingBackend:
                 snap = dataclasses.replace(snap, joules=joules)
         self._last_snapshot = snap
         return snap
+
+
+# -- sweep-layer fault injection ------------------------------------------
+#
+# The analysis layer fails differently from the measurement layer: a
+# pathological *file* segfaults a worker, hangs it past any reasonable
+# deadline, blows the recursion limit, or corrupts a cache entry on
+# disk.  These injectors are pattern-based rather than rate-based — a
+# chaos test names exactly which fixture files misbehave, so every run
+# quarantines exactly the same files and the assertions are exact.
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Serial-mode stand-in for a worker segfault.
+
+    Parallel workers die for real (``os._exit``) so the parent sees a
+    genuine ``BrokenProcessPool``; an in-process sweep cannot survive
+    that, so the serial injector raises this instead and the supervisor
+    treats it exactly like a crashed worker.
+    """
+
+
+@dataclass(frozen=True)
+class SweepFaultPlan:
+    """Which files misbehave during a sweep, and how.
+
+    Every pattern is an :func:`fnmatch.fnmatch` glob matched against
+    the swept file's posix path *and* its basename, so
+    ``"*crash_me.py"`` and ``"crash_me.py"`` both work.
+
+    Parameters
+    ----------
+    crash:
+        Files whose worker dies mid-task (``os._exit`` in a pool
+        worker; :class:`InjectedWorkerCrash` in a serial sweep).
+    hang:
+        Files whose processing stalls for ``hang_seconds`` before
+        continuing — long enough to trip the supervisor's watchdog.
+    memory / recursion:
+        Files that raise ``MemoryError`` / ``RecursionError`` from the
+        analysis itself (the resource-exhaustion poison classes).
+    hang_seconds:
+        Stall duration for ``hang`` faults.  Parallel chaos tests set
+        this far above the sweep timeout (the watchdog must fire);
+        serial tests set it just above (overruns are detected post hoc).
+    corrupt_cache:
+        Files whose freshly written cache entry gets its bytes flipped
+        (checksum mismatch on the next read).
+    truncate_cache:
+        Files whose cache entry is cut short — a simulated partial
+        write / full disk.
+    interrupt_after_files:
+        Deliver a simulated SIGINT to the supervisor after this many
+        files complete — the deterministic, cross-platform way to test
+        journal flush + ``--resume``.
+    """
+
+    crash: tuple[str, ...] = ()
+    hang: tuple[str, ...] = ()
+    memory: tuple[str, ...] = ()
+    recursion: tuple[str, ...] = ()
+    hang_seconds: float = 60.0
+    corrupt_cache: tuple[str, ...] = ()
+    truncate_cache: tuple[str, ...] = ()
+    interrupt_after_files: int | None = None
+
+    @staticmethod
+    def _matches(path: str, patterns: tuple[str, ...]) -> bool:
+        posix = PurePath(path).as_posix()
+        name = PurePath(path).name
+        return any(
+            fnmatch(posix, pattern) or fnmatch(name, pattern)
+            for pattern in patterns
+        )
+
+    def worker_fault(self, path: str) -> str | None:
+        """The execution fault injected for ``path`` (first match wins)."""
+        for kind, patterns in (
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("memory", self.memory),
+            ("recursion", self.recursion),
+        ):
+            if self._matches(path, patterns):
+                return kind
+        return None
+
+    def cache_fault(self, path: str) -> str | None:
+        """The cache-entry fault injected for ``path``, if any."""
+        if self._matches(path, self.corrupt_cache):
+            return "corrupt"
+        if self._matches(path, self.truncate_cache):
+            return "truncate"
+        return None
+
+
+def apply_worker_fault(
+    plan: SweepFaultPlan, path: str, *, in_worker: bool
+) -> None:
+    """Inject ``plan``'s fault for ``path`` at the point of analysis.
+
+    ``in_worker`` selects the crash flavor: a pool worker dies for real
+    so the parent exercises its ``BrokenProcessPool`` recovery; a
+    serial sweep raises :class:`InjectedWorkerCrash` instead.  Hangs
+    sleep and then *continue* — whether that becomes a fault is the
+    watchdog's call, exactly as with a real stall.
+    """
+    kind = plan.worker_fault(path)
+    if kind is None:
+        return
+    if kind == "crash":
+        if in_worker:
+            os._exit(86)
+        raise InjectedWorkerCrash(f"injected worker crash for {path}")
+    if kind == "hang":
+        time.sleep(plan.hang_seconds)
+    elif kind == "memory":
+        raise MemoryError(f"injected allocation failure for {path}")
+    elif kind == "recursion":
+        raise RecursionError(f"injected recursion blowup for {path}")
+
+
+def corrupt_cache_entry(entry: str | Path, kind: str) -> bool:
+    """Damage one on-disk cache entry (chaos harness helper).
+
+    ``"corrupt"`` flips bytes in the middle of the file while keeping
+    its length (a bit-rot/torn-sector analog); ``"truncate"`` cuts the
+    file short (a partial write).  Returns False when the entry does
+    not exist.
+    """
+    entry = Path(entry)
+    try:
+        raw = entry.read_bytes()
+    except OSError:
+        return False
+    if not raw:
+        return False
+    if kind == "truncate":
+        entry.write_bytes(raw[: max(1, len(raw) // 2)])
+        return True
+    if kind == "corrupt":
+        middle = len(raw) // 2
+        flipped = bytes([raw[middle] ^ 0xFF])
+        entry.write_bytes(raw[:middle] + flipped + raw[middle + 1 :])
+        return True
+    raise ValueError(f"unknown cache fault kind: {kind!r}")

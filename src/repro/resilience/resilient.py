@@ -30,8 +30,6 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.rapl.backends import (
     EnergySnapshot,
     RaplBackend,
@@ -135,7 +133,9 @@ class ResilientBackend:
         self._fallback = fallback
         self._sleep = sleep
         self._monotonic = monotonic
-        self._rng = np.random.default_rng(self.policy.seed)
+        from repro.resilience.faults import _default_rng
+
+        self._rng = _default_rng(self.policy.seed)
         self._degraded = False
 
     # -- introspection -------------------------------------------------

@@ -1,0 +1,780 @@
+"""Supervised sweep execution: survive hostile files instead of dying.
+
+The engine used to fan files out with a bare ``pool.map``: one file
+that segfaulted its worker, hung forever, or exhausted memory killed
+the entire sweep.  :class:`SweepSupervisor` replaces that with
+futures-based submission under a supervisor loop that treats each
+*file* as the unit of failure:
+
+* **watchdog** — every in-flight file carries a wall-clock deadline;
+  a file that overruns it gets its worker pool killed and recycled,
+  and the file is charged a ``hang`` strike (collateral in-flight
+  files are resubmitted without a strike);
+* **crash recovery** — a ``BrokenProcessPool`` restarts the pool with
+  exponential backoff (:class:`~repro.resilience.policy.ResiliencePolicy`
+  schedule).  When exactly one file was in flight the crash is charged
+  to it; when several were, none is charged and all are retried **in
+  isolation** (one at a time) so the next crash is unambiguous;
+* **poison quarantine** — a file that fails more than
+  ``SweepOptions.max_retries`` times (crash, hang, ``MemoryError``,
+  ``RecursionError``, or any analyzer exception) is quarantined: the
+  sweep completes, the file degrades per the job's policy (empty
+  findings / skipped entry), and the quarantine report records the
+  path, reason, and strike count;
+* **worker recycling** — ``max_tasks_per_child`` bounds how many files
+  one worker processes before being replaced, bounding memory growth
+  on fleet-scale corpora;
+* **graceful interrupt** — SIGINT/SIGTERM (or the deterministic
+  ``SweepFaultPlan.interrupt_after_files`` test hook) stops submission,
+  kills the pool, flushes every completed payload to an atomic journal
+  (:class:`~repro.resilience.checkpoint.CheckpointStore` idiom), and
+  raises :class:`SweepInterrupted`; a later ``--resume`` sweep replays
+  the journal and produces output byte-identical to an uninterrupted
+  run.
+
+Serial sweeps run through the same supervisor: crashes are simulated
+(:class:`~repro.resilience.faults.InjectedWorkerCrash`), resource
+exhaustion (``MemoryError``/``RecursionError``) is caught per file
+instead of aborting the sweep, and timeouts are detected post hoc
+(an in-process stall cannot be preempted — the overrun is recorded and
+the result discarded, so serial and parallel sweeps quarantine the
+same files).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import (
+    InjectedWorkerCrash,
+    SweepFaultPlan,
+    apply_worker_fault,
+)
+from repro.resilience.policy import ResiliencePolicy
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.sweep.jobs import SweepJob
+
+#: ``payload["error"]`` marker for files the supervisor gave up on.
+QUARANTINED = "quarantined"
+
+#: Exceptions that mark one *file* as poison rather than the sweep as
+#: broken: resource exhaustion triggered by the file's content, and the
+#: serial-mode stand-in for a worker death.
+_POISON_EXCEPTIONS = (MemoryError, RecursionError, InjectedWorkerCrash)
+
+#: Backoff schedule between pool restarts / file retries.  Short base —
+#: sweep retries are cheap compared to hardware reads — but the same
+#: exponential discipline as the measurement layer.
+DEFAULT_SWEEP_POLICY = ResiliencePolicy(
+    max_retries=0,
+    backoff_base_seconds=0.02,
+    backoff_max_seconds=0.5,
+    jitter=0.0,
+)
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep stopped early on SIGINT/SIGTERM after journaling.
+
+    Subclasses ``KeyboardInterrupt`` so un-caught interrupts keep their
+    conventional shell semantics, while the CLI can catch this
+    specifically and point at ``--resume``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        journal_path: Path | None = None,
+        completed: int = 0,
+        total: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.journal_path = journal_path
+        self.completed = completed
+        self.total = total
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Supervision knobs for one sweep (picklable, provenance-friendly).
+
+    Parameters
+    ----------
+    timeout_seconds:
+        Wall-clock budget per file.  In parallel sweeps the watchdog
+        kills and recycles the worker when it expires; in serial sweeps
+        the overrun is detected after the fact and the result
+        discarded.  ``None`` disables the watchdog.
+    max_retries:
+        Extra attempts per file after its first failure; a file failing
+        ``max_retries + 1`` times is quarantined.
+    max_tasks_per_child:
+        Files one worker processes before being replaced (bounds
+        worker memory growth); ``None`` keeps workers for the whole
+        sweep.  Uses the forkserver/spawn start method, so worker
+        startup is slower — pair with a generous ``timeout_seconds``.
+    resume:
+        Complete a previously interrupted sweep from its journal
+        instead of starting over.
+    faults:
+        Chaos-testing fault plan (see
+        :class:`~repro.resilience.faults.SweepFaultPlan`); ``None``
+        (the default) injects nothing.
+    policy:
+        Backoff schedule between retries and pool restarts.
+    poll_seconds:
+        Supervisor wake-up interval (watchdog + interrupt check
+        granularity).
+    """
+
+    timeout_seconds: float | None = None
+    max_retries: int = 2
+    max_tasks_per_child: int | None = None
+    resume: bool = False
+    faults: SweepFaultPlan | None = None
+    policy: ResiliencePolicy = DEFAULT_SWEEP_POLICY
+    poll_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive: {self.timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.max_tasks_per_child is not None and self.max_tasks_per_child < 1:
+            raise ValueError(
+                f"max_tasks_per_child must be >= 1: {self.max_tasks_per_child}"
+            )
+        if self.poll_seconds <= 0:
+            raise ValueError(f"poll_seconds must be positive: {self.poll_seconds}")
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One poisoned file: what happened and how many strikes it took."""
+
+    path: str
+    reason: str  # crash | hang | memory | recursion | error
+    failures: int
+    detail: str = ""
+
+
+@dataclass
+class QuarantineReport:
+    """Every file a sweep gave up on, with per-file failure reasons."""
+
+    entries: list[QuarantineEntry] = field(default_factory=list)
+
+    FORMAT = 1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def paths(self) -> list[str]:
+        return [entry.path for entry in self.entries]
+
+    def sorted(self) -> "QuarantineReport":
+        return QuarantineReport(sorted(self.entries, key=lambda e: e.path))
+
+    def render(self) -> str:
+        from repro.views.tables import render_table
+
+        return render_table(
+            headers=["File", "Reason", "Strikes", "Detail"],
+            rows=[
+                [e.path, e.reason, str(e.failures), e.detail]
+                for e in self.sorted().entries
+            ],
+            title="Quarantined files (analysis skipped):",
+            max_col_width=72,
+            right_align=(2,),
+        )
+
+    # -- persistence (``<cache root>/quarantine.json``) ----------------
+
+    def save(self, path: str | Path) -> None:
+        import json
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": self.FORMAT,
+            "entries": [
+                {
+                    "path": e.path,
+                    "reason": e.reason,
+                    "failures": e.failures,
+                    "detail": e.detail,
+                }
+                for e in self.sorted().entries
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QuarantineReport | None":
+        import json
+
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+            entries = [
+                QuarantineEntry(
+                    path=item["path"],
+                    reason=item["reason"],
+                    failures=int(item["failures"]),
+                    detail=item.get("detail", ""),
+                )
+                for item in document["entries"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return cls(entries=entries)
+
+
+class SweepJournal:
+    """Atomic journal of completed per-file payloads, keyed by content key.
+
+    A :class:`~repro.resilience.checkpoint.CheckpointStore` fingerprinted
+    with the sweep job's fingerprint: resuming after the rule set or
+    options changed discards the journal (with a warning) instead of
+    splicing incompatible payloads into the merge.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self._store = CheckpointStore(
+            path, meta={"kind": "sweep-journal", "fingerprint": fingerprint}
+        )
+
+    @property
+    def path(self) -> Path:
+        return self._store.path
+
+    def entries(self) -> dict[str, dict]:
+        return {key: value for key, value in self._store.items()}
+
+    def write(self, entries: Mapping[str, dict]) -> None:
+        self._store.put_many(dict(entries))
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+def _poison_reason(error: BaseException) -> str:
+    if isinstance(error, MemoryError):
+        return "memory"
+    if isinstance(error, RecursionError):
+        return "recursion"
+    if isinstance(error, InjectedWorkerCrash):
+        return "crash"
+    return "error"
+
+
+def quarantine_payload(entry: QuarantineEntry) -> dict:
+    """The payload a quarantined file contributes to the merge.
+
+    ``SweepJob.decode`` already maps ``error`` payloads to the job's
+    degradation policy (empty findings / skipped entry), so quarantined
+    files merge exactly like unreadable ones — deterministically.
+    """
+    return {
+        "error": QUARANTINED,
+        "reason": entry.reason,
+        "failures": entry.failures,
+        "detail": entry.detail,
+    }
+
+
+# -- worker-process entry points ------------------------------------------
+# Module-level so every start method (fork, forkserver, spawn) can pickle
+# them.  State is set once per worker by the initializer: the job's
+# rules/transforms are rebuilt per process instead of pickled per task.
+
+_WORKER_JOB = None
+_WORKER_PROCESSOR = None
+_WORKER_FAULTS: SweepFaultPlan | None = None
+
+
+def _worker_init(job: "SweepJob", faults: SweepFaultPlan | None = None) -> None:
+    global _WORKER_JOB, _WORKER_PROCESSOR, _WORKER_FAULTS
+    # Fork-started workers inherit the parent's signal dispositions —
+    # including the supervisor's own SIGTERM/SIGINT handlers, which
+    # would swallow the watchdog's terminate() and leave a hung worker
+    # sleeping.  Reset: SIGTERM kills the worker (default), SIGINT is
+    # ignored (the parent coordinates interrupts and journals first).
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    _WORKER_JOB = job
+    _WORKER_PROCESSOR = job.build()
+    _WORKER_FAULTS = faults
+
+
+def _worker_run(item: tuple[str, str]) -> dict:
+    path, source = item
+    assert _WORKER_JOB is not None
+    if _WORKER_FAULTS is not None:
+        apply_worker_fault(_WORKER_FAULTS, path, in_worker=True)
+    return _WORKER_JOB.run(_WORKER_PROCESSOR, path, source)
+
+
+@dataclass
+class _Item:
+    """One file moving through the supervisor."""
+
+    index: int
+    path: str
+    source: str
+    key: str
+    failures: int = 0
+    last_reason: str = ""
+    last_detail: str = ""
+
+
+class SweepSupervisor:
+    """Run sweep items to completion under the fault policy above.
+
+    ``run`` takes ``(path, source, key)`` triples and returns one
+    payload per item, in submission order.  Never raises for per-file
+    failures — those quarantine — only for interrupts
+    (:class:`SweepInterrupted`, after journaling).
+    """
+
+    def __init__(
+        self,
+        job: "SweepJob",
+        workers: int,
+        options: SweepOptions | None = None,
+        *,
+        journal_path: str | Path | None = None,
+        journal_seed: Mapping[str, dict] | None = None,
+    ) -> None:
+        self.job = job
+        self.workers = max(1, workers)
+        self.options = options or SweepOptions()
+        self.quarantine = QuarantineReport()
+        self.retries = 0
+        self.pool_restarts = 0
+        self.timeouts = 0
+        self.worker_crashes = 0
+        self._journal_path = Path(journal_path) if journal_path else None
+        self._journal_seed = dict(journal_seed or {})
+        self._completed: dict[str, dict] = {}
+        self._total = 0
+        self._interrupted = False
+        self._old_handlers: dict[int, object] = {}
+
+    # -- public entry ---------------------------------------------------
+
+    def run(self, items: Iterable[tuple[str, str, str]]) -> list[dict]:
+        wrapped = [
+            _Item(index, path, source, key)
+            for index, (path, source, key) in enumerate(items)
+        ]
+        self._total = len(wrapped)
+        if not wrapped:
+            return []
+        self._install_signal_handlers()
+        try:
+            if self.workers <= 1:
+                return self._run_serial(wrapped)
+            return self._run_parallel(wrapped)
+        finally:
+            self._restore_signal_handlers()
+
+    # -- interrupt plumbing ---------------------------------------------
+
+    def _install_signal_handlers(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old_handlers[signum] = signal.signal(
+                    signum, self._handle_signal
+                )
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, handler in self._old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._old_handlers.clear()
+
+    def _handle_signal(self, signum, frame) -> None:  # pragma: no cover
+        self._interrupted = True
+
+    def _check_interrupt(self, pool: "ProcessPoolExecutor | None" = None) -> None:
+        faults = self.options.faults
+        if (
+            faults is not None
+            and faults.interrupt_after_files is not None
+            and len(self._completed) >= faults.interrupt_after_files
+        ):
+            self._interrupted = True
+        if not self._interrupted:
+            return
+        if pool is not None:
+            self._kill_pool(pool)
+        self._flush_journal()
+        raise SweepInterrupted(
+            f"sweep interrupted after {len(self._completed)} of "
+            f"{self._total} pending file(s); completed work journaled",
+            journal_path=self._journal_path,
+            completed=len(self._completed),
+            total=self._total,
+        )
+
+    def _flush_journal(self) -> None:
+        if self._journal_path is None:
+            return
+        entries = dict(self._journal_seed)
+        entries.update(self._completed)
+        journal = SweepJournal(self._journal_path, self.job.fingerprint())
+        journal.write(entries)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _record(self, item: _Item, payload: dict, results: list) -> None:
+        results[item.index] = payload
+        self._completed[item.key] = payload
+
+    def _strike(self, item: _Item, reason: str, detail: str) -> bool:
+        """Charge one failure; True when the item is now quarantined."""
+        item.failures += 1
+        item.last_reason = reason
+        item.last_detail = detail
+        if reason == "hang":
+            self.timeouts += 1
+        if item.failures > self.options.max_retries:
+            self.quarantine.entries.append(
+                QuarantineEntry(
+                    path=item.path,
+                    reason=reason,
+                    failures=item.failures,
+                    detail=detail,
+                )
+            )
+            return True
+        self.retries += 1
+        return False
+
+    def _fail(
+        self,
+        item: _Item,
+        reason: str,
+        detail: str,
+        requeue: deque,
+        results: list,
+    ) -> None:
+        if self._strike(item, reason, detail):
+            self._record(
+                item, quarantine_payload(self.quarantine.entries[-1]), results
+            )
+        else:
+            time.sleep(
+                self.options.policy.backoff_delay(max(item.failures - 1, 0))
+            )
+            requeue.append(item)
+
+    # -- serial path ----------------------------------------------------
+
+    def _run_serial(self, items: list[_Item]) -> list[dict]:
+        options = self.options
+        results: list = [None] * len(items)
+        queue: deque[_Item] = deque(items)
+        processor = self.job.build()
+        while queue:
+            self._check_interrupt()
+            item = queue.popleft()
+            started = time.monotonic()
+            try:
+                if options.faults is not None:
+                    apply_worker_fault(options.faults, item.path, in_worker=False)
+                payload = self.job.run(processor, item.path, item.source)
+            except _POISON_EXCEPTIONS as error:
+                self._fail(
+                    item,
+                    _poison_reason(error),
+                    f"{type(error).__name__}: {error}",
+                    queue,
+                    results,
+                )
+                continue
+            except Exception as error:
+                # A rule/transform bug on one file is that file's
+                # problem, not the sweep's: same retry/quarantine path.
+                self._fail(
+                    item,
+                    "error",
+                    f"{type(error).__name__}: {error}",
+                    queue,
+                    results,
+                )
+                continue
+            elapsed = time.monotonic() - started
+            if (
+                options.timeout_seconds is not None
+                and elapsed > options.timeout_seconds
+            ):
+                # In-process stalls cannot be preempted; detect the
+                # overrun post hoc and discard the late result so serial
+                # and parallel sweeps quarantine the same files.
+                self._fail(
+                    item,
+                    "hang",
+                    f"took {elapsed:.2f}s "
+                    f"(limit {options.timeout_seconds:g}s; serial sweeps "
+                    f"detect overruns after the fact)",
+                    queue,
+                    results,
+                )
+                continue
+            self._record(item, payload, results)
+        return results
+
+    # -- parallel path ---------------------------------------------------
+
+    def _new_pool(self) -> "ProcessPoolExecutor":
+        from concurrent.futures import ProcessPoolExecutor
+
+        kwargs: dict = dict(
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(self.job, self.options.faults),
+        )
+        if self.options.max_tasks_per_child is not None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            method = "forkserver" if "forkserver" in methods else "spawn"
+            kwargs["mp_context"] = multiprocessing.get_context(method)
+            kwargs["max_tasks_per_child"] = self.options.max_tasks_per_child
+        return ProcessPoolExecutor(**kwargs)
+
+    @staticmethod
+    def _kill_pool(pool: "ProcessPoolExecutor") -> None:
+        """Hard-stop a pool: SIGKILL workers, then reap the executor.
+
+        SIGKILL rather than SIGTERM: a worker stuck in C code (or one
+        that somehow still holds an inherited signal handler) cannot
+        swallow it, so the watchdog's recycle is bounded by process
+        teardown, not by whatever the hung worker was doing.
+        """
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _deadline(self) -> float | None:
+        if self.options.timeout_seconds is None:
+            return None
+        return time.monotonic() + self.options.timeout_seconds
+
+    def _restart_backoff(self) -> None:
+        delay = self.options.policy.backoff_delay(
+            min(self.pool_restarts, 8)
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_parallel(self, items: list[_Item]) -> list[dict]:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: list = [None] * len(items)
+        queue: deque[_Item] = deque(items)
+        #: Crash suspects run one at a time so the next crash is
+        #: unambiguously attributable.
+        isolation: deque[_Item] = deque()
+        in_flight: dict = {}
+        pool = self._new_pool()
+        try:
+            while queue or isolation or in_flight:
+                try:
+                    self._check_interrupt(pool=pool)
+                except SweepInterrupted:
+                    pool = None  # _check_interrupt already reaped it
+                    raise
+                # Keep the in-flight window at the worker count so a
+                # submitted future is a *running* future and deadlines
+                # measure execution, not queueing.
+                broken_on_submit = False
+                while queue and len(in_flight) < self.workers:
+                    item = queue.popleft()
+                    try:
+                        future = pool.submit(
+                            _worker_run, (item.path, item.source)
+                        )
+                    except BrokenProcessPool:
+                        # A crash from the previous round beat us to the
+                        # pool; requeue and fall into crash recovery.
+                        queue.appendleft(item)
+                        broken_on_submit = True
+                        break
+                    in_flight[future] = (item, self._deadline())
+                if not broken_on_submit and not in_flight and isolation:
+                    item = isolation.popleft()
+                    try:
+                        future = pool.submit(
+                            _worker_run, (item.path, item.source)
+                        )
+                    except BrokenProcessPool:
+                        isolation.appendleft(item)
+                        broken_on_submit = True
+                    else:
+                        in_flight[future] = (item, self._deadline())
+                if broken_on_submit:
+                    crashed = [item for item, _ in in_flight.values()]
+                    in_flight.clear()
+                    self.worker_crashes += 1
+                    self.pool_restarts += 1
+                    self._kill_pool(pool)
+                    self._restart_backoff()
+                    pool = self._new_pool()
+                    if len(crashed) == 1:
+                        self._dispatch_failure(
+                            crashed[0],
+                            "crash",
+                            "worker process died while analyzing this file",
+                            queue,
+                            isolation,
+                            results,
+                        )
+                    else:
+                        isolation.extend(crashed)
+                    continue
+                if not in_flight:
+                    continue
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=self.options.poll_seconds,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = False
+                crashed: list[_Item] = []
+                for future in done:
+                    item, _deadline = in_flight.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(item)
+                        pool_broken = True
+                    except _POISON_EXCEPTIONS as error:
+                        self._dispatch_failure(
+                            item,
+                            _poison_reason(error),
+                            f"{type(error).__name__}: {error}",
+                            queue,
+                            isolation,
+                            results,
+                        )
+                    except Exception as error:
+                        self._dispatch_failure(
+                            item,
+                            "error",
+                            f"{type(error).__name__}: {error}",
+                            queue,
+                            isolation,
+                            results,
+                        )
+                    else:
+                        self._record(item, payload, results)
+                if pool_broken:
+                    # Everything still in flight died with the pool.
+                    crashed.extend(item for item, _ in in_flight.values())
+                    in_flight.clear()
+                    self.worker_crashes += 1
+                    self.pool_restarts += 1
+                    self._kill_pool(pool)
+                    self._restart_backoff()
+                    pool = self._new_pool()
+                    if len(crashed) == 1:
+                        # Unambiguous: the only in-flight file killed
+                        # its worker.
+                        self._dispatch_failure(
+                            crashed[0],
+                            "crash",
+                            "worker process died while analyzing this file",
+                            queue,
+                            isolation,
+                            results,
+                        )
+                    else:
+                        # Ambiguous collateral: charge nobody, retry all
+                        # of them one at a time.
+                        isolation.extend(crashed)
+                    continue
+                # Watchdog: hard-kill workers whose file overran its
+                # deadline; resubmit innocent in-flight files unharmed.
+                now = time.monotonic()
+                expired = [
+                    (future, item)
+                    for future, (item, deadline) in in_flight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if expired:
+                    hung = {future for future, _ in expired}
+                    innocents = [
+                        item
+                        for future, (item, _deadline) in in_flight.items()
+                        if future not in hung
+                    ]
+                    in_flight.clear()
+                    self.pool_restarts += 1
+                    self._kill_pool(pool)
+                    pool = self._new_pool()
+                    for _future, item in expired:
+                        self._dispatch_failure(
+                            item,
+                            "hang",
+                            f"no result within {self.options.timeout_seconds:g}s; "
+                            "worker killed and recycled",
+                            queue,
+                            isolation,
+                            results,
+                        )
+                    for item in innocents:
+                        queue.appendleft(item)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return results
+
+    def _dispatch_failure(
+        self,
+        item: _Item,
+        reason: str,
+        detail: str,
+        queue: deque,
+        isolation: deque,
+        results: list,
+    ) -> None:
+        if self._strike(item, reason, detail):
+            self._record(
+                item, quarantine_payload(self.quarantine.entries[-1]), results
+            )
+            return
+        time.sleep(self.options.policy.backoff_delay(max(item.failures - 1, 0)))
+        # Crashers retry in isolation so repeat crashes stay attributed;
+        # everything else rejoins the parallel queue.
+        (isolation if reason == "crash" else queue).append(item)

@@ -175,6 +175,166 @@ class TestBench:
         assert "Airline" in out
 
 
+class TestFaultTolerantSweeps:
+    """The robustness surface: quarantine warnings, check provenance,
+    interrupt/--resume round trips, and cache stats listing."""
+
+    @staticmethod
+    def _hostile_project(tmp_path):
+        for index in range(4):
+            (tmp_path / f"mod_{index}.py").write_text(
+                DIRTY + f"X = {index}\n"
+            )
+        (tmp_path / "crash_me.py").write_text("y = 0\n")
+        return tmp_path
+
+    @staticmethod
+    def _chaos_options(monkeypatch, **plan_kwargs):
+        """Route the CLI's built SweepOptions through a chaos plan."""
+        import importlib
+
+        from repro.resilience import SweepFaultPlan
+        from repro.sweep import SweepOptions
+
+        # ``repro.cli`` re-exports the ``main`` *function* under the
+        # same name as the module; import the module explicitly.
+        cli_main = importlib.import_module("repro.cli.main")
+
+        plan = SweepFaultPlan(**plan_kwargs)
+        monkeypatch.setattr(
+            cli_main,
+            "_sweep_options",
+            lambda args: SweepOptions(
+                timeout_seconds=args.timeout,
+                max_retries=args.max_retries,
+                resume=args.resume,
+                faults=plan,
+            ),
+        )
+
+    def test_suggest_reports_quarantine_on_stderr(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        project = self._hostile_project(tmp_path)
+        self._chaos_options(monkeypatch, crash=("crash_me.py",))
+        code = main(
+            ["suggest", str(project), "--jobs", "2", "--max-retries", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0  # chaos never fails the sweep
+        assert "quarantined" in captured.err
+        assert "crash_me.py" in captured.err
+        assert "crash" in captured.err
+        assert "crash_me.py" not in captured.out  # stdout stays clean
+
+    def test_check_verdict_names_quarantined_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        project = self._hostile_project(tmp_path)
+        self._chaos_options(monkeypatch, memory=("crash_me.py",))
+        main(["check", str(project), "--fail-on", "high",
+              "--max-retries", "0"])
+        captured = capsys.readouterr()
+        assert "1 file(s) quarantined, not analyzed" in captured.out
+        assert "quarantined" in captured.err
+
+    def test_check_sarif_carries_quarantine_provenance(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        project = self._hostile_project(tmp_path)
+        self._chaos_options(monkeypatch, crash=("crash_me.py",))
+        main(["check", str(project), "--fail-on", "high",
+              "--format", "sarif", "--max-retries", "0"])
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        notes = document["runs"][0]["invocations"][0][
+            "toolExecutionNotifications"
+        ]
+        assert len(notes) == 1
+        assert "quarantined" in notes[0]["message"]["text"]
+        locations = notes[0]["locations"][0]["physicalLocation"]
+        assert locations["artifactLocation"]["uri"] == "crash_me.py"
+
+    def test_interrupted_sweep_exits_130_and_resume_completes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        project = self._hostile_project(tmp_path)
+        (project / "crash_me.py").unlink()  # healthy corpus
+        baseline_code = main(["suggest", str(project), "--json"])
+        baseline = capsys.readouterr().out
+        assert baseline_code == 0
+
+        self._chaos_options(monkeypatch, interrupt_after_files=2)
+        code = main(["suggest", str(project), "--json"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "--resume" in captured.err
+        assert (project / ".pepo_cache" / "analyze-journal.json").exists()
+
+        monkeypatch.undo()
+        resume_code = main(["suggest", str(project), "--json", "--resume"])
+        resumed = capsys.readouterr().out
+        assert resume_code == 0
+        assert resumed == baseline  # byte-identical output
+        assert not (
+            project / ".pepo_cache" / "analyze-journal.json"
+        ).exists()
+
+    def test_cache_stats_lists_quarantined_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        project = self._hostile_project(tmp_path)
+        self._chaos_options(monkeypatch, crash=("crash_me.py",))
+        main(["suggest", str(project), "--max-retries", "0"])
+        capsys.readouterr()
+        assert main(["cache", "stats", str(project)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "crash_me.py" in out
+
+    def test_serial_fallback_warns_once_on_stderr(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import ast
+
+        from repro.analyzer.rules.base import Rule
+
+        class LocalRule(Rule):
+            rule_id = "X97_LOCAL"
+            interested_types = (ast.Mod,)
+
+            def check(self, node, ctx):
+                return iter(())
+
+        project = self._hostile_project(tmp_path)
+        (project / "crash_me.py").unlink()
+        from repro import analyzer as analyzer_module
+
+        real_analyzer = analyzer_module.Analyzer
+        monkeypatch.setattr(
+            analyzer_module,
+            "Analyzer",
+            lambda extended=False: real_analyzer(rules=[LocalRule]),
+        )
+        code = main(["suggest", str(project), "--jobs", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err.count("not picklable") == 1
+
+    def test_sweep_flags_parse(self):
+        parser = build_parser()
+        for command in ("suggest", "optimize", "check"):
+            parsed = parser.parse_args(
+                [command, "x", "--timeout", "5", "--max-retries", "1",
+                 "--resume"]
+            )
+            assert parsed.timeout == 5.0
+            assert parsed.max_retries == 1
+            assert parsed.resume is True
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

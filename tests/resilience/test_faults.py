@@ -126,3 +126,82 @@ class TestFailureModes:
         snap = backend.snapshot()
         assert snap.joules == backend.inner.snapshot().joules
         assert not backend.faults_injected
+
+
+class TestSweepFaultPlan:
+    """Deterministic, pattern-based sweep-layer fault injection."""
+
+    def test_patterns_match_posix_path_and_basename(self):
+        from repro.resilience import SweepFaultPlan
+
+        plan = SweepFaultPlan(
+            crash=("crash_me.py",), hang=("*/pkg/slow_*.py",)
+        )
+        assert plan.worker_fault("/proj/pkg/crash_me.py") == "crash"
+        assert plan.worker_fault("/proj/pkg/slow_io.py") == "hang"
+        assert plan.worker_fault("/proj/other/slow_io.py") is None
+        assert plan.worker_fault("/proj/pkg/fine.py") is None
+
+    def test_first_matching_kind_wins(self):
+        from repro.resilience import SweepFaultPlan
+
+        plan = SweepFaultPlan(crash=("mod.py",), memory=("mod.py",))
+        assert plan.worker_fault("mod.py") == "crash"
+
+    def test_serial_crash_raises_injected_worker_crash(self):
+        from repro.resilience import (
+            InjectedWorkerCrash,
+            SweepFaultPlan,
+            apply_worker_fault,
+        )
+
+        plan = SweepFaultPlan(crash=("mod.py",))
+        with pytest.raises(InjectedWorkerCrash):
+            apply_worker_fault(plan, "mod.py", in_worker=False)
+
+    def test_memory_and_recursion_faults_raise(self):
+        from repro.resilience import SweepFaultPlan, apply_worker_fault
+
+        with pytest.raises(MemoryError):
+            apply_worker_fault(
+                SweepFaultPlan(memory=("m.py",)), "m.py", in_worker=False
+            )
+        with pytest.raises(RecursionError):
+            apply_worker_fault(
+                SweepFaultPlan(recursion=("r.py",)), "r.py", in_worker=False
+            )
+
+    def test_clean_file_is_untouched(self):
+        from repro.resilience import SweepFaultPlan, apply_worker_fault
+
+        plan = SweepFaultPlan(crash=("bad.py",))
+        apply_worker_fault(plan, "good.py", in_worker=False)  # no raise
+
+    def test_cache_fault_kinds(self):
+        from repro.resilience import SweepFaultPlan
+
+        plan = SweepFaultPlan(
+            corrupt_cache=("a.py",), truncate_cache=("b.py",)
+        )
+        assert plan.cache_fault("a.py") == "corrupt"
+        assert plan.cache_fault("b.py") == "truncate"
+        assert plan.cache_fault("c.py") is None
+
+    def test_corrupt_cache_entry_keeps_length(self, tmp_path):
+        from repro.resilience import corrupt_cache_entry
+
+        entry = tmp_path / "e.json"
+        entry.write_bytes(b'{"k": "0123456789"}')
+        original = entry.read_bytes()
+        corrupt_cache_entry(entry, "corrupt")
+        damaged = entry.read_bytes()
+        assert damaged != original
+        assert len(damaged) == len(original)
+
+    def test_truncate_cache_entry_halves_file(self, tmp_path):
+        from repro.resilience import corrupt_cache_entry
+
+        entry = tmp_path / "e.json"
+        entry.write_bytes(b"x" * 100)
+        corrupt_cache_entry(entry, "truncate")
+        assert len(entry.read_bytes()) == 50

@@ -195,6 +195,151 @@ class TestCacheRobustness:
         assert cache.stats().entries == 0
 
 
+class TestCacheIntegrity:
+    """Format-3 hardening: checksummed entries, auto-evict-and-recompute,
+    and the advisory lockfile."""
+
+    def test_bitflip_evicts_and_recomputes(self, project, cache_dir):
+        fresh, _ = _sweep(project, cache_dir)
+        cache = SweepCache(cache_dir)
+        entries = [
+            p for p in cache.root.rglob("*.json")
+            if len(p.relative_to(cache.root).parts) == 3
+        ]
+        assert entries
+        for entry in entries:
+            raw = bytearray(entry.read_bytes())
+            # Flip a byte inside the payload, keeping valid-length JSON
+            # unlikely but length identical — the checksum must catch it.
+            raw[len(raw) // 2] ^= 0xFF
+            entry.write_bytes(bytes(raw))
+        results, stats = _sweep(project, cache_dir)
+        assert stats.cache_hits == 0
+        assert stats.cache_evictions == 2
+        assert json.dumps(
+            {k: [f.to_dict() for f in v] for k, v in results.items()}
+        ) == json.dumps(
+            {k: [f.to_dict() for f in v] for k, v in fresh.items()}
+        )
+        # The recomputed entries replaced the corrupt ones: hits again.
+        _, warm = _sweep(project, cache_dir)
+        assert warm.cache_hits == 2
+
+    def test_truncated_entry_evicts(self, project, cache_dir):
+        _sweep(project, cache_dir)
+        cache = SweepCache(cache_dir)
+        for entry in cache.root.rglob("*.json"):
+            data = entry.read_bytes()
+            entry.write_bytes(data[: len(data) // 2])
+        _, stats = _sweep(project, cache_dir)
+        assert stats.cache_hits == 0
+        assert stats.cache_evictions == 2
+
+    def test_checksum_mismatch_detected_directly(self, tmp_path):
+        from repro.sweep import payload_checksum
+
+        cache = SweepCache(tmp_path / "c")
+        cache.put("analyze", "ab" * 32, {"findings": [1, 2]})
+        key = "ab" * 32
+        entry = cache.entry_path("analyze", key)
+        payload = json.loads(entry.read_text())
+        assert payload["sha256"] == payload_checksum(payload["result"])
+        payload["result"]["findings"] = [1, 2, 3]  # tampered, stale sum
+        entry.write_text(json.dumps(payload))
+        assert cache.get("analyze", key) is None
+        assert cache.evictions == 1
+        assert not entry.exists()
+
+    def test_format_mismatch_is_a_miss_without_eviction(self, tmp_path):
+        cache = SweepCache(tmp_path / "c")
+        key = "cd" * 32
+        entry = cache.entry_path("analyze", key)
+        entry.parent.mkdir(parents=True)
+        entry.write_text(json.dumps({"format": 2, "findings": []}))
+        assert cache.get("analyze", key) is None
+        # Old-schema entries are unreachable (CACHE_FORMAT is in every
+        # fingerprint), not corrupt: leave them for inspection.
+        assert cache.evictions == 0
+        assert entry.exists()
+
+    def test_cache_format_is_in_job_fingerprint(self, monkeypatch):
+        job = Analyzer()._sweep_job()
+        before = job.fingerprint()
+        monkeypatch.setattr("repro.sweep.jobs.CACHE_FORMAT", -1)
+        assert job.fingerprint() != before
+
+    def test_lock_shared_vs_exclusive(self, tmp_path):
+        pytest.importorskip("fcntl")
+        cache = SweepCache(tmp_path / "c")
+        with cache.lock() as first:
+            assert first
+            # Shared + shared: both sweeps proceed.
+            with cache.lock(timeout=0.2) as second:
+                assert second
+            # Shared + exclusive: the clear must wait (here: time out).
+            with cache.lock(exclusive=True, timeout=0.2) as cleared:
+                assert not cleared
+
+    def test_clear_waits_for_exclusive_lock(self, project, cache_dir):
+        pytest.importorskip("fcntl")
+        _sweep(project, cache_dir)
+        cache = SweepCache(cache_dir)
+        assert cache.stats().entries == 2
+        assert cache.clear() == 2
+
+    def test_quarantine_and_journal_not_counted_as_entries(
+        self, project, cache_dir
+    ):
+        _sweep(project, cache_dir)
+        (SweepCache(cache_dir).root / "analyze-journal.json").write_text(
+            "{}", encoding="utf-8"
+        )
+        (SweepCache(cache_dir).root / "quarantine.json").write_text(
+            '{"format": 1, "entries": []}', encoding="utf-8"
+        )
+        assert SweepCache(cache_dir).stats().entries == 2
+
+
+class TestCacheChaos:
+    """Fault-injected partial writes / corruption via SweepOptions."""
+
+    def test_corrupt_after_put_recomputes_next_sweep(self, project, cache_dir):
+        from repro.resilience import SweepFaultPlan
+        from repro.sweep import SweepOptions
+
+        plan = SweepFaultPlan(corrupt_cache=("mod.py",))
+        engine = SweepEngine(
+            cache=True, cache_dir=cache_dir, options=SweepOptions(faults=plan)
+        )
+        fresh = engine.run(project, Analyzer()._sweep_job())
+        warm_engine = SweepEngine(cache=True, cache_dir=cache_dir)
+        warm = warm_engine.run(project, Analyzer()._sweep_job())
+        stats = warm_engine.last_stats
+        assert stats.cache_hits == 1  # other.py survived
+        assert stats.cache_evictions == 1  # mod.py's entry was damaged
+        assert json.dumps(
+            {k: [f.to_dict() for f in v] for k, v in warm.items()}
+        ) == json.dumps(
+            {k: [f.to_dict() for f in v] for k, v in fresh.items()}
+        )
+
+    def test_truncate_after_put_recomputes_next_sweep(
+        self, project, cache_dir
+    ):
+        from repro.resilience import SweepFaultPlan
+        from repro.sweep import SweepOptions
+
+        plan = SweepFaultPlan(truncate_cache=("*.py",))
+        engine = SweepEngine(
+            cache=True, cache_dir=cache_dir, options=SweepOptions(faults=plan)
+        )
+        engine.run(project, Analyzer()._sweep_job())
+        warm = SweepEngine(cache=True, cache_dir=cache_dir)
+        warm.run(project, Analyzer()._sweep_job())
+        assert warm.last_stats.cache_hits == 0
+        assert warm.last_stats.cache_evictions == 2
+
+
 class TestSemanticsVersionInvalidation:
     """A semantic-model revision must orphan every cached payload.
 
