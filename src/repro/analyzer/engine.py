@@ -63,6 +63,8 @@ class Analyzer:
         # Accounting from the most recent analyze_project sweep.
         self.last_sweep_stats: "SweepStats | None" = None
         self.last_quarantine: "QuarantineReport | None" = None
+        # Self-profile of the most recent sweep (SweepOptions.self_profile).
+        self.last_profile = None
 
     @property
     def rule_ids(self) -> tuple[str, ...]:
@@ -145,6 +147,7 @@ class Analyzer:
         results = engine.run(project_dir, self._sweep_job())
         self.last_sweep_stats = engine.last_stats
         self.last_quarantine = engine.last_quarantine
+        self.last_profile = engine.last_profile
         return results
 
     def _sweep_job(self):

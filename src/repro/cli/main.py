@@ -158,6 +158,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="survive backend read faults: retry with backoff, trip a "
         "circuit breaker, degrade to the simulated backend (flagged)",
     )
+    profile.add_argument(
+        "--follow-threads",
+        action="store_true",
+        help="trace worker threads too, attributing each method to the "
+        "thread that ran it (per-context rows in the report)",
+    )
+    profile.add_argument(
+        "--follow-tasks",
+        action="store_true",
+        help="attribute asyncio coroutines to their owning Task "
+        "(implies --follow-threads)",
+    )
+    profile.add_argument(
+        "--follow-subprocesses",
+        action="store_true",
+        help="capture child processes spawned while profiling and merge "
+        "their profiles back, pid-stamped",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -267,6 +285,12 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         help="resume an interrupted sweep from its journal; the merged "
         "output is byte-identical to an uninterrupted run",
     )
+    parser.add_argument(
+        "--self-profile",
+        action="store_true",
+        help="profile the sweep itself (workers included under --jobs N) "
+        "and print the hottest pepo methods to stderr",
+    )
 
 
 def _sweep_options(args: argparse.Namespace):
@@ -277,6 +301,7 @@ def _sweep_options(args: argparse.Namespace):
         timeout_seconds=args.timeout,
         max_retries=args.max_retries,
         resume=args.resume,
+        self_profile=args.self_profile,
     )
 
 
@@ -307,6 +332,18 @@ def _report_sweep(stats, quarantine, *, err=None) -> None:
         )
 
 
+def _report_profile(profile, *, err=None) -> None:
+    """Render a sweep self-profile (``--self-profile``) to stderr so it
+    never corrupts a JSON/SARIF stream on stdout."""
+    if profile is None or not len(profile):
+        return
+    from repro.profiler import ProfilerReport
+
+    err = err if err is not None else sys.stderr
+    print("sweep self-profile (hottest pepo methods):", file=err)
+    print(ProfilerReport(profile).render(limit=15), file=err)
+
+
 def _cmd_suggest(args: argparse.Namespace, out) -> int:
     from repro.analyzer import Analyzer
 
@@ -325,6 +362,7 @@ def _cmd_suggest(args: argparse.Namespace, out) -> int:
             options=_sweep_options(args),
         )
         _report_sweep(analyzer.last_sweep_stats, analyzer.last_quarantine)
+        _report_profile(analyzer.last_profile)
         if fmt == "json":
             from repro.check import iter_json_lines
 
@@ -379,6 +417,7 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
             options=_sweep_options(args),
         )
         _report_sweep(analyzer.last_sweep_stats, analyzer.last_quarantine)
+        _report_profile(analyzer.last_profile)
     else:
         root = path.parent
         findings_by_file = {str(path): analyzer.analyze_file(path)}
@@ -483,6 +522,7 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
             options=_sweep_options(args),
         )
         _report_sweep(pepo.last_sweep_stats, pepo.last_quarantine)
+        _report_profile(pepo.last_profile)
     else:
         results = {str(path): pepo.optimize_file(path, write=args.write)}
     total = 0
@@ -539,13 +579,18 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
 
         resilience = ResiliencePolicy()
     pepo = PEPO(resilience=resilience)
+    follow = dict(
+        follow_threads=args.follow_threads,
+        follow_tasks=args.follow_tasks,
+        follow_subprocesses=args.follow_subprocesses,
+    )
     if args.timeline:
         from repro.rapl.domains import Domain
         from repro.rapl.timeline import TimelineSampler
 
         sampler = TimelineSampler(pepo.backend, sample_interval=0.02)
         result, timeline = sampler.run(
-            lambda: pepo.profile_project(args.path, main=args.main)
+            lambda: pepo.profile_project(args.path, main=args.main, **follow)
         )
         print(pepo.profiler_view(result, limit=args.limit), file=out)
         print(file=out)
@@ -558,7 +603,7 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
             file=out,
         )
     else:
-        result = pepo.profile_project(args.path, main=args.main)
+        result = pepo.profile_project(args.path, main=args.main, **follow)
         print(pepo.profiler_view(result, limit=args.limit), file=out)
     if result.degraded:
         print(

@@ -121,16 +121,41 @@ class PEPO:
         """Quarantine report from the most recent optimize_project sweep."""
         return self._optimizer.last_quarantine
 
+    @property
+    def last_profile(self):
+        """Self-profile from the most recent optimize_project sweep
+        (``SweepOptions.self_profile=True``), else None."""
+        return self._optimizer.last_profile
+
     # -- profiling (JEPO profiler button) -----------------------------------
 
     def profile_project(
-        self, project_dir: str | Path, main: str | Path | None = None
+        self,
+        project_dir: str | Path,
+        main: str | Path | None = None,
+        *,
+        follow_threads: bool = False,
+        follow_tasks: bool = False,
+        follow_subprocesses: bool = False,
     ) -> ProfileResult:
-        """Instrument, run, and write ``result.txt`` (Fig. 4 data)."""
-        return self._session.profile_project(project_dir, main=main)
+        """Instrument, run, and write ``result.txt`` (Fig. 4 data).
 
-    def profile_callable(self, fn: Callable[[], object]) -> ProfileResult:
-        return self._session.profile_callable(fn)
+        The ``follow_*`` flags switch to the concurrency-aware tracer
+        so threads, asyncio tasks and subprocesses are attributed (see
+        :meth:`repro.profiler.session.ProfilerSession.profile_project`).
+        """
+        return self._session.profile_project(
+            project_dir,
+            main=main,
+            follow_threads=follow_threads,
+            follow_tasks=follow_tasks,
+            follow_subprocesses=follow_subprocesses,
+        )
+
+    def profile_callable(
+        self, fn: Callable[[], object], **follow: bool
+    ) -> ProfileResult:
+        return self._session.profile_callable(fn, **follow)
 
     # -- view renderings -------------------------------------------------------
 

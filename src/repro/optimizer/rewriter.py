@@ -91,6 +91,8 @@ class Optimizer:
         # Accounting from the most recent optimize_project sweep.
         self.last_sweep_stats: "SweepStats | None" = None
         self.last_quarantine: "QuarantineReport | None" = None
+        # Self-profile of the most recent sweep (SweepOptions.self_profile).
+        self.last_profile = None
 
     def optimize_source(
         self, source: str, filename: str = "<source>"
@@ -178,6 +180,7 @@ class Optimizer:
         results = engine.run(project_dir, self._sweep_job())
         self.last_sweep_stats = engine.last_stats
         self.last_quarantine = engine.last_quarantine
+        self.last_profile = engine.last_profile
         if write:
             for filename, result in results.items():
                 if result.changed:

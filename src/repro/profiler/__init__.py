@@ -17,6 +17,12 @@ natural injection points, all implemented here:
   files to insert enter/exit probe calls, the analog of the generated
   ``JEPOInsert.java`` driver.
 
+Concurrent workloads are first-class: ``EnergyTracer(follow_threads=
+True, follow_tasks=True, follow_subprocesses=True)`` records per-thread
+buffers merged into one timeline, attributes asyncio coroutines to
+their owning Task, and collects child-process profiles spooled via the
+``PEPO_TRACE`` env hook (:mod:`repro.profiler.subproc`).
+
 Results flow into :mod:`repro.profiler.records` (per-execution
 :class:`MethodRecord`, aggregate :class:`ProfileResult`, ``result.txt``
 round-trip) and are rendered by :mod:`repro.profiler.report` in the
@@ -36,17 +42,25 @@ from repro.profiler.records import MethodAggregate, MethodRecord, ProfileResult
 from repro.profiler.report import ProfilerReport
 from repro.profiler.runtime import (
     CodeFilter,
+    ConcurrentReplay,
     MonitoringRuntime,
     OverheadEstimate,
     SetprofileRuntime,
+    materialize_concurrent,
 )
 from repro.profiler.session import AmbiguousMainError, ProfilerSession, profile_call
 from repro.profiler.source_instrumenter import SourceInstrumenter, find_main_classes
+from repro.profiler.subproc import (
+    SubprocessCapture,
+    capture_subprocesses,
+    maybe_bootstrap,
+)
 from repro.profiler.tracer import EnergyTracer, LegacyEnergyTracer
 
 __all__ = [
     "AmbiguousMainError",
     "CodeFilter",
+    "ConcurrentReplay",
     "EnergyTracer",
     "Injector",
     "LegacyEnergyTracer",
@@ -62,8 +76,12 @@ __all__ = [
     "ProfilerReport",
     "ProfilerSession",
     "SourceInstrumenter",
+    "SubprocessCapture",
+    "capture_subprocesses",
     "find_main_classes",
     "instrument_callable",
+    "materialize_concurrent",
+    "maybe_bootstrap",
     "instrument_class",
     "instrument_module",
     "measured",

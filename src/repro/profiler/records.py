@@ -8,6 +8,7 @@ once, then the measurements are stored for each execution."*
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
@@ -18,6 +19,11 @@ if TYPE_CHECKING:
     from repro.profiler.runtime import OverheadEstimate
 
 _RESULT_HEADER = "# method\twall_seconds\tcpu_seconds\tpackage_joules\tcore_joules"
+
+
+def _clean_token(value: str) -> str:
+    """Strip characters that would break the tab-separated line format."""
+    return value.replace("\t", " ").replace("\n", " ").replace("\r", " ")
 
 
 @dataclass(frozen=True)
@@ -32,6 +38,17 @@ class MethodRecord:
     backend fault mid-call, a clamped negative delta — so downstream
     views and statistics can flag or drop them instead of silently
     averaging corrupt readings in.
+
+    Execution-context provenance (all default to "the profiling
+    context" so single-threaded sync profiles are unchanged):
+
+    * ``thread_id`` / ``thread_name`` — 0/"" for the owner thread that
+      drove the tracer; the OS thread ident and ``threading`` name for
+      records captured on other threads (``follow_threads=True``).
+    * ``task_name`` — the asyncio Task that owned the frame when the
+      span opened (``follow_tasks=True``); "" outside any task.
+    * ``pid`` — 0 for the profiling process; the child's PID for
+      records merged from captured subprocesses.
     """
 
     method: str
@@ -43,6 +60,10 @@ class MethodRecord:
     joules: Mapping[Domain, float]
     exclusive_joules: Mapping[Domain, float]
     suspect: bool = False
+    thread_id: int = 0
+    thread_name: str = ""
+    task_name: str = ""
+    pid: int = 0
 
     @property
     def package_joules(self) -> float:
@@ -52,10 +73,28 @@ class MethodRecord:
     def core_joules(self) -> float:
         return self.joules.get(Domain.PP0, 0.0)
 
+    @property
+    def context_label(self) -> str:
+        """Compact execution-context tag, "main" for the default context."""
+        parts = []
+        if self.pid:
+            parts.append(f"pid={self.pid}")
+        if self.thread_id:
+            name = f"({self.thread_name})" if self.thread_name else ""
+            parts.append(f"thread={self.thread_id}{name}")
+        if self.task_name:
+            parts.append(f"task={self.task_name}")
+        return " ".join(parts) if parts else "main"
+
 
 @dataclass(frozen=True)
 class MethodAggregate:
-    """All executions of one method, aggregated for the Fig. 4 view."""
+    """All executions of one method, aggregated for the Fig. 4 view.
+
+    ``context`` is "" for the whole-profile aggregation and an
+    execution-context label (``MethodRecord.context_label``) when the
+    aggregation was grouped per context.
+    """
 
     method: str
     calls: int
@@ -65,6 +104,7 @@ class MethodAggregate:
     core_joules: float
     exclusive_package_joules: float
     suspect_calls: int = 0
+    context: str = ""
 
     @property
     def mean_package_joules(self) -> float:
@@ -89,6 +129,22 @@ class ProfileResult:
         #: produced this result (None when not measured) — see
         #: :class:`repro.profiler.runtime.OverheadEstimate`.
         self.overhead: "OverheadEstimate | None" = None
+        #: Events observed on threads the runtime was not following
+        #: (and therefore discarded), plus how many distinct threads
+        #: produced them.  Non-zero values mean energy attributed to
+        #: concurrent code is missing from this profile; with
+        #: ``follow_threads=True`` both stay 0 (regression signal).
+        self.dropped_events = 0
+        self.dropped_threads = 0
+        #: Concurrent-replay accounting (``follow_threads=True`` only).
+        #: ``timeline_joules`` is the total energy observed on the
+        #: shared backend timeline between the first and last reading;
+        #: ``unattributed_joules`` is the slice of it consumed while
+        #: the consuming thread had no traced call open.  Conservation:
+        #: sum of per-record exclusive energy + unattributed ==
+        #: timeline (per domain, modulo float rounding).
+        self.timeline_joules: dict[Domain, float] = {}
+        self.unattributed_joules: dict[Domain, float] = {}
 
     def add(self, record: MethodRecord) -> None:
         self._records.append(record)
@@ -124,20 +180,53 @@ class ProfileResult:
     def suspect_count(self) -> int:
         return sum(1 for r in self._records if r.suspect)
 
-    def aggregate(self) -> list[MethodAggregate]:
+    def contexts(self) -> tuple[str, ...]:
+        """Distinct execution-context labels in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.context_label, None)
+        return tuple(seen)
+
+    def merge(self, other: "ProfileResult", pid: int | None = None) -> None:
+        """Fold another profile (e.g. from a child process) into this one.
+
+        Records are appended in the other profile's order; when ``pid``
+        is given, records that still carry the default ``pid=0`` are
+        stamped with it so their origin survives the merge.  Degraded
+        state, drop counters and timeline accounting are combined.
+        """
+        for record in other._records:
+            if pid is not None and record.pid == 0:
+                record = dataclasses.replace(record, pid=pid)
+            self._records.append(record)
+        self.degraded = self.degraded or other.degraded
+        self.dropped_events += other.dropped_events
+        self.dropped_threads += other.dropped_threads
+        for source, target in (
+            (other.timeline_joules, self.timeline_joules),
+            (other.unattributed_joules, self.unattributed_joules),
+        ):
+            for domain, value in source.items():
+                target[domain] = target.get(domain, 0.0) + value
+
+    def aggregate(self, by_context: bool = False) -> list[MethodAggregate]:
         """Per-method totals, sorted by package energy descending.
 
         This is the data behind the profiler view: the energy-hungry
         methods surface at the top.  Single pass: running sums are
         accumulated per method instead of bucketing the records and
-        re-walking every bucket.
+        re-walking every bucket.  With ``by_context=True`` the buckets
+        are (method, execution context) pairs instead, so a method that
+        runs on several threads/tasks/processes gets one row per
+        context (the Fig. 4 view grown for concurrent targets).
         """
         # calls, wall, cpu, package, core, exclusive package, suspects
-        buckets: dict[str, list] = {}
+        buckets: dict[tuple[str, str], list] = {}
         for r in self._records:
-            acc = buckets.get(r.method)
+            key = (r.method, r.context_label if by_context else "")
+            acc = buckets.get(key)
             if acc is None:
-                acc = buckets[r.method] = [0, 0.0, 0.0, 0.0, 0.0, 0.0, 0]
+                acc = buckets[key] = [0, 0.0, 0.0, 0.0, 0.0, 0.0, 0]
             acc[0] += 1
             acc[1] += r.wall_seconds
             acc[2] += r.cpu_seconds
@@ -156,8 +245,9 @@ class ProfileResult:
                 core_joules=acc[4],
                 exclusive_package_joules=acc[5],
                 suspect_calls=acc[6],
+                context=context,
             )
-            for method, acc in buckets.items()
+            for (method, context), acc in buckets.items()
         ]
         aggregates.sort(key=lambda a: a.package_joules, reverse=True)
         return aggregates
@@ -175,12 +265,20 @@ class ProfileResult:
 
         Degraded runs are flagged with a ``# degraded=true`` header
         comment; suspect executions carry a sixth ``suspect`` field.
-        Clean runs write the original five-column format unchanged.
+        Records from non-default execution contexts append
+        ``thread=``/``tname=``/``task=``/``pid=`` tokens after the five
+        core columns.  Clean single-threaded runs write the original
+        five-column format byte-for-byte unchanged.
         """
         path = Path(path)
         lines = [_RESULT_HEADER]
         if self.degraded:
             lines.append("# degraded=true")
+        if self.dropped_events:
+            lines.append(
+                f"# dropped events={self.dropped_events} "
+                f"threads={self.dropped_threads}"
+            )
         if self.overhead is not None:
             o = self.overhead
             lines.append(
@@ -196,6 +294,14 @@ class ProfileResult:
             )
             if r.suspect:
                 line += "\tsuspect"
+            if r.thread_id:
+                line += f"\tthread={r.thread_id}"
+                if r.thread_name:
+                    line += f"\ttname={_clean_token(r.thread_name)}"
+            if r.task_name:
+                line += f"\ttask={_clean_token(r.task_name)}"
+            if r.pid:
+                line += f"\tpid={r.pid}"
             lines.append(line)
         path.write_text("\n".join(lines) + "\n")
         return path
@@ -207,9 +313,11 @@ class ProfileResult:
         Parsed records carry only the persisted fields; location and
         exclusive energy are not stored in the file (matching the
         paper's three-column output) and read back as empty/zero.
-        The ``degraded`` header flag, the ``# overhead`` estimate and
-        per-line ``suspect`` markers written by degraded/faulty runs
-        are restored.
+        The ``degraded`` header flag, the ``# overhead`` estimate,
+        per-line ``suspect`` markers and the execution-context tokens
+        (``thread=``/``tname=``/``task=``/``pid=``) are restored; files
+        written before those tokens existed (plain 5/6-column lines)
+        still parse.
         """
         result = cls()
         # Running per-method execution counter: computing call_index
@@ -223,15 +331,45 @@ class ProfileResult:
                     result.degraded = True
                 elif stripped.startswith("# overhead "):
                     result.overhead = _parse_overhead_comment(line)
+                elif stripped.startswith("# dropped "):
+                    fields = dict(
+                        part.split("=", 1)
+                        for part in line[1:].split()[1:]
+                        if "=" in part
+                    )
+                    try:
+                        result.dropped_events = int(fields.get("events", 0))
+                        result.dropped_threads = int(fields.get("threads", 0))
+                    except ValueError:
+                        pass
                 continue
             parts = line.split("\t")
-            if len(parts) not in (5, 6):
+            if len(parts) < 5:
                 raise ValueError(
-                    f"{path}:{lineno}: expected 5 or 6 tab-separated fields, "
-                    f"got {len(parts)}"
+                    f"{path}:{lineno}: expected 5 or more tab-separated "
+                    f"fields, got {len(parts)}"
                 )
             method, wall, cpu, pkg, core = parts[:5]
-            suspect = len(parts) == 6 and parts[5] == "suspect"
+            suspect = False
+            thread_id = 0
+            thread_name = ""
+            task_name = ""
+            pid = 0
+            for token in parts[5:]:
+                if token == "suspect":
+                    suspect = True
+                elif token.startswith("thread="):
+                    thread_id = int(token[7:])
+                elif token.startswith("tname="):
+                    thread_name = token[6:]
+                elif token.startswith("task="):
+                    task_name = token[5:]
+                elif token.startswith("pid="):
+                    pid = int(token[4:])
+                else:
+                    raise ValueError(
+                        f"{path}:{lineno}: unrecognised field {token!r}"
+                    )
             joules = {Domain.PACKAGE: float(pkg), Domain.PP0: float(core)}
             call_index = counts.get(method, 0)
             counts[method] = call_index + 1
@@ -246,6 +384,10 @@ class ProfileResult:
                     joules=joules,
                     exclusive_joules={},
                     suspect=suspect,
+                    thread_id=thread_id,
+                    thread_name=thread_name,
+                    task_name=task_name,
+                    pid=pid,
                 )
             )
         return result

@@ -3,6 +3,11 @@
 *"The first column shows the method name with package and class name,
 the second column shows the execution time, and the third column shows
 the energy consumed."*
+
+Grown for concurrent profiles: ``by_context=True`` groups rows per
+execution context (thread / asyncio task / child process), and the
+render gains a Context column whenever the profile spans more than the
+default context.
 """
 
 from __future__ import annotations
@@ -14,13 +19,18 @@ from repro.profiler.records import ProfileResult
 
 @dataclass(frozen=True)
 class ReportRow:
-    """One aggregated view row."""
+    """One aggregated view row.
+
+    ``context`` is "" in whole-profile aggregations and an execution
+    context label ("main", "thread=…", "pid=…") when grouped.
+    """
 
     method: str
     execution_time_s: float
     energy_joules: float
     calls: int
     suspect_calls: int = 0
+    context: str = ""
 
 
 class ProfilerReport:
@@ -29,12 +39,16 @@ class ProfilerReport:
     def __init__(self, result: ProfileResult) -> None:
         self._result = result
 
-    def rows(self, per_execution: bool = False) -> list[ReportRow]:
+    def rows(
+        self, per_execution: bool = False, by_context: bool = False
+    ) -> list[ReportRow]:
         """View rows, energy-hungriest first.
 
         ``per_execution=True`` lists every execution separately (the
         paper stores per-execution measurements); the default aggregates
-        per method like the view screenshot.
+        per method like the view screenshot.  ``by_context=True`` keeps
+        one row per (method, execution context) pair so energy consumed
+        on different threads/tasks/processes stays distinguishable.
         """
         if per_execution:
             return [
@@ -44,6 +58,7 @@ class ProfilerReport:
                     energy_joules=r.package_joules,
                     calls=1,
                     suspect_calls=1 if r.suspect else 0,
+                    context=r.context_label if by_context else "",
                 )
                 for r in self._result
             ]
@@ -54,26 +69,59 @@ class ProfilerReport:
                 energy_joules=a.package_joules,
                 calls=a.calls,
                 suspect_calls=a.suspect_calls,
+                context=a.context,
             )
-            for a in self._result.aggregate()
+            for a in self._result.aggregate(by_context=by_context)
         ]
 
-    def render(self, limit: int | None = None, per_execution: bool = False) -> str:
+    def render(
+        self,
+        limit: int | None = None,
+        per_execution: bool = False,
+        by_context: bool | None = None,
+    ) -> str:
         """Fixed-width text table (Fig. 4 layout).
 
         Methods with impaired measurements are starred, and runs served
         by a degraded backend carry a banner line, so a human reading
-        the view knows which numbers to trust.
+        the view knows which numbers to trust.  ``by_context=None``
+        (default) shows the Context column automatically when the
+        profile spans more than one execution context.
         """
-        rows = self.rows(per_execution=per_execution)
+        if by_context is None:
+            by_context = len(self._result.contexts()) > 1
+        rows = self.rows(per_execution=per_execution, by_context=by_context)
         if limit is not None:
             rows = rows[:limit]
         from repro.views.tables import render_table
 
         any_suspect = any(row.suspect_calls for row in rows)
-        table = render_table(
-            headers=("Method", "Execution Time (s)", "Energy Consumed (J)", "Calls"),
-            rows=[
+        if by_context:
+            headers = (
+                "Method",
+                "Context",
+                "Execution Time (s)",
+                "Energy Consumed (J)",
+                "Calls",
+            )
+            table_rows = [
+                (
+                    row.method + (" *" if row.suspect_calls else ""),
+                    row.context or "main",
+                    f"{row.execution_time_s:.6f}",
+                    f"{row.energy_joules:.6f}",
+                    str(row.calls),
+                )
+                for row in rows
+            ]
+        else:
+            headers = (
+                "Method",
+                "Execution Time (s)",
+                "Energy Consumed (J)",
+                "Calls",
+            )
+            table_rows = [
                 (
                     row.method + (" *" if row.suspect_calls else ""),
                     f"{row.execution_time_s:.6f}",
@@ -81,7 +129,10 @@ class ProfilerReport:
                     str(row.calls),
                 )
                 for row in rows
-            ],
+            ]
+        table = render_table(
+            headers=headers,
+            rows=table_rows,
             title="JEPO profiler view (Fig. 4)",
         )
         notes = []
@@ -90,6 +141,12 @@ class ProfilerReport:
         if self._result.degraded:
             notes.append(
                 "DEGRADED RUN: some readings came from the fallback backend."
+            )
+        if self._result.dropped_events:
+            notes.append(
+                f"DROPPED: {self._result.dropped_events} event(s) from "
+                f"{self._result.dropped_threads} untraced thread(s) were "
+                "not recorded (profile with --follow-threads)."
             )
         if any_suspect:
             notes.append(

@@ -32,6 +32,23 @@ filter's metadata table (-1 for close events, which pair LIFO),
 ``ok`` is False when the backend read failed, and ``payload`` is either
 a raw counter tuple (backends with ``snapshot_raw``) or a full
 :class:`~repro.rapl.backends.EnergySnapshot`.
+
+Concurrent mode (``follow_threads=True``): instead of one buffer behind
+an owner-thread guard, each thread gets its own :class:`_ThreadState`
+with a flat append-only buffer, registered on that thread's first
+event — no locks on the hot path, because a buffer is only ever
+appended to by its own thread and only read after every hook is
+uninstalled.  Follow-mode events carry a fifth element, the index of
+the owning asyncio Task in the runtime's interned task table (-1
+outside any task).  :func:`materialize_concurrent` merges the per-
+thread buffers into one chronological sequence over the shared
+monotonic energy timeline and attributes each inter-reading slice to
+the thread that produced the later reading (under the GIL, energy
+between two consecutive event readings was overwhelmingly consumed by
+the thread that reached the second one).  When only the owner thread
+produced events, the replay degenerates *bit-exactly* to
+:func:`materialize`: the foreign-energy correction subtracts running
+sums that are float-identical, so every record equals the sync path's.
 """
 
 from __future__ import annotations
@@ -89,6 +106,7 @@ class CodeFilter:
         "memo",
         "metadata",
         "_pinned",
+        "_lock",
     )
 
     def __init__(
@@ -105,12 +123,23 @@ class CodeFilter:
         self.memo: dict[int, int] = {}
         self.metadata: list[tuple[str, str, int]] = []
         self._pinned: list[CodeType] = []
+        self._lock = threading.Lock()
 
     def classify(self, code: CodeType, globals_: dict) -> int:
-        """Memoize and return the verdict for one code object."""
-        index = self._decide(code, globals_)
-        self.memo[id(code)] = index
-        self._pinned.append(code)
+        """Memoize and return the verdict for one code object.
+
+        Serialized: with per-thread hooks two threads can miss the memo
+        for the same (or different) code objects concurrently, and the
+        metadata append + ``len()`` index computation must not
+        interleave.  Only this cold path locks — hooks consult the memo
+        directly first, so the steady state stays lock-free.
+        """
+        with self._lock:
+            index = self.memo.get(id(code))
+            if index is None:
+                index = self._decide(code, globals_)
+                self.memo[id(code)] = index
+                self._pinned.append(code)
         return index
 
     def _decide(self, code: CodeType, globals_: dict) -> int:
@@ -135,31 +164,144 @@ class CodeFilter:
         return len(self.metadata) - 1
 
 
+class _ThreadState:
+    """Per-thread deferred-event buffer (``follow_threads=True``).
+
+    Registered on the thread's first event and only ever mutated by that
+    thread, so the hot path stays lock-free.  ``opens`` is the open-call
+    pairing stack (frame ids under settrace, metadata indices under
+    monitoring — same discipline as the single-threaded hooks).
+
+    Keyed by the :class:`threading.Thread` *object* (pinned here), not
+    the OS ident: idents are recycled as soon as a thread exits, and a
+    pool that churns threads would otherwise conflate distinct threads
+    into one state.  ``is_owner`` is decided at registration — the
+    owner thread outlives the session, so its ident cannot have been
+    recycled onto another live thread.
+    """
+
+    __slots__ = (
+        "thread",
+        "ident",
+        "name",
+        "is_owner",
+        "buffer",
+        "opens",
+        "last_payload",
+        "events",
+    )
+
+    def __init__(self, thread: threading.Thread, is_owner: bool) -> None:
+        self.thread = thread
+        self.ident = thread.ident or 0
+        self.name = thread.name
+        self.is_owner = is_owner
+        self.buffer: list[tuple] = []
+        self.opens: list[int] = []
+        self.last_payload: object | None = None
+        self.events = 0
+
+
 class _RuntimeBase:
     """State shared by both hook implementations.
 
     ``snap`` is the backend reading callable (``snapshot_raw`` when the
     backend supports deferred conversion, ``snapshot`` otherwise); it is
     bound once so the hook pays no attribute lookup per event.
+
+    ``follow_threads`` switches from the guarded single-buffer hooks to
+    the per-thread-buffer hooks; ``current_task`` (when not None, e.g.
+    ``asyncio.current_task``) is called at every follow-mode OPEN to
+    attribute the span to the owning asyncio Task.
     """
 
     name = "?"
 
     def __init__(
-        self, code_filter: CodeFilter, snap: Callable[[], object], owner: int
+        self,
+        code_filter: CodeFilter,
+        snap: Callable[[], object],
+        owner: int,
+        follow_threads: bool = False,
+        current_task: Callable[[], object] | None = None,
     ) -> None:
         self._filter = code_filter
         self._snap = snap
         self._owner = owner
+        self._follow = follow_threads
+        self._current_task = current_task
         self.buffer: list[tuple] = []
         self.events = 0
         self._last_payload: object | None = None
+        # Per-thread buffers, keyed by id(Thread object) — see
+        # _ThreadState on why not the (recyclable) OS ident.
+        self._threads: dict[int, _ThreadState] = {}
+        # Interned asyncio Task table: names + strong refs so ids are
+        # stable for the session (same discipline as CodeFilter).
+        self.task_names: list[str] = []
+        self._task_memo: dict[int, int] = {}
+        self._task_pinned: list[object] = []
+        self._task_lock = threading.Lock()
+        # Cross-thread events discarded by the guarded (non-follow)
+        # hooks — satellite regression signal, surfaced on the result.
+        self.dropped_events = 0
+        self.dropped_thread_idents: set[int] = set()
 
     def install(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     def uninstall(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    # -- follow-mode helpers -------------------------------------------
+
+    def _register_thread(self, thread: threading.Thread) -> _ThreadState:
+        state = _ThreadState(thread, is_owner=thread.ident == self._owner)
+        self._threads[id(thread)] = state
+        return state
+
+    def _task_index(self) -> int:
+        """Intern the current asyncio Task; -1 outside any task/loop."""
+        try:
+            task = self._current_task()
+        except RuntimeError:
+            return -1
+        if task is None:
+            return -1
+        index = self._task_memo.get(id(task))
+        if index is None:
+            # Event loops on several threads can intern concurrently;
+            # only the first sight of a task pays the lock.
+            with self._task_lock:
+                index = self._task_memo.get(id(task))
+                if index is None:
+                    index = len(self.task_names)
+                    self.task_names.append(str(task.get_name()))
+                    self._task_pinned.append(task)
+                    self._task_memo[id(task)] = index
+        return index
+
+    def thread_states(self) -> list[_ThreadState]:
+        """Registered per-thread buffers, owner-registration order."""
+        return list(self._threads.values())
+
+    def event_count(self) -> int:
+        """Hook events delivered (all threads in follow mode)."""
+        if self._follow:
+            return sum(s.events for s in self._threads.values())
+        return self.events
+
+    def recorded_count(self) -> int:
+        """Buffered (recorded) events across every buffer."""
+        total = len(self.buffer)
+        for state in self._threads.values():
+            total += len(state.buffer)
+        return total
+
+    def clear_buffers(self) -> None:
+        self.buffer.clear()
+        for state in self._threads.values():
+            state.buffer.clear()
 
 
 class SetprofileRuntime(_RuntimeBase):
@@ -181,11 +323,33 @@ class SetprofileRuntime(_RuntimeBase):
     def install(self) -> None:
         self._frames: list[int] = []
         self._prior = sys.getprofile()
-        sys.setprofile(self._profile)
+        # threading.getprofile() (3.10+) lets us restore a hook some
+        # other tool arranged for future threads.
+        get_threading_profile = getattr(threading, "getprofile", None)
+        self._prior_threading = (
+            get_threading_profile() if get_threading_profile else None
+        )
+        if self._follow:
+            # ``sys.setprofile`` is per-thread: the owner gets the hook
+            # directly, threads started from now on inherit it via
+            # ``threading.setprofile``.  Threads already running before
+            # install are not reachable from here (documented limit).
+            self._register_thread(threading.current_thread())
+            threading.setprofile(self._profile_mt)
+            sys.setprofile(self._profile_mt)
+        else:
+            # Guarded mode never sees other threads' events (per-thread
+            # hook), so plant a counting stub in threads started during
+            # the session: the drop counter is the satellite regression
+            # signal for silently-vanishing concurrent energy.
+            threading.setprofile(self._count_dropped)
+            sys.setprofile(self._profile)
 
     def uninstall(self) -> None:
         sys.setprofile(self._prior)
+        threading.setprofile(self._prior_threading)
         self._prior = None
+        self._prior_threading = None
 
     def _profile(self, frame, event: str, arg) -> None:
         # Branch on the event *first*: ``c_call``/``c_return`` fire for
@@ -233,6 +397,68 @@ class SetprofileRuntime(_RuntimeBase):
                     self._last_payload = payload
                     self.buffer.append((OP_CLOSE, -1, True, payload))
 
+    def _count_dropped(self, frame, event: str, arg) -> None:
+        """Stub installed in non-owner threads when *not* following.
+
+        Counts what the guarded session is losing so the loss can be
+        surfaced instead of vanishing (events stay un-recorded).
+        """
+        if event == "call" or event == "return":
+            self.dropped_events += 1
+            self.dropped_thread_idents.add(threading.get_ident())
+
+    def _profile_mt(self, frame, event: str, arg) -> None:
+        """Follow-mode hook: same fast path, per-thread buffers.
+
+        Identical discipline to :meth:`_profile` except state lives in
+        the calling thread's :class:`_ThreadState` (registered on first
+        event) and OPEN events capture the owning asyncio Task.
+        """
+        if event == "call":
+            thread = threading.current_thread()
+            state = self._threads.get(id(thread))
+            if state is None:
+                state = self._register_thread(thread)
+            state.events += 1
+            code = frame.f_code
+            code_filter = self._filter
+            index = code_filter.memo.get(id(code))
+            if index is None:
+                index = code_filter.classify(code, frame.f_globals)
+            if index >= 0:
+                task = (
+                    self._task_index()
+                    if self._current_task is not None
+                    else -1
+                )
+                try:
+                    payload = self._snap()
+                except OSError:
+                    state.buffer.append(
+                        (OP_OPEN, index, False, state.last_payload, task)
+                    )
+                else:
+                    state.last_payload = payload
+                    state.buffer.append((OP_OPEN, index, True, payload, task))
+                state.opens.append(id(frame))
+        elif event == "return":
+            state = self._threads.get(id(threading.current_thread()))
+            if state is None:
+                return
+            state.events += 1
+            opens = state.opens
+            if opens and opens[-1] == id(frame):
+                opens.pop()
+                try:
+                    payload = self._snap()
+                except OSError:
+                    state.buffer.append(
+                        (OP_CLOSE, -1, False, state.last_payload, -1)
+                    )
+                else:
+                    state.last_payload = payload
+                    state.buffer.append((OP_CLOSE, -1, True, payload, -1))
+
 
 class MonitoringRuntime(_RuntimeBase):
     """PEP 669 ``sys.monitoring`` backend (Python ≥ 3.12).
@@ -276,14 +502,29 @@ class MonitoringRuntime(_RuntimeBase):
         self._disable = monitoring.DISABLE
         self._opens: list[int] = []
         events = monitoring.events
-        self._registered = (
-            (events.PY_START, self._on_start),
-            (events.PY_RESUME, self._on_start),
-            (events.PY_THROW, self._on_throw),
-            (events.PY_RETURN, self._on_return),
-            (events.PY_YIELD, self._on_return),
-            (events.PY_UNWIND, self._on_unwind),
-        )
+        if self._follow:
+            # ``sys.monitoring`` is interpreter-global, so the same
+            # callbacks already fire on every thread — following is
+            # just routing each event to its thread's buffer instead
+            # of dropping non-owner ones.
+            self._register_thread(threading.current_thread())
+            self._registered = (
+                (events.PY_START, self._mt_start),
+                (events.PY_RESUME, self._mt_start),
+                (events.PY_THROW, self._mt_throw),
+                (events.PY_RETURN, self._mt_return),
+                (events.PY_YIELD, self._mt_return),
+                (events.PY_UNWIND, self._mt_unwind),
+            )
+        else:
+            self._registered = (
+                (events.PY_START, self._on_start),
+                (events.PY_RESUME, self._on_start),
+                (events.PY_THROW, self._on_throw),
+                (events.PY_RETURN, self._on_return),
+                (events.PY_YIELD, self._on_return),
+                (events.PY_UNWIND, self._on_unwind),
+            )
         event_set = 0
         for event, callback in self._registered:
             monitoring.register_callback(self._tool_id, event, callback)
@@ -321,7 +562,10 @@ class MonitoringRuntime(_RuntimeBase):
 
     def _on_start(self, code: CodeType, offset: int):
         """PY_START / PY_RESUME: open a call (or mute the location)."""
-        if threading.get_ident() != self._owner:
+        ident = threading.get_ident()
+        if ident != self._owner:
+            self.dropped_events += 1
+            self.dropped_thread_idents.add(ident)
             return None
         self.events += 1
         index = self._filter.memo.get(id(code))
@@ -338,7 +582,10 @@ class MonitoringRuntime(_RuntimeBase):
 
         Not a local event, so never returns ``DISABLE``.
         """
-        if threading.get_ident() != self._owner:
+        ident = threading.get_ident()
+        if ident != self._owner:
+            self.dropped_events += 1
+            self.dropped_thread_idents.add(ident)
             return None
         self.events += 1
         index = self._classify(code)
@@ -349,7 +596,10 @@ class MonitoringRuntime(_RuntimeBase):
 
     def _on_return(self, code: CodeType, offset: int, retval):
         """PY_RETURN / PY_YIELD: close the matching open call."""
-        if threading.get_ident() != self._owner:
+        ident = threading.get_ident()
+        if ident != self._owner:
+            self.dropped_events += 1
+            self.dropped_thread_idents.add(ident)
             return None
         self.events += 1
         index = self._classify(code)
@@ -371,7 +621,10 @@ class MonitoringRuntime(_RuntimeBase):
 
         Not a local event, so never returns ``DISABLE``.
         """
-        if threading.get_ident() != self._owner:
+        ident = threading.get_ident()
+        if ident != self._owner:
+            self.dropped_events += 1
+            self.dropped_thread_idents.add(ident)
             return None
         self.events += 1
         index = self._classify(code)
@@ -380,6 +633,83 @@ class MonitoringRuntime(_RuntimeBase):
             if opens and opens[-1] == index:
                 opens.pop()
                 self._record(OP_CLOSE, -1)
+        return None
+
+    # -- follow-mode callbacks (per-thread buffers) --------------------
+
+    def _state(self) -> _ThreadState:
+        thread = threading.current_thread()
+        state = self._threads.get(id(thread))
+        if state is None:
+            state = self._register_thread(thread)
+        return state
+
+    def _record_mt(
+        self, state: _ThreadState, op: int, index: int, task: int
+    ) -> None:
+        try:
+            payload = self._snap()
+        except OSError:
+            state.buffer.append((op, index, False, state.last_payload, task))
+        else:
+            state.last_payload = payload
+            state.buffer.append((op, index, True, payload, task))
+
+    def _mt_start(self, code: CodeType, offset: int):
+        """PY_START / PY_RESUME on any thread: open in its buffer.
+
+        Task identity is captured here — i.e. at *resume* for
+        coroutines — so a span always bills to the Task actually
+        driving it, and suspended coroutines bill nothing.
+        """
+        state = self._state()
+        state.events += 1
+        index = self._filter.memo.get(id(code))
+        if index is None:
+            index = self._filter.classify(code, sys._getframe(1).f_globals)
+        if index < 0:
+            return self._disable
+        task = self._task_index() if self._current_task is not None else -1
+        self._record_mt(state, OP_OPEN, index, task)
+        state.opens.append(index)
+        return None
+
+    def _mt_throw(self, code: CodeType, offset: int, exc):
+        """PY_THROW on any thread (never a local event → no DISABLE)."""
+        state = self._state()
+        state.events += 1
+        index = self._classify(code)
+        if index >= 0:
+            task = (
+                self._task_index() if self._current_task is not None else -1
+            )
+            self._record_mt(state, OP_OPEN, index, task)
+            state.opens.append(index)
+        return None
+
+    def _mt_return(self, code: CodeType, offset: int, retval):
+        """PY_RETURN / PY_YIELD on any thread: close in its buffer."""
+        state = self._state()
+        state.events += 1
+        index = self._classify(code)
+        if index < 0:
+            return self._disable
+        opens = state.opens
+        if opens and opens[-1] == index:
+            opens.pop()
+            self._record_mt(state, OP_CLOSE, -1, -1)
+        return None
+
+    def _mt_unwind(self, code: CodeType, offset: int, exc):
+        """PY_UNWIND on any thread (never a local event → no DISABLE)."""
+        state = self._state()
+        state.events += 1
+        index = self._classify(code)
+        if index >= 0:
+            opens = state.opens
+            if opens and opens[-1] == index:
+                opens.pop()
+                self._record_mt(state, OP_CLOSE, -1, -1)
         return None
 
 
@@ -481,6 +811,228 @@ def materialize(
     while stack:
         close(stack.pop(), final_snapshot, final_ok)
     return records
+
+
+def _payload_wall(payload: object, fallback: float) -> float:
+    """Wall-clock ordering key of a deferred payload.
+
+    Raw payloads are flat tuples starting with the wall reading; full
+    payloads are :class:`EnergySnapshot`.  ``None`` (a read failed
+    before any succeeded) sorts at the thread's last known position.
+    """
+    if payload is None:
+        return fallback
+    if type(payload) is tuple:
+        return payload[0]
+    return payload.wall_seconds
+
+
+@dataclass
+class ConcurrentReplay:
+    """Output of :func:`materialize_concurrent`.
+
+    ``timeline_joules`` is the per-domain energy observed on the shared
+    backend timeline between the first and last reading of the session;
+    ``unattributed_joules`` is the slice attributed to a thread while it
+    had no traced call open.  Conservation invariant (modulo float
+    rounding and clamped faults): per-record exclusive energy summed
+    over all records, plus unattributed, equals the timeline.
+    """
+
+    records: list[MethodRecord]
+    timeline_joules: dict
+    unattributed_joules: dict
+    timeline_cpu_seconds: float
+
+
+def materialize_concurrent(
+    states: Sequence[_ThreadState],
+    final_payload: object | None,
+    final_ok: bool,
+    metadata: Sequence[tuple[str, str, int]],
+    to_snapshots: Callable[[list], list[EnergySnapshot]],
+    counts: dict[str, int],
+    task_names: Sequence[str],
+) -> ConcurrentReplay:
+    """Merge per-thread buffers into records over one shared timeline.
+
+    The backend exposes a single monotonic cumulative energy counter,
+    so concurrent threads' readings interleave on one timeline.  The
+    replay:
+
+    1. merges every thread's buffer into global chronological order
+       (stable, so a single thread's events keep their exact order);
+    2. converts payloads in that order (raw wrap handling is
+       order-sensitive);
+    3. attributes the energy gap between consecutive readings to the
+       thread that produced the *later* reading — under the GIL that
+       thread overwhelmingly consumed the slice — accumulating global
+       and per-thread running sums;
+    4. computes each call's inclusive energy as its cumulative delta
+       minus the *foreign* energy other threads consumed inside the
+       interval: ``foreign = Δtotal − Δown``.
+
+    When only one thread produced events, ``Δtotal`` and ``Δown`` are
+    built from float-identical sequences, the foreign term is exactly
+    ``0.0``, and every record comes out bit-exact against
+    :func:`materialize` — the sync path's behaviour is preserved, not
+    approximated.
+    """
+    # 1. Global chronological merge (stable: wall, then arrival seq).
+    tagged: list[tuple[float, int, _ThreadState, tuple]] = []
+    seq = 0
+    for state in states:
+        last_wall = 0.0
+        for event in state.buffer:
+            last_wall = _payload_wall(event[3], last_wall)
+            tagged.append((last_wall, seq, state, event))
+            seq += 1
+    tagged.sort(key=lambda item: (item[0], item[1]))
+
+    # 2. Payload conversion in chronological order.
+    snapshots = to_snapshots([item[3][3] for item in tagged] + [final_payload])
+    final_snapshot = snapshots.pop()
+
+    records: list[MethodRecord] = []
+    # 3. Slice-attribution accumulators.  ``total_*`` and each thread's
+    # ``own_*`` see identical float additions when one thread runs, so
+    # their differences cancel exactly (bit-exact sync parity).  Keyed
+    # by id(state): distinct states can share a recycled OS ident.
+    total_joules: dict = {}
+    total_cpu = 0.0
+    own_joules: dict[int, dict] = {id(s): {} for s in states}
+    own_cpu: dict[int, float] = {id(s): 0.0 for s in states}
+    # Open-call stacks per thread: [meta_index, snapshot, ok, children,
+    # task, total_joules/own_joules/total_cpu/own_cpu at open].
+    stacks: dict[int, list[list]] = {id(s): [] for s in states}
+    unattributed: dict = {}
+
+    def attribute_gap(
+        prev: EnergySnapshot, cur: EnergySnapshot, state: _ThreadState
+    ) -> None:
+        nonlocal total_cpu
+        ident = id(state)
+        mine = own_joules[ident]
+        idle = not stacks[ident]
+        for dom, value in cur.joules.items():
+            gap = value - prev.joules.get(dom, 0.0)
+            if gap < 0.0:  # counter wrap survived conversion: drop it
+                gap = 0.0
+            total_joules[dom] = total_joules.get(dom, 0.0) + gap
+            mine[dom] = mine.get(dom, 0.0) + gap
+            if idle:
+                unattributed[dom] = unattributed.get(dom, 0.0) + gap
+        cpu_gap = cur.cpu_seconds - prev.cpu_seconds
+        if cpu_gap < 0.0:
+            cpu_gap = 0.0
+        total_cpu += cpu_gap
+        own_cpu[ident] += cpu_gap
+
+    def close(
+        entry: list, end: EnergySnapshot, end_ok: bool, state: _ThreadState
+    ) -> None:
+        index, start, start_ok, children, task = entry[:5]
+        open_total, open_own, open_total_cpu, open_own_cpu = entry[5:]
+        ident = id(state)
+        delta = end.delta(start)
+        mine = own_joules[ident]
+        inclusive = {}
+        for dom, value in delta.joules.items():
+            foreign = (
+                total_joules.get(dom, 0.0) - open_total.get(dom, 0.0)
+            ) - (mine.get(dom, 0.0) - open_own.get(dom, 0.0))
+            if foreign:
+                value = value - foreign
+                if value < 0.0:
+                    value = 0.0
+            inclusive[dom] = value
+        cpu_foreign = (total_cpu - open_total_cpu) - (
+            own_cpu[ident] - open_own_cpu
+        )
+        cpu = delta.cpu_seconds
+        if cpu_foreign:
+            cpu = cpu - cpu_foreign
+            if cpu < 0.0:
+                cpu = 0.0
+        exclusive = {
+            dom: inclusive.get(dom, 0.0) - children.get(dom, 0.0)
+            for dom in inclusive
+        }
+        method, filename, lineno = metadata[index]
+        call_index = counts.get(method, 0)
+        counts[method] = call_index + 1
+        records.append(
+            MethodRecord(
+                method=method,
+                filename=filename,
+                lineno=lineno,
+                call_index=call_index,
+                wall_seconds=delta.wall_seconds,
+                cpu_seconds=cpu,
+                joules=inclusive,
+                exclusive_joules=exclusive,
+                suspect=not start_ok or not end_ok or delta.suspect,
+                thread_id=0 if state.is_owner else state.ident,
+                thread_name="" if state.is_owner else state.name,
+                task_name=task_names[task] if task >= 0 else "",
+            )
+        )
+        stack = stacks[ident]
+        if stack:
+            parent_children = stack[-1][3]
+            for dom, joules in inclusive.items():
+                parent_children[dom] = parent_children.get(dom, 0.0) + joules
+
+    prev_snapshot: EnergySnapshot | None = None
+    prev_ok = True
+    for position, (_wall, _seq, state, event) in enumerate(tagged):
+        snapshot = snapshots[position]
+        op, index, ok = event[0], event[1], event[2]
+        task = event[4] if len(event) > 4 else -1
+        if prev_snapshot is not None and ok and prev_ok:
+            attribute_gap(prev_snapshot, snapshot, state)
+        if ok:
+            prev_snapshot, prev_ok = snapshot, True
+        else:
+            prev_ok = False
+        if op == OP_OPEN:
+            stacks[id(state)].append(
+                [
+                    index,
+                    snapshot,
+                    ok,
+                    {},
+                    task,
+                    dict(total_joules),
+                    dict(own_joules[id(state)]),
+                    total_cpu,
+                    own_cpu[id(state)],
+                ]
+            )
+        else:
+            stack = stacks[id(state)]
+            if stack:
+                close(stack.pop(), snapshot, ok, state)
+
+    # The tail slice up to the tracer's final reading ran on the owner
+    # thread (it called stop()).
+    owner_state = next((s for s in states if s.is_owner), None)
+    if prev_snapshot is not None and prev_ok and final_ok and owner_state:
+        attribute_gap(prev_snapshot, final_snapshot, owner_state)
+
+    # Calls still open when tracing stopped close against the final
+    # reading — owner first (registration order), innermost first.
+    for state in states:
+        stack = stacks[id(state)]
+        while stack:
+            close(stack.pop(), final_snapshot, final_ok, state)
+
+    return ConcurrentReplay(
+        records=records,
+        timeline_joules=total_joules,
+        unattributed_joules=unattributed,
+        timeline_cpu_seconds=total_cpu,
+    )
 
 
 def snapshot_converter(

@@ -72,6 +72,9 @@ class ProfilerSession:
         project_dir: str | Path,
         main: str | Path | None = None,
         write_result: bool = True,
+        follow_threads: bool = False,
+        follow_tasks: bool = False,
+        follow_subprocesses: bool = False,
     ) -> ProfileResult:
         """Instrument and run a project's entry point.
 
@@ -79,6 +82,11 @@ class ProfilerSession:
         run it; if several and ``main`` is not given, raise
         :class:`AmbiguousMainError` so the caller can ask the user.
         ``result.txt`` is written into the project directory.
+
+        With any ``follow_*`` flag the project runs under the
+        concurrency-aware :class:`EnergyTracer` (scoped to the project
+        directory) instead of the probe instrumenter, so threads,
+        asyncio tasks and child processes get per-context attribution.
         """
         project_dir = Path(project_dir)
         if main is None:
@@ -94,24 +102,59 @@ class ProfilerSession:
             main_path = Path(main)
             if not main_path.is_absolute():
                 main_path = project_dir / main_path
-        instrumenter = SourceInstrumenter(self.backend)
-        result = self._stamp_provenance(
-            instrumenter.run_path(main_path, module_name="__main__")
-        )
+        if follow_threads or follow_tasks or follow_subprocesses:
+            result = self._run_traced(
+                main_path,
+                project_dir,
+                follow_threads=follow_threads,
+                follow_tasks=follow_tasks,
+                follow_subprocesses=follow_subprocesses,
+            )
+        else:
+            instrumenter = SourceInstrumenter(self.backend)
+            result = self._stamp_provenance(
+                instrumenter.run_path(main_path, module_name="__main__")
+            )
         if write_result:
             result.write_result_txt(project_dir / "result.txt")
         return result
 
+    def _run_traced(
+        self,
+        main_path: Path,
+        project_dir: Path,
+        follow_threads: bool,
+        follow_tasks: bool,
+        follow_subprocesses: bool,
+    ) -> ProfileResult:
+        """Run the entry point under the concurrency-aware tracer."""
+        import runpy
+
+        tracer = EnergyTracer(
+            self.backend,
+            include=[str(project_dir.resolve())],
+            follow_threads=follow_threads,
+            follow_tasks=follow_tasks,
+            follow_subprocesses=follow_subprocesses,
+        )
+        with tracer:
+            # Resolve so the code objects' co_filename is absolute and
+            # matches the (absolute) include prefix above.
+            runpy.run_path(str(main_path.resolve()), run_name="__main__")
+        return self._stamp_provenance(tracer.result)
+
     def profile_callable(
-        self, fn: Callable[[], object], runtime: str = "auto"
+        self, fn: Callable[[], object], runtime: str = "auto", **follow: bool
     ) -> ProfileResult:
         """Trace one callable with the interpreter-level tracer.
 
         ``runtime`` selects the hook implementation: ``"auto"``
         (default) prefers ``sys.monitoring`` on Python ≥ 3.12,
-        ``"monitoring"``/``"settrace"`` force one.
+        ``"monitoring"``/``"settrace"`` force one.  ``follow_threads``/
+        ``follow_tasks``/``follow_subprocesses`` pass through to
+        :class:`EnergyTracer`.
         """
-        tracer = EnergyTracer(self.backend, runtime=runtime)
+        tracer = EnergyTracer(self.backend, runtime=runtime, **follow)
         with tracer:
             fn()
         return self._stamp_provenance(tracer.result)

@@ -58,6 +58,7 @@ from __future__ import annotations
 import sys
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from types import FrameType
@@ -68,6 +69,7 @@ from repro.profiler.runtime import (
     CodeFilter,
     OverheadEstimate,
     materialize,
+    materialize_concurrent,
     resolve_runtime,
     snapshot_converter,
 )
@@ -169,6 +171,26 @@ class EnergyTracer:
         per-event cost from a calibrated empty-workload loop times the
         events this run delivered, converted to joules at the run's
         mean package power.
+    follow_threads:
+        When True, events from *every* thread are recorded into
+        per-thread buffers and merged over the shared energy timeline
+        at :meth:`stop` (records carry ``thread_id``/``thread_name``).
+        When False (default), only the starting thread is traced and
+        cross-thread events are counted as dropped (a warning surfaces
+        the loss).  Under the ``settrace`` runtime only threads started
+        after :meth:`start` can be followed (``sys.setprofile`` is
+        per-thread); ``monitoring`` follows all threads.
+    follow_tasks:
+        When True, every recorded span is attributed to the asyncio
+        Task that was running when it opened (``task_name`` on the
+        record).  Task identity is captured at resume, so suspended
+        coroutines bill nothing.  Implies ``follow_threads``.
+    follow_subprocesses:
+        When True, child processes spawned while tracing (and importing
+        :mod:`repro`, e.g. multiprocessing workers running
+        :func:`repro.profiler.subproc.maybe_bootstrap`) profile
+        themselves and ship their records back; :meth:`stop` merges
+        them with ``pid`` provenance.
 
     Use as a context manager::
 
@@ -187,6 +209,9 @@ class EnergyTracer:
         trace_comprehensions: bool = False,
         runtime: str = "auto",
         estimate_overhead: bool = True,
+        follow_threads: bool = False,
+        follow_tasks: bool = False,
+        follow_subprocesses: bool = False,
     ) -> None:
         self.backend = backend or default_backend()
         self._filter = CodeFilter(
@@ -197,6 +222,17 @@ class EnergyTracer:
         )
         self._runtime_classes = resolve_runtime(runtime)
         self._estimate_overhead = estimate_overhead
+        self._follow_threads = follow_threads or follow_tasks
+        self._follow_subprocesses = follow_subprocesses
+        self._include = tuple(include)
+        if follow_tasks:
+            import asyncio
+
+            self._current_task: Callable[[], object] | None = (
+                asyncio.current_task
+            )
+        else:
+            self._current_task = None
         snap_raw = getattr(self.backend, "snapshot_raw", None)
         self._raw_mode = callable(snap_raw)
         self._snap = snap_raw if self._raw_mode else self.backend.snapshot
@@ -204,6 +240,10 @@ class EnergyTracer:
         self._counts: dict[str, int] = {}
         self._impl = None
         self._active = False
+        self._subproc_capture = None
+        # Satellite: start()/stop() from a thread other than the
+        # creating one would corrupt the open-call stack — refuse.
+        self._created_ident = threading.get_ident()
         #: Name of the hook implementation actually installed
         #: (``"monitoring"`` or ``"settrace"``); None before start().
         self.runtime_used: str | None = None
@@ -214,9 +254,26 @@ class EnergyTracer:
         if self._active:
             raise RuntimeError("tracer is already active")
         owner = threading.get_ident()
+        if owner != self._created_ident:
+            raise RuntimeError(
+                f"EnergyTracer.start() called from thread {owner}, but the "
+                f"tracer was created in thread {self._created_ident}; "
+                "create, start and stop a tracer from the same thread"
+            )
+        if self._follow_subprocesses:
+            from repro.profiler.subproc import SubprocessCapture
+
+            self._subproc_capture = SubprocessCapture(include=self._include)
+            self._subproc_capture.activate()
         errors = []
         for runtime_class in self._runtime_classes:
-            impl = runtime_class(self._filter, self._snap, owner)
+            impl = runtime_class(
+                self._filter,
+                self._snap,
+                owner,
+                follow_threads=self._follow_threads,
+                current_task=self._current_task,
+            )
             try:
                 impl.install()
             except RuntimeError as error:
@@ -227,6 +284,9 @@ class EnergyTracer:
             self._impl = impl
             break
         else:
+            if self._subproc_capture is not None:
+                self._subproc_capture.deactivate()
+                self._subproc_capture = None
             raise RuntimeError(
                 "no profiling runtime could be installed: "
                 + "; ".join(str(e) for e in errors)
@@ -237,6 +297,13 @@ class EnergyTracer:
     def stop(self) -> None:
         if not self._active:
             return
+        current = threading.get_ident()
+        if current != self._created_ident:
+            raise RuntimeError(
+                f"EnergyTracer.stop() called from thread {current}, but the "
+                f"tracer was started in thread {self._created_ident}; "
+                "create, start and stop a tracer from the same thread"
+            )
         impl = self._impl
         impl.uninstall()
         self._active = False
@@ -248,20 +315,56 @@ class EnergyTracer:
         except OSError:
             final_payload = impl._last_payload
             final_ok = False
-        records = materialize(
-            impl.buffer,
-            final_payload,
-            final_ok,
-            self._filter.metadata,
-            snapshot_converter(self.backend, self._raw_mode),
-            self._counts,
-        )
+        converter = snapshot_converter(self.backend, self._raw_mode)
+        if self._follow_threads:
+            replay = materialize_concurrent(
+                impl.thread_states(),
+                final_payload,
+                final_ok,
+                self._filter.metadata,
+                converter,
+                self._counts,
+                impl.task_names,
+            )
+            records = replay.records
+            for dom, value in replay.timeline_joules.items():
+                self.result.timeline_joules[dom] = (
+                    self.result.timeline_joules.get(dom, 0.0) + value
+                )
+            for dom, value in replay.unattributed_joules.items():
+                self.result.unattributed_joules[dom] = (
+                    self.result.unattributed_joules.get(dom, 0.0) + value
+                )
+        else:
+            records = materialize(
+                impl.buffer,
+                final_payload,
+                final_ok,
+                self._filter.metadata,
+                converter,
+                self._counts,
+            )
         self.result.extend(records)
+        if impl.dropped_events:
+            self.result.dropped_events += impl.dropped_events
+            self.result.dropped_threads += len(impl.dropped_thread_idents)
+            warnings.warn(
+                f"{impl.dropped_events} profiling event(s) from "
+                f"{len(impl.dropped_thread_idents)} untraced thread(s) "
+                "dropped; pass follow_threads=True (pepo profile "
+                "--follow-threads) to attribute concurrent energy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if self._estimate_overhead:
             self.result.overhead = self._overhead_estimate(
-                impl.events, len(impl.buffer), records
+                impl.event_count(), impl.recorded_count(), records
             )
-        impl.buffer = []
+        impl.clear_buffers()
+        if self._subproc_capture is not None:
+            for pid, child_result in self._subproc_capture.collect():
+                self.result.merge(child_result, pid=pid)
+            self._subproc_capture = None
         if getattr(self.backend, "degraded", False):
             self.result.degraded = True
 

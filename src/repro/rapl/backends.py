@@ -394,6 +394,13 @@ class LiveBackend:
     Raises :class:`RuntimeError` at construction when the host exposes
     no readable intel-rapl zones — callers should then fall back to the
     simulated backend (see :func:`default_backend`).
+
+    Snapshots are serialized by a lock: the concurrency-aware profiler
+    takes readings from several threads against one shared monotonic
+    timeline, and an interleaved (clock, counters...) read could order
+    wall times one way and counter values the other, manufacturing a
+    negative delta.  The lock makes every reading internally consistent
+    and totally ordered.
     """
 
     def __init__(self, root: Path = _POWERCAP_ROOT) -> None:
@@ -426,6 +433,7 @@ class LiveBackend:
                 f"{os.fspath(root)}; use SimulatedBackend"
             )
         self._clock = RealClock()
+        self._lock = threading.Lock()
 
     def read_raw(self, domain: Domain) -> int:
         """Microjoule counter folded to the 32-bit raw-unit space."""
@@ -439,12 +447,13 @@ class LiveBackend:
         return int(path.read_text().strip()) / 1e6
 
     def snapshot(self) -> EnergySnapshot:
-        wall, cpu = self._clock.now()
-        return EnergySnapshot(
-            joules={dom: self._read_joules(dom) for dom in Domain},
-            wall_seconds=wall,
-            cpu_seconds=cpu,
-        )
+        with self._lock:
+            wall, cpu = self._clock.now()
+            return EnergySnapshot(
+                joules={dom: self._read_joules(dom) for dom in Domain},
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+            )
 
     # -- deferred-conversion fast path ---------------------------------
 
@@ -460,12 +469,13 @@ class LiveBackend:
         :meth:`snapshot`; both happen in :meth:`materialize_raw` after
         tracing stops.
         """
-        wall, cpu = self._clock.now()
-        return (
-            wall,
-            cpu,
-            *(int(path.read_text()) for path in self._zones.values()),
-        )
+        with self._lock:
+            wall, cpu = self._clock.now()
+            return (
+                wall,
+                cpu,
+                *(int(path.read_text()) for path in self._zones.values()),
+            )
 
     def materialize_raw(
         self, readings: Sequence[RawReading]

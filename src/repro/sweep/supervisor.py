@@ -135,6 +135,12 @@ class SweepOptions:
     poll_seconds:
         Supervisor wake-up interval (watchdog + interrupt check
         granularity).
+    self_profile:
+        When True, the sweep engine profiles its own execution: worker
+        processes bootstrap a thread/task-following tracer (via the
+        ``PEPO_TRACE`` env hook) and ship their records back, and
+        serial sweeps trace in-process.  The merged profile lands on
+        ``SweepEngine.last_profile``.
     """
 
     timeout_seconds: float | None = None
@@ -144,6 +150,7 @@ class SweepOptions:
     faults: SweepFaultPlan | None = None
     policy: ResiliencePolicy = DEFAULT_SWEEP_POLICY
     poll_seconds: float = 0.05
+    self_profile: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -323,6 +330,11 @@ def _worker_init(job: "SweepJob", faults: SweepFaultPlan | None = None) -> None:
     _WORKER_JOB = job
     _WORKER_PROCESSOR = job.build()
     _WORKER_FAULTS = faults
+    # Self-profiling hook: a no-op unless the parent armed PEPO_TRACE
+    # (SweepOptions.self_profile); never allowed to break a worker.
+    from repro.profiler.subproc import maybe_bootstrap
+
+    maybe_bootstrap()
 
 
 def _worker_run(item: tuple[str, str]) -> dict:

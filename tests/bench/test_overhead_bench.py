@@ -3,6 +3,8 @@
 import json
 
 from repro.bench.overhead import (
+    CONCURRENT_NOISE_FLOOR_S,
+    CONCURRENT_WORKLOADS,
     CONFIGS,
     OverheadBenchResult,
     render_overhead_bench,
@@ -19,12 +21,17 @@ def tiny_run() -> OverheadBenchResult:
 class TestOverheadBench:
     def test_measures_every_workload_and_config(self):
         result = tiny_run()
-        expected = {"legacy", "settrace"} | (
+        new_configs = {"settrace"} | (
             {"monitoring"} if MonitoringRuntime.available() else set()
         )
-        assert set(result.overhead_per_call) == {"bytecode", "c_call"}
-        for configs in result.overhead_per_call.values():
-            assert set(configs) == expected
+        expected = {"legacy"} | new_configs
+        assert set(result.overhead_per_call) == {"bytecode", "c_call"} | set(
+            CONCURRENT_WORKLOADS
+        )
+        for workload, configs in result.overhead_per_call.items():
+            assert set(configs) == (
+                new_configs if workload in CONCURRENT_WORKLOADS else expected
+            )
             assert all(cost >= 0.0 for cost in configs.values())
 
     def test_new_runtime_matches_interpreter(self):
@@ -67,6 +74,35 @@ class TestOverheadBench:
             new_runtime="settrace",
         )
         assert not result.meets_target()
+
+    def test_concurrent_budget_gates_threaded_only(self):
+        def make(threaded: float, async_cost: float) -> OverheadBenchResult:
+            return OverheadBenchResult(
+                python="3.x",
+                calls=100,
+                repeats=1,
+                baseline_s={},
+                overhead_per_call={
+                    "bytecode_followed": {"settrace": 1e-6},
+                    "threaded": {"settrace": threaded},
+                    "asyncio": {"settrace": async_cost},
+                },
+                new_runtime="settrace",
+            )
+
+        limit = make(0.0, 0.0).concurrent_limit_s()
+        assert limit == 2e-6 + CONCURRENT_NOISE_FLOOR_S
+        # Threaded within budget passes even with a huge asyncio figure
+        # (asyncio is informational, not gated).
+        assert make(limit, 100e-6).meets_target()
+        # Threaded over budget fails.
+        assert not make(limit * 1.5, 0.0).meets_target()
+
+    def test_concurrent_workloads_have_no_legacy_speedup(self):
+        result = tiny_run()
+        speedups = result.speedups()
+        for workload in CONCURRENT_WORKLOADS:
+            assert workload not in speedups
 
     def test_json_output_is_valid_and_finite(self, tmp_path):
         result = tiny_run()

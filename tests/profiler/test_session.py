@@ -1,5 +1,7 @@
 """Tests for the profiler session and the Fig. 4 report."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.profiler.records import MethodRecord, ProfileResult
@@ -49,6 +51,20 @@ class TestProfileProject:
         (tmp_path / "lib.py").write_text("def helper():\n    pass\n")
         with pytest.raises(FileNotFoundError):
             make_session().profile_project(tmp_path)
+
+    def test_follow_mode_traces_relative_project_dir(self, tmp_path, monkeypatch):
+        # The include filter uses absolute prefixes; the entry point must
+        # be resolved before runpy so co_filename matches even when the
+        # caller hands us a relative project path.
+        (tmp_path / "app.py").write_text(
+            "def work():\n    return sum(range(5000))\n"
+            "if __name__ == '__main__':\n    work()\n"
+        )
+        monkeypatch.chdir(tmp_path.parent)
+        result = make_session().profile_project(
+            Path(tmp_path.name), follow_threads=True, write_result=False
+        )
+        assert len(result.executions_of("__main__.work")) == 1
 
     def test_write_result_can_be_disabled(self, tmp_path):
         (tmp_path / "app.py").write_text(

@@ -1,0 +1,75 @@
+"""Sweep self-profiling (``SweepOptions.self_profile``): the engine
+profiles its own execution — in-process with a follow-mode tracer when
+serial, via the ``PEPO_TRACE`` subprocess capture when parallel — and
+surfaces the result as ``last_profile`` on the engine, the analyzer,
+the optimizer facade, and the CLI (stderr report)."""
+
+from repro.analyzer import Analyzer
+from repro.sweep import SweepOptions
+
+CLEAN = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+
+def _project(tmp_path, files=4):
+    for i in range(files):
+        (tmp_path / f"mod_{i}.py").write_text(CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+class TestSelfProfile:
+    def test_serial_sweep_profiles_itself(self, tmp_path):
+        project = _project(tmp_path)
+        analyzer = Analyzer()
+        analyzer.analyze_project(
+            project, jobs=1, options=SweepOptions(self_profile=True)
+        )
+        profile = analyzer.last_profile
+        assert profile is not None and len(profile) > 0
+        # The records are pepo's own methods, not the swept corpus.
+        assert any("repro." in r.method for r in profile)
+
+    def test_parallel_sweep_captures_workers(self, tmp_path):
+        project = _project(tmp_path, files=6)
+        analyzer = Analyzer()
+        analyzer.analyze_project(
+            project, jobs=2, options=SweepOptions(self_profile=True)
+        )
+        profile = analyzer.last_profile
+        assert profile is not None and len(profile) > 0
+        # Worker records come back pid-stamped from the pool.
+        pids = {r.pid for r in profile}
+        assert pids - {0}, f"no worker-process records (pids: {pids})"
+
+    def test_off_by_default(self, tmp_path):
+        project = _project(tmp_path)
+        analyzer = Analyzer()
+        analyzer.analyze_project(project, jobs=1, options=SweepOptions())
+        assert analyzer.last_profile is None
+
+    def test_optimizer_facade_exposes_profile(self, tmp_path):
+        from repro.core.pepo import PEPO
+
+        project = _project(tmp_path)
+        pepo = PEPO()
+        pepo.optimize_project(
+            project, jobs=1, options=SweepOptions(self_profile=True)
+        )
+        profile = pepo.last_profile
+        assert profile is not None and len(profile) > 0
+
+    def test_cli_reports_profile_to_stderr(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        project = _project(tmp_path)
+        code = main(["suggest", str(project), "--self-profile"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sweep self-profile" in captured.err
+        # The report itself never lands on stdout (JSON/SARIF safety).
+        assert "sweep self-profile" not in captured.out
