@@ -18,7 +18,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "overhead", "chaos", "all"],
+                 "overhead", "chaos", "ingest", "all"],
     )
     parser.add_argument(
         "--full",
@@ -68,7 +68,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="overhead: small call count / few repeats (CI smoke run)",
+        help="overhead/ingest: small call count / few repeats "
+        "(CI smoke run)",
+    )
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=1_000_000,
+        help="ingest: synthetic record count (default 1M; --quick uses "
+        "150k regardless)",
     )
     args = parser.parse_args(argv)
 
@@ -142,6 +150,24 @@ def main(argv: list[str] | None = None) -> int:
             print(render_overhead_bench(result))
             output = write_overhead_bench(
                 result, args.output or OVERHEAD_OUTPUT
+            )
+            print(f"wrote {output}")
+            if args.check and not result.meets_target():
+                return 1
+        elif target == "ingest":
+            from repro.bench.ingest import (
+                DEFAULT_OUTPUT as INGEST_OUTPUT,
+                render_ingest_bench,
+                run_ingest_bench,
+                write_ingest_bench,
+            )
+
+            result = run_ingest_bench(
+                records=args.records, quick=args.quick
+            )
+            print(render_ingest_bench(result))
+            output = write_ingest_bench(
+                result, args.output or INGEST_OUTPUT
             )
             print(f"wrote {output}")
             if args.check and not result.meets_target():

@@ -16,6 +16,20 @@ from pathlib import Path
 
 from repro.core import PEPO
 
+#: Default run-store location, co-located with the sweep cache so
+#: ``pepo cache stats`` reports both from one root.
+_STORE_DEFAULT = Path(".pepo_cache/store")
+
+
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=_STORE_DEFAULT,
+        metavar="DIR",
+        help=f"run-store directory (default: {_STORE_DEFAULT})",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -176,6 +190,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture child processes spawned while profiling and merge "
         "their profiles back, pid-stamped",
     )
+    profile.add_argument(
+        "--store",
+        type=Path,
+        nargs="?",
+        const=_STORE_DEFAULT,
+        default=None,
+        metavar="DIR",
+        help="also ingest the profile into the columnar run store "
+        f"(default location: {_STORE_DEFAULT})",
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="fold result.txt files / spool directories into the "
+        "columnar run store",
+    )
+    ingest.add_argument(
+        "paths",
+        type=Path,
+        nargs="+",
+        help="result.txt files, or directories searched recursively for "
+        "result.txt and spool-style *.result.txt files",
+    )
+    _add_store_option(ingest)
+
+    store = sub.add_parser(
+        "store", help="inspect the columnar run store"
+    )
+    store.add_argument("action", choices=["stats", "runs"])
+    _add_store_option(store)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a static HTML analytics dashboard from the run store",
+    )
+    dashboard.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        required=True,
+        help="output HTML file (self-contained, no external assets)",
+    )
+    dashboard.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many hot methods to chart (default: 10)",
+    )
+    _add_store_option(dashboard)
 
     compare = sub.add_parser(
         "compare",
@@ -201,7 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "overhead", "chaos", "all"],
+                 "overhead", "chaos", "ingest", "all"],
     )
     bench.add_argument(
         "--jobs",
@@ -618,6 +681,76 @@ def _cmd_profile(args: argparse.Namespace, out) -> int:
             file=out,
         )
     print(f"result.txt written to {Path(args.path) / 'result.txt'}", file=out)
+    if args.store is not None:
+        info = _open_store(args.store).ingest_result(
+            result, label=Path(args.path).name, source=str(args.path)
+        )
+        print(
+            f"ingested into run store as run {info.run_id} "
+            f"({info.rows} row(s))",
+            file=out,
+        )
+    return 0
+
+
+def _open_store(path: Path):
+    """Import gate for the numpy-only store; ImportError → exit 2."""
+    from repro.store import RunStore
+
+    return RunStore(path)
+
+
+def _cmd_ingest(args: argparse.Namespace, out) -> int:
+    store = _open_store(args.store)
+    total = 0
+    for path in args.paths:
+        for info in store.ingest_path(path):
+            total += 1
+            print(
+                f"run {info.run_id}: {info.label} — {info.rows} row(s), "
+                f"{info.total_package_joules:.3f} J from {info.source}",
+                file=out,
+            )
+    print(f"{total} run(s) ingested into {store.root}", file=out)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace, out) -> int:
+    store = _open_store(args.store)
+    if args.action == "stats":
+        print(store.stats().render(), file=out)
+        return 0
+    runs = store.runs()
+    if not runs:
+        print(f"no runs in store {store.root}", file=out)
+        return 0
+    for info in runs:
+        flags = []
+        if info.suspect_rows:
+            flags.append(f"{info.suspect_rows} suspect")
+        if info.degraded:
+            flags.append("degraded")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(
+            f"{info.run_id:>4}  {info.ingested_at}  {info.label:<24} "
+            f"{info.rows:>8} row(s) {info.total_package_joules:>12.3f} J"
+            f"{suffix}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace, out) -> int:
+    from repro.views.dashboard import write_dashboard
+
+    store = _open_store(args.store)
+    write_dashboard(store, args.output, top=args.top)
+    stats = store.stats()
+    print(
+        f"dashboard written to {args.output} "
+        f"({stats.runs} run(s), {stats.rows} row(s))",
+        file=out,
+    )
     return 0
 
 
@@ -670,10 +803,18 @@ def main(argv: list[str] | None = None) -> int:
         "rules": _cmd_rules,
         "cache": _cmd_cache,
         "bench": _cmd_bench,
+        "ingest": _cmd_ingest,
+        "store": _cmd_store,
+        "dashboard": _cmd_dashboard,
     }
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as error:
+        print(f"pepo: {error}", file=sys.stderr)
+        return 2
+    except ImportError as error:
+        # The run store / dashboard require numpy; everything else in
+        # pepo runs without it, so fail those commands cleanly.
         print(f"pepo: {error}", file=sys.stderr)
         return 2
     except KeyboardInterrupt as interrupt:

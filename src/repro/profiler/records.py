@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 from repro.rapl.domains import Domain
 
 if TYPE_CHECKING:
+    from repro.profiler.fastpath import ProfileColumns
     from repro.profiler.runtime import OverheadEstimate
 
 _RESULT_HEADER = "# method\twall_seconds\tcpu_seconds\tpackage_joules\tcore_joules"
@@ -145,13 +146,35 @@ class ProfileResult:
         #: timeline (per domain, modulo float rounding).
         self.timeline_joules: dict[Domain, float] = {}
         self.unattributed_joules: dict[Domain, float] = {}
+        #: Lazily built struct-of-arrays view over the records (see
+        #: :class:`repro.profiler.fastpath.ProfileColumns`).  Mutators
+        #: only *drop* it — rebuilding happens on the next aggregation
+        #: that needs it, so merging N children costs O(total records),
+        #: not O(N · records).
+        self._columns: "ProfileColumns | None" = None
 
     def add(self, record: MethodRecord) -> None:
         self._records.append(record)
+        self._columns = None
 
     def extend(self, records: Iterable[MethodRecord]) -> None:
         """Append many records at once (bulk path for deferred stop())."""
         self._records.extend(records)
+        self._columns = None
+
+    def columns(self) -> "ProfileColumns | None":
+        """The columnar view of the records, built (and cached) on demand.
+
+        ``None`` when numpy is unavailable or disabled via
+        ``PEPO_PURE_PYTHON`` — callers fall back to the pure loops.
+        The cache is invalidated by ``add``/``extend``/``merge``, never
+        eagerly rebuilt by them.
+        """
+        if self._columns is None or len(self._columns) != len(self._records):
+            from repro.profiler.fastpath import build_columns
+
+            self._columns = build_columns(self._records)
+        return self._columns
 
     def __len__(self) -> int:
         return len(self._records)
@@ -194,11 +217,20 @@ class ProfileResult:
         is given, records that still carry the default ``pid=0`` are
         stamped with it so their origin survives the merge.  Degraded
         state, drop counters and timeline accounting are combined.
+
+        The columnar aggregate cache is *dropped*, not rebuilt: merging
+        N subprocess spools costs O(total records) in list appends, and
+        the first aggregation after the last merge pays the single
+        column build.
         """
-        for record in other._records:
-            if pid is not None and record.pid == 0:
-                record = dataclasses.replace(record, pid=pid)
-            self._records.append(record)
+        if pid is None:
+            self._records.extend(other._records)
+        else:
+            self._records.extend(
+                dataclasses.replace(r, pid=pid) if r.pid == 0 else r
+                for r in other._records
+            )
+        self._columns = None
         self.degraded = self.degraded or other.degraded
         self.dropped_events += other.dropped_events
         self.dropped_threads += other.dropped_threads
@@ -219,36 +251,25 @@ class ProfileResult:
         are (method, execution context) pairs instead, so a method that
         runs on several threads/tasks/processes gets one row per
         context (the Fig. 4 view grown for concurrent targets).
+
+        With numpy available the bucket sums run as ``np.bincount``
+        reductions over the cached columnar view — same accumulation
+        order, bit-identical totals; the pure loop remains the
+        numpy-free fallback (see :mod:`repro.profiler.fastpath`).
         """
-        # calls, wall, cpu, package, core, exclusive package, suspects
-        buckets: dict[tuple[str, str], list] = {}
-        for r in self._records:
-            key = (r.method, r.context_label if by_context else "")
-            acc = buckets.get(key)
-            if acc is None:
-                acc = buckets[key] = [0, 0.0, 0.0, 0.0, 0.0, 0.0, 0]
-            acc[0] += 1
-            acc[1] += r.wall_seconds
-            acc[2] += r.cpu_seconds
-            acc[3] += r.package_joules
-            acc[4] += r.core_joules
-            acc[5] += r.exclusive_joules.get(Domain.PACKAGE, 0.0)
-            if r.suspect:
-                acc[6] += 1
-        aggregates = [
-            MethodAggregate(
-                method=method,
-                calls=acc[0],
-                wall_seconds=acc[1],
-                cpu_seconds=acc[2],
-                package_joules=acc[3],
-                core_joules=acc[4],
-                exclusive_package_joules=acc[5],
-                suspect_calls=acc[6],
-                context=context,
-            )
-            for (method, context), acc in buckets.items()
-        ]
+        cols = self.columns()
+        if cols is not None:
+            from repro.profiler.fastpath import aggregate_columns
+
+            aggregates = aggregate_columns(cols, by_context)
+        else:
+            aggregates = aggregate_records_pure(self._records, by_context)
+        aggregates.sort(key=lambda a: a.package_joules, reverse=True)
+        return aggregates
+
+    def aggregate_pure(self, by_context: bool = False) -> list[MethodAggregate]:
+        """Force the numpy-free aggregation path (parity/bench anchor)."""
+        aggregates = aggregate_records_pure(self._records, by_context)
         aggregates.sort(key=lambda a: a.package_joules, reverse=True)
         return aggregates
 
@@ -318,12 +339,28 @@ class ProfileResult:
         (``thread=``/``tname=``/``task=``/``pid=``) are restored; files
         written before those tokens existed (plain 5/6-column lines)
         still parse.
+
+        Energy fields are validated: a NaN, infinite or negative
+        ``package_joules``/``core_joules`` value raises a line-numbered
+        :class:`ValueError` instead of silently propagating into
+        aggregates.  Unparseable numeric fields are line-numbered too.
+
+        Structure is parsed line by line, but the numeric columns are
+        converted in one batch — vectorized with numpy when available,
+        per-value ``float()`` otherwise; both conversions are
+        correctly-rounded, so the records are identical either way.
         """
+        from repro.profiler import fastpath
+
         result = cls()
-        # Running per-method execution counter: computing call_index
-        # with a scan over the records parsed so far is quadratic and
-        # makes big result.txt files (one line per execution) crawl.
-        counts: dict[str, int] = {}
+        linenos: list[int] = []
+        rows: list[tuple[str, bool, int, str, str, int]] = []
+        raw: dict[str, list[str]] = {
+            "wall_seconds": [],
+            "cpu_seconds": [],
+            "package_joules": [],
+            "core_joules": [],
+        }
         for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
             if not line or line.startswith("#"):
                 stripped = line.strip().lower()
@@ -370,18 +407,40 @@ class ProfileResult:
                     raise ValueError(
                         f"{path}:{lineno}: unrecognised field {token!r}"
                     )
-            joules = {Domain.PACKAGE: float(pkg), Domain.PP0: float(core)}
+            linenos.append(lineno)
+            rows.append((method, suspect, thread_id, thread_name, task_name, pid))
+            raw["wall_seconds"].append(wall)
+            raw["cpu_seconds"].append(cpu)
+            raw["package_joules"].append(pkg)
+            raw["core_joules"].append(core)
+
+        values = fastpath.parse_float_columns(raw, linenos, path)
+        if values is None:
+            values = _parse_float_columns_pure(raw, linenos, path)
+
+        walls = values["wall_seconds"]
+        cpus = values["cpu_seconds"]
+        pkgs = values["package_joules"]
+        cores = values["core_joules"]
+        # Running per-method execution counter: computing call_index
+        # with a scan over the records parsed so far is quadratic and
+        # makes big result.txt files (one line per execution) crawl.
+        counts: dict[str, int] = {}
+        records = result._records
+        for i, (method, suspect, thread_id, thread_name, task_name, pid) in (
+            enumerate(rows)
+        ):
             call_index = counts.get(method, 0)
             counts[method] = call_index + 1
-            result.add(
+            records.append(
                 MethodRecord(
                     method=method,
                     filename="",
                     lineno=0,
                     call_index=call_index,
-                    wall_seconds=float(wall),
-                    cpu_seconds=float(cpu),
-                    joules=joules,
+                    wall_seconds=walls[i],
+                    cpu_seconds=cpus[i],
+                    joules={Domain.PACKAGE: pkgs[i], Domain.PP0: cores[i]},
                     exclusive_joules={},
                     suspect=suspect,
                     thread_id=thread_id,
@@ -391,6 +450,72 @@ class ProfileResult:
                 )
             )
         return result
+
+
+def aggregate_records_pure(
+    records: Iterable[MethodRecord], by_context: bool = False
+) -> list[MethodAggregate]:
+    """The original single-pass pure-Python bucket loop (unsorted).
+
+    Kept as the numpy-free fallback for :meth:`ProfileResult.aggregate`
+    and as the bit-exactness anchor the vectorized path is parity-tested
+    against.  Buckets come back in first-seen order; the caller sorts.
+    """
+    # calls, wall, cpu, package, core, exclusive package, suspects
+    buckets: dict[tuple[str, str], list] = {}
+    for r in records:
+        key = (r.method, r.context_label if by_context else "")
+        acc = buckets.get(key)
+        if acc is None:
+            acc = buckets[key] = [0, 0.0, 0.0, 0.0, 0.0, 0.0, 0]
+        acc[0] += 1
+        acc[1] += r.wall_seconds
+        acc[2] += r.cpu_seconds
+        acc[3] += r.package_joules
+        acc[4] += r.core_joules
+        acc[5] += r.exclusive_joules.get(Domain.PACKAGE, 0.0)
+        if r.suspect:
+            acc[6] += 1
+    return [
+        MethodAggregate(
+            method=method,
+            calls=acc[0],
+            wall_seconds=acc[1],
+            cpu_seconds=acc[2],
+            package_joules=acc[3],
+            core_joules=acc[4],
+            exclusive_package_joules=acc[5],
+            suspect_calls=acc[6],
+            context=context,
+        )
+        for (method, context), acc in buckets.items()
+    ]
+
+
+def _parse_float_columns_pure(
+    columns: dict[str, list[str]], linenos: list[int], path: str | Path
+) -> dict[str, list[float]]:
+    """Numpy-free numeric conversion + energy validation (same errors)."""
+    from repro.profiler.fastpath import validate_energy
+
+    energy = ("package_joules", "core_joules")
+    out: dict[str, list[float]] = {}
+    for name, raw in columns.items():
+        check = name in energy
+        values: list[float] = []
+        for i, token in enumerate(raw):
+            try:
+                value = float(token)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{linenos[i]}: could not parse "
+                    f"{name} value {token!r}"
+                ) from None
+            if check:
+                validate_energy(value, token, name, path, linenos[i])
+            values.append(value)
+        out[name] = values
+    return out
 
 
 def _parse_overhead_comment(line: str) -> "OverheadEstimate | None":

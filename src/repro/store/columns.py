@@ -1,0 +1,322 @@
+"""Columnar run segments: numpy arrays + interned string tables.
+
+One profiling run becomes one :class:`RunColumns` — the struct-of-
+arrays layout shared with :class:`repro.profiler.fastpath.
+ProfileColumns`, persisted as a compressed ``.npz`` of the numeric
+columns.  String tables (method names, execution-context labels) are
+*not* stored in the segment: the :class:`~repro.store.runstore.
+RunStore` interns them globally in its SQLite catalog and rewrites each
+segment's codes to the global tables at ingest, so segments from many
+runs concatenate without any remapping at query time.
+
+Unlike the profiler fast paths, this module requires numpy outright
+(``repro.store`` is an analytics layer, not a measurement layer) and is
+not subject to the ``PEPO_PURE_PYTHON`` gate — that variable switches
+the *profiler* onto its fallback loops for parity testing; the store
+has no fallback to switch to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - environment-dependent
+    raise ImportError(
+        "repro.store requires numpy; the profiler itself runs without "
+        "it, but columnar analytics have no pure-Python fallback"
+    ) from exc
+
+from repro.profiler.fastpath import (
+    ProfileColumns,
+    aggregate_columns,
+    build_columns,
+    invalid_energy_message,
+)
+
+if TYPE_CHECKING:
+    from repro.profiler.records import MethodAggregate, MethodRecord
+
+
+#: Numeric columns persisted in a ``.npz`` segment, in schema order.
+SEGMENT_FIELDS = (
+    "method_code",
+    "context_code",
+    "call_index",
+    "wall",
+    "cpu",
+    "package",
+    "core",
+    "exclusive_package",
+    "suspect",
+)
+
+_ENERGY_COLUMNS = ("package_joules", "core_joules")
+
+
+class RunColumns(ProfileColumns):
+    """One run's records as flat columns (see module docstring).
+
+    Inherits the column layout from the profiler's
+    :class:`ProfileColumns`; adds the ingest constructors, the ``.npz``
+    round trip and the vectorized reductions the store builds on.
+    """
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence["MethodRecord"]) -> "RunColumns":
+        """Fold live :class:`MethodRecord` objects into columns."""
+        cols = build_columns(records, np=np, cls=cls)
+        assert isinstance(cols, cls)
+        return cols
+
+    @classmethod
+    def from_result_txt(cls, path: str | Path) -> "RunColumns":
+        """Single-pass ``result.txt`` → columns, no record objects.
+
+        Parses the same format (and enforces the same line-numbered
+        NaN/negative energy rejection) as
+        :meth:`ProfileResult.read_result_txt`, but folds straight into
+        interned codes and raw string columns, deferring all float
+        conversion to one vectorized batch — the ingest path for files
+        and subprocess spools.
+        """
+        path = Path(path)
+        method_ids: dict[str, int] = {}
+        context_ids: dict[str, int] = {}
+        mcodes: list[int] = []
+        ccodes: list[int] = []
+        suspect: list[bool] = []
+        raw_wall: list[str] = []
+        raw_cpu: list[str] = []
+        raw_pkg: list[str] = []
+        raw_core: list[str] = []
+        linenos: list[int] = []
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 5:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 5 or more tab-separated "
+                    f"fields, got {len(parts)}"
+                )
+            method, wall, cpu, pkg, core = parts[:5]
+            is_suspect = False
+            thread_id = 0
+            thread_name = ""
+            task_name = ""
+            pid = 0
+            for token in parts[5:]:
+                if token == "suspect":
+                    is_suspect = True
+                elif token.startswith("thread="):
+                    thread_id = int(token[7:])
+                elif token.startswith("tname="):
+                    thread_name = token[6:]
+                elif token.startswith("task="):
+                    task_name = token[5:]
+                elif token.startswith("pid="):
+                    pid = int(token[4:])
+                else:
+                    raise ValueError(
+                        f"{path}:{lineno}: unrecognised field {token!r}"
+                    )
+            mcodes.append(method_ids.setdefault(method, len(method_ids)))
+            ccodes.append(
+                context_ids.setdefault(
+                    _context_label(pid, thread_id, thread_name, task_name),
+                    len(context_ids),
+                )
+            )
+            suspect.append(is_suspect)
+            raw_wall.append(wall)
+            raw_cpu.append(cpu)
+            raw_pkg.append(pkg)
+            raw_core.append(core)
+            linenos.append(lineno)
+
+        method_code = np.asarray(mcodes, dtype=np.int32)
+        wall_arr = _float_column(raw_wall, "wall_seconds", path, linenos)
+        cpu_arr = _float_column(raw_cpu, "cpu_seconds", path, linenos)
+        pkg_arr = _float_column(raw_pkg, "package_joules", path, linenos)
+        core_arr = _float_column(raw_core, "core_joules", path, linenos)
+        return cls(
+            methods=list(method_ids),
+            contexts=list(context_ids),
+            method_code=method_code,
+            context_code=np.asarray(ccodes, dtype=np.int32),
+            call_index=_cumcount(method_code),
+            wall=wall_arr,
+            cpu=cpu_arr,
+            package=pkg_arr,
+            core=core_arr,
+            exclusive_package=np.zeros(len(mcodes), dtype=np.float64),
+            suspect=np.asarray(suspect, dtype=bool),
+        )
+
+    # -- .npz round trip ----------------------------------------------
+
+    def save_npz(self, path: str | Path) -> Path:
+        """Persist the numeric columns (string tables live in the catalog)."""
+        path = Path(path)
+        np.savez_compressed(
+            path, **{name: getattr(self, name) for name in SEGMENT_FIELDS}
+        )
+        return path
+
+    @classmethod
+    def load_npz(
+        cls, path: str | Path, methods: list[str], contexts: list[str]
+    ) -> "RunColumns":
+        """Rehydrate a segment against the store's global string tables."""
+        with np.load(Path(path)) as data:
+            arrays = {name: data[name] for name in SEGMENT_FIELDS}
+        return cls(methods=methods, contexts=contexts, **arrays)
+
+    def remapped(
+        self,
+        methods: list[str],
+        contexts: list[str],
+        method_map: dict[str, int],
+        context_map: dict[str, int],
+    ) -> "RunColumns":
+        """Rewrite local intern codes to the store's global tables."""
+        to_global_m = np.asarray(
+            [method_map[name] for name in self.methods], dtype=np.int32
+        )
+        to_global_c = np.asarray(
+            [context_map[label] for label in self.contexts], dtype=np.int32
+        )
+        return type(self)(
+            methods=methods,
+            contexts=contexts,
+            method_code=(
+                to_global_m[self.method_code]
+                if len(self.methods)
+                else self.method_code
+            ),
+            context_code=(
+                to_global_c[self.context_code]
+                if len(self.contexts)
+                else self.context_code
+            ),
+            call_index=self.call_index,
+            wall=self.wall,
+            cpu=self.cpu,
+            package=self.package,
+            core=self.core,
+            exclusive_package=self.exclusive_package,
+            suspect=self.suspect,
+        )
+
+    # -- vectorized reductions ----------------------------------------
+
+    def aggregate(self, by_context: bool = False) -> "list[MethodAggregate]":
+        """Per-method (or per method × context) totals, energy-descending.
+
+        Same output as :meth:`ProfileResult.aggregate` on the
+        equivalent records — bit-exactly, including tie order
+        (parity-tested against the pure loop).
+        """
+        aggregates = aggregate_columns(self, by_context, np=np)
+        aggregates.sort(key=lambda a: a.package_joules, reverse=True)
+        return aggregates
+
+    def method_totals(self, field: str = "package") -> "np.ndarray":
+        """Σ of one float column per method code (dense, table order)."""
+        return np.bincount(
+            self.method_code,
+            weights=getattr(self, field),
+            minlength=len(self.methods),
+        )
+
+    def context_exclusive_totals(self) -> "np.ndarray":
+        """Σ exclusive package joules per context code (table order)."""
+        return np.bincount(
+            self.context_code,
+            weights=self.exclusive_package,
+            minlength=len(self.contexts),
+        )
+
+
+def concat_columns(segments: Iterable[RunColumns]) -> RunColumns | None:
+    """Concatenate segments that already share global string tables."""
+    segments = [s for s in segments if len(s)]
+    if not segments:
+        return None
+    first = segments[0]
+    if len(segments) == 1:
+        return first
+    arrays = {
+        name: np.concatenate([getattr(s, name) for s in segments])
+        for name in SEGMENT_FIELDS
+    }
+    return RunColumns(
+        methods=first.methods, contexts=first.contexts, **arrays
+    )
+
+
+def _context_label(
+    pid: int, thread_id: int, thread_name: str, task_name: str
+) -> str:
+    """``MethodRecord.context_label`` reconstructed without a record."""
+    parts = []
+    if pid:
+        parts.append(f"pid={pid}")
+    if thread_id:
+        name = f"({thread_name})" if thread_name else ""
+        parts.append(f"thread={thread_id}{name}")
+    if task_name:
+        parts.append(f"task={task_name}")
+    return " ".join(parts) if parts else "main"
+
+
+def _float_column(
+    raw: list[str], name: str, path: Path, linenos: list[int]
+) -> "np.ndarray":
+    """Batch str→float64 with the shared line-numbered energy validation."""
+    try:
+        values = np.asarray(raw, dtype=np.float64)
+    except ValueError:
+        for i, token in enumerate(raw):
+            try:
+                float(token)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{linenos[i]}: could not parse "
+                    f"{name} value {token!r}"
+                ) from None
+        raise  # pragma: no cover - asarray failed, floats didn't
+    if name in _ENERGY_COLUMNS:
+        bad = ~np.isfinite(values) | (values < 0.0)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                invalid_energy_message(path, linenos[i], name, raw[i])
+            )
+    return values
+
+
+def _cumcount(codes: "np.ndarray") -> "np.ndarray":
+    """Per-code running occurrence counter (the ``call_index`` column).
+
+    Vectorized equivalent of the ``counts.get(method, 0)`` loop:
+    stable-sort the codes, number each group 0..k-1, scatter back.
+    """
+    n = codes.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+    )
+    lengths = np.diff(np.r_[starts, n])
+    within = np.arange(n) - np.repeat(starts, lengths)
+    out = np.empty(n, dtype=np.int64)
+    out[order] = within
+    return out

@@ -1,0 +1,160 @@
+"""Per-method energy drift across runs, via the Hoeffding bound.
+
+The store's trend matrix gives each method a short series of per-run
+package-joule totals.  Drift detection asks the ADWIN-style question:
+does the mean of the *recent* window differ from the mean of the
+*reference* window by more than the Hoeffding bound allows at
+confidence ``1-delta``?  We reuse :func:`repro.ml.stream.hoeffding.
+hoeffding_bound` — the same ε that gates Hoeffding-tree splits — with
+the harmonic sample size ``m = 1/(1/n₀ + 1/n₁)`` ADWIN uses for a
+two-window cut (Bifet & Gavaldà, SDM 2007).
+
+Two surfaces:
+
+* :func:`detect_drift` — batch, over the store's runs×methods matrix
+  (used by ``RunStore.drift_flags`` and the dashboard);
+* :class:`MethodDriftDetector` — streaming, fed one run total at a
+  time as results are ingested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.stream.hoeffding import hoeffding_bound
+
+
+@dataclass(frozen=True)
+class DriftFlag:
+    """One method whose recent energy departs from its reference mean."""
+
+    method: str
+    reference_mean: float
+    recent_mean: float
+    epsilon: float
+    runs: int
+    direction: str  # "up" | "down"
+    first_run: str  # label of the first run in the drifted window
+
+    @property
+    def delta_joules(self) -> float:
+        return self.recent_mean - self.reference_mean
+
+
+def _split_drift(
+    series: "np.ndarray", delta: float
+) -> tuple[int, float, float, float] | None:
+    """Best ADWIN-style cut of ``series``, or ``None`` if no cut drifts.
+
+    Tries every split point; a cut drifts when the two window means
+    differ by more than the Hoeffding ε at harmonic sample size.
+    Returns ``(cut, ref_mean, recent_mean, epsilon)`` for the most
+    significant cut (largest ``|Δmean| - ε``).
+    """
+    n = series.shape[0]
+    if n < 2:
+        return None
+    value_range = float(series.max() - series.min())
+    if value_range == 0.0:
+        return None
+    # Prefix sums make every candidate window mean O(1).
+    prefix = np.cumsum(series)
+    total = float(prefix[-1])
+    best: tuple[int, float, float, float] | None = None
+    best_margin = 0.0
+    for cut in range(1, n):
+        n0, n1 = cut, n - cut
+        mean0 = float(prefix[cut - 1]) / n0
+        mean1 = (total - float(prefix[cut - 1])) / n1
+        m = 1.0 / (1.0 / n0 + 1.0 / n1)
+        eps = hoeffding_bound(value_range, delta, m)
+        margin = abs(mean1 - mean0) - eps
+        if margin > best_margin:
+            best_margin = margin
+            best = (cut, mean0, mean1, eps)
+    return best
+
+
+def detect_drift(
+    matrix: "np.ndarray",
+    methods: Sequence[str],
+    run_labels: Sequence[str],
+    delta: float = 0.05,
+    min_runs: int = 4,
+) -> list[DriftFlag]:
+    """Flag methods whose per-run energy series contains a drift cut.
+
+    ``matrix`` is runs×methods (the store's trend matrix).  Methods
+    with fewer than ``min_runs`` non-zero runs are skipped — with two
+    or three points the bound is vacuous and every blip flags.
+    """
+    flags: list[DriftFlag] = []
+    n_runs = matrix.shape[0]
+    if n_runs < min_runs:
+        return flags
+    for m, method in enumerate(methods):
+        series = np.asarray(matrix[:, m], dtype=np.float64)
+        if np.count_nonzero(series) < min_runs:
+            continue
+        found = _split_drift(series, delta)
+        if found is None:
+            continue
+        cut, ref_mean, recent_mean, eps = found
+        flags.append(
+            DriftFlag(
+                method=method,
+                reference_mean=ref_mean,
+                recent_mean=recent_mean,
+                epsilon=eps,
+                runs=n_runs,
+                direction="up" if recent_mean > ref_mean else "down",
+                first_run=str(run_labels[cut]) if run_labels else str(cut),
+            )
+        )
+    flags.sort(key=lambda f: abs(f.delta_joules), reverse=True)
+    return flags
+
+
+class MethodDriftDetector:
+    """Streaming drift detector over one method's per-run totals.
+
+    Feed :meth:`update` each new run's total; it returns a
+    :class:`DriftFlag` the first time the window splits, then resets
+    its history to the post-cut window (so repeated drift re-arms).
+    """
+
+    def __init__(
+        self, method: str, delta: float = 0.05, min_runs: int = 4
+    ) -> None:
+        self.method = method
+        self.delta = delta
+        self.min_runs = min_runs
+        self._values: list[float] = []
+        self._labels: list[str] = []
+
+    def update(self, value: float, label: str = "") -> DriftFlag | None:
+        self._values.append(float(value))
+        self._labels.append(label or str(len(self._values)))
+        if len(self._values) < self.min_runs:
+            return None
+        series = np.asarray(self._values, dtype=np.float64)
+        found = _split_drift(series, self.delta)
+        if found is None:
+            return None
+        cut, ref_mean, recent_mean, eps = found
+        flag = DriftFlag(
+            method=self.method,
+            reference_mean=ref_mean,
+            recent_mean=recent_mean,
+            epsilon=eps,
+            runs=len(self._values),
+            direction="up" if recent_mean > ref_mean else "down",
+            first_run=self._labels[cut],
+        )
+        # Re-arm on the post-cut window, ADWIN-style.
+        self._values = self._values[cut:]
+        self._labels = self._labels[cut:]
+        return flag

@@ -67,6 +67,29 @@ def payload_checksum(result: dict) -> str:
 
 
 @dataclass(frozen=True)
+class StoreSection:
+    """Run-store inventory, reported alongside the sweep cache.
+
+    Populated by peeking at the columnar run store's SQLite catalog
+    (``<cache root>/store/``) with the stdlib ``sqlite3`` module, so
+    the section renders even on numpy-free interpreters where
+    :mod:`repro.store` itself cannot import.
+    """
+
+    runs: int
+    rows: int
+    total_bytes: int
+    last_ingest: str | None
+
+    def render(self) -> str:
+        last = self.last_ingest or "never"
+        return (
+            f"store: {self.runs} run(s), {self.rows} row(s), "
+            f"{self.total_bytes / 1024:.1f} KiB, last ingest {last}"
+        )
+
+
+@dataclass(frozen=True)
 class CacheStats:
     """What ``pepo cache stats`` reports."""
 
@@ -75,6 +98,7 @@ class CacheStats:
     total_bytes: int
     by_kind: dict[str, int]
     quarantined: tuple = field(default_factory=tuple)
+    store: StoreSection | None = None
 
     def render(self) -> str:
         lines = [f"cache root: {self.root}"]
@@ -88,6 +112,8 @@ class CacheStats:
                 f"{self.entries} entr{'y' if self.entries == 1 else 'ies'}, "
                 f"{self.total_bytes / 1024:.1f} KiB"
             )
+        if self.store is not None:
+            lines.append(self.store.render())
         if self.quarantined:
             lines.append(
                 f"{len(self.quarantined)} quarantined file(s) from the "
@@ -277,6 +303,7 @@ class SweepCache:
             total_bytes=total_bytes,
             by_kind=by_kind,
             quarantined=tuple(quarantine.entries) if quarantine else (),
+            store=_store_section(self.root / "store"),
         )
 
     def clear(self) -> int:
@@ -290,3 +317,38 @@ class SweepCache:
             with self.lock(exclusive=True):
                 shutil.rmtree(self.root, ignore_errors=True)
         return removed
+
+
+def _store_section(store_root: Path) -> StoreSection | None:
+    """Summarise a co-located run store, or ``None`` when absent.
+
+    Reads the store's SQLite catalog directly (stdlib only) rather
+    than importing :mod:`repro.store`, which requires numpy; any
+    read failure degrades to "no section", matching the cache's own
+    failure philosophy.
+    """
+    catalog = store_root / "catalog.db"
+    if not catalog.is_file():
+        return None
+    import sqlite3
+
+    try:
+        conn = sqlite3.connect(f"file:{catalog}?mode=ro", uri=True)
+        try:
+            runs, rows, last = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(rows), 0), MAX(ingested_at)"
+                " FROM runs"
+            ).fetchone()
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return None
+    total = 0
+    for path in [catalog, *store_root.glob("segments/*.npz")]:
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+    return StoreSection(
+        runs=int(runs), rows=int(rows), total_bytes=total, last_ingest=last
+    )

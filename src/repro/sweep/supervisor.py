@@ -200,10 +200,15 @@ class QuarantineReport:
     def render(self) -> str:
         from repro.views.tables import render_table
 
+        def tail(path: str, width: int = 72) -> str:
+            # Keep the end of long paths: the basename is the part a
+            # reader needs, and render_table's clip keeps the head.
+            return path if len(path) <= width else "…" + path[-(width - 1):]
+
         return render_table(
             headers=["File", "Reason", "Strikes", "Detail"],
             rows=[
-                [e.path, e.reason, str(e.failures), e.detail]
+                [tail(e.path), e.reason, str(e.failures), e.detail]
                 for e in self.sorted().entries
             ],
             title="Quarantined files (analysis skipped):",

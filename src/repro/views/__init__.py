@@ -3,3 +3,12 @@
 from repro.views.tables import render_table
 
 __all__ = ["render_table"]
+
+
+def __getattr__(name):
+    # Lazy: the dashboard pulls in repro.store, which needs numpy.
+    if name in ("render_dashboard", "write_dashboard", "dashboard_data"):
+        from repro.views import dashboard
+
+        return getattr(dashboard, name)
+    raise AttributeError(name)

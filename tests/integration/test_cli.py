@@ -1,5 +1,7 @@
 """CLI integration tests for the ``pepo`` command."""
 
+import importlib.util
+
 import pytest
 
 from repro.cli.main import build_parser, main
@@ -344,5 +346,139 @@ class TestParser:
         parser = build_parser()
         for args in (["suggest", "x.py"], ["optimize", "x.py", "--write"],
                      ["profile", "proj"], ["bench", "table1"]):
+            parsed = parser.parse_args(args)
+            assert parsed.command == args[0]
+
+
+def _store_result(seed: int):
+    """A small deterministic profile for store-CLI tests."""
+    import random
+
+    from repro.profiler.records import MethodRecord, ProfileResult
+    from repro.rapl.domains import Domain
+
+    rng = random.Random(seed)
+    result = ProfileResult()
+    counts = {}
+    for _ in range(40):
+        method = f"app.cli.fn{rng.randrange(4)}"
+        ci = counts.get(method, 0)
+        counts[method] = ci + 1
+        result.add(
+            MethodRecord(
+                method=method,
+                filename="cli.py",
+                lineno=1,
+                call_index=ci,
+                wall_seconds=rng.random() * 0.01,
+                cpu_seconds=rng.random() * 0.01,
+                joules={Domain.PACKAGE: rng.random()},
+                exclusive_joules={Domain.PACKAGE: rng.random() * 0.5},
+            )
+        )
+    return result
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="run store requires numpy",
+)
+class TestStoreCommands:
+
+    def test_ingest_files_and_directories(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        _store_result(1).write_result_txt(spool / "result.txt")
+        _store_result(2).write_result_txt(spool / "pepo-7-1.result.txt")
+        single = tmp_path / "one.result.txt"
+        _store_result(3).write_result_txt(single)
+        store = tmp_path / "store"
+        assert main(
+            ["ingest", str(spool), str(single), "--store", str(store)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 run(s) ingested" in out
+        assert "run 1:" in out and "run 3:" in out
+
+    def test_ingest_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["ingest", str(tmp_path / "nope"),
+             "--store", str(tmp_path / "store")]
+        ) == 2
+        assert "pepo:" in capsys.readouterr().err
+
+    def test_store_stats_and_runs(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        path = tmp_path / "result.txt"
+        _store_result(4).write_result_txt(path)
+        main(["ingest", str(path), "--store", str(store)])
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 1" in out and "rows: 40" in out
+        assert main(["store", "runs", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "result" in out and "40 row(s)" in out
+
+    def test_dashboard_writes_html(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        path = tmp_path / "result.txt"
+        _store_result(5).write_result_txt(path)
+        main(["ingest", str(path), "--store", str(store)])
+        capsys.readouterr()
+        out_html = tmp_path / "dash.html"
+        assert main(
+            ["dashboard", "-o", str(out_html), "--store", str(store)]
+        ) == 0
+        assert "dashboard written" in capsys.readouterr().out
+        assert out_html.read_text(encoding="utf-8").startswith(
+            "<!DOCTYPE html>"
+        )
+
+    def test_profile_store_flag_ingests(self, tmp_path, capsys):
+        (tmp_path / "app.py").write_text(PROJECT_MAIN)
+        store = tmp_path / "store"
+        assert main(
+            ["profile", str(tmp_path), "--store", str(store)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ingested into run store as run 1" in out
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        assert "runs: 1" in capsys.readouterr().out
+
+    def test_cache_stats_reports_store_section(self, tmp_path, capsys):
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "mod.py").write_text("x = 1\n")
+        path = tmp_path / "result.txt"
+        _store_result(6).write_result_txt(path)
+        store = project / ".pepo_cache" / "store"
+        main(["ingest", str(path), "--store", str(store)])
+        capsys.readouterr()
+        assert main(["cache", "stats", str(project)]) == 0
+        out = capsys.readouterr().out
+        assert "store: 1 run(s), 40 row(s)" in out
+        assert "last ingest" in out
+
+    def test_cache_stats_without_store_has_no_section(
+        self, tmp_path, capsys
+    ):
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "mod.py").write_text("x = 1\n")
+        assert main(["cache", "stats", str(project)]) == 0
+        assert "store:" not in capsys.readouterr().out
+
+    def test_new_subcommands_parse(self):
+        parser = build_parser()
+        for args in (
+            ["ingest", "spool/"],
+            ["store", "stats"],
+            ["store", "runs"],
+            ["dashboard", "-o", "out.html", "--top", "5"],
+            ["profile", "proj", "--store"],
+            ["bench", "ingest", "--quick", "--check"],
+        ):
             parsed = parser.parse_args(args)
             assert parsed.command == args[0]

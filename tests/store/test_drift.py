@@ -1,0 +1,121 @@
+"""Hoeffding drift detection over per-run method energy series."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.store.drift import (
+    DriftFlag,
+    MethodDriftDetector,
+    _split_drift,
+    detect_drift,
+)
+
+_STABLE = [1.0, 1.05, 0.95, 1.02, 0.98, 1.01, 1.0, 0.99]
+_SHIFTED = [1.0, 1.1, 0.9, 1.0, 1.05, 5.0, 5.2, 4.9, 5.1, 5.0]
+
+
+class TestSplitDrift:
+    def test_stable_series_has_no_cut(self):
+        assert _split_drift(np.asarray(_STABLE), delta=0.05) is None
+
+    def test_shift_found_at_step(self):
+        cut, ref, recent, eps = _split_drift(
+            np.asarray(_SHIFTED), delta=0.05
+        )
+        assert cut == 5
+        assert ref == pytest.approx(1.01)
+        assert recent == pytest.approx(5.04)
+        assert abs(recent - ref) > eps > 0
+
+    def test_constant_series_no_cut(self):
+        assert _split_drift(np.full(8, 3.0), delta=0.05) is None
+
+    def test_too_short(self):
+        assert _split_drift(np.asarray([1.0]), delta=0.05) is None
+
+    def test_tighter_delta_is_more_conservative(self):
+        # A modest shift flags at loose delta but not at strict delta.
+        series = np.asarray([1.0, 1.0, 1.0, 1.0, 2.4, 2.4, 2.4, 2.4])
+        assert _split_drift(series, delta=0.7) is not None
+        assert _split_drift(series, delta=1e-6) is None
+
+
+class TestDetectDrift:
+    def _matrix(self, *columns):
+        return np.asarray(list(zip(*columns)), dtype=np.float64)
+
+    def test_flags_only_the_shifted_method(self):
+        matrix = self._matrix(_SHIFTED, [1.0] * 10)
+        flags = detect_drift(
+            matrix, ["hot.fn", "flat.fn"], [f"r{i}" for i in range(10)]
+        )
+        assert [f.method for f in flags] == ["hot.fn"]
+        flag = flags[0]
+        assert flag.direction == "up"
+        assert flag.first_run == "r5"
+        assert flag.delta_joules == pytest.approx(5.04 - 1.01)
+
+    def test_downward_drift_direction(self):
+        matrix = self._matrix([v * -1 + 6 for v in _SHIFTED])
+        (flag,) = detect_drift(
+            matrix, ["m"], [f"r{i}" for i in range(10)]
+        )
+        assert flag.direction == "down"
+
+    def test_min_runs_gate(self):
+        matrix = self._matrix([1.0, 9.0, 9.0])
+        assert detect_drift(matrix, ["m"], ["a", "b", "c"]) == []
+
+    def test_sparse_method_skipped(self):
+        # Method present in only 2 of 8 runs: bound is vacuous, skip.
+        column = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 9.0, 0.0]
+        assert detect_drift(
+            self._matrix(column), ["m"], [str(i) for i in range(8)]
+        ) == []
+
+    def test_sorted_by_magnitude(self):
+        big = [1.0] * 5 + [9.0] * 5
+        small = [1.0] * 5 + [3.0] * 5
+        flags = detect_drift(
+            self._matrix(big, small),
+            ["big", "small"],
+            [str(i) for i in range(10)],
+        )
+        assert [f.method for f in flags] == ["big", "small"]
+
+
+class TestStreamingDetector:
+    def test_flags_then_rearms(self):
+        det = MethodDriftDetector("m")
+        flags = []
+        for i, v in enumerate(_SHIFTED):
+            flag = det.update(v, label=f"r{i}")
+            if flag:
+                flags.append((i, flag))
+        assert len(flags) == 1
+        index, flag = flags[0]
+        assert isinstance(flag, DriftFlag)
+        assert flag.first_run == "r5"
+        assert flag.direction == "up"
+        # Post-cut history only: the stable tail must not re-flag.
+        for i in range(5):
+            assert det.update(5.0, label=f"post{i}") is None
+
+    def test_second_shift_flags_again(self):
+        det = MethodDriftDetector("m")
+        for i, v in enumerate(_SHIFTED):
+            det.update(v, label=f"r{i}")
+        second = None
+        for i, v in enumerate([5.0, 25.0, 24.0, 26.0, 25.5]):
+            flag = det.update(v, label=f"s{i}")
+            if flag:
+                second = flag
+        assert second is not None
+        assert second.direction == "up"
+
+    def test_quiet_below_min_runs(self):
+        det = MethodDriftDetector("m", min_runs=4)
+        assert det.update(1.0) is None
+        assert det.update(100.0) is None
+        assert det.update(101.0) is None

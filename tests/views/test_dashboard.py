@@ -1,0 +1,135 @@
+"""Dashboard rendering: data payload, embedding, and safety."""
+
+import json
+import random
+import re
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.profiler.records import MethodRecord, ProfileResult
+from repro.rapl.domains import Domain
+from repro.store import RunStore
+from repro.views.dashboard import (
+    dashboard_data,
+    render_dashboard,
+    write_dashboard,
+)
+
+
+def _result(seed: int, scale: float = 1.0) -> ProfileResult:
+    rng = random.Random(seed)
+    result = ProfileResult()
+    counts: dict[str, int] = {}
+    for _ in range(60):
+        method = f"app.core.fn{rng.randrange(6)}"
+        ci = counts.get(method, 0)
+        counts[method] = ci + 1
+        result.add(
+            MethodRecord(
+                method=method,
+                filename="core.py",
+                lineno=1,
+                call_index=ci,
+                wall_seconds=rng.random() * 0.01,
+                cpu_seconds=rng.random() * 0.01,
+                joules={Domain.PACKAGE: rng.random() * scale},
+                exclusive_joules={Domain.PACKAGE: rng.random() * scale},
+            )
+        )
+    return result
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = RunStore(tmp_path / "store")
+    for i in range(5):
+        store.ingest_result(_result(i), label=f"run{i}")
+    return store
+
+
+class TestDashboardData:
+    def test_payload_shape(self, store):
+        data = dashboard_data(store, top=4)
+        assert data["stats"]["runs"] == 5
+        assert data["stats"]["total_package_joules"] > 0
+        assert len(data["top_methods"]) == 4
+        assert len(data["run_labels"]) == 5
+        # Series budget: at most 5 trend lines, each one value per run.
+        assert 1 <= len(data["trends"]) <= 5
+        for series in data["trends"]:
+            assert len(series["values"]) == 5
+        assert json.dumps(data)  # JSON-serializable end to end
+
+    def test_empty_store(self, tmp_path):
+        data = dashboard_data(RunStore(tmp_path / "empty"))
+        assert data["stats"]["runs"] == 0
+        assert data["top_methods"] == []
+        assert data["trends"] == []
+
+
+class TestRenderDashboard:
+    def test_embeds_payload_and_is_self_contained(self, store):
+        html = render_dashboard(store)
+        match = re.search(
+            r'<script id="pepo-data" type="application/json">(.*?)</script>',
+            html,
+            re.S,
+        )
+        assert match, "data island missing"
+        payload = json.loads(match.group(1))
+        assert payload["stats"]["runs"] == 5
+        # Self-contained: no external fetches (the SVG namespace URI is
+        # an identifier, not a fetch — exclude it).
+        assert not re.search(r'(?:src|href)\s*=\s*["\']https?://', html)
+        assert "@import" not in html and "url(" not in html
+        assert "<canvas" not in html  # SVG only
+
+    def test_closing_tag_escaped_in_payload(self, tmp_path):
+        # A method name containing </script> must not break the island.
+        store = RunStore(tmp_path / "store")
+        result = ProfileResult()
+        result.add(
+            MethodRecord(
+                method="evil</script><script>alert(1)",
+                filename="x.py",
+                lineno=1,
+                call_index=0,
+                wall_seconds=0.1,
+                cpu_seconds=0.1,
+                joules={Domain.PACKAGE: 1.0},
+                exclusive_joules={},
+            )
+        )
+        store.ingest_result(result)
+        html = render_dashboard(store)
+        island = re.search(
+            r'<script id="pepo-data" type="application/json">(.*?)</script>',
+            html,
+            re.S,
+        ).group(1)
+        assert "</script>" not in island
+        assert json.loads(island)["top_methods"][0]["method"].startswith(
+            "evil"
+        )
+
+    def test_untrusted_strings_use_textcontent(self, store):
+        # The convention the template must keep: dynamic strings enter
+        # the DOM via textContent, never innerHTML.
+        html = render_dashboard(store)
+        assert "innerHTML" not in html
+        assert "textContent" in html
+
+    def test_dark_mode_and_legend_present(self, store):
+        html = render_dashboard(store)
+        assert "prefers-color-scheme" in html
+        assert "legend" in html
+
+    def test_write_dashboard(self, store, tmp_path):
+        out = tmp_path / "dash.html"
+        written = write_dashboard(store, out)
+        assert written == out
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "run0" in text
