@@ -78,6 +78,15 @@ class Finding:
     #: see :func:`compute_confidence`.  0.5 is the neutral default for
     #: findings built without a semantic model.
     confidence: float = field(compare=False, default=0.5)
+    #: Static loop-nesting depth at the anchor node (the local part of
+    #: the hotness that went into ``confidence``).
+    hot_depth: int = field(compare=False, default=0)
+    #: Interprocedural hotness inherited from call sites of the
+    #: enclosing function (0 when top-level or never called).
+    caller_hotness: int = field(compare=False, default=0)
+    #: True when the flagged expression is provably side-effect free —
+    #: the rewrite the rule suggests cannot change observable behavior.
+    pure_context: bool = field(compare=False, default=False)
 
     def one_line(self) -> str:
         """Compact ``file:line: [RULE] message`` rendering."""
@@ -97,4 +106,7 @@ class Finding:
             "overhead_percent": self.overhead_percent,
             "snippet": self.snippet,
             "confidence": self.confidence,
+            "hot_depth": self.hot_depth,
+            "caller_hotness": self.caller_hotness,
+            "pure_context": self.pure_context,
         }

@@ -24,7 +24,9 @@ if TYPE_CHECKING:
 _BUILTIN_NAMES = frozenset(dir(builtins))
 
 #: The fact families a rule may declare in ``semantic_facts``.
-SEMANTIC_FACTS = frozenset({"scopes", "types", "hotness"})
+SEMANTIC_FACTS = frozenset(
+    {"scopes", "types", "hotness", "cfg", "dataflow", "purity", "callgraph"}
+)
 
 
 @dataclass
@@ -131,6 +133,32 @@ class AnalysisContext:
         """Inferred type is known and contradicts every candidate."""
         return self.semantics.excludes_type(node, *candidates)
 
+    # -- flow-sensitive fact queries ---------------------------------------
+
+    def type_at(self, node: ast.expr) -> str:
+        """Type under the flow state reaching the node's program point."""
+        return self.semantics.type_at(node)
+
+    def excludes_type_at(self, node: ast.expr, *candidates: str) -> bool:
+        """Flow-sensitive type is known and contradicts every candidate."""
+        return self.semantics.excludes_type_at(node, *candidates)
+
+    def defs_reaching(self, node: ast.Name):
+        """Definitions that may supply this name's value at its use."""
+        return self.semantics.defs_reaching(node)
+
+    def is_pure(self, func: ast.AST) -> bool:
+        """Conservative: calling ``func`` has no observable effects."""
+        return self.semantics.is_pure(func)
+
+    def expression_is_pure(self, expr: ast.expr) -> bool:
+        """Conservative: evaluating ``expr`` has no observable effects."""
+        return self.semantics.purity.expression_is_pure(expr)
+
+    def call_hotness(self, func: ast.AST) -> int:
+        """Max loop depth ``func`` is transitively called from."""
+        return self.semantics.call_hotness(func)
+
     # -- finding construction ---------------------------------------------
 
     def finding(
@@ -139,12 +167,15 @@ class AnalysisContext:
         node: ast.AST,
         message: str,
         severity: Severity = Severity.MEDIUM,
+        pure_context: bool = False,
     ) -> Finding:
         """Build a finding anchored to ``node`` with pool metadata.
 
-        Confidence folds the severity together with the node's static
-        loop-nesting depth (hotness) and the rule's paper overhead —
-        the same pattern two loops deep outranks its module-level twin.
+        Confidence folds the severity together with the node's
+        *effective* hotness — static loop-nesting depth plus the
+        interprocedural hotness of the enclosing function — and the
+        rule's paper overhead, so the same pattern inside a helper
+        called from a hot loop outranks its module-level twin.
         """
         line = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
@@ -153,6 +184,11 @@ class AnalysisContext:
             snippet = self.source_lines[line - 1].strip()
         entry = self.pool.entry(rule_id)
         overhead = self.pool.overhead_percent(rule_id)
+        hot_depth = self.semantics.hot_depth(node)
+        caller_hotness = 0
+        func = self.semantics.enclosing_function(node)
+        if func is not None:
+            caller_hotness = self.semantics.call_hotness(func)
         return Finding(
             file=self.filename,
             line=line,
@@ -165,8 +201,11 @@ class AnalysisContext:
             overhead_percent=overhead,
             snippet=snippet,
             confidence=compute_confidence(
-                severity, self.semantics.hot_depth(node), overhead
+                severity, hot_depth + caller_hotness, overhead
             ),
+            hot_depth=hot_depth,
+            caller_hotness=caller_hotness,
+            pure_context=pure_context,
         )
 
 

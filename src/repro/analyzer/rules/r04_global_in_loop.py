@@ -20,8 +20,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class GlobalInLoopRule(Rule):
     rule_id = "R04_GLOBAL_IN_LOOP"
     interested_types = (ast.For, ast.AsyncFor, ast.While)
-    semantic_facts = ("scopes", "hotness")
-    version = 2
+    semantic_facts = ("scopes", "hotness", "dataflow", "callgraph")
+    version = 3
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         # Anchor on the loop so each (loop, name) pair is flagged once.
@@ -30,6 +30,7 @@ class GlobalInLoopRule(Rule):
         if ctx.current_function is None:
             # Module-level loops read "globals" as their locals; no win.
             return
+        written = _globals_written_in(node, ctx)
         seen: set[str] = set()
         for child in ast.walk(node):
             if not (isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)):
@@ -43,6 +44,12 @@ class GlobalInLoopRule(Rule):
             # and nonlocals resolve to function scopes and stay silent.
             if not ctx.resolve(child).is_module_level:
                 continue
+            # Rebinding gate: a global written inside the loop — directly
+            # (`global COUNT; COUNT = COUNT + 1`) or through a callee the
+            # call graph knows writes it — changes value across
+            # iterations, so hoisting it to a local is wrong, not slow.
+            if name in written:
+                continue
             # Skip names that are call targets only once — a single call
             # per loop body still repeats per iteration, so keep them.
             seen.add(name)
@@ -53,3 +60,25 @@ class GlobalInLoopRule(Rule):
                 f"to a local before the loop ({name}_local = {name}).",
                 severity=Severity.HIGH,
             )
+
+
+def _globals_written_in(loop: ast.AST, ctx: AnalysisContext) -> set[str]:
+    """Module-level names rebound inside the loop body.
+
+    Covers direct stores under a ``global`` declaration and, via the
+    purity call graph's effect sets, stores performed by any function
+    the loop (transitively) calls.
+    """
+    written: set[str] = set()
+    callgraph = ctx.semantics.purity
+    for child in ast.walk(loop):
+        if isinstance(child, ast.Name) and isinstance(
+            child.ctx, (ast.Store, ast.Del)
+        ):
+            if ctx.resolve(child).is_module_level:
+                written.add(child.id)
+        elif isinstance(child, ast.Call):
+            callee = callgraph.resolve_callee(child)
+            if callee is not None:
+                written.update(callgraph.global_writes(callee))
+    return written

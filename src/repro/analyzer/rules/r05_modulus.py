@@ -23,18 +23,19 @@ def _is_power_of_two(value: object) -> bool:
 class ModulusRule(Rule):
     rule_id = "R05_MODULUS"
     interested_types = (ast.BinOp,)
-    semantic_facts = ("types", "hotness")
-    version = 2
+    semantic_facts = ("types", "hotness", "cfg", "dataflow")
+    version = 3
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)):
             return
         # '%' on a string literal is formatting, not arithmetic — and the
-        # type table extends that to names whose value is inferred str
-        # (fmt = "%d rows"; fmt % n).
+        # flow-sensitive type state extends that to names whose value is
+        # str *at this program point* (fmt = 0 … fmt = "%d rows"; fmt % n
+        # formats even though the whole-scope join says unknown).
         if isinstance(node.left, ast.Constant) and isinstance(node.left.value, str):
             return
-        if ctx.type_of(node.left) == "str":
+        if ctx.type_at(node.left) == "str":
             return
         if not ctx.in_loop:
             return

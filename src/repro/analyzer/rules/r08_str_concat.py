@@ -18,16 +18,18 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class StrConcatRule(Rule):
     rule_id = "R08_STR_CONCAT"
     interested_types = (ast.AugAssign, ast.Assign)
-    semantic_facts = ("types", "hotness")
-    version = 2
+    semantic_facts = ("types", "hotness", "cfg", "dataflow")
+    version = 3
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not ctx.in_loop:
             return
         if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
-            # `dst += …` on a known non-str (list extend, int sum) is
-            # not string accumulation, whatever the RHS looks like.
-            if ctx.excludes_type(node.target, "str"):
+            # `dst += …` on a value known non-str *at this point* (a
+            # `total = ""` later rebound `total = 0` accumulates ints,
+            # whatever the whole-scope join says) is not string
+            # accumulation, whatever the RHS looks like.
+            if ctx.excludes_type_at(node.target, "str"):
                 return
             if isinstance(node.target, ast.Name) and self._string_accumulation(
                 node.target.id, node.value, ctx
@@ -50,7 +52,7 @@ class StrConcatRule(Rule):
                 and isinstance(value.op, ast.Add)
                 and isinstance(value.left, ast.Name)
                 and value.left.id == target.id
-                and not ctx.excludes_type(value.left, "str")
+                and not ctx.excludes_type_at(value.left, "str")
                 and self._string_accumulation(target.id, value.right, ctx)
             ):
                 yield ctx.finding(

@@ -19,8 +19,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class StrCompareRule(Rule):
     rule_id = "R09_STR_COMPARE"
     interested_types = (ast.Compare,)
-    semantic_facts = ("types",)
-    version = 2
+    semantic_facts = ("types", "cfg", "dataflow")
+    version = 3
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
@@ -28,11 +28,13 @@ class StrCompareRule(Rule):
         left, op, right = node.left, node.ops[0], node.comparators[0]
 
         # `.find()` is only the str/bytes membership idiom when the
-        # receiver can actually be a string — an ElementTree node's or
-        # custom object's .find() returning -1 sentinels is its own API.
+        # receiver can actually be a string *at this program point* — an
+        # ElementTree node's or custom object's .find() returning -1
+        # sentinels is its own API, even when the same name held a str
+        # earlier on some other path.
         if (
             self._is_find_call(left)
-            and not ctx.excludes_type(left.func.value, "str", "bytes")
+            and not ctx.excludes_type_at(left.func.value, "str", "bytes")
             and self._compares_minus_one_or_zero(op, right)
         ):
             yield ctx.finding(

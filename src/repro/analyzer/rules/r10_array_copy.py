@@ -21,8 +21,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class ArrayCopyRule(Rule):
     rule_id = "R10_ARRAY_COPY"
     interested_types = (ast.For,)
-    semantic_facts = ("types", "hotness")
-    version = 2
+    semantic_facts = ("types", "hotness", "cfg", "dataflow")
+    version = 3
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not isinstance(node, ast.For):
@@ -55,9 +55,10 @@ class ArrayCopyRule(Rule):
         src = assign.value.value.id  # type: ignore[union-attr]
         if dst == src:
             return None
-        # `dst[:] = src` only rewrites sequence copies; a dict keyed by
-        # ints (or any known non-sequence dst) is not this pattern.
-        if ctx.excludes_type(dst_name, "list"):
+        # `dst[:] = src` only rewrites sequence copies; a dst that is a
+        # dict *at the loop* (`dst = []` later rebound `dst = {}`) is
+        # not this pattern, whatever the whole-scope join says.
+        if ctx.excludes_type_at(dst_name, "list"):
             return None
         return ctx.finding(
             self.rule_id,
@@ -88,7 +89,7 @@ class ArrayCopyRule(Rule):
         ):
             return None
         dst = call.func.value.id
-        if ctx.excludes_type(call.func.value, "list"):
+        if ctx.excludes_type_at(call.func.value, "list"):
             return None
         src = ast.unparse(loop.iter)
         return ctx.finding(

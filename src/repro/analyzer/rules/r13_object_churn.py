@@ -19,8 +19,8 @@ from repro.semantics import BindingKind
 class ObjectChurnRule(Rule):
     rule_id = "R13_OBJECT_CHURN"
     interested_types = (ast.Call,)
-    semantic_facts = ("scopes", "hotness")
-    version = 2
+    semantic_facts = ("scopes", "hotness", "dataflow")
+    version = 3
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
         if not (isinstance(node, ast.Call) and ctx.in_loop):
@@ -34,6 +34,14 @@ class ObjectChurnRule(Rule):
                 severity=Severity.HIGH,
             )
         elif self._is_class_construction(node, ctx) and _all_constant_args(node):
+            # Mutation gate: when the instance is bound to a name and
+            # that binding is mutated later in the loop (p = Point(0, 0);
+            # p.x = row), each iteration needs a fresh object — hoisting
+            # would alias one shared instance.  Reaching definitions tie
+            # the mutation site to *this* construction, so a mutation of
+            # the name after an unrelated rebind does not gate.
+            if self._instance_mutated_in_loop(node, ctx):
+                return
             name = ast.unparse(node.func)
             yield ctx.finding(
                 self.rule_id,
@@ -42,6 +50,41 @@ class ObjectChurnRule(Rule):
                 "iteration; hoist the instance out of the loop.",
                 severity=Severity.MEDIUM,
             )
+
+    @staticmethod
+    def _instance_mutated_in_loop(
+        node: ast.Call, ctx: AnalysisContext
+    ) -> bool:
+        loop = ctx.loop_stack[-1]
+        binding_assign: ast.Assign | None = None
+        for stmt in ast.walk(loop):
+            if (
+                isinstance(stmt, ast.Assign)
+                and stmt.value is node
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                binding_assign = stmt
+                break
+        if binding_assign is None:
+            return False
+        bound = binding_assign.targets[0].id
+        for child in ast.walk(loop):
+            base: ast.expr | None = None
+            if isinstance(child, (ast.Attribute, ast.Subscript)) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                base = child.value
+            elif isinstance(child, ast.AugAssign) and isinstance(
+                child.target, (ast.Attribute, ast.Subscript)
+            ):
+                base = child.target.value
+            if not (isinstance(base, ast.Name) and base.id == bound):
+                continue
+            reaching = ctx.defs_reaching(base)
+            if any(d.node is binding_assign for d in reaching) or not reaching:
+                return True
+        return False
 
     @staticmethod
     def _is_re_compile(node: ast.Call, ctx: AnalysisContext) -> bool:

@@ -1,0 +1,52 @@
+"""R16 — dead stores: computed values that are never read.
+
+A value computed and assigned but never read afterward is pure waste —
+the CPU (and battery) paid for the computation and the write, and no
+later instruction observes either.  Liveness analysis over the
+function's CFG proves the "never read" part; the purity analysis
+proves the right-hand side can be deleted without losing an effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+
+
+def _is_trivial(value: ast.expr) -> bool:
+    """Bare constants and name aliases cost ~nothing to compute."""
+    return isinstance(value, (ast.Constant, ast.Name))
+
+
+class DeadStoreRule(Rule):
+    rule_id = "R16_DEAD_STORE"
+    interested_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+    semantic_facts = ("scopes", "cfg", "dataflow", "purity")
+    version = 1
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        for name, assign in ctx.semantics.dead_stores(node):
+            # `_`-prefixed names are the deliberate-discard convention.
+            if name.startswith("_"):
+                continue
+            if not isinstance(assign, ast.Assign) or _is_trivial(assign.value):
+                continue
+            # Only flag when deleting the statement is provably safe:
+            # an impure RHS (logging call, queue pop) is used *for* its
+            # effect even when its value is discarded.
+            if not ctx.expression_is_pure(assign.value):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                assign,
+                f"value assigned to {name!r} is never read on any path; "
+                "the computation is wasted energy — delete the statement "
+                "or use the result.",
+                severity=Severity.MEDIUM,
+                pure_context=True,
+            )

@@ -1,0 +1,94 @@
+"""R17 — loop-invariant recomputation.
+
+An expression whose operands never change inside the loop produces the
+same value every iteration; recomputing it per iteration multiplies
+its cost by the trip count for no benefit.  Reaching definitions prove
+the operands are loop-invariant (every definition that reaches the use
+lies outside the loop); purity analysis proves hoisting cannot change
+behavior.  Pure *calls* are deliberately left to R18 — this rule
+covers operator/subscript recomputation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+from repro.semantics import BindingKind
+
+
+def _nontrivial(value: ast.expr) -> bool:
+    """Worth hoisting: at least one operator / subscript / attribute."""
+    for sub in ast.walk(value):
+        if isinstance(sub, (ast.BinOp, ast.UnaryOp, ast.Compare,
+                            ast.Subscript, ast.Attribute)):
+            return True
+    return False
+
+
+class InvariantRecomputeRule(Rule):
+    rule_id = "R17_INVARIANT_RECOMPUTE"
+    interested_types = (ast.Assign,)
+    semantic_facts = ("scopes", "cfg", "dataflow", "purity")
+    version = 1
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (
+            isinstance(node, ast.Assign)
+            and ctx.in_loop
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            return
+        value = node.value
+        if not _nontrivial(value):
+            return
+        # Calls are R18's territory (memoization), attribute chains on
+        # impure receivers are not provably invariant — require a fully
+        # pure, call-free RHS.
+        if any(isinstance(sub, ast.Call) for sub in ast.walk(value)):
+            return
+        if not ctx.expression_is_pure(value):
+            return
+        loop = ctx.loop_stack[-1]
+        target = node.targets[0].id
+        if not _operands_invariant(value, loop, target, ctx):
+            return
+        yield ctx.finding(
+            self.rule_id,
+            node,
+            f"{target!r} is recomputed every iteration from operands "
+            "that never change inside the loop; hoist the computation "
+            "above the loop.",
+            severity=Severity.MEDIUM,
+            pure_context=True,
+        )
+
+
+def _operands_invariant(
+    value: ast.expr, loop: ast.AST, target: str, ctx: AnalysisContext
+) -> bool:
+    """Every name the RHS reads is defined only outside the loop."""
+    loop_nodes = {id(sub) for sub in ast.walk(loop)}
+    saw_name = False
+    for sub in ast.walk(value):
+        if not (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)):
+            continue
+        saw_name = True
+        if sub.id == target:
+            # Self-reference — an accumulation, not a recomputation.
+            return False
+        binding = ctx.resolve(sub)
+        if binding.kind is BindingKind.BUILTIN:
+            continue
+        reaching = ctx.defs_reaching(sub)
+        if not reaching:
+            # Globals/nonlocals are outside the dataflow unit; without
+            # reaching facts invariance is unprovable — stay silent.
+            return False
+        if any(id(d.node) in loop_nodes for d in reaching):
+            return False
+    # A name-free RHS is constant folding, not loop-invariant motion.
+    return saw_name

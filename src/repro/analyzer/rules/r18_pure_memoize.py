@@ -1,0 +1,76 @@
+"""R18 — pure calls with invariant arguments in hot loops.
+
+Calling a side-effect-free function with the same arguments every
+iteration repeats work whose answer cannot change: the call is a
+candidate for hoisting above the loop (or ``functools.lru_cache`` when
+the argument varies across *outer* iterations).  The purity call graph
+proves the callee has no observable effects; reaching definitions
+prove the arguments are loop-invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyzer.findings import Finding, Severity
+from repro.analyzer.rules.base import AnalysisContext, Rule
+from repro.semantics import BindingKind
+
+
+class PureMemoizeRule(Rule):
+    rule_id = "R18_PURE_MEMOIZE"
+    interested_types = (ast.Call,)
+    semantic_facts = ("scopes", "dataflow", "purity", "callgraph")
+    version = 1
+
+    def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Call) and ctx.in_loop):
+            return
+        if not isinstance(node.func, ast.Name):
+            return
+        callee = ctx.semantics.purity.resolve_callee(node)
+        if callee is None or not ctx.is_pure(callee):
+            return
+        loop = ctx.loop_stack[-1]
+        operands = [*node.args, *(kw.value for kw in node.keywords)]
+        if any(isinstance(arg, ast.Starred) for arg in node.args):
+            return
+        if not all(_invariant_operand(arg, loop, ctx) for arg in operands):
+            return
+        name = node.func.id
+        yield ctx.finding(
+            self.rule_id,
+            node,
+            f"pure function {name!r} called with loop-invariant "
+            "arguments every iteration; hoist the call above the loop "
+            "or memoize it (functools.lru_cache).",
+            severity=Severity.MEDIUM,
+            pure_context=True,
+        )
+
+
+def _invariant_operand(
+    arg: ast.expr, loop: ast.AST, ctx: AnalysisContext
+) -> bool:
+    """The argument's value cannot change across loop iterations."""
+    if not ctx.expression_is_pure(arg):
+        return False
+    loop_nodes = {id(sub) for sub in ast.walk(loop)}
+    for sub in ast.walk(arg):
+        if isinstance(sub, ast.Call):
+            # A nested call's result may vary even with fixed inputs
+            # (pure but reading different cells); keep it simple and
+            # require call-free arguments.
+            return False
+        if not (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)):
+            continue
+        binding = ctx.resolve(sub)
+        if binding.kind is BindingKind.BUILTIN:
+            continue
+        reaching = ctx.defs_reaching(sub)
+        if not reaching:
+            return False
+        if any(id(d.node) in loop_nodes for d in reaching):
+            return False
+    return True

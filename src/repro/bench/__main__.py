@@ -18,7 +18,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "overhead", "chaos", "ingest", "all"],
+                 "overhead", "chaos", "ingest", "semantics", "all"],
     )
     parser.add_argument(
         "--full",
@@ -63,12 +63,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="sweep: exit 1 unless parallel/cached output is identical "
         "to serial; overhead: exit 1 unless the new runtime's per-call "
-        "overhead is within the legacy tracer's (CI smoke assertion)",
+        "overhead is within the legacy tracer's; semantics: exit 1 "
+        "unless the flow-fact layer stays within its ms-per-KLoC "
+        "budget (CI smoke assertions)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="overhead/ingest: small call count / few repeats "
+        help="overhead/ingest/semantics: small corpus / few repeats "
         "(CI smoke run)",
     )
     parser.add_argument(
@@ -168,6 +170,24 @@ def main(argv: list[str] | None = None) -> int:
             print(render_ingest_bench(result))
             output = write_ingest_bench(
                 result, args.output or INGEST_OUTPUT
+            )
+            print(f"wrote {output}")
+            if args.check and not result.meets_target():
+                return 1
+        elif target == "semantics":
+            from repro.bench.semantics import (
+                DEFAULT_OUTPUT as SEMANTICS_OUTPUT,
+                render_semantics_bench,
+                run_semantics_bench,
+                write_semantics_bench,
+            )
+
+            result = run_semantics_bench(
+                project_dir=args.project, quick=args.quick
+            )
+            print(render_semantics_bench(result))
+            output = write_semantics_bench(
+                result, args.output or SEMANTICS_OUTPUT
             )
             print(f"wrote {output}")
             if args.check and not result.meets_target():

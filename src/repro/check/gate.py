@@ -7,6 +7,11 @@ path*, and the *whitespace-normalized snippet* rather than line
 numbers.  Two identical snippets in one file share a fingerprint; that
 is deliberate (fixing one of two duplicated patterns should not
 surface the survivor as "new") and documented in the README.
+
+They must *not* survive a rule revision: the detector's ``version``
+is folded in, so bumping it (e.g. when a rule gains a flow-sensitive
+gate) retires that rule's baselined fingerprints wholesale and the
+refreshed verdicts are re-recorded.
 """
 
 from __future__ import annotations
@@ -28,6 +33,22 @@ def normalize_snippet(snippet: str) -> str:
     return " ".join(snippet.split())
 
 
+def _rule_version(rule_id: str) -> int:
+    """The registered detector's version (1 for unknown rules).
+
+    Folding this into the fingerprint retires every baselined finding
+    of a rule the moment its detection logic is revised: a stale
+    suppression must not cover a verdict the new logic would change.
+    """
+    from repro.rules import REGISTRY
+
+    if rule_id in REGISTRY:
+        detector = REGISTRY.get(rule_id).detector
+        if detector is not None:
+            return getattr(detector, "version", 1)
+    return 1
+
+
 def _relative_file(file: str, root: str | Path | None) -> str:
     path = PurePath(file)
     if root is not None:
@@ -47,11 +68,14 @@ def finding_fingerprint(
     """Stable 16-hex-digit id for one finding.
 
     ``root`` relativizes the path so baselines recorded in one checkout
-    match findings from another.
+    match findings from another.  The rule's registered version is
+    part of the hash, so a revised rule never inherits stale
+    suppressions.
     """
     payload = "\x1f".join(
         (
             finding.rule_id,
+            str(_rule_version(finding.rule_id)),
             _relative_file(finding.file, root),
             normalize_snippet(finding.snippet),
         )

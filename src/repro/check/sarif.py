@@ -86,6 +86,9 @@ def to_sarif(
                     "ruleId": finding.rule_id,
                     "ruleIndex": rule_ids.index(finding.rule_id),
                     "level": _LEVELS[finding.severity],
+                    # SARIF rank is 0–100; confidence is [0, 1], so
+                    # scanning UIs can sort results by our score.
+                    "rank": round(finding.confidence * 100, 2),
                     "message": {
                         "text": f"{finding.message} "
                         f"Suggestion: {finding.suggestion}"
@@ -109,6 +112,9 @@ def to_sarif(
                         "confidence": finding.confidence,
                         "severity": finding.severity.name,
                         "component": finding.component,
+                        "hotDepth": finding.hot_depth,
+                        "callerHotness": finding.caller_hotness,
+                        "pureContext": finding.pure_context,
                     },
                 }
             )

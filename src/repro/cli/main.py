@@ -258,13 +258,29 @@ def build_parser() -> argparse.ArgumentParser:
         "micro-benchmark per rule",
     )
 
+    facts = sub.add_parser(
+        "facts",
+        help="dump the flow-sensitive facts (CFG shape, def-use chains, "
+        "purity, interprocedural hotness) per method",
+    )
+    facts.add_argument(
+        "path", type=Path, help="a Python file or a project directory"
+    )
+    facts.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text table, or one JSON record per method "
+        "(predictor-ready feature vectors)",
+    )
+
     bench = sub.add_parser(
         "bench", help="regenerate a paper table/figure or a perf bench"
     )
     bench.add_argument(
         "target",
         choices=["table1", "table2", "table3", "table4", "figures", "sweep",
-                 "overhead", "chaos", "ingest", "all"],
+                 "overhead", "chaos", "ingest", "semantics", "all"],
     )
     bench.add_argument(
         "--jobs",
@@ -277,12 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sweep: exit 1 unless parallel/cached output matches serial; "
         "overhead: exit 1 unless the new runtime beats the legacy tracer; "
-        "chaos: exit 1 unless every fault-tolerance criterion holds",
+        "chaos: exit 1 unless every fault-tolerance criterion holds; "
+        "semantics: exit 1 unless the flow-fact layer stays within its "
+        "ms-per-KLoC budget",
     )
     bench.add_argument(
         "--quick",
         action="store_true",
-        help="overhead: small call count / few repeats (CI smoke run)",
+        help="overhead/semantics: small corpus / few repeats (CI smoke run)",
     )
     bench.add_argument(
         "--checkpoint",
@@ -774,6 +792,51 @@ def _cmd_compare(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_facts(args: argparse.Namespace, out) -> int:
+    import json as _json
+
+    from repro.bench.semantics import corpus_files
+    from repro.metrics import FEATURE_NAMES, file_flow_features
+    from repro.views.tables import render_table
+
+    path: Path = args.path
+    if not path.exists():
+        raise FileNotFoundError(path)
+    total = 0
+    for file in corpus_files(path):
+        try:
+            rows = file_flow_features(file)
+        except SyntaxError as error:
+            print(f"pepo: skipping {file}: {error}", file=sys.stderr)
+            continue
+        total += len(rows)
+        if args.format == "json":
+            for row in rows:
+                record = {"file": str(file)}
+                record.update(row.to_dict())
+                print(_json.dumps(record), file=out)
+            continue
+        if not rows:
+            continue
+        print(
+            render_table(
+                ("Function", "Line", *FEATURE_NAMES),
+                [
+                    (row.qualname, str(row.line))
+                    + tuple(str(getattr(row, name)) for name in FEATURE_NAMES)
+                    for row in rows
+                ],
+                title=str(file),
+                right_align=tuple(range(1, len(FEATURE_NAMES) + 2)),
+            ),
+            file=out,
+        )
+        print(file=out)
+    if args.format == "text":
+        print(f"{total} method(s)", file=out)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -802,6 +865,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "rules": _cmd_rules,
         "cache": _cmd_cache,
+        "facts": _cmd_facts,
         "bench": _cmd_bench,
         "ingest": _cmd_ingest,
         "store": _cmd_store,

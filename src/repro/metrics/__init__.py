@@ -7,6 +7,12 @@ for Python code: an import graph (networkx) for dependency closures and
 an AST pass for attribute/method/LOC counts.
 """
 
+from repro.metrics.dataflow import (
+    FEATURE_NAMES,
+    MethodFlowFeatures,
+    file_flow_features,
+    method_flow_features,
+)
 from repro.metrics.deps import DependencyGraph, build_dependency_graph
 from repro.metrics.loc import ModuleMetrics, count_module
 from repro.metrics.summary import ClosureMetrics, closure_metrics
@@ -14,8 +20,12 @@ from repro.metrics.summary import ClosureMetrics, closure_metrics
 __all__ = [
     "ClosureMetrics",
     "DependencyGraph",
+    "FEATURE_NAMES",
+    "MethodFlowFeatures",
     "ModuleMetrics",
     "build_dependency_graph",
     "closure_metrics",
     "count_module",
+    "file_flow_features",
+    "method_flow_features",
 ]

@@ -12,7 +12,11 @@ loop, and the loop's reads are renamed to the alias::
 
 Preconditions: the name is bound at module level, never assigned or
 deleted inside the function, not a builtin, and not used as an
-attribute-assignment or call *target* that could rebind it.
+attribute-assignment or call *target* that could rebind it.  The
+purity call graph adds an interprocedural gate: when the loop body
+calls a function whose (transitive) effect set writes the global,
+the pre-loop snapshot would go stale mid-loop, so the name is not
+hoisted.
 """
 
 from __future__ import annotations
@@ -80,6 +84,7 @@ class GlobalHoistTransform(Transform):
     def _hoist_loop(self, loop, module_names, locals_, semantics):
         reads: dict[str, list[ast.Name]] = {}
         blocked: set[str] = set()
+        callgraph = semantics.purity
         for node in ast.walk(loop):
             if isinstance(node, ast.Name):
                 if isinstance(node.ctx, ast.Load):
@@ -91,6 +96,14 @@ class GlobalHoistTransform(Transform):
                 for sub in ast.walk(node):
                     if isinstance(sub, ast.Name):
                         blocked.add(sub.id)
+            elif isinstance(node, ast.Call):
+                # Interprocedural gate: a loop-body call that (even
+                # transitively) rebinds a global makes the pre-loop
+                # snapshot stale — the call graph's effect sets block
+                # exactly those names.
+                callee = _resolve_call(node, semantics)
+                if callee is not None:
+                    blocked.update(callgraph.global_writes(callee))
         candidates = [
             name
             for name, load_nodes in reads.items()
@@ -111,6 +124,34 @@ class GlobalHoistTransform(Transform):
             _rename_loads(loop, name, alias)
             hoisted.append((name, alias))
         return hoisted
+
+
+def _resolve_call(call: ast.Call, semantics: SemanticModel):
+    """The function def a loop-body call dispatches to, alias-aware.
+
+    A previous hoist pass may already have aliased the callee
+    (``_local_bump = bump; _local_bump()``), so when direct resolution
+    fails, follow one hop through the alias's reaching definitions —
+    otherwise the effect gate would go blind on the second fixpoint
+    pass.
+    """
+    callgraph = semantics.purity
+    callee = callgraph.resolve_callee(call)
+    if callee is not None or not isinstance(call.func, ast.Name):
+        return callee
+    resolved = None
+    for definition in semantics.defs_reaching(call.func):
+        node = definition.node
+        if not (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Name)
+        ):
+            return None
+        target = callgraph.resolve_function(node.value)
+        if target is None or (resolved is not None and target is not resolved):
+            return None
+        resolved = target
+    return resolved
 
 
 def _function_locals(func) -> set[str]:

@@ -2,8 +2,11 @@
 
 ``name = re.compile(<constants>)`` inside a loop moves to just before
 the loop.  Preconditions: the target name is assigned nowhere else in
-the loop, and every argument is a literal constant (so the value cannot
-depend on the iteration).
+the loop, every argument is a literal constant (so the value cannot
+depend on the iteration), and — via reaching definitions — no read of
+the name inside the loop can observe a value from *before* the
+assignment: a first-iteration read of an outer binding (or of nothing,
+a NameError) would see the hoisted value instead.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import ast
 
 from repro.analyzer.rules.base import target_names
 from repro.optimizer.transforms.base import AppliedChange, Transform, in_loop_statements
+from repro.semantics import build_semantic_model
 
 
 class RecompileHoistTransform(Transform):
@@ -21,13 +25,18 @@ class RecompileHoistTransform(Transform):
 
     def apply(self, tree: ast.Module) -> tuple[ast.Module, list[AppliedChange]]:
         changes: list[AppliedChange] = []
+        # Flow units must be built from the pristine tree: _extract
+        # mutates bodies as it goes, and a CFG first materialized after
+        # a pop would describe the half-rewritten function.
+        semantics = build_semantic_model(tree)
+        semantics.materialize()
         # Process high indices first so inserts never invalidate the
         # collected positions of other loops in the same body.
         sites = sorted(
             in_loop_statements(tree), key=lambda site: site[2], reverse=True
         )
         for loop, parent_body, loop_index in sites:
-            moved = self._extract(loop)
+            moved = self._extract(loop, semantics)
             for stmt in reversed(moved):
                 parent_body.insert(loop_index, stmt)
                 changes.append(
@@ -40,17 +49,7 @@ class RecompileHoistTransform(Transform):
         ast.fix_missing_locations(tree)
         return tree, changes
 
-    def _extract(self, loop) -> list[ast.stmt]:
-        assigned_in_loop: set[str] = set()
-        for node in ast.walk(loop):
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    assigned_in_loop |= target_names(target)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                assigned_in_loop |= target_names(node.target)
-            elif isinstance(node, ast.For):
-                assigned_in_loop |= target_names(node.target)
-
+    def _extract(self, loop, semantics) -> list[ast.stmt]:
         moved: list[ast.stmt] = []
         for body in self._direct_bodies(loop):
             index = 0
@@ -66,13 +65,38 @@ class RecompileHoistTransform(Transform):
                         if isinstance(node, ast.Assign)
                         and any(name in target_names(t) for t in node.targets)
                     )
-                    if others == 1:
+                    if others == 1 and self._reads_see_only(
+                        loop, stmt, name, semantics
+                    ):
                         moved.append(body.pop(index))
                         continue
                 index += 1
             if not body:
                 body.append(ast.Pass())
         return moved
+
+    @staticmethod
+    def _reads_see_only(loop, assign, name, semantics) -> bool:
+        """Every in-loop read of ``name`` reaches exactly this assign.
+
+        A read whose reaching set includes an outer definition — or is
+        empty, i.e. a possibly-unbound first-iteration read — would
+        observe the hoisted value instead of what the original code
+        saw, so the hoist is rejected.
+        """
+        for node in ast.walk(loop):
+            if not (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                continue
+            reaching = semantics.defs_reaching(node)
+            if not reaching:
+                return False
+            if any(d.node is not assign for d in reaching):
+                return False
+        return True
 
     @staticmethod
     def _direct_bodies(loop):

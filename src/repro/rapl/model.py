@@ -180,6 +180,15 @@ class OperationCostTable:
         "R15_RANGE_LEN": OperationCost(
             "range(len()) indexing", "direct iteration", 25.0
         ),
+        "R16_DEAD_STORE": OperationCost(
+            "computed value never read", "deleted statement", 100.0
+        ),
+        "R17_INVARIANT_RECOMPUTE": OperationCost(
+            "loop-invariant recomputation", "hoisted expression", 120.0
+        ),
+        "R18_PURE_MEMOIZE": OperationCost(
+            "repeated pure call in hot loop", "hoisted/memoized call", 140.0
+        ),
     }
 
     def __init__(self) -> None:

@@ -38,6 +38,9 @@ from repro.analyzer.rules.r12_exception_flow import ExceptionFlowRule
 from repro.analyzer.rules.r13_object_churn import ObjectChurnRule
 from repro.analyzer.rules.r14_append_loop import AppendLoopRule
 from repro.analyzer.rules.r15_range_len import RangeLenRule
+from repro.analyzer.rules.r16_dead_store import DeadStoreRule
+from repro.analyzer.rules.r17_invariant_recompute import InvariantRecomputeRule
+from repro.analyzer.rules.r18_pure_memoize import PureMemoizeRule
 from repro.bench.micro import MicroPair, builtin_micro_pairs
 from repro.optimizer.transforms.t_array_copy import ArrayCopyTransform
 from repro.optimizer.transforms.t_global_hoist import GlobalHoistTransform
@@ -55,7 +58,7 @@ from repro.rules.spec import RuleSpec
 
 
 def build_default_registry() -> RuleRegistry:
-    """Assemble the shipped registry: R01–R13 plus extensions R14–R15."""
+    """Assemble the shipped registry: R01–R13 plus extensions R14–R18."""
     costs = OperationCostTable()
     micros: dict[str, MicroPair] = {
         pair.rule_id: pair for pair in builtin_micro_pairs()
@@ -253,6 +256,37 @@ def build_default_registry() -> RuleRegistry:
                 "indexing through range(len(seq)).",
                 RangeLenRule,
                 RangeLenToEnumerate,
+                extension=True,
+            ),
+            spec(
+                "R16_DEAD_STORE",
+                "(extension)",
+                "—",
+                "Dead stores",
+                "A pure value assigned but never read on any path is wasted "
+                "computation; delete the statement or use the result.",
+                DeadStoreRule,
+                extension=True,
+            ),
+            spec(
+                "R17_INVARIANT_RECOMPUTE",
+                "(extension)",
+                "—",
+                "Loop-invariant recomputation",
+                "An expression recomputed each iteration from operands that "
+                "never change inside the loop should be hoisted above it.",
+                InvariantRecomputeRule,
+                extension=True,
+            ),
+            spec(
+                "R18_PURE_MEMOIZE",
+                "(extension)",
+                "—",
+                "Pure calls in hot loops",
+                "A side-effect-free call with loop-invariant arguments "
+                "repeats identical work every iteration; hoist or memoize "
+                "it (functools.lru_cache).",
+                PureMemoizeRule,
                 extension=True,
             ),
         )

@@ -1,0 +1,483 @@
+"""Per-code-unit control-flow graphs.
+
+One :class:`CFG` is built per *code unit* — the module body or one
+function body.  Blocks hold an ordered list of :class:`Event`\\ s, each
+anchoring the AST node that executes at that program point:
+
+* plain statements (``STMT``),
+* branch/loop tests (``TEST``),
+* a ``for`` loop's iterable evaluation (``ITER``) and its per-iteration
+  target binding (``FOR_TARGET``),
+* ``with``-item context-manager setup (``WITHITEM``),
+* ``except`` clause entry (``EXCEPT``: type expression + name bind),
+* ``match`` subject evaluation (``SUBJECT``) and per-case pattern +
+  guard evaluation (``PATTERN``).
+
+Edges over-approximate Python's control flow, which is the right
+direction for *may*-analyses (reaching definitions) and for joins in
+the type-state analysis:
+
+* ``while``/``for`` ``else`` clauses run on normal exhaustion and are
+  skipped by ``break``;
+* every statement inside a ``try`` body feeds every handler entry
+  with the state *before* that statement — definitions that *may not*
+  have executed yet still reach the handler, while the completed state
+  of the body's last statement (after which nothing can raise into
+  the handlers) correctly does not;
+* ``finally`` bodies are threaded on normal completion **and** on
+  every abrupt exit (``return`` / ``raise`` / ``break`` / ``continue``)
+  crossing them, with the finally exit fanned out to each pending
+  abrupt target;
+* a bare ``raise`` (re-raise) inside a handler feeds the *enclosing*
+  handlers and the unit exit.
+
+The builder deliberately does not model exceptions from arbitrary
+expressions — only explicit ``raise`` and statement-level try edges —
+a standard precision/size trade-off for lint-grade dataflow.
+
+Nested function / lambda / class bodies are separate code units and
+are skipped: the defining statement is one event in the enclosing CFG
+(binding the name); the nested body gets its own CFG on demand.
+Comprehension internals stay part of the enclosing event, so a load
+inside a comprehension maps to the statement's program point — which
+is exactly when the enclosing scope's bindings are observed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+# Event kinds.
+STMT = "stmt"
+TEST = "test"
+ITER = "iter"
+FOR_TARGET = "for_target"
+WITHITEM = "withitem"
+EXCEPT = "except"
+SUBJECT = "subject"
+PATTERN = "pattern"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One executed program point inside a block."""
+
+    node: ast.AST
+    kind: str
+
+
+class Block:
+    """A straight-line run of events with explicit successor edges."""
+
+    __slots__ = ("index", "events", "succ", "pred")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.events: list[Event] = []
+        self.succ: list["Block"] = []
+        self.pred: list["Block"] = []
+
+    def add_edge(self, other: "Block") -> None:
+        if other not in self.succ:
+            self.succ.append(other)
+            other.pred.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Block {self.index} events={len(self.events)} "
+            f"succ={[b.index for b in self.succ]}>"
+        )
+
+
+class CFG:
+    """Control-flow graph for one code unit (module or function body)."""
+
+    def __init__(self, scope_node: ast.AST) -> None:
+        self.scope_node = scope_node
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        #: id(ast node) -> (block index, event index) for every node
+        #: executed by this unit (event nodes and their sub-expressions).
+        self._points: dict[int, tuple[int, int]] = {}
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    # -- program-point lookup ---------------------------------------------
+
+    def point_of(self, node: ast.AST) -> tuple[int, int] | None:
+        """(block index, event index) where ``node`` executes, if known."""
+        return self._points.get(id(node))
+
+    def alias_point(self, node: ast.AST, to_node: ast.AST) -> None:
+        """Map ``node`` to ``to_node``'s point.  Compound statements
+        (``if``/``while``/``try``/…) are not events themselves; they
+        alias to their first executed part so ``point_of`` answers for
+        every statement."""
+        point = self._points.get(id(to_node))
+        if point is not None:
+            self._points.setdefault(id(node), point)
+
+    def record_point(self, node: ast.AST, block: Block, event_index: int) -> None:
+        """Map ``node`` and its executed sub-expressions to one point.
+
+        Interiors of nested functions / lambdas / classes are skipped —
+        they execute in their own unit — but the parts that run at the
+        defining statement (decorators, defaults, annotations, class
+        bases) are included.
+        """
+        point = (block.index, event_index)
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            self._points.setdefault(id(current), point)
+            if current is node and isinstance(
+                current, (ast.For, ast.AsyncFor)
+            ):
+                # FOR_TARGET event: only the target binds here — the
+                # iterable ran at the ITER event and the body statements
+                # get their own points when they are emitted.
+                stack.append(current.target)
+                continue
+            if current is node and isinstance(current, ast.ExceptHandler):
+                # EXCEPT event: type expression + name bind only; the
+                # handler body statements get their own points (after
+                # the bind, so the bound name is visible to them).
+                if current.type is not None:
+                    stack.append(current.type)
+                continue
+            if current is not node or not isinstance(
+                current, (*_FUNCTION_NODES, ast.Lambda, ast.ClassDef)
+            ):
+                if isinstance(current, (*_FUNCTION_NODES, ast.ClassDef)):
+                    continue  # nested unit: only the def node itself
+                if isinstance(current, ast.Lambda):
+                    stack.extend(current.args.defaults)
+                    stack.extend(
+                        d for d in current.args.kw_defaults if d is not None
+                    )
+                    continue
+                stack.extend(ast.iter_child_nodes(current))
+                continue
+            # The event root IS a def/class statement: record the parts
+            # evaluated at definition time, skip the body.
+            if isinstance(current, _FUNCTION_NODES):
+                stack.extend(current.decorator_list)
+                stack.extend(current.args.defaults)
+                stack.extend(
+                    d for d in current.args.kw_defaults if d is not None
+                )
+            elif isinstance(current, ast.ClassDef):
+                stack.extend(current.decorator_list)
+                stack.extend(current.bases)
+                stack.extend(kw.value for kw in current.keywords)
+        # (Lambda event roots do not occur: lambdas are expressions.)
+
+    # -- summaries ---------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(block.succ) for block in self.blocks)
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [
+            (block.index, succ.index)
+            for block in self.blocks
+            for succ in block.succ
+        ]
+
+
+class _FinallyFrame:
+    """Routing state for one active ``finally`` clause."""
+
+    __slots__ = ("entry", "pending")
+
+    def __init__(self, entry: Block) -> None:
+        self.entry = entry
+        #: abrupt targets that must be re-dispatched after the finally.
+        self.pending: list[Block] = []
+
+    def add_pending(self, target: Block) -> None:
+        if target not in self.pending:
+            self.pending.append(target)
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.current = cfg.entry
+        #: (continue target, break target) per enclosing loop.
+        self.loops: list[tuple[Block, Block]] = []
+        #: handler-entry block lists per enclosing try.
+        self.handlers: list[list[Block]] = []
+        #: active finally frames, innermost last.
+        self.finallies: list[_FinallyFrame] = []
+
+    # -- event emission ----------------------------------------------------
+
+    def emit(self, node: ast.AST, kind: str) -> None:
+        block = self.current
+        block.events.append(Event(node, kind))
+        self.cfg.record_point(node, block, len(block.events) - 1)
+
+    def _dead_block(self) -> None:
+        """Continue building into an unreachable block (post return/…)."""
+        self.current = self.cfg.new_block()
+
+    # -- abrupt-exit routing through finallies -----------------------------
+
+    def _abrupt(self, target: Block, *, skip_frames: int = 0) -> None:
+        """Edge from ``current`` to ``target`` honoring active finallies."""
+        frames = self.finallies[: len(self.finallies) - skip_frames]
+        if frames:
+            frame = frames[-1]
+            self.current.add_edge(frame.entry)
+            frame.add_pending(target)
+        else:
+            self.current.add_edge(target)
+
+    def _route_from(self, source: Block, target: Block, frames_below: int) -> None:
+        """Route ``source`` → ``target`` through finallies outside level
+        ``frames_below`` (used when dispatching a finally's pending
+        abrupt targets outward through enclosing finallies)."""
+        frames = self.finallies[:frames_below]
+        if frames:
+            frame = frames[-1]
+            source.add_edge(frame.entry)
+            frame.add_pending(target)
+        else:
+            source.add_edge(target)
+
+    def _exception_edges(self) -> None:
+        """Feed every enclosing handler from the current block (a
+        statement here may raise into any of them)."""
+        for entries in self.handlers:
+            for entry in entries:
+                self.current.add_edge(entry)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def build_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.build_stmt(stmt)
+
+    def build_stmt(self, stmt: ast.stmt) -> None:
+        if self.handlers:
+            # Any statement inside a try body may raise into any
+            # enclosing handler.  Seal the running block first so the
+            # handler edges leave a block whose out-state is the state
+            # *before* this statement — exactly what a raise inside it
+            # may observe.  (A statement that completes feeds the
+            # handlers through the next statement's seal instead; the
+            # post-state of the try body's last statement correctly
+            # never reaches them.)
+            sealed = self.current
+            self.current = self.cfg.new_block()
+            sealed.add_edge(self.current)
+            for entries in self.handlers:
+                for entry in entries:
+                    sealed.add_edge(entry)
+        if isinstance(stmt, ast.If):
+            self._build_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._build_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._build_for(stmt)
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._build_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._build_with(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._build_match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.emit(stmt, STMT)
+            self._abrupt(self.cfg.exit)
+            self._dead_block()
+        elif isinstance(stmt, ast.Raise):
+            self.emit(stmt, STMT)
+            self._exception_edges()
+            self._abrupt(self.cfg.exit)
+            self._dead_block()
+        elif isinstance(stmt, ast.Break):
+            self.emit(stmt, STMT)
+            if self.loops:
+                self._abrupt(self.loops[-1][1])
+            self._dead_block()
+        elif isinstance(stmt, ast.Continue):
+            self.emit(stmt, STMT)
+            if self.loops:
+                self._abrupt(self.loops[-1][0])
+            self._dead_block()
+        else:
+            self.emit(stmt, STMT)
+
+    # -- compound statements -----------------------------------------------
+
+    def _build_if(self, stmt: ast.If) -> None:
+        self.emit(stmt.test, TEST)
+        self.cfg.alias_point(stmt, stmt.test)
+        branch = self.current
+        then_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        branch.add_edge(then_block)
+        self.current = then_block
+        self.build_body(stmt.body)
+        self.current.add_edge(after)
+        if stmt.orelse:
+            else_block = self.cfg.new_block()
+            branch.add_edge(else_block)
+            self.current = else_block
+            self.build_body(stmt.orelse)
+            self.current.add_edge(after)
+        else:
+            branch.add_edge(after)
+        self.current = after
+
+    def _build_while(self, stmt: ast.While) -> None:
+        header = self.cfg.new_block()
+        self.current.add_edge(header)
+        self.current = header
+        self.emit(stmt.test, TEST)
+        self.cfg.alias_point(stmt, stmt.test)
+        body = self.cfg.new_block()
+        after = self.cfg.new_block()
+        header.add_edge(body)
+        self.loops.append((header, after))
+        self.current = body
+        self.build_body(stmt.body)
+        self.current.add_edge(header)
+        self.loops.pop()
+        if stmt.orelse:
+            # else runs only on a false test; break jumps past it.
+            else_block = self.cfg.new_block()
+            header.add_edge(else_block)
+            self.current = else_block
+            self.build_body(stmt.orelse)
+            self.current.add_edge(after)
+        else:
+            header.add_edge(after)
+        self.current = after
+
+    def _build_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        self.emit(stmt.iter, ITER)
+        header = self.cfg.new_block()
+        self.current.add_edge(header)
+        self.current = header
+        # The per-iteration target bind lives in the header.  The
+        # exhaustion edge also leaves the header: Python keeps the last
+        # bound target value after the loop, and the zero-iteration
+        # path stays sound because for-targets are *weak* definitions
+        # (gen without kill) in the dataflow layer.
+        self.emit(stmt, FOR_TARGET)
+        body = self.cfg.new_block()
+        after = self.cfg.new_block()
+        header.add_edge(body)
+        self.loops.append((header, after))
+        self.current = body
+        self.build_body(stmt.body)
+        self.current.add_edge(header)
+        self.loops.pop()
+        if stmt.orelse:
+            else_block = self.cfg.new_block()
+            header.add_edge(else_block)
+            self.current = else_block
+            self.build_body(stmt.orelse)
+            self.current.add_edge(after)
+        else:
+            header.add_edge(after)
+        self.current = after
+
+    def _build_try(self, stmt: ast.AST) -> None:
+        handlers = list(getattr(stmt, "handlers", []))
+        handler_entries = [self.cfg.new_block() for _ in handlers]
+        frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            frame = _FinallyFrame(self.cfg.new_block())
+            self.finallies.append(frame)
+        after = self.cfg.new_block()
+
+        # Pre-try state reaches every handler through the first
+        # statement's seal in :meth:`build_stmt` — the raising statement
+        # may be the very first one, before any try-body definition ran.
+        if handler_entries:
+            self.handlers.append(handler_entries)
+        self.build_body(stmt.body)
+        if handler_entries:
+            self.handlers.pop()
+        if stmt.body:
+            self.cfg.alias_point(stmt, stmt.body[0])
+        if stmt.orelse:
+            self.build_body(stmt.orelse)
+
+        exits = [self.current]
+        for handler, entry in zip(handlers, handler_entries):
+            self.current = entry
+            self.emit(handler, EXCEPT)
+            self.build_body(handler.body)
+            exits.append(self.current)
+
+        if frame is not None:
+            self.finallies.pop()
+            for block in exits:
+                block.add_edge(frame.entry)
+            self.current = frame.entry
+            self.build_body(stmt.finalbody)
+            finally_exit = self.current
+            finally_exit.add_edge(after)
+            for target in frame.pending:
+                # Re-dispatch each abrupt exit that crossed this
+                # finally, threading any *enclosing* finallies.
+                self._route_from(finally_exit, target, len(self.finallies))
+        else:
+            for block in exits:
+                block.add_edge(after)
+        self.current = after
+
+    def _build_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        for item in stmt.items:
+            self.emit(item, WITHITEM)
+        self.cfg.alias_point(stmt, stmt.items[0])
+        self.build_body(stmt.body)
+
+    def _build_match(self, stmt: ast.Match) -> None:
+        self.emit(stmt.subject, SUBJECT)
+        self.cfg.alias_point(stmt, stmt.subject)
+        after = self.cfg.new_block()
+        fail_from = self.current
+        for case in stmt.cases:
+            case_block = self.cfg.new_block()
+            fail_from.add_edge(case_block)
+            self.current = case_block
+            self.emit(case.pattern, PATTERN)
+            if case.guard is not None:
+                self.emit(case.guard, TEST)
+            body = self.cfg.new_block()
+            case_block.add_edge(body)
+            next_fail = self.cfg.new_block()
+            case_block.add_edge(next_fail)
+            self.current = body
+            self.build_body(case.body)
+            self.current.add_edge(after)
+            fail_from = next_fail
+        fail_from.add_edge(after)
+        self.current = after
+
+
+def build_cfg(scope_node: ast.AST, body: list[ast.stmt]) -> CFG:
+    """Build the CFG for one unit (``tree.body`` or ``func.body``)."""
+    cfg = CFG(scope_node)
+    builder = _Builder(cfg)
+    builder.build_body(body)
+    builder.current.add_edge(cfg.exit)
+    return cfg

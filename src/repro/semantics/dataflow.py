@@ -1,0 +1,692 @@
+"""Worklist dataflow over :mod:`repro.semantics.cfg` graphs.
+
+Three analyses per code unit, all driven by the same event stream:
+
+* **reaching definitions** (forward, may) — which binding statements
+  can supply a name's value at each program point.  Unconditional
+  assignments are *strong* (they kill prior definitions); ``for``
+  targets, ``except`` names, match captures, and walrus targets in
+  conditional positions (``and``/``or`` right operands, conditional
+  expression arms, comprehension bodies) are *weak* (gen without
+  kill), so the zero-iteration / short-circuit paths stay sound;
+* **liveness** (backward, may) — which unit-local names are still
+  read later, the fact behind dead-store detection;
+* **type states** (forward) — a per-point ``name → type`` environment
+  replacing the whole-scope type table where flow matters: joins
+  unify per name, and a name bound on only one incoming path joins to
+  ``unknown``.
+
+Uses and definitions resolve through the scope table, so comprehension
+internals contribute uses of enclosing locals, nested-scope bodies are
+excluded (their reads are modeled as captures), and ``global x; x = …``
+inside a function still tracks ``x`` as a unit definition — which is
+exactly what R04's rebinding gate needs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.semantics.cfg import (
+    CFG,
+    EXCEPT,
+    FOR_TARGET,
+    PATTERN,
+    STMT,
+    WITHITEM,
+    Block,
+    Event,
+)
+from repro.semantics.scopes import Scope, ScopeTable
+from repro.semantics.types import TYPE_UNKNOWN, TypeTable, unify
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class Definition:
+    """One binding occurrence of a name inside a unit.
+
+    Equality is identity-keyed on the binding site: two Definitions
+    are the same fact exactly when they describe the same AST node.
+    """
+
+    __slots__ = ("name", "node", "strong")
+
+    def __init__(self, name: str, node: ast.AST, strong: bool = True) -> None:
+        self.name = name
+        self.node = node
+        self.strong = strong
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Definition)
+            and self.name == other.name
+            and self.node is other.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self.node)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "strong" if self.strong else "weak"
+        return f"<Definition {self.name!r} line {self.line} {kind}>"
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass(frozen=True)
+class _Bind:
+    """One binding effect of an event: def, weak def, or del."""
+
+    name: str
+    node: ast.AST
+    strong: bool = True
+    is_del: bool = False
+
+
+# -- event effect extraction ----------------------------------------------
+
+
+def _target_store_names(target: ast.expr) -> list[ast.Name]:
+    """Name nodes bound by an assignment target (unpacking included)."""
+    if isinstance(target, ast.Name):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[ast.Name] = []
+        for element in target.elts:
+            names.extend(_target_store_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_store_names(target.value)
+    return []
+
+
+def _walrus_binds(
+    node: ast.AST,
+    unit_scope: Scope,
+    scopes: ScopeTable,
+    out: list[_Bind],
+    conditional: bool = False,
+) -> None:
+    """Collect walrus definitions binding into ``unit_scope``.
+
+    ``conditional`` marks positions the runtime may skip: non-first
+    ``and``/``or`` operands, conditional-expression arms, and anything
+    inside a comprehension past the first iterable.  Those produce
+    weak definitions.
+    """
+    if isinstance(node, ast.NamedExpr):
+        _walrus_binds(node.value, unit_scope, scopes, out, conditional)
+        target = node.target
+        if (
+            isinstance(target, ast.Name)
+            and scopes.scope_of(target) is unit_scope
+        ):
+            out.append(_Bind(target.id, node, strong=not conditional))
+        return
+    if isinstance(node, ast.BoolOp):
+        values = node.values
+        if values:
+            _walrus_binds(values[0], unit_scope, scopes, out, conditional)
+            for value in values[1:]:
+                _walrus_binds(value, unit_scope, scopes, out, True)
+        return
+    if isinstance(node, ast.IfExp):
+        _walrus_binds(node.test, unit_scope, scopes, out, conditional)
+        _walrus_binds(node.body, unit_scope, scopes, out, True)
+        _walrus_binds(node.orelse, unit_scope, scopes, out, True)
+        return
+    if isinstance(
+        node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+    ):
+        first, *rest = node.generators
+        _walrus_binds(first.iter, unit_scope, scopes, out, conditional)
+        for part in (first.target, *first.ifs):
+            _walrus_binds(part, unit_scope, scopes, out, True)
+        for generator in rest:
+            for part in (generator.target, generator.iter, *generator.ifs):
+                _walrus_binds(part, unit_scope, scopes, out, True)
+        if isinstance(node, ast.DictComp):
+            _walrus_binds(node.key, unit_scope, scopes, out, True)
+            _walrus_binds(node.value, unit_scope, scopes, out, True)
+        else:
+            _walrus_binds(node.elt, unit_scope, scopes, out, True)
+        return
+    if isinstance(node, ast.Lambda):
+        for default in (
+            *node.args.defaults,
+            *(d for d in node.args.kw_defaults if d is not None),
+        ):
+            _walrus_binds(default, unit_scope, scopes, out, conditional)
+        return  # the body is a separate scope
+    if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
+        return  # separate unit
+    for child in ast.iter_child_nodes(node):
+        _walrus_binds(child, unit_scope, scopes, out, conditional)
+
+
+def event_bindings(
+    event: Event, unit_scope: Scope, scopes: ScopeTable
+) -> list[_Bind]:
+    """Ordered binding effects of one event."""
+    node = event.node
+    out: list[_Bind] = []
+    if event.kind == STMT:
+        if isinstance(node, ast.Assign):
+            _walrus_binds(node.value, unit_scope, scopes, out)
+            for target in node.targets:
+                for name in _target_store_names(target):
+                    if scopes.scope_of(name) is unit_scope:
+                        out.append(_Bind(name.id, node))
+        elif isinstance(node, ast.AugAssign):
+            _walrus_binds(node.value, unit_scope, scopes, out)
+            if isinstance(node.target, ast.Name) and (
+                scopes.scope_of(node.target) is unit_scope
+            ):
+                out.append(_Bind(node.target.id, node))
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                _walrus_binds(node.value, unit_scope, scopes, out)
+                if isinstance(node.target, ast.Name) and (
+                    scopes.scope_of(node.target) is unit_scope
+                ):
+                    out.append(_Bind(node.target.id, node))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                out.append(_Bind(bound, node))
+        elif isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
+            for part in node.decorator_list:
+                _walrus_binds(part, unit_scope, scopes, out)
+            out.append(_Bind(node.name, node))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and (
+                    scopes.scope_of(target) is unit_scope
+                ):
+                    out.append(_Bind(target.id, node, is_del=True))
+        else:
+            _walrus_binds(node, unit_scope, scopes, out)
+    elif event.kind == FOR_TARGET:
+        for name in _target_store_names(node.target):
+            if scopes.scope_of(name) is unit_scope:
+                out.append(_Bind(name.id, node, strong=False))
+    elif event.kind == WITHITEM:
+        _walrus_binds(node.context_expr, unit_scope, scopes, out)
+        if node.optional_vars is not None:
+            for name in _target_store_names(node.optional_vars):
+                if scopes.scope_of(name) is unit_scope:
+                    out.append(_Bind(name.id, node))
+    elif event.kind == EXCEPT:
+        if node.type is not None:
+            _walrus_binds(node.type, unit_scope, scopes, out)
+        if node.name:
+            out.append(_Bind(node.name, node, strong=False))
+    elif event.kind == PATTERN:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.MatchAs, ast.MatchStar)) and sub.name:
+                out.append(_Bind(sub.name, node, strong=False))
+            elif isinstance(sub, ast.MatchMapping) and sub.rest:
+                out.append(_Bind(sub.rest, node, strong=False))
+    else:  # TEST / ITER / SUBJECT: expression evaluation only
+        _walrus_binds(node, unit_scope, scopes, out)
+    return out
+
+
+def event_uses(
+    event: Event, unit_scope: Scope, scopes: ScopeTable
+) -> list[ast.Name]:
+    """Name loads in one event that resolve to ``unit_scope``."""
+    node = event.node
+    uses: list[ast.Name] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (*_FUNCTION_NODES, ast.ClassDef)):
+            if current is node:  # def statement: def-time parts only
+                stack.extend(current.decorator_list)
+                stack.extend(current.args.defaults if hasattr(current, "args") else [])
+            continue
+        if isinstance(current, ast.Lambda):
+            stack.extend(current.args.defaults)
+            stack.extend(d for d in current.args.kw_defaults if d is not None)
+            continue
+        if isinstance(current, ast.Name):
+            if isinstance(current.ctx, ast.Load):
+                binding = scopes.resolve(current)
+                if binding.scope is unit_scope:
+                    uses.append(current)
+            continue
+        if (
+            isinstance(current, ast.AugAssign)
+            and isinstance(current.target, ast.Name)
+        ):
+            # x += v reads x before writing it.
+            binding = scopes.resolve_name(
+                current.target.id, scopes.scope_of(current.target)
+            )
+            if binding.scope is unit_scope:
+                uses.append(current.target)
+            stack.append(current.value)
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return uses
+
+
+# -- reaching definitions --------------------------------------------------
+
+_DefState = dict  # name -> frozenset[Definition]
+
+
+def _apply_bindings(state: _DefState, binds: list[_Bind]) -> _DefState:
+    for bind in binds:
+        if bind.is_del:
+            state.pop(bind.name, None)
+        elif bind.strong:
+            state[bind.name] = frozenset((Definition(bind.name, bind.node),))
+        else:
+            definition = Definition(bind.name, bind.node, strong=False)
+            state[bind.name] = state.get(bind.name, frozenset()) | {definition}
+    return state
+
+
+def _join_defs(left: _DefState | None, right: _DefState | None) -> _DefState:
+    if left is None:
+        return dict(right or {})
+    if right is None:
+        return dict(left)
+    merged = dict(left)
+    for name, defs in right.items():
+        merged[name] = merged.get(name, frozenset()) | defs
+    return merged
+
+
+class ReachingDefinitions:
+    """Forward may-analysis: definitions reaching each program point."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        unit_scope: Scope,
+        scopes: ScopeTable,
+        params: list[ast.arg] = (),
+    ) -> None:
+        self._cfg = cfg
+        self._scope = unit_scope
+        self._scopes = scopes
+        self._binds: dict[int, list[list[_Bind]]] = {
+            block.index: [
+                event_bindings(event, unit_scope, scopes)
+                for event in block.events
+            ]
+            for block in cfg.blocks
+        }
+        entry_state: _DefState = {
+            arg.arg: frozenset((Definition(arg.arg, arg),)) for arg in params
+        }
+        self.block_in: dict[int, _DefState | None] = {
+            block.index: None for block in cfg.blocks
+        }
+        self.block_in[cfg.entry.index] = entry_state
+        self._solve()
+
+    def _transfer(self, block: Block, state: _DefState) -> _DefState:
+        state = dict(state)
+        for binds in self._binds[block.index]:
+            _apply_bindings(state, binds)
+        return state
+
+    def _solve(self) -> None:
+        worklist = [self._cfg.entry]
+        out: dict[int, _DefState | None] = {
+            block.index: None for block in self._cfg.blocks
+        }
+        while worklist:
+            block = worklist.pop()
+            in_state = self.block_in[block.index]
+            if in_state is None:
+                continue
+            new_out = self._transfer(block, in_state)
+            if new_out == out[block.index]:
+                continue
+            out[block.index] = new_out
+            for succ in block.succ:
+                joined = _join_defs(self.block_in[succ.index], new_out)
+                if joined != self.block_in[succ.index]:
+                    self.block_in[succ.index] = joined
+                    worklist.append(succ)
+        self.block_out = out
+
+    # -- queries ----------------------------------------------------------
+
+    def state_at(self, node: ast.AST) -> _DefState | None:
+        """``name → reaching defs`` just before ``node`` executes."""
+        point = self._cfg.point_of(node)
+        if point is None:
+            return None
+        block_index, event_index = point
+        state = self.block_in[block_index]
+        if state is None:
+            return {}
+        state = dict(state)
+        for binds in self._binds[block_index][:event_index]:
+            _apply_bindings(state, binds)
+        return state
+
+    def reaching(self, node: ast.Name) -> frozenset[Definition] | None:
+        """Definitions reaching a name load; None when off-unit."""
+        state = self.state_at(node)
+        if state is None:
+            return None
+        return state.get(node.id, frozenset())
+
+    def definitions(self) -> list[Definition]:
+        """Every definition the unit generates (params excluded)."""
+        seen: list[Definition] = []
+        ids: set[tuple[str, int]] = set()
+        for binds_per_event in self._binds.values():
+            for binds in binds_per_event:
+                for bind in binds:
+                    if bind.is_del:
+                        continue
+                    key = (bind.name, id(bind.node))
+                    if key not in ids:
+                        ids.add(key)
+                        seen.append(
+                            Definition(bind.name, bind.node, bind.strong)
+                        )
+        return seen
+
+    def du_pairs(self) -> int:
+        """Count of (definition, use) pairs — def-use chain edges."""
+        pairs = 0
+        for block in self._cfg.blocks:
+            state = self.block_in[block.index]
+            if state is None:
+                continue
+            state = dict(state)
+            for event, binds in zip(
+                block.events, self._binds[block.index]
+            ):
+                for use in event_uses(event, self._scope, self._scopes):
+                    pairs += len(state.get(use.id, ()))
+                _apply_bindings(state, binds)
+        return pairs
+
+
+# -- liveness --------------------------------------------------------------
+
+
+class Liveness:
+    """Backward may-analysis over unit-local names."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        unit_scope: Scope,
+        scopes: ScopeTable,
+        always_live: frozenset[str] = frozenset(),
+    ) -> None:
+        self._cfg = cfg
+        self._scope = unit_scope
+        self._scopes = scopes
+        self._always_live = always_live
+        self._uses: dict[int, list[set[str]]] = {}
+        self._defs: dict[int, list[set[str]]] = {}
+        for block in cfg.blocks:
+            self._uses[block.index] = [
+                {name.id for name in event_uses(event, unit_scope, scopes)}
+                for event in block.events
+            ]
+            self._defs[block.index] = [
+                {
+                    bind.name
+                    for bind in event_bindings(event, unit_scope, scopes)
+                    if bind.strong and not bind.is_del
+                }
+                for event in block.events
+            ]
+        self.live_out: dict[int, set[str]] = {
+            block.index: set(always_live) for block in cfg.blocks
+        }
+        self._solve()
+
+    def _live_in(self, block: Block) -> set[str]:
+        live = set(self.live_out[block.index])
+        for uses, defs in zip(
+            reversed(self._uses[block.index]),
+            reversed(self._defs[block.index]),
+        ):
+            live -= defs
+            live |= uses
+        return live
+
+    def _solve(self) -> None:
+        worklist = list(self._cfg.blocks)
+        while worklist:
+            block = worklist.pop()
+            live_in = self._live_in(block)
+            for pred in block.pred:
+                if not live_in <= self.live_out[pred.index]:
+                    self.live_out[pred.index] |= live_in
+                    worklist.append(pred)
+
+    def live_after(self, block_index: int, event_index: int) -> set[str]:
+        """Names live immediately after one event."""
+        live = set(self.live_out[block_index])
+        for uses, defs in zip(
+            reversed(self._uses[block_index][event_index + 1:]),
+            reversed(self._defs[block_index][event_index + 1:]),
+        ):
+            live -= defs
+            live |= uses
+        return live
+
+
+# -- type states -----------------------------------------------------------
+
+_TypeState = dict  # name -> type string
+
+
+def _join_types(left: _TypeState | None, right: _TypeState | None) -> _TypeState:
+    if left is None:
+        return dict(right or {})
+    if right is None:
+        return dict(left)
+    merged: _TypeState = {}
+    for name in set(left) | set(right):
+        if name in left and name in right:
+            merged[name] = unify(left[name], right[name])
+        else:
+            # Bound on only one incoming path: unknown at the join.
+            merged[name] = TYPE_UNKNOWN
+    return merged
+
+
+class TypeFlow:
+    """Forward per-point ``name → type`` environments for one unit."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        unit_scope: Scope,
+        scopes: ScopeTable,
+        types: TypeTable,
+        params: list[ast.arg] = (),
+    ) -> None:
+        from repro.semantics.types import annotation_type
+
+        self._cfg = cfg
+        self._scope = unit_scope
+        self._scopes = scopes
+        self._types = types
+        entry: _TypeState = {}
+        for arg in params:
+            entry[arg.arg] = (
+                annotation_type(arg.annotation)
+                if arg.annotation is not None
+                else TYPE_UNKNOWN
+            )
+        self.block_in: dict[int, _TypeState | None] = {
+            block.index: None for block in cfg.blocks
+        }
+        self.block_in[cfg.entry.index] = entry
+        self._solve()
+
+    # -- expression evaluation under an environment -----------------------
+
+    def _eval(self, node: ast.expr, state: _TypeState) -> str:
+        return self._types.eval_in_env(
+            node, self._scopes.scope_of(node), state, self._scope
+        )
+
+    def _transfer_event(self, event: Event, state: _TypeState) -> None:
+        from repro.semantics.types import annotation_type
+
+        node = event.node
+        binds = event_bindings(event, self._scope, self._scopes)
+        if event.kind == STMT and isinstance(node, ast.Assign):
+            value_type = self._eval(node.value, state)
+            # Direct Name targets take the RHS type (`a = b = v` gives
+            # both); names bound through unpacking degrade to unknown.
+            direct = {
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            }
+            for bind in binds:
+                if bind.node is node:
+                    state[bind.name] = (
+                        value_type if bind.name in direct else TYPE_UNKNOWN
+                    )
+                else:  # walrus inside the RHS
+                    self._apply_walrus(bind, state)
+            return
+        if event.kind == STMT and isinstance(node, ast.AugAssign):
+            from repro.semantics.types import _binop_type
+
+            value_type = self._eval(node.value, state)
+            for bind in binds:
+                if bind.node is not node:
+                    self._apply_walrus(bind, state)
+                    continue
+                old = state.get(bind.name, TYPE_UNKNOWN)
+                new = _binop_type(old, node.op, value_type)
+                if new == TYPE_UNKNOWN and old != TYPE_UNKNOWN:
+                    # An opaque augmented RHS cannot silently retype
+                    # the target without raising; keep what we know.
+                    continue
+                state[bind.name] = new
+            return
+        if event.kind == STMT and isinstance(node, ast.AnnAssign):
+            annotated = annotation_type(node.annotation)
+            for bind in binds:
+                if bind.node is node:
+                    state[bind.name] = (
+                        annotated
+                        if annotated != TYPE_UNKNOWN
+                        else self._eval(node.value, state)
+                    )
+                else:
+                    self._apply_walrus(bind, state)
+            return
+        if event.kind == FOR_TARGET:
+            target_type = self._for_target_type(node, state)
+            for bind in binds:
+                observed = (
+                    target_type
+                    if isinstance(node.target, ast.Name)
+                    else TYPE_UNKNOWN
+                )
+                state[bind.name] = unify(state.get(bind.name), observed)
+            return
+        for bind in binds:
+            if bind.is_del:
+                state.pop(bind.name, None)
+            elif event.kind == STMT and isinstance(
+                bind.node, (ast.Import, ast.ImportFrom)
+            ):
+                state[bind.name] = "module"
+            elif isinstance(bind.node, ast.NamedExpr):
+                self._apply_walrus(bind, state)
+            else:
+                state[bind.name] = TYPE_UNKNOWN
+
+    def _apply_walrus(self, bind: _Bind, state: _TypeState) -> None:
+        value_type = self._eval(bind.node.value, state)
+        if bind.strong:
+            state[bind.name] = value_type
+        else:
+            state[bind.name] = unify(state.get(bind.name), value_type)
+
+    def _for_target_type(self, node: ast.For, state: _TypeState) -> str:
+        iterable = node.iter
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+        ):
+            return "int"
+        if self._eval(iterable, state) == "str":
+            return "str"  # iterating a str yields strs
+        return TYPE_UNKNOWN
+
+    def _transfer(self, block: Block, state: _TypeState) -> _TypeState:
+        state = dict(state)
+        for event in block.events:
+            self._transfer_event(event, state)
+        return state
+
+    def _solve(self) -> None:
+        worklist = [self._cfg.entry]
+        out: dict[int, _TypeState | None] = {
+            block.index: None for block in self._cfg.blocks
+        }
+        iterations = 0
+        limit = 4 * len(self._cfg.blocks) * (len(self._cfg.blocks) + 8)
+        while worklist and iterations < limit:
+            iterations += 1
+            block = worklist.pop()
+            in_state = self.block_in[block.index]
+            if in_state is None:
+                continue
+            new_out = self._transfer(block, in_state)
+            if new_out == out[block.index]:
+                continue
+            out[block.index] = new_out
+            for succ in block.succ:
+                joined = _join_types(self.block_in[succ.index], new_out)
+                if joined != self.block_in[succ.index]:
+                    self.block_in[succ.index] = joined
+                    worklist.append(succ)
+
+    # -- queries ----------------------------------------------------------
+
+    def state_at(self, node: ast.AST) -> _TypeState | None:
+        """Type environment just before ``node``'s event executes."""
+        point = self._cfg.point_of(node)
+        if point is None:
+            return None
+        block_index, event_index = point
+        state = self.block_in[block_index]
+        if state is None:
+            return {}
+        state = dict(state)
+        block = self._cfg.blocks[block_index]
+        for event in block.events[:event_index]:
+            self._transfer_event(event, state)
+        return state
+
+    def type_at(self, node: ast.expr) -> str | None:
+        """Flow-sensitive type of an expression; None when off-unit."""
+        state = self.state_at(node)
+        if state is None:
+            return None
+        return self._types.eval_in_env(
+            node, self._scopes.scope_of(node), state, self._scope
+        )

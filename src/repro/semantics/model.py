@@ -4,19 +4,71 @@ from __future__ import annotations
 
 import ast
 
+from repro.semantics.cfg import CFG, build_cfg
+from repro.semantics.dataflow import (
+    Definition,
+    Liveness,
+    ReachingDefinitions,
+    TypeFlow,
+)
 from repro.semantics.hotness import compute_hotness
+from repro.semantics.purity import PurityCallGraph
 from repro.semantics.scopes import (
     Binding,
     BindingKind,
     Scope,
+    ScopeKind,
     ScopeTable,
     build_scope_table,
 )
 from repro.semantics.types import TYPE_UNKNOWN, TypeTable
 
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class _FlowUnit:
+    """CFG + dataflow bundle for one code unit, built lazily."""
+
+    def __init__(
+        self,
+        unit_node: ast.AST,
+        unit_scope: Scope,
+        scopes: ScopeTable,
+        types: TypeTable,
+    ) -> None:
+        self.node = unit_node
+        self.scope = unit_scope
+        body = (
+            unit_node.body
+            if isinstance(unit_node, (*_FUNCTION_NODES, ast.Module))
+            else []
+        )
+        params: list[ast.arg] = []
+        if isinstance(unit_node, _FUNCTION_NODES):
+            args = unit_node.args
+            params = [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]
+        self.cfg: CFG = build_cfg(unit_node, body)
+        self.reaching = ReachingDefinitions(
+            self.cfg, unit_scope, scopes, params
+        )
+        self.typeflow = TypeFlow(self.cfg, unit_scope, scopes, types, params)
+        self._scopes = scopes
+        self._liveness: Liveness | None = None
+
+    def liveness(self, always_live: frozenset[str]) -> Liveness:
+        if self._liveness is None:
+            self._liveness = Liveness(
+                self.cfg, self.scope, self._scopes, always_live
+            )
+        return self._liveness
+
 
 class SemanticModel:
-    """Scope, type, and hotness facts for one parsed module.
+    """Scope, type, hotness, flow, and purity facts for one module.
 
     Built once per file by the analyzer engine (and by the optimizer's
     safety checks); rules consume it through
@@ -25,6 +77,13 @@ class SemanticModel:
     was built from — it is never pickled or cached; per-worker sweep
     processes rebuild it per file, and only the resulting findings
     cross the process boundary.
+
+    The scope/type/hotness tables are eager (every rule touches them);
+    the flow-sensitive layers are lazy: a per-function CFG + dataflow
+    unit materializes on the first ``type_at``/``defs_reaching`` query
+    against that function, and the purity/call-graph pass on the first
+    ``is_pure``/``call_hotness`` query — so files whose findings never
+    need flow facts pay nothing beyond the eager tables.
     """
 
     def __init__(self, tree: ast.Module, filename: str = "<string>") -> None:
@@ -33,6 +92,10 @@ class SemanticModel:
         self.scopes: ScopeTable = build_scope_table(tree)
         self.types: TypeTable = TypeTable(self.scopes)
         self._hotness = compute_hotness(tree)
+        self._units: dict[int, _FlowUnit] = {}
+        self._purity: PurityCallGraph | None = None
+        self._scope_index: dict[int, Scope] | None = None
+        self._captured: dict[int, frozenset[str]] = {}
 
     # -- scope facts ------------------------------------------------------
 
@@ -54,7 +117,26 @@ class SemanticModel:
     # -- type facts -------------------------------------------------------
 
     def type_of(self, node: ast.expr) -> str:
-        """``str | int | float | list | … | unknown`` for an expression."""
+        """``str | int | float | list | … | unknown`` for an expression
+        (whole-scope inference; see :meth:`type_at` for the
+        flow-sensitive answer)."""
+        return self.types.type_of(node)
+
+    def type_at(self, node: ast.expr) -> str:
+        """Flow-sensitive type of an expression at its program point.
+
+        Evaluates under the type state reaching the expression's event
+        in its unit's CFG — ``fmt = 0`` rebound to ``"%d"`` on the
+        taken branch answers ``str`` at the use even though the
+        whole-scope table says ``unknown``.  Falls back to
+        :meth:`type_of` for nodes outside any analyzed unit (class
+        bodies, lambda internals).
+        """
+        unit = self._unit_for(node)
+        if unit is not None:
+            flow_type = unit.typeflow.type_at(node)
+            if flow_type is not None:
+                return flow_type
         return self.types.type_of(node)
 
     def excludes_type(self, node: ast.expr, *candidates: str) -> bool:
@@ -66,6 +148,90 @@ class SemanticModel:
         """
         inferred = self.type_of(node)
         return inferred != TYPE_UNKNOWN and inferred not in candidates
+
+    def excludes_type_at(self, node: ast.expr, *candidates: str) -> bool:
+        """Flow-sensitive :meth:`excludes_type` (uses :meth:`type_at`)."""
+        inferred = self.type_at(node)
+        return inferred != TYPE_UNKNOWN and inferred not in candidates
+
+    # -- dataflow facts ----------------------------------------------------
+
+    def defs_reaching(self, node: ast.Name) -> frozenset[Definition]:
+        """Definitions that may supply ``node``'s value at its use site.
+
+        Empty when the name has no definition in its unit (e.g. a
+        plain global read inside a function) or the node lies outside
+        any analyzed unit.
+        """
+        unit = self._unit_for(node)
+        if unit is None:
+            return frozenset()
+        reaching = unit.reaching.reaching(node)
+        return reaching if reaching is not None else frozenset()
+
+    def dead_stores(self, func: ast.AST) -> list[tuple[str, ast.AST]]:
+        """(name, assign node) pairs whose stored value is never read.
+
+        Only single-``Name``-target assignments count; names captured
+        by nested scopes or declared ``global``/``nonlocal`` are
+        excluded (their stores are observable elsewhere).
+        """
+        if not isinstance(func, _FUNCTION_NODES):
+            return []
+        unit = self._unit_of(func)
+        if unit is None:
+            return []
+        always_live = self._captured_names(func, unit.scope)
+        liveness = unit.liveness(always_live)
+        out: list[tuple[str, ast.AST]] = []
+        for block in unit.cfg.blocks:
+            for event_index, event in enumerate(block.events):
+                node = event.node
+                if not (
+                    event.kind == "stmt"
+                    and isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    continue
+                name = node.targets[0].id
+                if name in always_live:
+                    continue
+                if name not in liveness.live_after(
+                    block.index, event_index
+                ):
+                    out.append((name, node))
+        out.sort(key=lambda item: getattr(item[1], "lineno", 0))
+        return out
+
+    def cfg_for(self, node: ast.AST) -> CFG | None:
+        """The CFG of a function (or of the module body for ``Module``)."""
+        unit = self._unit_of(node)
+        return unit.cfg if unit is not None else None
+
+    def flow_unit(self, node: ast.AST) -> _FlowUnit | None:
+        """The full dataflow bundle for a unit node (metrics/facts)."""
+        return self._unit_of(node)
+
+    # -- purity / call-graph facts ----------------------------------------
+
+    @property
+    def purity(self) -> PurityCallGraph:
+        if self._purity is None:
+            self._purity = PurityCallGraph(
+                self.tree, self.scopes, self._hotness, self.types
+            )
+        return self._purity
+
+    def is_pure(self, func: ast.AST) -> bool:
+        """Conservative: True only when calling ``func`` provably has
+        no effects visible outside the call."""
+        return self.purity.is_pure(func)
+
+    def call_hotness(self, func: ast.AST) -> int:
+        """Interprocedural hotness: the max loop depth this function
+        is (transitively) called from, 0 when never called or unknown."""
+        return self.purity.call_hotness(func)
 
     # -- hotness facts ----------------------------------------------------
 
@@ -81,6 +247,106 @@ class SemanticModel:
         if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
             depth += 1
         return depth
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        """The function def whose body executes ``node``, if any."""
+        scope = self._unit_scope(node)
+        if scope is not None and isinstance(scope.node, _FUNCTION_NODES):
+            return scope.node
+        return None
+
+    def effective_hot_depth(self, node: ast.AST) -> int:
+        """Static loop depth plus the enclosing function's
+        interprocedural hotness — a node one loop deep inside a helper
+        called from a hot loop is hotter than its local depth says."""
+        depth = self.hot_depth(node)
+        func = self.enclosing_function(node)
+        if func is not None:
+            depth += self.call_hotness(func)
+        return depth
+
+    # -- unit management ---------------------------------------------------
+
+    def _unit_scope(self, node: ast.AST) -> Scope | None:
+        """Nearest enclosing function/module scope that owns a unit."""
+        scope = self.scopes.scope_of(node)
+        while scope is not None and scope.kind in (
+            ScopeKind.COMPREHENSION, ScopeKind.LAMBDA
+        ):
+            scope = scope.parent
+        if scope is None or scope.kind is ScopeKind.CLASS:
+            # Class bodies execute inline but bind a separate namespace;
+            # no flow unit is built for them.
+            return None
+        return scope
+
+    def _unit_for(self, node: ast.AST) -> _FlowUnit | None:
+        scope = self._unit_scope(node)
+        if scope is None:
+            return None
+        return self._unit_of(scope.node)
+
+    def _unit_of(self, unit_node: ast.AST) -> _FlowUnit | None:
+        if not isinstance(unit_node, (*_FUNCTION_NODES, ast.Module)):
+            return None
+        key = id(unit_node)
+        unit = self._units.get(key)
+        if unit is None:
+            scope = (
+                self.scopes.module_scope
+                if isinstance(unit_node, ast.Module)
+                else self._function_scope(unit_node)
+            )
+            if scope is None:
+                return None
+            unit = _FlowUnit(unit_node, scope, self.scopes, self.types)
+            self._units[key] = unit
+        return unit
+
+    def _function_scope(self, func: ast.AST) -> Scope | None:
+        defining = self.scopes.scope_of(func)
+        for child in defining.children:
+            if child.node is func:
+                return child
+        return None
+
+    def _captured_names(
+        self, func: ast.AST, unit_scope: Scope
+    ) -> frozenset[str]:
+        """Names of ``unit_scope`` read or rebound by nested scopes."""
+        key = id(func)
+        cached = self._captured.get(key)
+        if cached is not None:
+            return cached
+        captured: set[str] = set()
+        for sub in ast.walk(func):
+            if sub is func:
+                continue
+            if isinstance(sub, (*_FUNCTION_NODES, ast.Lambda)):
+                for inner in ast.walk(sub):
+                    if isinstance(inner, ast.Name):
+                        binding = self.scopes.resolve(inner)
+                        if binding.scope is unit_scope:
+                            captured.add(inner.id)
+                    elif isinstance(inner, ast.Nonlocal):
+                        captured.update(inner.names)
+        result = frozenset(captured)
+        self._captured[key] = result
+        return result
+
+    def materialize(self) -> dict:
+        """Force every lazy layer; returns summary counts (benching)."""
+        units = 0
+        for node in ast.walk(self.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                if self._unit_of(node) is not None:
+                    units += 1
+        self._unit_of(self.tree)
+        purity = self.purity
+        return {
+            "function_units": units,
+            "functions": len(purity.functions()),
+        }
 
 
 def build_semantic_model(

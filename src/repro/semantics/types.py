@@ -102,7 +102,26 @@ class TypeTable:
         scope = self._scopes.scope_of(node)
         return self._eval(node, scope)
 
-    def name_type(self, name: str, scope: Scope) -> str:
+    def eval_in_env(
+        self, node: ast.expr, scope: Scope, env: dict, env_scope: Scope
+    ) -> str:
+        """Evaluate with a flow-sensitive overlay for one scope.
+
+        Names resolving to ``env_scope`` read from ``env`` (absent
+        means unbound-on-this-path → ``unknown``) instead of the
+        whole-scope table; everything else evaluates as usual.  This
+        is the hook :class:`repro.semantics.dataflow.TypeFlow` uses to
+        reuse the expression evaluator with per-program-point states.
+        """
+        return self._eval(node, scope, env=env, env_scope=env_scope)
+
+    def name_type(
+        self,
+        name: str,
+        scope: Scope,
+        env: dict | None = None,
+        env_scope: Scope | None = None,
+    ) -> str:
         """Resolved type of a bare name as seen from ``scope``."""
         binding = self._scopes.resolve_name(name, scope)
         if binding.kind is BindingKind.BUILTIN:
@@ -111,6 +130,8 @@ class TypeTable:
             return "module"
         if binding.scope is None:
             return TYPE_UNKNOWN
+        if env is not None and binding.scope is env_scope:
+            return env.get(name, TYPE_UNKNOWN)
         return self._env.get(id(binding.scope), {}).get(name, TYPE_UNKNOWN)
 
     # -- environment construction ----------------------------------------
@@ -150,7 +171,13 @@ class TypeTable:
 
     # -- expression evaluation --------------------------------------------
 
-    def _eval(self, node: ast.expr, scope: Scope) -> str:
+    def _eval(
+        self,
+        node: ast.expr,
+        scope: Scope,
+        env: dict | None = None,
+        env_scope: Scope | None = None,
+    ) -> str:
         if isinstance(node, ast.Constant):
             return _constant_type(node.value)
         if isinstance(node, ast.JoinedStr):
@@ -164,28 +191,31 @@ class TypeTable:
         if isinstance(node, ast.Tuple):
             return "tuple"
         if isinstance(node, ast.Name):
-            return self.name_type(node.id, scope)
+            return self.name_type(node.id, scope, env, env_scope)
         if isinstance(node, ast.NamedExpr):
-            return self._eval(node.value, scope)
+            return self._eval(node.value, scope, env, env_scope)
         if isinstance(node, ast.BinOp):
             return _binop_type(
-                self._eval(node.left, scope),
+                self._eval(node.left, scope, env, env_scope),
                 node.op,
-                self._eval(node.right, scope),
+                self._eval(node.right, scope, env, env_scope),
             )
         if isinstance(node, ast.UnaryOp):
             if isinstance(node.op, ast.Not):
                 return "bool"
-            operand = self._eval(node.operand, scope)
+            operand = self._eval(node.operand, scope, env, env_scope)
             return operand if operand in _NUMERIC else TYPE_UNKNOWN
         if isinstance(node, ast.Compare):
             return "bool"
         if isinstance(node, ast.BoolOp):
-            kinds = {self._eval(value, scope) for value in node.values}
+            kinds = {
+                self._eval(value, scope, env, env_scope)
+                for value in node.values
+            }
             return kinds.pop() if len(kinds) == 1 else TYPE_UNKNOWN
         if isinstance(node, ast.IfExp):
-            body = self._eval(node.body, scope)
-            orelse = self._eval(node.orelse, scope)
+            body = self._eval(node.body, scope, env, env_scope)
+            orelse = self._eval(node.orelse, scope, env, env_scope)
             return body if body == orelse else TYPE_UNKNOWN
         if isinstance(node, ast.Call):
             return _call_type(node)

@@ -44,6 +44,9 @@ def encode_finding(finding: Finding) -> dict:
         "overhead_percent": finding.overhead_percent,
         "snippet": finding.snippet,
         "confidence": finding.confidence,
+        "hot_depth": finding.hot_depth,
+        "caller_hotness": finding.caller_hotness,
+        "pure_context": finding.pure_context,
     }
 
 
@@ -60,6 +63,11 @@ def decode_finding(payload: dict, file: str) -> Finding:
         overhead_percent=payload["overhead_percent"],
         snippet=payload["snippet"],
         confidence=payload["confidence"],
+        # .get: cache entries written before the flow-sensitive layer
+        # decode to the neutral defaults instead of raising.
+        hot_depth=payload.get("hot_depth", 0),
+        caller_hotness=payload.get("caller_hotness", 0),
+        pure_context=payload.get("pure_context", False),
     )
 
 

@@ -1,0 +1,23 @@
+"""R04 false positive removed by the interprocedural write gate.
+
+The loop reads module-level ``COUNT``, but every iteration also calls
+``bump()`` whose (call-graph) effect set rebinds it.  A pre-loop local
+snapshot would go stale mid-loop, so flagging the read as hoistable
+was a false positive — the whole point of reading it inside the loop
+is to observe the update.
+"""
+
+COUNT = 0
+
+
+def bump():
+    global COUNT
+    COUNT += 1
+
+
+def run(xs):
+    seen = []
+    for x in xs:
+        bump()
+        seen.append((x, COUNT))
+    return seen

@@ -1,0 +1,17 @@
+"""R05 false positive removed by per-point type states.
+
+``fmt`` starts life as an int sentinel and is rebound to a format
+string before the loop.  The whole-scope type join says "unknown", so
+the syntactic rule used to flag ``fmt % row`` as arithmetic modulus;
+the flow-sensitive state knows ``fmt`` is a str *at the operator* —
+it is string formatting, not arithmetic.
+"""
+
+
+def render(rows):
+    fmt = 0
+    fmt = "%d rows"
+    out = []
+    for row in rows:
+        out.append(fmt % row)
+    return out

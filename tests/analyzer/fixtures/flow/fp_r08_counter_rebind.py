@@ -1,0 +1,15 @@
+"""R08 false positive removed by per-point type states.
+
+``total`` is initialized as a str sentinel and rebound to an int
+counter before the loop, so ``total += item`` accumulates numbers.
+The whole-scope view (``total`` appears in the function's string
+locals) used to flag it as quadratic string concatenation.
+"""
+
+
+def tally(weights):
+    total = ""
+    total = 0
+    for weight in weights:
+        total += weight
+    return total

@@ -1,0 +1,15 @@
+"""R10 false positive removed by per-point type states.
+
+``dst`` is rebound from a list to a dict before the copy loop, so
+``dst[i] = rows[i]`` builds an index map — ``dst[:] = rows`` would be
+a TypeError, not a speedup.  The whole-scope type join ("unknown")
+used to let the indexed-copy pattern fire anyway.
+"""
+
+
+def index_rows(rows):
+    dst = []
+    dst = {}
+    for i in range(len(rows)):
+        dst[i] = rows[i]
+    return dst

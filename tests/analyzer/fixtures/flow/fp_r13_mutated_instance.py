@@ -1,0 +1,23 @@
+"""R13 false positive removed by the reaching-def mutation gate.
+
+Each iteration binds a fresh ``Point`` and then mutates it, so the
+instances must NOT be shared — hoisting the construction out of the
+loop would alias one object across all rows.  Reaching definitions
+tie the ``p.x = row`` mutation back to *this* construction, gating
+the churn finding.
+"""
+
+
+class Point:
+    def __init__(self, x=0, y=0):
+        self.x = x
+        self.y = y
+
+
+def collect(rows):
+    out = []
+    for row in rows:
+        p = Point(0, 0)
+        p.x = row
+        out.append(p)
+    return out

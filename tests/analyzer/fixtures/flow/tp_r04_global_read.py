@@ -1,0 +1,15 @@
+"""R04 true positive: a module-level constant read every iteration.
+
+Nothing in the loop (or anything it calls) writes ``RATE``, so the
+pre-loop snapshot is safe and the per-iteration LOAD_GLOBAL is pure
+waste.  The finding must keep firing.
+"""
+
+RATE = 0.07
+
+
+def total(xs):
+    acc = 0.0
+    for x in xs:
+        acc += x * RATE
+    return acc

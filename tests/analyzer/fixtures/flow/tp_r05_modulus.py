@@ -1,0 +1,9 @@
+"""R05 true positive: power-of-two modulus in a loop keeps firing."""
+
+
+def checksum(values):
+    total = 0
+    for i in range(len(values)):
+        if i % 8 == 0:
+            total += values[i]
+    return total

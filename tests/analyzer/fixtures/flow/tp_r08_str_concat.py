@@ -1,0 +1,8 @@
+"""R08 true positive: genuine string accumulation keeps firing."""
+
+
+def join_names(names):
+    out = ""
+    for name in names:
+        out += name.title()
+    return out

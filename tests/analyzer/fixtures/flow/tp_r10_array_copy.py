@@ -1,0 +1,8 @@
+"""R10 true positive: element-by-element list copy keeps firing."""
+
+
+def copy_rows(rows):
+    dst = [0] * len(rows)
+    for i in range(len(rows)):
+        dst[i] = rows[i]
+    return dst

@@ -1,0 +1,18 @@
+"""R13 true positive: an unmutated constant construction keeps firing.
+
+The instance is only read/escaped, never written through, so one
+hoisted object would serve every iteration.
+"""
+
+
+class Codec:
+    def __init__(self):
+        self.table = {}
+
+
+def encode(rows):
+    out = []
+    for row in rows:
+        codec = Codec()
+        out.append(codec.table.get(row))
+    return out

@@ -54,6 +54,20 @@ class TestFingerprints:
         }
         assert before == after
 
+    def test_rule_version_bump_retires_fingerprints(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.rules import REGISTRY
+
+        by_file = findings_for(tmp_path)
+        flat = [f for fs in by_file.values() for f in fs]
+        assert flat
+        target = flat[0]
+        before = finding_fingerprint(target, tmp_path)
+        detector = REGISTRY.get(target.rule_id).detector
+        monkeypatch.setattr(detector, "version", detector.version + 1)
+        assert finding_fingerprint(target, tmp_path) != before
+
     def test_stable_across_roots(self, tmp_path):
         a = tmp_path / "checkout_a"
         b = tmp_path / "checkout_b"
@@ -295,6 +309,29 @@ class TestSarif:
         for severity, level in levels.items():
             assert mapping[severity] == level
 
+    def test_rank_carries_confidence_on_0_100_scale(self, tmp_path):
+        by_file = findings_for(tmp_path)
+        doc = to_sarif(by_file, root=tmp_path)
+        results = doc["runs"][0]["results"]
+        assert results
+        flat = sorted(f for fs in by_file.values() for f in fs)
+        for finding, result in zip(flat, results):
+            assert result["rank"] == round(finding.confidence * 100, 2)
+            assert 0 <= result["rank"] <= 100
+
+    def test_flow_facts_exported_under_properties(self, tmp_path):
+        by_file = findings_for(tmp_path)
+        doc = to_sarif(by_file, root=tmp_path)
+        results = doc["runs"][0]["results"]
+        assert results
+        flat = sorted(f for fs in by_file.values() for f in fs)
+        for finding, result in zip(flat, results):
+            props = result["properties"]
+            assert props["hotDepth"] == finding.hot_depth
+            assert props["callerHotness"] == finding.caller_hotness
+            assert props["pureContext"] == finding.pure_context
+            assert props["confidence"] == finding.confidence
+
     def test_validates_against_sarif_2_1_0_schema(self, tmp_path):
         jsonschema = pytest.importorskip("jsonschema")
         by_file = findings_for(tmp_path)
@@ -399,6 +436,12 @@ class TestSarif:
                                                 "type": "string"
                                             },
                                         },
+                                        "rank": {
+                                            "type": "number",
+                                            "minimum": 0,
+                                            "maximum": 100,
+                                        },
+                                        "properties": {"type": "object"},
                                     },
                                 },
                             },

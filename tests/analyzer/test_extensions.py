@@ -98,7 +98,7 @@ class TestPoolExtensions:
 
         pool = SuggestionPool()
         assert len(pool) == 13  # Table I unchanged
-        assert len(pool.extension_entries()) == 2
+        assert len(pool.extension_entries()) == 5
         assert "comprehension" in pool.suggestion("R14_APPEND_LOOP")
         assert pool.overhead_percent("R15_RANGE_LEN") > 0
 
@@ -110,7 +110,8 @@ class TestPoolExtensions:
         assert not table.is_extension("R05_MODULUS")
         assert len(table.rule_ids()) == 13
         assert set(table.extension_ids()) == {
-            "R14_APPEND_LOOP", "R15_RANGE_LEN",
+            "R14_APPEND_LOOP", "R15_RANGE_LEN", "R16_DEAD_STORE",
+            "R17_INVARIANT_RECOMPUTE", "R18_PURE_MEMOIZE",
         }
 
 

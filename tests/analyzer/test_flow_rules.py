@@ -1,0 +1,253 @@
+"""The three flow-fact detectors: R16 dead stores, R17 loop-invariant
+recomputation, R18 pure-call memoization.
+
+All three are extension rules — absent from a default run, active
+under ``Analyzer(extended=True)`` — and all three consume reaching
+definitions and the purity call graph rather than syntax alone.
+"""
+
+from repro.analyzer import Analyzer
+
+
+def extended(source: str):
+    return Analyzer(extended=True).analyze_source(source)
+
+
+def extended_ids(source: str) -> list[str]:
+    return [f.rule_id for f in extended(source)]
+
+
+def base_ids(source: str) -> list[str]:
+    return [f.rule_id for f in Analyzer().analyze_source(source)]
+
+
+class TestR16DeadStore:
+    DEAD = (
+        "def f(rows):\n"
+        "    total = sum(r.w for r in rows)\n"
+        "    total = 0\n"
+        "    for r in rows:\n"
+        "        total += r.w\n"
+        "    return total\n"
+    )
+
+    def test_overwritten_computation_flagged_when_extended(self):
+        findings = [
+            f for f in extended(self.DEAD) if f.rule_id == "R16_DEAD_STORE"
+        ]
+        assert [f.line for f in findings] == [2]
+
+    def test_not_flagged_by_default(self):
+        assert "R16_DEAD_STORE" not in base_ids(self.DEAD)
+
+    def test_read_store_not_flagged(self):
+        src = (
+            "def f(rows):\n"
+            "    total = sum(r.w for r in rows)\n"
+            "    return total\n"
+        )
+        assert "R16_DEAD_STORE" not in extended_ids(src)
+
+    def test_trivial_rhs_not_flagged(self):
+        # `x = 0` overwritten later costs nothing; flagging it is noise.
+        src = "def f():\n    x = 0\n    x = 1\n    return x\n"
+        assert "R16_DEAD_STORE" not in extended_ids(src)
+
+    def test_impure_rhs_not_flagged(self):
+        # The store is dead but the call may matter: deleting
+        # `x = log_and_count(y)` would change behavior.
+        src = (
+            "def log_and_count(y):\n"
+            "    print(y)\n"
+            "    return y + 1\n"
+            "def f(y):\n"
+            "    x = log_and_count(y)\n"
+            "    x = 0\n"
+            "    return x\n"
+        )
+        assert "R16_DEAD_STORE" not in extended_ids(src)
+
+    def test_underscore_convention_not_flagged(self):
+        src = "def f(pair):\n    _unused = pair[0] + pair[1]\n    return 0\n"
+        assert "R16_DEAD_STORE" not in extended_ids(src)
+
+    def test_captured_name_not_flagged(self):
+        # A closure may observe the "dead" store.
+        src = (
+            "def f():\n"
+            "    state = [1, 2][0] + 1\n"
+            "    def g():\n"
+            "        return state\n"
+            "    return g\n"
+        )
+        assert "R16_DEAD_STORE" not in extended_ids(src)
+
+
+class TestR17InvariantRecompute:
+    INVARIANT = (
+        "def f(xs, scale):\n"
+        "    base = scale * 2\n"
+        "    out = []\n"
+        "    for x in xs:\n"
+        "        factor = base * base + 1\n"
+        "        out.append(x * factor)\n"
+        "    return out\n"
+    )
+
+    def test_invariant_expression_flagged_when_extended(self):
+        findings = [
+            f
+            for f in extended(self.INVARIANT)
+            if f.rule_id == "R17_INVARIANT_RECOMPUTE"
+        ]
+        assert [f.line for f in findings] == [5]
+
+    def test_not_flagged_by_default(self):
+        assert "R17_INVARIANT_RECOMPUTE" not in base_ids(self.INVARIANT)
+
+    def test_loop_dependent_operand_not_flagged(self):
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        y = x * 2 + 1\n"
+            "        out.append(y)\n"
+            "    return out\n"
+        )
+        assert "R17_INVARIANT_RECOMPUTE" not in extended_ids(src)
+
+    def test_accumulation_not_flagged(self):
+        # `acc = acc + step` reads its own previous value: not
+        # invariant, even though `step` is.
+        src = (
+            "def f(n, step):\n"
+            "    acc = 0\n"
+            "    for _ in range(n):\n"
+            "        acc = acc + step\n"
+            "    return acc\n"
+        )
+        assert "R17_INVARIANT_RECOMPUTE" not in extended_ids(src)
+
+    def test_call_in_rhs_left_to_r18(self):
+        src = (
+            "def cost(a):\n"
+            "    return a * 3\n"
+            "def f(xs, a):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        c = cost(a)\n"
+            "        out.append(x + c)\n"
+            "    return out\n"
+        )
+        assert "R17_INVARIANT_RECOMPUTE" not in extended_ids(src)
+
+
+class TestR18PureMemoize:
+    MEMOIZABLE = (
+        "def cost(a):\n"
+        "    return a * 3 + 1\n"
+        "def f(xs, a):\n"
+        "    out = []\n"
+        "    for x in xs:\n"
+        "        out.append(x + cost(a))\n"
+        "    return out\n"
+    )
+
+    def test_pure_invariant_call_flagged_when_extended(self):
+        findings = [
+            f
+            for f in extended(self.MEMOIZABLE)
+            if f.rule_id == "R18_PURE_MEMOIZE"
+        ]
+        assert [f.line for f in findings] == [6]
+        assert all(f.pure_context for f in findings)
+
+    def test_not_flagged_by_default(self):
+        assert "R18_PURE_MEMOIZE" not in base_ids(self.MEMOIZABLE)
+
+    def test_impure_callee_not_flagged(self):
+        src = (
+            "LOG = []\n"
+            "def cost(a):\n"
+            "    LOG.append(a)\n"
+            "    return a * 3\n"
+            "def f(xs, a):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(x + cost(a))\n"
+            "    return out\n"
+        )
+        assert "R18_PURE_MEMOIZE" not in extended_ids(src)
+
+    def test_loop_varying_argument_not_flagged(self):
+        src = (
+            "def cost(a):\n"
+            "    return a * 3\n"
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(cost(x))\n"
+            "    return out\n"
+        )
+        assert "R18_PURE_MEMOIZE" not in extended_ids(src)
+
+    def test_unresolvable_callee_not_flagged(self):
+        src = (
+            "import math\n"
+            "def f(xs, a):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(x + math.sqrt(a))\n"
+            "    return out\n"
+        )
+        assert "R18_PURE_MEMOIZE" not in extended_ids(src)
+
+
+class TestConfidenceFoldsInterproceduralHotness:
+    # Identical `helper` bodies; only the caller differs.  R05 fires
+    # on the modulus inside helper's own loop in both variants, but
+    # the hot variant reaches helper from a doubly-nested loop, so
+    # its finding must carry caller_hotness >= 2 and outrank the
+    # cold twin's confidence.
+    HELPER = (
+        "def helper(xs):\n"
+        "    out = 0\n"
+        "    for x in xs:\n"
+        "        out += x % 7\n"
+        "    return out\n"
+    )
+    HOT = HELPER + (
+        "def run(rows):\n"
+        "    total = 0\n"
+        "    for row in rows:\n"
+        "        for cell in row:\n"
+        "            total += helper(cell)\n"
+        "    return total\n"
+    )
+    COLD = HELPER + (
+        "def run(values):\n"
+        "    return helper(values)\n"
+    )
+
+    @staticmethod
+    def modulus_findings(source):
+        return [
+            f
+            for f in Analyzer().analyze_source(source)
+            if f.rule_id == "R05_MODULUS"
+        ]
+
+    def test_caller_hotness_recorded_on_hot_callee_finding(self):
+        hot = self.modulus_findings(self.HOT)
+        assert len(hot) == 1
+        assert hot[0].caller_hotness >= 2
+
+    def test_cold_caller_leaves_hotness_at_zero(self):
+        cold = self.modulus_findings(self.COLD)
+        assert len(cold) == 1
+        assert cold[0].caller_hotness == 0
+
+    def test_hot_caller_raises_confidence_over_cold_twin(self):
+        hot = self.modulus_findings(self.HOT)
+        cold = self.modulus_findings(self.COLD)
+        assert hot[0].confidence > cold[0].confidence

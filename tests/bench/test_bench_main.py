@@ -29,6 +29,30 @@ class TestBenchMain:
         assert "Random Forest" in out
         assert "Accuracy Drop" in out
 
+    def test_semantics_project_and_output_flags(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "def f(xs):\n"
+            "    out = 0\n"
+            "    for x in xs:\n"
+            "        out += x\n"
+            "    return out\n"
+        )
+        target = tmp_path / "BENCH_semantics.json"
+        code = main(
+            [
+                "semantics",
+                "--quick",
+                "--check",
+                "--project",
+                str(tmp_path),
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert "within budget" in capsys.readouterr().out
+        assert target.exists()
+
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["table9"])

@@ -176,6 +176,59 @@ class TestBench:
         out = capsys.readouterr().out
         assert "Airline" in out
 
+    def test_bench_semantics_quick_check(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "semantics", "--quick", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "ms/KLoC" in out
+        assert (tmp_path / "BENCH_semantics.json").exists()
+
+
+class TestFacts:
+    def test_text_table_for_file(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        assert main(["facts", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "build" in out
+        assert "cfg_nodes" in out
+        assert "1 method(s)" in out
+
+    def test_json_records(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "mod.py"
+        target.write_text(DIRTY)
+        assert main(["facts", str(target), "--format", "json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["qualname"] for r in records] == ["build"]
+        assert records[0]["file"] == str(target)
+        assert records[0]["max_loop_depth"] == 1
+        assert "du_pairs" in records[0]
+
+    def test_project_directory(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text(DIRTY)
+        (tmp_path / "b.py").write_text("def g():\n    return 1\n")
+        assert main(["facts", str(tmp_path)]) == 0
+        assert "2 method(s)" in capsys.readouterr().out
+
+    def test_syntax_error_file_skipped_with_warning(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "good.py").write_text(DIRTY)
+        assert main(["facts", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping" in captured.err
+        assert "1 method(s)" in captured.out
+
+    def test_missing_path_exit_code(self, tmp_path, capsys):
+        assert main(["facts", str(tmp_path / "nope.py")]) == 2
+        assert "pepo:" in capsys.readouterr().err
+
 
 class TestFaultTolerantSweeps:
     """The robustness surface: quarantine warnings, check provenance,

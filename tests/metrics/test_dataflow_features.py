@@ -1,0 +1,143 @@
+"""Per-method dataflow feature vectors (predictor input)."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.metrics import (
+    FEATURE_NAMES,
+    file_flow_features,
+    method_flow_features,
+)
+
+MODULE = textwrap.dedent(
+    """\
+    def leaf(a):
+        return a * 2
+
+    def caller(rows):
+        total = 0
+        for row in rows:
+            for cell in row:
+                total += leaf(cell)
+        return total
+
+    class Codec:
+        def encode(self, value):
+            if value:
+                return str(value)
+            return None
+    """
+)
+
+
+def features_for(source):
+    return method_flow_features(ast.parse(source))
+
+
+def by_name(source):
+    return {row.qualname: row for row in features_for(source)}
+
+
+class TestShape:
+    def test_one_row_per_function_sorted_by_line(self):
+        rows = features_for(MODULE)
+        assert [r.qualname for r in rows] == [
+            "leaf",
+            "caller",
+            "Codec.encode",
+        ]
+        assert [r.line for r in rows] == sorted(r.line for r in rows)
+
+    def test_vector_follows_feature_names_order(self):
+        row = features_for(MODULE)[0]
+        vec = row.vector()
+        assert len(vec) == len(FEATURE_NAMES)
+        assert vec == tuple(
+            float(getattr(row, name)) for name in FEATURE_NAMES
+        )
+        assert all(isinstance(v, float) for v in vec)
+
+    def test_to_dict_carries_identity_plus_every_feature(self):
+        row = features_for(MODULE)[0]
+        record = row.to_dict()
+        assert record["qualname"] == "leaf"
+        assert record["line"] == row.line
+        assert set(FEATURE_NAMES) <= set(record)
+
+    def test_nested_function_qualname(self):
+        src = "def outer():\n    def inner():\n        return 1\n"
+        assert set(by_name(src)) == {"outer", "outer.inner"}
+
+
+class TestFeatureValues:
+    def test_straight_line_body_has_branchiness_one(self):
+        row = by_name(MODULE)["leaf"]
+        assert row.branchiness == 1
+        assert row.max_loop_depth == 0
+
+    def test_nested_loop_depth(self):
+        assert by_name(MODULE)["caller"].max_loop_depth == 2
+
+    def test_branch_raises_branchiness(self):
+        assert by_name(MODULE)["Codec.encode"].branchiness >= 2
+
+    def test_purity_and_call_graph_edges(self):
+        rows = by_name(MODULE)
+        assert rows["leaf"].is_pure == 1
+        assert rows["leaf"].fan_in == 1  # called by caller
+        assert rows["caller"].fan_out == 1  # calls leaf
+        # leaf is invoked from a depth-2 loop inside caller.
+        assert rows["leaf"].call_hotness == 2
+        assert rows["caller"].call_hotness == 0
+
+    def test_du_density_zero_for_definition_free_body(self):
+        src = "def f():\n    return 1\n"
+        row = by_name(src)["f"]
+        assert row.definitions == 0
+        assert row.du_density == 0.0
+
+    def test_du_pairs_count_reaching_links(self):
+        src = (
+            "def f(a):\n"
+            "    b = a + 1\n"
+            "    return b + b\n"
+        )
+        row = by_name(src)["f"]
+        assert row.definitions == 1  # local b; params excluded
+        # a->use (param def reaches), b->use, b->use.
+        assert row.du_pairs == 3
+        assert row.du_density == 3.0
+
+    def test_operator_singletons_do_not_leak_hotness(self):
+        # CPython interns operator nodes (one shared ast.Add), so an
+        # id()-keyed hotness lookup on them would smear loop depth
+        # from `hot` into the loop-free `cold`.
+        src = (
+            "def hot(xs):\n"
+            "    acc = 0\n"
+            "    for x in xs:\n"
+            "        for y in x:\n"
+            "            acc = acc + y\n"
+            "    return acc\n"
+            "def cold(a, b):\n"
+            "    return a + b\n"
+        )
+        rows = by_name(src)
+        assert rows["hot"].max_loop_depth == 2
+        assert rows["cold"].max_loop_depth == 0
+
+
+class TestFileEntryPoint:
+    def test_reads_from_disk(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(MODULE)
+        names = [row.qualname for row in file_flow_features(target)]
+        assert names == ["leaf", "caller", "Codec.encode"]
+
+    def test_syntax_error_propagates(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("def broken(:\n")
+        with pytest.raises(SyntaxError):
+            file_flow_features(target)

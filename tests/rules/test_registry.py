@@ -23,7 +23,8 @@ EXPECTED_RULE_IDS = tuple(
             "NUMERIC_TYPE", "SCI_NOTATION", "BOXING", "GLOBAL_IN_LOOP",
             "MODULUS", "TERNARY", "SHORT_CIRCUIT", "STR_CONCAT",
             "STR_COMPARE", "ARRAY_COPY", "TRAVERSAL", "EXCEPTION_FLOW",
-            "OBJECT_CHURN", "APPEND_LOOP", "RANGE_LEN",
+            "OBJECT_CHURN", "APPEND_LOOP", "RANGE_LEN", "DEAD_STORE",
+            "INVARIANT_RECOMPUTE", "PURE_MEMOIZE",
         ),
         start=1,
     )
@@ -37,7 +38,7 @@ TRANSFORM_RULES = {
 
 
 class TestBuiltinCatalog:
-    def test_all_fifteen_rules_registered(self):
+    def test_all_builtin_rules_registered(self):
         assert tuple(s.rule_id for s in REGISTRY) == EXPECTED_RULE_IDS
 
     def test_every_spec_complete(self):
@@ -51,7 +52,8 @@ class TestBuiltinCatalog:
     def test_table1_vs_extensions(self):
         assert len(REGISTRY.table1_specs()) == 13
         assert tuple(s.rule_id for s in REGISTRY.extension_specs()) == (
-            "R14_APPEND_LOOP", "R15_RANGE_LEN",
+            "R14_APPEND_LOOP", "R15_RANGE_LEN", "R16_DEAD_STORE",
+            "R17_INVARIANT_RECOMPUTE", "R18_PURE_MEMOIZE",
         )
 
     def test_transform_coverage(self):
@@ -89,7 +91,7 @@ class TestBuiltinCatalog:
 
     def test_coverage_counts(self):
         assert REGISTRY.coverage_counts() == {
-            "rules": 15, "detectors": 15, "transforms": 10, "micros": 13,
+            "rules": 18, "detectors": 18, "transforms": 10, "micros": 13,
         }
 
     def test_default_registry_validates(self):
@@ -99,7 +101,7 @@ class TestBuiltinCatalog:
         text = render_rules_matrix()
         for rule_id in EXPECTED_RULE_IDS:
             assert rule_id in text
-        assert "15 rules: 15 detectors, 10 transforms, 13 micro-pairs" in text
+        assert "18 rules: 18 detectors, 10 transforms, 13 micro-pairs" in text
 
 
 def _make_spec(**overrides):

@@ -1,0 +1,206 @@
+"""CFG construction on adversarial control flow.
+
+Structural assertions only — block/edge shape and program-point
+mapping; the dataflow facts derived from these graphs get exact
+assertions in ``test_dataflow.py``.
+"""
+
+import ast
+import textwrap
+
+from repro.semantics import build_cfg
+
+
+def cfg_for(source: str):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    func = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return func, build_cfg(func, func.body)
+
+
+def stmt_at(func, line: int) -> ast.stmt:
+    return next(
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", 0) == line
+    )
+
+
+class TestPoints:
+    def test_every_statement_has_a_program_point(self):
+        func, cfg = cfg_for(
+            """
+            def f(xs):
+                total = 0
+                for x in xs:
+                    if x:
+                        total += x
+                    else:
+                        continue
+                while total > 9:
+                    total -= 1
+                else:
+                    total = -1
+                return total
+            """
+        )
+        for node in ast.walk(func):
+            if isinstance(node, ast.stmt) and node is not func:
+                assert cfg.point_of(node) is not None, ast.dump(node)
+
+    def test_nested_function_body_is_not_in_the_enclosing_unit(self):
+        func, cfg = cfg_for(
+            """
+            def f():
+                def g():
+                    hidden = 1
+                    return hidden
+                return g
+            """
+        )
+        inner = func.body[0]
+        assert cfg.point_of(inner) is not None  # the def statement binds
+        assert cfg.point_of(inner.body[0]) is None  # its body does not
+
+    def test_lambda_default_is_evaluated_at_the_def_point(self):
+        func, cfg = cfg_for(
+            """
+            def f(n):
+                g = lambda k=n: k + 1
+                return g
+            """
+        )
+        lam = func.body[0].value
+        assert cfg.point_of(lam.args.defaults[0]) == cfg.point_of(func.body[0])
+        assert cfg.point_of(lam.body) is None  # lambda body: separate unit
+
+
+class TestBranchShape:
+    def test_straight_line_has_single_path(self):
+        _, cfg = cfg_for("def f():\n    a = 1\n    return a")
+        # entry -> exit via one linear chain: cyclomatic complexity 1.
+        assert cfg.n_edges - cfg.n_blocks + 2 == 1
+
+    def test_if_else_adds_one_decision(self):
+        _, cfg = cfg_for(
+            """
+            def f(p):
+                if p:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        assert cfg.n_edges - cfg.n_blocks + 2 == 2
+
+    def test_while_else_break_skips_the_else(self):
+        func, cfg = cfg_for(
+            """
+            def f(n):
+                while n:
+                    break
+                else:
+                    n = -1
+                return n
+            """
+        )
+        header_block, _ = cfg.point_of(stmt_at(func, 2).test)
+        break_block, _ = cfg.point_of(stmt_at(func, 3))
+        else_block, _ = cfg.point_of(stmt_at(func, 5))
+        return_block, _ = cfg.point_of(stmt_at(func, 6))
+        edges = set(cfg.edges())
+        assert (header_block, else_block) in edges  # exhaustion runs else
+        assert (break_block, return_block) in edges  # break jumps past it
+        assert (break_block, else_block) not in edges
+
+    def test_match_cases_fall_through_to_the_next_pattern(self):
+        func, cfg = cfg_for(
+            """
+            def f(v):
+                match v:
+                    case 0:
+                        r = "zero"
+                    case _:
+                        r = "other"
+                return r
+            """
+        )
+        # Both case bodies and the return are reachable from entry.
+        reachable = set()
+        stack = [cfg.entry]
+        while stack:
+            block = stack.pop()
+            if block.index in reachable:
+                continue
+            reachable.add(block.index)
+            stack.extend(block.succ)
+        for line in (4, 6, 7):
+            block_index, _ = cfg.point_of(stmt_at(func, line))
+            assert block_index in reachable
+
+
+class TestAbruptExits:
+    def test_return_edges_to_exit_and_kills_fallthrough(self):
+        func, cfg = cfg_for(
+            """
+            def f(p):
+                if p:
+                    return 1
+                return 2
+            """
+        )
+        return_block, _ = cfg.point_of(stmt_at(func, 3))
+        assert cfg.exit in cfg.blocks[return_block].succ
+
+    def test_return_inside_finally_is_routed_through_the_finally(self):
+        func, cfg = cfg_for(
+            """
+            def f():
+                try:
+                    return 1
+                finally:
+                    log()
+            """
+        )
+        return_block, _ = cfg.point_of(stmt_at(func, 3))
+        finally_block, _ = cfg.point_of(stmt_at(func, 5))
+        edges = set(cfg.edges())
+        # return reaches the finally body, not the exit directly.
+        assert (return_block, finally_block) in edges
+        assert cfg.exit not in cfg.blocks[return_block].succ
+        # ... and the finally re-dispatches the pending return.
+        assert cfg.exit in cfg.blocks[finally_block].succ
+
+    def test_handler_sees_pre_statement_state_edges(self):
+        func, cfg = cfg_for(
+            """
+            def f():
+                before = 1
+                try:
+                    during = 2
+                    after = 3
+                except Exception:
+                    h = 4
+                return 0
+            """
+        )
+        handler = next(
+            node for node in ast.walk(func)
+            if isinstance(node, ast.ExceptHandler)
+        )
+        handler_block, _ = cfg.point_of(handler)
+        feeding = {block.index for block in cfg.blocks[handler_block].pred}
+        # The block holding `before = 1` (sealed ahead of `during = 2`)
+        # and the block holding `during = 2` (sealed ahead of
+        # `after = 3`) both feed the handler; the block holding
+        # `after = 3` — the body's last statement — does not.
+        before_block, _ = cfg.point_of(stmt_at(func, 2))
+        during_block, _ = cfg.point_of(stmt_at(func, 4))
+        after_block, _ = cfg.point_of(stmt_at(func, 5))
+        assert before_block in feeding
+        assert during_block in feeding
+        assert after_block not in feeding

@@ -1,0 +1,379 @@
+"""Reaching definitions, type states, liveness: adversarial corpus.
+
+Every assertion here is *exact* — a specific set of (line, strength)
+definition facts or a specific type string at a specific program
+point — so a precision or soundness regression in the worklist layer
+fails loudly instead of shifting a downstream heuristic.
+"""
+
+import ast
+import textwrap
+
+from repro.semantics import TYPE_UNKNOWN, build_semantic_model
+
+
+def model_for(source: str):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    return tree, build_semantic_model(tree)
+
+
+def loads(tree: ast.AST, name: str) -> list[ast.Name]:
+    """Load occurrences of ``name``, source order."""
+    found = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name)
+        and node.id == name
+        and isinstance(node.ctx, ast.Load)
+    ]
+    found.sort(key=lambda node: (node.lineno, node.col_offset))
+    return found
+
+
+def reaching_facts(model, node: ast.Name) -> set[tuple[int, bool]]:
+    """The exact (line, is_strong) set of definitions reaching a load."""
+    defs = model.defs_reaching(node)
+    assert defs is not None
+    return {(d.line, d.strong) for d in defs}
+
+
+class TestWalrusInConditions:
+    def test_walrus_in_if_test_is_a_strong_definition(self):
+        tree, model = model_for(
+            """
+            def f(xs):
+                if (n := len(xs)) > 3:
+                    return n
+                return 0
+            """
+        )
+        assert reaching_facts(model, loads(tree, "n")[0]) == {(2, True)}
+
+    def test_walrus_in_or_right_operand_is_weak(self):
+        # `a or (m := b)` may skip the bind entirely: the definition
+        # must be weak (gen without kill) so short-circuit stays sound.
+        tree, model = model_for(
+            """
+            def g(a, b):
+                ok = a or (m := b)
+                return m
+            """
+        )
+        assert reaching_facts(model, loads(tree, "m")[0]) == {(2, False)}
+
+    def test_walrus_in_while_test_reaches_the_body(self):
+        tree, model = model_for(
+            """
+            def f(stream):
+                total = 0
+                while (chunk := stream.read()):
+                    total += len(chunk)
+                return total
+            """
+        )
+        assert reaching_facts(model, loads(tree, "chunk")[0]) == {(3, True)}
+
+
+class TestWhileElse:
+    def test_else_and_break_paths_reach_the_join_exactly(self):
+        tree, model = model_for(
+            """
+            def f(n):
+                x = 0
+                while n > 0:
+                    x = 1
+                    if n == 5:
+                        break
+                    n -= 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        # break carries the loop-body assignment; exhaustion runs the
+        # else which rebinds; the pre-loop x = 0 is killed on BOTH
+        # paths and must not reach the return.
+        assert reaching_facts(model, loads(tree, "x")[0]) == {
+            (4, True),
+            (9, True),
+        }
+
+    def test_else_sees_pre_loop_and_loop_definitions(self):
+        tree, model = model_for(
+            """
+            def f(n):
+                y = 0
+                while n:
+                    y = 1
+                    n -= 1
+                else:
+                    use(y)
+                return y
+            """
+        )
+        # The else entry joins the zero-iteration path (y = 0) with the
+        # exhaustion path (y = 1).
+        assert reaching_facts(model, loads(tree, "y")[0]) == {
+            (2, True),
+            (4, True),
+        }
+
+
+class TestTryExceptRaise:
+    def test_handler_observes_pre_statement_state_only(self):
+        tree, model = model_for(
+            """
+            def f(path):
+                data = None
+                try:
+                    data = load(path)
+                except Exception:
+                    check(data)
+                    raise
+                return data
+            """
+        )
+        checked, returned = loads(tree, "data")[:2]
+        assert (checked.lineno, returned.lineno) == (6, 8)
+        # If `load(path)` raises, the assignment never completed: the
+        # handler sees exactly the pre-try definition.
+        assert reaching_facts(model, checked) == {(2, True)}
+        # The bare re-raise exits the function, so the post-try return
+        # is reachable only via try success: exactly the try-body def.
+        assert reaching_facts(model, returned) == {(4, True)}
+
+    def test_partial_try_progress_reaches_the_handler(self):
+        tree, model = model_for(
+            """
+            def f():
+                try:
+                    a = step1()
+                    a = step2()
+                    done()
+                except Exception:
+                    recover(a)
+                return 0
+            """
+        )
+        # A raise in step2() sees the first binding; a raise in done()
+        # sees the second.  Both may-reach the handler.
+        assert reaching_facts(model, loads(tree, "a")[0]) == {
+            (3, True),
+            (4, True),
+        }
+
+    def test_except_name_binding_is_weak(self):
+        tree, model = model_for(
+            """
+            def f():
+                try:
+                    go()
+                except ValueError as err:
+                    return str(err)
+                return ""
+            """
+        )
+        assert reaching_facts(model, loads(tree, "err")[0]) == {(4, False)}
+
+
+class TestFinallyWithReturn:
+    def test_finally_body_runs_after_the_return_statement(self):
+        tree, model = model_for(
+            """
+            def f():
+                x = 1
+                try:
+                    return x
+                finally:
+                    x = 2
+                    log(x)
+            """
+        )
+        at_return, in_finally = loads(tree, "x")[:2]
+        assert reaching_facts(model, at_return) == {(2, True)}
+        # The finally rebinds before its own use: only line 6 reaches.
+        assert reaching_facts(model, in_finally) == {(6, True)}
+
+    def test_fallthrough_after_finally_keeps_try_definitions(self):
+        tree, model = model_for(
+            """
+            def g(flag):
+                try:
+                    if flag:
+                        return 1
+                    y = 2
+                finally:
+                    cleanup()
+                return y
+            """
+        )
+        assert reaching_facts(model, loads(tree, "y")[0]) == {(5, True)}
+
+
+class TestNestedComprehensions:
+    def test_enclosing_local_read_inside_nested_comprehension(self):
+        tree, model = model_for(
+            """
+            def f(rows):
+                n = 2
+                out = [[x * n for x in row] for row in rows]
+                return out
+            """
+        )
+        # `n` inside the inner comprehension resolves to the function
+        # scope and is observed at the assignment's program point.
+        assert reaching_facts(model, loads(tree, "n")[0]) == {(2, True)}
+
+    def test_walrus_escaping_a_comprehension_is_weak(self):
+        # Comprehension bodies may run zero times; the escaped walrus
+        # binding must not pretend to definitely assign.
+        tree, model = model_for(
+            """
+            def g(xs):
+                ys = [(y := x) for x in xs]
+                return y
+            """
+        )
+        assert reaching_facts(model, loads(tree, "y")[0]) == {(2, False)}
+
+
+class TestGlobalNonlocalRebinding:
+    def test_global_rebinding_across_branches(self):
+        tree, model = model_for(
+            """
+            COUNT = 0
+            def bump(flag):
+                global COUNT
+                if flag:
+                    COUNT = 1
+                else:
+                    COUNT = 2
+                return COUNT
+            """
+        )
+        # `global COUNT; COUNT = …` tracks as a unit definition; the
+        # branch join carries exactly the two arms.
+        assert reaching_facts(model, loads(tree, "COUNT")[0]) == {
+            (5, True),
+            (7, True),
+        }
+
+    def test_nonlocal_rebinding_is_not_claimed_locally(self):
+        tree, model = model_for(
+            """
+            def outer():
+                t = 0
+                def inner(flag):
+                    nonlocal t
+                    if flag:
+                        t = 1
+                    return t
+                return inner
+            """
+        )
+        # Like `global`, a `nonlocal` write tracks as a definition of
+        # the *writing* unit (R04's rebinding gate needs exactly this);
+        # outer's own `t = 0` belongs to outer's unit and contributes
+        # nothing here, so the branch write is the only fact.
+        assert reaching_facts(model, loads(tree, "t")[0]) == {(6, True)}
+        # And outer's `t = 0` is captured by inner, so it is never
+        # reported as a dead store even though outer itself never
+        # reads it.
+        outer = tree.body[0]
+        assert model.dead_stores(outer) == []
+
+
+class TestTypeStates:
+    def type_at_load(self, source: str, name: str, occurrence: int = 0):
+        tree, model = model_for(source)
+        return model.type_at(loads(tree, name)[occurrence])
+
+    def test_branch_join_unifies_numeric_types(self):
+        assert (
+            self.type_at_load(
+                """
+                def f(flag):
+                    if flag:
+                        v = 1
+                    else:
+                        v = 2.5
+                    return v
+                """,
+                "v",
+            )
+            == "float"
+        )
+
+    def test_one_sided_binding_joins_to_unknown(self):
+        assert (
+            self.type_at_load(
+                """
+                def f(flag):
+                    if flag:
+                        s = "x"
+                    return s
+                """,
+                "s",
+            )
+            == TYPE_UNKNOWN
+        )
+
+    def test_rebinding_kills_the_earlier_type(self):
+        source = """
+        def f():
+            x = "a"
+            x = 1
+            return x
+        """
+        tree, model = model_for(source)
+        node = loads(tree, "x")[0]
+        # Flow-sensitive: the str binding is dead at the return ...
+        assert model.type_at(node) == "int"
+        # ... where the whole-scope table can only say "unknown".
+        assert model.type_of(node) == TYPE_UNKNOWN
+
+    def test_range_loop_accumulator_stays_int_but_target_escapes_unknown(
+        self,
+    ):
+        source = """
+        def f(n):
+            total = 0
+            for i in range(n):
+                total += i
+            return (total, i)
+        """
+        tree, model = model_for(source)
+        assert model.type_at(loads(tree, "total")[0]) == "int"
+        # Zero iterations leave `i` unbound: the post-loop read joins
+        # the no-entry path and must degrade to unknown.
+        assert model.type_at(loads(tree, "i")[1]) == TYPE_UNKNOWN
+
+    def test_string_concat_loop_keeps_str_through_the_back_edge(self):
+        assert (
+            self.type_at_load(
+                """
+                def f(x):
+                    s = "a"
+                    while x:
+                        s = s + "b"
+                    return s
+                """,
+                "s",
+                occurrence=-1,
+            )
+            == "str"
+        )
+
+    def test_walrus_in_condition_types_the_then_branch(self):
+        assert (
+            self.type_at_load(
+                """
+                def f(xs):
+                    if (n := len(xs)) > 3:
+                        return n
+                    return 0
+                """,
+                "n",
+            )
+            == "int"
+        )
