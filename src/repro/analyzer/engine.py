@@ -20,6 +20,10 @@ from repro.analyzer.rules import AnalysisContext, Rule
 from repro.analyzer.rules.base import collect_function_info
 from repro.analyzer.suppress import apply_suppressions
 from repro.semantics import build_semantic_model
+from repro.semantics._astutil import child_nodes, memoized_children
+
+_FUNCTION_NODE_SET = frozenset((ast.FunctionDef, ast.AsyncFunctionDef))
+_LOOP_NODE_SET = frozenset((ast.For, ast.AsyncFor, ast.While))
 
 
 class Analyzer:
@@ -29,7 +33,12 @@ class Analyzer:
     ----------
     rules:
         Explicit rule classes; default is every detector in the rule
-        registry (runtime-registered rules included).
+        registry (runtime-registered rules included).  The rule set —
+        and the dispatch/pre-filter indexes derived from it — is
+        frozen at construction: an ``Analyzer`` may be reused across
+        any number of ``analyze_*`` calls, but rules registered with
+        the registry *afterwards* are only picked up by a fresh
+        ``Analyzer``.
     extended:
         Also run the extension rules (paper future work: R14, R15).
     honor_suppressions:
@@ -38,6 +47,16 @@ class Analyzer:
     registry:
         Registry supplying the default rule set; the process-wide
         :data:`repro.rules.REGISTRY` when omitted.
+    prefilter:
+        Skip rules (and, when every rule is skipped, the whole
+        semantic model and traversal) for files containing none of a
+        rule's declared trigger substrings.  Triggers are necessary
+        conditions, so output is byte-identical either way; disable
+        only to benchmark the unfiltered path.
+    eager_semantics:
+        Build the scope/type/hotness tables up front instead of on
+        first query — the pre-optimization baseline mode the sweep
+        bench compares against.
     """
 
     def __init__(
@@ -46,6 +65,8 @@ class Analyzer:
         extended: bool = False,
         honor_suppressions: bool = True,
         registry=None,
+        prefilter: bool = True,
+        eager_semantics: bool = False,
     ) -> None:
         registry_fingerprint = ""
         if rules is None:
@@ -57,9 +78,17 @@ class Analyzer:
         self._rules: list[Rule] = [rule_class() for rule_class in rules]
         self._honor_suppressions = honor_suppressions
         self._registry_fingerprint = registry_fingerprint
-        # Node-type dispatch index, filled lazily per concrete AST class
-        # from each rule's declared ``interested_types``.
-        self._dispatch: dict[type, tuple[Rule, ...]] = {}
+        self._prefilter = prefilter
+        self._eager_semantics = eager_semantics
+        # Per-rule trigger sets, aligned with self._rules; the mask with
+        # every rule active is what a disabled prefilter always returns.
+        self._triggers: tuple[tuple[str, ...] | None, ...] = tuple(
+            getattr(rule, "triggers", None) for rule in self._rules
+        )
+        self._all_active: int = (1 << len(self._rules)) - 1
+        # (active-rule bitmask, concrete AST class) -> matching rules,
+        # filled lazily; a sweep sees only a handful of distinct masks.
+        self._dispatch: dict[tuple[int, type], tuple[Rule, ...]] = {}
         # Accounting from the most recent analyze_project sweep.
         self.last_sweep_stats: "SweepStats | None" = None
         self.last_quarantine: "QuarantineReport | None" = None
@@ -87,13 +116,24 @@ class Analyzer:
         analyzer was built with ``honor_suppressions=False`` — then
         everything is kept).
         """
+        # Parse before pre-filtering: a broken file must raise
+        # SyntaxError whether or not any rule would have run on it.
         tree = ast.parse(source, filename=filename)
-        semantics = build_semantic_model(tree, filename=filename)
-        ctx = AnalysisContext(
-            filename=filename, source=source, tree=tree, semantics=semantics
-        )
-        findings: list[Finding] = []
-        self._walk(tree, ctx, findings)
+        active = self._active_rules(source)
+        if not active:
+            return [], []
+        # The tree is immutable from here to the end of the walk, and
+        # every semantic layer plus the engine traversal re-reads the
+        # same child lists — share them for the duration.
+        with memoized_children():
+            semantics = build_semantic_model(
+                tree, filename=filename, eager=self._eager_semantics
+            )
+            ctx = AnalysisContext(
+                filename=filename, source=source, tree=tree, semantics=semantics
+            )
+            findings: list[Finding] = []
+            self._walk(tree, ctx, findings, active)
         suppressed: list[Finding] = []
         if self._honor_suppressions:
             findings, suppressed = apply_suppressions(
@@ -158,57 +198,119 @@ class Analyzer:
             rule_classes=self._rule_classes,
             honor_suppressions=self._honor_suppressions,
             registry_fingerprint=self._registry_fingerprint,
+            prefilter=self._prefilter,
+            eager_semantics=self._eager_semantics,
         )
+
+    # -- pre-filter ------------------------------------------------------
+
+    def _active_rules(self, source: str) -> int:
+        """Bitmask of rules whose triggers can match this source.
+
+        One combined scan: each distinct trigger substring is searched
+        at most once per file (C-speed ``in``), shared across rules,
+        with early exit per rule on the first hit.  A rule declaring
+        no triggers is always active.
+        """
+        if not self._prefilter:
+            return self._all_active
+        present: dict[str, bool] = {}
+        mask = 0
+        bit = 1
+        for triggers in self._triggers:
+            if triggers is None:
+                mask |= bit
+            else:
+                for trigger in triggers:
+                    hit = present.get(trigger)
+                    if hit is None:
+                        hit = present[trigger] = trigger in source
+                    if hit:
+                        mask |= bit
+                        break
+            bit <<= 1
+        return mask
 
     # -- traversal -------------------------------------------------------
 
-    def _rules_for(self, node_type: type) -> tuple[Rule, ...]:
-        """Rules whose ``interested_types`` cover this AST class.
+    def _rules_for(self, node_type: type, active: int) -> tuple[Rule, ...]:
+        """Active rules whose ``interested_types`` cover this AST class.
 
-        Memoized per concrete node class: after the first few nodes of
-        a sweep every ``_check`` is one dict hit instead of dispatching
-        all rules against all ~30 node types a module actually uses.
+        Memoized per (active-rule mask, concrete node class): after the
+        first few nodes of a sweep every ``_check`` is one dict hit
+        instead of dispatching all rules against all ~30 node types a
+        module actually uses.
         """
         try:
-            return self._dispatch[node_type]
+            return self._dispatch[(active, node_type)]
         except KeyError:
             matched = tuple(
                 rule
-                for rule in self._rules
-                if rule.interested_types is None
-                or issubclass(node_type, rule.interested_types)
+                for index, rule in enumerate(self._rules)
+                if (active >> index) & 1
+                and (
+                    rule.interested_types is None
+                    or issubclass(node_type, rule.interested_types)
+                )
             )
-            self._dispatch[node_type] = matched
+            self._dispatch[(active, node_type)] = matched
             return matched
 
-    def _check(self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]) -> None:
-        for rule in self._rules_for(type(node)):
+    def _check(
+        self,
+        node: ast.AST,
+        ctx: AnalysisContext,
+        out: list[Finding],
+        active: int | None = None,
+    ) -> None:
+        if active is None:
+            active = self._all_active
+        for rule in self._rules_for(type(node), active):
             out.extend(rule.check(node, ctx))
 
-    def _walk(self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._check(child, ctx, out)
-                info = collect_function_info(child, ctx)
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: AnalysisContext,
+        out: list[Finding],
+        active: int | None = None,
+    ) -> None:
+        """Pre-order traversal driving every rule check.
+
+        One iterative pass with an explicit stack — the recursion this
+        replaces paid two Python frames per node.  Tuple sentinels on
+        the stack restore the loop/function context when a subtree is
+        done: ``(0,)`` pops a loop, ``(1, saved)`` pops a function and
+        restores the definition site's loop stack.
+        """
+        if active is None:
+            active = self._all_active
+        rules_for = self._rules_for
+        stack: list = list(reversed(child_nodes(node)))
+        while stack:
+            current = stack.pop()
+            cls = current.__class__
+            if cls is tuple:
+                if current[0] == 0:
+                    ctx.loop_stack.pop()
+                else:
+                    ctx.function_stack.pop()
+                    ctx.loop_stack = current[1]
+                continue
+            for rule in rules_for(cls, active):
+                out.extend(rule.check(current, ctx))
+            if cls in _FUNCTION_NODE_SET:
                 # A function body is a fresh execution context: loops
                 # enclosing the *definition* do not re-run its body.
-                saved_loops, ctx.loop_stack = ctx.loop_stack, []
-                ctx.function_stack.append(info)
-                try:
-                    self._walk(child, ctx, out)
-                finally:
-                    ctx.function_stack.pop()
-                    ctx.loop_stack = saved_loops
-            elif isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
-                self._check(child, ctx, out)
-                ctx.loop_stack.append(child)
-                try:
-                    self._walk(child, ctx, out)
-                finally:
-                    ctx.loop_stack.pop()
-            else:
-                self._check(child, ctx, out)
-                self._walk(child, ctx, out)
+                stack.append((1, ctx.loop_stack))
+                ctx.loop_stack = []
+                ctx.function_stack.append(
+                    collect_function_info(current, ctx)
+                )
+            elif cls in _LOOP_NODE_SET:
+                ctx.loop_stack.append(current)
+                stack.append((0,))
+            stack.extend(reversed(child_nodes(current)))
 
 
 def analyze_source(source: str, filename: str = "<string>") -> list[Finding]:
@@ -244,6 +346,17 @@ class DynamicAnalyzer:
     @property
     def findings(self) -> list[Finding]:
         return list(self._findings)
+
+    @property
+    def last_good_source(self) -> str | None:
+        """The last buffer that parsed (and therefore produced
+        :attr:`findings`), or ``None`` before the first parseable
+        update.  While the current buffer is mid-edit and broken, this
+        is the source the displayed findings actually describe — the
+        anchor an editor needs for "apply suggestion" on stale
+        positions.
+        """
+        return self._last_good_source
 
     def update(self, source: str) -> FindingDelta:
         # Editors call this per keystroke, including keystrokes that do

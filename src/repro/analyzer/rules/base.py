@@ -12,7 +12,6 @@ from __future__ import annotations
 import abc
 import ast
 import builtins
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.analyzer.findings import Finding, Severity, compute_confidence
@@ -29,13 +28,46 @@ SEMANTIC_FACTS = frozenset(
 )
 
 
-@dataclass
 class FunctionInfo:
-    """Scope facts for one function, precomputed before rule checks."""
+    """Scope facts for one function, computed on first query.
 
-    node: ast.FunctionDef | ast.AsyncFunctionDef
-    local_names: set[str] = field(default_factory=set)
-    string_locals: set[str] = field(default_factory=set)
+    The engine creates one of these at every function entry, but most
+    functions never get an ``is_local``/``is_stringish`` question from
+    any rule — so the locals walk and the two string-propagation
+    passes run lazily, on the first access to :attr:`local_names` or
+    :attr:`string_locals`.  Both computations depend only on the
+    function's own subtree (never on traversal position), so deferring
+    them cannot change any answer.
+    """
+
+    __slots__ = ("node", "_ctx", "_local_names", "_string_locals")
+
+    def __init__(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: "AnalysisContext",
+    ) -> None:
+        self.node = node
+        self._ctx = ctx
+        self._local_names: set[str] | None = None
+        self._string_locals: set[str] | None = None
+
+    @property
+    def local_names(self) -> set[str]:
+        if self._local_names is None:
+            self._local_names = _collect_local_names(self.node)
+        return self._local_names
+
+    @property
+    def string_locals(self) -> set[str]:
+        if self._string_locals is None:
+            # Assign the (initially empty) set before the passes run:
+            # ``is_stringish`` re-reads it mid-pass through
+            # ``current_function``, exactly like the old in-place
+            # mutation did.
+            self._string_locals = set()
+            _collect_string_locals(self.node, self, self._ctx)
+        return self._string_locals
 
 
 class AnalysisContext:
@@ -222,6 +254,18 @@ class Rule(abc.ABC):
     #: declare their interests.
     interested_types: tuple[type[ast.AST], ...] | None = None
 
+    #: Cheap textual pre-filter: the rule can only fire on sources
+    #: containing at least ONE of these literal substrings (OR
+    #: semantics).  The engine scans each file once before building any
+    #: semantic model; a rule whose triggers all miss is dropped for
+    #: that file, and a file activating no rules skips everything past
+    #: ``ast.parse``.  Triggers must be *necessary* conditions — every
+    #: source the rule can fire on must contain one (e.g. a rule
+    #: matching ``ast.Mod`` declares ``("%",)``: the operator cannot be
+    #: spelled without it).  When in doubt, widen or use ``None``
+    #: (the default: never pre-filtered), which is always sound.
+    triggers: tuple[str, ...] | None = None
+
     #: Which semantic-model fact families this rule consumes — any of
     #: ``"scopes"`` (binding resolution), ``"types"`` (inference), and
     #: ``"hotness"`` (loop depth).  Purely declarative today (the model
@@ -293,35 +337,50 @@ def target_names(target: ast.expr) -> set[str]:
 def collect_function_info(
     node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: AnalysisContext
 ) -> FunctionInfo:
-    """Precompute locals and string-typed locals for a function body."""
-    info = FunctionInfo(node=node)
+    """Scope facts handle for a function (locals computed lazily)."""
+    return FunctionInfo(node, ctx)
+
+
+def _collect_local_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    local_names: set[str] = set()
     args = node.args
     for arg in (
         *args.posonlyargs, *args.args, *args.kwonlyargs,
         *( [args.vararg] if args.vararg else [] ),
         *( [args.kwarg] if args.kwarg else [] ),
     ):
-        info.local_names.add(arg.arg)
+        local_names.add(arg.arg)
     for child in ast.walk(node):
         if child is node:
             continue
         if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            info.local_names.add(child.name)
+            local_names.add(child.name)
         elif isinstance(child, ast.Assign):
             for target in child.targets:
-                info.local_names.update(target_names(target))
+                local_names.update(target_names(target))
         elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
-            info.local_names.update(target_names(child.target))
+            local_names.update(target_names(child.target))
         elif isinstance(child, ast.For):
-            info.local_names.update(target_names(child.target))
+            local_names.update(target_names(child.target))
         elif isinstance(child, ast.withitem) and child.optional_vars:
-            info.local_names.update(target_names(child.optional_vars))
+            local_names.update(target_names(child.optional_vars))
         elif isinstance(child, (ast.Import, ast.ImportFrom)):
-            info.local_names.update(_bound_names(child))
+            local_names.update(_bound_names(child))
         elif isinstance(child, ast.Global):
-            info.local_names.difference_update(child.names)
-    # String-typed locals: single-target assignments from string-ish RHS.
-    # Two passes so "a = 'x'; b = a" marks b as well.
+            local_names.difference_update(child.names)
+    return local_names
+
+
+def _collect_string_locals(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    info: FunctionInfo,
+    ctx: AnalysisContext,
+) -> None:
+    """Fill ``info.string_locals``: single-target assignments from
+    string-ish RHS.  Two passes so ``a = 'x'; b = a`` marks ``b``."""
+    string_locals = info.string_locals
     for _ in range(2):
         for child in ast.walk(node):
             if (
@@ -332,14 +391,13 @@ def collect_function_info(
                 name = child.targets[0].id
                 value = child.value
                 if isinstance(value, ast.Name):
-                    if value.id in info.string_locals:
-                        info.string_locals.add(name)
+                    if value.id in string_locals:
+                        string_locals.add(name)
                 else:
                     # Temporarily view through ctx with this info active.
                     ctx.function_stack.append(info)
                     try:
                         if ctx.is_stringish(value):
-                            info.string_locals.add(name)
+                            string_locals.add(name)
                     finally:
                         ctx.function_stack.pop()
-    return info

@@ -21,6 +21,9 @@ _HEAVY_NUMERIC = {"Decimal", "Fraction"}
 class NumericTypeRule(Rule):
     rule_id = "R01_NUMERIC_TYPE"
     interested_types = (ast.Call, ast.AugAssign)
+    # Heavy-numeric constructors appear by name; the float-counter
+    # branch needs an augmented add.
+    triggers = ("Decimal", "Fraction", "+=")
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -21,6 +21,8 @@ _MIN_ZEROS = 5
 class SciNotationRule(Rule):
     rule_id = "R02_SCI_NOTATION"
     interested_types = (ast.Constant,)
+    # A literal with a 5-zero run necessarily contains a zero digit.
+    triggers = ("0",)
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -26,6 +26,13 @@ _NUMPY_MODULES = {"np", "numpy"}
 class BoxingRule(Rule):
     rule_id = "R03_BOXING"
     interested_types = (ast.Call,)
+    # Every firing names a numpy scalar type or calls .item().
+    triggers = (
+        "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+        "float16", "float32", "float64", "float128",
+        "complex64", "complex128", "bool_", "item",
+    )
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -20,6 +20,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class GlobalInLoopRule(Rule):
     rule_id = "R04_GLOBAL_IN_LOOP"
     interested_types = (ast.For, ast.AsyncFor, ast.While)
+    # Anchored on loops; a loop cannot be spelled without its keyword.
+    triggers = ("for", "while")
     semantic_facts = ("scopes", "hotness", "dataflow", "callgraph")
     version = 3
 
@@ -30,11 +32,30 @@ class GlobalInLoopRule(Rule):
         if ctx.current_function is None:
             # Module-level loops read "globals" as their locals; no win.
             return
-        written = _globals_written_in(node, ctx)
-        seen: set[str] = set()
+        # One pass over the loop subtree gathers everything the checks
+        # below need: Load names (in ast.walk order, so the anchor node
+        # for each flagged name is unchanged), direct global stores, and
+        # call sites.  The purity call graph — the expensive layer — is
+        # only consulted when the loop actually contains calls.
+        loads: list[ast.Name] = []
+        written: set[str] = set()
+        calls: list[ast.Call] = []
         for child in ast.walk(node):
-            if not (isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)):
-                continue
+            if isinstance(child, ast.Name):
+                if isinstance(child.ctx, ast.Load):
+                    loads.append(child)
+                elif ctx.resolve(child).is_module_level:
+                    written.add(child.id)
+            elif isinstance(child, ast.Call):
+                calls.append(child)
+        if calls:
+            callgraph = ctx.semantics.purity
+            for call in calls:
+                callee = callgraph.resolve_callee(call)
+                if callee is not None:
+                    written.update(callgraph.global_writes(callee))
+        seen: set[str] = set()
+        for child in loads:
             name = child.id
             if name in seen:
                 continue
@@ -60,25 +81,3 @@ class GlobalInLoopRule(Rule):
                 f"to a local before the loop ({name}_local = {name}).",
                 severity=Severity.HIGH,
             )
-
-
-def _globals_written_in(loop: ast.AST, ctx: AnalysisContext) -> set[str]:
-    """Module-level names rebound inside the loop body.
-
-    Covers direct stores under a ``global`` declaration and, via the
-    purity call graph's effect sets, stores performed by any function
-    the loop (transitively) calls.
-    """
-    written: set[str] = set()
-    callgraph = ctx.semantics.purity
-    for child in ast.walk(loop):
-        if isinstance(child, ast.Name) and isinstance(
-            child.ctx, (ast.Store, ast.Del)
-        ):
-            if ctx.resolve(child).is_module_level:
-                written.add(child.id)
-        elif isinstance(child, ast.Call):
-            callee = callgraph.resolve_callee(child)
-            if callee is not None:
-                written.update(callgraph.global_writes(callee))
-    return written

@@ -23,6 +23,8 @@ def _is_power_of_two(value: object) -> bool:
 class ModulusRule(Rule):
     rule_id = "R05_MODULUS"
     interested_types = (ast.BinOp,)
+    # ast.Mod cannot be spelled without the operator.
+    triggers = ("%",)
     semantic_facts = ("types", "hotness", "cfg", "dataflow")
     version = 3
 

@@ -19,6 +19,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class TernaryRule(Rule):
     rule_id = "R06_TERNARY"
     interested_types = (ast.IfExp,)
+    # A conditional expression always spells out its else arm.
+    triggers = ("else",)
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -34,6 +34,9 @@ def _is_cheap(node: ast.expr) -> bool:
 class ShortCircuitRule(Rule):
     rule_id = "R07_SHORT_CIRCUIT"
     interested_types = (ast.BoolOp,)
+    # Firing requires an expensive operand, i.e. a call — and a call
+    # cannot be spelled without parentheses.
+    triggers = ("(",)
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -18,6 +18,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class StrConcatRule(Rule):
     rule_id = "R08_STR_CONCAT"
     interested_types = (ast.AugAssign, ast.Assign)
+    # Both shapes (`s += x`, `s = s + x`) spell a plus.
+    triggers = ("+",)
     semantic_facts = ("types", "hotness", "cfg", "dataflow")
     version = 3
 

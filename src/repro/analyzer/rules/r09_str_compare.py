@@ -19,6 +19,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class StrCompareRule(Rule):
     rule_id = "R09_STR_COMPARE"
     interested_types = (ast.Compare,)
+    # Every firing calls .find()/.rfind() or strcoll by name.
+    triggers = ("find", "strcoll")
     semantic_facts = ("types", "cfg", "dataflow")
     version = 3
 

@@ -21,6 +21,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class ArrayCopyRule(Rule):
     rule_id = "R10_ARRAY_COPY"
     interested_types = (ast.For,)
+    # The indexed shape iterates range(...); the other calls .append.
+    triggers = ("range", "append")
     semantic_facts = ("types", "hotness", "cfg", "dataflow")
     version = 3
 

@@ -20,6 +20,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class TraversalRule(Rule):
     rule_id = "R11_TRAVERSAL"
     interested_types = (ast.For,)
+    # Anchored on nested for loops.
+    triggers = ("for",)
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -21,6 +21,9 @@ _LOOKUP_ERRORS = {"KeyError", "IndexError", "AttributeError", "ValueError"}
 class ExceptionFlowRule(Rule):
     rule_id = "R12_EXCEPTION_FLOW"
     interested_types = (ast.Try,)
+    # Only handlers naming a lookup error fire, and handler types are
+    # spelled literally.
+    triggers = ("KeyError", "IndexError", "AttributeError", "ValueError")
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

@@ -19,6 +19,8 @@ from repro.semantics import BindingKind
 class ObjectChurnRule(Rule):
     rule_id = "R13_OBJECT_CHURN"
     interested_types = (ast.Call,)
+    # Both shapes require being inside a loop.
+    triggers = ("for", "while")
     semantic_facts = ("scopes", "hotness", "dataflow")
     version = 3
 

@@ -24,6 +24,8 @@ from repro.analyzer.rules.base import AnalysisContext, Rule
 class AppendLoopRule(Rule):
     rule_id = "R14_APPEND_LOOP"
     interested_types = (ast.For,)
+    # The loop body is exactly one .append(...) call.
+    triggers = ("append",)
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

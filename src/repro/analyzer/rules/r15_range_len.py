@@ -43,6 +43,8 @@ def range_len_sequence(iter_node: ast.expr) -> str | None:
 class RangeLenRule(Rule):
     rule_id = "R15_RANGE_LEN"
     interested_types = (ast.For,)
+    # The iterable is a range(len(...)) call, spelled by name.
+    triggers = ("range",)
     semantic_facts = ("hotness",)
 
     def check(self, node: ast.AST, ctx: AnalysisContext) -> Iterator[Finding]:

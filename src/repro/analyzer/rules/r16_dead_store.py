@@ -24,6 +24,8 @@ def _is_trivial(value: ast.expr) -> bool:
 class DeadStoreRule(Rule):
     rule_id = "R16_DEAD_STORE"
     interested_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+    # Dead stores are only reported inside function definitions.
+    triggers = ("def",)
     semantic_facts = ("scopes", "cfg", "dataflow", "purity")
     version = 1
 

@@ -31,6 +31,8 @@ def _nontrivial(value: ast.expr) -> bool:
 class InvariantRecomputeRule(Rule):
     rule_id = "R17_INVARIANT_RECOMPUTE"
     interested_types = (ast.Assign,)
+    # Only assignments inside loops are candidates.
+    triggers = ("for", "while")
     semantic_facts = ("scopes", "cfg", "dataflow", "purity")
     version = 1
 

@@ -21,6 +21,8 @@ from repro.semantics import BindingKind
 class PureMemoizeRule(Rule):
     rule_id = "R18_PURE_MEMOIZE"
     interested_types = (ast.Call,)
+    # Only calls inside loops are candidates.
+    triggers = ("for", "while")
     semantic_facts = ("scopes", "dataflow", "purity", "callgraph")
     version = 1
 

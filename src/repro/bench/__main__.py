@@ -62,10 +62,17 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help="sweep: exit 1 unless parallel/cached output is identical "
-        "to serial; overhead: exit 1 unless the new runtime's per-call "
-        "overhead is within the legacy tracer's; semantics: exit 1 "
-        "unless the flow-fact layer stays within its ms-per-KLoC "
-        "budget (CI smoke assertions)",
+        "to the reference serial baseline AND the cold parallel sweep "
+        "beats it by the gated speedup; overhead: exit 1 unless the new "
+        "runtime's per-call overhead is within the legacy tracer's; "
+        "semantics: exit 1 unless the flow-fact layer stays within its "
+        "ms-per-KLoC budget (CI smoke assertions)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sweep: also cProfile one run of each stage and write the "
+        "top-N report to BENCH_sweep_profile.txt (CI artifact)",
     )
     parser.add_argument(
         "--quick",
@@ -129,16 +136,24 @@ def main(argv: list[str] | None = None) -> int:
         elif target == "sweep":
             from repro.bench.sweep import (
                 DEFAULT_OUTPUT,
+                profile_sweep_bench,
                 render_sweep_bench,
                 run_sweep_bench,
                 write_sweep_bench,
+                write_sweep_profile,
             )
 
             result = run_sweep_bench(project_dir=args.project, jobs=args.jobs)
             print(render_sweep_bench(result))
             output = write_sweep_bench(result, args.output or DEFAULT_OUTPUT)
             print(f"wrote {output}")
-            if args.check and not result.deterministic:
+            if args.profile:
+                report = profile_sweep_bench(
+                    project_dir=args.project, jobs=args.jobs
+                )
+                profile_path = write_sweep_profile(report)
+                print(f"wrote {profile_path}")
+            if args.check and not result.meets_target():
                 return 1
         elif target == "overhead":
             from repro.bench.overhead import (

@@ -291,7 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--check",
         action="store_true",
-        help="sweep: exit 1 unless parallel/cached output matches serial; "
+        help="sweep: exit 1 unless parallel/cached output matches the "
+        "reference serial baseline and clears the speedup gate; "
         "overhead: exit 1 unless the new runtime beats the legacy tracer; "
         "chaos: exit 1 unless every fault-tolerance criterion holds; "
         "semantics: exit 1 unless the flow-fact layer stays within its "
@@ -301,6 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="overhead/semantics: small corpus / few repeats (CI smoke run)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="sweep: also cProfile each stage and write the top-N report "
+        "to BENCH_sweep_profile.txt",
     )
     bench.add_argument(
         "--checkpoint",
@@ -386,6 +393,18 @@ def _sweep_options(args: argparse.Namespace):
     )
 
 
+def _sweep_jobs(args: argparse.Namespace) -> int:
+    """``--jobs`` capped at the usable CPU count.
+
+    The engine honors any worker count (tests need that); the CLI caps
+    it here because ``--jobs 8`` on a 2-core container would spend its
+    time on process churn, not analysis.
+    """
+    from repro.sweep import clamp_jobs
+
+    return clamp_jobs(args.jobs)
+
+
 def _report_sweep(stats, quarantine, *, err=None) -> None:
     """One-time stderr warnings after a directory sweep: a silent
     serial fallback and the quarantine roster both deserve eyeballs,
@@ -393,6 +412,13 @@ def _report_sweep(stats, quarantine, *, err=None) -> None:
     err = err if err is not None else sys.stderr
     if stats is not None and stats.serial_fallback:
         print(f"pepo: warning: {stats.serial_fallback}", file=err)
+    if stats is not None and stats.skipped_unreadable:
+        count = stats.skipped_unreadable
+        print(
+            f"pepo: warning: {count} file(s) could not be read or decoded "
+            "and were skipped (reported as having no findings)",
+            file=err,
+        )
     if quarantine:
         print(
             f"pepo: warning: {len(quarantine)} file(s) quarantined "
@@ -437,7 +463,7 @@ def _cmd_suggest(args: argparse.Namespace, out) -> int:
     if path.is_dir():
         findings_by_file = analyzer.analyze_project(
             path,
-            jobs=args.jobs,
+            jobs=_sweep_jobs(args),
             cache=args.cache,
             exclude=args.exclude,
             options=_sweep_options(args),
@@ -492,7 +518,7 @@ def _cmd_check(args: argparse.Namespace, out) -> int:
         root = path
         findings_by_file = analyzer.analyze_project(
             path,
-            jobs=args.jobs,
+            jobs=_sweep_jobs(args),
             cache=args.cache,
             exclude=args.exclude,
             options=_sweep_options(args),
@@ -597,7 +623,7 @@ def _cmd_optimize(args: argparse.Namespace, out) -> int:
         results = pepo.optimize_project(
             path,
             write=args.write,
-            jobs=args.jobs,
+            jobs=_sweep_jobs(args),
             cache=args.cache,
             exclude=args.exclude,
             options=_sweep_options(args),
@@ -851,6 +877,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         argv += ["--check"]
     if args.quick:
         argv += ["--quick"]
+    if args.profile:
+        argv += ["--profile"]
     return bench_main(argv)
 
 

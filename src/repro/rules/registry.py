@@ -180,10 +180,20 @@ class RuleRegistry:
 
 
 def _class_token(cls: type | None) -> tuple | None:
-    """Identity of a detector/transform class for fingerprinting."""
+    """Identity of a detector/transform class for fingerprinting.
+
+    Folds in the declared pre-filter triggers: widening or narrowing a
+    rule's triggers changes which files it runs on, so cached sweep
+    results must be invalidated exactly like a logic change.
+    """
     if cls is None:
         return None
-    return (cls.__module__, cls.__qualname__, getattr(cls, "version", 1))
+    return (
+        cls.__module__,
+        cls.__qualname__,
+        getattr(cls, "version", 1),
+        getattr(cls, "triggers", None),
+    )
 
 
 def _check_spec(spec: RuleSpec) -> None:
@@ -217,3 +227,18 @@ def _check_spec(spec: RuleSpec) -> None:
         raise RegistryError(
             f"{spec.rule_id}: overhead_percent must be non-negative"
         )
+    if spec.triggers is not None:
+        if not isinstance(spec.triggers, tuple) or not all(
+            isinstance(t, str) and t for t in spec.triggers
+        ):
+            raise RegistryError(
+                f"{spec.rule_id}: triggers must be None or a tuple of "
+                "non-empty strings"
+            )
+        if not spec.triggers:
+            # An empty tuple would mean "never runs anywhere" — that is
+            # a disabled rule pretending to be registered.
+            raise RegistryError(
+                f"{spec.rule_id}: empty triggers would disable the rule; "
+                "use None to opt out of pre-filtering"
+            )

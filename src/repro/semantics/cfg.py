@@ -48,6 +48,8 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
+from repro.semantics._astutil import child_nodes
+
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 _LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
 
@@ -164,7 +166,7 @@ class CFG:
                         d for d in current.args.kw_defaults if d is not None
                     )
                     continue
-                stack.extend(ast.iter_child_nodes(current))
+                stack.extend(child_nodes(current))
                 continue
             # The event root IS a def/class statement: record the parts
             # evaluated at definition time, skip the body.

@@ -19,38 +19,59 @@ from __future__ import annotations
 
 import ast
 
-_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+from repro.semantics._astutil import child_nodes
+
+_FUNCTION_NODES = frozenset(
+    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+)
+
+_LOOP_NODES = frozenset((ast.For, ast.AsyncFor))
+
+#: Classes whose children change depth or execution context; everything
+#: else propagates its own depth to its children unchanged.
+_DEPTH_SHAPERS = _FUNCTION_NODES | _LOOP_NODES | {ast.While}
 
 
 def compute_hotness(tree: ast.Module) -> dict[int, int]:
-    """Map ``id(node)`` → static loop depth for every node in the tree."""
+    """Map ``id(node)`` → static loop depth for every node in the tree.
+
+    One explicit-stack pass over *batches*: every sibling run shares a
+    depth, so the stack holds ``(depth, [nodes])`` instead of one tuple
+    per node — the per-node tuple/generator churn of the previous
+    version was most of its cost.
+    """
     depths: dict[int, int] = {id(tree): 0}
-    _walk(tree, 0, depths)
+    shapers = _DEPTH_SHAPERS
+    stack: list[tuple[int, list[ast.AST]]] = [(0, child_nodes(tree))]
+    push = stack.append
+    while stack:
+        depth, nodes = stack.pop()
+        for node in nodes:
+            depths[id(node)] = depth
+            cls = node.__class__
+            if cls not in shapers:
+                kids = child_nodes(node)
+                if kids:
+                    push((depth, kids))
+            elif cls in _LOOP_NODES:
+                # The iterable is evaluated once, at the enclosing
+                # depth; the target rebinds (and the body runs) per
+                # iteration.
+                iterable = node.iter
+                push((depth, [iterable]))
+                push(
+                    (
+                        depth + 1,
+                        [c for c in child_nodes(node) if c is not iterable],
+                    )
+                )
+            elif cls is ast.While:
+                # Unlike a for-iterable, the while condition re-runs
+                # every iteration, so everything under the statement
+                # nests deeper.
+                push((depth + 1, child_nodes(node)))
+            else:
+                # Fresh execution context: a function body does not
+                # inherit the definition site's loop nesting.
+                push((0, child_nodes(node)))
     return depths
-
-
-def _walk(node: ast.AST, depth: int, depths: dict[int, int]) -> None:
-    for child in ast.iter_child_nodes(node):
-        _visit(child, depth, depths)
-
-
-def _visit(node: ast.AST, depth: int, depths: dict[int, int]) -> None:
-    depths[id(node)] = depth
-    if isinstance(node, _FUNCTION_NODES):
-        # Fresh execution context: the body does not inherit the
-        # definition site's loop nesting.
-        _walk(node, 0, depths)
-    elif isinstance(node, (ast.For, ast.AsyncFor)):
-        # The iterable is evaluated once, at the enclosing depth; the
-        # target rebinds (and the body runs) per iteration.
-        _visit(node.iter, depth, depths)
-        for part in ast.iter_child_nodes(node):
-            if part is node.iter:
-                continue
-            _visit(part, depth + 1, depths)
-    elif isinstance(node, ast.While):
-        # Unlike a for-iterable, the while condition re-runs every
-        # iteration, so everything under the statement nests deeper.
-        _walk(node, depth + 1, depths)
-    else:
-        _walk(node, depth, depths)

@@ -27,6 +27,8 @@ import builtins
 import enum
 from dataclasses import dataclass, field
 
+from repro.semantics._astutil import child_nodes
+
 _BUILTIN_NAMES = frozenset(dir(builtins))
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -115,6 +117,9 @@ class ScopeTable:
         self.module_scope = module_scope
         #: id(node) -> owning scope, for every AST node visited.
         self._scope_of: dict[int, Scope] = {}
+        #: module contains at least one ``:=``; when False, dataflow
+        #: can skip walrus extraction walks wholesale.
+        self.has_walrus: bool = False
 
     def record(self, node: ast.AST, scope: Scope) -> None:
         self._scope_of[id(node)] = scope
@@ -259,6 +264,7 @@ def _scan(node: ast.AST, scope: Scope, table: ScopeTable) -> None:
     if isinstance(node, ast.NamedExpr):
         # PEP 572: the walrus target binds in the nearest enclosing
         # non-comprehension scope.
+        table.has_walrus = True
         _scan(node.value, scope, table)
         target_scope = scope.walrus_target()
         if isinstance(node.target, ast.Name):
@@ -284,7 +290,7 @@ def _scan(node: ast.AST, scope: Scope, table: ScopeTable) -> None:
     if isinstance(node, ast.ExceptHandler):
         if node.name:
             scope.bind(node.name)
-        for child in ast.iter_child_nodes(node):
+        for child in child_nodes(node):
             _scan(child, scope, table)
         return
 
@@ -298,17 +304,17 @@ def _scan(node: ast.AST, scope: Scope, table: ScopeTable) -> None:
     if isinstance(node, (ast.MatchAs, ast.MatchStar)):
         if node.name:
             scope.bind(node.name)
-        for child in ast.iter_child_nodes(node):
+        for child in child_nodes(node):
             _scan(child, scope, table)
         return
     if isinstance(node, ast.MatchMapping):
         if node.rest:
             scope.bind(node.rest)
-        for child in ast.iter_child_nodes(node):
+        for child in child_nodes(node):
             _scan(child, scope, table)
         return
 
-    for child in ast.iter_child_nodes(node):
+    for child in child_nodes(node):
         _scan(child, scope, table)
 
 

@@ -26,7 +26,13 @@ from repro.sweep.cache import (
     content_key,
     payload_checksum,
 )
-from repro.sweep.engine import DEFAULT_EXCLUDE_DIRS, SweepEngine, SweepStats
+from repro.sweep.engine import (
+    DEFAULT_EXCLUDE_DIRS,
+    SweepEngine,
+    SweepStats,
+    available_cpus,
+    clamp_jobs,
+)
 from repro.sweep.jobs import AnalyzeJob, OptimizeJob, SweepJob
 from repro.sweep.supervisor import (
     QuarantineEntry,
@@ -54,6 +60,8 @@ __all__ = [
     "SweepOptions",
     "SweepStats",
     "SweepSupervisor",
+    "available_cpus",
+    "clamp_jobs",
     "content_key",
     "payload_checksum",
 ]

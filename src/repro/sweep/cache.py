@@ -46,7 +46,9 @@ LOCK_FILE_NAME = ".lock"
 #: 2: finding payloads carry the semantic-model ``confidence`` score.
 #: 3: entries embed a sha256 payload checksum (corruption detection);
 #:    entries without one are treated as corrupt and evicted on read.
-CACHE_FORMAT = 3
+#: 4: findings are stored as compact positional rows (see
+#:    ``repro.sweep.jobs.encode_finding_compact``) instead of dicts.
+CACHE_FORMAT = 4
 
 
 def content_key(fingerprint: str, content: bytes) -> str:

@@ -11,6 +11,13 @@ parent side.
 Payloads never embed the file path: the cache key is content-addressed,
 so one entry serves identical content at any path, and the decoding
 side stamps the current path onto findings/results.
+
+Findings cross the worker boundary (and land in the cache) in a
+*compact* form — one flat positional row per finding instead of a
+13-key dict — because on a cold sweep the parent deserializes every
+finding from every worker, and key strings dominated that payload.
+:func:`decode_finding` still accepts the dict form, so journals or
+payloads produced by the dict codec decode identically.
 """
 
 from __future__ import annotations
@@ -50,7 +57,54 @@ def encode_finding(finding: Finding) -> dict:
     }
 
 
-def decode_finding(payload: dict, file: str) -> Finding:
+def encode_finding_compact(finding: Finding) -> list:
+    """Wire form of a finding: one flat positional row.
+
+    Field order matches :func:`encode_finding`'s key order and is part
+    of the cache format — reordering or appending fields requires a
+    ``CACHE_FORMAT`` bump.
+    """
+    return [
+        finding.line,
+        finding.col,
+        finding.rule_id,
+        finding.component,
+        finding.message,
+        finding.suggestion,
+        finding.severity.name,
+        finding.overhead_percent,
+        finding.snippet,
+        finding.confidence,
+        finding.hot_depth,
+        finding.caller_hotness,
+        finding.pure_context,
+    ]
+
+
+def decode_finding(payload: "dict | list", file: str) -> Finding:
+    """Rebuild a finding from either wire form.
+
+    Accepts the compact positional row (what sweeps produce now) and
+    the legacy key/value dict (journals and third-party payloads built
+    with :func:`encode_finding`); both decode to the same object.
+    """
+    if isinstance(payload, list):
+        return Finding(
+            file=file,
+            line=payload[0],
+            col=payload[1],
+            rule_id=payload[2],
+            component=payload[3],
+            message=payload[4],
+            suggestion=payload[5],
+            severity=Severity[payload[6]],
+            overhead_percent=payload[7],
+            snippet=payload[8],
+            confidence=payload[9],
+            hot_depth=payload[10],
+            caller_hotness=payload[11],
+            pure_context=payload[12],
+        )
     return Finding(
         file=file,
         line=payload["line"],
@@ -72,7 +126,15 @@ def decode_finding(payload: dict, file: str) -> Finding:
 
 
 def _class_token(cls: type) -> tuple:
-    return (cls.__module__, cls.__qualname__, getattr(cls, "version", 1))
+    # Triggers are folded in for the same reason as ``version``: a rule
+    # whose pre-filter triggers changed may run on a different set of
+    # files, so cached results for it are stale.
+    return (
+        cls.__module__,
+        cls.__qualname__,
+        getattr(cls, "version", 1),
+        getattr(cls, "triggers", None),
+    )
 
 
 def _digest(parts: object) -> str:
@@ -115,6 +177,12 @@ class AnalyzeJob(SweepJob):
     rule_classes: tuple[type, ...]
     honor_suppressions: bool = True
     registry_fingerprint: str = ""
+    #: Forwarded to :class:`~repro.analyzer.engine.Analyzer`.  Both are
+    #: fingerprinted: the pre-filter is designed to be output-invisible
+    #: but a cache must not assume the design holds — flipping either
+    #: flag recomputes rather than replaying the other mode's entries.
+    prefilter: bool = True
+    eager_semantics: bool = False
 
     kind = "analyze"
 
@@ -127,6 +195,8 @@ class AnalyzeJob(SweepJob):
                 self.registry_fingerprint,
                 tuple(_class_token(cls) for cls in self.rule_classes),
                 self.honor_suppressions,
+                self.prefilter,
+                self.eager_semantics,
             )
         )
 
@@ -136,6 +206,8 @@ class AnalyzeJob(SweepJob):
         return Analyzer(
             rules=self.rule_classes,
             honor_suppressions=self.honor_suppressions,
+            prefilter=self.prefilter,
+            eager_semantics=self.eager_semantics,
         )
 
     def run(self, processor, path: str, source: str) -> dict:
@@ -143,7 +215,7 @@ class AnalyzeJob(SweepJob):
             findings = processor.analyze_source(source, filename=path)
         except SyntaxError:
             return {"error": "syntax"}
-        return {"findings": [encode_finding(f) for f in findings]}
+        return {"findings": [encode_finding_compact(f) for f in findings]}
 
     def decode(self, path: str, payload: dict) -> list[Finding]:
         if "error" in payload:
@@ -208,10 +280,10 @@ class OptimizeJob(SweepJob):
             result = optimizer.optimize_source(source, filename=path)
         except SyntaxError:
             return {"error": "syntax"}
-        unfixable: list[dict] = []
+        unfixable: list = []
         if analyzer is not None:
             unfixable = [
-                encode_finding(f)
+                encode_finding_compact(f)
                 for f in analyzer.analyze_source(result.optimized, filename=path)
                 if f.rule_id not in self.fixable_rule_ids
             ]

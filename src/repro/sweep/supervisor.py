@@ -32,6 +32,16 @@ futures-based submission under a supervisor loop that treats each
   the journal and produces output byte-identical to an uninterrupted
   run.
 
+Parallel sweeps dispatch files in **chunks** (``SweepOptions.chunk_size``,
+auto-scaled by default) to amortize submit/pickle/collect overhead on
+cold sweeps, but the *file* stays the unit of failure: workers catch
+per-file exceptions inside a chunk and report them as inline markers
+(same strike progression), a crashed multi-file chunk retries its files
+one at a time in the isolation queue, and a hung multi-file chunk —
+whose deadline is the per-file budget times the chunk length — reruns
+its files in single-file chunks without charging strikes, so the next
+overrun names its culprit.
+
 Serial sweeps run through the same supervisor: crashes are simulated
 (:class:`~repro.resilience.faults.InjectedWorkerCrash`), resource
 exhaustion (``MemoryError``/``RecursionError``) is caught per file
@@ -119,10 +129,11 @@ class SweepOptions:
         Extra attempts per file after its first failure; a file failing
         ``max_retries + 1`` times is quarantined.
     max_tasks_per_child:
-        Files one worker processes before being replaced (bounds
-        worker memory growth); ``None`` keeps workers for the whole
-        sweep.  Uses the forkserver/spawn start method, so worker
-        startup is slower — pair with a generous ``timeout_seconds``.
+        Tasks (chunks, in a parallel sweep) one worker processes before
+        being replaced (bounds worker memory growth); ``None`` keeps
+        workers for the whole sweep.  Uses the forkserver/spawn start
+        method, so worker startup is slower — pair with a generous
+        ``timeout_seconds``.
     resume:
         Complete a previously interrupted sweep from its journal
         instead of starting over.
@@ -141,6 +152,13 @@ class SweepOptions:
         ``PEPO_TRACE`` env hook) and ship their records back, and
         serial sweeps trace in-process.  The merged profile lands on
         ``SweepEngine.last_profile``.
+    chunk_size:
+        Files per parallel dispatch.  ``None`` (the default) scales the
+        chunk with the pending-file count and worker count; ``1``
+        restores strict per-file dispatch.  Chunking amortizes the
+        submit/pickle/collect overhead that dominates cold sweeps of
+        many small files; failure isolation stays per *file* (see
+        :class:`SweepSupervisor`).  Serial sweeps ignore it.
     """
 
     timeout_seconds: float | None = None
@@ -151,12 +169,15 @@ class SweepOptions:
     policy: ResiliencePolicy = DEFAULT_SWEEP_POLICY
     poll_seconds: float = 0.05
     self_profile: bool = False
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError(
                 f"timeout_seconds must be positive: {self.timeout_seconds}"
             )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {self.chunk_size}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
         if self.max_tasks_per_child is not None and self.max_tasks_per_child < 1:
@@ -350,6 +371,49 @@ def _worker_run(item: tuple[str, str]) -> dict:
     return _WORKER_JOB.run(_WORKER_PROCESSOR, path, source)
 
 
+#: Payload key a chunk worker uses to report one file's failure inline:
+#: ``{_CHUNK_FAILURE_KEY: [reason, detail]}``.  Catching per file keeps
+#: one poisonous file from discarding its chunk-mates' finished work,
+#: and the parent routes the marker through the exact strike/quarantine
+#: path a per-file dispatch would have taken.
+_CHUNK_FAILURE_KEY = "__fail__"
+
+
+def _worker_run_chunk(items: list[tuple[str, str]]) -> list[dict]:
+    """Process a chunk of files, isolating failures per file.
+
+    A crash fault still kills the whole worker (``os._exit`` cannot be
+    caught) — the parent sees ``BrokenProcessPool`` for the chunk and
+    retries its files in isolation, so crash attribution is unchanged.
+    """
+    assert _WORKER_JOB is not None
+    payloads: list[dict] = []
+    for path, source in items:
+        try:
+            if _WORKER_FAULTS is not None:
+                apply_worker_fault(_WORKER_FAULTS, path, in_worker=True)
+            payloads.append(_WORKER_JOB.run(_WORKER_PROCESSOR, path, source))
+        except _POISON_EXCEPTIONS as error:
+            payloads.append(
+                {
+                    _CHUNK_FAILURE_KEY: [
+                        _poison_reason(error),
+                        f"{type(error).__name__}: {error}",
+                    ]
+                }
+            )
+        except Exception as error:
+            payloads.append(
+                {
+                    _CHUNK_FAILURE_KEY: [
+                        "error",
+                        f"{type(error).__name__}: {error}",
+                    ]
+                }
+            )
+    return payloads
+
+
 @dataclass
 class _Item:
     """One file moving through the supervisor."""
@@ -361,6 +425,10 @@ class _Item:
     failures: int = 0
     last_reason: str = ""
     last_detail: str = ""
+    #: Set when this file must be dispatched in a chunk of its own —
+    #: a survivor of an ambiguous multi-file chunk failure, retried
+    #: alone so the next failure is attributable to one file.
+    solo: bool = False
 
 
 class SweepSupervisor:
@@ -602,10 +670,34 @@ class SweepSupervisor:
                 pass
         pool.shutdown(wait=True, cancel_futures=True)
 
-    def _deadline(self) -> float | None:
+    def _chunk_deadline(self, size: int) -> float | None:
+        """Watchdog deadline for a chunk: the per-file budget times the
+        chunk length, so chunking never tightens a file's time budget."""
         if self.options.timeout_seconds is None:
             return None
-        return time.monotonic() + self.options.timeout_seconds
+        return time.monotonic() + self.options.timeout_seconds * size
+
+    def _pick_chunk_size(self, total: int) -> int:
+        """Files per dispatch when ``SweepOptions.chunk_size`` is auto.
+
+        About four dispatch waves per worker keeps the pool
+        load-balanced near the tail while amortizing per-task
+        submit/pickle overhead; the cap bounds how much work one
+        crashed or hung chunk forces into one-at-a-time retries.
+        """
+        configured = self.options.chunk_size
+        if configured is not None:
+            return configured
+        return max(1, min(8, -(-total // (self.workers * 4))))
+
+    @staticmethod
+    def _next_chunk(queue: "deque[_Item]", chunk_size: int) -> list[_Item]:
+        chunk = [queue.popleft()]
+        if chunk[0].solo:
+            return chunk
+        while queue and len(chunk) < chunk_size and not queue[0].solo:
+            chunk.append(queue.popleft())
+        return chunk
 
     def _restart_backoff(self) -> None:
         delay = self.options.policy.backoff_delay(
@@ -623,7 +715,9 @@ class SweepSupervisor:
         #: Crash suspects run one at a time so the next crash is
         #: unambiguously attributable.
         isolation: deque[_Item] = deque()
+        #: future -> (chunk items, watchdog deadline)
         in_flight: dict = {}
+        chunk_size = self._pick_chunk_size(len(items))
         pool = self._new_pool()
         try:
             while queue or isolation or in_flight:
@@ -637,31 +731,36 @@ class SweepSupervisor:
                 # measure execution, not queueing.
                 broken_on_submit = False
                 while queue and len(in_flight) < self.workers:
-                    item = queue.popleft()
+                    chunk = self._next_chunk(queue, chunk_size)
                     try:
                         future = pool.submit(
-                            _worker_run, (item.path, item.source)
+                            _worker_run_chunk,
+                            [(item.path, item.source) for item in chunk],
                         )
                     except BrokenProcessPool:
                         # A crash from the previous round beat us to the
                         # pool; requeue and fall into crash recovery.
-                        queue.appendleft(item)
+                        queue.extendleft(reversed(chunk))
                         broken_on_submit = True
                         break
-                    in_flight[future] = (item, self._deadline())
+                    in_flight[future] = (chunk, self._chunk_deadline(len(chunk)))
                 if not broken_on_submit and not in_flight and isolation:
                     item = isolation.popleft()
                     try:
                         future = pool.submit(
-                            _worker_run, (item.path, item.source)
+                            _worker_run_chunk, [(item.path, item.source)]
                         )
                     except BrokenProcessPool:
                         isolation.appendleft(item)
                         broken_on_submit = True
                     else:
-                        in_flight[future] = (item, self._deadline())
+                        in_flight[future] = ([item], self._chunk_deadline(1))
                 if broken_on_submit:
-                    crashed = [item for item, _ in in_flight.values()]
+                    crashed = [
+                        item
+                        for chunk, _ in in_flight.values()
+                        for item in chunk
+                    ]
                     in_flight.clear()
                     self.worker_crashes += 1
                     self.pool_restarts += 1
@@ -690,15 +789,15 @@ class SweepSupervisor:
                 pool_broken = False
                 crashed: list[_Item] = []
                 for future in done:
-                    item, _deadline = in_flight.pop(future)
+                    chunk, _deadline = in_flight.pop(future)
                     try:
-                        payload = future.result()
+                        payloads = future.result()
                     except BrokenProcessPool:
-                        crashed.append(item)
+                        crashed.extend(chunk)
                         pool_broken = True
                     except _POISON_EXCEPTIONS as error:
-                        self._dispatch_failure(
-                            item,
+                        self._chunk_exception(
+                            chunk,
                             _poison_reason(error),
                             f"{type(error).__name__}: {error}",
                             queue,
@@ -706,8 +805,8 @@ class SweepSupervisor:
                             results,
                         )
                     except Exception as error:
-                        self._dispatch_failure(
-                            item,
+                        self._chunk_exception(
+                            chunk,
                             "error",
                             f"{type(error).__name__}: {error}",
                             queue,
@@ -715,10 +814,16 @@ class SweepSupervisor:
                             results,
                         )
                     else:
-                        self._record(item, payload, results)
+                        self._merge_chunk(
+                            chunk, payloads, queue, isolation, results
+                        )
                 if pool_broken:
                     # Everything still in flight died with the pool.
-                    crashed.extend(item for item, _ in in_flight.values())
+                    crashed.extend(
+                        item
+                        for chunk, _ in in_flight.values()
+                        for item in chunk
+                    )
                     in_flight.clear()
                     self.worker_crashes += 1
                     self.pool_restarts += 1
@@ -741,41 +846,123 @@ class SweepSupervisor:
                         # of them one at a time.
                         isolation.extend(crashed)
                     continue
-                # Watchdog: hard-kill workers whose file overran its
+                # Watchdog: hard-kill workers whose chunk overran its
                 # deadline; resubmit innocent in-flight files unharmed.
                 now = time.monotonic()
                 expired = [
-                    (future, item)
-                    for future, (item, deadline) in in_flight.items()
+                    (future, chunk)
+                    for future, (chunk, deadline) in in_flight.items()
                     if deadline is not None and now > deadline
                 ]
                 if expired:
                     hung = {future for future, _ in expired}
                     innocents = [
                         item
-                        for future, (item, _deadline) in in_flight.items()
+                        for future, (chunk, _deadline) in in_flight.items()
                         if future not in hung
+                        for item in chunk
                     ]
                     in_flight.clear()
                     self.pool_restarts += 1
                     self._kill_pool(pool)
                     pool = self._new_pool()
-                    for _future, item in expired:
-                        self._dispatch_failure(
-                            item,
-                            "hang",
-                            f"no result within {self.options.timeout_seconds:g}s; "
-                            "worker killed and recycled",
-                            queue,
-                            isolation,
-                            results,
-                        )
+                    for _future, chunk in expired:
+                        if len(chunk) == 1:
+                            self._dispatch_failure(
+                                chunk[0],
+                                "hang",
+                                f"no result within "
+                                f"{self.options.timeout_seconds:g}s; "
+                                "worker killed and recycled",
+                                queue,
+                                isolation,
+                                results,
+                            )
+                        else:
+                            # Any file in the chunk may be the staller:
+                            # charge nobody, rerun them one per chunk so
+                            # the next overrun names its file.
+                            for item in chunk:
+                                item.solo = True
+                                queue.appendleft(item)
                     for item in innocents:
                         queue.appendleft(item)
+            # Trailing check: on a fast corpus the final wait round can
+            # drain queue and in-flight together, ending the loop before
+            # its top-of-iteration check sees a signal (or the
+            # interrupt-after-N fault threshold) raised mid-round.
+            try:
+                self._check_interrupt(pool=pool)
+            except SweepInterrupted:
+                pool = None  # _check_interrupt already reaped it
+                raise
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
         return results
+
+    def _merge_chunk(
+        self,
+        chunk: list[_Item],
+        payloads: object,
+        queue: deque,
+        isolation: deque,
+        results: list,
+    ) -> None:
+        """Fold one completed chunk reply back into the sweep.
+
+        Per-file failure markers take the same strike path a dedicated
+        per-file dispatch would have; finished chunk-mates are recorded
+        normally.  A malformed reply (wrong shape/length) is treated as
+        unattributable unless the chunk held a single file.
+        """
+        if not isinstance(payloads, list) or len(payloads) != len(chunk):
+            self._chunk_exception(
+                chunk,
+                "error",
+                "worker returned a malformed chunk reply",
+                queue,
+                isolation,
+                results,
+            )
+            return
+        for item, payload in zip(chunk, payloads):
+            failure = (
+                payload.get(_CHUNK_FAILURE_KEY)
+                if isinstance(payload, dict)
+                else None
+            )
+            if failure is not None:
+                self._dispatch_failure(
+                    item, failure[0], failure[1], queue, isolation, results
+                )
+            else:
+                self._record(item, payload, results)
+
+    def _chunk_exception(
+        self,
+        chunk: list[_Item],
+        reason: str,
+        detail: str,
+        queue: deque,
+        isolation: deque,
+        results: list,
+    ) -> None:
+        """A whole-chunk failure that is not a pool crash.
+
+        One file: attribute it (identical to per-file dispatch).  Many
+        files: the culprit is unknown, so nobody is charged a strike —
+        every file reruns in a chunk of its own, where the failure
+        repeats attributably.
+        """
+        if len(chunk) == 1:
+            self._dispatch_failure(
+                chunk[0], reason, detail, queue, isolation, results
+            )
+            return
+        for item in chunk:
+            item.solo = True
+            queue.append(item)
 
     def _dispatch_failure(
         self,

@@ -1,0 +1,147 @@
+"""Pre-engine analyzer pipeline — ``serial_cold`` in the sweep bench.
+
+:class:`ReferenceAnalyzer` is the analysis pipeline as it stood before
+the cold-sweep hot-path overhaul: no trigger pre-filter, eager semantic
+tables (:mod:`repro.unopt.semantics`), eager per-function scope facts
+(:mod:`repro.unopt.context`), and the original recursive traversal.  It
+runs the *shipped* rule set, so ``pepo bench sweep``'s byte-identical
+check between this pipeline and the optimized one is a differential
+test of everything the overhaul touched.  Do NOT optimize this module;
+see :mod:`repro.unopt.semantics` for the ground rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from repro.analyzer.findings import Finding
+from repro.analyzer.rules import Rule
+from repro.analyzer.suppress import apply_suppressions
+
+from repro.unopt.context import AnalysisContext, collect_function_info
+from repro.unopt.semantics import build_semantic_model
+
+
+class ReferenceAnalyzer:
+    """Pre-engine :class:`~repro.analyzer.Analyzer`: same rules, same
+    findings, pre-overhaul traversal and semantics."""
+
+    def __init__(
+        self,
+        rules: Sequence[type[Rule]] | None = None,
+        extended: bool = False,
+        honor_suppressions: bool = True,
+    ) -> None:
+        if rules is None:
+            from repro.rules import REGISTRY as registry
+
+            rules = registry.detector_classes(extended=extended)
+        self._rules: list[Rule] = [rule_class() for rule_class in rules]
+        self._honor_suppressions = honor_suppressions
+        self._dispatch: dict[type, tuple[Rule, ...]] = {}
+
+    def analyze_source(
+        self, source: str, filename: str = "<string>"
+    ) -> list[Finding]:
+        """All findings for one source string, sorted by location."""
+        tree = ast.parse(source, filename=filename)
+        semantics = build_semantic_model(tree, filename=filename)
+        ctx = AnalysisContext(
+            filename=filename, source=source, tree=tree, semantics=semantics
+        )
+        findings: list[Finding] = []
+        self._walk(tree, ctx, findings)
+        if self._honor_suppressions:
+            findings, _suppressed = apply_suppressions(
+                findings, source, tree=tree
+            )
+        findings.sort()
+        return findings
+
+    def analyze_project(
+        self, project_dir: str | Path
+    ) -> dict[str, list[Finding]]:
+        """Serial cold sweep: findings per file for every ``.py`` under
+        ``project_dir``, keyed and ordered exactly like
+        :meth:`repro.analyzer.Analyzer.analyze_project` so the bench can
+        compare the two dicts directly.  Unreadable, non-UTF-8, or
+        unparseable files map to an empty list, as the original serial
+        sweep degraded them."""
+        from repro.sweep import DEFAULT_EXCLUDE_DIRS
+
+        root = Path(project_dir)
+        paths = sorted(
+            path
+            for path in root.rglob("*.py")
+            if not any(
+                part in DEFAULT_EXCLUDE_DIRS
+                for part in _relative_parts(path, root)[:-1]
+            )
+        )
+        results: dict[str, list[Finding]] = {}
+        for path in paths:
+            try:
+                source = path.read_bytes().decode("utf-8")
+                results[str(path)] = self.analyze_source(
+                    source, filename=str(path)
+                )
+            except (OSError, UnicodeDecodeError, SyntaxError, RecursionError):
+                results[str(path)] = []
+        return results
+
+    # -- traversal (pre-overhaul: recursive, per-node generator drain) ----
+
+    def _rules_for(self, node_type: type) -> tuple[Rule, ...]:
+        try:
+            return self._dispatch[node_type]
+        except KeyError:
+            matched = tuple(
+                rule
+                for rule in self._rules
+                if rule.interested_types is None
+                or issubclass(node_type, rule.interested_types)
+            )
+            self._dispatch[node_type] = matched
+            return matched
+
+    def _check(
+        self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]
+    ) -> None:
+        for rule in self._rules_for(type(node)):
+            out.extend(rule.check(node, ctx))
+
+    def _walk(
+        self, node: ast.AST, ctx: AnalysisContext, out: list[Finding]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check(child, ctx, out)
+                info = collect_function_info(child, ctx)
+                # A function body is a fresh execution context: loops
+                # enclosing the *definition* do not re-run its body.
+                saved_loops, ctx.loop_stack = ctx.loop_stack, []
+                ctx.function_stack.append(info)
+                try:
+                    self._walk(child, ctx, out)
+                finally:
+                    ctx.function_stack.pop()
+                    ctx.loop_stack = saved_loops
+            elif isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                self._check(child, ctx, out)
+                ctx.loop_stack.append(child)
+                try:
+                    self._walk(child, ctx, out)
+                finally:
+                    ctx.loop_stack.pop()
+            else:
+                self._check(child, ctx, out)
+                self._walk(child, ctx, out)
+
+
+def _relative_parts(path: Path, root: Path) -> tuple[str, ...]:
+    try:
+        return path.relative_to(root).parts
+    except ValueError:
+        return path.parts

@@ -1,0 +1,21 @@
+"""Pre-engine semantic layers — the cold-sweep bench's "before" side.
+
+Verbatim copies of the semantic modules as they stood before the
+cold-sweep hot-path overhaul: eager scope/type/hotness construction,
+per-query purity walks, recursive traversals.  Like
+:mod:`repro.unopt.slow_ops`, this is a *measured baseline*, not dead
+code — ``pepo bench sweep`` runs it as ``serial_cold`` and asserts the
+optimized pipeline produces byte-identical findings, so every bench run
+is also a differential test of the optimized semantics against this
+reference.  Do NOT optimize these modules; fixes that change observable
+facts must be applied to both sides or the bench fails.
+
+Leaf modules the overhaul did not restructure (``scopes``, ``cfg``) are
+shared with :mod:`repro.semantics` — rules compare ``BindingKind``
+members by identity, so the reference model must hand out the same enum
+objects the shipped model does.
+"""
+
+from repro.unopt.semantics.model import SemanticModel, build_semantic_model
+
+__all__ = ["SemanticModel", "build_semantic_model"]

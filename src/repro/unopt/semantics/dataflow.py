@@ -28,7 +28,6 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
-from repro.semantics._astutil import child_nodes
 from repro.semantics.cfg import (
     CFG,
     EXCEPT,
@@ -40,13 +39,7 @@ from repro.semantics.cfg import (
     Event,
 )
 from repro.semantics.scopes import Scope, ScopeTable
-from repro.semantics.types import (
-    TYPE_UNKNOWN,
-    TypeTable,
-    _binop_type,
-    annotation_type,
-    unify,
-)
+from repro.unopt.semantics.types import TYPE_UNKNOWN, TypeTable, unify
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
@@ -171,7 +164,7 @@ def _walrus_binds(
         return  # the body is a separate scope
     if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
         return  # separate unit
-    for child in child_nodes(node):
+    for child in ast.iter_child_nodes(node):
         _walrus_binds(child, unit_scope, scopes, out, conditional)
 
 
@@ -181,29 +174,22 @@ def event_bindings(
     """Ordered binding effects of one event."""
     node = event.node
     out: list[_Bind] = []
-    # Walrus extraction is a full-subtree walk whose only yield is
-    # NamedExpr targets; a module without a single `:=` (the common
-    # case) skips every one of those walks.
-    walrus = scopes.has_walrus
     if event.kind == STMT:
         if isinstance(node, ast.Assign):
-            if walrus:
-                _walrus_binds(node.value, unit_scope, scopes, out)
+            _walrus_binds(node.value, unit_scope, scopes, out)
             for target in node.targets:
                 for name in _target_store_names(target):
                     if scopes.scope_of(name) is unit_scope:
                         out.append(_Bind(name.id, node))
         elif isinstance(node, ast.AugAssign):
-            if walrus:
-                _walrus_binds(node.value, unit_scope, scopes, out)
+            _walrus_binds(node.value, unit_scope, scopes, out)
             if isinstance(node.target, ast.Name) and (
                 scopes.scope_of(node.target) is unit_scope
             ):
                 out.append(_Bind(node.target.id, node))
         elif isinstance(node, ast.AnnAssign):
             if node.value is not None:
-                if walrus:
-                    _walrus_binds(node.value, unit_scope, scopes, out)
+                _walrus_binds(node.value, unit_scope, scopes, out)
                 if isinstance(node.target, ast.Name) and (
                     scopes.scope_of(node.target) is unit_scope
                 ):
@@ -215,9 +201,8 @@ def event_bindings(
                 bound = alias.asname or alias.name.split(".")[0]
                 out.append(_Bind(bound, node))
         elif isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
-            if walrus:
-                for part in node.decorator_list:
-                    _walrus_binds(part, unit_scope, scopes, out)
+            for part in node.decorator_list:
+                _walrus_binds(part, unit_scope, scopes, out)
             out.append(_Bind(node.name, node))
         elif isinstance(node, ast.Delete):
             for target in node.targets:
@@ -225,21 +210,20 @@ def event_bindings(
                     scopes.scope_of(target) is unit_scope
                 ):
                     out.append(_Bind(target.id, node, is_del=True))
-        elif walrus:
+        else:
             _walrus_binds(node, unit_scope, scopes, out)
     elif event.kind == FOR_TARGET:
         for name in _target_store_names(node.target):
             if scopes.scope_of(name) is unit_scope:
                 out.append(_Bind(name.id, node, strong=False))
     elif event.kind == WITHITEM:
-        if walrus:
-            _walrus_binds(node.context_expr, unit_scope, scopes, out)
+        _walrus_binds(node.context_expr, unit_scope, scopes, out)
         if node.optional_vars is not None:
             for name in _target_store_names(node.optional_vars):
                 if scopes.scope_of(name) is unit_scope:
                     out.append(_Bind(name.id, node))
     elif event.kind == EXCEPT:
-        if node.type is not None and walrus:
+        if node.type is not None:
             _walrus_binds(node.type, unit_scope, scopes, out)
         if node.name:
             out.append(_Bind(node.name, node, strong=False))
@@ -249,47 +233,9 @@ def event_bindings(
                 out.append(_Bind(sub.name, node, strong=False))
             elif isinstance(sub, ast.MatchMapping) and sub.rest:
                 out.append(_Bind(sub.rest, node, strong=False))
-    elif walrus:  # TEST / ITER / SUBJECT: expression evaluation only
+    else:  # TEST / ITER / SUBJECT: expression evaluation only
         _walrus_binds(node, unit_scope, scopes, out)
     return out
-
-
-class EventEffects:
-    """Per-unit memo of event binding/use extraction.
-
-    ``event_bindings``/``event_uses`` walk the event's subtree and
-    resolve names through the scope table.  The same event is
-    re-examined many times — once per analysis that consumes it, once
-    per fixpoint iteration of :class:`TypeFlow`, and once per
-    ``state_at`` query — so one shared memo per unit turns an
-    O(iterations × events) extraction cost into O(events).
-    """
-
-    __slots__ = ("_scope", "_scopes", "_bindings", "_uses")
-
-    def __init__(self, unit_scope: Scope, scopes: ScopeTable) -> None:
-        self._scope = unit_scope
-        self._scopes = scopes
-        self._bindings: dict[tuple[int, str], list[_Bind]] = {}
-        self._uses: dict[tuple[int, str], list[ast.Name]] = {}
-
-    def bindings(self, event: Event) -> list[_Bind]:
-        key = (id(event.node), event.kind)
-        found = self._bindings.get(key)
-        if found is None:
-            found = self._bindings[key] = event_bindings(
-                event, self._scope, self._scopes
-            )
-        return found
-
-    def uses(self, event: Event) -> list[ast.Name]:
-        key = (id(event.node), event.kind)
-        found = self._uses.get(key)
-        if found is None:
-            found = self._uses[key] = event_uses(
-                event, self._scope, self._scopes
-            )
-        return found
 
 
 def event_uses(
@@ -328,7 +274,7 @@ def event_uses(
                 uses.append(current.target)
             stack.append(current.value)
             continue
-        stack.extend(child_nodes(current))
+        stack.extend(ast.iter_child_nodes(current))
     return uses
 
 
@@ -369,16 +315,15 @@ class ReachingDefinitions:
         unit_scope: Scope,
         scopes: ScopeTable,
         params: list[ast.arg] = (),
-        effects: EventEffects | None = None,
     ) -> None:
         self._cfg = cfg
         self._scope = unit_scope
         self._scopes = scopes
-        if effects is None:
-            effects = EventEffects(unit_scope, scopes)
-        self._effects = effects
         self._binds: dict[int, list[list[_Bind]]] = {
-            block.index: [effects.bindings(event) for event in block.events]
+            block.index: [
+                event_bindings(event, unit_scope, scopes)
+                for event in block.events
+            ]
             for block in cfg.blocks
         }
         entry_state: _DefState = {
@@ -468,7 +413,7 @@ class ReachingDefinitions:
             for event, binds in zip(
                 block.events, self._binds[block.index]
             ):
-                for use in self._effects.uses(event):
+                for use in event_uses(event, self._scope, self._scopes):
                     pairs += len(state.get(use.id, ()))
                 _apply_bindings(state, binds)
         return pairs
@@ -486,25 +431,22 @@ class Liveness:
         unit_scope: Scope,
         scopes: ScopeTable,
         always_live: frozenset[str] = frozenset(),
-        effects: EventEffects | None = None,
     ) -> None:
         self._cfg = cfg
         self._scope = unit_scope
         self._scopes = scopes
         self._always_live = always_live
-        if effects is None:
-            effects = EventEffects(unit_scope, scopes)
         self._uses: dict[int, list[set[str]]] = {}
         self._defs: dict[int, list[set[str]]] = {}
         for block in cfg.blocks:
             self._uses[block.index] = [
-                {name.id for name in effects.uses(event)}
+                {name.id for name in event_uses(event, unit_scope, scopes)}
                 for event in block.events
             ]
             self._defs[block.index] = [
                 {
                     bind.name
-                    for bind in effects.bindings(event)
+                    for bind in event_bindings(event, unit_scope, scopes)
                     if bind.strong and not bind.is_del
                 }
                 for event in block.events
@@ -576,15 +518,13 @@ class TypeFlow:
         scopes: ScopeTable,
         types: TypeTable,
         params: list[ast.arg] = (),
-        effects: EventEffects | None = None,
     ) -> None:
+        from repro.unopt.semantics.types import annotation_type
+
         self._cfg = cfg
         self._scope = unit_scope
         self._scopes = scopes
         self._types = types
-        if effects is None:
-            effects = EventEffects(unit_scope, scopes)
-        self._effects = effects
         entry: _TypeState = {}
         for arg in params:
             entry[arg.arg] = (
@@ -606,8 +546,10 @@ class TypeFlow:
         )
 
     def _transfer_event(self, event: Event, state: _TypeState) -> None:
+        from repro.unopt.semantics.types import annotation_type
+
         node = event.node
-        binds = self._effects.bindings(event)
+        binds = event_bindings(event, self._scope, self._scopes)
         if event.kind == STMT and isinstance(node, ast.Assign):
             value_type = self._eval(node.value, state)
             # Direct Name targets take the RHS type (`a = b = v` gives
@@ -626,6 +568,8 @@ class TypeFlow:
                     self._apply_walrus(bind, state)
             return
         if event.kind == STMT and isinstance(node, ast.AugAssign):
+            from repro.unopt.semantics.types import _binop_type
+
             value_type = self._eval(node.value, state)
             for bind in binds:
                 if bind.node is not node:

@@ -1,0 +1,56 @@
+"""Static hotness: loop-nesting depth for every node.
+
+"Static Metrics Are Insufficient" (PAPERS.md) argues that a static
+signal is only as useful as its weighting by how often the code runs.
+We cannot see runtime frequencies, but loop nesting is the static proxy
+with the best cost/insight ratio: a finding three loops deep is almost
+certainly hotter than the same pattern in module-level config code.
+
+Depth follows the analyzer engine's traversal semantics exactly:
+
+* entering a ``for``/``while`` body increments depth;
+* a loop *header* sits at its enclosing depth (its iterable is
+  evaluated once);
+* a function body resets depth to zero — loops around a ``def`` re-run
+  the *definition*, not the body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def compute_hotness(tree: ast.Module) -> dict[int, int]:
+    """Map ``id(node)`` → static loop depth for every node in the tree."""
+    depths: dict[int, int] = {id(tree): 0}
+    _walk(tree, 0, depths)
+    return depths
+
+
+def _walk(node: ast.AST, depth: int, depths: dict[int, int]) -> None:
+    for child in ast.iter_child_nodes(node):
+        _visit(child, depth, depths)
+
+
+def _visit(node: ast.AST, depth: int, depths: dict[int, int]) -> None:
+    depths[id(node)] = depth
+    if isinstance(node, _FUNCTION_NODES):
+        # Fresh execution context: the body does not inherit the
+        # definition site's loop nesting.
+        _walk(node, 0, depths)
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        # The iterable is evaluated once, at the enclosing depth; the
+        # target rebinds (and the body runs) per iteration.
+        _visit(node.iter, depth, depths)
+        for part in ast.iter_child_nodes(node):
+            if part is node.iter:
+                continue
+            _visit(part, depth + 1, depths)
+    elif isinstance(node, ast.While):
+        # Unlike a for-iterable, the while condition re-runs every
+        # iteration, so everything under the statement nests deeper.
+        _walk(node, depth + 1, depths)
+    else:
+        _walk(node, depth, depths)

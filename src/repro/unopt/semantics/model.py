@@ -4,17 +4,15 @@ from __future__ import annotations
 
 import ast
 
-from repro.semantics._astutil import child_nodes
 from repro.semantics.cfg import CFG, build_cfg
-from repro.semantics.dataflow import (
+from repro.unopt.semantics.dataflow import (
     Definition,
-    EventEffects,
     Liveness,
     ReachingDefinitions,
     TypeFlow,
 )
-from repro.semantics.hotness import compute_hotness
-from repro.semantics.purity import PurityCallGraph
+from repro.unopt.semantics.hotness import compute_hotness
+from repro.unopt.semantics.purity import PurityCallGraph
 from repro.semantics.scopes import (
     Binding,
     BindingKind,
@@ -23,13 +21,9 @@ from repro.semantics.scopes import (
     ScopeTable,
     build_scope_table,
 )
-from repro.semantics.types import TYPE_UNKNOWN, TypeTable
+from repro.unopt.semantics.types import TYPE_UNKNOWN, TypeTable
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-#: Nodes that open a new execution context for capture purposes.
-_CAPTURE_UNITS = frozenset(
-    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-)
 
 
 class _FlowUnit:
@@ -58,25 +52,17 @@ class _FlowUnit:
                 *([args.kwarg] if args.kwarg else []),
             ]
         self.cfg: CFG = build_cfg(unit_node, body)
-        # One binding/use extraction memo shared by all three analyses:
-        # each event's subtree is walked once per unit, not once per
-        # analysis (and not once per fixpoint iteration).
-        effects = EventEffects(unit_scope, scopes)
         self.reaching = ReachingDefinitions(
-            self.cfg, unit_scope, scopes, params, effects
+            self.cfg, unit_scope, scopes, params
         )
-        self.typeflow = TypeFlow(
-            self.cfg, unit_scope, scopes, types, params, effects
-        )
+        self.typeflow = TypeFlow(self.cfg, unit_scope, scopes, types, params)
         self._scopes = scopes
-        self._effects = effects
         self._liveness: Liveness | None = None
 
     def liveness(self, always_live: frozenset[str]) -> Liveness:
         if self._liveness is None:
             self._liveness = Liveness(
-                self.cfg, self.scope, self._scopes, always_live,
-                self._effects,
+                self.cfg, self.scope, self._scopes, always_live
             )
         return self._liveness
 
@@ -92,72 +78,30 @@ class SemanticModel:
     processes rebuild it per file, and only the resulting findings
     cross the process boundary.
 
-    Every layer is lazy: the scope table builds on the first
-    ``resolve``/``scope_of`` query, the type table on the first
-    ``type_of``, hotness on the first ``loop_depth``; a per-function
-    CFG + dataflow unit materializes on the first
-    ``type_at``/``defs_reaching`` query against that function, and the
-    purity/call-graph pass on the first ``is_pure``/``call_hotness``
-    query — so files whose rules are all pre-filtered away (or whose
-    findings never need flow facts) pay only ``ast.parse``.  Pass
-    ``eager=True`` to force the scope/type/hotness tables up front —
-    the pre-optimization baseline the sweep bench compares against.
+    The scope/type/hotness tables are eager (every rule touches them);
+    the flow-sensitive layers are lazy: a per-function CFG + dataflow
+    unit materializes on the first ``type_at``/``defs_reaching`` query
+    against that function, and the purity/call-graph pass on the first
+    ``is_pure``/``call_hotness`` query — so files whose findings never
+    need flow facts pay nothing beyond the eager tables.
     """
 
-    def __init__(
-        self,
-        tree: ast.Module,
-        filename: str = "<string>",
-        *,
-        eager: bool = False,
-    ) -> None:
+    def __init__(self, tree: ast.Module, filename: str = "<string>") -> None:
         self.tree = tree
         self.filename = filename
-        self._scopes: ScopeTable | None = None
-        self._types: TypeTable | None = None
-        self._depths: dict[int, int] | None = None
+        self.scopes: ScopeTable = build_scope_table(tree)
+        self.types: TypeTable = TypeTable(self.scopes)
+        self._hotness = compute_hotness(tree)
         self._units: dict[int, _FlowUnit] = {}
         self._purity: PurityCallGraph | None = None
-        self._bindings: dict[int, Binding] = {}
-        self._captured: dict[int, frozenset[str]] | None = None
-        if eager:
-            self._scopes = build_scope_table(tree)
-            self._types = TypeTable(self._scopes)
-            self._depths = compute_hotness(tree)
-
-    # -- lazy layers ------------------------------------------------------
-
-    @property
-    def scopes(self) -> ScopeTable:
-        if self._scopes is None:
-            self._scopes = build_scope_table(self.tree)
-        return self._scopes
-
-    @property
-    def types(self) -> TypeTable:
-        if self._types is None:
-            self._types = TypeTable(self.scopes)
-        return self._types
-
-    @property
-    def _hotness(self) -> dict[int, int]:
-        if self._depths is None:
-            self._depths = compute_hotness(self.tree)
-        return self._depths
+        self._scope_index: dict[int, Scope] | None = None
+        self._captured: dict[int, frozenset[str]] = {}
 
     # -- scope facts ------------------------------------------------------
 
     def resolve(self, node: ast.Name) -> Binding:
-        """Binding classification for a ``Name`` node at its use site.
-
-        Memoized per node: rules routinely re-ask about the same load
-        (R04 asks once to fire, once for the suggestion text).
-        """
-        key = id(node)
-        found = self._bindings.get(key)
-        if found is None:
-            found = self._bindings[key] = self.scopes.resolve(node)
-        return found
+        """Binding classification for a ``Name`` node at its use site."""
+        return self.scopes.resolve(node)
 
     def binding_kind(self, node: ast.Name) -> BindingKind:
         return self.resolve(node).kind
@@ -370,58 +314,30 @@ class SemanticModel:
         self, func: ast.AST, unit_scope: Scope
     ) -> frozenset[str]:
         """Names of ``unit_scope`` read or rebound by nested scopes."""
-        if self._captured is None:
-            self._captured = self._build_capture_index()
-        return self._captured.get(id(func), frozenset())
-
-    def _build_capture_index(self) -> dict[int, frozenset[str]]:
-        """One pass over the module: id(func) -> names captured there.
-
-        Replaces the old per-function nested ``ast.walk`` (which
-        re-visited every doubly-nested function once per enclosing
-        function).  A name counts as captured for function ``F`` when
-        it appears syntactically inside a function/lambda strictly
-        nested in ``F`` — decorators and defaults included, matching
-        the old walk — and resolves to ``F``'s scope.  ``nonlocal``
-        declarations mark their names captured in every enclosing
-        function, conservatively.
-        """
-        index: dict[int, set[str]] = {}
-        # (node, enclosing function/lambda nodes, outermost first)
-        stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [
-            (self.tree, ())
-        ]
-        while stack:
-            node, funcs = stack.pop()
-            cls = node.__class__
-            if cls is ast.Name:
-                # funcs[:-1]: the innermost function is the name's own
-                # unit — only *strictly* enclosing functions capture.
-                if len(funcs) > 1:
-                    scope = self.resolve(node).scope
-                    target = scope.node if scope is not None else None
-                    for func in funcs[:-1]:
-                        if func is target:
-                            index.setdefault(id(func), set()).add(node.id)
+        key = id(func)
+        cached = self._captured.get(key)
+        if cached is not None:
+            return cached
+        captured: set[str] = set()
+        for sub in ast.walk(func):
+            if sub is func:
                 continue
-            if cls is ast.Nonlocal:
-                for func in funcs[:-1]:
-                    index.setdefault(id(func), set()).update(node.names)
-                continue
-            if cls in _CAPTURE_UNITS:
-                funcs = funcs + (node,)
-            stack.extend((child, funcs) for child in child_nodes(node))
-        return {key: frozenset(names) for key, names in index.items()}
+            if isinstance(sub, (*_FUNCTION_NODES, ast.Lambda)):
+                for inner in ast.walk(sub):
+                    if isinstance(inner, ast.Name):
+                        binding = self.scopes.resolve(inner)
+                        if binding.scope is unit_scope:
+                            captured.add(inner.id)
+                    elif isinstance(inner, ast.Nonlocal):
+                        captured.update(inner.names)
+        result = frozenset(captured)
+        self._captured[key] = result
+        return result
 
     def materialize(self) -> dict:
         """Force every lazy layer; returns summary counts (benching)."""
         units = 0
-        queue: list[ast.AST] = [self.tree]
-        cursor = 0
-        while cursor < len(queue):
-            node = queue[cursor]
-            cursor += 1
-            queue.extend(child_nodes(node))
+        for node in ast.walk(self.tree):
             if isinstance(node, _FUNCTION_NODES):
                 if self._unit_of(node) is not None:
                     units += 1
@@ -434,12 +350,7 @@ class SemanticModel:
 
 
 def build_semantic_model(
-    tree: ast.Module, filename: str = "<string>", *, eager: bool = False
+    tree: ast.Module, filename: str = "<string>"
 ) -> SemanticModel:
-    """Compute the semantic model for one parsed module.
-
-    ``eager=True`` forces the scope/type/hotness tables immediately
-    (the pre-optimization baseline); the default defers every layer to
-    its first query.
-    """
-    return SemanticModel(tree, filename=filename, eager=eager)
+    """Compute the full semantic model for one parsed module."""
+    return SemanticModel(tree, filename=filename)

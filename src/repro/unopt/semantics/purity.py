@@ -36,7 +36,6 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
-from repro.semantics._astutil import child_nodes
 from repro.semantics.scopes import BindingKind, Scope, ScopeKind, ScopeTable
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -81,17 +80,6 @@ _FRESH_NODES = (
 )
 _FRESH_CONSTRUCTORS = frozenset({"list", "dict", "set", "tuple", "frozenset"})
 
-# Set forms of the isinstance tuples, plus the classes the local scan
-# reacts to at all: the scan visits every node in a function body, and
-# one frozenset probe per node beats a 12-branch isinstance chain.
-_FUNCTION_SET = frozenset(_FUNCTION_NODES)
-_FRESH_SET = frozenset(_FRESH_NODES)
-_SCAN_DISPATCH = frozenset((
-    ast.Assign, ast.For, ast.AsyncFor, ast.Yield, ast.YieldFrom,
-    ast.Await, ast.Import, ast.ImportFrom, ast.Name, ast.Attribute,
-    ast.Subscript, ast.Call,
-))
-
 #: Interprocedural hotness saturates here (recursion terminates).
 HOTNESS_CAP = 9
 
@@ -114,24 +102,6 @@ class FunctionEffects:
     has_unknown_calls: bool = False
 
 
-def _callable_label(func: ast.expr) -> str:
-    """Dotted-path label for a callee expression.
-
-    Matches ``ast.unparse`` for the overwhelmingly common bare-name and
-    attribute-chain callees without paying unparse's visitor dispatch;
-    anything fancier falls back to the real unparser.
-    """
-    parts: list[str] = []
-    node: ast.expr = func
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ast.unparse(func)
-
-
 class PurityCallGraph:
     """Purity + effects + interprocedural hotness for one module."""
 
@@ -149,9 +119,6 @@ class PurityCallGraph:
         self._effects: dict[int, FunctionEffects] = {}
         #: (id(defining scope), name) -> def node, for callee resolution.
         self._defs_by_scope: dict[tuple[int, str], ast.AST] = {}
-        #: id(Name node) -> resolved def, memoized: rules re-resolve the
-        #: same call sites (e.g. R04 once per enclosing loop level).
-        self._resolved: dict[int, ast.AST | None] = {}
         #: id(def node) -> resolved call sites [(call node, caller id)].
         self._call_sites: dict[int, list[tuple[ast.Call, int | None]]] = {}
         self._fan_in: dict[int, int] = {}
@@ -165,14 +132,7 @@ class PurityCallGraph:
     # -- collection --------------------------------------------------------
 
     def _collect(self, tree: ast.Module) -> None:
-        # Breadth-first, matching ast.walk: functions() order is part
-        # of the `pepo facts` output contract.
-        queue: list[ast.AST] = [tree]
-        cursor = 0
-        while cursor < len(queue):
-            node = queue[cursor]
-            cursor += 1
-            queue.extend(child_nodes(node))
+        for node in ast.walk(tree):
             if isinstance(node, _FUNCTION_NODES):
                 defining = self._scopes.scope_of(node)
                 self._defs_by_scope[(id(defining), node.name)] = node
@@ -208,19 +168,10 @@ class PurityCallGraph:
 
     def resolve_function(self, name: ast.Name) -> ast.AST | None:
         """The function def a bare name refers to, if resolvable."""
-        key = id(name)
-        try:
-            return self._resolved[key]
-        except KeyError:
-            pass
         binding = self._scopes.resolve(name)
-        resolved = (
-            None
-            if binding.scope is None
-            else self._defs_by_scope.get((id(binding.scope), name.id))
-        )
-        self._resolved[key] = resolved
-        return resolved
+        if binding.scope is None:
+            return None
+        return self._defs_by_scope.get((id(binding.scope), name.id))
 
     def _call_is_pure(self, call: ast.Call, effects: FunctionEffects) -> bool:
         """Local purity verdict for one call (callee edges deferred)."""
@@ -278,26 +229,13 @@ class PurityCallGraph:
             if current is not root and isinstance(current, _FUNCTION_NODES):
                 continue  # separate function unit
             yield current
-            stack.extend(child_nodes(current))
+            stack.extend(ast.iter_child_nodes(current))
 
-    def _scan_function(self, node: ast.AST) -> None:
-        """Single-pass local scan.
-
-        Fresh-local classification and effect evidence come out of one
-        body walk: fresh/tainted names accumulate while stores and
-        calls that depend on the final fresh set are buffered and
-        judged afterwards, so reason order still follows walk order.
-        """
-        effects = self._effects[id(node)]
-        scope = self._function_scope(node)
-        reasons: list[str] = []
-        global_writes: set[str] = set()
-        declared_global = scope.declared_global if scope else set()
-        declared_nonlocal = scope.declared_nonlocal if scope else set()
-
+    def _fresh_locals(self, node: ast.AST) -> set[str]:
+        """Local names only ever bound to fresh allocations."""
         fresh: set[str] = set()
         tainted: set[str] = set()
-        params: set[str] = set()
+        params = set()
         if hasattr(node, "args"):
             for arg in (
                 *node.args.posonlyargs, *node.args.args,
@@ -306,100 +244,81 @@ class PurityCallGraph:
                 *([node.args.kwarg] if node.args.kwarg else []),
             ):
                 params.add(arg.arg)
-        # (slot, payload) events in walk order; slot is the reason the
-        # event was buffered: 0 plain reason text, 1 store needing the
-        # fresh set, 2 call needing the fresh set.
-        pending: list[tuple[int, object]] = []
-
-        # _walk_unit inlined (generator resumption per node costs more
-        # than the walk itself), with one set probe deciding whether a
-        # node matters before any branch dispatch runs.
-        dispatch = _SCAN_DISPATCH
-        skip = _FUNCTION_SET
         for stmt in node.body:
-            stack = [stmt]
-            pop = stack.pop
-            extend = stack.extend
-            while stack:
-                sub = pop()
-                cls = sub.__class__
-                if cls in skip and sub is not stmt:
-                    continue  # separate function unit
-                extend(child_nodes(sub))
-                if cls not in dispatch:
-                    continue
-                if cls is ast.Name:
-                    ctx_cls = sub.ctx.__class__
-                    if ctx_cls is ast.Store or ctx_cls is ast.Del:
-                        if sub.id in declared_global:
-                            pending.append((0, f"writes global {sub.id!r}"))
-                            global_writes.add(sub.id)
-                        elif sub.id in declared_nonlocal:
-                            pending.append(
-                                (0, f"writes nonlocal {sub.id!r}")
-                            )
-                elif cls is ast.Call:
-                    pending.append((2, sub))
-                elif cls is ast.Attribute or cls is ast.Subscript:
-                    ctx_cls = sub.ctx.__class__
-                    if ctx_cls is ast.Store or ctx_cls is ast.Del:
-                        pending.append((1, sub))
-                elif cls is ast.Assign:
-                    value = sub.value
-                    is_fresh = value.__class__ in _FRESH_SET or (
-                        value.__class__ is ast.Call
-                        and value.func.__class__ is ast.Name
-                        and value.func.id in _FRESH_CONSTRUCTORS
+            for sub in self._walk_unit(stmt):
+                if isinstance(sub, ast.Assign):
+                    is_fresh = isinstance(sub.value, _FRESH_NODES) or (
+                        isinstance(sub.value, ast.Call)
+                        and isinstance(sub.value.func, ast.Name)
+                        and sub.value.func.id in _FRESH_CONSTRUCTORS
                     )
                     for target in sub.targets:
-                        if target.__class__ is ast.Name:
+                        if isinstance(target, ast.Name):
                             (fresh if is_fresh else tainted).add(target.id)
-                elif cls is ast.For or cls is ast.AsyncFor:
-                    if sub.target.__class__ is ast.Name:
+                elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                    if isinstance(sub.target, ast.Name):
                         tainted.add(sub.target.id)
-                elif cls is ast.Yield or cls is ast.YieldFrom:
-                    pending.append((0, "generator (body runs on iteration)"))
-                elif cls is ast.Await:
-                    pending.append((0, "awaits"))
-                else:  # Import / ImportFrom
-                    pending.append((0, "imports at call time"))
+        return fresh - tainted - params
 
-        fresh -= tainted
-        fresh -= params
-        for slot, payload in pending:
-            if slot == 0:
-                reasons.append(payload)
-            elif slot == 1:
-                base = payload.value
-                if not (isinstance(base, ast.Name) and base.id in fresh):
-                    kind = (
-                        "attribute"
-                        if isinstance(payload, ast.Attribute)
-                        else "subscript"
+    def _scan_function(self, node: ast.AST) -> None:
+        effects = self._effects[id(node)]
+        scope = self._function_scope(node)
+        reasons: list[str] = []
+        global_writes: set[str] = set()
+        fresh = self._fresh_locals(node)
+        declared_global = scope.declared_global if scope else set()
+        declared_nonlocal = scope.declared_nonlocal if scope else set()
+
+        for stmt in node.body:
+            for sub in self._walk_unit(stmt):
+                if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                    reasons.append("generator (body runs on iteration)")
+                elif isinstance(sub, ast.Await):
+                    reasons.append("awaits")
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    reasons.append("imports at call time")
+                elif isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    if sub.id in declared_global:
+                        reasons.append(f"writes global {sub.id!r}")
+                        global_writes.add(sub.id)
+                    elif sub.id in declared_nonlocal:
+                        reasons.append(f"writes nonlocal {sub.id!r}")
+                elif isinstance(
+                    sub, (ast.Attribute, ast.Subscript)
+                ) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+                    base = sub.value
+                    if not (
+                        isinstance(base, ast.Name) and base.id in fresh
+                    ):
+                        kind = (
+                            "attribute"
+                            if isinstance(sub, ast.Attribute)
+                            else "subscript"
+                        )
+                        reasons.append(
+                            f"stores through {kind} of non-fresh object"
+                        )
+                elif isinstance(sub, ast.Call):
+                    mutates_fresh = (
+                        isinstance(sub.func, ast.Attribute)
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id in fresh
                     )
-                    reasons.append(
-                        f"stores through {kind} of non-fresh object"
-                    )
-            else:
-                sub = payload
-                mutates_fresh = (
-                    isinstance(sub.func, ast.Attribute)
-                    and isinstance(sub.func.value, ast.Name)
-                    and sub.func.value.id in fresh
-                )
-                if mutates_fresh:
-                    # out = []; out.append(x): mutating a local the
-                    # caller cannot alias is internally pure.
-                    pass
-                elif not self._call_is_pure(sub, effects):
-                    label = _callable_label(sub.func)
-                    reasons.append(f"calls unresolved/impure {label!r}")
-                    effects.has_unknown_calls = True
-                # record the call site for hotness either way
-                resolved = self.resolve_callee(sub)
-                if resolved is not None:
-                    self._call_sites[id(resolved)].append((sub, id(node)))
-                    self._fan_in[id(resolved)] += 1
+                    if mutates_fresh:
+                        # out = []; out.append(x): mutating a local the
+                        # caller cannot alias is internally pure.
+                        pass
+                    elif not self._call_is_pure(sub, effects):
+                        label = ast.unparse(sub.func)
+                        reasons.append(f"calls unresolved/impure {label!r}")
+                        effects.has_unknown_calls = True
+                    # record the call site for hotness either way
+                    resolved = self.resolve_callee(sub)
+                    if resolved is not None:
+                        self._call_sites[id(resolved)].append((sub, id(node)))
+                        self._fan_in[id(resolved)] += 1
 
         if reasons:
             effects.pure = False

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import ast
 
-from repro.semantics._astutil import child_nodes
 from repro.semantics.scopes import (
     BindingKind,
     Scope,
@@ -148,14 +147,11 @@ class TypeTable:
         collect(self._scopes.module_scope)
         for scope in order:
             self._env[id(scope)] = {}
-        observations = {
-            id(scope): _scope_observations(scope) for scope in order
-        }
+        facts = {id(scope): _scope_facts(scope, self._scopes) for scope in order}
         for _ in range(self.PASSES):
-            changed = False
             for scope in order:
                 env = self._env[id(scope)]
-                for name, value, weak in observations[id(scope)][0]:
+                for name, value, weak in facts[id(scope)]:
                     observed = (
                         value if isinstance(value, str)
                         else self._eval(value, scope)
@@ -165,18 +161,11 @@ class TypeTable:
                         # cannot change the target's type at runtime
                         # without raising; keep what we know.
                         continue
-                    joined = unify(env.get(name), observed)
-                    if env.get(name) != joined:
-                        env[name] = joined
-                        changed = True
-            if not changed:
-                # A pass with no env change is a fixed point: every
-                # later pass would recompute identical observations.
-                break
+                    env[name] = unify(env.get(name), observed)
         # Annotations have the last word.
         for scope in order:
             env = self._env[id(scope)]
-            for name, annotated in observations[id(scope)][1]:
+            for name, annotated in _scope_annotations(scope, self._scopes):
                 if annotated != TYPE_UNKNOWN:
                     env[name] = annotated
 
@@ -298,78 +287,23 @@ def _call_type(node: ast.Call) -> str:
 
 # -- per-scope fact extraction ---------------------------------------------
 
-_COMPREHENSION_NODES = (
-    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
-)
 
+def _scope_facts(scope: Scope, table: ScopeTable) -> list:
+    """(name, value-expr-or-type, weak) observations bound in ``scope``.
 
-def _iter_scope_body(scope: Scope):
-    """Nodes owned by ``scope``, one pruned breadth-first pass.
-
-    Equivalent to walking every body statement and filtering by
-    ``scope_of``, but child scopes are pruned at their boundary instead
-    of walked and discarded — each node is visited by its owning scope
-    only, so total extraction work over a module is linear instead of
-    linear-times-nesting-depth.  At a child-scope root only the parts
-    evaluated in the *defining* scope are kept: decorators, defaults,
-    annotations, bases, and a comprehension's first iterable.
-    """
-    body = getattr(scope.node, "body", [])
-    if isinstance(body, ast.expr):  # lambda body is a single expression
-        body = [body]
-    if not isinstance(body, list):
-        return
-    for stmt in body:
-        queue = [stmt]
-        index = 0
-        while index < len(queue):
-            node = queue[index]
-            index += 1
-            yield node
-            cls = node.__class__
-            if cls in (ast.FunctionDef, ast.AsyncFunctionDef):
-                queue.extend(node.decorator_list)
-                queue.extend(_outer_arg_parts(node.args))
-                if node.returns is not None:
-                    queue.append(node.returns)
-            elif cls is ast.Lambda:
-                queue.extend(_outer_arg_parts(node.args))
-            elif cls is ast.ClassDef:
-                queue.extend(node.decorator_list)
-                queue.extend(node.bases)
-                queue.extend(kw.value for kw in node.keywords)
-            elif cls in _COMPREHENSION_NODES:
-                queue.append(node.generators[0].iter)
-            else:
-                queue.extend(child_nodes(node))
-
-
-def _outer_arg_parts(args: ast.arguments) -> list[ast.expr]:
-    parts = [
-        *args.defaults,
-        *(d for d in args.kw_defaults if d is not None),
-    ]
-    parts.extend(
-        arg.annotation
-        for arg in _all_args(args)
-        if arg.annotation is not None
-    )
-    return parts
-
-
-def _scope_observations(scope: Scope) -> tuple[list, list[tuple[str, str]]]:
-    """(facts, annotations) bound in ``scope``, one fused pass.
-
-    Facts are ``(name, value-expr-or-type, weak)`` observations; only
-    nodes whose owning scope is ``scope`` contribute — nested
+    Only statements whose owning scope is ``scope`` contribute — nested
     function/class/comprehension bodies carry their own facts.
     """
     facts: list = []
-    annotations: list[tuple[str, str]] = []
-    for node in _iter_scope_body(scope):
-        cls = node.__class__
-        if cls is ast.Assign:
-            if len(node.targets) == 1:
+    root = scope.node
+    body = getattr(root, "body", [])
+    if isinstance(body, ast.expr):  # lambda body is a single expression
+        body = [body]
+    for stmt in body if isinstance(body, list) else []:
+        for node in ast.walk(stmt):
+            if table.scope_of(node) is not scope:
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
                 target = node.targets[0]
                 if isinstance(target, ast.Name):
                     facts.append((target.id, node.value, False))
@@ -377,27 +311,22 @@ def _scope_observations(scope: Scope) -> tuple[list, list[tuple[str, str]]]:
                     for element in target.elts:
                         if isinstance(element, ast.Name):
                             facts.append((element.id, TYPE_UNKNOWN, False))
-        elif cls is ast.AugAssign:
-            if isinstance(node.target, ast.Name):
-                # x += v: v's type joins x's (int counters stay
-                # int, int += float degrades to float); an opaque
-                # RHS is weak — it cannot silently retype x.
-                facts.append((node.target.id, node.value, True))
-        elif cls is ast.NamedExpr:
-            if isinstance(node.target, ast.Name):
-                facts.append((node.target.id, node.value, False))
-        elif cls is ast.For:
-            facts.extend(_loop_target_facts(node))
-        elif cls in (ast.Import, ast.ImportFrom):
-            for alias in node.names:
-                if alias.name != "*":
-                    bound = alias.asname or alias.name.split(".")[0]
-                    facts.append((bound, "module", False))
-        elif cls is ast.AnnAssign:
-            if isinstance(node.target, ast.Name):
-                annotations.append(
-                    (node.target.id, annotation_type(node.annotation))
-                )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    # x += v: v's type joins x's (int counters stay
+                    # int, int += float degrades to float); an opaque
+                    # RHS is weak — it cannot silently retype x.
+                    facts.append((node.target.id, node.value, True))
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    facts.append((node.target.id, node.value, False))
+            elif isinstance(node, ast.For):
+                facts.extend(_loop_target_facts(node))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound = alias.asname or alias.name.split(".")[0]
+                        facts.append((bound, "module", False))
     # Comprehension targets: `for x in range(n)` inside the
     # comprehension's own generators.
     if scope.kind is ScopeKind.COMPREHENSION:
@@ -408,16 +337,7 @@ def _scope_observations(scope: Scope) -> tuple[list, list[tuple[str, str]]]:
         # as overrides afterwards).
         for arg in _all_args(scope.node.args):
             facts.append((arg.arg, TYPE_UNKNOWN, False))
-    if scope.kind is ScopeKind.FUNCTION:
-        # Parameter annotations come first so an AnnAssign on the same
-        # name keeps the last word, matching application order.
-        arg_annotations = [
-            (arg.arg, annotation_type(arg.annotation))
-            for arg in _all_args(scope.node.args)
-            if arg.annotation is not None
-        ]
-        annotations = arg_annotations + annotations
-    return facts, annotations
+    return facts
 
 
 def _loop_target_facts(node: ast.For) -> list:
@@ -441,6 +361,28 @@ def _target_facts(target: ast.expr, iterable: ast.expr) -> list:
     if isinstance(iterable, ast.Constant) and isinstance(iterable.value, str):
         return [(target.id, "str", False)]  # iterating a str yields strs
     return [(target.id, TYPE_UNKNOWN, False)]
+
+
+def _scope_annotations(
+    scope: Scope, table: ScopeTable
+) -> list[tuple[str, str]]:
+    annotations: list[tuple[str, str]] = []
+    if scope.kind is ScopeKind.FUNCTION:
+        for arg in _all_args(scope.node.args):
+            if arg.annotation is not None:
+                annotations.append((arg.arg, annotation_type(arg.annotation)))
+    body = getattr(scope.node, "body", [])
+    for stmt in body if isinstance(body, list) else []:
+        for node in ast.walk(stmt):
+            if table.scope_of(node) is not scope:
+                continue
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                annotations.append(
+                    (node.target.id, annotation_type(node.annotation))
+                )
+    return annotations
 
 
 def _all_args(args: ast.arguments) -> list[ast.arg]:

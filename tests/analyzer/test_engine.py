@@ -148,6 +148,57 @@ class TestDispatchIndex:
             if spec.builtin:
                 assert spec.detector.interested_types, spec.rule_id
 
+    def test_explicit_rules_analyzer_reused_across_sources(self):
+        # The dispatch index (and pre-filter masks) are memoized per
+        # instance and never invalidated — by design: the rule set is
+        # frozen at construction, so a reused Analyzer must keep giving
+        # answers identical to a fresh one, source after source.
+        sources = (
+            DIRTY_SOURCE,
+            CLEAN_SOURCE,
+            "def f(xs):\n    s = ''\n    for x in xs:\n        s += x\n"
+            "    return s\n",
+            DIRTY_SOURCE,  # revisit an earlier source: same answer
+        )
+        reused = Analyzer(rules=[ALL_RULES[7], ALL_RULES[3]])
+        for src in sources:
+            fresh = Analyzer(rules=[ALL_RULES[7], ALL_RULES[3]])
+            assert [f.to_dict() for f in reused.analyze_source(src)] == [
+                f.to_dict() for f in fresh.analyze_source(src)
+            ]
+
+    def test_runtime_registration_needs_fresh_analyzer(self):
+        # Documented contract: rules registered after construction are
+        # invisible to existing instances; a fresh Analyzer sees them.
+        import ast as ast_mod
+
+        from repro.analyzer.rules.base import Rule
+        from repro.rules import REGISTRY, RuleSpec
+        from repro.rules.registry import RuleRegistry
+
+        class LateRule(Rule):
+            rule_id = "X98_LATE"
+            interested_types = (ast_mod.Module,)
+
+            def check(self, node, ctx):
+                yield ctx.finding(
+                    self.rule_id, node, "late-registered rule ran"
+                )
+
+        registry = RuleRegistry(REGISTRY.specs())
+        before = Analyzer(registry=registry)
+        registry.register(
+            RuleSpec(
+                rule_id="X98_LATE",
+                python_component="Late registration",
+                python_suggestion="n/a",
+                detector=LateRule,
+            )
+        )
+        after = Analyzer(registry=registry)
+        assert "X98_LATE" not in before.rule_ids
+        assert "X98_LATE" in after.rule_ids
+
     def test_indexed_findings_match_unindexed(self):
         # The index is an optimization, not a behavior change: force
         # the all-nodes path and compare findings field by field.
@@ -265,6 +316,20 @@ class TestDynamicAnalyzer:
         delta = dyn.update(CLEAN_SOURCE)
         assert any(f.rule_id == "R08_STR_CONCAT" for f in delta.removed)
         assert dyn.findings == []
+
+    def test_last_good_source_tracks_parseable_buffers(self):
+        # The accessor answers "which buffer do the displayed findings
+        # describe": None before any parseable update, then the most
+        # recent buffer that parsed — a broken mid-edit buffer leaves
+        # it (and the findings) at the previous good state.
+        dyn = DynamicAnalyzer()
+        assert dyn.last_good_source is None
+        dyn.update(DIRTY_SOURCE)
+        assert dyn.last_good_source == DIRTY_SOURCE
+        dyn.update("def half_typed(:\n")
+        assert dyn.last_good_source == DIRTY_SOURCE
+        dyn.update(CLEAN_SOURCE)
+        assert dyn.last_good_source == CLEAN_SOURCE
 
 
 class TestSourceReading:

@@ -373,6 +373,12 @@ class TestFaultTolerantSweeps:
             "Analyzer",
             lambda extended=False: real_analyzer(rules=[LocalRule]),
         )
+        # Pretend the box has cores to spare: the CLI clamps --jobs at
+        # the CPU count, and this test needs the parallel path taken so
+        # the pickling check (and its one warning) actually runs.
+        import repro.sweep
+
+        monkeypatch.setattr(repro.sweep, "clamp_jobs", lambda jobs: jobs or 1)
         code = main(["suggest", str(project), "--jobs", "4"])
         captured = capsys.readouterr()
         assert code == 0

@@ -1,0 +1,147 @@
+"""Chunked-dispatch edge cases.
+
+Parallel sweeps ship *chunks* of files per pool task to amortize
+submit/pickle overhead; these tests pin the boundaries of that design:
+degenerate chunk geometry (fewer files per chunk than workers, chunks
+bigger than the corpus), failure isolation (a poison file must cost the
+sweep one file, never its chunk-mates), and the interrupt journal
+staying file-granular so ``--resume`` replays byte-identically even
+when the interrupt lands mid-chunk.
+"""
+
+import json
+
+import pytest
+
+from repro.analyzer import Analyzer
+from repro.resilience import SweepFaultPlan
+from repro.sweep import SweepInterrupted, SweepOptions
+
+DIRTY = (
+    "def f(names):\n"
+    "    out = ''\n"
+    "    for n in names:\n"
+    "        out += n\n"
+    "    return out\n"
+)
+
+FAST = dict(timeout_seconds=2.0, max_retries=1)
+
+
+@pytest.fixture()
+def project(tmp_path):
+    for index in range(6):
+        (tmp_path / f"mod_{index}.py").write_text(
+            DIRTY + f"X = {index}\n", encoding="utf-8"
+        )
+    return tmp_path
+
+
+def _as_bytes(findings_by_file) -> bytes:
+    return json.dumps(
+        {k: [f.to_dict() for f in v] for k, v in findings_by_file.items()}
+    ).encode()
+
+
+def _sweep(project, jobs, **options):
+    analyzer = Analyzer()
+    results = analyzer.analyze_project(
+        project, jobs=jobs, options=SweepOptions(**options)
+    )
+    return results, analyzer.last_quarantine
+
+
+class TestChunkGeometry:
+    @pytest.mark.parametrize("chunk_size", [1, 2])
+    def test_chunk_smaller_than_jobs(self, project, chunk_size):
+        # 6 files, 4 workers, tiny chunks: more dispatches than any
+        # worker "needs" — output must still match serial exactly.
+        serial = Analyzer().analyze_project(project)
+        chunked, quarantine = _sweep(
+            project, jobs=4, chunk_size=chunk_size
+        )
+        assert not quarantine
+        assert _as_bytes(chunked) == _as_bytes(serial)
+
+    def test_chunk_larger_than_corpus(self, project):
+        # One chunk swallows the whole queue; still byte-identical.
+        serial = Analyzer().analyze_project(project)
+        chunked, quarantine = _sweep(project, jobs=2, chunk_size=100)
+        assert not quarantine
+        assert _as_bytes(chunked) == _as_bytes(serial)
+
+
+class TestPoisonInsideChunk:
+    def test_inline_poison_isolates_file_not_chunk(self, project):
+        # A MemoryError inside analysis is caught in the worker and
+        # reported as an inline per-file marker: chunk-mates' finished
+        # work must survive, and only the poison file is quarantined.
+        serial = Analyzer().analyze_project(project)
+        poisoned, quarantine = _sweep(
+            project,
+            jobs=2,
+            chunk_size=3,
+            faults=SweepFaultPlan(memory=("mod_2.py",)),
+            **FAST,
+        )
+        assert [e.path for e in quarantine.entries] == [
+            str(project / "mod_2.py")
+        ]
+        assert poisoned[str(project / "mod_2.py")] == []
+        healthy = {
+            k: v for k, v in serial.items() if not k.endswith("mod_2.py")
+        }
+        assert _as_bytes(
+            {k: v for k, v in poisoned.items() if k in healthy}
+        ) == _as_bytes(healthy)
+
+    def test_worker_crash_isolates_file_not_chunk(self, project):
+        # A crash kills the whole chunk ambiguously; the supervisor
+        # must retry the chunk's files one at a time until the real
+        # culprit is unmasked — chunk-mates end up with full findings.
+        serial = Analyzer().analyze_project(project)
+        poisoned, quarantine = _sweep(
+            project,
+            jobs=2,
+            chunk_size=3,
+            faults=SweepFaultPlan(crash=("mod_1.py",)),
+            **FAST,
+        )
+        assert [e.path for e in quarantine.entries] == [
+            str(project / "mod_1.py")
+        ]
+        assert quarantine.entries[0].reason == "crash"
+        assert poisoned[str(project / "mod_1.py")] == []
+        healthy = {
+            k: v for k, v in serial.items() if not k.endswith("mod_1.py")
+        }
+        assert _as_bytes(
+            {k: v for k, v in poisoned.items() if k in healthy}
+        ) == _as_bytes(healthy)
+
+
+class TestResumeAcrossChunkBoundary:
+    def test_resume_mid_chunk_is_byte_identical(self, project):
+        # Interrupt after 3 files with chunk_size=2: the journal cuts
+        # across a chunk boundary (one chunk done, one half-credited).
+        # The resumed sweep must complete to serial-identical output.
+        baseline = Analyzer().analyze_project(project)
+        analyzer = Analyzer()
+        with pytest.raises(SweepInterrupted) as info:
+            analyzer.analyze_project(
+                project,
+                jobs=2,
+                options=SweepOptions(
+                    chunk_size=2,
+                    faults=SweepFaultPlan(interrupt_after_files=3),
+                ),
+            )
+        assert info.value.completed >= 3
+        assert info.value.completed < 6
+
+        resumed = Analyzer().analyze_project(
+            project,
+            jobs=2,
+            options=SweepOptions(chunk_size=2, resume=True),
+        )
+        assert _as_bytes(resumed) == _as_bytes(baseline)
